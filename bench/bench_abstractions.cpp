@@ -1,0 +1,107 @@
+// E12 (§1): "the object/manager facility in ALPS is a generalization of the
+// well-known synchronization abstractions monitor, serializer and path
+// expressions".
+//
+// The same readers–writers workload (4 readers / 1 writer, 200µs reads,
+// 100µs writes) runs over four implementations of the same policy:
+//   - the ALPS manager (§2.5.1 program),
+//   - an Atkinson/Hewitt serializer,
+//   - the path-expression runtime (`path 1:({read} | write) end` plus a
+//     ReadMax restriction path),
+//   - a fair mutex/cv rw-lock (hand-rolled, scattered-logic style).
+// All enforce the invariant; the rows show the relative overhead of each
+// abstraction, with ALPS paying its manager handoffs.
+#include <benchmark/benchmark.h>
+
+#include "apps/readers_writers.h"
+#include "baselines/pathexpr.h"
+#include "baselines/rw_locks.h"
+#include "baselines/serializer.h"
+#include "bench_util.h"
+
+namespace {
+
+using namespace alps;
+
+constexpr int kReaders = 4;
+constexpr int kOpsPerReader = 60;
+constexpr int kWriterOps = 20;
+constexpr auto kReadTime = std::chrono::microseconds(200);
+constexpr auto kWriteTime = std::chrono::microseconds(100);
+constexpr std::size_t kReadMax = 4;
+
+template <class ReadFn, class WriteFn>
+void drive(ReadFn do_read, WriteFn do_write) {
+  benchutil::run_threads(kReaders + 1, [&](int t) {
+    if (t < kReaders) {
+      for (int i = 0; i < kOpsPerReader; ++i) do_read();
+    } else {
+      for (int i = 0; i < kWriterOps; ++i) do_write();
+    }
+  });
+}
+
+void BM_AlpsManagerRw(benchmark::State& state) {
+  apps::ReadersWritersDb db({.read_max = kReadMax,
+                             .read_time = kReadTime,
+                             .write_time = kWriteTime});
+  for (auto _ : state) {
+    drive([&] { db.read(0); }, [&] { db.write(0, 1); });
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (kReaders * kOpsPerReader + kWriterOps));
+  state.counters["violation"] = db.invariants().exclusion_violated ? 1 : 0;
+}
+
+void BM_SerializerRw(benchmark::State& state) {
+  baselines::SerializerRwResource res(kReadMax);
+  for (auto _ : state) {
+    drive([&] { res.read([] { std::this_thread::sleep_for(kReadTime); }); },
+          [&] { res.write([] { std::this_thread::sleep_for(kWriteTime); }); });
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (kReaders * kOpsPerReader + kWriterOps));
+}
+
+void BM_PathExpressionRw(benchmark::State& state) {
+  // Readers crowd inside the exclusion bracket; a second path bounds the
+  // crowd at ReadMax.
+  baselines::PathRuntime paths({"path 1:({read} | write) end",
+                                "path 4:(read) end"});
+  for (auto _ : state) {
+    drive([&] { paths.perform("read", [] { std::this_thread::sleep_for(kReadTime); }); },
+          [&] { paths.perform("write", [] { std::this_thread::sleep_for(kWriteTime); }); });
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (kReaders * kOpsPerReader + kWriterOps));
+}
+
+void BM_FairRwLock(benchmark::State& state) {
+  baselines::FairRwLock lock(kReadMax);
+  for (auto _ : state) {
+    drive(
+        [&] {
+          lock.lock_read();
+          std::this_thread::sleep_for(kReadTime);
+          lock.unlock_read();
+        },
+        [&] {
+          lock.lock_write();
+          std::this_thread::sleep_for(kWriteTime);
+          lock.unlock_write();
+        });
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (kReaders * kOpsPerReader + kWriterOps));
+}
+
+#define RW_OPTS ->Unit(benchmark::kMillisecond)->UseRealTime()
+
+BENCHMARK(BM_AlpsManagerRw) RW_OPTS;
+BENCHMARK(BM_SerializerRw) RW_OPTS;
+BENCHMARK(BM_PathExpressionRw) RW_OPTS;
+BENCHMARK(BM_FairRwLock) RW_OPTS;
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// E1 (§2.4.1, §1): the manager generalizes the monitor.
+//
+// The same bounded-buffer workload runs over (a) the ALPS object whose
+// manager `execute`s every call, (b) a classical monitor, and (c) raw
+// mutex+cv code. Expected shape: the monitor and raw variants are faster in
+// absolute terms (no manager handoff, no process-per-call), while the ALPS
+// version pays a constant per-call scheduling overhead — the cost the paper
+// accepts in exchange for centralized, modifiable scheduling. Rows sweep the
+// producer/consumer count.
+#include <benchmark/benchmark.h>
+
+#include <condition_variable>
+#include <mutex>
+
+#include "apps/bounded_buffer.h"
+#include "baselines/monitor.h"
+#include "bench_util.h"
+
+namespace {
+
+using namespace alps;
+
+constexpr int kMessagesPerThreadPair = 400;
+
+/// Raw mutex+cv buffer: the semaphore-flavored style the paper says scatters
+/// scheduling logic across the procedures.
+class RawBuffer {
+ public:
+  explicit RawBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+  void deposit(long long v) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return items_.size() < capacity_; });
+    items_.push_back(v);
+    not_empty_.notify_one();
+  }
+
+  long long remove() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return !items_.empty(); });
+    long long v = items_.front();
+    items_.pop_front();
+    not_full_.notify_one();
+    return v;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable not_full_, not_empty_;
+  std::deque<long long> items_;
+  std::size_t capacity_;
+};
+
+template <class DepositFn, class RemoveFn>
+void drive(int producers, int consumers, DepositFn deposit, RemoveFn remove) {
+  const int total = kMessagesPerThreadPair * producers;
+  const int per_consumer = total / consumers;
+  benchutil::run_threads(producers + consumers, [&](int t) {
+    if (t < producers) {
+      for (int i = 0; i < kMessagesPerThreadPair; ++i) deposit(i);
+    } else {
+      for (int i = 0; i < per_consumer; ++i) remove();
+    }
+  });
+}
+
+void BM_AlpsManagerBuffer(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const int c = static_cast<int>(state.range(1));
+  apps::BoundedBuffer buffer({.capacity = 16});
+  for (auto _ : state) {
+    drive(p, c, [&](int i) { buffer.deposit(Value(i)); },
+          [&] { return buffer.remove(); });
+  }
+  state.SetItemsProcessed(state.iterations() * kMessagesPerThreadPair * p);
+}
+
+void BM_MonitorBuffer(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const int c = static_cast<int>(state.range(1));
+  baselines::MonitorBoundedBuffer buffer(16);
+  for (auto _ : state) {
+    drive(p, c, [&](int i) { buffer.deposit(i); }, [&] { return buffer.remove(); });
+  }
+  state.SetItemsProcessed(state.iterations() * kMessagesPerThreadPair * p);
+}
+
+void BM_RawMutexCvBuffer(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const int c = static_cast<int>(state.range(1));
+  RawBuffer buffer(16);
+  for (auto _ : state) {
+    drive(p, c, [&](int i) { buffer.deposit(i); }, [&] { return buffer.remove(); });
+  }
+  state.SetItemsProcessed(state.iterations() * kMessagesPerThreadPair * p);
+}
+
+#define PC_ARGS ->Args({1, 1})->Args({2, 2})->Args({4, 4})->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime()
+
+BENCHMARK(BM_AlpsManagerBuffer) PC_ARGS;
+BENCHMARK(BM_MonitorBuffer) PC_ARGS;
+BENCHMARK(BM_RawMutexCvBuffer) PC_ARGS;
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// E10 (§2.1): channels and the par construct.
+//
+// Rows: asynchronous send cost (never blocks), buffered receive, a
+// 2-thread ping-pong (rendezvous-by-channel latency), select-guard receive
+// through a manager, and par fan-out overhead per branch.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "core/alps.h"
+
+namespace {
+
+using namespace alps;
+
+void BM_ChannelSend(benchmark::State& state) {
+  ChannelRef ch = make_channel();
+  std::int64_t n = 0;
+  for (auto _ : state) {
+    ch->send(vals(n++));
+    if (n % 4096 == 0) {
+      while (ch->try_receive()) {  // drain so memory stays bounded
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ChannelSendReceive(benchmark::State& state) {
+  ChannelRef ch = make_channel();
+  for (auto _ : state) {
+    ch->send(vals(1));
+    benchmark::DoNotOptimize(ch->receive());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ChannelPingPong(benchmark::State& state) {
+  ChannelRef ping = make_channel("ping");
+  ChannelRef pong = make_channel("pong");
+  std::jthread echo([&] {
+    while (true) {
+      auto msg = ping->receive_for(std::chrono::seconds(5));
+      if (!msg || (*msg)[0].as_int() < 0) return;
+      pong->send(std::move(*msg));
+    }
+  });
+  for (auto _ : state) {
+    ping->send(vals(1));
+    benchmark::DoNotOptimize(pong->receive());
+  }
+  ping->send(vals(-1));
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_GuardedReceiveThroughManager(benchmark::State& state) {
+  // A manager multiplexing a control channel; measures the full
+  // send → guard wake-up → handler → reply path.
+  Object obj("Mux");
+  auto noop = obj.define_entry({.name = "Noop", .params = 0, .results = 0});
+  obj.implement(noop, [](BodyCtx&) -> ValueList { return {}; });
+  ChannelRef request = make_channel("req");
+  ChannelRef reply = make_channel("rep");
+  obj.set_manager({intercept(noop)}, [&](Manager& m) {
+    Select()
+        .on(receive_guard(request).then([&](ValueList msg) {
+          reply->send(std::move(msg));
+        }))
+        .on(accept_guard(noop).then([&](Accepted a) { m.execute(a); }))
+        .loop(m);
+  });
+  obj.start();
+  for (auto _ : state) {
+    request->send(vals(1));
+    benchmark::DoNotOptimize(reply->receive());
+  }
+  state.SetItemsProcessed(state.iterations());
+  obj.stop();
+}
+
+void BM_ParFanout(benchmark::State& state) {
+  const auto branches = state.range(0);
+  for (auto _ : state) {
+    par_for(1, branches, [](long long) {});
+  }
+  state.SetItemsProcessed(state.iterations() * branches);
+}
+
+BENCHMARK(BM_ChannelSend)->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_ChannelSendReceive)->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_ChannelPingPong)->Unit(benchmark::kMicrosecond)->UseRealTime();
+BENCHMARK(BM_GuardedReceiveThroughManager)->Unit(benchmark::kMicrosecond)->UseRealTime();
+BENCHMARK(BM_ParFanout)->Arg(1)->Arg(8)->Arg(64)->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

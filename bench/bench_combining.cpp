@@ -1,0 +1,79 @@
+// E3 (§2.7.1): request combining in the dictionary.
+//
+// A Zipf-skewed client population searches the dictionary; the sweep is the
+// skew θ. Reported counters:
+//   bodies_per_request — executed searches / requests (1.0 with combining
+//                        off; drops well below 1.0 as skew rises)
+//   combined_pct       — % of requests answered by piggybacking
+// Expected shape: combining saves nothing on uniform traffic (θ≈0) and an
+// increasing fraction of the work as the workload concentrates — while
+// throughput rises correspondingly, since each saved body is a saved
+// search_time.
+#include <benchmark/benchmark.h>
+
+#include "apps/dictionary.h"
+#include "bench_util.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace alps;
+
+constexpr int kClients = 8;
+constexpr int kRequestsPerClient = 60;
+
+void run_workload(apps::Dictionary& dict, const std::vector<std::string>& words,
+                  double theta) {
+  benchutil::run_threads(kClients, [&](int t) {
+    support::ZipfGenerator zipf(words.size(), theta,
+                                static_cast<std::uint64_t>(t) + 1);
+    std::vector<CallHandle> inflight;
+    for (int i = 0; i < kRequestsPerClient; ++i) {
+      inflight.push_back(dict.async_search(words[zipf.next()]));
+      if (inflight.size() >= 4) {  // keep a few requests open per client
+        for (auto& h : inflight) h.get();
+        inflight.clear();
+      }
+    }
+    for (auto& h : inflight) h.get();
+  });
+}
+
+void bench_dictionary(benchmark::State& state, bool combining) {
+  const double theta = static_cast<double>(state.range(0)) / 100.0;
+  auto words = support::make_word_list(256);
+  apps::Dictionary dict(words,
+                        {.search_max = 16,
+                         .search_time = std::chrono::microseconds(500),
+                         .combining = combining});
+  for (auto _ : state) {
+    run_workload(dict, words, theta);
+  }
+  const auto s = dict.stats();
+  state.SetItemsProcessed(static_cast<std::int64_t>(s.requests));
+  state.counters["bodies_per_request"] =
+      s.requests ? static_cast<double>(s.executed) / static_cast<double>(s.requests)
+                 : 0.0;
+  state.counters["combined_pct"] =
+      s.requests ? 100.0 * static_cast<double>(s.combined) /
+                       static_cast<double>(s.requests)
+                 : 0.0;
+}
+
+void BM_Dictionary_Combining(benchmark::State& state) {
+  bench_dictionary(state, /*combining=*/true);
+}
+
+void BM_Dictionary_NoCombining(benchmark::State& state) {
+  bench_dictionary(state, /*combining=*/false);
+}
+
+// θ = 0.00, 0.80, 1.10, 1.40 (×100 in the arg)
+#define THETA_ARGS ->Arg(0)->Arg(80)->Arg(110)->Arg(140)->Unit(benchmark::kMillisecond)->UseRealTime()
+
+BENCHMARK(BM_Dictionary_Combining) THETA_ARGS;
+BENCHMARK(BM_Dictionary_NoCombining) THETA_ARGS;
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// E9 (§3): "it is wasteful to implement a guarded command of the form
+// (i:1..N) accept P[i] [by polling]" — a hidden procedure array may have
+// only a few requests attached on average, so eligibility checks must not
+// scan all N slots.
+//
+// Sweep the array size N with exactly one call in flight at a time. The
+// kernel's default select uses indexed ready lists (O(ready) per wake-up);
+// `use_naive_polling` switches to the O(N) slot scan. Expected shape: the
+// naive rows degrade linearly with N while the indexed rows stay flat.
+#include <benchmark/benchmark.h>
+
+#include "core/alps.h"
+
+namespace {
+
+using namespace alps;
+
+void bench_scan(benchmark::State& state, bool naive) {
+  const auto array = static_cast<std::size_t>(state.range(0));
+  Object obj("Scan", ObjectOptions{.pool_workers = 2});
+  auto e = obj.define_entry({.name = "Op", .params = 0, .results = 0});
+  obj.implement(e, ImplDecl{.array = array},
+                [](BodyCtx&) -> ValueList { return {}; });
+  obj.set_manager({intercept(e)}, [&](Manager& m) {
+    Select sel;
+    sel.use_naive_polling(naive)
+        .on(accept_guard(e).then([&m](Accepted a) { m.start(a); }))
+        .on(await_guard(e).then([&m](Awaited w) { m.finish(w); }));
+    sel.loop(m);
+  });
+  obj.start();
+
+  for (auto _ : state) {
+    obj.call(e, {});  // low occupancy: one pending call at a time
+  }
+  state.SetItemsProcessed(state.iterations());
+  obj.stop();
+}
+
+void BM_IndexedReadyLists(benchmark::State& state) { bench_scan(state, false); }
+void BM_NaiveSlotPolling(benchmark::State& state) { bench_scan(state, true); }
+
+#define N_ARGS ->Arg(16)->Arg(256)->Arg(4096)->Arg(32768)->Unit(benchmark::kMicrosecond)->UseRealTime()
+
+BENCHMARK(BM_IndexedReadyLists) N_ARGS;
+BENCHMARK(BM_NaiveSlotPolling) N_ARGS;
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Queueing behaviour of a managed object under open-loop load.
+//
+// Closed-loop benches (E1/E8) measure capacity; operators also need the
+// latency-vs-offered-load curve: an open-loop arrival process (exponential
+// interarrivals) posts calls regardless of completions, and the per-call
+// latency histogram shows the classic hockey stick as the offered rate
+// approaches the object's service capacity. This is the operational face of
+// the paper's "the manager should do only minimal processing": the knee sits
+// wherever the manager's serial work says it sits.
+//
+// Rows sweep the offered rate (calls/second); counters report p50/p99
+// latency in microseconds.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "core/alps.h"
+#include "support/rng.h"
+#include "support/stats.h"
+
+namespace {
+
+using namespace alps;
+
+void BM_OpenLoopLatency(benchmark::State& state) {
+  const double offered_rate = static_cast<double>(state.range(0));  // calls/s
+  constexpr auto kService = std::chrono::microseconds(100);
+  constexpr int kCalls = 300;
+
+  Object obj("Server", ObjectOptions{.pool_workers = 4});
+  auto e = obj.define_entry({.name = "Op", .params = 0, .results = 0});
+  obj.implement(e, ImplDecl{.array = 4}, [&](BodyCtx&) -> ValueList {
+    std::this_thread::sleep_for(kService);
+    return {};
+  });
+  obj.set_manager({intercept(e)}, [&](Manager& m) {
+    Select()
+        .on(accept_guard(e).then([&m](Accepted a) { m.start(a); }))
+        .on(await_guard(e).then([&m](Awaited w) { m.finish(w); }))
+        .loop(m);
+  });
+  obj.start();
+
+  support::Histogram latency;
+  for (auto _ : state) {
+    latency.reset();
+    support::Rng rng(42);
+    std::vector<CallHandle> inflight;
+    inflight.reserve(kCalls);
+    auto next_arrival = std::chrono::steady_clock::now();
+    for (int i = 0; i < kCalls; ++i) {
+      next_arrival += std::chrono::nanoseconds(static_cast<std::int64_t>(
+          rng.next_exponential(1e9 / offered_rate)));
+      std::this_thread::sleep_until(next_arrival);
+      CallHandle handle = obj.async_call(e, {});
+      const auto begin = std::chrono::steady_clock::now();
+      // Record at completion time (on the completing thread), not when this
+      // open-loop driver eventually gets around to looking.
+      handle.state()->on_complete([begin, &latency](CallState&) {
+        latency.record_duration(std::chrono::steady_clock::now() - begin);
+      });
+      inflight.push_back(std::move(handle));
+    }
+    for (auto& handle : inflight) handle.wait();
+  }
+  state.SetItemsProcessed(state.iterations() * kCalls);
+  state.counters["p50_us"] =
+      static_cast<double>(latency.percentile(0.50)) / 1e3;
+  state.counters["p99_us"] =
+      static_cast<double>(latency.percentile(0.99)) / 1e3;
+  obj.stop();
+}
+
+// Capacity: 4 overlapped 100us services ≈ 40k/s, manager handoffs permitting.
+// The sweep straddles it so the latency knee is visible; the low-rate row
+// additionally shows cold-wakeup jitter (threads sleep between arrivals).
+BENCHMARK(BM_OpenLoopLatency)
+    ->Arg(2000)
+    ->Arg(16000)
+    ->Arg(64000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// E8 (§1, §3): "contention can be reduced by programming the manager to do
+// only minimal processing".
+//
+// The manager is a single process; every cycle it spends per event is serial
+// across the whole object. The sweep injects D microseconds of bookkeeping
+// into the manager's accept handler and measures object throughput with 4
+// concurrent clients. Expected shape: throughput ≈ 1 / (D + c) — collapsing
+// as the manager fattens, which is the quantitative form of the paper's
+// design advice (and its argument against the concurrent-mediator design:
+// keep the serial scheduler lean instead).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/alps.h"
+
+namespace {
+
+using namespace alps;
+
+void BM_ManagerServiceDemand(benchmark::State& state) {
+  const auto demand = std::chrono::microseconds(state.range(0));
+  Object obj("Lean", ObjectOptions{.pool_workers = 4});
+  auto e = obj.define_entry({.name = "Op", .params = 0, .results = 0});
+  obj.implement(e, ImplDecl{.array = 8}, [](BodyCtx&) -> ValueList {
+    return {};
+  });
+  obj.set_manager({intercept(e)}, [&](Manager& m) {
+    Select()
+        .on(accept_guard(e).then([&, demand](Accepted a) {
+          if (demand.count() > 0) benchutil::busy_spin(demand);  // fat manager
+          m.start(a);
+        }))
+        .on(await_guard(e).then([&m](Awaited w) { m.finish(w); }))
+        .loop(m);
+  });
+  obj.start();
+
+  constexpr int kClients = 4, kOps = 100;
+  for (auto _ : state) {
+    benchutil::run_threads(kClients, [&](int) {
+      for (int i = 0; i < kOps; ++i) obj.call(e, {});
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kClients * kOps);
+  obj.stop();
+}
+
+BENCHMARK(BM_ManagerServiceDemand)
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(50)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,128 @@
+// E6 (§2.3): nested calls across objects.
+//
+// ALPS rows: latency/throughput of the X.P → Y.Q → X.R round trip, which the
+// asynchronous `start` makes deadlock-free. Baseline row: the same structure
+// on Ada-style rendezvous tasks deadlocks — reported as the
+// `deadlocked` counter (1.0) measured once with a timeout, as the paper's
+// "DP, Ada and SR suffer from the nested calls problem".
+#include <benchmark/benchmark.h>
+
+#include "baselines/rendezvous.h"
+#include "core/alps.h"
+
+namespace {
+
+using namespace alps;
+
+struct CrossCallingObjects {
+  Object x{"X", ObjectOptions{.model = sched::ProcessModel::kDynamic}};
+  Object y{"Y", ObjectOptions{.model = sched::ProcessModel::kDynamic}};
+  EntryRef p, r, q;
+
+  CrossCallingObjects() {
+    p = x.define_entry({.name = "P", .params = 0, .results = 1});
+    r = x.define_entry({.name = "R", .params = 0, .results = 1});
+    q = y.define_entry({.name = "Q", .params = 0, .results = 1});
+    x.implement(p, [this](BodyCtx&) -> ValueList {
+      return {Value(y.call(q, {})[0].as_int() + 1)};
+    });
+    x.implement(r, [](BodyCtx&) -> ValueList { return {Value(100)}; });
+    y.implement(q, [this](BodyCtx&) -> ValueList {
+      return {Value(x.call(r, {})[0].as_int() + 10)};
+    });
+    auto serve = [](EntryRef a, EntryRef b) {
+      return [a, b](Manager& m) {
+        Select()
+            .on(accept_guard(a).then([&m](Accepted acc) { m.start(acc); }))
+            .on(await_guard(a).then([&m](Awaited w) { m.finish(w); }))
+            .on(accept_guard(b).then([&m](Accepted acc) { m.start(acc); }))
+            .on(await_guard(b).then([&m](Awaited w) { m.finish(w); }))
+            .loop(m);
+      };
+    };
+    x.set_manager({intercept(p), intercept(r)}, serve(p, r));
+    y.set_manager({intercept(q)},
+                  [this](Manager& m) {
+                    Select()
+                        .on(accept_guard(q).then([&m](Accepted a) { m.start(a); }))
+                        .on(await_guard(q).then([&m](Awaited w) { m.finish(w); }))
+                        .loop(m);
+                  });
+    x.start();
+    y.start();
+  }
+  ~CrossCallingObjects() {
+    x.stop();
+    y.stop();
+  }
+};
+
+void BM_AlpsNestedCall_Latency(benchmark::State& state) {
+  CrossCallingObjects objs;
+  for (auto _ : state) {
+    const ValueList out = objs.x.call(objs.p, {});
+    if (out[0].as_int() != 111) state.SkipWithError("wrong result");
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["deadlocked"] = 0.0;
+}
+
+void BM_AlpsNestedCall_Concurrent(benchmark::State& state) {
+  CrossCallingObjects objs;
+  constexpr int kInflight = 8;
+  for (auto _ : state) {
+    std::vector<CallHandle> handles;
+    for (int i = 0; i < kInflight; ++i) {
+      handles.push_back(objs.x.async_call(objs.p, {}));
+    }
+    for (auto& h : handles) h.get();
+  }
+  state.SetItemsProcessed(state.iterations() * kInflight);
+  state.counters["deadlocked"] = 0.0;
+}
+
+void BM_RendezvousNestedCall_Deadlocks(benchmark::State& state) {
+  using baselines::RendezvousTask;
+  double deadlocked = 0.0;
+  for (auto _ : state) {
+    RendezvousTask x("X"), y("Y");
+    auto p = x.add_entry("P");
+    auto r = x.add_entry("R");
+    auto q = y.add_entry("Q");
+    std::atomic<bool> saw_deadlock{false};
+    y.start([&, q](RendezvousTask& t) {
+      while (t.accept(q, [&](const RendezvousTask::Params&) {
+        if (!x.call_for(r, {}, std::chrono::milliseconds(100)).has_value()) {
+          saw_deadlock = true;
+        }
+        return RendezvousTask::Results{};
+      })) {
+      }
+    });
+    x.start([&, p, r](RendezvousTask& t) {
+      while (t.select_accept({p, r},
+                             [&](std::size_t which, const RendezvousTask::Params&) {
+                               if (which == p) y.call(q, {});
+                               return RendezvousTask::Results{};
+                             })
+                 .has_value()) {
+      }
+    });
+    x.call(p, {});
+    deadlocked = saw_deadlock.load() ? 1.0 : 0.0;
+    x.stop();
+    y.stop();
+  }
+  state.counters["deadlocked"] = deadlocked;
+}
+
+BENCHMARK(BM_AlpsNestedCall_Latency)->Unit(benchmark::kMicrosecond)->UseRealTime();
+BENCHMARK(BM_AlpsNestedCall_Concurrent)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_RendezvousNestedCall_Deadlocks)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

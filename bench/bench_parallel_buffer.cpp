@@ -1,0 +1,74 @@
+// E5 (§2.8.2): the parallel bounded buffer vs the serial (§2.4.1) buffer.
+//
+// Sweep the message length. Expected shape: for short messages the simpler
+// serial buffer wins (the parallel design pays extra manager transitions per
+// call); as messages grow, copy time dominates and the parallel buffer's
+// overlapped copies win — the crossover is the paper's "more useful in
+// parallel processing ... potentially long messages" claim. Reported
+// throughput is MB/s through the buffer.
+#include <benchmark/benchmark.h>
+
+#include "apps/bounded_buffer.h"
+#include "apps/parallel_buffer.h"
+#include "bench_util.h"
+
+namespace {
+
+using namespace alps;
+
+constexpr int kWorkers = 4;       // producers == consumers == 4
+constexpr int kMsgsPerWorker = 40;
+
+template <class Buffer>
+void drive(Buffer& buffer, const std::string& payload) {
+  benchutil::run_threads(2 * kWorkers, [&](int t) {
+    if (t < kWorkers) {
+      for (int i = 0; i < kMsgsPerWorker; ++i) buffer.deposit(Value(payload));
+    } else {
+      for (int i = 0; i < kMsgsPerWorker; ++i) buffer.remove();
+    }
+  });
+}
+
+void set_mb_per_s(benchmark::State& state, std::size_t msg_bytes) {
+  const auto total_bytes = static_cast<std::int64_t>(msg_bytes) * kWorkers *
+                           kMsgsPerWorker * static_cast<std::int64_t>(state.iterations());
+  state.SetBytesProcessed(total_bytes);
+  state.SetItemsProcessed(state.iterations() * kWorkers * kMsgsPerWorker);
+}
+
+void BM_SerialBuffer_MsgSize(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  const std::string payload(bytes, 'x');
+  apps::BoundedBuffer buffer({.capacity = 16, .pool_workers = 2});
+  for (auto _ : state) {
+    drive(buffer, payload);
+  }
+  set_mb_per_s(state, bytes);
+}
+
+void BM_ParallelBuffer_MsgSize(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  const std::string payload(bytes, 'x');
+  apps::ParallelBoundedBuffer buffer({.capacity = 16,
+                                      .producer_max = kWorkers,
+                                      .consumer_max = kWorkers,
+                                      .pool_workers = 2 * kWorkers});
+  for (auto _ : state) {
+    drive(buffer, payload);
+  }
+  set_mb_per_s(state, bytes);
+  state.counters["peak_parallel_copies"] =
+      static_cast<double>(buffer.stats().max_concurrent_copies);
+}
+
+#define SIZE_ARGS \
+  ->Arg(64)->Arg(4 << 10)->Arg(64 << 10)->Arg(512 << 10) \
+  ->Unit(benchmark::kMillisecond)->UseRealTime()
+
+BENCHMARK(BM_SerialBuffer_MsgSize) SIZE_ARGS;
+BENCHMARK(BM_ParallelBuffer_MsgSize) SIZE_ARGS;
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,143 @@
+// E2 (§2.5.1): readers–writers.
+//
+// Two questions, two benchmark families:
+//
+//  1. Throughput vs ReadMax (ALPS manager): admitting more concurrent
+//     readers raises read throughput until ReadMax exceeds the useful
+//     parallelism.
+//  2. Starvation: under a continuous reader stream, the paper's WriterLast
+//     protocol bounds writer waiting; a reader-preference lock does not.
+//     Reported as the `writer_max_wait_ms` counter — the ALPS row stays
+//     bounded, the reader-preference row grows with the measured duration.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "apps/readers_writers.h"
+#include "baselines/rw_locks.h"
+#include "bench_util.h"
+#include "support/rng.h"
+#include "support/stats.h"
+
+namespace {
+
+using namespace alps;
+
+// ---- 1. throughput vs ReadMax ----
+
+void BM_AlpsRw_ReadMaxSweep(benchmark::State& state) {
+  const auto read_max = static_cast<std::size_t>(state.range(0));
+  apps::ReadersWritersDb db({.read_max = read_max,
+                             .read_time = std::chrono::microseconds(100),
+                             .write_time = std::chrono::microseconds(100),
+                             .pool_workers = read_max + 1});
+  constexpr int kReaders = 8, kOpsPerReader = 50;
+  for (auto _ : state) {
+    benchutil::run_threads(kReaders + 1, [&](int t) {
+      if (t < kReaders) {
+        for (int i = 0; i < kOpsPerReader; ++i) db.read(i % 16);
+      } else {
+        for (int i = 0; i < kOpsPerReader / 5; ++i) db.write(i % 16, i);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (kReaders * kOpsPerReader + kOpsPerReader / 5));
+  state.counters["max_concurrent_readers"] =
+      static_cast<double>(db.invariants().max_concurrent_readers);
+}
+
+BENCHMARK(BM_AlpsRw_ReadMaxSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// ---- 2. writer wait under sustained read load ----
+
+template <class Submit>
+double writer_max_wait_ms(Submit submit_write, const std::function<void()>& do_read,
+                          std::chrono::milliseconds duration) {
+  std::atomic<bool> stop{false};
+  support::Histogram wait_hist;
+  std::vector<std::jthread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) do_read();
+    });
+  }
+  std::jthread writer([&] {
+    while (!stop.load()) {
+      const auto begin = std::chrono::steady_clock::now();
+      submit_write();
+      wait_hist.record_duration(std::chrono::steady_clock::now() - begin);
+    }
+  });
+  std::this_thread::sleep_for(duration);
+  stop = true;
+  writer.join();
+  readers.clear();
+  return static_cast<double>(wait_hist.max()) / 1e6;
+}
+
+void BM_AlpsRw_WriterWait(benchmark::State& state) {
+  apps::ReadersWritersDb db({.read_max = 4,
+                             .read_time = std::chrono::microseconds(200)});
+  double max_wait = 0;
+  for (auto _ : state) {
+    max_wait = writer_max_wait_ms([&] { db.write(0, 1); },
+                                  [&] { db.read(0); },
+                                  std::chrono::milliseconds(300));
+  }
+  state.counters["writer_max_wait_ms"] = max_wait;
+}
+
+void BM_ReaderPreference_WriterWait(benchmark::State& state) {
+  baselines::ReaderPreferenceRwLock lock;
+  double max_wait = 0;
+  for (auto _ : state) {
+    max_wait = writer_max_wait_ms(
+        [&] {
+          lock.lock_write();
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+          lock.unlock_write();
+        },
+        [&] {
+          lock.lock_read();
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          lock.unlock_read();
+        },
+        std::chrono::milliseconds(300));
+  }
+  state.counters["writer_max_wait_ms"] = max_wait;
+}
+
+void BM_FairLock_WriterWait(benchmark::State& state) {
+  baselines::FairRwLock lock;
+  double max_wait = 0;
+  for (auto _ : state) {
+    max_wait = writer_max_wait_ms(
+        [&] {
+          lock.lock_write();
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+          lock.unlock_write();
+        },
+        [&] {
+          lock.lock_read();
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          lock.unlock_read();
+        },
+        std::chrono::milliseconds(300));
+  }
+  state.counters["writer_max_wait_ms"] = max_wait;
+}
+
+BENCHMARK(BM_AlpsRw_WriterWait)->Iterations(1)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ReaderPreference_WriterWait)->Iterations(1)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_FairLock_WriterWait)->Iterations(1)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// E11 (§1, §4): entry calls as remote procedure calls on a simulated
+// multi-node network (substitute for the paper's 16-node transputer grid).
+//
+// Rows: local in-process call as the floor; RPC at zero simulated latency
+// (pure marshalling + delivery-thread cost); RPC at transputer-ish link
+// latencies; pipelined concurrent RPC showing latency hiding; and remote
+// channel messaging. Expected shape: RPC ≈ local + 2×link latency for
+// sequential calls, and pipelining recovers throughput despite latency.
+#include <benchmark/benchmark.h>
+
+#include "core/alps.h"
+#include "net/network.h"
+#include "net/rpc.h"
+
+namespace {
+
+using namespace alps;
+
+struct Service {
+  Object obj{"Svc"};
+  EntryRef echo;
+  Service() {
+    echo = obj.define_entry({.name = "Echo", .params = 1, .results = 1});
+    obj.implement(echo, [](BodyCtx& ctx) -> ValueList { return {ctx.param(0)}; });
+    obj.start();
+  }
+  ~Service() { obj.stop(); }
+};
+
+void BM_LocalCall(benchmark::State& state) {
+  Service svc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svc.obj.call(svc.echo, vals(1)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_RpcSequential(benchmark::State& state) {
+  const auto latency_us = state.range(0);
+  net::Network network(
+      net::LinkLatency{std::chrono::microseconds(latency_us), {}});
+  net::Node client(network, "client");
+  net::Node server(network, "server");
+  Service svc;
+  server.host(svc.obj);
+  auto remote = client.remote(server.id(), "Svc");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(remote.call("Echo", vals(1)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_RpcPipelined(benchmark::State& state) {
+  const auto latency_us = state.range(0);
+  constexpr int kInflight = 32;
+  net::Network network(
+      net::LinkLatency{std::chrono::microseconds(latency_us), {}});
+  net::Node client(network, "client");
+  net::Node server(network, "server");
+  Service svc;
+  server.host(svc.obj);
+  auto remote = client.remote(server.id(), "Svc");
+  for (auto _ : state) {
+    std::vector<CallHandle> handles;
+    handles.reserve(kInflight);
+    for (int i = 0; i < kInflight; ++i) {
+      handles.push_back(remote.async_call("Echo", vals(i)));
+    }
+    for (auto& h : handles) h.get();
+  }
+  state.SetItemsProcessed(state.iterations() * kInflight);
+}
+
+void BM_RemoteChannelSend(benchmark::State& state) {
+  net::Network network;
+  net::Node client(network, "client");
+  net::Node server(network, "server");
+
+  Object pump("Pump");
+  auto fill = pump.define_entry({.name = "Fill", .params = 2, .results = 0});
+  pump.implement(fill, [](BodyCtx& ctx) -> ValueList {
+    const auto n = ctx.param(0).as_int();
+    const ChannelRef out = ctx.param(1).as_channel();
+    for (std::int64_t i = 0; i < n; ++i) out->send(vals(i));
+    return {};
+  });
+  pump.start();
+  server.host(pump);
+  auto remote = client.remote(server.id(), "Pump");
+
+  constexpr std::int64_t kBatch = 64;
+  for (auto _ : state) {
+    ChannelRef reply = make_channel();
+    remote.call("Fill", vals(kBatch, reply));
+    for (std::int64_t i = 0; i < kBatch; ++i) {
+      benchmark::DoNotOptimize(reply->receive());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  pump.stop();
+}
+
+BENCHMARK(BM_LocalCall)->Unit(benchmark::kMicrosecond)->UseRealTime();
+BENCHMARK(BM_RpcSequential)
+    ->Arg(0)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+BENCHMARK(BM_RpcPipelined)
+    ->Arg(0)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_RemoteChannelSend)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

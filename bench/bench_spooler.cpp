@@ -1,0 +1,67 @@
+// E4 (§2.8.1): printer spooler with hidden params/results.
+//
+// Sweep the printer-pool size under a fixed job load. Expected shape: job
+// throughput scales with the pool until the pool exceeds the offered load;
+// the `printer_utilization_pct` counter shows the manager keeps printers
+// busy (allocation via hidden params costs it nothing but a deque op), and
+// `balance` shows jobs spread across the pool.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "apps/spooler.h"
+#include "bench_util.h"
+#include "support/rng.h"
+#include "support/stats.h"
+
+namespace {
+
+using namespace alps;
+
+void BM_Spooler_PrinterSweep(benchmark::State& state) {
+  const auto printers = static_cast<std::size_t>(state.range(0));
+  constexpr int kJobs = 120;
+  constexpr auto kPageTime = std::chrono::microseconds(300);
+  apps::PrinterSpooler spooler({.printers = printers,
+                                .print_max = 16,
+                                .page_time = kPageTime,
+                                .pool_workers = printers + 2});
+  double utilization = 0.0;
+  for (auto _ : state) {
+    support::Rng rng(11);
+    support::Stopwatch watch;
+    std::vector<CallHandle> handles;
+    std::int64_t total_pages = 0;
+    for (int j = 0; j < kJobs; ++j) {
+      const std::int64_t pages = rng.next_range(1, 4);
+      total_pages += pages;
+      handles.push_back(spooler.async_print("doc", pages));
+    }
+    for (auto& h : handles) h.get();
+    const double busy_secs =
+        std::chrono::duration<double>(kPageTime).count() *
+        static_cast<double>(total_pages);
+    utilization = 100.0 * busy_secs /
+                  (watch.elapsed_seconds() * static_cast<double>(printers));
+  }
+  const auto s = spooler.stats();
+  state.SetItemsProcessed(static_cast<std::int64_t>(s.jobs));
+  state.counters["printer_utilization_pct"] = utilization;
+  const auto minmax = std::minmax_element(s.jobs_per_printer.begin(),
+                                          s.jobs_per_printer.end());
+  state.counters["balance_min_jobs"] = static_cast<double>(*minmax.first);
+  state.counters["balance_max_jobs"] = static_cast<double>(*minmax.second);
+  state.counters["overlap_violation"] = s.printer_overlap ? 1.0 : 0.0;
+}
+
+BENCHMARK(BM_Spooler_PrinterSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

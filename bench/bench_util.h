@@ -1,0 +1,39 @@
+// Shared helpers for the experiment benches (see DESIGN.md §3 for the E*
+// mapping and EXPERIMENTS.md for recorded results).
+//
+// Environment note: this reproduction typically runs on a small container
+// (often a single hardware thread). Absolute throughput numbers are
+// time-sliced; the *shapes* — who wins, how ratios move along a sweep —
+// are the reproduction targets, because they are driven by blocking
+// structure, work savings and thread-count economics rather than core count.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace alps::benchutil {
+
+/// Runs `worker(thread_index)` on `n` threads and joins them all.
+inline void run_threads(int n, const std::function<void(int)>& worker) {
+  std::vector<std::jthread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back([&worker, i] { worker(i); });
+  }
+}
+
+/// Spins for roughly `us` microseconds of CPU work (not a sleep) — models
+/// service demand in the manager or a body.
+inline void busy_spin(std::chrono::microseconds us) {
+  const auto deadline = std::chrono::steady_clock::now() + us;
+  while (std::chrono::steady_clock::now() < deadline) {
+    benchmark::DoNotOptimize(deadline);
+  }
+}
+
+}  // namespace alps::benchutil

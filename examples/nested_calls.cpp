@@ -1,0 +1,115 @@
+// §2.3 nested calls: "two objects X and Y can be programmed without deadlock
+// such that an entry procedure P in X calls a procedure Q in Y which in turn
+// calls another entry R in X [...] Note that DP, Ada and SR suffer from the
+// nested calls problem."
+//
+// This example runs the X.P → Y.Q → X.R cycle twice:
+//   1. on ALPS objects — completes, because X's manager starts P
+//      asynchronously and is immediately ready to accept R;
+//   2. on Ada-style rendezvous tasks — deadlocks (detected by timeout),
+//      because X's server is synchronously stuck inside P.
+//
+//   $ example_nested_calls
+#include <cstdio>
+
+#include "baselines/rendezvous.h"
+#include "core/alps.h"
+
+namespace {
+
+bool run_alps() {
+  using namespace alps;
+
+  Object x("X", ObjectOptions{.model = sched::ProcessModel::kDynamic});
+  Object y("Y", ObjectOptions{.model = sched::ProcessModel::kDynamic});
+
+  EntryRef p = x.define_entry({.name = "P", .params = 0, .results = 1});
+  EntryRef r = x.define_entry({.name = "R", .params = 0, .results = 1});
+  EntryRef q = y.define_entry({.name = "Q", .params = 0, .results = 1});
+
+  x.implement(p, [&](BodyCtx&) -> ValueList {
+    // P calls out to Y.Q while X's manager keeps accepting.
+    return {Value(y.call(q, {})[0].as_int() + 1)};
+  });
+  x.implement(r, [&](BodyCtx&) -> ValueList { return {Value(100)}; });
+  y.implement(q, [&](BodyCtx&) -> ValueList {
+    // Q calls back into X.R — the re-entrant call of the deadlock pattern.
+    return {Value(x.call(r, {})[0].as_int() + 10)};
+  });
+
+  // Both managers start bodies asynchronously and return to their loops.
+  x.set_manager({intercept(p), intercept(r)}, [&](Manager& m) {
+    Select()
+        .on(accept_guard(p).then([&](Accepted a) { m.start(a); }))
+        .on(await_guard(p).then([&](Awaited w) { m.finish(w); }))
+        .on(accept_guard(r).then([&](Accepted a) { m.start(a); }))
+        .on(await_guard(r).then([&](Awaited w) { m.finish(w); }))
+        .loop(m);
+  });
+  y.set_manager({intercept(q)}, [&](Manager& m) {
+    Select()
+        .on(accept_guard(q).then([&](Accepted a) { m.start(a); }))
+        .on(await_guard(q).then([&](Awaited w) { m.finish(w); }))
+        .loop(m);
+  });
+  x.start();
+  y.start();
+
+  auto handle = x.async_call(p, {});
+  const bool completed = handle.wait_for(std::chrono::seconds(5));
+  long long result = 0;
+  if (completed) result = handle.get()[0].as_int();
+  std::printf("ALPS managers:       X.P -> Y.Q -> X.R %s (result=%lld)\n",
+              completed ? "completed" : "DEADLOCKED", result);
+  x.stop();
+  y.stop();
+  return completed && result == 111;
+}
+
+bool run_rendezvous() {
+  using alps::baselines::RendezvousTask;
+  RendezvousTask x("X"), y("Y");
+  auto p = x.add_entry("P");
+  auto r = x.add_entry("R");
+  auto q = y.add_entry("Q");
+  bool deadlocked = false;
+
+  y.start([&, q](RendezvousTask& t) {
+    while (t.accept(q, [&](const RendezvousTask::Params&) {
+      auto back = x.call_for(r, {}, std::chrono::milliseconds(500));
+      if (!back) {
+        deadlocked = true;
+        return RendezvousTask::Results{0};
+      }
+      return RendezvousTask::Results{(*back)[0] + 10};
+    })) {
+    }
+  });
+  x.start([&, p, r](RendezvousTask& t) {
+    while (t.select_accept({p, r},
+                           [&](std::size_t which, const RendezvousTask::Params&) {
+                             if (which == p) {
+                               auto out = y.call(q, {});
+                               return RendezvousTask::Results{out[0] + 1};
+                             }
+                             return RendezvousTask::Results{100};
+                           })
+               .has_value()) {
+    }
+  });
+
+  x.call(p, {});
+  std::printf("Ada-style rendezvous: X.P -> Y.Q -> X.R %s\n",
+              deadlocked ? "DEADLOCKED (as the paper predicts)" : "completed");
+  x.stop();
+  y.stop();
+  return deadlocked;
+}
+
+}  // namespace
+
+int main() {
+  const bool alps_ok = run_alps();
+  const bool rendezvous_deadlocks = run_rendezvous();
+  return (alps_ok && rendezvous_deadlocks) ? 0 : 1;
+}

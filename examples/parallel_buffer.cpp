@@ -1,0 +1,51 @@
+// §2.8.2 parallel bounded buffer: the manager hands each Deposit/Remove a
+// buffer-slot index as a hidden parameter, so the (long) message copies run
+// in parallel instead of in the manager's critical path.
+//
+//   $ example_parallel_buffer
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "apps/bounded_buffer.h"
+#include "apps/parallel_buffer.h"
+#include "support/stats.h"
+
+int main() {
+  using namespace alps;
+
+  const std::string message(1 << 16, 'x');  // a "potentially long message"
+  constexpr int kPerProducer = 100;
+  constexpr int kThreads = 4;
+
+  auto drive = [&](auto& buffer) {
+    support::Stopwatch watch;
+    std::vector<std::jthread> workers;
+    for (int p = 0; p < kThreads; ++p) {
+      workers.emplace_back([&] {
+        for (int i = 0; i < kPerProducer; ++i) buffer.deposit(Value(message));
+      });
+    }
+    for (int c = 0; c < kThreads; ++c) {
+      workers.emplace_back([&] {
+        for (int i = 0; i < kPerProducer; ++i) buffer.remove();
+      });
+    }
+    workers.clear();
+    return watch.elapsed_seconds();
+  };
+
+  apps::BoundedBuffer serial({.capacity = 16});
+  const double serial_secs = drive(serial);
+
+  apps::ParallelBoundedBuffer parallel(
+      {.capacity = 16, .producer_max = 4, .consumer_max = 4});
+  const double parallel_secs = drive(parallel);
+
+  const auto s = parallel.stats();
+  std::printf("serial buffer   (§2.4.1): %.3fs for %d msgs of %zu bytes\n",
+              serial_secs, kThreads * kPerProducer, message.size());
+  std::printf("parallel buffer (§2.8.2): %.3fs, peak concurrent copies = %d\n",
+              parallel_secs, s.max_concurrent_copies);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// An alarm-clock object — the classic scheduling exercise, solved the ALPS
+// way: WakeMe(t) is accepted only when the clock has reached t (an
+// acceptance condition over the intercepted parameter), and among due
+// requests the earliest deadline fires first (`pri` = t). Tick() advances
+// the clock; because ticking and waking flow through one manager, no
+// condition-variable dance is needed — the §2.4 guard machinery *is* the
+// scheduler.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/alps.h"
+
+namespace alps::apps {
+
+class AlarmClock {
+ public:
+  struct Options {
+    std::size_t sleeper_max = 16;  ///< hidden array size for WakeMe
+    sched::ProcessModel model = sched::ProcessModel::kPooled;
+    std::size_t pool_workers = 4;
+  };
+
+  AlarmClock() : AlarmClock(Options()) {}
+  explicit AlarmClock(Options options);
+  ~AlarmClock();
+
+  /// Blocks the caller until the clock reaches `deadline`; returns the
+  /// clock value at wake-up (>= deadline).
+  std::int64_t wake_me(std::int64_t deadline);
+  CallHandle async_wake_me(std::int64_t deadline);
+
+  /// Advances the clock by one tick and releases every due sleeper.
+  void tick();
+
+  std::int64_t now() const { return now_.load(std::memory_order_relaxed); }
+  std::size_t sleepers() const;
+  Object& object() { return obj_; }
+
+ private:
+  Options options_;
+  Object obj_;
+  EntryRef wake_, tick_;
+  std::atomic<std::int64_t> now_{0};
+};
+
+}  // namespace alps::apps

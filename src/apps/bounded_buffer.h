@@ -1,0 +1,48 @@
+// §2.4.1 — the paper's bounded buffer: Deposit/Remove intercepted by a
+// manager that accepts Deposit only while not full and Remove only while not
+// empty, executing each call in exclusion (`execute`). This is the
+// monitor-equivalent use of a manager (experiment E1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/alps.h"
+
+namespace alps::apps {
+
+class BoundedBuffer {
+ public:
+  struct Options {
+    std::size_t capacity = 8;
+    sched::ProcessModel model = sched::ProcessModel::kPooled;
+    std::size_t pool_workers = 2;
+  };
+
+  BoundedBuffer() : BoundedBuffer(Options()) {}
+  explicit BoundedBuffer(Options options);
+  ~BoundedBuffer();
+
+  /// Blocks while the buffer is full.
+  void deposit(Value message);
+
+  /// Blocks while the buffer is empty.
+  Value remove();
+
+  CallHandle async_deposit(Value message);
+  CallHandle async_remove();
+
+  std::size_t capacity() const { return options_.capacity; }
+  Object& object() { return obj_; }
+  EntryRef deposit_entry() const { return deposit_; }
+  EntryRef remove_entry() const { return remove_; }
+
+ private:
+  Options options_;
+  Object obj_;
+  EntryRef deposit_, remove_;
+  std::vector<Value> buf_;
+  std::size_t inptr_ = 0, outptr_ = 0;
+};
+
+}  // namespace alps::apps

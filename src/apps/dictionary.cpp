@@ -1,0 +1,89 @@
+#include "apps/dictionary.h"
+
+#include <thread>
+
+namespace alps::apps {
+
+Dictionary::Dictionary(std::vector<std::string> words, Options options)
+    : options_(options),
+      obj_("Dictionary", ObjectOptions{.model = options.model,
+                                       .pool_workers = options.pool_workers}) {
+  for (auto& w : words) db_.emplace(w, "meaning of " + w);
+
+  // --- definition: proc Search(String) returns (String) ---
+  search_ = obj_.define_entry({.name = "Search", .params = 1, .results = 1});
+
+  // --- implementation: Search[1..SearchMax] ---
+  obj_.implement(search_, ImplDecl{.array = options_.search_max},
+                 [this](BodyCtx& ctx) -> ValueList {
+                   ++executed_;
+                   if (options_.search_time.count() > 0) {
+                     std::this_thread::sleep_for(options_.search_time);
+                   }
+                   auto it = db_.find(ctx.param(0).as_string());
+                   return {Value(it == db_.end() ? std::string("?")
+                                                 : it->second)};
+                 });
+
+  // --- manager: intercepts Search(String; String) ---
+  obj_.set_manager(
+      {intercept(search_).params(1).results(1)}, [this](Manager& m) {
+        // Which word each running slot is searching, and the accepted
+        // requests waiting to be combined with it.
+        std::unordered_map<std::size_t, std::string> slot_word;
+        std::unordered_map<std::string, std::vector<Accepted>> piggybacked;
+        auto word_in_flight = [&](const std::string& w) {
+          for (const auto& [slot, word] : slot_word) {
+            if (word == w) return true;
+          }
+          return false;
+        };
+
+        Select()
+            .on(accept_guard(search_).then([&, this](Accepted a) {
+              ++requests_;
+              const std::string word = a.params[0].as_string();
+              if (options_.combining && word_in_flight(word)) {
+                // "record that Word is now being searched on behalf of
+                // Search[i]" — no start.
+                piggybacked[word].push_back(std::move(a));
+              } else {
+                slot_word[a.slot] = word;
+                m.start(a);
+              }
+            }))
+            .on(await_guard(search_).then([&, this](Awaited w) {
+              const std::string word = slot_word[w.slot];
+              slot_word.erase(w.slot);
+              const ValueList meaning = w.results;  // intercepted result
+              m.finish(w);
+              // Answer everyone who piggybacked on this search.
+              auto it = piggybacked.find(word);
+              if (it != piggybacked.end()) {
+                for (Accepted& rider : it->second) {
+                  ++combined_;
+                  m.combine_finish(rider, meaning);
+                }
+                piggybacked.erase(it);
+              }
+            }))
+            .loop(m);
+      });
+  obj_.start();
+}
+
+Dictionary::~Dictionary() { obj_.stop(); }
+
+std::string Dictionary::search(const std::string& word) {
+  return obj_.call(search_, vals(word))[0].as_string();
+}
+
+CallHandle Dictionary::async_search(const std::string& word) {
+  return obj_.async_call(search_, vals(word));
+}
+
+Dictionary::Stats Dictionary::stats() const {
+  return Stats{requests_.load(), executed_.load(), combined_.load()};
+}
+
+}  // namespace alps::apps

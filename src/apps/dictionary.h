@@ -1,0 +1,63 @@
+// §2.7.1 — the paper's dictionary database with request combining.
+//
+// Search is exported as one procedure, implemented as Search[1..SearchMax].
+// The manager intercepts both the parameter (the word) and the result (the
+// meaning). When a search for a word is already in flight, the manager does
+// NOT start another body; it records the request and, when the in-flight
+// search finishes, answers every combined request with `combine_finish` —
+// "a software adaptation of the memory combining used in the NYU
+// Ultracomputer" (§2.7). Experiment E3 measures the executed-searches
+// saving under a Zipf workload.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/alps.h"
+
+namespace alps::apps {
+
+class Dictionary {
+ public:
+  struct Options {
+    std::size_t search_max = 8;  ///< hidden array size (max parallel searches)
+    /// Simulated time for one dictionary search.
+    std::chrono::microseconds search_time{0};
+    /// Combining on/off (off = every request runs its own body; used as the
+    /// E3 baseline).
+    bool combining = true;
+    sched::ProcessModel model = sched::ProcessModel::kPooled;
+    std::size_t pool_workers = 8;
+  };
+
+  struct Stats {
+    std::uint64_t requests = 0;   ///< Search calls accepted
+    std::uint64_t executed = 0;   ///< bodies actually run
+    std::uint64_t combined = 0;   ///< requests answered by combining
+  };
+
+  /// The dictionary maps each of `words` to "meaning of <word>".
+  explicit Dictionary(std::vector<std::string> words)
+      : Dictionary(std::move(words), Options()) {}
+  Dictionary(std::vector<std::string> words, Options options);
+  ~Dictionary();
+
+  std::string search(const std::string& word);
+  CallHandle async_search(const std::string& word);
+
+  Stats stats() const;
+  Object& object() { return obj_; }
+
+ private:
+  Options options_;
+  Object obj_;
+  EntryRef search_;
+  std::unordered_map<std::string, std::string> db_;
+  std::atomic<std::uint64_t> requests_{0}, executed_{0}, combined_{0};
+};
+
+}  // namespace alps::apps

@@ -1,0 +1,78 @@
+// §2.5.1 — the paper's readers–writers database.
+//
+// Read is exported as a single procedure but implemented as a hidden
+// procedure array Read[1..ReadMax], so up to ReadMax readers execute
+// concurrently. The manager's acceptance conditions implement the paper's
+// starvation-freedom protocol:
+//
+//   - a read is accepted iff (#Write = 0 or a writer has just finished) and
+//     ReadCount < ReadMax;
+//   - a write is accepted iff ReadCount = 0 and (#Read = 0 or it is the
+//     writer's turn even though reads are pending).
+//
+// The WriterLast flag alternates the preference, so neither side starves.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/alps.h"
+
+namespace alps::apps {
+
+class ReadersWritersDb {
+ public:
+  struct Options {
+    std::size_t read_max = 4;
+    /// Simulated service time inside the body (0 = none).
+    std::chrono::microseconds read_time{0};
+    std::chrono::microseconds write_time{0};
+    sched::ProcessModel model = sched::ProcessModel::kPooled;
+    std::size_t pool_workers = 8;
+  };
+
+  struct Invariants {
+    /// Highest number of concurrently executing readers observed.
+    int max_concurrent_readers = 0;
+    /// True if a writer ever overlapped a reader or another writer.
+    bool exclusion_violated = false;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+  };
+
+  ReadersWritersDb() : ReadersWritersDb(Options()) {}
+  explicit ReadersWritersDb(Options options);
+  ~ReadersWritersDb();
+
+  /// Returns the value stored at `key` (0 if never written).
+  std::int64_t read(std::int64_t key);
+  void write(std::int64_t key, std::int64_t data);
+
+  CallHandle async_read(std::int64_t key);
+  CallHandle async_write(std::int64_t key, std::int64_t data);
+
+  Invariants invariants() const;
+  Object& object() { return obj_; }
+  EntryRef read_entry() const { return read_; }
+  EntryRef write_entry() const { return write_; }
+
+ private:
+  Options options_;
+  Object obj_;
+  EntryRef read_, write_;
+
+  // The database: readers access it concurrently (safe: reads don't mutate),
+  // writers exclusively — guaranteed by the manager, not by a lock.
+  std::unordered_map<std::int64_t, std::int64_t> table_;
+
+  // Invariant instrumentation (atomics: they are read from test threads).
+  std::atomic<int> readers_active_{0};
+  std::atomic<int> writers_active_{0};
+  std::atomic<int> max_readers_{0};
+  std::atomic<bool> violated_{false};
+  std::atomic<std::uint64_t> reads_{0}, writes_{0};
+};
+
+}  // namespace alps::apps

@@ -1,0 +1,59 @@
+// §2.8.1 — the paper's printer spooler: hidden parameters and results.
+//
+// Print(file) is exported with one parameter. The implementation declares a
+// hidden parameter (the printer number the manager assigns from its free
+// pool) and a hidden result (the same number handed back at termination, so
+// the manager needs no bookkeeping about which printer went to which call —
+// exactly the simplification §2.8.1 highlights).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/alps.h"
+
+namespace alps::apps {
+
+class PrinterSpooler {
+ public:
+  struct Options {
+    std::size_t printers = 3;
+    std::size_t print_max = 8;  ///< hidden array size (queued+active jobs)
+    /// Simulated time to print one page.
+    std::chrono::microseconds page_time{50};
+    sched::ProcessModel model = sched::ProcessModel::kPooled;
+    std::size_t pool_workers = 8;
+  };
+
+  struct Stats {
+    std::vector<std::uint64_t> jobs_per_printer;
+    bool printer_overlap = false;  ///< true if one printer ran 2 jobs at once
+    std::uint64_t jobs = 0;
+  };
+
+  PrinterSpooler() : PrinterSpooler(Options()) {}
+  explicit PrinterSpooler(Options options);
+  ~PrinterSpooler();
+
+  /// Prints `pages` pages of `file`; blocks until done.
+  void print(const std::string& file, std::int64_t pages);
+  CallHandle async_print(const std::string& file, std::int64_t pages);
+
+  Stats stats() const;
+  Object& object() { return obj_; }
+
+ private:
+  Options options_;
+  Object obj_;
+  EntryRef print_;
+  std::vector<std::unique_ptr<std::atomic<int>>> busy_;   // per printer
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> jobs_;
+  std::atomic<bool> overlap_{false};
+  std::atomic<std::uint64_t> total_jobs_{0};
+};
+
+}  // namespace alps::apps

@@ -1,0 +1,7 @@
+#include "baselines/monitor.h"
+
+// Monitor is header-only; this translation unit exists to give the library a
+// home for the type and to catch ODR/include breakage early.
+namespace alps::baselines {
+static_assert(sizeof(Monitor) > 0);
+}  // namespace alps::baselines

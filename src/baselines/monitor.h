@@ -1,0 +1,135 @@
+// Monitor baseline (Hoare [1] / Mesa-style), the abstraction the paper says
+// managers generalize (§1): mutual exclusion plus named condition (queue)
+// variables. Used by experiments E1 (bounded buffer) and E12, and by the
+// nested-call deadlock demonstration E6 (a monitor procedure calling out to
+// another monitor that calls back deadlocks; the ALPS manager does not).
+//
+// Semantics are Mesa ("signal-and-continue"): waiters re-check their
+// predicate on wakeup. This matches what practical monitor implementations
+// (and the paper's contemporaries) provide.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace alps::baselines {
+
+class Monitor {
+ public:
+  /// A named condition queue bound to its monitor's lock.
+  class Condition {
+   public:
+    explicit Condition(Monitor& owner) : owner_(&owner) {}
+
+    /// Must be called while inside the monitor; atomically releases the
+    /// monitor and blocks until signalled, then re-enters.
+    void wait(std::unique_lock<std::mutex>& lock) { cv_.wait(lock); }
+
+    template <class Pred>
+    void wait(std::unique_lock<std::mutex>& lock, Pred pred) {
+      cv_.wait(lock, std::move(pred));
+    }
+
+    void signal() { cv_.notify_one(); }
+    void broadcast() { cv_.notify_all(); }
+
+   private:
+    Monitor* owner_;
+    std::condition_variable cv_;
+  };
+
+  /// Enters the monitor (RAII).
+  std::unique_lock<std::mutex> enter() { return std::unique_lock(mu_); }
+
+  /// Runs `body` inside the monitor.
+  template <class F>
+  auto with(F body) -> decltype(body()) {
+    std::unique_lock lock(mu_);
+    return body();
+  }
+
+  std::mutex& mutex() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Classic monitor-based bounded buffer (E1 baseline).
+class MonitorBoundedBuffer {
+ public:
+  explicit MonitorBoundedBuffer(std::size_t capacity)
+      : capacity_(capacity), not_full_(monitor_), not_empty_(monitor_) {
+    buf_.resize(capacity);
+  }
+
+  void deposit(long long v) {
+    auto lock = monitor_.enter();
+    not_full_.wait(lock, [&] { return count_ < capacity_; });
+    buf_[in_] = v;
+    in_ = (in_ + 1) % capacity_;
+    ++count_;
+    not_empty_.signal();
+  }
+
+  long long remove() {
+    auto lock = monitor_.enter();
+    not_empty_.wait(lock, [&] { return count_ > 0; });
+    long long v = buf_[out_];
+    out_ = (out_ + 1) % capacity_;
+    --count_;
+    not_full_.signal();
+    return v;
+  }
+
+  std::size_t size() {
+    auto lock = monitor_.enter();
+    return count_;
+  }
+
+ private:
+  Monitor monitor_;
+  std::size_t capacity_;
+  Monitor::Condition not_full_;
+  Monitor::Condition not_empty_;
+  std::vector<long long> buf_;
+  std::size_t in_ = 0, out_ = 0, count_ = 0;
+};
+
+/// A monitor whose procedures may call out to user code *while holding the
+/// monitor lock* — the nested-monitor-call structure of [18] that the
+/// paper's asynchronous `start` avoids. Used by E6.
+class CalloutMonitor {
+ public:
+  /// Runs `body` inside the monitor; anything `body` calls runs with the
+  /// monitor held (the hazard).
+  void invoke(const std::function<void()>& body) {
+    std::scoped_lock lock(mu_);
+    body();
+  }
+
+  /// try_invoke with a deadline, so the deadlock demonstration can detect
+  /// rather than hang.
+  bool try_invoke_for(const std::function<void()>& body,
+                      std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mu_, std::defer_lock);
+    if (!lock.try_lock()) {
+      const auto deadline = std::chrono::steady_clock::now() + timeout;
+      while (!lock.try_lock()) {
+        if (std::chrono::steady_clock::now() > deadline) return false;
+        std::this_thread::yield();
+      }
+    }
+    body();
+    return true;
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+}  // namespace alps::baselines

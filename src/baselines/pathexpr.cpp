@@ -1,0 +1,391 @@
+#include "baselines/pathexpr.h"
+
+#include <cctype>
+#include <mutex>
+#include <set>
+
+#include "support/sync.h"
+
+namespace alps::baselines {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Token {
+  enum class Kind {
+    kPath,
+    kEnd,
+    kIdent,
+    kNumber,
+    kColon,
+    kSemi,
+    kPipe,
+    kLParen,
+    kRParen,
+    kLBrace,
+    kRBrace,
+    kEof,
+  };
+  Kind kind;
+  std::string text;
+  std::size_t number = 0;
+  std::size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Token next() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    const std::size_t start = pos_;
+    if (pos_ >= text_.size()) return {Token::Kind::kEof, "", 0, start};
+    const char c = text_[pos_];
+    switch (c) {
+      case ':': ++pos_; return {Token::Kind::kColon, ":", 0, start};
+      case ';':
+      case ',': ++pos_; return {Token::Kind::kSemi, ";", 0, start};
+      case '|': ++pos_; return {Token::Kind::kPipe, "|", 0, start};
+      case '(': ++pos_; return {Token::Kind::kLParen, "(", 0, start};
+      case ')': ++pos_; return {Token::Kind::kRParen, ")", 0, start};
+      case '{': ++pos_; return {Token::Kind::kLBrace, "{", 0, start};
+      case '}': ++pos_; return {Token::Kind::kRBrace, "}", 0, start};
+      default: break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t n = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        n = n * 10 + static_cast<std::size_t>(text_[pos_] - '0');
+        ++pos_;
+      }
+      return {Token::Kind::kNumber, text_.substr(start, pos_ - start), n, start};
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      std::string word = text_.substr(start, pos_ - start);
+      if (word == "path") return {Token::Kind::kPath, word, 0, start};
+      if (word == "end") return {Token::Kind::kEnd, word, 0, start};
+      return {Token::Kind::kIdent, word, 0, start};
+    }
+    throw PathSyntaxError(std::string("unexpected character '") + c + "'", start);
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Parser (recursive descent)
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lexer_(text) { advance(); }
+
+  std::unique_ptr<PathNode> parse() {
+    expect(Token::Kind::kPath, "expected 'path'");
+    auto expr = parse_seq();
+    expect(Token::Kind::kEnd, "expected 'end'");
+    if (cur_.kind != Token::Kind::kEof) {
+      throw PathSyntaxError("trailing input after 'end'", cur_.pos);
+    }
+    return expr;
+  }
+
+ private:
+  void advance() { cur_ = lexer_.next(); }
+
+  void expect(Token::Kind kind, const char* what) {
+    if (cur_.kind != kind) throw PathSyntaxError(what, cur_.pos);
+    advance();
+  }
+
+  std::unique_ptr<PathNode> parse_seq() {
+    auto first = parse_alt();
+    if (cur_.kind != Token::Kind::kSemi) return first;
+    auto node = std::make_unique<PathNode>();
+    node->kind = PathNode::Kind::kSeq;
+    node->children.push_back(std::move(first));
+    while (cur_.kind == Token::Kind::kSemi) {
+      advance();
+      node->children.push_back(parse_alt());
+    }
+    return node;
+  }
+
+  std::unique_ptr<PathNode> parse_alt() {
+    auto first = parse_factor();
+    if (cur_.kind != Token::Kind::kPipe) return first;
+    auto node = std::make_unique<PathNode>();
+    node->kind = PathNode::Kind::kAlt;
+    node->children.push_back(std::move(first));
+    while (cur_.kind == Token::Kind::kPipe) {
+      advance();
+      node->children.push_back(parse_factor());
+    }
+    return node;
+  }
+
+  std::unique_ptr<PathNode> parse_factor() {
+    switch (cur_.kind) {
+      case Token::Kind::kNumber: {
+        auto node = std::make_unique<PathNode>();
+        node->kind = PathNode::Kind::kRestrict;
+        node->bound = cur_.number;
+        if (node->bound == 0) {
+          throw PathSyntaxError("restriction bound must be >= 1", cur_.pos);
+        }
+        advance();
+        expect(Token::Kind::kColon, "expected ':' after restriction bound");
+        expect(Token::Kind::kLParen, "expected '(' after ':'");
+        node->child = parse_seq();
+        expect(Token::Kind::kRParen, "expected ')'");
+        return node;
+      }
+      case Token::Kind::kLBrace: {
+        advance();
+        auto node = std::make_unique<PathNode>();
+        node->kind = PathNode::Kind::kBurst;
+        node->child = parse_seq();
+        expect(Token::Kind::kRBrace, "expected '}'");
+        return node;
+      }
+      case Token::Kind::kLParen: {
+        advance();
+        auto inner = parse_seq();
+        expect(Token::Kind::kRParen, "expected ')'");
+        return inner;
+      }
+      case Token::Kind::kIdent: {
+        auto node = std::make_unique<PathNode>();
+        node->kind = PathNode::Kind::kName;
+        node->name = cur_.text;
+        advance();
+        return node;
+      }
+      default:
+        throw PathSyntaxError("expected an operation, restriction, burst or group",
+                              cur_.pos);
+    }
+  }
+
+  Lexer lexer_;
+  Token cur_;
+};
+
+}  // namespace
+
+std::unique_ptr<PathNode> parse_path(const std::string& text) {
+  return Parser(text).parse();
+}
+
+std::string to_string(const PathNode& node) {
+  switch (node.kind) {
+    case PathNode::Kind::kName: return node.name;
+    case PathNode::Kind::kSeq: {
+      std::string out;
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        if (i) out += "; ";
+        out += to_string(*node.children[i]);
+      }
+      return out;
+    }
+    case PathNode::Kind::kAlt: {
+      std::string out = "(";
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        if (i) out += " | ";
+        out += to_string(*node.children[i]);
+      }
+      return out + ")";
+    }
+    case PathNode::Kind::kRestrict:
+      return std::to_string(node.bound) + ":(" + to_string(*node.child) + ")";
+    case PathNode::Kind::kBurst:
+      return "{" + to_string(*node.child) + "}";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Compilation to prologue/epilogue action lists
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using Action = std::function<void()>;
+using Actions = std::vector<Action>;
+
+struct Crowd {
+  std::mutex mu;
+  std::size_t count = 0;
+};
+
+struct OpCode {
+  Actions prologue;
+  Actions epilogue;
+};
+
+struct CompileState {
+  std::unordered_map<std::string, OpCode>* ops;
+  std::vector<std::unique_ptr<support::Semaphore>>* sems;
+  std::vector<std::unique_ptr<Crowd>>* crowds;
+  std::set<std::string> seen;  // per-path uniqueness
+};
+
+void run_all(const Actions& actions) {
+  for (const auto& a : actions) a();
+}
+
+// Translates `node`, bracketing it with (pro, epi).
+void compile(const PathNode& node, Actions pro, Actions epi, CompileState& st) {
+  switch (node.kind) {
+    case PathNode::Kind::kName: {
+      if (!st.seen.insert(node.name).second) {
+        throw std::logic_error("operation '" + node.name +
+                               "' appears more than once in one path");
+      }
+      OpCode& op = (*st.ops)[node.name];
+      for (auto& a : pro) op.prologue.push_back(std::move(a));
+      for (auto& a : epi) op.epilogue.push_back(std::move(a));
+      return;
+    }
+    case PathNode::Kind::kSeq: {
+      // e1 ; e2 ; ... ; ek with connecting semaphores s1..s(k-1), all 0.
+      const std::size_t k = node.children.size();
+      std::vector<support::Semaphore*> links;
+      for (std::size_t i = 0; i + 1 < k; ++i) {
+        st.sems->push_back(std::make_unique<support::Semaphore>(0));
+        links.push_back(st.sems->back().get());
+      }
+      for (std::size_t i = 0; i < k; ++i) {
+        Actions child_pro;
+        Actions child_epi;
+        if (i == 0) {
+          child_pro = pro;  // outer bracket opens at the first element
+        } else {
+          support::Semaphore* s = links[i - 1];
+          child_pro.push_back([s] { s->acquire(); });
+        }
+        if (i + 1 == k) {
+          child_epi = epi;  // and closes at the last
+        } else {
+          support::Semaphore* s = links[i];
+          child_epi.push_back([s] { s->release(); });
+        }
+        compile(*node.children[i], std::move(child_pro), std::move(child_epi),
+                st);
+      }
+      return;
+    }
+    case PathNode::Kind::kAlt: {
+      // Each alternative inherits the full outer bracket.
+      for (const auto& child : node.children) {
+        compile(*child, pro, epi, st);
+      }
+      return;
+    }
+    case PathNode::Kind::kRestrict: {
+      st.sems->push_back(std::make_unique<support::Semaphore>(
+          static_cast<std::int64_t>(node.bound)));
+      support::Semaphore* s = st.sems->back().get();
+      Actions child_pro = std::move(pro);
+      child_pro.push_back([s] { s->acquire(); });
+      Actions child_epi;
+      child_epi.push_back([s] { s->release(); });
+      for (auto& a : epi) child_epi.push_back(std::move(a));
+      compile(*node.child, std::move(child_pro), std::move(child_epi), st);
+      return;
+    }
+    case PathNode::Kind::kBurst: {
+      // First activation in performs the outer prologue; last one out
+      // performs the outer epilogue (readers-crowd semantics).
+      st.crowds->push_back(std::make_unique<Crowd>());
+      Crowd* crowd = st.crowds->back().get();
+      auto outer_pro = std::make_shared<Actions>(std::move(pro));
+      auto outer_epi = std::make_shared<Actions>(std::move(epi));
+      Actions child_pro;
+      child_pro.push_back([crowd, outer_pro] {
+        std::scoped_lock lock(crowd->mu);
+        if (crowd->count++ == 0) run_all(*outer_pro);
+      });
+      Actions child_epi;
+      child_epi.push_back([crowd, outer_epi] {
+        std::scoped_lock lock(crowd->mu);
+        if (--crowd->count == 0) run_all(*outer_epi);
+      });
+      compile(*node.child, std::move(child_pro), std::move(child_epi), st);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+struct PathRuntime::Impl {
+  std::unordered_map<std::string, OpCode> ops;
+  std::vector<std::unique_ptr<support::Semaphore>> sems;
+  std::vector<std::unique_ptr<Crowd>> crowds;
+};
+
+PathRuntime::PathRuntime(const std::vector<std::string>& paths)
+    : impl_(std::make_unique<Impl>()) {
+  for (const auto& text : paths) {
+    auto ast = parse_path(text);
+    CompileState st{&impl_->ops, &impl_->sems, &impl_->crowds, {}};
+    compile(*ast, {}, {}, st);
+  }
+}
+
+PathRuntime::~PathRuntime() = default;
+
+void PathRuntime::enter(const std::string& op) {
+  auto it = impl_->ops.find(op);
+  if (it == impl_->ops.end()) {
+    throw std::logic_error("unknown path operation '" + op + "'");
+  }
+  run_all(it->second.prologue);
+}
+
+void PathRuntime::exit(const std::string& op) {
+  auto it = impl_->ops.find(op);
+  if (it == impl_->ops.end()) {
+    throw std::logic_error("unknown path operation '" + op + "'");
+  }
+  run_all(it->second.epilogue);
+}
+
+void PathRuntime::perform(const std::string& op,
+                          const std::function<void()>& fn) {
+  enter(op);
+  try {
+    fn();
+  } catch (...) {
+    exit(op);
+    throw;
+  }
+  exit(op);
+}
+
+std::vector<std::string> PathRuntime::operations() const {
+  std::vector<std::string> out;
+  out.reserve(impl_->ops.size());
+  for (const auto& [name, code] : impl_->ops) out.push_back(name);
+  return out;
+}
+
+bool PathRuntime::has_operation(const std::string& op) const {
+  return impl_->ops.count(op) > 0;
+}
+
+}  // namespace alps::baselines

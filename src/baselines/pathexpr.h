@@ -1,0 +1,112 @@
+// Open path expressions (Campbell & Habermann [4,5]) — baseline for E12.
+//
+// The paper: "In ALPS it is possible to design objects such that all entry
+// procedures of the object are sequential procedures and all scheduling is
+// implemented separately [...] first used in path expressions." To compare,
+// this module implements a small path-expression language and its classical
+// translation onto counting semaphores.
+//
+// Grammar (both ';' and ',' sequence; names must be unique within a path):
+//
+//   path      := "path" expr "end"
+//   expr      := term ((";" | ",") term)*          sequencing
+//   term      := alt
+//   alt       := factor ("|" factor)*              selection
+//   factor    := NUMBER ":" "(" expr ")"           restriction (≤ N active)
+//              | "{" expr "}"                      burst (crowd; first-in
+//                                                  runs the outer prologue,
+//                                                  last-out the epilogue)
+//              | "(" expr ")"
+//              | IDENT                             an operation name
+//
+// Semantics (the standard open-path translation):
+//   - sequencing e1 ; e2:  starts(e2) ≤ finishes(e1), via a 0-initialised
+//     semaphore V'd by e1's epilogue and P'd by e2's prologue;
+//   - restriction n:(e):   at most n activations of e concurrently, via an
+//     n-initialised semaphore bracketing e;
+//   - selection e1 | e2:   either alternative; both inherit the outer
+//     bracket;
+//   - burst {e}:           any number of concurrent activations; the first
+//     to enter performs the outer prologue, the last to leave performs the
+//     outer epilogue (this is how `path 1:({read} | write) end` yields
+//     readers–writers exclusion).
+//
+// Several paths can govern the same operations; an operation's prologue is
+// the concatenation of its prologues from every path that names it.
+//
+//   PathRuntime rt({"path 1:({read} | write) end"});
+//   rt.perform("read", [&] { ...read... });
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace alps::baselines {
+
+class PathSyntaxError : public std::runtime_error {
+ public:
+  PathSyntaxError(const std::string& what, std::size_t pos)
+      : std::runtime_error(what + " (at offset " + std::to_string(pos) + ")"),
+        pos_(pos) {}
+  std::size_t position() const { return pos_; }
+
+ private:
+  std::size_t pos_;
+};
+
+// ---- AST (exposed for tests) ----
+
+struct PathNode {
+  enum class Kind { kName, kSeq, kAlt, kRestrict, kBurst };
+  Kind kind;
+  std::string name;                                  // kName
+  std::vector<std::unique_ptr<PathNode>> children;   // kSeq/kAlt
+  std::unique_ptr<PathNode> child;                   // kRestrict/kBurst
+  std::size_t bound = 0;                             // kRestrict
+};
+
+/// Parses "path ... end"; throws PathSyntaxError.
+std::unique_ptr<PathNode> parse_path(const std::string& text);
+
+/// Renders the AST back to text (for tests and diagnostics).
+std::string to_string(const PathNode& node);
+
+// ---- runtime ----
+
+class PathRuntime {
+ public:
+  /// Compiles one or more path expressions over a shared operation
+  /// namespace. Throws PathSyntaxError on bad syntax and std::logic_error if
+  /// a name repeats within a single path.
+  explicit PathRuntime(const std::vector<std::string>& paths);
+  ~PathRuntime();
+
+  PathRuntime(const PathRuntime&) = delete;
+  PathRuntime& operator=(const PathRuntime&) = delete;
+
+  /// Runs the operation's prologue (may block until the path constraints
+  /// admit it).
+  void enter(const std::string& op);
+
+  /// Runs the operation's epilogue (never blocks).
+  void exit(const std::string& op);
+
+  /// enter(op); fn(); exit(op) — exception-safe.
+  void perform(const std::string& op, const std::function<void()>& fn);
+
+  /// All operation names mentioned by any path.
+  std::vector<std::string> operations() const;
+
+  bool has_operation(const std::string& op) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace alps::baselines

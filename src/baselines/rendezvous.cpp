@@ -1,0 +1,139 @@
+#include "baselines/rendezvous.h"
+
+#include <stdexcept>
+
+namespace alps::baselines {
+
+std::size_t RendezvousTask::add_entry(std::string entry_name) {
+  std::scoped_lock lock(mu_);
+  if (started_) throw std::logic_error("add_entry after start");
+  entry_names_.push_back(std::move(entry_name));
+  queues_.emplace_back();
+  return queues_.size() - 1;
+}
+
+void RendezvousTask::start(ServerFn server) {
+  {
+    std::scoped_lock lock(mu_);
+    if (started_) throw std::logic_error("task already started");
+    started_ = true;
+  }
+  server_ = std::jthread([this, server = std::move(server)] { server(*this); });
+}
+
+void RendezvousTask::stop() {
+  std::vector<PendingCall> orphans;
+  {
+    std::scoped_lock lock(mu_);
+    if (!started_ || stopping_) {
+      // Either never started or another stop already ran; the jthread dtor
+      // joins in any case.
+      stopping_ = true;
+    } else {
+      stopping_ = true;
+      for (auto& q : queues_) {
+        for (auto& call : q) orphans.push_back(std::move(call));
+        q.clear();
+      }
+    }
+  }
+  accept_cv_.notify_all();
+  for (auto& call : orphans) {
+    std::scoped_lock lock(call.state->mu);
+    call.state->failed = true;
+    call.state->done = true;
+    call.state->cv.notify_all();
+  }
+  if (server_.joinable() && server_.get_id() != std::this_thread::get_id()) {
+    server_.join();
+  }
+}
+
+RendezvousTask::Results RendezvousTask::call(std::size_t entry, Params params) {
+  auto result = call_for(entry, std::move(params), std::chrono::hours(24));
+  if (!result) throw std::runtime_error("rendezvous call failed: " + name_);
+  return *result;
+}
+
+std::optional<RendezvousTask::Results> RendezvousTask::call_for(
+    std::size_t entry, Params params, std::chrono::milliseconds timeout) {
+  auto state = std::make_shared<PendingCall::State>();
+  {
+    std::scoped_lock lock(mu_);
+    if (stopping_) return std::nullopt;
+    queues_[entry].push_back(PendingCall{std::move(params), state});
+  }
+  accept_cv_.notify_all();
+
+  std::unique_lock lock(state->mu);
+  if (!state->cv.wait_for(lock, timeout, [&] { return state->done; })) {
+    return std::nullopt;  // timed out (possible deadlock upstream)
+  }
+  if (state->failed) return std::nullopt;
+  return state->results;
+}
+
+bool RendezvousTask::accept(std::size_t entry, const Body& body) {
+  PendingCall call;
+  {
+    std::unique_lock lock(mu_);
+    accept_cv_.wait(lock, [&] { return !queues_[entry].empty() || stopping_; });
+    if (stopping_ && queues_[entry].empty()) return false;
+    call = std::move(queues_[entry].front());
+    queues_[entry].pop_front();
+  }
+  // The rendezvous: the body runs on the server thread; the caller stays
+  // blocked until it completes. This is the synchronous coupling that
+  // causes the nested-call deadlock.
+  Results results = body(call.params);
+  {
+    std::scoped_lock lock(call.state->mu);
+    call.state->results = std::move(results);
+    call.state->done = true;
+  }
+  call.state->cv.notify_all();
+  return true;
+}
+
+std::optional<std::size_t> RendezvousTask::select_accept(
+    const std::vector<std::size_t>& entries,
+    const std::function<Results(std::size_t, const Params&)>& body) {
+  PendingCall call;
+  std::size_t which = 0;
+  {
+    std::unique_lock lock(mu_);
+    accept_cv_.wait(lock, [&] {
+      if (stopping_) return true;
+      for (std::size_t e : entries) {
+        if (!queues_[e].empty()) return true;
+      }
+      return false;
+    });
+    bool found = false;
+    for (std::size_t e : entries) {
+      if (!queues_[e].empty()) {
+        which = e;
+        call = std::move(queues_[e].front());
+        queues_[e].pop_front();
+        found = true;
+        break;
+      }
+    }
+    if (!found) return std::nullopt;  // stopping with nothing pending
+  }
+  Results results = body(which, call.params);
+  {
+    std::scoped_lock lock(call.state->mu);
+    call.state->results = std::move(results);
+    call.state->done = true;
+  }
+  call.state->cv.notify_all();
+  return which;
+}
+
+std::size_t RendezvousTask::pending(std::size_t entry) const {
+  std::scoped_lock lock(mu_);
+  return queues_[entry].size();
+}
+
+}  // namespace alps::baselines

@@ -1,0 +1,100 @@
+// Ada-83-style rendezvous tasks (baseline for experiment E6).
+//
+// In Ada, DP and SR, a call to a task entry is *synchronous with the
+// server*: the caller blocks until the server accepts the entry AND executes
+// the rendezvous body to completion; while the body runs, the server can
+// accept nothing else. The paper (§2.3) points out the consequence: if an
+// entry body of X calls Y and Y calls back into another entry of X, the
+// system deadlocks ("Note that DP, Ada and SR suffer from the nested calls
+// problem"). The ALPS manager avoids this because `start` is asynchronous —
+// after starting P, the manager is free to accept R.
+//
+// This class reproduces exactly that synchronous semantics so the deadlock
+// is demonstrable (with timeouts, so the demonstration terminates).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace alps::baselines {
+
+class RendezvousTask {
+ public:
+  using Params = std::vector<long long>;
+  using Results = std::vector<long long>;
+  /// Rendezvous body: runs on the *server* thread while the caller waits.
+  using Body = std::function<Results(const Params&)>;
+  /// The task's server procedure (the sequence of accept statements).
+  using ServerFn = std::function<void(RendezvousTask&)>;
+
+  explicit RendezvousTask(std::string name) : name_(std::move(name)) {}
+  ~RendezvousTask() { stop(); }
+
+  /// Declares an entry; returns its index. Must precede start().
+  std::size_t add_entry(std::string entry_name);
+
+  void start(ServerFn server);
+
+  /// Stops the server: wakes blocked accepts (which return false) and fails
+  /// outstanding calls.
+  void stop();
+
+  // ---- caller side ----
+
+  /// Blocking entry call with rendezvous semantics. Throws on stop.
+  Results call(std::size_t entry, Params params);
+
+  /// Entry call with a timeout (Ada's timed entry call). nullopt on timeout
+  /// — which is how E6 detects the deadlock.
+  std::optional<Results> call_for(std::size_t entry, Params params,
+                                  std::chrono::milliseconds timeout);
+
+  // ---- server side (only from the server thread) ----
+
+  /// Blocks for a call to `entry`, runs `body` as the rendezvous, releases
+  /// the caller. Returns false when the task is stopping.
+  bool accept(std::size_t entry, const Body& body);
+
+  /// Ada selective wait: blocks until any listed entry has a pending call,
+  /// then rendezvouses with it. Returns the entry index, or nullopt on stop.
+  std::optional<std::size_t> select_accept(
+      const std::vector<std::size_t>& entries,
+      const std::function<Results(std::size_t, const Params&)>& body);
+
+  const std::string& name() const { return name_; }
+  std::size_t pending(std::size_t entry) const;
+
+ private:
+  struct PendingCall {
+    Params params;
+    // Completion state shared with the (possibly timed-out) caller.
+    struct State {
+      std::mutex mu;
+      std::condition_variable cv;
+      bool done = false;
+      bool failed = false;
+      Results results;
+    };
+    std::shared_ptr<State> state;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable accept_cv_;
+  std::vector<std::deque<PendingCall>> queues_;
+  std::vector<std::string> entry_names_;
+  std::string name_;
+  std::jthread server_;
+  bool started_ = false;
+  bool stopping_ = false;
+};
+
+}  // namespace alps::baselines

@@ -1,0 +1,5 @@
+#include "baselines/rw_locks.h"
+
+namespace alps::baselines {
+static_assert(sizeof(FairRwLock) > 0);
+}  // namespace alps::baselines

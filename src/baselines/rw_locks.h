@@ -1,0 +1,120 @@
+// Readers–writers lock baselines for experiment E2 (§2.5.1).
+//
+// The paper's manager-based solution admits up to ReadMax concurrent readers
+// and is starvation-free ("No reader or writer should be delayed
+// indefinitely"). To show what its WriterLast/#Read bookkeeping buys, we
+// compare against:
+//   - ReaderPreferenceRwLock: classic reader-preference; writers starve
+//     under sustained read load (the failure mode the ALPS program avoids).
+//   - FairRwLock: queue-fair (ticketed phases), no starvation; the behaviour
+//     the manager program achieves, expressed with raw mutex/cv instead — at
+//     the cost the paper complains about (the scheduling policy smeared
+//     across procedures instead of centralized in one manager).
+// Both support a ReadMax bound so the comparison is like-for-like.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <mutex>
+
+namespace alps::baselines {
+
+class ReaderPreferenceRwLock {
+ public:
+  explicit ReaderPreferenceRwLock(
+      std::size_t read_max = std::numeric_limits<std::size_t>::max())
+      : read_max_(read_max) {}
+
+  void lock_read() {
+    std::unique_lock lock(mu_);
+    // Readers barge ahead of waiting writers — that is the point.
+    read_ok_.wait(lock, [&] { return !writer_active_ && readers_ < read_max_; });
+    ++readers_;
+  }
+
+  void unlock_read() {
+    std::unique_lock lock(mu_);
+    if (--readers_ == 0) write_ok_.notify_one();
+    read_ok_.notify_all();
+  }
+
+  void lock_write() {
+    std::unique_lock lock(mu_);
+    write_ok_.wait(lock, [&] { return !writer_active_ && readers_ == 0; });
+    writer_active_ = true;
+  }
+
+  void unlock_write() {
+    std::unique_lock lock(mu_);
+    writer_active_ = false;
+    // Readers first — hence starvation.
+    read_ok_.notify_all();
+    write_ok_.notify_one();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable read_ok_, write_ok_;
+  std::size_t readers_ = 0;
+  std::size_t read_max_;
+  bool writer_active_ = false;
+};
+
+/// Ticketed fair lock: requests are served in arrival order (consecutive
+/// reads coalesce into a batch bounded by read_max).
+class FairRwLock {
+ public:
+  explicit FairRwLock(
+      std::size_t read_max = std::numeric_limits<std::size_t>::max())
+      : read_max_(read_max) {}
+
+  void lock_read() {
+    std::unique_lock lock(mu_);
+    const std::uint64_t my_ticket = next_ticket_++;
+    cv_.wait(lock, [&] {
+      // Earlier readers coalesce with us; an earlier *waiting writer*
+      // blocks us (that is what makes the lock fair).
+      return !writer_active_ && readers_ < read_max_ &&
+             (waiting_writers_.empty() || waiting_writers_.front() > my_ticket);
+    });
+    ++readers_;
+  }
+
+  void unlock_read() {
+    std::unique_lock lock(mu_);
+    --readers_;
+    cv_.notify_all();
+  }
+
+  void lock_write() {
+    std::unique_lock lock(mu_);
+    const std::uint64_t my_ticket = next_ticket_++;
+    waiting_writers_.push_back(my_ticket);  // tickets increase: stays sorted
+    cv_.wait(lock, [&] {
+      return !writer_active_ && readers_ == 0 &&
+             waiting_writers_.front() == my_ticket;
+    });
+    waiting_writers_.pop_front();
+    writer_active_ = true;
+  }
+
+  void unlock_write() {
+    std::unique_lock lock(mu_);
+    writer_active_ = false;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t next_ticket_ = 0;
+  std::deque<std::uint64_t> waiting_writers_;
+  std::size_t readers_ = 0;
+  std::size_t read_max_;
+  bool writer_active_ = false;
+};
+
+}  // namespace alps::baselines

@@ -1,0 +1,68 @@
+#include "baselines/serializer.h"
+
+namespace alps::baselines {
+
+void Serializer::enqueue(Queue& q, const std::function<bool()>& guarantee) {
+  std::unique_lock lock(mu_);
+  const std::uint64_t ticket = next_ticket_++;
+  q.waiters_.push_back(ticket);
+  cv_.wait(lock, [&] {
+    return !q.waiters_.empty() && q.waiters_.front() == ticket && guarantee();
+  });
+  q.waiters_.pop_front();
+  // Head changed: successors re-test their guarantees.
+  cv_.notify_all();
+}
+
+void Serializer::join_crowd(Crowd& crowd, const std::function<void()>& body) {
+  {
+    std::scoped_lock lock(mu_);
+    crowd.count_.fetch_add(1, std::memory_order_release);
+  }
+  cv_.notify_all();
+  body();  // serializer released while in the crowd
+  {
+    std::scoped_lock lock(mu_);
+    crowd.count_.fetch_sub(1, std::memory_order_release);
+  }
+  cv_.notify_all();
+}
+
+void Serializer::enqueue_then_join(Queue& q,
+                                   const std::function<bool()>& guarantee,
+                                   Crowd& crowd,
+                                   const std::function<void()>& body) {
+  {
+    std::unique_lock lock(mu_);
+    const std::uint64_t ticket = next_ticket_++;
+    q.waiters_.push_back(ticket);
+    cv_.wait(lock, [&] {
+      return !q.waiters_.empty() && q.waiters_.front() == ticket && guarantee();
+    });
+    q.waiters_.pop_front();
+    crowd.count_.fetch_add(1, std::memory_order_release);
+  }
+  cv_.notify_all();
+  body();  // serializer released while in the crowd
+  {
+    std::scoped_lock lock(mu_);
+    crowd.count_.fetch_sub(1, std::memory_order_release);
+  }
+  cv_.notify_all();
+}
+
+void SerializerRwResource::read(const std::function<void()>& body) {
+  s_.enqueue_then_join(
+      readq_,
+      [&] { return writers_.size() == 0 && readers_.size() < read_max_; },
+      readers_, body);
+}
+
+void SerializerRwResource::write(const std::function<void()>& body) {
+  s_.enqueue_then_join(
+      writeq_,
+      [&] { return writers_.size() == 0 && readers_.size() == 0; },
+      writers_, body);
+}
+
+}  // namespace alps::baselines

@@ -1,0 +1,133 @@
+// Serializer baseline (Atkinson & Hewitt [3]).
+//
+// The paper positions the ALPS object/manager as subsuming the serializer:
+// "The manager can be programmed to allow multiple users to access the
+// resource simultaneously — a facility sought in the design of the
+// serializer mechanism."
+//
+// A serializer is a monitor-like construct whose possession can be released
+// while a process is in a *crowd* executing a long operation, and reacquired
+// afterwards. Operations have the shape:
+//
+//   enqueue(q, guarantee); join_crowd(c) { body } ; leave
+//
+// - enqueue: wait (in FIFO queue q) until the guarantee predicate holds,
+//   holding the serializer lock only while testing.
+// - join_crowd: enter crowd c, release the serializer, run body, reacquire,
+//   leave the crowd.
+//
+// Experiment E12 runs readers–writers over this, the ALPS manager, and the
+// path-expression runtime to show all three enforce the same invariant.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+namespace alps::baselines {
+
+class Serializer {
+ public:
+  /// A FIFO queue inside the serializer. Waiters block in arrival order;
+  /// the head waiter proceeds only when its guarantee holds.
+  class Queue {
+   public:
+    explicit Queue(Serializer& owner) : owner_(&owner) {}
+
+   private:
+    friend class Serializer;
+    Serializer* owner_;
+    std::deque<std::uint64_t> waiters_;  // ticket numbers, FIFO
+  };
+
+  /// A crowd: a set of processes currently executing a (possibly long)
+  /// operation outside serializer possession.
+  class Crowd {
+   public:
+    explicit Crowd(Serializer& owner) : owner_(&owner) {}
+
+    /// Lock-free read: exact when evaluated inside a guarantee (the
+    /// serializer lock is held there), a snapshot otherwise.
+    std::size_t size() const { return count_.load(std::memory_order_acquire); }
+
+   private:
+    friend class Serializer;
+    Serializer* owner_;
+    std::atomic<std::size_t> count_{0};
+  };
+
+  /// Blocks in `q` until `guarantee()` holds with this waiter at the head.
+  /// The guarantee is evaluated with the serializer lock held.
+  void enqueue(Queue& q, const std::function<bool()>& guarantee);
+
+  /// Number of waiters currently blocked in `q`.
+  std::size_t queue_length(const Queue& q) const {
+    std::scoped_lock lock(mu_);
+    return q.waiters_.size();
+  }
+
+  /// Joins `crowd`, releases the serializer while running `body`, rejoins
+  /// and leaves the crowd. State changes are re-broadcast so queued waiters
+  /// re-test their guarantees.
+  void join_crowd(Crowd& crowd, const std::function<void()>& body);
+
+  /// Atomic enqueue + crowd join: the crowd membership is established in
+  /// the same serializer-possession interval in which the guarantee passed,
+  /// so a guarantee like `crowd.size() < max` cannot be over-admitted by
+  /// waiters racing through between the two steps.
+  void enqueue_then_join(Queue& q, const std::function<bool()>& guarantee,
+                         Crowd& crowd, const std::function<void()>& body);
+
+  /// Runs `fn` holding the serializer (for state updates between phases).
+  template <class F>
+  auto with(F fn) -> decltype(fn()) {
+    std::scoped_lock lock(mu_);
+    auto result = fn();
+    cv_.notify_all();
+    return result;
+  }
+
+  void with_void(const std::function<void()>& fn) {
+    {
+      std::scoped_lock lock(mu_);
+      fn();
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  friend class Crowd;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t next_ticket_ = 0;
+};
+
+/// Readers–writers over a serializer, as in Atkinson & Hewitt's motivating
+/// example: readers join a crowd (concurrent), writers require an empty
+/// crowd and exclusive access.
+class SerializerRwResource {
+ public:
+  explicit SerializerRwResource(std::size_t read_max)
+      : read_max_(read_max), readq_(s_), writeq_(s_), readers_(s_),
+        writers_(s_) {}
+
+  /// `body` runs concurrently with other readers (up to read_max).
+  void read(const std::function<void()>& body);
+
+  /// `body` runs exclusively.
+  void write(const std::function<void()>& body);
+
+ private:
+  std::size_t read_max_;
+  Serializer s_;
+  Serializer::Queue readq_;
+  Serializer::Queue writeq_;
+  Serializer::Crowd readers_;
+  Serializer::Crowd writers_;
+};
+
+}  // namespace alps::baselines

@@ -1,0 +1,27 @@
+// Umbrella header for the ALPS runtime library.
+//
+// Quick tour (see README.md for the full story):
+//
+//   alps::Object          an object: shared data + entry procedures (§2.2)
+//   Object::define_entry  the definition part users see
+//   Object::implement     the implementation part (hidden arrays, §2.5)
+//   Object::set_manager   the manager process + intercepts clause (§2.3)
+//   alps::Manager         accept / start / await / finish / execute,
+//                         combining (§2.7), hidden params/results (§2.8)
+//   alps::Select          nondeterministic select & loop with acceptance
+//                         conditions and run-time priorities (§2.4)
+//   alps::make_channel    asynchronous point-to-point channels (§2.1.2)
+//   alps::par / par_for   structured parallel execution (§2.1.1)
+//   alps::typed::*        statically typed façade over the kernel
+#pragma once
+
+#include "core/call.h"
+#include "core/channel.h"
+#include "core/entry.h"
+#include "core/error.h"
+#include "core/manager.h"
+#include "core/object.h"
+#include "core/par.h"
+#include "core/select.h"
+#include "core/typed.h"
+#include "core/value.h"

@@ -1,0 +1,146 @@
+// Call records and completion futures.
+//
+// Every invocation of an entry procedure creates a CallRecord carrying the
+// full caller-supplied parameter list and a shared CallState that the caller
+// holds as a CallHandle. The kernel completes the state exactly once — with
+// results at `finish` (or immediately for non-intercepted entries), or with
+// an error if the body threw or the object stopped.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "core/error.h"
+#include "core/value.h"
+
+namespace alps {
+
+class CallState {
+ public:
+  /// Completes with results. First completion wins; later ones are ignored
+  /// (the kernel never double-completes, but shutdown races are tolerated).
+  void complete(ValueList results) {
+    std::function<void(CallState&)> cb;
+    {
+      std::scoped_lock lock(mu_);
+      if (done_) return;
+      results_ = std::move(results);
+      done_ = true;
+      cb = std::move(on_complete_);
+    }
+    cv_.notify_all();
+    if (cb) cb(*this);
+  }
+
+  void fail(std::exception_ptr error) {
+    std::function<void(CallState&)> cb;
+    {
+      std::scoped_lock lock(mu_);
+      if (done_) return;
+      error_ = std::move(error);
+      done_ = true;
+      cb = std::move(on_complete_);
+    }
+    cv_.notify_all();
+    if (cb) cb(*this);
+  }
+
+  void fail(ErrorCode code, const std::string& what) {
+    fail(std::make_exception_ptr(Error(code, what)));
+  }
+
+  bool ready() const {
+    std::scoped_lock lock(mu_);
+    return done_;
+  }
+
+  void wait() const {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return done_; });
+  }
+
+  template <class Rep, class Period>
+  bool wait_for(std::chrono::duration<Rep, Period> timeout) const {
+    std::unique_lock lock(mu_);
+    return cv_.wait_for(lock, timeout, [&] { return done_; });
+  }
+
+  /// Waits and returns the results, rethrowing any stored error.
+  ValueList get() {
+    wait();
+    std::scoped_lock lock(mu_);
+    if (error_) std::rethrow_exception(error_);
+    return results_;
+  }
+
+  /// True iff completed with an error.
+  bool failed() const {
+    std::scoped_lock lock(mu_);
+    return done_ && error_ != nullptr;
+  }
+
+  /// Registers a completion callback invoked exactly once, on the completing
+  /// thread (or immediately if already done). Used by the RPC layer to send
+  /// the response frame without dedicating a thread per in-flight call.
+  void on_complete(std::function<void(CallState&)> cb) {
+    bool run_now = false;
+    {
+      std::scoped_lock lock(mu_);
+      if (done_) {
+        run_now = true;
+      } else {
+        on_complete_ = std::move(cb);
+      }
+    }
+    if (run_now) cb(*this);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  ValueList results_;
+  std::exception_ptr error_;
+  std::function<void(CallState&)> on_complete_;
+  bool done_ = false;
+};
+
+/// The caller's side of an invocation (a lightweight shared future).
+class CallHandle {
+ public:
+  CallHandle() = default;
+  explicit CallHandle(std::shared_ptr<CallState> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const { return state_ != nullptr; }
+  bool ready() const { return state_ && state_->ready(); }
+  void wait() const { state_->wait(); }
+
+  template <class Rep, class Period>
+  bool wait_for(std::chrono::duration<Rep, Period> timeout) const {
+    return state_->wait_for(timeout);
+  }
+
+  /// Blocks for the results; rethrows the call's error if it failed.
+  ValueList get() { return state_->get(); }
+
+  std::shared_ptr<CallState> state() const { return state_; }
+
+ private:
+  std::shared_ptr<CallState> state_;
+};
+
+/// Kernel-internal record of one invocation.
+struct CallRecord {
+  ValueList params;  // full caller-supplied parameter list
+  std::shared_ptr<CallState> state;
+  std::chrono::steady_clock::time_point arrived;
+  std::uint64_t id = 0;  // per-object unique id (tracing)
+};
+
+}  // namespace alps

@@ -1,0 +1,145 @@
+#include "core/channel.h"
+
+#include <atomic>
+
+#include "core/error.h"
+
+namespace alps {
+
+namespace {
+std::atomic<std::uint64_t> g_next_channel_id{1};
+}
+
+ChannelCore::ChannelCore(std::string name)
+    : name_(std::move(name)),
+      id_(g_next_channel_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+bool ChannelCore::send(ValueList message) {
+  std::function<bool(ValueList)> forward;
+  {
+    std::scoped_lock lock(mu_);
+    if (closed_) return false;
+    if (forward_) {
+      forward = forward_;  // forward outside the lock
+    } else {
+      messages_.push_back(std::move(message));
+    }
+  }
+  if (forward) return forward(std::move(message));
+  cv_.notify_one();
+  notify_observers();
+  return true;
+}
+
+ValueList ChannelCore::receive() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return !messages_.empty() || closed_; });
+  if (messages_.empty()) {
+    raise(ErrorCode::kChannelClosed, "receive on closed channel " + name_);
+  }
+  ValueList msg = std::move(messages_.front());
+  messages_.pop_front();
+  return msg;
+}
+
+std::optional<ValueList> ChannelCore::try_receive() {
+  std::scoped_lock lock(mu_);
+  if (messages_.empty()) return std::nullopt;
+  ValueList msg = std::move(messages_.front());
+  messages_.pop_front();
+  return msg;
+}
+
+std::optional<ValueList> ChannelCore::receive_for(
+    std::chrono::nanoseconds timeout) {
+  std::unique_lock lock(mu_);
+  if (!cv_.wait_for(lock, timeout,
+                    [&] { return !messages_.empty() || closed_; })) {
+    return std::nullopt;
+  }
+  if (messages_.empty()) return std::nullopt;
+  ValueList msg = std::move(messages_.front());
+  messages_.pop_front();
+  return msg;
+}
+
+bool ChannelCore::peek_front(
+    const std::function<void(const ValueList&)>& fn) const {
+  std::scoped_lock lock(mu_);
+  if (messages_.empty()) return false;
+  fn(messages_.front());
+  return true;
+}
+
+std::optional<ValueList> ChannelCore::take_front_if(
+    const std::function<bool(const ValueList&)>& fn) {
+  std::scoped_lock lock(mu_);
+  if (messages_.empty() || !fn(messages_.front())) return std::nullopt;
+  ValueList msg = std::move(messages_.front());
+  messages_.pop_front();
+  return msg;
+}
+
+void ChannelCore::close() {
+  {
+    std::scoped_lock lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+  notify_observers();
+}
+
+bool ChannelCore::closed() const {
+  std::scoped_lock lock(mu_);
+  return closed_;
+}
+
+std::size_t ChannelCore::size() const {
+  std::scoped_lock lock(mu_);
+  return messages_.size();
+}
+
+ChannelCore::ObserverToken ChannelCore::add_observer(std::function<void()> fn) {
+  std::scoped_lock lock(mu_);
+  const ObserverToken token = next_token_++;
+  observers_.emplace_back(token, std::move(fn));
+  return token;
+}
+
+void ChannelCore::remove_observer(ObserverToken token) {
+  std::scoped_lock lock(mu_);
+  for (auto it = observers_.begin(); it != observers_.end(); ++it) {
+    if (it->first == token) {
+      observers_.erase(it);
+      return;
+    }
+  }
+}
+
+void ChannelCore::set_forward(std::function<bool(ValueList)> forward) {
+  std::scoped_lock lock(mu_);
+  forward_ = std::move(forward);
+}
+
+bool ChannelCore::is_remote_proxy() const {
+  std::scoped_lock lock(mu_);
+  return static_cast<bool>(forward_);
+}
+
+void ChannelCore::notify_observers() {
+  // Copy under the lock, invoke outside it: observers take other locks
+  // (e.g. the owning object's kernel lock) and must not nest inside ours.
+  std::vector<std::function<void()>> snapshot;
+  {
+    std::scoped_lock lock(mu_);
+    snapshot.reserve(observers_.size());
+    for (auto& [token, fn] : observers_) snapshot.push_back(fn);
+  }
+  for (auto& fn : snapshot) fn();
+}
+
+ChannelRef make_channel(std::string name) {
+  return std::make_shared<ChannelCore>(std::move(name));
+}
+
+}  // namespace alps

@@ -1,0 +1,102 @@
+// Asynchronous point-to-point channels (paper §2.1.2).
+//
+// `send` buffers the message and never blocks the sender; `receive` blocks
+// until a message is available. Channels carry ValueLists (a message is a
+// tuple of values, matching `chan(T1, ..., Tn)`), can be stored in Values,
+// composed into data structures, passed as parameters and in messages.
+//
+// Guard integration: a manager's select statement may wait on `receive C`
+// guards. The selector registers an observer which the channel invokes
+// (outside the channel lock) whenever a message arrives or the channel
+// closes, so selection is event-driven rather than polled.
+//
+// Distribution integration: when a channel reference crosses the simulated
+// network (src/net), the receiving node materializes a channel whose
+// `forward` hook routes sends back to the home node. The hook replaces local
+// enqueueing entirely.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/value.h"
+
+namespace alps {
+
+class ChannelCore {
+ public:
+  explicit ChannelCore(std::string name = "");
+
+  ChannelCore(const ChannelCore&) = delete;
+  ChannelCore& operator=(const ChannelCore&) = delete;
+
+  /// Asynchronous send: buffers and returns (or forwards, for remote
+  /// channels). Returns false if the channel is closed.
+  bool send(ValueList message);
+
+  /// Blocking receive; throws Error(kChannelClosed) once closed and drained.
+  ValueList receive();
+
+  std::optional<ValueList> try_receive();
+
+  std::optional<ValueList> receive_for(std::chrono::nanoseconds timeout);
+
+  /// Applies `fn` to the front message without consuming it (used by select
+  /// guards to evaluate acceptance conditions on the tentatively received
+  /// message). Returns false if the channel is empty.
+  bool peek_front(const std::function<void(const ValueList&)>& fn) const;
+
+  /// Consumes the front message only if `fn` approves it; used by the
+  /// selector's commit step to revalidate after winning the selection.
+  std::optional<ValueList> take_front_if(
+      const std::function<bool(const ValueList&)>& fn);
+
+  void close();
+  bool closed() const;
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  const std::string& name() const { return name_; }
+
+  /// Globally unique id (used by the wire codec to name channels).
+  std::uint64_t id() const { return id_; }
+
+  // ---- observer hooks (selector / network integration) ----
+
+  using ObserverToken = std::uint64_t;
+  /// `fn` is invoked after every send/close, outside the channel lock.
+  ObserverToken add_observer(std::function<void()> fn);
+  void remove_observer(ObserverToken token);
+
+  /// Installs a forwarding hook; subsequent sends invoke it instead of
+  /// enqueueing locally. Used for remote channel proxies.
+  void set_forward(std::function<bool(ValueList)> forward);
+  bool is_remote_proxy() const;
+
+ private:
+  void notify_observers();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<ValueList> messages_;
+  bool closed_ = false;
+  std::string name_;
+  std::uint64_t id_;
+  std::function<bool(ValueList)> forward_;
+  std::vector<std::pair<ObserverToken, std::function<void()>>> observers_;
+  ObserverToken next_token_ = 1;
+};
+
+/// Creates a fresh channel. `name` is for diagnostics only.
+ChannelRef make_channel(std::string name = "");
+
+}  // namespace alps

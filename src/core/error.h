@@ -1,0 +1,58 @@
+// Error taxonomy for the ALPS kernel.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace alps {
+
+enum class ErrorCode {
+  kTypeMismatch,       ///< Value accessed as the wrong kind
+  kArityMismatch,      ///< wrong number of params/results supplied
+  kNoSuchEntry,        ///< entry name not found on an object
+  kNotExported,        ///< external call to a local (non-exported) procedure
+  kProtocolViolation,  ///< manager primitive used out of lifecycle order
+  kObjectStopped,      ///< object stopped while the call was outstanding
+  kNoEligibleGuard,    ///< select with no eligible and no waitable guard
+  kChannelClosed,      ///< receive on a closed, drained channel
+  kBodyFailed,         ///< entry body raised an exception
+  kNetwork,            ///< simulated-network failure
+  kBadMessage,         ///< undecodable wire frame
+};
+
+const char* to_string(ErrorCode code);
+
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, const std::string& what)
+      : std::runtime_error(std::string(to_string(code)) + ": " + what),
+        code_(code) {}
+
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+[[noreturn]] inline void raise(ErrorCode code, const std::string& what) {
+  throw Error(code, what);
+}
+
+inline const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kTypeMismatch: return "type mismatch";
+    case ErrorCode::kArityMismatch: return "arity mismatch";
+    case ErrorCode::kNoSuchEntry: return "no such entry";
+    case ErrorCode::kNotExported: return "entry not exported";
+    case ErrorCode::kProtocolViolation: return "protocol violation";
+    case ErrorCode::kObjectStopped: return "object stopped";
+    case ErrorCode::kNoEligibleGuard: return "no eligible guard";
+    case ErrorCode::kChannelClosed: return "channel closed";
+    case ErrorCode::kBodyFailed: return "body failed";
+    case ErrorCode::kNetwork: return "network error";
+    case ErrorCode::kBadMessage: return "bad message";
+  }
+  return "unknown error";
+}
+
+}  // namespace alps

@@ -1,0 +1,351 @@
+#include "core/manager.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+#include "core/object.h"
+
+namespace alps {
+
+namespace {
+
+/// Removes `value` from a deque of slot indices (present at most once).
+void erase_index(std::deque<std::size_t>& dq, std::size_t value) {
+  auto it = std::find(dq.begin(), dq.end(), value);
+  if (it != dq.end()) dq.erase(it);
+}
+
+}  // namespace
+
+void Manager::check_stop() const {
+  if (obj_->stop_source_.stop_requested()) {
+    raise(ErrorCode::kObjectStopped, "object " + obj_->name() + " stopping");
+  }
+}
+
+void Manager::assert_manager_thread(const char* op) const {
+  // The manager is a single CSP-like process; its primitives are not
+  // thread-safe against each other by design, so misuse is caught early.
+  std::scoped_lock lock(obj_->mu_);
+  if (obj_->manager_thread_id_ != std::this_thread::get_id()) {
+    raise(ErrorCode::kProtocolViolation,
+          std::string(op) + " called off the manager thread of object " +
+              obj_->name());
+  }
+}
+
+bool Manager::stop_requested() const {
+  return obj_->stop_source_.stop_requested();
+}
+
+std::stop_token Manager::stop_token() const {
+  return obj_->stop_source_.get_token();
+}
+
+std::size_t Manager::pending(EntryRef entry) const {
+  return obj_->pending(entry);
+}
+
+Accepted Manager::accept(EntryRef entry) {
+  assert_manager_thread("accept");
+  Object::EntryCore& e = obj_->core_checked(entry, "accept");
+  if (!e.intercepted) {
+    raise(ErrorCode::kProtocolViolation,
+          "accept on non-intercepted entry " + e.decl.name);
+  }
+  std::unique_lock lock(obj_->mu_);
+  obj_->mgr_cv_.wait(lock, [&] {
+    return !e.attached.empty() || obj_->stop_source_.stop_requested();
+  });
+  check_stop();
+
+  const std::size_t slot_idx = e.attached.front();
+  e.attached.pop_front();
+  Object::Slot& s = e.slots[slot_idx];
+  s.state = Object::SlotState::kAccepted;
+  ++e.accepts;
+  obj_->update_pending_locked(e);
+  obj_->trace(e, s.call->id, slot_idx, CallPhase::kAccepted);
+  Accepted a;
+  a.entry = entry.index();
+  a.slot = slot_idx;
+  a.params.assign(s.call->params.begin(),
+                  s.call->params.begin() +
+                      static_cast<std::ptrdiff_t>(e.icept_params));
+  return a;
+}
+
+std::optional<Accepted> Manager::try_accept(EntryRef entry) {
+  assert_manager_thread("try_accept");
+  Object::EntryCore& e = obj_->core_checked(entry, "try_accept");
+  std::scoped_lock lock(obj_->mu_);
+  check_stop();
+  if (e.attached.empty()) return std::nullopt;
+  const std::size_t slot_idx = e.attached.front();
+  e.attached.pop_front();
+  Object::Slot& s = e.slots[slot_idx];
+  s.state = Object::SlotState::kAccepted;
+  ++e.accepts;
+  obj_->update_pending_locked(e);
+  obj_->trace(e, s.call->id, slot_idx, CallPhase::kAccepted);
+  Accepted a;
+  a.entry = entry.index();
+  a.slot = slot_idx;
+  a.params.assign(s.call->params.begin(),
+                  s.call->params.begin() +
+                      static_cast<std::ptrdiff_t>(e.icept_params));
+  return a;
+}
+
+void Manager::start(const Accepted& a, ValueList hidden_params) {
+  start_with(a, a.params, std::move(hidden_params));
+}
+
+void Manager::start_with(const Accepted& a, ValueList iparams,
+                         ValueList hidden_params) {
+  assert_manager_thread("start");
+  ValueList full;
+  std::size_t entry_idx = a.entry;
+  std::size_t slot_idx = a.slot;
+  {
+    std::scoped_lock lock(obj_->mu_);
+    Object::EntryCore& e = obj_->core(entry_idx);
+    Object::Slot& s = e.slots[slot_idx];
+    if (s.state != Object::SlotState::kAccepted) {
+      raise(ErrorCode::kProtocolViolation,
+            "start on " + e.decl.name + "[" + std::to_string(slot_idx) +
+                "] which is not in the Accepted state");
+    }
+    if (iparams.size() != e.icept_params) {
+      raise(ErrorCode::kArityMismatch,
+            "start " + e.decl.name + ": manager must supply the " +
+                std::to_string(e.icept_params) +
+                " intercepted parameter(s), got " +
+                std::to_string(iparams.size()));
+    }
+    if (hidden_params.size() != e.impl.hidden_params) {
+      raise(ErrorCode::kArityMismatch,
+            "start " + e.decl.name + ": expects " +
+                std::to_string(e.impl.hidden_params) +
+                " hidden parameter(s), got " +
+                std::to_string(hidden_params.size()));
+    }
+    // Body parameter list = manager-supplied intercepted prefix, the
+    // caller's remaining parameters, then the hidden parameters.
+    full = std::move(iparams);
+    full.insert(full.end(),
+                s.call->params.begin() +
+                    static_cast<std::ptrdiff_t>(e.icept_params),
+                s.call->params.end());
+    full.insert(full.end(), std::make_move_iterator(hidden_params.begin()),
+                std::make_move_iterator(hidden_params.end()));
+    s.state = Object::SlotState::kRunning;
+    ++e.starts;
+    obj_->trace(e, s.call->id, slot_idx, CallPhase::kStarted);
+  }
+  obj_->submit_body(entry_idx, slot_idx, std::move(full));
+}
+
+Awaited Manager::await(EntryRef entry) {
+  assert_manager_thread("await");
+  Object::EntryCore& e = obj_->core_checked(entry, "await");
+  std::unique_lock lock(obj_->mu_);
+  obj_->mgr_cv_.wait(lock, [&] {
+    return !e.ready.empty() || obj_->stop_source_.stop_requested();
+  });
+  check_stop();
+
+  const std::size_t slot_idx = e.ready.front();
+  e.ready.pop_front();
+  Object::Slot& s = e.slots[slot_idx];
+  s.state = Object::SlotState::kAwaited;
+  Awaited w;
+  w.entry = entry.index();
+  w.slot = slot_idx;
+  w.results = std::move(s.mgr_results);
+  w.failed = (s.body_error != nullptr);
+  return w;
+}
+
+Awaited Manager::await(const Accepted& a) {
+  assert_manager_thread("await");
+  std::unique_lock lock(obj_->mu_);
+  Object::EntryCore& e = obj_->core(a.entry);
+  Object::Slot& s = e.slots[a.slot];
+  if (s.state != Object::SlotState::kRunning &&
+      s.state != Object::SlotState::kReady) {
+    raise(ErrorCode::kProtocolViolation,
+          "await on " + e.decl.name + "[" + std::to_string(a.slot) +
+              "] which was not started");
+  }
+  obj_->mgr_cv_.wait(lock, [&] {
+    return s.state == Object::SlotState::kReady ||
+           obj_->stop_source_.stop_requested();
+  });
+  check_stop();
+
+  erase_index(e.ready, a.slot);
+  s.state = Object::SlotState::kAwaited;
+  Awaited w;
+  w.entry = a.entry;
+  w.slot = a.slot;
+  w.results = std::move(s.mgr_results);
+  w.failed = (s.body_error != nullptr);
+  return w;
+}
+
+std::optional<Awaited> Manager::try_await(EntryRef entry) {
+  assert_manager_thread("try_await");
+  Object::EntryCore& e = obj_->core_checked(entry, "try_await");
+  std::scoped_lock lock(obj_->mu_);
+  check_stop();
+  if (e.ready.empty()) return std::nullopt;
+  const std::size_t slot_idx = e.ready.front();
+  e.ready.pop_front();
+  Object::Slot& s = e.slots[slot_idx];
+  s.state = Object::SlotState::kAwaited;
+  Awaited w;
+  w.entry = entry.index();
+  w.slot = slot_idx;
+  w.results = std::move(s.mgr_results);
+  w.failed = (s.body_error != nullptr);
+  return w;
+}
+
+void Manager::finish(const Awaited& w) {
+  Object::EntryCore& e = obj_->core(w.entry);
+  ValueList echo(w.results.begin(),
+                 w.results.begin() +
+                     static_cast<std::ptrdiff_t>(std::min(
+                         e.icept_results, w.results.size())));
+  finish_with(w, std::move(echo));
+}
+
+void Manager::finish_with(const Awaited& w, ValueList iresults) {
+  assert_manager_thread("finish");
+  std::shared_ptr<CallState> caller;
+  ValueList final_results;
+  std::exception_ptr err;
+  {
+    std::scoped_lock lock(obj_->mu_);
+    Object::EntryCore& e = obj_->core(w.entry);
+    Object::Slot& s = e.slots[w.slot];
+    if (s.state != Object::SlotState::kAwaited) {
+      raise(ErrorCode::kProtocolViolation,
+            "finish on " + e.decl.name + "[" + std::to_string(w.slot) +
+                "] which was not awaited");
+    }
+    if (!s.body_error && iresults.size() != e.icept_results) {
+      raise(ErrorCode::kArityMismatch,
+            "finish " + e.decl.name + ": manager must supply the " +
+                std::to_string(e.icept_results) +
+                " intercepted result(s), got " +
+                std::to_string(iresults.size()));
+    }
+    caller = s.call->state;
+    err = s.body_error;
+    if (!err) {
+      final_results = std::move(iresults);
+      final_results.insert(final_results.end(),
+                           std::make_move_iterator(s.rest_results.begin()),
+                           std::make_move_iterator(s.rest_results.end()));
+    }
+    ++e.finishes;
+    obj_->trace(e, s.call->id, w.slot,
+                err ? CallPhase::kFailed : CallPhase::kFinished);
+    obj_->release_slot_locked(w.entry, w.slot);
+  }
+  obj_->mgr_cv_.notify_all();
+  // Complete outside the kernel lock (the caller-side callback may run
+  // arbitrary code, e.g. sending an RPC response frame).
+  if (err) {
+    caller->fail(err);
+  } else {
+    caller->complete(std::move(final_results));
+  }
+}
+
+void Manager::combine_finish(const Accepted& a, ValueList all_results) {
+  assert_manager_thread("combine_finish");
+  std::shared_ptr<CallState> caller;
+  {
+    std::scoped_lock lock(obj_->mu_);
+    Object::EntryCore& e = obj_->core(a.entry);
+    Object::Slot& s = e.slots[a.slot];
+    if (s.state != Object::SlotState::kAccepted) {
+      raise(ErrorCode::kProtocolViolation,
+            "combine_finish on " + e.decl.name + "[" + std::to_string(a.slot) +
+                "] which is not in the Accepted state");
+    }
+    // §2.7: "the manager is responsible to receive all invocation
+    // parameters in the accept primitive [and] to generate all the results
+    // that the caller expects".
+    if (e.icept_params != e.decl.params) {
+      raise(ErrorCode::kProtocolViolation,
+            "combine_finish " + e.decl.name +
+                ": intercepts clause must cover all parameters");
+    }
+    if (all_results.size() != e.decl.results) {
+      raise(ErrorCode::kArityMismatch,
+            "combine_finish " + e.decl.name + ": expects " +
+                std::to_string(e.decl.results) + " results, got " +
+                std::to_string(all_results.size()));
+    }
+    caller = s.call->state;
+    ++e.combines;
+    ++e.finishes;
+    obj_->trace(e, s.call->id, a.slot, CallPhase::kCombined);
+    obj_->release_slot_locked(a.entry, a.slot);
+  }
+  obj_->mgr_cv_.notify_all();
+  caller->complete(std::move(all_results));
+}
+
+void Manager::fail(const Accepted& a, const std::string& why) {
+  assert_manager_thread("fail");
+  std::shared_ptr<CallState> caller;
+  {
+    std::scoped_lock lock(obj_->mu_);
+    Object::EntryCore& e = obj_->core(a.entry);
+    Object::Slot& s = e.slots[a.slot];
+    if (s.state != Object::SlotState::kAccepted) {
+      raise(ErrorCode::kProtocolViolation,
+            "fail on a call that is not in the Accepted state");
+    }
+    caller = s.call->state;
+    ++e.finishes;
+    obj_->trace(e, s.call->id, a.slot, CallPhase::kFailed);
+    obj_->release_slot_locked(a.entry, a.slot);
+  }
+  obj_->mgr_cv_.notify_all();
+  caller->fail(ErrorCode::kBodyFailed, why);
+}
+
+void Manager::fail(const Awaited& w, const std::string& why) {
+  assert_manager_thread("fail");
+  std::shared_ptr<CallState> caller;
+  {
+    std::scoped_lock lock(obj_->mu_);
+    Object::EntryCore& e = obj_->core(w.entry);
+    Object::Slot& s = e.slots[w.slot];
+    if (s.state != Object::SlotState::kAwaited) {
+      raise(ErrorCode::kProtocolViolation,
+            "fail on a call that is not in the Awaited state");
+    }
+    caller = s.call->state;
+    ++e.finishes;
+    obj_->trace(e, s.call->id, w.slot, CallPhase::kFailed);
+    obj_->release_slot_locked(w.entry, w.slot);
+  }
+  obj_->mgr_cv_.notify_all();
+  caller->fail(ErrorCode::kBodyFailed, why);
+}
+
+Awaited Manager::execute(const Accepted& a, ValueList hidden_params) {
+  start(a, std::move(hidden_params));
+  Awaited w = await(a);
+  finish(w);
+  return w;
+}
+
+}  // namespace alps

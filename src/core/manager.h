@@ -1,0 +1,133 @@
+// The manager primitives (paper §2.3): accept / start / await / finish,
+// the packaged `execute`, and request combining (§2.7).
+//
+// A Manager is handed to the user's manager function on the dedicated
+// manager thread; all primitives must be invoked from that thread (the
+// manager is "a single CSP-like process" — the paper contrasts this with
+// the internally concurrent mediator). The kernel enforces this.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <stop_token>
+#include <string>
+
+#include "core/entry.h"
+#include "core/value.h"
+
+namespace alps {
+
+class Object;
+class Select;
+
+/// Result of an `accept P[i](...)`: identifies the slot and carries the
+/// intercepted parameter prefix.
+struct Accepted {
+  std::size_t entry = static_cast<std::size_t>(-1);
+  std::size_t slot = kNoSlot;
+  /// First `n_params` (from the intercepts clause) invocation parameters.
+  ValueList params;
+
+  bool valid() const { return slot != kNoSlot; }
+};
+
+/// Result of an `await P[i](...)`: the intercepted result prefix followed by
+/// all hidden results. `failed` is set when the body raised instead of
+/// returning; the error is delivered to the caller at finish.
+struct Awaited {
+  std::size_t entry = static_cast<std::size_t>(-1);
+  std::size_t slot = kNoSlot;
+  ValueList results;
+  bool failed = false;
+
+  bool valid() const { return slot != kNoSlot; }
+};
+
+class Manager {
+ public:
+  Manager(const Manager&) = delete;
+  Manager& operator=(const Manager&) = delete;
+
+  // ---- accept ----
+
+  /// Blocks until a call is attached to some slot of `entry`, accepts it
+  /// (arrival order), and returns the intercepted parameters.
+  Accepted accept(EntryRef entry);
+
+  /// Non-blocking variant.
+  std::optional<Accepted> try_accept(EntryRef entry);
+
+  // ---- start ----
+
+  /// Starts the body asynchronously w.r.t. the manager, re-supplying the
+  /// intercepted parameters unchanged and appending `hidden_params`
+  /// (must match the entry's ImplDecl::hidden_params arity).
+  void start(const Accepted& a, ValueList hidden_params = {});
+
+  /// As start(), but the manager substitutes `iparams` for the intercepted
+  /// parameter prefix (the manager "supplies these invocation parameters to
+  /// P when it is started" — it may transform them).
+  void start_with(const Accepted& a, ValueList iparams,
+                  ValueList hidden_params = {});
+
+  // ---- await ----
+
+  /// Blocks until *some* started call of `entry` is ready to terminate and
+  /// returns its intercepted+hidden results (arrival order).
+  Awaited await(EntryRef entry);
+
+  /// Blocks until this specific call is ready to terminate.
+  Awaited await(const Accepted& a);
+
+  std::optional<Awaited> try_await(EntryRef entry);
+
+  // ---- finish ----
+
+  /// Endorses termination, echoing the intercepted results unchanged to the
+  /// caller. The caller receives [intercepted prefix, body's remaining
+  /// results]; hidden results stay with the manager.
+  void finish(const Awaited& w);
+
+  /// As finish(), with the manager substituting the intercepted result
+  /// prefix (it "can monitor the results being returned by P").
+  void finish_with(const Awaited& w, ValueList iresults);
+
+  /// Combining (§2.7): completes an accepted call *without starting it*.
+  /// Requires the intercepts clause to cover all parameters, and
+  /// `all_results` to be the full visible result list.
+  void combine_finish(const Accepted& a, ValueList all_results);
+
+  /// Completes an accepted or awaited call with an error (extension; useful
+  /// for admission control).
+  void fail(const Accepted& a, const std::string& why);
+  void fail(const Awaited& w, const std::string& why);
+
+  // ---- execute = start; await; finish (§2.3) ----
+
+  /// Runs the call to completion in exclusion w.r.t. the manager and returns
+  /// what await returned (so hidden results remain inspectable).
+  Awaited execute(const Accepted& a, ValueList hidden_params = {});
+
+  // ---- environment ----
+
+  /// The paper's `#P` for guard conditions.
+  std::size_t pending(EntryRef entry) const;
+
+  bool stop_requested() const;
+  std::stop_token stop_token() const;
+  Object& object() { return *obj_; }
+
+ private:
+  friend class Object;
+  friend class Select;
+
+  explicit Manager(Object& obj) : obj_(&obj) {}
+
+  /// Throws kObjectStopped when the object is stopping (manager unwinds).
+  void check_stop() const;
+  void assert_manager_thread(const char* op) const;
+
+  Object* obj_;
+};
+
+}  // namespace alps

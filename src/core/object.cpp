@@ -1,0 +1,491 @@
+#include "core/object.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/error.h"
+#include "core/manager.h"
+#include "support/log.h"
+#include "support/thread_util.h"
+
+namespace alps {
+
+CallHandle BodyCtx::call_sibling(EntryRef target, ValueList params) const {
+  if (target.object() != obj_) {
+    raise(ErrorCode::kProtocolViolation,
+          "call_sibling target belongs to a different object");
+  }
+  return obj_->dispatch(target.index(), std::move(params), /*external=*/false);
+}
+
+Object::Object(std::string name, ObjectOptions opts)
+    : name_(std::move(name)), opts_(opts) {}
+
+Object::~Object() { stop(); }
+
+void Object::require_started(const char* op) const {
+  if (!started_.load(std::memory_order_acquire)) {
+    raise(ErrorCode::kProtocolViolation,
+          std::string(op) + " before start() on object " + name_);
+  }
+}
+
+void Object::require_not_started(const char* op) const {
+  if (started_.load(std::memory_order_acquire)) {
+    raise(ErrorCode::kProtocolViolation,
+          std::string(op) + " after start() on object " + name_);
+  }
+}
+
+EntryRef Object::define_entry(EntryDecl decl) {
+  require_not_started("define_entry");
+  std::scoped_lock lock(mu_);
+  if (by_name_.count(decl.name)) {
+    raise(ErrorCode::kProtocolViolation,
+          "duplicate entry " + decl.name + " on object " + name_);
+  }
+  auto core = std::make_unique<EntryCore>();
+  core->decl = std::move(decl);
+  const std::size_t idx = entries_.size();
+  by_name_.emplace(core->decl.name, idx);
+  entries_.push_back(std::move(core));
+  return EntryRef(this, idx);
+}
+
+void Object::implement(EntryRef entry, BodyFn body) {
+  implement(entry, ImplDecl{}, std::move(body));
+}
+
+void Object::implement(EntryRef entry, ImplDecl impl, BodyFn body) {
+  require_not_started("implement");
+  if (entry.object() != this) {
+    raise(ErrorCode::kProtocolViolation, "implement with foreign EntryRef");
+  }
+  if (impl.array == 0) {
+    raise(ErrorCode::kProtocolViolation, "procedure array size must be >= 1");
+  }
+  std::scoped_lock lock(mu_);
+  EntryCore& e = core(entry.index());
+  e.impl = impl;
+  e.body = std::move(body);
+  e.implemented = true;
+}
+
+void Object::set_tracer(Tracer* tracer) {
+  require_not_started("set_tracer");
+  tracer_ = tracer;
+}
+
+void Object::set_manager(std::vector<InterceptClause> clauses, ManagerFn fn) {
+  require_not_started("set_manager");
+  std::scoped_lock lock(mu_);
+  for (const auto& c : clauses) {
+    if (c.entry.object() != this) {
+      raise(ErrorCode::kProtocolViolation, "intercept of foreign entry");
+    }
+    EntryCore& e = core(c.entry.index());
+    if (c.n_params > e.decl.params) {
+      raise(ErrorCode::kArityMismatch,
+            "intercepts " + e.decl.name + ": parameter prefix longer than the "
+            "entry's parameter list");
+    }
+    if (c.n_results > e.decl.results) {
+      raise(ErrorCode::kArityMismatch,
+            "intercepts " + e.decl.name + ": result prefix longer than the "
+            "entry's result list");
+    }
+    e.intercepted = true;
+    e.icept_params = c.n_params;
+    e.icept_results = c.n_results;
+  }
+  manager_fn_ = std::move(fn);
+  has_manager_ = true;
+}
+
+void Object::start() {
+  require_not_started("start");
+
+  std::size_t total_slots = 0;
+  {
+    std::scoped_lock lock(mu_);
+    for (auto& ep : entries_) {
+      EntryCore& e = *ep;
+      if (!e.implemented) {
+        raise(ErrorCode::kProtocolViolation,
+              "entry " + e.decl.name + " defined but not implemented");
+      }
+      if (e.intercepted && !has_manager_) {
+        raise(ErrorCode::kProtocolViolation,
+              "entry " + e.decl.name + " intercepted but no manager set");
+      }
+      if (!e.intercepted &&
+          (e.impl.hidden_params > 0 || e.impl.hidden_results > 0)) {
+        raise(ErrorCode::kProtocolViolation,
+              "entry " + e.decl.name +
+                  " has hidden params/results but is not intercepted (only "
+                  "the manager can supply/receive them)");
+      }
+      if (e.intercepted) {
+        e.slots.resize(e.impl.array);
+        for (auto& s : e.slots) s.global_key = total_slots++;
+      }
+    }
+    executor_ = sched::make_executor(opts_.model, total_slots,
+                                     opts_.pool_workers, name_);
+  }
+
+  started_.store(true, std::memory_order_release);
+
+  if (has_manager_) {
+    manager_thread_ = std::jthread([this] {
+      support::set_current_thread_name("mgr:" + name_);
+      if (opts_.boost_manager_priority) {
+        support::try_boost_priority();
+      }
+      {
+        std::scoped_lock lock(mu_);
+        manager_thread_id_ = std::this_thread::get_id();
+      }
+      Manager m(*this);
+      try {
+        manager_fn_(m);
+      } catch (const Error& err) {
+        // Stop-induced unwinding is the normal shutdown path.
+        if (err.code() != ErrorCode::kObjectStopped) {
+          std::scoped_lock lock(mu_);
+          manager_error_ = std::current_exception();
+          ALPS_LOG_ERROR("object %s: manager terminated with error: %s",
+                         name_.c_str(), err.what());
+        }
+      } catch (...) {
+        std::scoped_lock lock(mu_);
+        manager_error_ = std::current_exception();
+        ALPS_LOG_ERROR("object %s: manager terminated with unknown error",
+                       name_.c_str());
+      }
+    });
+  }
+}
+
+void Object::stop() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    // Another stop() is in progress (or finished); wait for quiescence.
+    stop_done_.wait();
+    return;
+  }
+
+  stop_source_.request_stop();
+  {
+    std::scoped_lock lock(mu_);
+    bump_epoch_locked();
+  }
+  mgr_cv_.notify_all();
+
+  if (manager_thread_.joinable()) manager_thread_.join();
+
+  // Fail every call that never reached finish *before* draining the
+  // executor: a still-running body may be blocked on a sibling call whose
+  // manager is now gone, and failing its handle is what unblocks it.
+  std::vector<std::shared_ptr<CallState>> to_fail;
+  {
+    std::scoped_lock lock(mu_);
+    for (auto& ep : entries_) {
+      EntryCore& e = *ep;
+      for (auto& rec : e.overflow) {
+        trace(e, rec.id, kNoSlot, CallPhase::kFailed);
+        to_fail.push_back(rec.state);
+      }
+      e.overflow.clear();
+      for (std::size_t i = 0; i < e.slots.size(); ++i) {
+        Slot& s = e.slots[i];
+        if (s.state != SlotState::kFree && s.call.has_value()) {
+          trace(e, s.call->id, i, CallPhase::kFailed);
+          to_fail.push_back(s.call->state);
+          s.call.reset();
+        }
+        s.state = SlotState::kFree;
+      }
+      e.attached.clear();
+      e.ready.clear();
+      update_pending_locked(e);
+    }
+  }
+  for (auto& state : to_fail) {
+    state->fail(ErrorCode::kObjectStopped, "object " + name_ + " stopped");
+  }
+
+  if (executor_) executor_->shutdown();
+  stop_done_.set();
+}
+
+bool Object::running() const {
+  return started_.load(std::memory_order_acquire) &&
+         !stopping_.load(std::memory_order_acquire);
+}
+
+Object::EntryCore& Object::core_checked(EntryRef entry, const char* op) {
+  if (entry.object() != this || entry.index() >= entries_.size()) {
+    raise(ErrorCode::kProtocolViolation,
+          std::string(op) + ": EntryRef does not belong to object " + name_);
+  }
+  return core(entry.index());
+}
+
+void Object::bump_epoch_locked() { ++epoch_; }
+
+void Object::update_pending_locked(EntryCore& e) {
+  e.pending.store(e.overflow.size() + e.attached.size(),
+                  std::memory_order_relaxed);
+}
+
+CallHandle Object::async_call(EntryRef entry, ValueList params) {
+  if (entry.object() != this) {
+    raise(ErrorCode::kProtocolViolation, "async_call with foreign EntryRef");
+  }
+  return dispatch(entry.index(), std::move(params), /*external=*/true);
+}
+
+CallHandle Object::async_call(const std::string& entry_name, ValueList params) {
+  return dispatch(entry(entry_name).index(), std::move(params),
+                  /*external=*/true);
+}
+
+ValueList Object::call(EntryRef e, ValueList params) {
+  return async_call(e, std::move(params)).get();
+}
+
+EntryRef Object::entry(const std::string& name) const {
+  // Lock-free: the name table is built single-threaded before start() and
+  // immutable afterwards, and guard conditions (which run under the kernel
+  // lock) legitimately call this via the `#P` pending-count operator.
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    raise(ErrorCode::kNoSuchEntry, name + " on object " + name_);
+  }
+  return EntryRef(const_cast<Object*>(this), it->second);
+}
+
+std::size_t Object::pending(EntryRef entry) const {
+  if (entry.object() != this || entry.index() >= entries_.size()) {
+    raise(ErrorCode::kProtocolViolation, "pending with foreign EntryRef");
+  }
+  return entries_[entry.index()]->pending.load(std::memory_order_relaxed);
+}
+
+CallHandle Object::dispatch(std::size_t entry_idx, ValueList params,
+                            bool external) {
+  require_started("call");
+  auto state = std::make_shared<CallState>();
+  CallHandle handle(state);
+
+  if (stopping_.load(std::memory_order_acquire)) {
+    state->fail(ErrorCode::kObjectStopped, "object " + name_ + " stopped");
+    return handle;
+  }
+
+  bool intercepted;
+  const std::uint64_t call_id =
+      next_call_id_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::scoped_lock lock(mu_);
+    EntryCore& e = core(entry_idx);
+    if (external && !e.decl.exported) {
+      state->fail(ErrorCode::kNotExported,
+                  e.decl.name + " is local to object " + name_);
+      return handle;
+    }
+    if (params.size() != e.decl.params) {
+      state->fail(ErrorCode::kArityMismatch,
+                  e.decl.name + " expects " + std::to_string(e.decl.params) +
+                      " params, got " + std::to_string(params.size()));
+      return handle;
+    }
+    ++e.calls;
+    intercepted = e.intercepted;
+    trace(e, call_id, kNoSlot, CallPhase::kArrived);
+    if (intercepted) {
+      attach_locked(entry_idx,
+                    CallRecord{std::move(params), state,
+                               std::chrono::steady_clock::now(), call_id});
+      bump_epoch_locked();
+    }
+  }
+
+  if (intercepted) {
+    mgr_cv_.notify_all();
+  } else {
+    spawn_unintercepted(entry_idx,
+                        CallRecord{std::move(params), state,
+                                   std::chrono::steady_clock::now(), call_id});
+  }
+  return handle;
+}
+
+void Object::attach_locked(std::size_t entry_idx, CallRecord rec) {
+  EntryCore& e = core(entry_idx);
+  // Attach to a free slot if one exists, else queue (paper §2.5: "if there
+  // are more requests than can be accommodated in the procedure array, the
+  // remaining requests continue to wait").
+  for (std::size_t i = 0; i < e.slots.size(); ++i) {
+    if (e.slots[i].state == SlotState::kFree) {
+      e.slots[i].state = SlotState::kAttached;
+      trace(e, rec.id, i, CallPhase::kAttached);
+      e.slots[i].call = std::move(rec);
+      e.slots[i].mgr_results.clear();
+      e.slots[i].rest_results.clear();
+      e.slots[i].body_error = nullptr;
+      e.attached.push_back(i);
+      update_pending_locked(e);
+      return;
+    }
+  }
+  e.overflow.push_back(std::move(rec));
+  update_pending_locked(e);
+}
+
+void Object::release_slot_locked(std::size_t entry_idx, std::size_t slot_idx) {
+  EntryCore& e = core(entry_idx);
+  Slot& s = e.slots[slot_idx];
+  s.state = SlotState::kFree;
+  s.call.reset();
+  s.mgr_results.clear();
+  s.rest_results.clear();
+  s.body_error = nullptr;
+  if (!e.overflow.empty()) {
+    CallRecord next = std::move(e.overflow.front());
+    e.overflow.pop_front();
+    s.state = SlotState::kAttached;
+    trace(e, next.id, slot_idx, CallPhase::kAttached);
+    s.call = std::move(next);
+    e.attached.push_back(slot_idx);
+  }
+  update_pending_locked(e);
+  bump_epoch_locked();
+}
+
+void Object::spawn_unintercepted(std::size_t entry_idx, CallRecord rec) {
+  auto state = rec.state;
+  const bool ok = executor_->submit(
+      sched::kUnboundTask,
+      [this, entry_idx, id = rec.id, params = std::move(rec.params),
+       state]() mutable {
+        EntryCore& ec = core(entry_idx);
+        BodyCtx ctx(this, ec.decl.name, kNoSlot, std::move(params));
+        ValueList out;
+        try {
+          out = ec.body(ctx);
+          if (out.size() != ec.decl.results) {
+            raise(ErrorCode::kArityMismatch,
+                  ec.decl.name + " body returned " +
+                      std::to_string(out.size()) + " results, declared " +
+                      std::to_string(ec.decl.results));
+          }
+        } catch (...) {
+          trace(ec, id, kNoSlot, CallPhase::kFailed);
+          state->fail(std::current_exception());
+          return;
+        }
+        trace(ec, id, kNoSlot, CallPhase::kFinished);
+        state->complete(std::move(out));
+      });
+  if (!ok) {
+    state->fail(ErrorCode::kObjectStopped,
+                "object " + name_ + " stopped before the body could run");
+  }
+}
+
+void Object::submit_body(std::size_t entry_idx, std::size_t slot_idx,
+                         ValueList full_params) {
+  EntryCore& e = core(entry_idx);
+  const std::size_t key = e.slots[slot_idx].global_key;
+  const bool ok = executor_->submit(
+      key, [this, entry_idx, slot_idx, params = std::move(full_params)]() mutable {
+        EntryCore& ec = core(entry_idx);
+        BodyCtx ctx(this, ec.decl.name, slot_idx, std::move(params));
+        ValueList out;
+        std::exception_ptr err;
+        try {
+          out = ec.body(ctx);
+          const std::size_t want = ec.decl.results + ec.impl.hidden_results;
+          if (out.size() != want) {
+            raise(ErrorCode::kArityMismatch,
+                  ec.decl.name + " body returned " +
+                      std::to_string(out.size()) + " results, expected " +
+                      std::to_string(want) +
+                      " (visible + hidden)");
+          }
+        } catch (...) {
+          err = std::current_exception();
+        }
+
+        {
+          std::scoped_lock lock(mu_);
+          Slot& s = ec.slots[slot_idx];
+          if (s.state != SlotState::kRunning) {
+            // Object stopped and reset the slot while the body ran; the
+            // caller has already been failed.
+            return;
+          }
+          if (err) {
+            s.body_error = err;
+          } else {
+            // Split [visible..., hidden...]: the manager's await sees the
+            // intercepted visible prefix plus all hidden results; the rest
+            // goes straight to the caller at finish.
+            s.mgr_results.assign(
+                out.begin(),
+                out.begin() + static_cast<std::ptrdiff_t>(ec.icept_results));
+            s.mgr_results.insert(
+                s.mgr_results.end(),
+                out.begin() + static_cast<std::ptrdiff_t>(ec.decl.results),
+                out.end());
+            s.rest_results.assign(
+                out.begin() + static_cast<std::ptrdiff_t>(ec.icept_results),
+                out.begin() + static_cast<std::ptrdiff_t>(ec.decl.results));
+          }
+          s.state = SlotState::kReady;
+          trace(ec, s.call->id, slot_idx, CallPhase::kReady);
+          ec.ready.push_back(slot_idx);
+          bump_epoch_locked();
+        }
+        mgr_cv_.notify_all();
+      });
+  if (!ok) {
+    // Executor already shut down; stop() will fail the caller.
+    ALPS_LOG_DEBUG("object %s: start after shutdown dropped", name_.c_str());
+  }
+}
+
+ObjectStats Object::stats() const {
+  ObjectStats out;
+  std::scoped_lock lock(mu_);
+  out.entries.reserve(entries_.size());
+  for (const auto& ep : entries_) {
+    const EntryCore& e = *ep;
+    out.entries.push_back(EntryStats{e.decl.name, e.calls, e.accepts, e.starts,
+                                     e.finishes, e.combines,
+                                     e.pending.load(std::memory_order_relaxed)});
+  }
+  if (executor_) {
+    out.threads_created = executor_->threads_created();
+    out.threads_alive = executor_->threads_alive();
+  }
+  return out;
+}
+
+void Object::notify_external_event() {
+  {
+    std::scoped_lock lock(mu_);
+    bump_epoch_locked();
+  }
+  mgr_cv_.notify_all();
+}
+
+std::exception_ptr Object::manager_error() const {
+  std::scoped_lock lock(mu_);
+  return manager_error_;
+}
+
+}  // namespace alps

@@ -1,0 +1,234 @@
+// alps::Object — the kernel of the reproduction.
+//
+// An object (paper §2.2) is shared data + entry procedures + an optional
+// manager process. This class implements the call lifecycle:
+//
+//   invoke ──(not intercepted)──▶ body starts implicitly ──▶ caller completed
+//   invoke ──(intercepted)─▶ attach to a free slot of P[1..N] (else queue)
+//      Attached ─accept→ Accepted ─start→ Running ─body returns→ Ready
+//      Ready ─await→ Awaited ─finish→ slot freed, caller completed
+//      Accepted ─combine_finish→ caller completed without executing the body
+//
+// Threading model: one kernel mutex per object guards all scheduling state;
+// bodies and manager handlers never run under it. The manager runs on a
+// dedicated std::jthread (the paper wants it at higher priority so it stays
+// receptive to entry calls; a dedicated always-runnable thread is the
+// portable equivalent, and try_boost_priority() is attempted on top).
+// Wakeups use a single condition variable plus an event epoch so select
+// guards never poll.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stop_token>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/call.h"
+#include "core/entry.h"
+#include "core/trace.h"
+#include "core/value.h"
+#include "sched/executor.h"
+#include "support/sync.h"
+
+namespace alps {
+
+class Manager;
+class Select;
+
+using ManagerFn = std::function<void(Manager&)>;
+
+struct ObjectOptions {
+  /// Process model for the procedure-array processes (paper §3).
+  sched::ProcessModel model = sched::ProcessModel::kPooled;
+  /// M, for the pooled model.
+  std::size_t pool_workers = 4;
+  /// Attempt to raise the manager thread's scheduling priority (best effort;
+  /// the dedicated thread preserves the intent when this fails).
+  bool boost_manager_priority = true;
+};
+
+struct EntryStats {
+  std::string name;
+  std::uint64_t calls = 0;
+  std::uint64_t accepts = 0;
+  std::uint64_t starts = 0;
+  std::uint64_t finishes = 0;
+  std::uint64_t combines = 0;
+  std::size_t pending = 0;
+};
+
+struct ObjectStats {
+  std::vector<EntryStats> entries;
+  std::uint64_t threads_created = 0;
+  std::uint64_t threads_alive = 0;
+};
+
+class Object {
+ public:
+  explicit Object(std::string name, ObjectOptions opts = {});
+  ~Object();
+
+  Object(const Object&) = delete;
+  Object& operator=(const Object&) = delete;
+
+  // ---- definition part (§2.2) ----
+
+  /// Declares an entry (or, with decl.exported=false, a local procedure).
+  /// Must be called before start().
+  EntryRef define_entry(EntryDecl decl);
+
+  // ---- implementation part ----
+
+  /// Provides the body; ImplDecl{} gives a plain single procedure.
+  void implement(EntryRef entry, BodyFn body);
+  /// Provides the body plus the hidden-array / hidden-params configuration.
+  void implement(EntryRef entry, ImplDecl impl, BodyFn body);
+
+  /// Installs the manager process with its intercepts clause. Optional: an
+  /// object without a manager starts every call implicitly (§2.3).
+  void set_manager(std::vector<InterceptClause> clauses, ManagerFn fn);
+
+  /// Installs a lifecycle tracer (see core/trace.h). Must be called before
+  /// start(); the tracer must outlive the object. Pass nullptr to disable.
+  void set_tracer(Tracer* tracer);
+
+  /// Freezes the definition, creates the process-model executor and the
+  /// manager thread. Calls are only allowed between start() and stop().
+  void start();
+
+  /// Stops the manager, drains running bodies, fails unfinished calls with
+  /// kObjectStopped. Idempotent; also run by the destructor.
+  void stop();
+
+  // ---- invocation (callers) ----
+
+  /// External asynchronous invocation `X.P(...)`. All parameters are
+  /// supplied here; the kernel routes the intercepted prefix to the manager.
+  CallHandle async_call(EntryRef entry, ValueList params);
+  CallHandle async_call(const std::string& entry_name, ValueList params);
+
+  /// Blocking call; returns the results (throws the call's error).
+  ValueList call(EntryRef entry, ValueList params);
+
+  // ---- introspection ----
+
+  /// The paper's `#P`: pending calls = waiting-to-attach + attached-but-not-
+  /// yet-accepted. Lock-free, safe inside guard conditions.
+  std::size_t pending(EntryRef entry) const;
+
+  EntryRef entry(const std::string& name) const;
+
+  /// Wakes the manager's select statement to re-evaluate its guards. Used by
+  /// channel observers; harmless to call at any time.
+  void notify_external_event();
+
+  const std::string& name() const { return name_; }
+  bool running() const;
+  ObjectStats stats() const;
+  /// Error that escaped the manager function, if any (nullptr otherwise).
+  std::exception_ptr manager_error() const;
+
+ private:
+  friend class Manager;
+  friend class Select;
+  friend class BodyCtx;
+
+  enum class SlotState : std::uint8_t {
+    kFree,
+    kAttached,
+    kAccepted,
+    kRunning,
+    kReady,
+    kAwaited,
+  };
+
+  struct Slot {
+    SlotState state = SlotState::kFree;
+    std::optional<CallRecord> call;
+    /// After the body returns: intercepted visible results + hidden results
+    /// (what `await` hands to the manager).
+    ValueList mgr_results;
+    /// Visible results beyond the intercepted prefix (go straight to the
+    /// caller at finish).
+    ValueList rest_results;
+    std::exception_ptr body_error;
+    /// Executor key for the slot-bound process model.
+    std::size_t global_key = sched::kUnboundTask;
+  };
+
+  struct EntryCore {
+    EntryDecl decl;
+    ImplDecl impl;
+    BodyFn body;
+    bool implemented = false;
+    bool intercepted = false;
+    std::size_t icept_params = 0;
+    std::size_t icept_results = 0;
+    std::vector<Slot> slots;
+    std::deque<CallRecord> overflow;   ///< waiting to attach (FIFO)
+    std::deque<std::size_t> attached;  ///< slots awaiting accept (FIFO)
+    std::deque<std::size_t> ready;     ///< slots ready to terminate (FIFO)
+    std::atomic<std::size_t> pending{0};  ///< #P, lock-free mirror
+    std::uint64_t calls = 0, accepts = 0, starts = 0, finishes = 0,
+                  combines = 0;
+  };
+
+  // -- kernel helpers (suffix _locked requires mu_ held) --
+  EntryCore& core(std::size_t idx) { return *entries_[idx]; }
+  EntryCore& core_checked(EntryRef entry, const char* op);
+  void bump_epoch_locked();
+  void update_pending_locked(EntryCore& e);
+  void attach_locked(std::size_t entry_idx, CallRecord rec);
+  CallHandle dispatch(std::size_t entry_idx, ValueList params, bool external);
+  void spawn_unintercepted(std::size_t entry_idx, CallRecord rec);
+  void submit_body(std::size_t entry_idx, std::size_t slot_idx,
+                   ValueList full_params);
+  /// Frees a slot after finish/fail and attaches the next queued call.
+  void release_slot_locked(std::size_t entry_idx, std::size_t slot_idx);
+  void require_started(const char* op) const;
+  void require_not_started(const char* op) const;
+  /// Emits a trace event if a tracer is installed. Safe with or without the
+  /// kernel lock held (the tracer must not reenter the kernel).
+  void trace(const EntryCore& e, std::uint64_t call_id, std::size_t slot,
+             CallPhase phase) const {
+    if (tracer_) {
+      tracer_->on_event(TraceEvent{e.decl.name, call_id, slot, phase,
+                                   std::chrono::steady_clock::now()});
+    }
+  }
+
+  std::string name_;
+  ObjectOptions opts_;
+
+  mutable std::mutex mu_;
+  std::condition_variable mgr_cv_;
+  std::uint64_t epoch_ = 0;  // guarded by mu_; bumped on every kernel event
+
+  std::vector<std::unique_ptr<EntryCore>> entries_;
+  std::unordered_map<std::string, std::size_t> by_name_;
+
+  ManagerFn manager_fn_;
+  bool has_manager_ = false;
+  Tracer* tracer_ = nullptr;
+  std::atomic<std::uint64_t> next_call_id_{1};
+  std::unique_ptr<sched::Executor> executor_;
+  std::jthread manager_thread_;
+  std::thread::id manager_thread_id_;
+  std::stop_source stop_source_;
+  std::exception_ptr manager_error_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  support::Event stop_done_;
+};
+
+}  // namespace alps

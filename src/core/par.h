@@ -1,0 +1,51 @@
+// The `par` statement (paper §2.1.1): structured parallel execution that
+// terminates only when all branches terminate.
+//
+//   par({[&]{ P(); }, [&]{ Q(); }, [&]{ R(); }});        // par P, Q and R
+//   par_for(m, n, [&](int i){ P(i); });                   // par i = m to n
+//
+// If branches throw, the first exception (by branch order) is rethrown after
+// every branch has finished — `par` never leaks running threads (CP.23:
+// think of a joining thread as a scoped container).
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace alps {
+
+inline void par(const std::vector<std::function<void()>>& branches) {
+  std::vector<std::exception_ptr> errors(branches.size());
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(branches.size());
+    for (std::size_t i = 0; i < branches.size(); ++i) {
+      threads.emplace_back([&, i] {
+        try {
+          branches[i]();
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+  }  // joins all
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+/// par i = m to n do F(i) end par — inclusive bounds, like the paper.
+template <class F>
+void par_for(long long m, long long n, F f) {
+  if (n < m) return;
+  std::vector<std::function<void()>> branches;
+  branches.reserve(static_cast<std::size_t>(n - m + 1));
+  for (long long i = m; i <= n; ++i) {
+    branches.push_back([i, &f] { f(i); });
+  }
+  par(branches);
+}
+
+}  // namespace alps

@@ -1,0 +1,303 @@
+#include "core/select.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/error.h"
+#include "core/object.h"
+
+namespace alps {
+
+Select::Select() = default;
+Select::~Select() = default;
+
+Select& Select::on(AcceptGuard g) {
+  GuardRec rec;
+  rec.kind = Kind::kAccept;
+  rec.entry = g.entry;
+  rec.when_v = std::move(g.when_fn);
+  rec.pri_v = std::move(g.pri_fn);
+  rec.on_accept = std::move(g.then_fn);
+  guards_.push_back(std::move(rec));
+  return *this;
+}
+
+Select& Select::on(AwaitGuard g) {
+  GuardRec rec;
+  rec.kind = Kind::kAwait;
+  rec.entry = g.entry;
+  rec.when_v = std::move(g.when_fn);
+  rec.pri_v = std::move(g.pri_fn);
+  rec.on_await = std::move(g.then_fn);
+  guards_.push_back(std::move(rec));
+  return *this;
+}
+
+Select& Select::on(ReceiveGuard g) {
+  GuardRec rec;
+  rec.kind = Kind::kReceive;
+  rec.channel = std::move(g.channel);
+  rec.when_v = std::move(g.when_fn);
+  rec.pri_v = std::move(g.pri_fn);
+  rec.on_receive = std::move(g.then_fn);
+  guards_.push_back(std::move(rec));
+  return *this;
+}
+
+Select& Select::on(WhenGuard g) {
+  GuardRec rec;
+  rec.kind = Kind::kWhen;
+  rec.when_b = std::move(g.cond);
+  rec.pri_b = std::move(g.pri_fn);
+  rec.on_when = std::move(g.then_fn);
+  guards_.push_back(std::move(rec));
+  return *this;
+}
+
+Select& Select::use_naive_polling(bool enable) {
+  naive_polling_ = enable;
+  return *this;
+}
+
+namespace {
+
+/// RAII registration of a wake-up observer on every channel guard: the
+/// observer bumps the object's event epoch (under the kernel lock) and
+/// notifies the manager CV, making channel receive guards event-driven.
+class ChannelObservers {
+ public:
+  ChannelObservers() = default;
+  ~ChannelObservers() { clear(); }
+
+  void add(ChannelRef channel, Object* obj);
+  void clear() {
+    for (auto& [chan, token] : regs_) chan->remove_observer(token);
+    regs_.clear();
+  }
+  bool empty() const { return regs_.empty(); }
+
+ private:
+  std::vector<std::pair<ChannelRef, ChannelCore::ObserverToken>> regs_;
+};
+
+}  // namespace
+
+void ChannelObservers::add(ChannelRef channel, Object* obj) {
+  auto token = channel->add_observer([obj] { obj->notify_external_event(); });
+  regs_.emplace_back(std::move(channel), token);
+}
+
+Select::Fired Select::select_impl(Manager& m) {
+  Object* obj = m.obj_;
+  ChannelObservers observers;
+  bool observers_registered = false;
+
+  struct Candidate {
+    std::size_t guard_idx = 0;
+    std::size_t slot = kNoSlot;
+    std::int64_t pri = 0;
+  };
+  std::vector<Candidate> candidates;
+
+  std::unique_lock lock(obj->mu_);
+  for (;;) {
+    if (obj->stop_source_.stop_requested()) {
+      raise(ErrorCode::kObjectStopped, "object " + obj->name() + " stopping");
+    }
+    const std::uint64_t snapshot = obj->epoch_;
+
+    candidates.clear();
+    bool any_waitable = false;
+    for (std::size_t gi = 0; gi < guards_.size(); ++gi) {
+      GuardRec& g = guards_[gi];
+      switch (g.kind) {
+        case Kind::kAccept: {
+          any_waitable = true;
+          Object::EntryCore& e = obj->core(g.entry.index());
+          auto consider = [&](std::size_t slot_idx) {
+            const Object::Slot& s = e.slots[slot_idx];
+            // View of the intercepted parameter prefix.
+            ValueList view(s.call->params.begin(),
+                           s.call->params.begin() +
+                               static_cast<std::ptrdiff_t>(e.icept_params));
+            if (g.when_v && !g.when_v(view)) return;
+            const std::int64_t pri = g.pri_v ? g.pri_v(view) : 0;
+            candidates.push_back(Candidate{gi, slot_idx, pri});
+          };
+          if (naive_polling_) {
+            // Deliberately wasteful O(N) scan over the whole procedure
+            // array (experiment E9's strawman).
+            for (std::size_t i = 0; i < e.slots.size(); ++i) {
+              if (e.slots[i].state == Object::SlotState::kAttached) {
+                consider(i);
+              }
+            }
+          } else {
+            for (std::size_t slot_idx : e.attached) consider(slot_idx);
+          }
+          break;
+        }
+        case Kind::kAwait: {
+          any_waitable = true;
+          Object::EntryCore& e = obj->core(g.entry.index());
+          auto consider = [&](std::size_t slot_idx) {
+            const Object::Slot& s = e.slots[slot_idx];
+            if (g.when_v && !g.when_v(s.mgr_results)) return;
+            const std::int64_t pri = g.pri_v ? g.pri_v(s.mgr_results) : 0;
+            candidates.push_back(Candidate{gi, slot_idx, pri});
+          };
+          if (naive_polling_) {
+            for (std::size_t i = 0; i < e.slots.size(); ++i) {
+              if (e.slots[i].state == Object::SlotState::kReady) consider(i);
+            }
+          } else {
+            for (std::size_t slot_idx : e.ready) consider(slot_idx);
+          }
+          break;
+        }
+        case Kind::kReceive: {
+          any_waitable = true;
+          bool eligible = false;
+          std::int64_t pri = 0;
+          g.channel->peek_front([&](const ValueList& msg) {
+            if (g.when_v && !g.when_v(msg)) return;
+            eligible = true;
+            pri = g.pri_v ? g.pri_v(msg) : 0;
+          });
+          if (eligible) candidates.push_back(Candidate{gi, kNoSlot, pri});
+          break;
+        }
+        case Kind::kWhen: {
+          if (g.when_b && g.when_b()) {
+            const std::int64_t pri = g.pri_b ? g.pri_b() : 0;
+            candidates.push_back(Candidate{gi, kNoSlot, pri});
+          }
+          break;
+        }
+      }
+    }
+
+    if (!candidates.empty()) {
+      // Smallest pri wins (paper: "among the guarded commands that are
+      // eligible for selection, one with the smallest pri value will be
+      // selected"); ties rotate for fairness across guards.
+      std::int64_t best = std::numeric_limits<std::int64_t>::max();
+      for (const auto& c : candidates) best = std::min(best, c.pri);
+      std::vector<std::size_t> tied;
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (candidates[i].pri == best) tied.push_back(i);
+      }
+      const Candidate chosen = candidates[tied[rotation_++ % tied.size()]];
+      GuardRec& g = guards_[chosen.guard_idx];
+
+      Fired fired;
+      fired.guard_idx = chosen.guard_idx;
+      switch (g.kind) {
+        case Kind::kAccept: {
+          Object::EntryCore& e = obj->core(g.entry.index());
+          Object::Slot& s = e.slots[chosen.slot];
+          auto it = std::find(e.attached.begin(), e.attached.end(), chosen.slot);
+          e.attached.erase(it);
+          s.state = Object::SlotState::kAccepted;
+          ++e.accepts;
+          obj->update_pending_locked(e);
+          obj->trace(e, s.call->id, chosen.slot, CallPhase::kAccepted);
+          fired.accepted.entry = g.entry.index();
+          fired.accepted.slot = chosen.slot;
+          fired.accepted.params.assign(
+              s.call->params.begin(),
+              s.call->params.begin() +
+                  static_cast<std::ptrdiff_t>(e.icept_params));
+          return fired;
+        }
+        case Kind::kAwait: {
+          Object::EntryCore& e = obj->core(g.entry.index());
+          Object::Slot& s = e.slots[chosen.slot];
+          auto it = std::find(e.ready.begin(), e.ready.end(), chosen.slot);
+          e.ready.erase(it);
+          s.state = Object::SlotState::kAwaited;
+          fired.awaited.entry = g.entry.index();
+          fired.awaited.slot = chosen.slot;
+          fired.awaited.results = std::move(s.mgr_results);
+          fired.awaited.failed = (s.body_error != nullptr);
+          return fired;
+        }
+        case Kind::kReceive: {
+          // Commit must revalidate: in principle another receiver could have
+          // consumed the message between peek and now (channels are
+          // point-to-point by convention, not enforcement).
+          auto msg = g.channel->take_front_if([&](const ValueList& front) {
+            return !g.when_v || g.when_v(front);
+          });
+          if (!msg) continue;  // raced away; re-evaluate from scratch
+          fired.message = std::move(*msg);
+          return fired;
+        }
+        case Kind::kWhen:
+          return fired;
+      }
+    }
+
+    if (!any_waitable) {
+      raise(ErrorCode::kNoEligibleGuard,
+            "select on object " + obj->name() +
+                ": no eligible guard and no event source to wait on");
+    }
+
+    if (!observers_registered) {
+      // Register channel wake-ups, then re-evaluate once: a message that
+      // arrived before registration must not be missed.
+      lock.unlock();
+      for (auto& g : guards_) {
+        if (g.kind == Kind::kReceive) observers.add(g.channel, obj);
+      }
+      lock.lock();
+      observers_registered = true;
+      continue;
+    }
+
+    obj->mgr_cv_.wait(lock, [&] {
+      return obj->epoch_ != snapshot || obj->stop_source_.stop_requested();
+    });
+  }
+}
+
+std::size_t Select::select(Manager& m) {
+  m.assert_manager_thread("select");
+  if (guards_.empty()) {
+    raise(ErrorCode::kProtocolViolation, "select with no guards");
+  }
+  Fired fired = select_impl(m);
+  GuardRec& g = guards_[fired.guard_idx];
+  // Handlers run outside the kernel lock and may freely use the manager
+  // primitives (the paper's `G => S` statement sequence).
+  switch (g.kind) {
+    case Kind::kAccept:
+      if (g.on_accept) g.on_accept(std::move(fired.accepted));
+      break;
+    case Kind::kAwait:
+      if (g.on_await) g.on_await(std::move(fired.awaited));
+      break;
+    case Kind::kReceive:
+      if (g.on_receive) g.on_receive(std::move(fired.message));
+      break;
+    case Kind::kWhen:
+      if (g.on_when) g.on_when();
+      break;
+  }
+  return fired.guard_idx;
+}
+
+void Select::loop(Manager& m) {
+  try {
+    for (;;) {
+      select(m);
+    }
+  } catch (const Error& e) {
+    if (e.code() != ErrorCode::kObjectStopped) throw;
+    // Normal termination: the loop runs until the object stops (the paper
+    // uses no distributed-termination convention).
+  }
+}
+
+}  // namespace alps

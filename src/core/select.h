@@ -1,0 +1,190 @@
+// Nondeterministic selection (paper §2.4): the `select` and `loop`
+// statements with accept / await / receive / when guards, acceptance
+// conditions (`when B` evaluated against tentatively received values), and
+// run-time priorities (`pri E`, smallest value wins).
+//
+//   Select()
+//     .on(accept_guard(deposit)
+//           .when([&](const ValueList&) { return count < N; })
+//           .then([&](Accepted a) { m.execute(a); ++count; }))
+//     .on(await_guard(deposit)
+//           .then([&](Awaited w) { m.finish(w); }))
+//     .loop(m);
+//
+// An accept/await guard stands for the whole family `(i:1..N) accept P[i]`;
+// every eligible slot is a separate candidate, so `when`/`pri` can depend on
+// each call's own values (e.g. shortest-seek-first scheduling). Eligibility
+// checks use the kernel's indexed ready lists (O(ready), not O(N) polls —
+// the waste the paper's §3 warns about; bench_guard_scan quantifies it).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/channel.h"
+#include "core/entry.h"
+#include "core/manager.h"
+#include "core/value.h"
+
+namespace alps {
+
+class Object;
+
+/// Acceptance condition: sees the tentatively received values (intercepted
+/// params for accept, intercepted+hidden results for await, the message for
+/// receive). Must be side-effect free; it runs under the kernel lock and may
+/// be evaluated for candidates that end up not selected.
+using ValuePred = std::function<bool(const ValueList&)>;
+/// Run-time priority (`pri E`); smaller is more urgent. Same restrictions.
+using ValuePri = std::function<std::int64_t(const ValueList&)>;
+
+struct AcceptGuard {
+  EntryRef entry;
+  ValuePred when_fn;
+  ValuePri pri_fn;
+  std::function<void(Accepted)> then_fn;
+
+  AcceptGuard&& when(ValuePred p) && {
+    when_fn = std::move(p);
+    return std::move(*this);
+  }
+  AcceptGuard&& pri(ValuePri p) && {
+    pri_fn = std::move(p);
+    return std::move(*this);
+  }
+  AcceptGuard&& then(std::function<void(Accepted)> h) && {
+    then_fn = std::move(h);
+    return std::move(*this);
+  }
+};
+
+struct AwaitGuard {
+  EntryRef entry;
+  ValuePred when_fn;
+  ValuePri pri_fn;
+  std::function<void(Awaited)> then_fn;
+
+  AwaitGuard&& when(ValuePred p) && {
+    when_fn = std::move(p);
+    return std::move(*this);
+  }
+  AwaitGuard&& pri(ValuePri p) && {
+    pri_fn = std::move(p);
+    return std::move(*this);
+  }
+  AwaitGuard&& then(std::function<void(Awaited)> h) && {
+    then_fn = std::move(h);
+    return std::move(*this);
+  }
+};
+
+struct ReceiveGuard {
+  ChannelRef channel;
+  ValuePred when_fn;
+  ValuePri pri_fn;
+  std::function<void(ValueList)> then_fn;
+
+  ReceiveGuard&& when(ValuePred p) && {
+    when_fn = std::move(p);
+    return std::move(*this);
+  }
+  ReceiveGuard&& pri(ValuePri p) && {
+    pri_fn = std::move(p);
+    return std::move(*this);
+  }
+  ReceiveGuard&& then(std::function<void(ValueList)> h) && {
+    then_fn = std::move(h);
+    return std::move(*this);
+  }
+};
+
+/// A pure boolean guard (`when B => S`).
+struct WhenGuard {
+  std::function<bool()> cond;
+  std::function<std::int64_t()> pri_fn;
+  std::function<void()> then_fn;
+
+  WhenGuard&& pri(std::function<std::int64_t()> p) && {
+    pri_fn = std::move(p);
+    return std::move(*this);
+  }
+  WhenGuard&& then(std::function<void()> h) && {
+    then_fn = std::move(h);
+    return std::move(*this);
+  }
+};
+
+inline AcceptGuard accept_guard(EntryRef e) { return AcceptGuard{e, {}, {}, {}}; }
+inline AwaitGuard await_guard(EntryRef e) { return AwaitGuard{e, {}, {}, {}}; }
+inline ReceiveGuard receive_guard(ChannelRef c) {
+  return ReceiveGuard{std::move(c), {}, {}, {}};
+}
+inline WhenGuard when_guard(std::function<bool()> cond) {
+  return WhenGuard{std::move(cond), {}, {}};
+}
+
+class Select {
+ public:
+  Select();
+  ~Select();
+
+  Select(const Select&) = delete;
+  Select& operator=(const Select&) = delete;
+
+  Select& on(AcceptGuard g);
+  Select& on(AwaitGuard g);
+  Select& on(ReceiveGuard g);
+  Select& on(WhenGuard g);
+
+  /// Runs one selection: blocks until a guard fires, runs its `then`
+  /// handler (outside the kernel lock), and returns the guard's index.
+  /// Throws kNoEligibleGuard if no guard is eligible and none can become so
+  /// (only false when-guards remain); throws kObjectStopped when the object
+  /// is stopping.
+  std::size_t select(Manager& m);
+
+  /// The paper's `loop`: selects repeatedly until the object stops. Returns
+  /// normally on stop.
+  void loop(Manager& m);
+
+  /// Enables the naive O(N) slot-scan eligibility check instead of the
+  /// indexed ready lists — the wasteful strategy §3 warns about. Exists for
+  /// experiment E9 only.
+  Select& use_naive_polling(bool enable);
+
+  std::size_t guard_count() const { return guards_.size(); }
+
+ private:
+  enum class Kind { kAccept, kAwait, kReceive, kWhen };
+
+  struct GuardRec {
+    Kind kind;
+    EntryRef entry;           // accept/await
+    ChannelRef channel;       // receive
+    ValuePred when_v;
+    ValuePri pri_v;
+    std::function<bool()> when_b;          // when-guard condition
+    std::function<std::int64_t()> pri_b;   // when-guard priority
+    std::function<void(Accepted)> on_accept;
+    std::function<void(Awaited)> on_await;
+    std::function<void(ValueList)> on_receive;
+    std::function<void()> on_when;
+  };
+
+  struct Fired {
+    std::size_t guard_idx;
+    Accepted accepted;
+    Awaited awaited;
+    ValueList message;
+  };
+
+  Fired select_impl(Manager& m);
+
+  std::vector<GuardRec> guards_;
+  std::uint64_t rotation_ = 0;
+  bool naive_polling_ = false;
+};
+
+}  // namespace alps

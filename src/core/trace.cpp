@@ -1,0 +1,115 @@
+#include "core/trace.h"
+
+#include <sstream>
+
+namespace alps {
+
+const char* to_string(CallPhase phase) {
+  switch (phase) {
+    case CallPhase::kArrived: return "arrived";
+    case CallPhase::kAttached: return "attached";
+    case CallPhase::kAccepted: return "accepted";
+    case CallPhase::kStarted: return "started";
+    case CallPhase::kReady: return "ready";
+    case CallPhase::kFinished: return "finished";
+    case CallPhase::kFailed: return "failed";
+    case CallPhase::kCombined: return "combined";
+  }
+  return "?";
+}
+
+void TraceCollector::on_event(const TraceEvent& event) {
+  std::scoped_lock lock(mu_);
+  EntryState& state = entries_[event.entry];
+  EntryReport& rep = state.report;
+  switch (event.phase) {
+    case CallPhase::kArrived: {
+      ++rep.arrived;
+      state.pending[event.call_id].arrived = event.at;
+      return;
+    }
+    case CallPhase::kAttached: {
+      auto it = state.pending.find(event.call_id);
+      if (it == state.pending.end()) return;
+      it->second.attached = event.at;
+      rep.attach_wait.record_duration(event.at - it->second.arrived);
+      return;
+    }
+    case CallPhase::kAccepted: {
+      auto it = state.pending.find(event.call_id);
+      if (it == state.pending.end()) return;
+      it->second.accepted = event.at;
+      rep.accept_wait.record_duration(event.at - it->second.attached);
+      return;
+    }
+    case CallPhase::kStarted: {
+      auto it = state.pending.find(event.call_id);
+      if (it == state.pending.end()) return;
+      it->second.started = event.at;
+      rep.start_delay.record_duration(event.at - it->second.accepted);
+      return;
+    }
+    case CallPhase::kReady: {
+      auto it = state.pending.find(event.call_id);
+      if (it == state.pending.end()) return;
+      it->second.ready = event.at;
+      rep.service_time.record_duration(event.at - it->second.started);
+      return;
+    }
+    case CallPhase::kFinished:
+    case CallPhase::kFailed:
+    case CallPhase::kCombined: {
+      auto it = state.pending.find(event.call_id);
+      if (it == state.pending.end()) return;
+      if (event.phase == CallPhase::kFinished) {
+        ++rep.finished;
+        if (it->second.ready.time_since_epoch().count() != 0) {
+          rep.finish_delay.record_duration(event.at - it->second.ready);
+        }
+      } else if (event.phase == CallPhase::kFailed) {
+        ++rep.failed;
+      } else {
+        ++rep.combined;
+      }
+      rep.total_latency.record_duration(event.at - it->second.arrived);
+      state.pending.erase(it);
+      return;
+    }
+  }
+}
+
+TraceCollector::EntryReport TraceCollector::report(
+    const std::string& entry) const {
+  std::scoped_lock lock(mu_);
+  auto it = entries_.find(entry);
+  if (it == entries_.end()) return {};
+  return it->second.report;
+}
+
+std::vector<std::string> TraceCollector::entries() const {
+  std::scoped_lock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, state] : entries_) out.push_back(name);
+  return out;
+}
+
+std::string TraceCollector::summary() const {
+  std::ostringstream os;
+  for (const auto& name : entries()) {
+    const EntryReport rep = report(name);
+    os << name << ": arrived=" << rep.arrived << " finished=" << rep.finished
+       << " failed=" << rep.failed << " combined=" << rep.combined << "\n";
+    os << "  accept_wait   " << rep.accept_wait.summary() << "\n";
+    os << "  service_time  " << rep.service_time.summary() << "\n";
+    os << "  total_latency " << rep.total_latency.summary() << "\n";
+  }
+  return os.str();
+}
+
+void TraceCollector::reset() {
+  std::scoped_lock lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace alps

@@ -1,0 +1,128 @@
+// Call tracing and per-entry latency decomposition.
+//
+// §2.3: the manager "provides a facility for pre- and post-processing of
+// entry calls which can be used not only to implement scheduling but also to
+// monitor the object". This module is the kernel-side half of that story: an
+// optional tracer observes every lifecycle transition of every call, and
+// TraceCollector turns the transitions into the decomposition operators care
+// about — time-to-attach (array contention), time-to-accept (manager
+// scheduling delay), service time, and time-to-finish (manager endorsement
+// delay).
+//
+//   TraceCollector collector;
+//   object.set_tracer(&collector);
+//   ... workload ...
+//   auto report = collector.report("Read");
+//   report.accept_wait.percentile(0.99);
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/stats.h"
+
+namespace alps {
+
+enum class CallPhase : std::uint8_t {
+  kArrived = 0,   ///< invocation reached the object
+  kAttached = 1,  ///< occupies a hidden-array slot
+  kAccepted = 2,  ///< manager executed accept
+  kStarted = 3,   ///< body launched (start)
+  kReady = 4,     ///< body returned; ready to terminate
+  kFinished = 5,  ///< manager executed finish; caller completed
+  kFailed = 6,    ///< completed with an error (any stage)
+  kCombined = 7,  ///< answered by combining (no body)
+};
+
+const char* to_string(CallPhase phase);
+
+struct TraceEvent {
+  std::string entry;
+  std::uint64_t call_id = 0;
+  std::size_t slot = static_cast<std::size_t>(-1);
+  CallPhase phase = CallPhase::kArrived;
+  std::chrono::steady_clock::time_point at;
+};
+
+/// Interface the kernel calls on every transition. Implementations must be
+/// thread-safe and fast; they run on callers' threads, the manager thread
+/// and worker threads, sometimes under the object's kernel lock — a tracer
+/// must never call back into kernel operations.
+class Tracer {
+ public:
+  virtual ~Tracer() = default;
+  virtual void on_event(const TraceEvent& event) = 0;
+};
+
+/// Aggregating tracer: per-entry counts and latency histograms for each
+/// lifecycle leg.
+class TraceCollector final : public Tracer {
+ public:
+  struct EntryReport {
+    std::uint64_t arrived = 0;
+    std::uint64_t finished = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t combined = 0;
+    support::Histogram attach_wait;   ///< arrive → attach
+    support::Histogram accept_wait;   ///< attach → accept
+    support::Histogram start_delay;   ///< accept → start
+    support::Histogram service_time;  ///< start → ready
+    support::Histogram finish_delay;  ///< ready → finish
+    support::Histogram total_latency; ///< arrive → finish/fail/combine
+  };
+
+  void on_event(const TraceEvent& event) override;
+
+  /// Snapshot of one entry's aggregates (default-empty if never seen).
+  EntryReport report(const std::string& entry) const;
+
+  std::vector<std::string> entries() const;
+
+  /// Human-readable multi-line dump of all entries.
+  std::string summary() const;
+
+  void reset();
+
+ private:
+  struct Pending {
+    std::chrono::steady_clock::time_point arrived, attached, accepted, started,
+        ready;
+  };
+
+  struct EntryState {
+    EntryReport report;
+    std::map<std::uint64_t, Pending> pending;  // call_id → timestamps
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, EntryState> entries_;
+};
+
+/// Recording tracer: keeps the raw event list (tests, debugging).
+class TraceRecorder final : public Tracer {
+ public:
+  void on_event(const TraceEvent& event) override {
+    std::scoped_lock lock(mu_);
+    events_.push_back(event);
+  }
+
+  std::vector<TraceEvent> events() const {
+    std::scoped_lock lock(mu_);
+    return events_;
+  }
+
+  void clear() {
+    std::scoped_lock lock(mu_);
+    events_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace alps

@@ -1,0 +1,257 @@
+// Typed façade over the dynamically typed kernel.
+//
+// The ALPS paper presents a strongly typed Pascal-like notation (§4); the
+// kernel underneath moves untyped value lists. This header recovers static
+// typing for C++ users: Codec<T> maps C++ types to kernel Values, and
+// typed::call / typed::Channel wrap invocation and messaging.
+//
+//   auto h = typed::async_call<std::string>(dict, search, std::string("w1"));
+//   std::string meaning = h.get();
+//
+//   typed::Channel<int, std::string> ch;   // chan(int, string)
+//   ch.send(1, "hello");
+//   auto [n, s] = ch.receive();
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/channel.h"
+#include "core/error.h"
+#include "core/object.h"
+#include "core/value.h"
+
+namespace alps::typed_api {
+
+template <class T>
+struct Codec;
+
+template <>
+struct Codec<bool> {
+  static Value encode(bool v) { return Value(v); }
+  static bool decode(const Value& v) { return v.as_bool(); }
+};
+
+template <>
+struct Codec<std::int64_t> {
+  static Value encode(std::int64_t v) { return Value(v); }
+  static std::int64_t decode(const Value& v) { return v.as_int(); }
+};
+
+template <>
+struct Codec<int> {
+  static Value encode(int v) { return Value(v); }
+  static int decode(const Value& v) { return static_cast<int>(v.as_int()); }
+};
+
+template <>
+struct Codec<unsigned> {
+  static Value encode(unsigned v) { return Value(v); }
+  static unsigned decode(const Value& v) {
+    return static_cast<unsigned>(v.as_int());
+  }
+};
+
+template <>
+struct Codec<std::size_t> {
+  static Value encode(std::size_t v) { return Value(v); }
+  static std::size_t decode(const Value& v) {
+    return static_cast<std::size_t>(v.as_int());
+  }
+};
+
+template <>
+struct Codec<double> {
+  static Value encode(double v) { return Value(v); }
+  static double decode(const Value& v) { return v.as_real(); }
+};
+
+template <>
+struct Codec<std::string> {
+  static Value encode(std::string v) { return Value(std::move(v)); }
+  static std::string decode(const Value& v) { return v.as_string(); }
+};
+
+template <>
+struct Codec<Blob> {
+  static Value encode(Blob v) { return Value(std::move(v)); }
+  static Blob decode(const Value& v) { return v.as_blob(); }
+};
+
+template <>
+struct Codec<Value> {
+  static Value encode(Value v) { return v; }
+  static Value decode(const Value& v) { return v; }
+};
+
+template <>
+struct Codec<ChannelRef> {
+  static Value encode(ChannelRef v) { return Value(std::move(v)); }
+  static ChannelRef decode(const Value& v) { return v.as_channel(); }
+};
+
+template <class T>
+struct Codec<std::vector<T>> {
+  static Value encode(const std::vector<T>& v) {
+    ValueList out;
+    out.reserve(v.size());
+    for (const auto& x : v) out.push_back(Codec<T>::encode(x));
+    return Value(std::move(out));
+  }
+  static std::vector<T> decode(const Value& v) {
+    const ValueList& list = v.as_list();
+    std::vector<T> out;
+    out.reserve(list.size());
+    for (const auto& x : list) out.push_back(Codec<T>::decode(x));
+    return out;
+  }
+};
+
+template <class A, class B>
+struct Codec<std::pair<A, B>> {
+  static Value encode(const std::pair<A, B>& v) {
+    return Value(ValueList{Codec<A>::encode(v.first), Codec<B>::encode(v.second)});
+  }
+  static std::pair<A, B> decode(const Value& v) {
+    const ValueList& list = v.as_list();
+    if (list.size() != 2) raise(ErrorCode::kTypeMismatch, "pair arity");
+    return {Codec<A>::decode(list[0]), Codec<B>::decode(list[1])};
+  }
+};
+
+/// Encodes a parameter pack into a ValueList.
+template <class... Ts>
+ValueList encode_all(Ts&&... ts) {
+  ValueList out;
+  out.reserve(sizeof...(Ts));
+  (out.push_back(Codec<std::decay_t<Ts>>::encode(std::forward<Ts>(ts))), ...);
+  return out;
+}
+
+/// Decodes a ValueList into a tuple of the given types.
+template <class... Ts, std::size_t... Is>
+std::tuple<Ts...> decode_tuple_impl(const ValueList& list,
+                                    std::index_sequence<Is...>) {
+  if (list.size() != sizeof...(Ts)) {
+    raise(ErrorCode::kArityMismatch,
+          "expected " + std::to_string(sizeof...(Ts)) + " values, got " +
+              std::to_string(list.size()));
+  }
+  return std::tuple<Ts...>(Codec<Ts>::decode(list[Is])...);
+}
+
+template <class... Ts>
+std::tuple<Ts...> decode_tuple(const ValueList& list) {
+  return decode_tuple_impl<Ts...>(list, std::index_sequence_for<Ts...>{});
+}
+
+/// Typed future over a kernel CallHandle. R=void → get() returns void;
+/// R=std::tuple<...> → multiple results; otherwise a single result.
+template <class R>
+class Future {
+ public:
+  explicit Future(CallHandle h) : h_(std::move(h)) {}
+
+  R get() {
+    ValueList results = h_.get();
+    if constexpr (std::is_void_v<R>) {
+      (void)results;
+      return;
+    } else {
+      return decode_result(results);
+    }
+  }
+
+  bool ready() const { return h_.ready(); }
+  void wait() const { h_.wait(); }
+  CallHandle& raw() { return h_; }
+
+ private:
+  template <class T = R>
+  static T decode_result(const ValueList& results) {
+    if constexpr (is_tuple_v<T>) {
+      return decode_from_list<T>(results);
+    } else {
+      if (results.size() != 1) {
+        raise(ErrorCode::kArityMismatch,
+              "expected 1 result, got " + std::to_string(results.size()));
+      }
+      return Codec<T>::decode(results[0]);
+    }
+  }
+
+  template <class T>
+  struct is_tuple : std::false_type {};
+  template <class... Ts>
+  struct is_tuple<std::tuple<Ts...>> : std::true_type {};
+  template <class T>
+  static constexpr bool is_tuple_v = is_tuple<T>::value;
+
+  template <class Tup, std::size_t... Is>
+  static Tup decode_from_list_impl(const ValueList& list,
+                                   std::index_sequence<Is...>) {
+    if (list.size() != sizeof...(Is)) {
+      raise(ErrorCode::kArityMismatch, "result tuple arity mismatch");
+    }
+    return Tup(Codec<std::tuple_element_t<Is, Tup>>::decode(list[Is])...);
+  }
+
+  template <class Tup>
+  static Tup decode_from_list(const ValueList& list) {
+    return decode_from_list_impl<Tup>(
+        list, std::make_index_sequence<std::tuple_size_v<Tup>>{});
+  }
+
+  CallHandle h_;
+};
+
+/// typed::async_call<R>(obj, entry, args...) — type-checked invocation.
+template <class R = void, class... Args>
+Future<R> async_call(Object& obj, EntryRef entry, Args&&... args) {
+  return Future<R>(obj.async_call(entry, encode_all(std::forward<Args>(args)...)));
+}
+
+template <class R = void, class... Args>
+R call(Object& obj, EntryRef entry, Args&&... args) {
+  return async_call<R>(obj, entry, std::forward<Args>(args)...).get();
+}
+
+/// Typed channel over a kernel channel: chan(T1, ..., Tn).
+template <class... Ts>
+class Channel {
+ public:
+  Channel() : core_(make_channel()) {}
+  explicit Channel(std::string name) : core_(make_channel(std::move(name))) {}
+  explicit Channel(ChannelRef core) : core_(std::move(core)) {}
+
+  bool send(Ts... values) {
+    return core_->send(encode_all(std::move(values)...));
+  }
+
+  std::tuple<Ts...> receive() { return decode_tuple<Ts...>(core_->receive()); }
+
+  std::optional<std::tuple<Ts...>> try_receive() {
+    auto msg = core_->try_receive();
+    if (!msg) return std::nullopt;
+    return decode_tuple<Ts...>(*msg);
+  }
+
+  void close() { core_->close(); }
+  std::size_t size() const { return core_->size(); }
+
+  /// The underlying kernel channel (to embed in Values / guards).
+  const ChannelRef& ref() const { return core_; }
+  Value as_value() const { return Value(core_); }
+
+ private:
+  ChannelRef core_;
+};
+
+}  // namespace alps::typed_api
+
+namespace alps {
+namespace typed = typed_api;  // convenient alias: alps::typed::call<...>
+}

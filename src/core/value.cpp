@@ -1,0 +1,159 @@
+#include "core/value.h"
+
+#include <cstdio>
+#include <functional>
+
+#include "core/error.h"
+
+namespace alps {
+
+const char* to_string(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kNil: return "nil";
+    case ValueKind::kBool: return "bool";
+    case ValueKind::kInt: return "int";
+    case ValueKind::kReal: return "real";
+    case ValueKind::kString: return "string";
+    case ValueKind::kBlob: return "blob";
+    case ValueKind::kList: return "list";
+    case ValueKind::kChannel: return "channel";
+  }
+  return "?";
+}
+
+namespace {
+[[noreturn]] void kind_error(ValueKind want, ValueKind got) {
+  raise(ErrorCode::kTypeMismatch, std::string("expected ") + to_string(want) +
+                                      ", got " + to_string(got));
+}
+}  // namespace
+
+bool Value::as_bool() const {
+  if (auto* p = std::get_if<bool>(&v_)) return *p;
+  kind_error(ValueKind::kBool, kind());
+}
+
+std::int64_t Value::as_int() const {
+  if (auto* p = std::get_if<std::int64_t>(&v_)) return *p;
+  kind_error(ValueKind::kInt, kind());
+}
+
+double Value::as_real() const {
+  if (auto* p = std::get_if<double>(&v_)) return *p;
+  if (auto* p = std::get_if<std::int64_t>(&v_)) {
+    return static_cast<double>(*p);
+  }
+  kind_error(ValueKind::kReal, kind());
+}
+
+const std::string& Value::as_string() const {
+  if (auto* p = std::get_if<std::string>(&v_)) return *p;
+  kind_error(ValueKind::kString, kind());
+}
+
+const Blob& Value::as_blob() const {
+  if (auto* p = std::get_if<Blob>(&v_)) return *p;
+  kind_error(ValueKind::kBlob, kind());
+}
+
+const ValueList& Value::as_list() const {
+  if (auto* p = std::get_if<ValueList>(&v_)) return *p;
+  kind_error(ValueKind::kList, kind());
+}
+
+ValueList& Value::as_list() {
+  if (auto* p = std::get_if<ValueList>(&v_)) return *p;
+  kind_error(ValueKind::kList, kind());
+}
+
+const ChannelRef& Value::as_channel() const {
+  if (auto* p = std::get_if<ChannelRef>(&v_)) return *p;
+  kind_error(ValueKind::kChannel, kind());
+}
+
+bool Value::operator==(const Value& other) const {
+  if (kind() != other.kind()) return false;
+  switch (kind()) {
+    case ValueKind::kNil: return true;
+    case ValueKind::kBool: return std::get<bool>(v_) == std::get<bool>(other.v_);
+    case ValueKind::kInt:
+      return std::get<std::int64_t>(v_) == std::get<std::int64_t>(other.v_);
+    case ValueKind::kReal:
+      return std::get<double>(v_) == std::get<double>(other.v_);
+    case ValueKind::kString:
+      return std::get<std::string>(v_) == std::get<std::string>(other.v_);
+    case ValueKind::kBlob: return std::get<Blob>(v_) == std::get<Blob>(other.v_);
+    case ValueKind::kList:
+      return std::get<ValueList>(v_) == std::get<ValueList>(other.v_);
+    case ValueKind::kChannel:
+      return std::get<ChannelRef>(v_) == std::get<ChannelRef>(other.v_);
+  }
+  return false;
+}
+
+std::string Value::to_string() const {
+  char buf[64];
+  switch (kind()) {
+    case ValueKind::kNil: return "nil";
+    case ValueKind::kBool: return std::get<bool>(v_) ? "true" : "false";
+    case ValueKind::kInt:
+      std::snprintf(buf, sizeof buf, "%lld",
+                    static_cast<long long>(std::get<std::int64_t>(v_)));
+      return buf;
+    case ValueKind::kReal:
+      std::snprintf(buf, sizeof buf, "%g", std::get<double>(v_));
+      return buf;
+    case ValueKind::kString: return "\"" + std::get<std::string>(v_) + "\"";
+    case ValueKind::kBlob:
+      std::snprintf(buf, sizeof buf, "<blob:%zu>", std::get<Blob>(v_).size());
+      return buf;
+    case ValueKind::kList: return alps::to_string(std::get<ValueList>(v_));
+    case ValueKind::kChannel:
+      std::snprintf(buf, sizeof buf, "<chan@%p>",
+                    static_cast<const void*>(std::get<ChannelRef>(v_).get()));
+      return buf;
+  }
+  return "?";
+}
+
+std::size_t Value::hash() const {
+  const std::size_t tag = static_cast<std::size_t>(kind()) * 0x9e3779b97f4a7c15ull;
+  auto mix = [tag](std::size_t h) { return tag ^ (h + 0x9e3779b9 + (tag << 6)); };
+  switch (kind()) {
+    case ValueKind::kNil: return mix(0);
+    case ValueKind::kBool: return mix(std::get<bool>(v_) ? 1 : 0);
+    case ValueKind::kInt:
+      return mix(std::hash<std::int64_t>{}(std::get<std::int64_t>(v_)));
+    case ValueKind::kReal:
+      return mix(std::hash<double>{}(std::get<double>(v_)));
+    case ValueKind::kString:
+      return mix(std::hash<std::string>{}(std::get<std::string>(v_)));
+    case ValueKind::kBlob: {
+      std::size_t h = 1469598103934665603ull;
+      for (auto b : std::get<Blob>(v_)) h = (h ^ b) * 1099511628211ull;
+      return mix(h);
+    }
+    case ValueKind::kList: {
+      std::size_t h = 0;
+      for (const auto& v : std::get<ValueList>(v_)) {
+        h = h * 31 + v.hash();
+      }
+      return mix(h);
+    }
+    case ValueKind::kChannel:
+      return mix(std::hash<const void*>{}(std::get<ChannelRef>(v_).get()));
+  }
+  return 0;
+}
+
+std::string to_string(const ValueList& list) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (i) out += ", ";
+    out += list[i].to_string();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace alps

@@ -1,0 +1,109 @@
+// alps::Value — the dynamically typed value system of the ALPS kernel.
+//
+// The paper's kernel was written in C and "can be used directly from other
+// languages like C" (§4); parameters and results flow through it as untyped
+// lists, which is also what makes the paper's "initial subsequence of the
+// parameter list" interception semantics (§2.6) natural to express. This
+// reproduction keeps that shape: the kernel moves ValueLists, and a typed
+// C++ façade (core/typed.h) provides compile-time convenience on top.
+//
+// A Value is one of: nil, bool, int (64-bit), real (double), string, blob,
+// list (vector<Value>), or a channel reference (§2.1.2 allows channels to be
+// passed as procedure parameters and message values).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace alps {
+
+class ChannelCore;
+using ChannelRef = std::shared_ptr<ChannelCore>;
+
+class Value;
+using ValueList = std::vector<Value>;
+using Blob = std::vector<std::uint8_t>;
+
+enum class ValueKind : std::uint8_t {
+  kNil = 0,
+  kBool = 1,
+  kInt = 2,
+  kReal = 3,
+  kString = 4,
+  kBlob = 5,
+  kList = 6,
+  kChannel = 7,
+};
+
+const char* to_string(ValueKind kind);
+
+class Value {
+ public:
+  Value() = default;
+  Value(std::nullptr_t) {}
+  Value(bool b) : v_(b) {}
+  Value(int i) : v_(static_cast<std::int64_t>(i)) {}
+  Value(unsigned i) : v_(static_cast<std::int64_t>(i)) {}
+  Value(long i) : v_(static_cast<std::int64_t>(i)) {}
+  Value(long long i) : v_(static_cast<std::int64_t>(i)) {}
+  Value(unsigned long i) : v_(static_cast<std::int64_t>(i)) {}
+  Value(unsigned long long i) : v_(static_cast<std::int64_t>(i)) {}
+  Value(double d) : v_(d) {}
+  Value(const char* s) : v_(std::string(s)) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(Blob b) : v_(std::move(b)) {}
+  Value(ValueList l) : v_(std::move(l)) {}
+  Value(ChannelRef c) : v_(std::move(c)) {}
+
+  ValueKind kind() const { return static_cast<ValueKind>(v_.index()); }
+
+  bool is_nil() const { return kind() == ValueKind::kNil; }
+  bool is_bool() const { return kind() == ValueKind::kBool; }
+  bool is_int() const { return kind() == ValueKind::kInt; }
+  bool is_real() const { return kind() == ValueKind::kReal; }
+  bool is_string() const { return kind() == ValueKind::kString; }
+  bool is_blob() const { return kind() == ValueKind::kBlob; }
+  bool is_list() const { return kind() == ValueKind::kList; }
+  bool is_channel() const { return kind() == ValueKind::kChannel; }
+
+  // Checked accessors; throw Error(kTypeMismatch) on kind mismatch.
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  /// Accepts kInt or kReal (ints widen).
+  double as_real() const;
+  const std::string& as_string() const;
+  const Blob& as_blob() const;
+  const ValueList& as_list() const;
+  ValueList& as_list();
+  const ChannelRef& as_channel() const;
+
+  /// Structural equality; channels compare by identity.
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Debug rendering, e.g. `["abc", 42, <chan#3>]`.
+  std::string to_string() const;
+
+  std::size_t hash() const;
+
+ private:
+  std::variant<std::monostate, bool, std::int64_t, double, std::string, Blob,
+               ValueList, ChannelRef>
+      v_;
+};
+
+/// Convenience builder: vals(1, "x", true) -> ValueList.
+template <class... Ts>
+ValueList vals(Ts&&... ts) {
+  ValueList out;
+  out.reserve(sizeof...(Ts));
+  (out.emplace_back(std::forward<Ts>(ts)), ...);
+  return out;
+}
+
+std::string to_string(const ValueList& list);
+
+}  // namespace alps

@@ -1,0 +1,200 @@
+// Abstract syntax for the ALPS surface-language subset.
+//
+// The grammar mirrors the paper's notation:
+//
+//   program      = { object-def | object-impl }
+//   object-def   = "object" NAME "defines" { proc-decl ";" } "end" NAME ";"
+//   proc-decl    = "proc" NAME [ "(" type {"," type} ")" ]
+//                    [ "returns" "(" type {"," type} ")" ]
+//   object-impl  = "object" NAME "implements" { var-decl | proc-body | manager }
+//                    [ "begin" stmts ]  "end" NAME ";"
+//   proc-body    = "proc" NAME [ "[" INT "]" ]          -- hidden array size
+//                    [ "(" param {";" param} ")" ] [ "returns" "(" ... ")" ]
+//                    ";" "begin" stmts "end" NAME? ";"
+//       (params beyond the definition's arity are the hidden ones, §2.8)
+//   manager      = "manager" "intercepts" icept {"," icept} ";"
+//                    { var-decl } "begin" stmts "end" ";"
+//   icept        = NAME [ "(" [types] [";" [types]] ")" ]   -- §2.6 prefixes
+//   stmt         = assign | if | while | loop | select | return
+//                | "accept" NAME "[" BINDER "]" [ "(" binders ")" ]
+//                | "start" NAME "[" expr "]" [ "(" exprs ")" ]    -- hidden params
+//                | "await" NAME "[" expr-or-binder "]" [ "(" binders ")" ]
+//                | "finish" NAME "[" expr "]" [ "(" exprs ")" ]
+//                | "execute" NAME "[" expr "]" [ "(" exprs ")" ]
+//   guard        = ("accept"|"await") NAME "[" BINDER "]" [ "(" binders ")" ]
+//                    [ "when" expr ] [ "pri" expr ]
+//                | "when" expr
+//   expr         = Pascal-style with and/or/not, comparisons, + - * / mod,
+//                  "#" NAME (pending count), literals, names
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace alps::lang {
+
+// ---- expressions ----
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNeq, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+enum class UnOp { kNeg, kNot };
+
+struct Expr {
+  enum class Kind {
+    kIntLit,
+    kRealLit,
+    kStringLit,
+    kBoolLit,
+    kName,      // variable / parameter / binder reference
+    kIndex,     // array element: Name[expr]
+    kPending,   // #P
+    kBinary,
+    kUnary,
+  };
+  Kind kind;
+  std::int64_t int_val = 0;
+  double real_val = 0.0;
+  bool bool_val = false;
+  std::string name;  // kName: variable; kPending: entry name; kStringLit: text
+  BinOp bin_op = BinOp::kAdd;
+  UnOp un_op = UnOp::kNeg;
+  ExprPtr lhs, rhs;  // kBinary; kUnary uses lhs; kIndex: lhs = index
+  std::size_t line = 0;
+};
+
+// ---- statements ----
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+using StmtList = std::vector<StmtPtr>;
+
+/// A manager primitive's target: entry name plus the slot expression (for
+/// accept the slot token is a fresh binder instead).
+struct PrimTarget {
+  std::string entry;
+  std::string slot_binder;  // accept/await-guard: name bound to the slot
+  ExprPtr slot_expr;        // start/finish/execute/direct-await: slot value
+};
+
+struct Guard {
+  enum class Kind { kAccept, kAwait, kWhen, kReceive };
+  Kind kind = Kind::kWhen;
+  PrimTarget target;                  // kAccept/kAwait
+  std::string channel;                // kReceive: channel variable name
+  std::vector<std::string> binders;   // received params/results/message
+  ExprPtr when;                       // acceptance condition (optional)
+  ExprPtr pri;                        // run-time priority (optional)
+  StmtList body;                      // the `=> S` part
+};
+
+struct Stmt {
+  enum class Kind {
+    kAssign,
+    kIf,
+    kWhile,
+    kLoop,      // nondeterministic loop with guards
+    kSelect,    // one nondeterministic selection
+    kReturn,
+    kAccept,    // direct (non-guard) accept
+    kSend,      // send C(exprs) — asynchronous (§2.1.2)
+    kReceive,   // receive C(binders) — blocking
+    kStart,
+    kAwait,     // direct await of a specific slot
+    kFinish,
+    kExecute,
+  };
+  Kind kind;
+  // kAssign (assign_index non-null for `Name[expr] := value`)
+  std::string assign_name;
+  ExprPtr assign_index;
+  ExprPtr assign_value;
+  // kIf: arms are (condition, body) pairs; else_body may be empty
+  std::vector<std::pair<ExprPtr, StmtList>> if_arms;
+  StmtList else_body;
+  // kWhile
+  ExprPtr while_cond;
+  StmtList while_body;
+  // kLoop / kSelect
+  std::vector<Guard> guards;
+  // kReturn
+  std::vector<ExprPtr> return_values;
+  // manager primitives / channel statements
+  std::string channel;  // kSend/kReceive: channel variable name
+  PrimTarget target;
+  std::vector<std::string> binders;  // accept/await received values
+  std::vector<ExprPtr> args;         // start: hidden params; finish: iresults;
+                                     // execute: hidden params
+  std::size_t line = 0;
+};
+
+// ---- declarations ----
+
+enum class TypeName { kInt, kBool, kReal, kString, kChan };
+
+struct ProcDecl {
+  std::string name;
+  std::vector<TypeName> params;
+  std::vector<TypeName> results;
+};
+
+struct ObjectDef {
+  std::string name;
+  std::vector<ProcDecl> procs;
+};
+
+struct Param {
+  std::string name;
+  TypeName type = TypeName::kInt;
+};
+
+struct VarDecl {
+  std::string name;
+  TypeName type = TypeName::kInt;
+  std::size_t array = 0;  ///< 0 = scalar; N = `array N of type`
+  std::size_t line = 0;
+};
+
+struct ProcBody {
+  std::string name;
+  std::size_t array = 1;  // hidden procedure array size (§2.5)
+  std::vector<Param> params;   // includes hidden params at the tail (§2.8)
+  std::vector<Param> results;  // includes hidden results at the tail
+  std::vector<VarDecl> locals;
+  StmtList body;
+};
+
+struct InterceptDecl {
+  std::string entry;
+  std::size_t n_params = 0;   // §2.6 parameter prefix
+  std::size_t n_results = 0;  // §2.6 result prefix
+};
+
+struct ManagerDecl {
+  std::vector<InterceptDecl> intercepts;
+  std::vector<VarDecl> locals;
+  StmtList body;
+};
+
+struct ObjectImpl {
+  std::string name;
+  std::vector<VarDecl> shared;  // the shared data part
+  std::vector<ProcBody> procs;
+  std::unique_ptr<ManagerDecl> manager;  // optional
+  StmtList init;                         // optional initialization code
+};
+
+struct Program {
+  std::vector<ObjectDef> defs;
+  std::vector<ObjectImpl> impls;
+};
+
+}  // namespace alps::lang

@@ -1,0 +1,289 @@
+#include "lang/token.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace alps::lang {
+
+const char* to_string(Tok tok) {
+  switch (tok) {
+    case Tok::kIdent: return "identifier";
+    case Tok::kIntLit: return "integer literal";
+    case Tok::kRealLit: return "real literal";
+    case Tok::kStringLit: return "string literal";
+    case Tok::kTrue: return "'true'";
+    case Tok::kFalse: return "'false'";
+    case Tok::kObject: return "'object'";
+    case Tok::kDefines: return "'defines'";
+    case Tok::kImplements: return "'implements'";
+    case Tok::kEnd: return "'end'";
+    case Tok::kProc: return "'proc'";
+    case Tok::kReturns: return "'returns'";
+    case Tok::kVar: return "'var'";
+    case Tok::kManager: return "'manager'";
+    case Tok::kIntercepts: return "'intercepts'";
+    case Tok::kBegin: return "'begin'";
+    case Tok::kLoop: return "'loop'";
+    case Tok::kSelect: return "'select'";
+    case Tok::kAccept: return "'accept'";
+    case Tok::kAwait: return "'await'";
+    case Tok::kStart: return "'start'";
+    case Tok::kFinish: return "'finish'";
+    case Tok::kExecute: return "'execute'";
+    case Tok::kWhen: return "'when'";
+    case Tok::kPri: return "'pri'";
+    case Tok::kOr: return "'or'";
+    case Tok::kIf: return "'if'";
+    case Tok::kThen: return "'then'";
+    case Tok::kElse: return "'else'";
+    case Tok::kElsif: return "'elsif'";
+    case Tok::kWhile: return "'while'";
+    case Tok::kDo: return "'do'";
+    case Tok::kReturn: return "'return'";
+    case Tok::kAnd: return "'and'";
+    case Tok::kNot: return "'not'";
+    case Tok::kMod: return "'mod'";
+    case Tok::kArray: return "'array'";
+    case Tok::kChanType: return "'chan'";
+    case Tok::kSend: return "'send'";
+    case Tok::kReceive: return "'receive'";
+    case Tok::kOf: return "'of'";
+    case Tok::kIntType: return "'int'";
+    case Tok::kBoolType: return "'bool'";
+    case Tok::kRealType: return "'real'";
+    case Tok::kStringType: return "'string'";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kLBracket: return "'['";
+    case Tok::kRBracket: return "']'";
+    case Tok::kComma: return "','";
+    case Tok::kSemi: return "';'";
+    case Tok::kColon: return "':'";
+    case Tok::kAssign: return "':='";
+    case Tok::kArrow: return "'=>'";
+    case Tok::kEq: return "'='";
+    case Tok::kNeq: return "'<>'";
+    case Tok::kLt: return "'<'";
+    case Tok::kLe: return "'<='";
+    case Tok::kGt: return "'>'";
+    case Tok::kGe: return "'>='";
+    case Tok::kPlus: return "'+'";
+    case Tok::kMinus: return "'-'";
+    case Tok::kStar: return "'*'";
+    case Tok::kSlash: return "'/'";
+    case Tok::kHash: return "'#'";
+    case Tok::kDot: return "'.'";
+    case Tok::kEof: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string, Tok>& keywords() {
+  static const std::unordered_map<std::string, Tok> kMap = {
+      {"object", Tok::kObject},     {"defines", Tok::kDefines},
+      {"implements", Tok::kImplements}, {"end", Tok::kEnd},
+      {"proc", Tok::kProc},         {"returns", Tok::kReturns},
+      {"var", Tok::kVar},           {"manager", Tok::kManager},
+      {"intercepts", Tok::kIntercepts}, {"begin", Tok::kBegin},
+      {"loop", Tok::kLoop},         {"select", Tok::kSelect},
+      {"accept", Tok::kAccept},     {"await", Tok::kAwait},
+      {"start", Tok::kStart},       {"finish", Tok::kFinish},
+      {"execute", Tok::kExecute},   {"when", Tok::kWhen},
+      {"pri", Tok::kPri},           {"or", Tok::kOr},
+      {"if", Tok::kIf},             {"then", Tok::kThen},
+      {"else", Tok::kElse},         {"elsif", Tok::kElsif},
+      {"while", Tok::kWhile},       {"do", Tok::kDo},
+      {"return", Tok::kReturn},     {"and", Tok::kAnd},
+      {"not", Tok::kNot},           {"mod", Tok::kMod},
+      {"array", Tok::kArray},        {"of", Tok::kOf},
+      {"chan", Tok::kChanType},     {"send", Tok::kSend},
+      {"receive", Tok::kReceive},
+      {"int", Tok::kIntType},       {"bool", Tok::kBoolType},
+      {"real", Tok::kRealType},     {"string", Tok::kStringType},
+      {"true", Tok::kTrue},         {"false", Tok::kFalse},
+  };
+  return kMap;
+}
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& src) {
+  std::vector<Token> out;
+  std::size_t i = 0, line = 1, col = 1;
+
+  auto advance = [&](std::size_t n = 1) {
+    for (std::size_t k = 0; k < n && i < src.size(); ++k) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+  auto peek = [&](std::size_t off = 0) -> char {
+    return i + off < src.size() ? src[i + off] : '\0';
+  };
+  auto push = [&](Tok kind, std::string text, std::size_t tline,
+                  std::size_t tcol) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = tline;
+    t.col = tcol;
+    out.push_back(std::move(t));
+  };
+
+  while (i < src.size()) {
+    const char c = peek();
+    const std::size_t tline = line, tcol = col;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    // Comments: `--` to end of line, `{ ... }` block (paper listing style).
+    if (c == '-' && peek(1) == '-') {
+      while (i < src.size() && peek() != '\n') advance();
+      continue;
+    }
+    if (c == '{') {
+      while (i < src.size() && peek() != '}') advance();
+      if (i >= src.size()) throw LangError("unterminated { comment", tline, tcol);
+      advance();  // consume '}'
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+        word.push_back(peek());
+        advance();
+      }
+      std::string lowered = word;
+      for (auto& ch : lowered) {
+        ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+      }
+      auto it = keywords().find(lowered);
+      if (it != keywords().end()) {
+        push(it->second, word, tline, tcol);
+      } else {
+        push(Tok::kIdent, word, tline, tcol);
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string num;
+      bool real = false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        num.push_back(peek());
+        advance();
+      }
+      if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        real = true;
+        num.push_back('.');
+        advance();
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+          num.push_back(peek());
+          advance();
+        }
+      }
+      Token t;
+      t.text = num;
+      t.line = tline;
+      t.col = tcol;
+      if (real) {
+        t.kind = Tok::kRealLit;
+        t.real_val = std::stod(num);
+      } else {
+        t.kind = Tok::kIntLit;
+        t.int_val = std::stoll(num);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"') {
+      advance();
+      std::string text;
+      while (i < src.size() && peek() != '"') {
+        if (peek() == '\\' && (peek(1) == '"' || peek(1) == '\\')) advance();
+        text.push_back(peek());
+        advance();
+      }
+      if (i >= src.size()) throw LangError("unterminated string", tline, tcol);
+      advance();  // closing quote
+      Token t;
+      t.kind = Tok::kStringLit;
+      t.text = std::move(text);
+      t.line = tline;
+      t.col = tcol;
+      out.push_back(std::move(t));
+      continue;
+    }
+    switch (c) {
+      case '(': push(Tok::kLParen, "(", tline, tcol); advance(); continue;
+      case ')': push(Tok::kRParen, ")", tline, tcol); advance(); continue;
+      case '[': push(Tok::kLBracket, "[", tline, tcol); advance(); continue;
+      case ']': push(Tok::kRBracket, "]", tline, tcol); advance(); continue;
+      case ',': push(Tok::kComma, ",", tline, tcol); advance(); continue;
+      case ';': push(Tok::kSemi, ";", tline, tcol); advance(); continue;
+      case '#': push(Tok::kHash, "#", tline, tcol); advance(); continue;
+      case '.': push(Tok::kDot, ".", tline, tcol); advance(); continue;
+      case '+': push(Tok::kPlus, "+", tline, tcol); advance(); continue;
+      case '-': push(Tok::kMinus, "-", tline, tcol); advance(); continue;
+      case '*': push(Tok::kStar, "*", tline, tcol); advance(); continue;
+      case '/': push(Tok::kSlash, "/", tline, tcol); advance(); continue;
+      case ':':
+        if (peek(1) == '=') {
+          push(Tok::kAssign, ":=", tline, tcol);
+          advance(2);
+        } else {
+          push(Tok::kColon, ":", tline, tcol);
+          advance();
+        }
+        continue;
+      case '=':
+        if (peek(1) == '>') {
+          push(Tok::kArrow, "=>", tline, tcol);
+          advance(2);
+        } else {
+          push(Tok::kEq, "=", tline, tcol);
+          advance();
+        }
+        continue;
+      case '<':
+        if (peek(1) == '>') {
+          push(Tok::kNeq, "<>", tline, tcol);
+          advance(2);
+        } else if (peek(1) == '=') {
+          push(Tok::kLe, "<=", tline, tcol);
+          advance(2);
+        } else {
+          push(Tok::kLt, "<", tline, tcol);
+          advance();
+        }
+        continue;
+      case '>':
+        if (peek(1) == '=') {
+          push(Tok::kGe, ">=", tline, tcol);
+          advance(2);
+        } else {
+          push(Tok::kGt, ">", tline, tcol);
+          advance();
+        }
+        continue;
+      default:
+        throw LangError(std::string("unexpected character '") + c + "'", tline,
+                        tcol);
+    }
+  }
+  Token eof;
+  eof.kind = Tok::kEof;
+  eof.line = line;
+  eof.col = col;
+  out.push_back(std::move(eof));
+  return out;
+}
+
+}  // namespace alps::lang

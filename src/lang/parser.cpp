@@ -1,0 +1,688 @@
+#include "lang/parser.h"
+
+namespace alps::lang {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& source) : tokens_(lex(source)) {}
+
+  Program parse() {
+    Program prog;
+    while (!at(Tok::kEof)) {
+      expect(Tok::kObject, "expected 'object'");
+      const std::string name = expect_ident("object name");
+      if (at(Tok::kDefines)) {
+        advance();
+        prog.defs.push_back(parse_defines(name));
+      } else if (at(Tok::kImplements)) {
+        advance();
+        prog.impls.push_back(parse_implements(name));
+      } else {
+        fail("expected 'defines' or 'implements'");
+      }
+    }
+    return prog;
+  }
+
+ private:
+  // ---- token helpers ----
+
+  const Token& cur() const { return tokens_[pos_]; }
+  const Token& peek(std::size_t off = 1) const {
+    return tokens_[std::min(pos_ + off, tokens_.size() - 1)];
+  }
+  bool at(Tok kind) const { return cur().kind == kind; }
+  void advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  [[noreturn]] void fail(const std::string& what) const {
+    throw LangError(what + ", found " + std::string(to_string(cur().kind)),
+                    cur().line, cur().col);
+  }
+  Token expect(Tok kind, const char* what) {
+    if (!at(kind)) fail(what);
+    Token t = cur();
+    advance();
+    return t;
+  }
+  std::string expect_ident(const char* what) {
+    return expect(Tok::kIdent, what).text;
+  }
+  bool accept_tok(Tok kind) {
+    if (!at(kind)) return false;
+    advance();
+    return true;
+  }
+
+  // ---- types ----
+
+  bool at_type() const {
+    return at(Tok::kIntType) || at(Tok::kBoolType) || at(Tok::kRealType) ||
+           at(Tok::kStringType) || at(Tok::kChanType);
+  }
+
+  TypeName parse_type() {
+    if (accept_tok(Tok::kIntType)) return TypeName::kInt;
+    if (accept_tok(Tok::kBoolType)) return TypeName::kBool;
+    if (accept_tok(Tok::kRealType)) return TypeName::kReal;
+    if (accept_tok(Tok::kStringType)) return TypeName::kString;
+    if (accept_tok(Tok::kChanType)) return TypeName::kChan;
+    fail("expected a type (int, bool, real, string, chan)");
+  }
+
+  // ---- definition part ----
+
+  ObjectDef parse_defines(const std::string& name) {
+    ObjectDef def;
+    def.name = name;
+    while (at(Tok::kProc)) {
+      advance();
+      ProcDecl decl;
+      decl.name = expect_ident("procedure name");
+      if (accept_tok(Tok::kLParen)) {
+        if (!at(Tok::kRParen)) {
+          decl.params.push_back(parse_type());
+          while (accept_tok(Tok::kComma)) decl.params.push_back(parse_type());
+        }
+        expect(Tok::kRParen, "expected ')'");
+      }
+      if (accept_tok(Tok::kReturns)) {
+        expect(Tok::kLParen, "expected '(' after returns");
+        if (!at(Tok::kRParen)) {
+          decl.results.push_back(parse_type());
+          while (accept_tok(Tok::kComma)) decl.results.push_back(parse_type());
+        }
+        expect(Tok::kRParen, "expected ')'");
+      }
+      accept_tok(Tok::kSemi);
+      def.procs.push_back(std::move(decl));
+    }
+    expect(Tok::kEnd, "expected 'end'");
+    close_named_end(name);
+    return def;
+  }
+
+  // ---- implementation part ----
+
+  ObjectImpl parse_implements(const std::string& name) {
+    ObjectImpl impl;
+    impl.name = name;
+    for (;;) {
+      if (at(Tok::kVar)) {
+        parse_var_section(impl.shared);
+      } else if (at(Tok::kProc)) {
+        impl.procs.push_back(parse_proc_body());
+      } else if (at(Tok::kManager)) {
+        if (impl.manager) fail("duplicate manager");
+        impl.manager = std::make_unique<ManagerDecl>(parse_manager());
+      } else if (at(Tok::kBegin)) {
+        advance();
+        impl.init = parse_stmts();
+        break;
+      } else {
+        break;
+      }
+    }
+    expect(Tok::kEnd, "expected 'end'");
+    close_named_end(name);
+    return impl;
+  }
+
+  void close_named_end(const std::string& name) {
+    if (at(Tok::kIdent)) {
+      if (cur().text != name) {
+        fail("'end " + cur().text + "' does not match 'object " + name + "'");
+      }
+      advance();
+    }
+    accept_tok(Tok::kSemi);
+  }
+
+  void parse_var_section(std::vector<VarDecl>& out) {
+    expect(Tok::kVar, "expected 'var'");
+    for (;;) {
+      std::vector<std::string> names;
+      names.push_back(expect_ident("variable name"));
+      while (accept_tok(Tok::kComma)) names.push_back(expect_ident("variable name"));
+      expect(Tok::kColon, "expected ':' in variable declaration");
+      std::size_t array = 0;
+      if (accept_tok(Tok::kArray)) {
+        const Token n = expect(Tok::kIntLit, "expected array size");
+        if (n.int_val < 1) fail("array size must be >= 1");
+        array = static_cast<std::size_t>(n.int_val);
+        expect(Tok::kOf, "expected 'of' in array type");
+      }
+      const TypeName type = parse_type();
+      expect(Tok::kSemi, "expected ';' after variable declaration");
+      for (auto& n : names) {
+        VarDecl d;
+        d.name = n;
+        d.type = type;
+        d.array = array;
+        d.line = cur().line;
+        out.push_back(std::move(d));
+      }
+      // Pascal style: further declarations may follow without 'var'.
+      if (!(at(Tok::kIdent) &&
+            (peek().kind == Tok::kColon || peek().kind == Tok::kComma))) {
+        break;
+      }
+    }
+  }
+
+  std::vector<Param> parse_param_list() {
+    // Either named params "a, b: int; c: string" or bare type lists.
+    std::vector<Param> out;
+    for (;;) {
+      if (at_type()) {
+        Param p;
+        p.type = parse_type();
+        out.push_back(std::move(p));
+      } else {
+        std::vector<std::string> names;
+        names.push_back(expect_ident("parameter name"));
+        while (accept_tok(Tok::kComma)) names.push_back(expect_ident("parameter name"));
+        expect(Tok::kColon, "expected ':' in parameter");
+        const TypeName type = parse_type();
+        for (auto& n : names) {
+          Param p;
+          p.name = n;
+          p.type = type;
+          out.push_back(std::move(p));
+        }
+      }
+      if (!accept_tok(Tok::kSemi) && !accept_tok(Tok::kComma)) break;
+      if (at(Tok::kRParen)) break;
+    }
+    return out;
+  }
+
+  ProcBody parse_proc_body() {
+    expect(Tok::kProc, "expected 'proc'");
+    ProcBody body;
+    body.name = expect_ident("procedure name");
+    if (accept_tok(Tok::kLBracket)) {
+      // Hidden array size: proc Search[8](...)   (also accepts 1..8 style).
+      Token first = expect(Tok::kIntLit, "expected array size");
+      std::int64_t n = first.int_val;
+      if (accept_tok(Tok::kDot)) {  // "1..8"
+        expect(Tok::kDot, "expected '..'");
+        n = expect(Tok::kIntLit, "expected array upper bound").int_val;
+      }
+      if (n < 1) fail("array size must be >= 1");
+      body.array = static_cast<std::size_t>(n);
+      expect(Tok::kRBracket, "expected ']'");
+    }
+    if (accept_tok(Tok::kLParen)) {
+      if (!at(Tok::kRParen)) body.params = parse_param_list();
+      expect(Tok::kRParen, "expected ')'");
+    }
+    if (accept_tok(Tok::kReturns)) {
+      expect(Tok::kLParen, "expected '(' after returns");
+      if (!at(Tok::kRParen)) body.results = parse_param_list();
+      expect(Tok::kRParen, "expected ')'");
+    }
+    accept_tok(Tok::kSemi);
+    if (at(Tok::kVar)) parse_var_section(body.locals);
+    expect(Tok::kBegin, "expected 'begin'");
+    body.body = parse_stmts();
+    expect(Tok::kEnd, "expected 'end'");
+    if (at(Tok::kIdent)) {
+      if (cur().text != body.name) {
+        fail("'end " + cur().text + "' does not match proc " + body.name);
+      }
+      advance();
+    }
+    accept_tok(Tok::kSemi);
+    return body;
+  }
+
+  ManagerDecl parse_manager() {
+    expect(Tok::kManager, "expected 'manager'");
+    ManagerDecl mgr;
+    expect(Tok::kIntercepts, "expected 'intercepts'");
+    for (;;) {
+      InterceptDecl icept;
+      icept.entry = expect_ident("intercepted procedure name");
+      if (accept_tok(Tok::kLParen)) {
+        // "(types ; types)" — §2.6 parameter/result prefixes by arity.
+        while (at_type()) {
+          parse_type();
+          ++icept.n_params;
+          if (!accept_tok(Tok::kComma)) break;
+        }
+        if (accept_tok(Tok::kSemi)) {
+          while (at_type()) {
+            parse_type();
+            ++icept.n_results;
+            if (!accept_tok(Tok::kComma)) break;
+          }
+        }
+        expect(Tok::kRParen, "expected ')'");
+      }
+      mgr.intercepts.push_back(std::move(icept));
+      if (!accept_tok(Tok::kComma)) break;
+    }
+    expect(Tok::kSemi, "expected ';' after intercepts clause");
+    if (at(Tok::kVar)) parse_var_section(mgr.locals);
+    expect(Tok::kBegin, "expected 'begin' of manager body");
+    mgr.body = parse_stmts();
+    expect(Tok::kEnd, "expected 'end' of manager body");
+    accept_tok(Tok::kSemi);
+    return mgr;
+  }
+
+  // ---- statements ----
+
+  bool at_stmt_terminator() const {
+    return at(Tok::kEnd) || at(Tok::kElse) || at(Tok::kElsif) || at(Tok::kOr) ||
+           at(Tok::kEof);
+  }
+
+  StmtList parse_stmts() {
+    StmtList out;
+    while (!at_stmt_terminator()) {
+      out.push_back(parse_stmt());
+      accept_tok(Tok::kSemi);
+    }
+    return out;
+  }
+
+  StmtPtr parse_stmt() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->line = cur().line;
+    switch (cur().kind) {
+      case Tok::kIf: return parse_if();
+      case Tok::kWhile: return parse_while();
+      case Tok::kLoop: return parse_loop_or_select(Stmt::Kind::kLoop, Tok::kLoop);
+      case Tok::kSelect:
+        return parse_loop_or_select(Stmt::Kind::kSelect, Tok::kSelect);
+      case Tok::kReturn: {
+        advance();
+        stmt->kind = Stmt::Kind::kReturn;
+        if (accept_tok(Tok::kLParen)) {
+          if (!at(Tok::kRParen)) {
+            stmt->return_values.push_back(parse_expr());
+            while (accept_tok(Tok::kComma)) {
+              stmt->return_values.push_back(parse_expr());
+            }
+          }
+          expect(Tok::kRParen, "expected ')'");
+        }
+        return stmt;
+      }
+      case Tok::kAccept: {
+        advance();
+        stmt->kind = Stmt::Kind::kAccept;
+        stmt->target = parse_binder_target();
+        stmt->binders = parse_binder_list();
+        return stmt;
+      }
+      case Tok::kSend: {
+        advance();
+        stmt->kind = Stmt::Kind::kSend;
+        stmt->channel = expect_ident("channel name");
+        if (accept_tok(Tok::kLParen)) {
+          if (!at(Tok::kRParen)) {
+            stmt->args.push_back(parse_expr());
+            while (accept_tok(Tok::kComma)) stmt->args.push_back(parse_expr());
+          }
+          expect(Tok::kRParen, "expected ')'");
+        }
+        return stmt;
+      }
+      case Tok::kReceive: {
+        advance();
+        stmt->kind = Stmt::Kind::kReceive;
+        stmt->channel = expect_ident("channel name");
+        stmt->binders = parse_binder_list();
+        return stmt;
+      }
+      case Tok::kAwait: {
+        advance();
+        stmt->kind = Stmt::Kind::kAwait;
+        stmt->target = parse_expr_target();
+        stmt->binders = parse_binder_list();
+        return stmt;
+      }
+      case Tok::kStart:
+      case Tok::kFinish:
+      case Tok::kExecute: {
+        const Tok op = cur().kind;
+        advance();
+        stmt->kind = op == Tok::kStart     ? Stmt::Kind::kStart
+                     : op == Tok::kFinish  ? Stmt::Kind::kFinish
+                                           : Stmt::Kind::kExecute;
+        stmt->target = parse_expr_target();
+        if (accept_tok(Tok::kLParen)) {
+          if (!at(Tok::kRParen)) {
+            stmt->args.push_back(parse_expr());
+            while (accept_tok(Tok::kComma)) stmt->args.push_back(parse_expr());
+          }
+          expect(Tok::kRParen, "expected ')'");
+        }
+        return stmt;
+      }
+      case Tok::kIdent: {
+        // assignment: NAME := expr   or   NAME [ expr ] := expr
+        stmt->kind = Stmt::Kind::kAssign;
+        stmt->assign_name = cur().text;
+        advance();
+        if (accept_tok(Tok::kLBracket)) {
+          stmt->assign_index = parse_expr();
+          expect(Tok::kRBracket, "expected ']'");
+        }
+        expect(Tok::kAssign, "expected ':=' in assignment");
+        stmt->assign_value = parse_expr();
+        return stmt;
+      }
+      default:
+        fail("expected a statement");
+    }
+  }
+
+  /// `P[i]` where i is a fresh binder name, or bare `P` (slot implied).
+  PrimTarget parse_binder_target() {
+    PrimTarget target;
+    target.entry = expect_ident("procedure name");
+    if (accept_tok(Tok::kLBracket)) {
+      target.slot_binder = expect_ident("slot binder");
+      expect(Tok::kRBracket, "expected ']'");
+    }
+    return target;
+  }
+
+  /// `P[expr]` or bare `P` (slot implied: the entry's current call).
+  PrimTarget parse_expr_target() {
+    PrimTarget target;
+    target.entry = expect_ident("procedure name");
+    if (accept_tok(Tok::kLBracket)) {
+      target.slot_expr = parse_expr();
+      expect(Tok::kRBracket, "expected ']'");
+    }
+    return target;
+  }
+
+  std::vector<std::string> parse_binder_list() {
+    std::vector<std::string> out;
+    if (accept_tok(Tok::kLParen)) {
+      if (!at(Tok::kRParen)) {
+        out.push_back(expect_ident("binder name"));
+        while (accept_tok(Tok::kComma)) out.push_back(expect_ident("binder name"));
+      }
+      expect(Tok::kRParen, "expected ')'");
+    }
+    return out;
+  }
+
+  StmtPtr parse_if() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kIf;
+    stmt->line = cur().line;
+    expect(Tok::kIf, "expected 'if'");
+    for (;;) {
+      ExprPtr cond = parse_expr();
+      expect(Tok::kThen, "expected 'then'");
+      StmtList body = parse_stmts();
+      stmt->if_arms.emplace_back(std::move(cond), std::move(body));
+      if (accept_tok(Tok::kElsif)) continue;
+      if (accept_tok(Tok::kElse)) {
+        stmt->else_body = parse_stmts();
+      }
+      break;
+    }
+    expect(Tok::kEnd, "expected 'end if'");
+    expect(Tok::kIf, "expected 'end if'");
+    return stmt;
+  }
+
+  StmtPtr parse_while() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kWhile;
+    stmt->line = cur().line;
+    expect(Tok::kWhile, "expected 'while'");
+    stmt->while_cond = parse_expr();
+    expect(Tok::kDo, "expected 'do'");
+    stmt->while_body = parse_stmts();
+    expect(Tok::kEnd, "expected 'end while'");
+    expect(Tok::kWhile, "expected 'end while'");
+    return stmt;
+  }
+
+  StmtPtr parse_loop_or_select(Stmt::Kind kind, Tok closer) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = kind;
+    stmt->line = cur().line;
+    advance();  // consume loop/select
+    stmt->guards.push_back(parse_guard());
+    while (accept_tok(Tok::kOr)) stmt->guards.push_back(parse_guard());
+    expect(Tok::kEnd, "expected 'end'");
+    if (!accept_tok(closer)) {
+      fail(kind == Stmt::Kind::kLoop ? "expected 'end loop'"
+                                     : "expected 'end select'");
+    }
+    return stmt;
+  }
+
+  Guard parse_guard() {
+    Guard guard;
+    if (accept_tok(Tok::kAccept)) {
+      guard.kind = Guard::Kind::kAccept;
+      guard.target = parse_binder_target();
+      guard.binders = parse_binder_list();
+    } else if (accept_tok(Tok::kAwait)) {
+      guard.kind = Guard::Kind::kAwait;
+      guard.target = parse_binder_target();
+      guard.binders = parse_binder_list();
+    } else if (accept_tok(Tok::kReceive)) {
+      guard.kind = Guard::Kind::kReceive;
+      guard.channel = expect_ident("channel name");
+      guard.binders = parse_binder_list();
+    } else if (at(Tok::kWhen)) {
+      guard.kind = Guard::Kind::kWhen;
+    } else {
+      fail("expected 'accept', 'await', 'receive' or 'when' guard");
+    }
+    if (accept_tok(Tok::kWhen)) {
+      in_guard_cond_ = true;
+      guard.when = parse_expr();
+      in_guard_cond_ = false;
+    }
+    if (accept_tok(Tok::kPri)) {
+      in_guard_cond_ = true;
+      guard.pri = parse_expr();
+      in_guard_cond_ = false;
+    }
+    expect(Tok::kArrow, "expected '=>' after guard");
+    guard.body = parse_stmts();
+    return guard;
+  }
+
+  // ---- expressions ----
+
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    ExprPtr lhs = parse_and();
+    // In a guard condition, a top-level `or` is the guard separator; boolean
+    // `or` must be parenthesized there (as the paper's examples do).
+    while (at(Tok::kOr) && !(in_guard_cond_ && paren_depth_ == 0)) {
+      advance();
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->bin_op = BinOp::kOr;
+      node->lhs = std::move(lhs);
+      node->rhs = parse_and();
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr lhs = parse_cmp();
+    while (accept_tok(Tok::kAnd)) {
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->bin_op = BinOp::kAnd;
+      node->lhs = std::move(lhs);
+      node->rhs = parse_cmp();
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_cmp() {
+    ExprPtr lhs = parse_add();
+    BinOp op;
+    switch (cur().kind) {
+      case Tok::kEq: op = BinOp::kEq; break;
+      case Tok::kNeq: op = BinOp::kNeq; break;
+      case Tok::kLt: op = BinOp::kLt; break;
+      case Tok::kLe: op = BinOp::kLe; break;
+      case Tok::kGt: op = BinOp::kGt; break;
+      case Tok::kGe: op = BinOp::kGe; break;
+      default: return lhs;
+    }
+    advance();
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kBinary;
+    node->bin_op = op;
+    node->lhs = std::move(lhs);
+    node->rhs = parse_add();
+    return node;
+  }
+
+  ExprPtr parse_add() {
+    ExprPtr lhs = parse_mul();
+    for (;;) {
+      BinOp op;
+      if (at(Tok::kPlus)) {
+        op = BinOp::kAdd;
+      } else if (at(Tok::kMinus)) {
+        op = BinOp::kSub;
+      } else {
+        return lhs;
+      }
+      advance();
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->bin_op = op;
+      node->lhs = std::move(lhs);
+      node->rhs = parse_mul();
+      lhs = std::move(node);
+    }
+  }
+
+  ExprPtr parse_mul() {
+    ExprPtr lhs = parse_unary();
+    for (;;) {
+      BinOp op;
+      if (at(Tok::kStar)) {
+        op = BinOp::kMul;
+      } else if (at(Tok::kSlash)) {
+        op = BinOp::kDiv;
+      } else if (at(Tok::kMod)) {
+        op = BinOp::kMod;
+      } else {
+        return lhs;
+      }
+      advance();
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->bin_op = op;
+      node->lhs = std::move(lhs);
+      node->rhs = parse_unary();
+      lhs = std::move(node);
+    }
+  }
+
+  ExprPtr parse_unary() {
+    if (accept_tok(Tok::kMinus)) {
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kUnary;
+      node->un_op = UnOp::kNeg;
+      node->lhs = parse_unary();
+      return node;
+    }
+    if (accept_tok(Tok::kNot)) {
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kUnary;
+      node->un_op = UnOp::kNot;
+      node->lhs = parse_unary();
+      return node;
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    auto node = std::make_unique<Expr>();
+    node->line = cur().line;
+    switch (cur().kind) {
+      case Tok::kIntLit:
+        node->kind = Expr::Kind::kIntLit;
+        node->int_val = cur().int_val;
+        advance();
+        return node;
+      case Tok::kRealLit:
+        node->kind = Expr::Kind::kRealLit;
+        node->real_val = cur().real_val;
+        advance();
+        return node;
+      case Tok::kStringLit:
+        node->kind = Expr::Kind::kStringLit;
+        node->name = cur().text;
+        advance();
+        return node;
+      case Tok::kTrue:
+        node->kind = Expr::Kind::kBoolLit;
+        node->bool_val = true;
+        advance();
+        return node;
+      case Tok::kFalse:
+        node->kind = Expr::Kind::kBoolLit;
+        node->bool_val = false;
+        advance();
+        return node;
+      case Tok::kHash:
+        advance();
+        node->kind = Expr::Kind::kPending;
+        node->name = expect_ident("entry name after '#'");
+        return node;
+      case Tok::kIdent:
+        node->kind = Expr::Kind::kName;
+        node->name = cur().text;
+        advance();
+        if (accept_tok(Tok::kLBracket)) {
+          node->kind = Expr::Kind::kIndex;
+          node->lhs = parse_expr();
+          expect(Tok::kRBracket, "expected ']'");
+        }
+        return node;
+      case Tok::kLParen: {
+        advance();
+        ++paren_depth_;
+        ExprPtr inner = parse_expr();
+        --paren_depth_;
+        expect(Tok::kRParen, "expected ')'");
+        return inner;
+      }
+      default:
+        fail("expected an expression");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  bool in_guard_cond_ = false;
+  int paren_depth_ = 0;
+};
+
+}  // namespace
+
+Program parse_program(const std::string& source) {
+  return Parser(source).parse();
+}
+
+}  // namespace alps::lang

@@ -1,0 +1,15 @@
+// Recursive-descent parser for the ALPS surface-language subset (see ast.h
+// for the grammar). Throws LangError with line/column on syntax errors.
+#pragma once
+
+#include <string>
+
+#include "lang/ast.h"
+#include "lang/token.h"
+
+namespace alps::lang {
+
+/// Parses a whole program (object definitions + implementations).
+Program parse_program(const std::string& source);
+
+}  // namespace alps::lang

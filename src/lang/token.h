@@ -1,0 +1,124 @@
+// Token stream for the ALPS surface language (the paper's Pascal-like
+// notation, §2). The interpreter subset covers everything the paper's
+// example programs use: object definition/implementation parts, procedure
+// (array) declarations with hidden parameters/results, shared data, the
+// manager with its intercepts clause, loop/select with accept/await/when
+// guards, acceptance conditions, pri clauses, the four manager primitives
+// plus execute, and the #P pending-count operator.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace alps::lang {
+
+enum class Tok : std::uint8_t {
+  // literals & identifiers
+  kIdent,
+  kIntLit,
+  kRealLit,
+  kStringLit,
+  kTrue,
+  kFalse,
+  // keywords
+  kObject,
+  kDefines,
+  kImplements,
+  kEnd,
+  kProc,
+  kReturns,
+  kVar,
+  kManager,
+  kIntercepts,
+  kBegin,
+  kLoop,
+  kSelect,
+  kAccept,
+  kAwait,
+  kStart,
+  kFinish,
+  kExecute,
+  kWhen,
+  kPri,
+  kOr,       // guard separator in loop/select
+  kIf,
+  kThen,
+  kElse,
+  kElsif,
+  kWhile,
+  kDo,
+  kReturn,
+  // NOTE: `or` is one token (kOr). It is both the boolean operator and the
+  // guard separator of loop/select; in a guard condition a top-level boolean
+  // `or` must be parenthesized, exactly as the paper's own examples do
+  // ("(#Write = 0 or WriterLast) and ReadCount < ReadMax").
+  kAnd,
+  kNot,
+  kMod,
+  kArray,
+  kOf,
+  kChanType,
+  kSend,
+  kReceive,
+  kIntType,
+  kBoolType,
+  kRealType,
+  kStringType,
+  // punctuation & operators
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemi,
+  kColon,
+  kAssign,   // :=
+  kArrow,    // =>
+  kEq,       // =
+  kNeq,      // <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kHash,     // #P pending count
+  kDot,
+  kEof,
+};
+
+const char* to_string(Tok tok);
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;       // identifier / literal spelling
+  std::int64_t int_val = 0;
+  double real_val = 0.0;
+  std::size_t line = 1;
+  std::size_t col = 1;
+};
+
+class LangError : public std::runtime_error {
+ public:
+  LangError(const std::string& what, std::size_t line, std::size_t col)
+      : std::runtime_error(what + " (line " + std::to_string(line) + ", col " +
+                           std::to_string(col) + ")"),
+        line_(line),
+        col_(col) {}
+
+  std::size_t line() const { return line_; }
+  std::size_t col() const { return col_; }
+
+ private:
+  std::size_t line_, col_;
+};
+
+/// Tokenizes ALPS source. `--` and `{ ... }` are comments (the paper uses
+/// `{ ... }` braces for prose comments in its listings).
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace alps::lang

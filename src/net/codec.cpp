@@ -1,0 +1,184 @@
+#include "net/codec.h"
+
+#include <cstring>
+
+#include "core/error.h"
+
+namespace alps::net {
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+namespace {
+void need(const std::vector<std::uint8_t>& in, std::size_t pos, std::size_t n) {
+  if (pos + n > in.size()) {
+    raise(ErrorCode::kBadMessage, "truncated frame");
+  }
+}
+}  // namespace
+
+std::uint8_t get_u8(const std::vector<std::uint8_t>& in, std::size_t& pos) {
+  need(in, pos, 1);
+  return in[pos++];
+}
+
+std::uint32_t get_u32(const std::vector<std::uint8_t>& in, std::size_t& pos) {
+  need(in, pos, 4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[pos++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::vector<std::uint8_t>& in, std::size_t& pos) {
+  need(in, pos, 8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[pos++]) << (8 * i);
+  return v;
+}
+
+std::string get_string(const std::vector<std::uint8_t>& in, std::size_t& pos) {
+  const std::uint32_t n = get_u32(in, pos);
+  need(in, pos, n);
+  std::string s(reinterpret_cast<const char*>(in.data() + pos), n);
+  pos += n;
+  return s;
+}
+
+void encode_value(const Value& v, std::vector<std::uint8_t>& out,
+                  ChannelResolver* resolver) {
+  put_u8(out, static_cast<std::uint8_t>(v.kind()));
+  switch (v.kind()) {
+    case ValueKind::kNil:
+      return;
+    case ValueKind::kBool:
+      put_u8(out, v.as_bool() ? 1 : 0);
+      return;
+    case ValueKind::kInt:
+      put_u64(out, static_cast<std::uint64_t>(v.as_int()));
+      return;
+    case ValueKind::kReal: {
+      std::uint64_t bits;
+      const double d = v.as_real();
+      std::memcpy(&bits, &d, sizeof bits);
+      put_u64(out, bits);
+      return;
+    }
+    case ValueKind::kString:
+      put_string(out, v.as_string());
+      return;
+    case ValueKind::kBlob: {
+      const Blob& b = v.as_blob();
+      put_u32(out, static_cast<std::uint32_t>(b.size()));
+      out.insert(out.end(), b.begin(), b.end());
+      return;
+    }
+    case ValueKind::kList: {
+      const ValueList& list = v.as_list();
+      put_u32(out, static_cast<std::uint32_t>(list.size()));
+      for (const auto& x : list) encode_value(x, out, resolver);
+      return;
+    }
+    case ValueKind::kChannel: {
+      if (!resolver) {
+        raise(ErrorCode::kBadMessage,
+              "channel in value but no channel resolver supplied");
+      }
+      auto [node, id] = resolver->encode_channel(v.as_channel());
+      put_u64(out, node);
+      put_u64(out, id);
+      return;
+    }
+  }
+  raise(ErrorCode::kBadMessage, "unencodable value kind");
+}
+
+Value decode_value(const std::vector<std::uint8_t>& in, std::size_t& pos,
+                   ChannelResolver* resolver) {
+  const auto kind = static_cast<ValueKind>(get_u8(in, pos));
+  switch (kind) {
+    case ValueKind::kNil:
+      return Value();
+    case ValueKind::kBool:
+      return Value(get_u8(in, pos) != 0);
+    case ValueKind::kInt:
+      return Value(static_cast<std::int64_t>(get_u64(in, pos)));
+    case ValueKind::kReal: {
+      const std::uint64_t bits = get_u64(in, pos);
+      double d;
+      std::memcpy(&d, &bits, sizeof d);
+      return Value(d);
+    }
+    case ValueKind::kString:
+      return Value(get_string(in, pos));
+    case ValueKind::kBlob: {
+      const std::uint32_t n = get_u32(in, pos);
+      need(in, pos, n);
+      Blob b(in.begin() + static_cast<std::ptrdiff_t>(pos),
+             in.begin() + static_cast<std::ptrdiff_t>(pos + n));
+      pos += n;
+      return Value(std::move(b));
+    }
+    case ValueKind::kList: {
+      const std::uint32_t n = get_u32(in, pos);
+      // Every encoded value occupies at least its 1-byte tag; a count that
+      // exceeds the remaining bytes is a corrupt (or malicious) frame. This
+      // check is what keeps a flipped count byte from becoming a multi-GiB
+      // reserve() — a decode bomb.
+      if (n > in.size() - pos) {
+        raise(ErrorCode::kBadMessage, "list count exceeds frame size");
+      }
+      ValueList list;
+      list.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        list.push_back(decode_value(in, pos, resolver));
+      }
+      return Value(std::move(list));
+    }
+    case ValueKind::kChannel: {
+      if (!resolver) {
+        raise(ErrorCode::kBadMessage,
+              "channel in value but no channel resolver supplied");
+      }
+      const std::uint64_t node = get_u64(in, pos);
+      const std::uint64_t id = get_u64(in, pos);
+      return Value(resolver->decode_channel(node, id));
+    }
+  }
+  raise(ErrorCode::kBadMessage, "unknown value tag");
+}
+
+void encode_list(const ValueList& list, std::vector<std::uint8_t>& out,
+                 ChannelResolver* resolver) {
+  put_u32(out, static_cast<std::uint32_t>(list.size()));
+  for (const auto& v : list) encode_value(v, out, resolver);
+}
+
+ValueList decode_list(const std::vector<std::uint8_t>& in, std::size_t& pos,
+                      ChannelResolver* resolver) {
+  const std::uint32_t n = get_u32(in, pos);
+  if (n > in.size() - pos) {
+    raise(ErrorCode::kBadMessage, "list count exceeds frame size");
+  }
+  ValueList list;
+  list.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    list.push_back(decode_value(in, pos, resolver));
+  }
+  return list;
+}
+
+}  // namespace alps::net

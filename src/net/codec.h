@@ -1,0 +1,54 @@
+// Wire codec for alps::Value (the RPC substrate's serialization layer).
+//
+// Entry calls in ALPS are remote procedure calls (§1); the kernel's untyped
+// ValueLists serialize to a compact tag-length-value format. Channels need
+// help: a channel reference crossing the wire is encoded as its (home node,
+// channel id) pair, and the ChannelResolver — implemented by net::Node —
+// turns that pair back into a local reference or a forwarding proxy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/value.h"
+
+namespace alps::net {
+
+/// Hook pair used when values may contain channels. encode_channel must
+/// return a stable (node, id) naming; decode_channel must return a channel
+/// that routes sends to that name.
+class ChannelResolver {
+ public:
+  virtual ~ChannelResolver() = default;
+  virtual std::pair<std::uint64_t, std::uint64_t> encode_channel(
+      const ChannelRef& channel) = 0;
+  virtual ChannelRef decode_channel(std::uint64_t node, std::uint64_t id) = 0;
+};
+
+/// Appends the encoding of `v` to `out`. Throws Error(kBadMessage) when a
+/// channel is present and `resolver` is null.
+void encode_value(const Value& v, std::vector<std::uint8_t>& out,
+                  ChannelResolver* resolver = nullptr);
+
+/// Decodes one value starting at `pos` (which advances past it). Throws
+/// Error(kBadMessage) on malformed input.
+Value decode_value(const std::vector<std::uint8_t>& in, std::size_t& pos,
+                   ChannelResolver* resolver = nullptr);
+
+void encode_list(const ValueList& list, std::vector<std::uint8_t>& out,
+                 ChannelResolver* resolver = nullptr);
+
+ValueList decode_list(const std::vector<std::uint8_t>& in, std::size_t& pos,
+                      ChannelResolver* resolver = nullptr);
+
+// Primitive writers/readers (exposed for the frame headers in rpc.cpp).
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v);
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v);
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v);
+void put_string(std::vector<std::uint8_t>& out, const std::string& s);
+std::uint8_t get_u8(const std::vector<std::uint8_t>& in, std::size_t& pos);
+std::uint32_t get_u32(const std::vector<std::uint8_t>& in, std::size_t& pos);
+std::uint64_t get_u64(const std::vector<std::uint8_t>& in, std::size_t& pos);
+std::string get_string(const std::vector<std::uint8_t>& in, std::size_t& pos);
+
+}  // namespace alps::net

@@ -1,0 +1,167 @@
+#include "net/network.h"
+
+#include "core/error.h"
+#include "support/thread_util.h"
+
+namespace alps::net {
+
+Network::Network(LinkLatency default_latency, std::uint64_t seed)
+    : default_latency_(default_latency), rng_(seed) {
+  delivery_thread_ =
+      std::jthread([this](std::stop_token st) { delivery_loop(st); });
+}
+
+Network::~Network() {
+  delivery_thread_.request_stop();
+  cv_.notify_all();
+  if (delivery_thread_.joinable()) delivery_thread_.join();
+}
+
+NodeId Network::add_node(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  node_names_.push_back(name);
+  handlers_.emplace_back();
+  return node_names_.size() - 1;
+}
+
+void Network::set_handler(NodeId node, std::function<void(Frame)> handler) {
+  std::scoped_lock lock(mu_);
+  if (node >= handlers_.size()) {
+    raise(ErrorCode::kNetwork, "set_handler on unknown node");
+  }
+  handlers_[node] = std::move(handler);
+}
+
+void Network::set_link_latency(NodeId src, NodeId dst, LinkLatency latency) {
+  std::scoped_lock lock(mu_);
+  for (auto& [key, lat] : link_overrides_) {
+    if (key.first == src && key.second == dst) {
+      lat = latency;
+      return;
+    }
+  }
+  link_overrides_.push_back({{src, dst}, latency});
+}
+
+void Network::set_default_latency(LinkLatency latency) {
+  std::scoped_lock lock(mu_);
+  default_latency_ = latency;
+}
+
+LinkLatency Network::latency_for(NodeId src, NodeId dst) const {
+  for (const auto& [key, lat] : link_overrides_) {
+    if (key.first == src && key.second == dst) return lat;
+  }
+  return default_latency_;
+}
+
+void Network::set_loss_probability(double p) {
+  std::scoped_lock lock(mu_);
+  loss_probability_ = p;
+}
+
+void Network::partition(NodeId a, NodeId b) {
+  std::scoped_lock lock(mu_);
+  partitions_.emplace_back(a, b);
+}
+
+void Network::heal() {
+  std::scoped_lock lock(mu_);
+  partitions_.clear();
+}
+
+void Network::post(Frame frame) {
+  {
+    std::scoped_lock lock(mu_);
+    // Failure injection: partitions and random loss silently eat the frame,
+    // as a real datagram network would.
+    for (const auto& [a, b] : partitions_) {
+      if ((frame.src == a && frame.dst == b) ||
+          (frame.src == b && frame.dst == a)) {
+        ++stats_.frames_lost;
+        return;
+      }
+    }
+    if (loss_probability_ > 0.0 && rng_.next_double() < loss_probability_) {
+      ++stats_.frames_lost;
+      return;
+    }
+    const LinkLatency lat = latency_for(frame.src, frame.dst);
+    auto delay = lat.base;
+    if (lat.jitter.count() > 0) {
+      delay += std::chrono::microseconds(rng_.next_below(
+          static_cast<std::uint64_t>(lat.jitter.count()) + 1));
+    }
+    auto due = std::chrono::steady_clock::now() + delay;
+    // Links are FIFO (the paper's channels are point-to-point and ordered):
+    // jitter may stretch a link's latency but never reorders its frames.
+    auto& last = last_due_[(frame.src << 32) | (frame.dst & 0xffffffffu)];
+    if (due < last) due = last;
+    last = due;
+    queue_.push(Scheduled{due, next_seq_++, std::move(frame)});
+  }
+  cv_.notify_all();
+}
+
+void Network::delivery_loop(const std::stop_token& st) {
+  support::set_current_thread_name("net/delivery");
+  std::unique_lock lock(mu_);
+  for (;;) {
+    if (st.stop_requested()) return;
+    if (queue_.empty()) {
+      idle_cv_.notify_all();
+      cv_.wait(lock, [&] { return !queue_.empty() || st.stop_requested(); });
+      continue;
+    }
+    const auto due = queue_.top().due;
+    const auto now = std::chrono::steady_clock::now();
+    if (now < due) {
+      cv_.wait_until(lock, due, [&] {
+        return st.stop_requested() ||
+               (!queue_.empty() && queue_.top().due <= std::chrono::steady_clock::now());
+      });
+      continue;
+    }
+    Frame frame = std::move(const_cast<Scheduled&>(queue_.top()).frame);
+    queue_.pop();
+    std::function<void(Frame)> handler;
+    if (frame.dst < handlers_.size()) handler = handlers_[frame.dst];
+    if (!handler) {
+      ++stats_.frames_dropped;
+      continue;
+    }
+    ++stats_.frames_delivered;
+    stats_.bytes_delivered += frame.payload.size();
+    delivering_ = true;
+    lock.unlock();
+    handler(std::move(frame));  // outside the lock: handlers may post frames
+    lock.lock();
+    delivering_ = false;
+    idle_cv_.notify_all();
+  }
+}
+
+NetworkStats Network::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+std::size_t Network::node_count() const {
+  std::scoped_lock lock(mu_);
+  return node_names_.size();
+}
+
+std::string Network::node_name(NodeId id) const {
+  std::scoped_lock lock(mu_);
+  if (id >= node_names_.size()) {
+    raise(ErrorCode::kNetwork, "unknown node id");
+  }
+  return node_names_[id];
+}
+
+void Network::wait_quiescent() const {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && !delivering_; });
+}
+
+}  // namespace alps::net

@@ -1,0 +1,129 @@
+// Simulated multi-node network.
+//
+// The ALPS kernel was being implemented on a 16-node transputer network
+// (§4); no such hardware here, so this module simulates the substrate the
+// RPC layer needs: named nodes, point-to-point frames, per-link latency
+// (base + uniform jitter, deterministic under a seed), delivery on a
+// dedicated thread, and traffic accounting. The substitution preserves the
+// code path the paper depends on — entry calls marshalled into messages,
+// delivered asynchronously, answered with response messages — while staying
+// laptop-runnable (experiment E11 sweeps the latency).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace alps::net {
+
+using NodeId = std::uint64_t;
+
+struct Frame {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+struct LinkLatency {
+  std::chrono::microseconds base{0};
+  std::chrono::microseconds jitter{0};  // uniform in [0, jitter]
+};
+
+struct NetworkStats {
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t frames_dropped = 0;  // dst unknown or no handler
+  std::uint64_t frames_lost = 0;     // failure injection (loss or partition)
+};
+
+/// A set of nodes plus a delivery thread. Handlers run on the delivery
+/// thread and must not block for long (the RPC layer's handlers only
+/// enqueue kernel work).
+class Network {
+ public:
+  explicit Network(LinkLatency default_latency = {}, std::uint64_t seed = 1);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers a node; returns its id (ids are dense, starting at 0).
+  NodeId add_node(const std::string& name);
+
+  void set_handler(NodeId node, std::function<void(Frame)> handler);
+
+  /// Overrides the latency of the directed link src → dst.
+  void set_link_latency(NodeId src, NodeId dst, LinkLatency latency);
+
+  void set_default_latency(LinkLatency latency);
+
+  /// Schedules delivery of `frame` after the link's latency. Frames to the
+  /// sender itself are delivered through the same path (loopback latency).
+  void post(Frame frame);
+
+  // ---- failure injection (experiments & tests) ----
+
+  /// Drops each frame independently with probability `p` (0 disables).
+  /// Deterministic under the network's seed.
+  void set_loss_probability(double p);
+
+  /// Severs both directions between the two node sets containing `a` and
+  /// `b`: frames between a's side and b's side are lost until heal() — a
+  /// network partition. (Simple two-sided model: the partition is defined
+  /// by the explicit pair list.)
+  void partition(NodeId a, NodeId b);
+
+  /// Removes all partitions.
+  void heal();
+
+  NetworkStats stats() const;
+  std::size_t node_count() const;
+  std::string node_name(NodeId id) const;
+
+  /// Blocks until no frame is queued or in flight (for tests/benches).
+  void wait_quiescent() const;
+
+ private:
+  struct Scheduled {
+    std::chrono::steady_clock::time_point due;
+    std::uint64_t seq;  // FIFO tiebreak for equal deadlines
+    Frame frame;
+    bool operator>(const Scheduled& o) const {
+      return due != o.due ? due > o.due : seq > o.seq;
+    }
+  };
+
+  void delivery_loop(const std::stop_token& st);
+  LinkLatency latency_for(NodeId src, NodeId dst) const;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  mutable std::condition_variable idle_cv_;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>> queue_;
+  std::vector<std::string> node_names_;
+  std::vector<std::function<void(Frame)>> handlers_;
+  std::vector<std::pair<std::pair<NodeId, NodeId>, LinkLatency>> link_overrides_;
+  std::vector<std::pair<NodeId, NodeId>> partitions_;  // undirected pairs
+  double loss_probability_ = 0.0;
+  LinkLatency default_latency_;
+  support::Rng rng_;
+  NetworkStats stats_;
+  /// Last scheduled delivery per directed link (keyed src<<32|dst), used to
+  /// keep each link FIFO under jitter.
+  std::unordered_map<std::uint64_t, std::chrono::steady_clock::time_point>
+      last_due_;
+  std::uint64_t next_seq_ = 0;
+  bool delivering_ = false;
+  std::jthread delivery_thread_;
+};
+
+}  // namespace alps::net

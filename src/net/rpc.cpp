@@ -1,0 +1,269 @@
+#include "net/rpc.h"
+
+#include "core/error.h"
+#include "support/log.h"
+
+namespace alps::net {
+
+CallHandle RemoteObject::async_call(const std::string& entry,
+                                    ValueList params) {
+  if (!node_) raise(ErrorCode::kNetwork, "invalid RemoteObject");
+  return node_->send_request(target_, object_name_, entry, std::move(params));
+}
+
+ValueList RemoteObject::call(const std::string& entry, ValueList params) {
+  return async_call(entry, std::move(params)).get();
+}
+
+std::optional<ValueList> RemoteObject::call_for(
+    const std::string& entry, ValueList params,
+    std::chrono::milliseconds timeout) {
+  if (!node_) raise(ErrorCode::kNetwork, "invalid RemoteObject");
+  std::uint64_t req_id = 0;
+  CallHandle handle =
+      node_->send_request(target_, object_name_, entry, std::move(params),
+                          &req_id);
+  if (!handle.wait_for(timeout)) {
+    node_->cancel_request(req_id);
+    // The cancel fails the handle unless a response raced in; re-check.
+    if (!handle.ready()) return std::nullopt;
+  }
+  try {
+    return handle.get();
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+Node::Node(Network& network, const std::string& name)
+    : network_(&network), name_(name) {
+  id_ = network.add_node(name);
+  network.set_handler(id_, [this](Frame f) { handle_frame(std::move(f)); });
+}
+
+Node::~Node() {
+  // Deregister so late frames are counted as drops instead of running into
+  // a destroyed node.
+  network_->set_handler(id_, nullptr);
+  // Fail anything still waiting for a response.
+  std::vector<std::shared_ptr<CallState>> orphans;
+  {
+    std::scoped_lock lock(mu_);
+    for (auto& [req, state] : pending_) orphans.push_back(state);
+    pending_.clear();
+  }
+  for (auto& state : orphans) {
+    state->fail(ErrorCode::kNetwork, "node " + name_ + " shut down");
+  }
+}
+
+void Node::host(Object& object) {
+  std::scoped_lock lock(mu_);
+  hosted_[object.name()] = &object;
+}
+
+void Node::unhost(const std::string& object_name) {
+  std::scoped_lock lock(mu_);
+  hosted_.erase(object_name);
+}
+
+RemoteObject Node::remote(NodeId target, const std::string& object_name) {
+  return RemoteObject(this, target, object_name);
+}
+
+void Node::export_channel(const ChannelRef& channel) {
+  std::scoped_lock lock(mu_);
+  exported_channels_[channel->id()] = channel;
+}
+
+std::pair<std::uint64_t, std::uint64_t> Node::encode_channel(
+    const ChannelRef& channel) {
+  std::scoped_lock lock(mu_);
+  // A proxy re-encodes as its *home* name so channels can be forwarded
+  // through intermediaries; a local channel is exported under this node.
+  for (auto& [home, by_id] : proxies_) {
+    for (auto& [id, weak] : by_id) {
+      if (weak.lock() == channel) return {home, id};
+    }
+  }
+  exported_channels_[channel->id()] = channel;
+  return {id_, channel->id()};
+}
+
+ChannelRef Node::decode_channel(std::uint64_t node, std::uint64_t id) {
+  std::scoped_lock lock(mu_);
+  if (node == id_) {
+    auto it = exported_channels_.find(id);
+    if (it == exported_channels_.end()) {
+      raise(ErrorCode::kBadMessage,
+            "frame names unknown local channel #" + std::to_string(id));
+    }
+    return it->second;
+  }
+  auto& by_id = proxies_[node];
+  if (auto it = by_id.find(id); it != by_id.end()) {
+    if (auto existing = it->second.lock()) return existing;
+  }
+  ChannelRef proxy = make_channel("proxy:" + std::to_string(node) + "/" +
+                                  std::to_string(id));
+  proxy->set_forward([this, node, id](ValueList message) {
+    std::vector<std::uint8_t> payload;
+    put_u8(payload, static_cast<std::uint8_t>(MsgType::kChanSend));
+    put_u64(payload, id);
+    encode_list(message, payload, this);
+    network_->post(Frame{id_, node, std::move(payload)});
+    return true;
+  });
+  by_id[id] = proxy;
+  return proxy;
+}
+
+CallHandle Node::send_request(NodeId target, const std::string& object_name,
+                              const std::string& entry, ValueList params,
+                              std::uint64_t* req_id_out) {
+  auto state = std::make_shared<CallState>();
+  std::uint64_t req_id;
+  {
+    std::scoped_lock lock(mu_);
+    req_id = next_req_++;
+    pending_[req_id] = state;
+  }
+  if (req_id_out) *req_id_out = req_id;
+  std::vector<std::uint8_t> payload;
+  put_u8(payload, static_cast<std::uint8_t>(MsgType::kRequest));
+  put_u64(payload, req_id);
+  put_string(payload, object_name);
+  put_string(payload, entry);
+  encode_list(params, payload, this);
+  network_->post(Frame{id_, target, std::move(payload)});
+  return CallHandle(state);
+}
+
+void Node::handle_frame(Frame frame) {
+  std::size_t pos = 0;
+  try {
+    const auto type = static_cast<MsgType>(get_u8(frame.payload, pos));
+    switch (type) {
+      case MsgType::kRequest:
+        handle_request(frame.src, frame.payload, pos);
+        return;
+      case MsgType::kResponse:
+        handle_response(frame.payload, pos);
+        return;
+      case MsgType::kChanSend:
+        handle_chan_send(frame.payload, pos);
+        return;
+    }
+    raise(ErrorCode::kBadMessage, "unknown frame type");
+  } catch (const Error& e) {
+    ALPS_LOG_WARN("node %s: dropping bad frame from %llu: %s", name_.c_str(),
+                  static_cast<unsigned long long>(frame.src), e.what());
+  }
+}
+
+void Node::handle_request(NodeId from, const std::vector<std::uint8_t>& payload,
+                          std::size_t pos) {
+  const std::uint64_t req_id = get_u64(payload, pos);
+  const std::string object_name = get_string(payload, pos);
+  const std::string entry = get_string(payload, pos);
+  ValueList params = decode_list(payload, pos, this);
+
+  auto respond = [this, from, req_id](bool ok, ValueList results,
+                                      const std::string& error) {
+    std::vector<std::uint8_t> out;
+    put_u8(out, static_cast<std::uint8_t>(MsgType::kResponse));
+    put_u64(out, req_id);
+    put_u8(out, ok ? 1 : 0);
+    if (ok) {
+      encode_list(results, out, this);
+    } else {
+      put_string(out, error);
+    }
+    network_->post(Frame{id_, from, std::move(out)});
+  };
+
+  Object* object = nullptr;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = hosted_.find(object_name);
+    if (it != hosted_.end()) object = it->second;
+  }
+  if (!object) {
+    respond(false, {}, "no such object: " + object_name);
+    return;
+  }
+
+  CallHandle handle;
+  try {
+    handle = object->async_call(entry, std::move(params));
+  } catch (const std::exception& e) {
+    respond(false, {}, e.what());
+    return;
+  }
+  // Send the response from whichever thread completes the call (typically
+  // the object's manager at finish); posting a frame never blocks.
+  handle.state()->on_complete([respond](CallState& state) {
+    try {
+      respond(true, state.get(), "");
+    } catch (const std::exception& e) {
+      respond(false, {}, e.what());
+    }
+  });
+}
+
+void Node::handle_response(const std::vector<std::uint8_t>& payload,
+                           std::size_t pos) {
+  const std::uint64_t req_id = get_u64(payload, pos);
+  const bool ok = get_u8(payload, pos) != 0;
+  std::shared_ptr<CallState> state;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = pending_.find(req_id);
+    if (it == pending_.end()) return;  // duplicate or post-shutdown response
+    state = it->second;
+    pending_.erase(it);
+  }
+  if (ok) {
+    state->complete(decode_list(payload, pos, this));
+  } else {
+    state->fail(ErrorCode::kNetwork,
+                "remote call failed: " + get_string(payload, pos));
+  }
+}
+
+void Node::handle_chan_send(const std::vector<std::uint8_t>& payload,
+                            std::size_t pos) {
+  const std::uint64_t chan_id = get_u64(payload, pos);
+  ValueList message = decode_list(payload, pos, this);
+  ChannelRef channel;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = exported_channels_.find(chan_id);
+    if (it == exported_channels_.end()) {
+      raise(ErrorCode::kBadMessage,
+            "chan-send for unknown channel #" + std::to_string(chan_id));
+    }
+    channel = it->second;
+  }
+  channel->send(std::move(message));
+}
+
+void Node::cancel_request(std::uint64_t req_id) {
+  std::shared_ptr<CallState> state;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = pending_.find(req_id);
+    if (it == pending_.end()) return;  // already answered
+    state = it->second;
+    pending_.erase(it);
+  }
+  state->fail(ErrorCode::kNetwork,
+              "request #" + std::to_string(req_id) + " timed out");
+}
+
+std::size_t Node::inflight() const {
+  std::scoped_lock lock(mu_);
+  return pending_.size();
+}
+
+}  // namespace alps::net

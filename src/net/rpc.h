@@ -1,0 +1,136 @@
+// RPC over the simulated network: remote entry calls and remote channels.
+//
+// "Calls to the entry procedures of an object are implemented as remote
+// procedure calls. A user can further communicate with an executing remote
+// procedure using message passing on point-to-point channels." (§1)
+//
+// A Node hosts kernel Objects and speaks three frame types:
+//   kRequest   — (req_id, object, entry, params)   → Object::async_call
+//   kResponse  — (req_id, ok, results | error)     → completes the future
+//   kChanSend  — (chan_id, message)                → local channel send
+//
+// Channels cross the wire by name: a local channel encodes as (home node,
+// id); the receiving node materializes a proxy whose sends come back as
+// kChanSend frames. This is what lets a remote caller pass a reply channel
+// to an executing entry procedure, exactly as the paper describes.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/call.h"
+#include "core/channel.h"
+#include "core/object.h"
+#include "net/codec.h"
+#include "net/network.h"
+
+namespace alps::net {
+
+class Node;
+
+/// Client-side proxy for an object hosted on another node.
+class RemoteObject {
+ public:
+  RemoteObject() = default;
+
+  /// Marshals the call into a request frame; the returned handle completes
+  /// when the response frame arrives.
+  CallHandle async_call(const std::string& entry, ValueList params);
+
+  ValueList call(const std::string& entry, ValueList params);
+
+  /// Timed call for lossy/partitioned networks: nullopt on timeout, after
+  /// which a late response is ignored (the request is cancelled).
+  std::optional<ValueList> call_for(const std::string& entry, ValueList params,
+                                    std::chrono::milliseconds timeout);
+
+  bool valid() const { return node_ != nullptr; }
+
+ private:
+  friend class Node;
+  RemoteObject(Node* node, NodeId target, std::string object_name)
+      : node_(node), target_(target), object_name_(std::move(object_name)) {}
+
+  Node* node_ = nullptr;
+  NodeId target_ = 0;
+  std::string object_name_;
+};
+
+class Node : public ChannelResolver {
+ public:
+  Node(Network& network, const std::string& name);
+  ~Node() override;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Makes `object` callable from other nodes under its own name. The
+  /// object must outlive the node (or be unhosted first).
+  void host(Object& object);
+  void unhost(const std::string& object_name);
+
+  /// A proxy for `object_name` on node `target`.
+  RemoteObject remote(NodeId target, const std::string& object_name);
+
+  /// Exports a locally created channel so its (node, id) name can be handed
+  /// out manually. Hosted-call marshalling does this automatically.
+  void export_channel(const ChannelRef& channel);
+
+  // ChannelResolver:
+  std::pair<std::uint64_t, std::uint64_t> encode_channel(
+      const ChannelRef& channel) override;
+  ChannelRef decode_channel(std::uint64_t node, std::uint64_t id) override;
+
+  /// Outstanding client requests (for tests).
+  std::size_t inflight() const;
+
+ private:
+  friend class RemoteObject;
+
+  enum class MsgType : std::uint8_t {
+    kRequest = 1,
+    kResponse = 2,
+    kChanSend = 3,
+  };
+
+  void handle_frame(Frame frame);
+  void handle_request(NodeId from, const std::vector<std::uint8_t>& payload,
+                      std::size_t pos);
+  void handle_response(const std::vector<std::uint8_t>& payload,
+                       std::size_t pos);
+  void handle_chan_send(const std::vector<std::uint8_t>& payload,
+                        std::size_t pos);
+
+  CallHandle send_request(NodeId target, const std::string& object_name,
+                          const std::string& entry, ValueList params,
+                          std::uint64_t* req_id_out = nullptr);
+
+  /// Abandons an in-flight request: the caller's handle fails with
+  /// kNetwork and a late response frame is ignored.
+  void cancel_request(std::uint64_t req_id);
+
+  Network* network_;
+  NodeId id_;
+  std::string name_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Object*> hosted_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<CallState>> pending_;
+  /// Channels this node has exported (kept alive; keyed by channel id).
+  std::unordered_map<std::uint64_t, ChannelRef> exported_channels_;
+  /// Proxies for channels homed elsewhere, keyed by (node, id).
+  std::unordered_map<std::uint64_t,
+                     std::unordered_map<std::uint64_t, std::weak_ptr<ChannelCore>>>
+      proxies_;
+  std::uint64_t next_req_ = 1;
+};
+
+}  // namespace alps::net

@@ -1,0 +1,262 @@
+#include "sched/executor.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "support/queue.h"
+#include "support/thread_util.h"
+
+namespace alps::sched {
+
+namespace {
+
+using Task = std::function<void()>;
+
+/// Shared bookkeeping for thread-count metrics.
+struct ThreadStats {
+  std::atomic<std::uint64_t> created{0};
+  std::atomic<std::uint64_t> alive{0};
+};
+
+/// Joins dynamically spawned per-task threads. CP.26 forbids detach(), so
+/// finished threads are swept opportunistically and joined at shutdown.
+class DynamicSpawner {
+ public:
+  explicit DynamicSpawner(std::string name, ThreadStats* stats)
+      : name_(std::move(name)), stats_(stats) {}
+
+  bool spawn(Task task) {
+    std::scoped_lock lock(mu_);
+    if (closed_) return false;
+    sweep_locked();
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    stats_->created.fetch_add(1, std::memory_order_relaxed);
+    stats_->alive.fetch_add(1, std::memory_order_relaxed);
+    threads_.push_back(
+        {std::jthread([this, task = std::move(task), done]() mutable {
+           support::set_current_thread_name(name_ + "/dyn");
+           task();
+           task = nullptr;
+           stats_->alive.fetch_sub(1, std::memory_order_relaxed);
+           done->store(true, std::memory_order_release);
+         }),
+         done});
+    return true;
+  }
+
+  void close_and_join() {
+    std::vector<Entry> drained;
+    {
+      std::scoped_lock lock(mu_);
+      closed_ = true;
+      drained.swap(threads_);
+    }
+    for (auto& e : drained) {
+      if (e.thread.joinable()) e.thread.join();
+    }
+  }
+
+ private:
+  struct Entry {
+    std::jthread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
+  void sweep_locked() {
+    for (auto it = threads_.begin(); it != threads_.end();) {
+      if (it->done->load(std::memory_order_acquire)) {
+        it->thread.join();
+        it = threads_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::vector<Entry> threads_;
+  bool closed_ = false;
+  std::string name_;
+  ThreadStats* stats_;
+};
+
+class SlotBoundExecutor final : public Executor {
+ public:
+  SlotBoundExecutor(std::size_t n_slots, std::string name)
+      : name_(std::move(name)), spawner_(name_, &stats_), queues_(n_slots) {
+    workers_.reserve(n_slots);
+    for (std::size_t i = 0; i < n_slots; ++i) {
+      stats_.created.fetch_add(1, std::memory_order_relaxed);
+      stats_.alive.fetch_add(1, std::memory_order_relaxed);
+      workers_.emplace_back([this, i] {
+        support::set_current_thread_name(name_ + "/s" + std::to_string(i));
+        while (auto task = queues_[i].pop()) {
+          (*task)();
+        }
+        stats_.alive.fetch_sub(1, std::memory_order_relaxed);
+      });
+    }
+  }
+
+  ~SlotBoundExecutor() override { shutdown(); }
+
+  bool submit(std::size_t slot_key, Task task) override {
+    if (slot_key == kUnboundTask || slot_key >= queues_.size()) {
+      return spawner_.spawn(std::move(task));
+    }
+    return queues_[slot_key].push(std::move(task));
+  }
+
+  void shutdown() override {
+    bool expected = false;
+    if (!shut_.compare_exchange_strong(expected, true)) return;
+    for (auto& q : queues_) q.close();
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+    spawner_.close_and_join();
+  }
+
+  std::uint64_t threads_created() const override {
+    return stats_.created.load(std::memory_order_relaxed);
+  }
+  std::uint64_t threads_alive() const override {
+    return stats_.alive.load(std::memory_order_relaxed);
+  }
+  ProcessModel model() const override { return ProcessModel::kSlotBound; }
+
+ private:
+  std::string name_;
+  ThreadStats stats_;
+  DynamicSpawner spawner_;
+  std::vector<support::BlockingQueue<Task>> queues_;
+  std::vector<std::jthread> workers_;
+  std::atomic<bool> shut_{false};
+};
+
+class PooledExecutor final : public Executor {
+ public:
+  PooledExecutor(std::size_t m_workers, std::string name)
+      : name_(std::move(name)) {
+    workers_.reserve(m_workers);
+    for (std::size_t i = 0; i < m_workers; ++i) {
+      stats_.created.fetch_add(1, std::memory_order_relaxed);
+      stats_.alive.fetch_add(1, std::memory_order_relaxed);
+      workers_.emplace_back([this, i] {
+        support::set_current_thread_name(name_ + "/p" + std::to_string(i));
+        while (auto task = queue_.pop()) {
+          (*task)();
+        }
+        stats_.alive.fetch_sub(1, std::memory_order_relaxed);
+      });
+    }
+  }
+
+  ~PooledExecutor() override { shutdown(); }
+
+  bool submit(std::size_t, Task task) override {
+    return queue_.push(std::move(task));
+  }
+
+  void shutdown() override {
+    bool expected = false;
+    if (!shut_.compare_exchange_strong(expected, true)) return;
+    queue_.close();
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+  }
+
+  std::uint64_t threads_created() const override {
+    return stats_.created.load(std::memory_order_relaxed);
+  }
+  std::uint64_t threads_alive() const override {
+    return stats_.alive.load(std::memory_order_relaxed);
+  }
+  ProcessModel model() const override { return ProcessModel::kPooled; }
+
+ private:
+  std::string name_;
+  ThreadStats stats_;
+  support::BlockingQueue<Task> queue_;
+  std::vector<std::jthread> workers_;
+  std::atomic<bool> shut_{false};
+};
+
+class DynamicExecutor final : public Executor {
+ public:
+  explicit DynamicExecutor(std::string name)
+      : name_(std::move(name)), spawner_(name_, &stats_) {}
+
+  ~DynamicExecutor() override { shutdown(); }
+
+  bool submit(std::size_t, Task task) override {
+    return spawner_.spawn(std::move(task));
+  }
+
+  void shutdown() override {
+    bool expected = false;
+    if (!shut_.compare_exchange_strong(expected, true)) return;
+    spawner_.close_and_join();
+  }
+
+  std::uint64_t threads_created() const override {
+    return stats_.created.load(std::memory_order_relaxed);
+  }
+  std::uint64_t threads_alive() const override {
+    return stats_.alive.load(std::memory_order_relaxed);
+  }
+  ProcessModel model() const override { return ProcessModel::kDynamic; }
+
+ private:
+  std::string name_;
+  ThreadStats stats_;
+  DynamicSpawner spawner_;
+  std::atomic<bool> shut_{false};
+};
+
+}  // namespace
+
+const char* to_string(ProcessModel model) {
+  switch (model) {
+    case ProcessModel::kSlotBound: return "slot-bound";
+    case ProcessModel::kPooled: return "pooled";
+    case ProcessModel::kDynamic: return "dynamic";
+  }
+  return "?";
+}
+
+std::unique_ptr<Executor> make_slot_bound_executor(std::size_t n_slots,
+                                                   std::string name) {
+  return std::make_unique<SlotBoundExecutor>(n_slots, std::move(name));
+}
+
+std::unique_ptr<Executor> make_pooled_executor(std::size_t m_workers,
+                                               std::string name) {
+  return std::make_unique<PooledExecutor>(m_workers, std::move(name));
+}
+
+std::unique_ptr<Executor> make_dynamic_executor(std::string name) {
+  return std::make_unique<DynamicExecutor>(std::move(name));
+}
+
+std::unique_ptr<Executor> make_executor(ProcessModel model, std::size_t n_slots,
+                                        std::size_t m_workers,
+                                        std::string name) {
+  switch (model) {
+    case ProcessModel::kSlotBound:
+      return make_slot_bound_executor(n_slots, std::move(name));
+    case ProcessModel::kPooled:
+      return make_pooled_executor(m_workers, std::move(name));
+    case ProcessModel::kDynamic:
+      return make_dynamic_executor(std::move(name));
+  }
+  return make_pooled_executor(m_workers, std::move(name));
+}
+
+}  // namespace alps::sched

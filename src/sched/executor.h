@@ -1,0 +1,78 @@
+// Process models for executing entry-procedure bodies (paper §3).
+//
+// The paper discusses three ways to provide the processes that service a
+// hidden procedure array P[1..N]:
+//
+//  1. one-to-one  — N processes created when the object is created, each
+//     permanently bound to one array element (SlotBound here);
+//  2. pooled      — a pool of M << N processes, one assigned to a call when
+//     it is *started* rather than when it arrives (Pooled here);
+//  3. dynamic     — a process created per call, which the paper notes is
+//     expensive on many operating systems (Dynamic here).
+//
+// The paper further recommends lightweight processes sharing the object's
+// address space; std::jthread is the closest portable analogue (threads of
+// one process share the address space). Experiment E7 compares the models.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace alps::sched {
+
+enum class ProcessModel {
+  kSlotBound,  ///< one worker per procedure-array slot, created eagerly
+  kPooled,     ///< M workers service all started calls
+  kDynamic,    ///< one thread created per started call
+};
+
+const char* to_string(ProcessModel model);
+
+/// Key identifying which procedure-array slot a task belongs to.
+/// kUnboundTask marks work with no slot (non-intercepted entries); every
+/// model must still run it.
+inline constexpr std::size_t kUnboundTask = static_cast<std::size_t>(-1);
+
+/// Executes entry bodies on behalf of one object. Implementations own their
+/// threads; shutdown() drains in-flight work and joins everything. submit()
+/// after shutdown() is a no-op returning false.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Schedules `task`. For kSlotBound, `slot_key` selects the dedicated
+  /// worker; tasks for one slot run in submission order.
+  virtual bool submit(std::size_t slot_key, std::function<void()> task) = 0;
+
+  /// Stops accepting work, waits for in-flight tasks, joins all threads.
+  virtual void shutdown() = 0;
+
+  /// Total threads ever created (experiment E7's cost metric).
+  virtual std::uint64_t threads_created() const = 0;
+
+  /// Threads currently alive.
+  virtual std::uint64_t threads_alive() const = 0;
+
+  virtual ProcessModel model() const = 0;
+};
+
+/// `n_slots` workers created eagerly, one per slot; unbound tasks get
+/// dynamically created threads (the paper's implicit process creation for
+/// non-intercepted entries).
+std::unique_ptr<Executor> make_slot_bound_executor(std::size_t n_slots,
+                                                   std::string name);
+
+/// M pooled workers over a shared run queue.
+std::unique_ptr<Executor> make_pooled_executor(std::size_t m_workers,
+                                               std::string name);
+
+/// A fresh thread per task.
+std::unique_ptr<Executor> make_dynamic_executor(std::string name);
+
+std::unique_ptr<Executor> make_executor(ProcessModel model, std::size_t n_slots,
+                                        std::size_t m_workers, std::string name);
+
+}  // namespace alps::sched

@@ -1,0 +1,47 @@
+#include "support/log.h"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace alps::support {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_io_mu;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "E";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kDebug: return "D";
+    default: return "?";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void log_at(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) > g_level.load(std::memory_order_relaxed)) return;
+  char msg[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(msg, sizeof msg, fmt, ap);
+  va_end(ap);
+
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  const double secs = std::chrono::duration<double>(now).count();
+
+  std::scoped_lock lock(g_io_mu);
+  std::fprintf(stderr, "[%12.6f %s] %s\n", secs, level_tag(level), msg);
+}
+
+}  // namespace alps::support

@@ -1,0 +1,24 @@
+// Minimal leveled logger. The runtime logs nothing by default (benchmarks
+// must not be perturbed); tests and examples can raise the level.
+#pragma once
+
+#include <atomic>
+#include <cstdarg>
+#include <string>
+
+namespace alps::support {
+
+enum class LogLevel : int { kOff = 0, kError = 1, kWarn = 2, kInfo = 3, kDebug = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style; thread-safe (one line per call, atomically written).
+void log_at(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+#define ALPS_LOG_ERROR(...) ::alps::support::log_at(::alps::support::LogLevel::kError, __VA_ARGS__)
+#define ALPS_LOG_WARN(...) ::alps::support::log_at(::alps::support::LogLevel::kWarn, __VA_ARGS__)
+#define ALPS_LOG_INFO(...) ::alps::support::log_at(::alps::support::LogLevel::kInfo, __VA_ARGS__)
+#define ALPS_LOG_DEBUG(...) ::alps::support::log_at(::alps::support::LogLevel::kDebug, __VA_ARGS__)
+
+}  // namespace alps::support

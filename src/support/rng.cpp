@@ -1,0 +1,117 @@
+#include "support/rng.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace alps::support {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+  // A zero state would be a fixed point; splitmix64 of any seed avoids it,
+  // but be defensive anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next();
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<unsigned __int128>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::next_range(std::int64_t lo, std::int64_t hi) {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p_true) { return next_double() < p_true; }
+
+double Rng::next_exponential(double mean) {
+  double u = next_double();
+  // Avoid log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+ZipfGenerator::ZipfGenerator(std::size_t n, double theta, std::uint64_t seed)
+    : rng_(seed), theta_(theta) {
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+    cdf_[k] = sum;
+  }
+  for (auto& c : cdf_) c /= sum;
+}
+
+std::size_t ZipfGenerator::next() {
+  const double u = rng_.next_double();
+  // Binary search for the first cdf entry >= u.
+  std::size_t lo = 0;
+  std::size_t hi = cdf_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo < cdf_.size() ? lo : cdf_.size() - 1;
+}
+
+std::vector<std::string> make_word_list(std::size_t n) {
+  std::vector<std::string> words;
+  words.reserve(n);
+  char buf[32];
+  for (std::size_t i = 0; i < n; ++i) {
+    std::snprintf(buf, sizeof buf, "w%06zu", i);
+    words.emplace_back(buf);
+  }
+  return words;
+}
+
+}  // namespace alps::support

@@ -1,0 +1,68 @@
+// Deterministic pseudo-random generation for workloads.
+//
+// Benchmarks and property tests must be reproducible, so everything takes an
+// explicit seed; nothing reads global entropy. The Zipf generator drives the
+// duplicate-heavy dictionary workload of experiment E3 (§2.7.1 combining).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace alps::support {
+
+/// xoshiro256** by Blackman & Vigna — small, fast, high quality, and
+/// trivially seedable from a single 64-bit value via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  std::uint64_t next();
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  bool next_bool(double p_true = 0.5);
+
+  /// Exponentially distributed with the given mean (for service times).
+  double next_exponential(double mean);
+
+  // std::uniform_random_bit_generator interface, so Rng works with
+  // std::shuffle and the <random> distributions when needed.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return next(); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipf-distributed ranks in [0, n): rank k is drawn with probability
+/// proportional to 1/(k+1)^theta. Uses the inverse-CDF over a precomputed
+/// table, which is exact and fast for the n <= 10^6 range used in benches.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::size_t n, double theta, std::uint64_t seed);
+
+  std::size_t next();
+
+  std::size_t n() const { return cdf_.size(); }
+  double theta() const { return theta_; }
+
+ private:
+  Rng rng_;
+  std::vector<double> cdf_;
+  double theta_;
+};
+
+/// Deterministic word list ("w000017"-style) for dictionary workloads.
+std::vector<std::string> make_word_list(std::size_t n);
+
+}  // namespace alps::support

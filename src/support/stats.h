@@ -1,0 +1,107 @@
+// Measurement utilities for the benchmark harness and the property tests:
+// thread-safe latency histograms with percentile queries, simple counters,
+// and a wall-clock stopwatch.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/sync.h"
+
+namespace alps::support {
+
+/// Log-bucketed latency histogram (ns resolution, ~4% relative error).
+/// record() is lock-free-ish (spin lock over a handful of increments) so it
+/// can sit on benchmark hot paths without distorting the measurement much.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Copyable (fresh lock, snapshotted contents) so reports embedding
+  /// histograms can be returned by value.
+  Histogram(const Histogram& other) : Histogram() { merge(other); }
+  Histogram& operator=(const Histogram& other) {
+    if (this != &other) {
+      reset();
+      merge(other);
+    }
+    return *this;
+  }
+
+  void record(std::uint64_t value_ns);
+
+  template <class Rep, class Period>
+  void record_duration(std::chrono::duration<Rep, Period> d) {
+    record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count()));
+  }
+
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const;
+  std::uint64_t min() const;
+  std::uint64_t max() const;
+  double mean() const;
+  /// q in [0,1]; returns an approximate value at that quantile.
+  std::uint64_t percentile(double q) const;
+
+  /// "count=... mean=...us p50=...us p99=...us max=...us"
+  std::string summary() const;
+
+  void reset();
+
+ private:
+  static constexpr int kSubBuckets = 16;  // per power of two
+  static constexpr int kBuckets = 64 * kSubBuckets;
+
+  static int bucket_for(std::uint64_t v);
+  static std::uint64_t bucket_mid(int b);
+
+  mutable SpinLock mu_;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  std::chrono::nanoseconds elapsed() const { return clock::now() - start_; }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(elapsed()).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// A named atomic counter group for throughput accounting in benches.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t get() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Formats n as ops/s with thousands grouping, e.g. "1,234,567 ops/s".
+std::string format_rate(double ops_per_sec);
+
+/// Formats nanoseconds human-readably ("742ns", "12.3us", "4.5ms", "1.2s").
+std::string format_ns(double ns);
+
+}  // namespace alps::support

@@ -1,0 +1,190 @@
+// Low-level synchronization primitives used throughout the ALPS runtime.
+//
+// Everything here follows the C++ Core Guidelines concurrency rules: RAII
+// locking only, condition variables always waited on with a predicate, and
+// no busy-waiting on the hot paths.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace alps::support {
+
+/// A counting semaphore with an unbounded count.
+///
+/// std::counting_semaphore requires a compile-time least-max-value and lacks
+/// a timed acquire that reports the remaining count, so the runtime uses this
+/// small mutex/cv implementation instead. Contention on these semaphores is
+/// low (they guard per-object scheduling decisions, not data paths).
+class Semaphore {
+ public:
+  explicit Semaphore(std::int64_t initial = 0) : count_(initial) {}
+
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  void release(std::int64_t n = 1) {
+    {
+      std::scoped_lock lock(mu_);
+      count_ += n;
+    }
+    if (n == 1) {
+      cv_.notify_one();
+    } else {
+      cv_.notify_all();
+    }
+  }
+
+  void acquire() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return count_ > 0; });
+    --count_;
+  }
+
+  bool try_acquire() {
+    std::scoped_lock lock(mu_);
+    if (count_ <= 0) return false;
+    --count_;
+    return true;
+  }
+
+  template <class Rep, class Period>
+  bool try_acquire_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mu_);
+    if (!cv_.wait_for(lock, timeout, [&] { return count_ > 0; })) return false;
+    --count_;
+    return true;
+  }
+
+  std::int64_t value() const {
+    std::scoped_lock lock(mu_);
+    return count_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::int64_t count_;
+};
+
+/// A manual-reset event: once set it stays set until reset() is called, and
+/// every waiter (past or future) observes it.
+class Event {
+ public:
+  void set() {
+    {
+      std::scoped_lock lock(mu_);
+      set_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  void reset() {
+    std::scoped_lock lock(mu_);
+    set_ = false;
+  }
+
+  void wait() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return set_; });
+  }
+
+  template <class Rep, class Period>
+  bool wait_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mu_);
+    return cv_.wait_for(lock, timeout, [&] { return set_; });
+  }
+
+  bool is_set() const {
+    std::scoped_lock lock(mu_);
+    return set_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool set_ = false;
+};
+
+/// An auto-reset event: set() wakes exactly one past-or-future wait().
+/// Used for slot-bound worker parking in the SlotBound process model.
+class AutoResetEvent {
+ public:
+  void set() {
+    {
+      std::scoped_lock lock(mu_);
+      signaled_ = true;
+    }
+    cv_.notify_one();
+  }
+
+  void wait() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return signaled_; });
+    signaled_ = false;
+  }
+
+  template <class Rep, class Period>
+  bool wait_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mu_);
+    if (!cv_.wait_for(lock, timeout, [&] { return signaled_; })) return false;
+    signaled_ = false;
+    return true;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool signaled_ = false;
+};
+
+/// A one-shot start/finish barrier for benchmarks: threads park in wait()
+/// until arm() releases them all at once, so measured intervals do not
+/// include thread start-up skew.
+class StartGate {
+ public:
+  void arm() {
+    {
+      std::scoped_lock lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return open_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+/// Spin lock for micro-critical sections in stats recording. Not used in the
+/// kernel proper (kernel sections can block, and CP.43 says keep critical
+/// sections short — the stats sections are a handful of arithmetic ops).
+class SpinLock {
+ public:
+  void lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+#if defined(__cpp_lib_atomic_flag_test)
+      while (flag_.test(std::memory_order_relaxed)) {
+      }
+#endif
+    }
+  }
+
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+  bool try_lock() { return !flag_.test_and_set(std::memory_order_acquire); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+}  // namespace alps::support

@@ -1,0 +1,87 @@
+// Alarm-clock tests: acceptance conditions over intercepted parameters plus
+// pri guards as a deadline scheduler.
+#include "apps/alarm_clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace alps::apps {
+namespace {
+
+TEST(AlarmClock, SleeperWaitsForDeadline) {
+  AlarmClock clock;
+  auto handle = clock.async_wake_me(3);
+  EXPECT_FALSE(handle.wait_for(std::chrono::milliseconds(40)));
+  clock.tick();  // 1
+  clock.tick();  // 2
+  EXPECT_FALSE(handle.wait_for(std::chrono::milliseconds(40)));
+  clock.tick();  // 3 — due
+  EXPECT_EQ(handle.get()[0].as_int(), 3);
+}
+
+TEST(AlarmClock, ZeroDeadlineWakesImmediately) {
+  AlarmClock clock;
+  EXPECT_GE(clock.wake_me(0), 0);
+}
+
+TEST(AlarmClock, OneTickReleasesAllDueSleepers) {
+  AlarmClock clock;
+  std::vector<CallHandle> due;
+  for (int i = 0; i < 5; ++i) due.push_back(clock.async_wake_me(1));
+  auto later = clock.async_wake_me(10);
+  // Wait until every request is attached/pending before ticking.
+  while (clock.sleepers() < 6) std::this_thread::yield();
+  clock.tick();
+  for (auto& h : due) {
+    EXPECT_EQ(h.get()[0].as_int(), 1);
+  }
+  EXPECT_FALSE(later.wait_for(std::chrono::milliseconds(40)));
+  for (int t = 0; t < 9; ++t) clock.tick();
+  EXPECT_GE(later.get()[0].as_int(), 10);
+}
+
+TEST(AlarmClock, EarliestDeadlineReleasedFirst) {
+  AlarmClock clock;
+  std::vector<std::int64_t> wake_order;
+  std::mutex mu;
+  auto sleeper = [&](std::int64_t deadline) {
+    return std::jthread([&, deadline] {
+      clock.wake_me(deadline);
+      std::scoped_lock lock(mu);
+      wake_order.push_back(deadline);
+    });
+  };
+  std::vector<std::jthread> sleepers;
+  for (std::int64_t d : {5, 2, 8}) sleepers.push_back(sleeper(d));
+  while (clock.sleepers() < 3) std::this_thread::yield();
+  for (int t = 0; t < 8; ++t) {
+    clock.tick();
+    // Give a just-released sleeper time to record its wake-up before the
+    // next deadline can come due (the recording order, not the kernel's
+    // release order, is what the vector captures).
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  sleepers.clear();
+  ASSERT_EQ(wake_order.size(), 3u);
+  // Wake-up completion order can race at thread level, but the first woken
+  // must be the earliest deadline.
+  EXPECT_EQ(wake_order[0], 2);
+}
+
+TEST(AlarmClock, ManySleepersStress) {
+  AlarmClock clock({.sleeper_max = 32});
+  std::vector<CallHandle> handles;
+  for (int i = 1; i <= 30; ++i) {
+    handles.push_back(clock.async_wake_me(i % 5 + 1));
+  }
+  for (int t = 0; t < 5; ++t) clock.tick();
+  for (auto& h : handles) {
+    EXPECT_LE(h.get()[0].as_int(), 5);
+  }
+  EXPECT_EQ(clock.sleepers(), 0u);
+}
+
+}  // namespace
+}  // namespace alps::apps

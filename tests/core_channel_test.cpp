@@ -1,0 +1,201 @@
+// Channel semantics (§2.1.2): asynchronous send, blocking receive, FIFO per
+// channel, close behaviour, observers, typed wrapper, and channels inside
+// Values/messages.
+#include "core/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/error.h"
+#include "core/typed.h"
+
+namespace alps {
+namespace {
+
+TEST(Channel, SendDoesNotBlock) {
+  ChannelRef ch = make_channel();
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(ch->send(vals(i)));  // unbounded buffering
+  }
+  EXPECT_EQ(ch->size(), 10000u);
+}
+
+TEST(Channel, FifoOrder) {
+  ChannelRef ch = make_channel();
+  for (int i = 0; i < 100; ++i) ch->send(vals(i));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ch->receive()[0].as_int(), i);
+  }
+}
+
+TEST(Channel, ReceiveBlocksUntilSend) {
+  ChannelRef ch = make_channel();
+  std::atomic<bool> got{false};
+  std::jthread receiver([&] {
+    ValueList msg = ch->receive();
+    EXPECT_EQ(msg[0].as_string(), "ping");
+    got = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got.load());
+  ch->send(vals("ping"));
+  receiver.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(Channel, TryReceiveEmptyReturnsNullopt) {
+  ChannelRef ch = make_channel();
+  EXPECT_FALSE(ch->try_receive().has_value());
+  ch->send(vals(1));
+  auto msg = ch->try_receive();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ((*msg)[0].as_int(), 1);
+}
+
+TEST(Channel, ReceiveForTimesOut) {
+  ChannelRef ch = make_channel();
+  auto msg = ch->receive_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(msg.has_value());
+}
+
+TEST(Channel, CloseDrainsResidueThenThrows) {
+  ChannelRef ch = make_channel();
+  ch->send(vals(1));
+  ch->send(vals(2));
+  ch->close();
+  EXPECT_FALSE(ch->send(vals(3)));  // send after close is refused
+  EXPECT_EQ(ch->receive()[0].as_int(), 1);
+  EXPECT_EQ(ch->receive()[0].as_int(), 2);
+  try {
+    ch->receive();
+    FAIL() << "expected kChannelClosed";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kChannelClosed);
+  }
+}
+
+TEST(Channel, CloseWakesBlockedReceiver) {
+  ChannelRef ch = make_channel();
+  std::atomic<bool> threw{false};
+  std::jthread receiver([&] {
+    try {
+      ch->receive();
+    } catch (const Error&) {
+      threw = true;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ch->close();
+  receiver.join();
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(Channel, PeekDoesNotConsume) {
+  ChannelRef ch = make_channel();
+  ch->send(vals(7));
+  int seen = 0;
+  EXPECT_TRUE(ch->peek_front([&](const ValueList& m) {
+    seen = static_cast<int>(m[0].as_int());
+  }));
+  EXPECT_EQ(seen, 7);
+  EXPECT_EQ(ch->size(), 1u);
+}
+
+TEST(Channel, TakeFrontIfRespectsPredicate) {
+  ChannelRef ch = make_channel();
+  ch->send(vals(5));
+  EXPECT_FALSE(
+      ch->take_front_if([](const ValueList& m) { return m[0].as_int() > 10; })
+          .has_value());
+  EXPECT_EQ(ch->size(), 1u);
+  auto msg =
+      ch->take_front_if([](const ValueList& m) { return m[0].as_int() == 5; });
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(ch->size(), 0u);
+}
+
+TEST(Channel, ObserverFiresOnSendAndClose) {
+  ChannelRef ch = make_channel();
+  std::atomic<int> events{0};
+  auto token = ch->add_observer([&] { ++events; });
+  ch->send(vals(1));
+  EXPECT_EQ(events.load(), 1);
+  ch->remove_observer(token);
+  ch->send(vals(2));
+  EXPECT_EQ(events.load(), 1);  // removed observers stay silent
+}
+
+TEST(Channel, ObserverOnClose) {
+  ChannelRef ch = make_channel();
+  std::atomic<int> events{0};
+  ch->add_observer([&] { ++events; });
+  ch->close();
+  EXPECT_EQ(events.load(), 1);
+}
+
+TEST(Channel, ForwardHookDivertsSends) {
+  ChannelRef ch = make_channel();
+  ValueList captured;
+  ch->set_forward([&](ValueList msg) {
+    captured = std::move(msg);
+    return true;
+  });
+  ch->send(vals("remote"));
+  EXPECT_EQ(ch->size(), 0u);  // nothing buffered locally
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].as_string(), "remote");
+  EXPECT_TRUE(ch->is_remote_proxy());
+}
+
+TEST(Channel, ManyProducersOneConsumerDeliversAll) {
+  ChannelRef ch = make_channel();
+  constexpr int kProducers = 4;
+  constexpr int kEach = 250;
+  std::vector<std::jthread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kEach; ++i) ch->send(vals(p, i));
+    });
+  }
+  std::vector<int> last_seen(kProducers, -1);
+  for (int n = 0; n < kProducers * kEach; ++n) {
+    ValueList msg = ch->receive();
+    const int p = static_cast<int>(msg[0].as_int());
+    const int i = static_cast<int>(msg[1].as_int());
+    // FIFO per sender: each producer's messages arrive in order.
+    EXPECT_GT(i, last_seen[static_cast<size_t>(p)]);
+    last_seen[static_cast<size_t>(p)] = i;
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(last_seen[static_cast<size_t>(p)], kEach - 1);
+  }
+}
+
+TEST(TypedChannel, RoundTrip) {
+  typed::Channel<int, std::string> ch;
+  ch.send(3, "three");
+  auto [n, s] = ch.receive();
+  EXPECT_EQ(n, 3);
+  EXPECT_EQ(s, "three");
+}
+
+TEST(TypedChannel, EmbedsInValue) {
+  typed::Channel<int> reply;
+  Value v = reply.as_value();
+  ASSERT_TRUE(v.is_channel());
+  // Simulates passing a reply channel as an invocation parameter (§2.1.2).
+  v.as_channel()->send(vals(99));
+  auto [n] = reply.receive();
+  EXPECT_EQ(n, 99);
+}
+
+TEST(TypedChannel, ArityMismatchOnDecode) {
+  typed::Channel<int, int> bad(make_channel());
+  bad.ref()->send(vals(1));  // wrong arity smuggled in via the kernel
+  EXPECT_THROW(bad.receive(), Error);
+}
+
+}  // namespace
+}  // namespace alps

@@ -1,0 +1,284 @@
+// Property/stress tests over the kernel: invariants that must hold for any
+// parameter combination — lifecycle accounting (calls = finishes at
+// quiescence), slot-state sanity via pending counts, stop() under load,
+// exception storms, and randomized mixed workloads. Parameterized over
+// process model × array size.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/alps.h"
+#include "support/rng.h"
+
+namespace alps {
+namespace {
+
+using sched::ProcessModel;
+
+struct PropertyParams {
+  ProcessModel model;
+  std::size_t array;
+};
+
+class KernelProperty
+    : public ::testing::TestWithParam<std::tuple<ProcessModel, int>> {};
+
+TEST_P(KernelProperty, AccountingBalancesAtQuiescence) {
+  const auto [model, array] = GetParam();
+  Object obj("Acct", ObjectOptions{.model = model, .pool_workers = 4});
+  auto e = obj.define_entry({.name = "E", .params = 1, .results = 1});
+  obj.implement(e, ImplDecl{.array = static_cast<std::size_t>(array)},
+                [](BodyCtx& ctx) -> ValueList { return {ctx.param(0)}; });
+  obj.set_manager({intercept(e)}, [&](Manager& m) {
+    Select()
+        .on(accept_guard(e).then([&m](Accepted a) { m.start(a); }))
+        .on(await_guard(e).then([&m](Awaited w) { m.finish(w); }))
+        .loop(m);
+  });
+  obj.start();
+
+  constexpr int kCallers = 4, kCallsEach = 40;
+  std::atomic<int> ok{0};
+  {
+    std::vector<std::jthread> callers;
+    for (int c = 0; c < kCallers; ++c) {
+      callers.emplace_back([&, c] {
+        for (int i = 0; i < kCallsEach; ++i) {
+          if (obj.call(e, vals(c * kCallsEach + i))[0].as_int() ==
+              c * kCallsEach + i) {
+            ++ok;
+          }
+        }
+      });
+    }
+  }
+  EXPECT_EQ(ok.load(), kCallers * kCallsEach);
+
+  const auto stats = obj.stats();
+  ASSERT_EQ(stats.entries.size(), 1u);
+  const auto& es = stats.entries[0];
+  EXPECT_EQ(es.calls, static_cast<std::uint64_t>(kCallers * kCallsEach));
+  EXPECT_EQ(es.accepts, es.calls);
+  EXPECT_EQ(es.starts, es.calls);
+  EXPECT_EQ(es.finishes, es.calls);
+  EXPECT_EQ(es.pending, 0u);
+  obj.stop();
+}
+
+TEST_P(KernelProperty, ExceptionStormLeavesKernelConsistent) {
+  const auto [model, array] = GetParam();
+  Object obj("Storm", ObjectOptions{.model = model, .pool_workers = 4});
+  auto e = obj.define_entry({.name = "E", .params = 1, .results = 1});
+  obj.implement(e, ImplDecl{.array = static_cast<std::size_t>(array)},
+                [](BodyCtx& ctx) -> ValueList {
+                  if (ctx.param(0).as_int() % 3 == 0) {
+                    throw std::runtime_error("planned failure");
+                  }
+                  return {ctx.param(0)};
+                });
+  obj.set_manager({intercept(e)}, [&](Manager& m) {
+    Select()
+        .on(accept_guard(e).then([&m](Accepted a) { m.start(a); }))
+        .on(await_guard(e).then([&m](Awaited w) { m.finish(w); }))
+        .loop(m);
+  });
+  obj.start();
+
+  std::atomic<int> failures{0}, successes{0};
+  {
+    std::vector<std::jthread> callers;
+    for (int c = 0; c < 4; ++c) {
+      callers.emplace_back([&, c] {
+        for (int i = 0; i < 30; ++i) {
+          const int v = c * 30 + i;
+          try {
+            obj.call(e, vals(v));
+            ++successes;
+          } catch (const std::exception&) {
+            ++failures;
+          }
+        }
+      });
+    }
+  }
+  EXPECT_EQ(failures.load() + successes.load(), 120);
+  EXPECT_EQ(failures.load(), 40);  // every v % 3 == 0
+  EXPECT_EQ(obj.pending(e), 0u);
+  // The object still works after the storm.
+  EXPECT_EQ(obj.call(e, vals(1))[0].as_int(), 1);
+  obj.stop();
+}
+
+TEST_P(KernelProperty, StopUnderLoadFailsCleanly) {
+  const auto [model, array] = GetParam();
+  auto obj = std::make_unique<Object>(
+      "StopLoad", ObjectOptions{.model = model, .pool_workers = 4});
+  auto e = obj->define_entry({.name = "E", .params = 0, .results = 0});
+  obj->implement(e, ImplDecl{.array = static_cast<std::size_t>(array)},
+                 [](BodyCtx&) -> ValueList {
+                   std::this_thread::sleep_for(std::chrono::microseconds(200));
+                   return {};
+                 });
+  obj->set_manager({intercept(e)}, [&](Manager& m) {
+    Select()
+        .on(accept_guard(*&e).then([&m](Accepted a) { m.start(a); }))
+        .on(await_guard(*&e).then([&m](Awaited w) { m.finish(w); }))
+        .loop(m);
+  });
+  obj->start();
+
+  std::atomic<int> outcomes{0};
+  std::vector<std::jthread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        try {
+          obj->call(e, {});
+        } catch (const Error&) {
+          // kObjectStopped is the expected failure mode.
+        }
+        ++outcomes;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  obj->stop();  // concurrent with active callers
+  callers.clear();
+  EXPECT_EQ(outcomes.load(), 200) << "every call must resolve, never hang";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KernelProperty,
+    ::testing::Combine(::testing::Values(ProcessModel::kSlotBound,
+                                         ProcessModel::kPooled,
+                                         ProcessModel::kDynamic),
+                       ::testing::Values(1, 4, 16)),
+    [](const auto& info) {
+      const char* m = sched::to_string(std::get<0>(info.param));
+      std::string name = m;
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name + "_array" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Randomized mixed workload against a manager with all guard kinds.
+// ---------------------------------------------------------------------------
+
+TEST(KernelFuzz, MixedGuardWorkloadStaysCoherent) {
+  Object obj("Fuzz", ObjectOptions{.pool_workers = 4});
+  auto fast = obj.define_entry({.name = "Fast", .params = 1, .results = 1});
+  auto slow = obj.define_entry({.name = "Slow", .params = 1, .results = 1});
+  obj.implement(fast, ImplDecl{.array = 4},
+                [](BodyCtx& ctx) -> ValueList { return {ctx.param(0)}; });
+  obj.implement(slow, ImplDecl{.array = 2}, [](BodyCtx& ctx) -> ValueList {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+    return {ctx.param(0)};
+  });
+  ChannelRef ctl = make_channel("ctl");
+  std::atomic<int> ctl_seen{0};
+  obj.set_manager({intercept(fast).params(1), intercept(slow)}, [&](Manager& m) {
+    Select()
+        .on(receive_guard(ctl).then([&](ValueList) { ++ctl_seen; }))
+        .on(accept_guard(fast)
+                .pri([](const ValueList& p) { return p[0].as_int() % 7; })
+                .then([&m](Accepted a) { m.start(a); }))
+        .on(await_guard(fast).then([&m](Awaited w) { m.finish(w); }))
+        .on(accept_guard(slow).then([&m](Accepted a) { m.start(a); }))
+        .on(await_guard(slow).then([&m](Awaited w) { m.finish(w); }))
+        .loop(m);
+  });
+  obj.start();
+
+  std::atomic<int> correct{0};
+  constexpr int kOps = 300;
+  {
+    std::vector<std::jthread> workers;
+    for (int t = 0; t < 4; ++t) {
+      workers.emplace_back([&, t] {
+        support::Rng rng(static_cast<std::uint64_t>(t) + 99);
+        for (int i = 0; i < kOps / 4; ++i) {
+          const auto v = static_cast<std::int64_t>(rng.next_below(1000));
+          switch (rng.next_below(3)) {
+            case 0:
+              if (obj.call(fast, vals(v))[0].as_int() == v) ++correct;
+              break;
+            case 1:
+              if (obj.call(slow, vals(v))[0].as_int() == v) ++correct;
+              break;
+            default:
+              ctl->send(vals(v));
+              ++correct;
+              break;
+          }
+        }
+      });
+    }
+  }
+  EXPECT_EQ(correct.load(), kOps);
+  EXPECT_EQ(obj.pending(fast), 0u);
+  EXPECT_EQ(obj.pending(slow), 0u);
+  obj.stop();
+  EXPECT_EQ(obj.manager_error(), nullptr);
+}
+
+// par construct
+TEST(Par, AllBranchesRunAndJoin) {
+  std::atomic<int> ran{0};
+  par({[&] { ++ran; }, [&] { ++ran; }, [&] { ++ran; }});
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(Par, ParForInclusiveBounds) {
+  std::atomic<long long> sum{0};
+  par_for(3, 7, [&](long long i) { sum += i; });
+  EXPECT_EQ(sum.load(), 3 + 4 + 5 + 6 + 7);
+}
+
+TEST(Par, EmptyRangeIsNoop) {
+  par_for(5, 4, [&](long long) { FAIL(); });
+}
+
+TEST(Par, FirstExceptionPropagatesAfterAllJoin) {
+  std::atomic<int> ran{0};
+  try {
+    par({[&] {
+           ++ran;
+           throw std::runtime_error("branch 0");
+         },
+         [&] {
+           std::this_thread::sleep_for(std::chrono::milliseconds(10));
+           ++ran;
+         }});
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "branch 0");
+  }
+  EXPECT_EQ(ran.load(), 2) << "all branches must have completed";
+}
+
+TEST(Par, ParallelEntryCallsFromParBranches) {
+  // The paper's intended use: `par X.P(), X.Q() end par`.
+  Object obj("ParTarget");
+  auto e = obj.define_entry({.name = "E", .params = 1, .results = 1});
+  obj.implement(e, ImplDecl{.array = 8},
+                [](BodyCtx& ctx) -> ValueList { return {ctx.param(0)}; });
+  obj.set_manager({intercept(e)}, [&](Manager& m) {
+    Select()
+        .on(accept_guard(e).then([&m](Accepted a) { m.start(a); }))
+        .on(await_guard(e).then([&m](Awaited w) { m.finish(w); }))
+        .loop(m);
+  });
+  obj.start();
+  std::atomic<int> ok{0};
+  par_for(0, 15, [&](long long i) {
+    if (obj.call(e, vals(i))[0].as_int() == i) ++ok;
+  });
+  EXPECT_EQ(ok.load(), 16);
+  obj.stop();
+}
+
+}  // namespace
+}  // namespace alps

@@ -1,0 +1,207 @@
+// Lifecycle-protocol misuse coverage: every out-of-order use of the manager
+// primitives must be rejected with kProtocolViolation / kArityMismatch and
+// must leave the kernel consistent — each script provokes the error, then
+// recovers and serves the call to completion, proving nothing was corrupted.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/alps.h"
+
+namespace alps {
+namespace {
+
+/// Runs `script` on the manager thread against exactly one incoming call.
+/// The script must fully serve that call (error path included). Returns the
+/// error code the script recorded.
+template <class Script>
+ErrorCode probe(Script script, std::size_t params = 0, std::size_t results = 0,
+                std::size_t hidden_params = 0) {
+  Object obj("Probe");
+  auto e = obj.define_entry({.name = "E", .params = params, .results = results});
+  obj.implement(e, ImplDecl{.array = 2, .hidden_params = hidden_params},
+                [&](BodyCtx&) -> ValueList {
+                  return ValueList(results, Value(7));
+                });
+  std::atomic<ErrorCode> seen{ErrorCode::kObjectStopped};
+  obj.set_manager(
+      {intercept(e).params(params).results(results)}, [&](Manager& m) {
+        script(m, e, seen);
+        // Idle until stop (no further calls arrive).
+        while (!m.stop_requested()) m.execute(m.accept(e));
+      });
+  obj.start();
+  ValueList args(params, Value(1));
+  ValueList out = obj.call(e, args);  // must complete despite the misuse
+  EXPECT_EQ(out.size(), results);
+  obj.stop();
+  return seen.load();
+}
+
+#define CAPTURE_CODE(expr)            \
+  try {                               \
+    expr;                             \
+  } catch (const Error& err) {        \
+    seen = err.code();                \
+  }
+
+TEST(Protocol, StartWithoutAccept) {
+  EXPECT_EQ(probe([](Manager& m, EntryRef e, std::atomic<ErrorCode>& seen) {
+              Accepted fake;
+              fake.entry = e.index();
+              fake.slot = 0;
+              CAPTURE_CODE(m.start(fake));
+              m.execute(m.accept(e));  // recover: serve the call properly
+            }),
+            ErrorCode::kProtocolViolation);
+}
+
+TEST(Protocol, DoubleStart) {
+  EXPECT_EQ(probe([](Manager& m, EntryRef e, std::atomic<ErrorCode>& seen) {
+              Accepted a = m.accept(e);
+              m.start(a);
+              CAPTURE_CODE(m.start(a));
+              m.finish(m.await(a));
+            }),
+            ErrorCode::kProtocolViolation);
+}
+
+TEST(Protocol, AwaitWithoutStart) {
+  EXPECT_EQ(probe([](Manager& m, EntryRef e, std::atomic<ErrorCode>& seen) {
+              Accepted a = m.accept(e);
+              CAPTURE_CODE(m.await(a));
+              m.execute(a);
+            }),
+            ErrorCode::kProtocolViolation);
+}
+
+TEST(Protocol, FinishWithoutAwait) {
+  EXPECT_EQ(probe([](Manager& m, EntryRef e, std::atomic<ErrorCode>& seen) {
+              Accepted a = m.accept(e);
+              m.start(a);
+              Awaited fake;
+              fake.entry = e.index();
+              fake.slot = a.slot;
+              CAPTURE_CODE(m.finish(fake));  // skipped await
+              m.finish(m.await(a));
+            }),
+            ErrorCode::kProtocolViolation);
+}
+
+TEST(Protocol, DoubleFinish) {
+  EXPECT_EQ(probe([](Manager& m, EntryRef e, std::atomic<ErrorCode>& seen) {
+              Accepted a = m.accept(e);
+              m.start(a);
+              Awaited w = m.await(a);
+              m.finish(w);
+              CAPTURE_CODE(m.finish(w));
+            }),
+            ErrorCode::kProtocolViolation);
+}
+
+TEST(Protocol, StartWrongHiddenArity) {
+  EXPECT_EQ(probe(
+                [](Manager& m, EntryRef e, std::atomic<ErrorCode>& seen) {
+                  Accepted a = m.accept(e);
+                  CAPTURE_CODE(m.start(a, vals(1, 2, 3)));  // 1 hidden param
+                  m.execute(a, vals(1));
+                },
+                /*params=*/0, /*results=*/0, /*hidden_params=*/1),
+            ErrorCode::kArityMismatch);
+}
+
+TEST(Protocol, StartWithWrongInterceptArity) {
+  EXPECT_EQ(probe(
+                [](Manager& m, EntryRef e, std::atomic<ErrorCode>& seen) {
+                  Accepted a = m.accept(e);
+                  CAPTURE_CODE(m.start_with(a, vals(1, 2)));  // 1 intercepted
+                  m.execute(a);
+                },
+                /*params=*/1),
+            ErrorCode::kArityMismatch);
+}
+
+TEST(Protocol, FinishWrongInterceptResultArity) {
+  EXPECT_EQ(probe(
+                [](Manager& m, EntryRef e, std::atomic<ErrorCode>& seen) {
+                  Accepted a = m.accept(e);
+                  m.start(a);
+                  Awaited w = m.await(a);
+                  CAPTURE_CODE(m.finish_with(w, vals(1, 2)));  // 1 result
+                  m.finish(w);  // echo recovers
+                },
+                /*params=*/0, /*results=*/1),
+            ErrorCode::kArityMismatch);
+}
+
+TEST(Protocol, CombineWrongResultArity) {
+  EXPECT_EQ(probe(
+                [](Manager& m, EntryRef e, std::atomic<ErrorCode>& seen) {
+                  Accepted a = m.accept(e);
+                  CAPTURE_CODE(m.combine_finish(a, vals(1, 2)));  // 1 result
+                  m.execute(a);
+                },
+                /*params=*/1, /*results=*/1),
+            ErrorCode::kArityMismatch);
+}
+
+TEST(Protocol, CombineAfterStartRejected) {
+  EXPECT_EQ(probe(
+                [](Manager& m, EntryRef e, std::atomic<ErrorCode>& seen) {
+                  Accepted a = m.accept(e);
+                  m.start(a);
+                  CAPTURE_CODE(m.combine_finish(a, vals(1)));  // too late
+                  m.finish(m.await(a));
+                },
+                /*params=*/1, /*results=*/1),
+            ErrorCode::kProtocolViolation);
+}
+
+TEST(Protocol, AcceptOnNonInterceptedEntry) {
+  Object obj("Mixed");
+  auto plain = obj.define_entry({.name = "Plain", .params = 0, .results = 0});
+  auto managed = obj.define_entry({.name = "Managed", .params = 0, .results = 0});
+  obj.implement(plain, [](BodyCtx&) -> ValueList { return {}; });
+  obj.implement(managed, [](BodyCtx&) -> ValueList { return {}; });
+  std::atomic<ErrorCode> seen{ErrorCode::kObjectStopped};
+  obj.set_manager({intercept(managed)}, [&](Manager& m) {
+    try {
+      m.accept(plain);  // not in the intercepts clause
+    } catch (const Error& err) {
+      seen = err.code();
+    }
+    while (!m.stop_requested()) m.execute(m.accept(managed));
+  });
+  obj.start();
+  obj.call(plain, {});    // runs implicitly, untouched by the manager
+  obj.call(managed, {});  // scheduled by the manager
+  obj.stop();
+  EXPECT_EQ(seen.load(), ErrorCode::kProtocolViolation);
+}
+
+TEST(Protocol, KernelSurvivesMisuseStorm) {
+  Object obj("Survivor");
+  auto e = obj.define_entry({.name = "E", .params = 0, .results = 0});
+  obj.implement(e, [](BodyCtx&) -> ValueList { return {}; });
+  obj.set_manager({intercept(e)}, [&](Manager& m) {
+    for (int i = 0; i < 5; ++i) {
+      try {
+        Accepted fake;
+        fake.entry = e.index();
+        fake.slot = 0;
+        m.start(fake);
+      } catch (const Error&) {
+        // ignored — misuse must not corrupt anything
+      }
+    }
+    while (!m.stop_requested()) m.execute(m.accept(e));
+  });
+  obj.start();
+  for (int i = 0; i < 10; ++i) obj.call(e, {});
+  const auto stats = obj.stats();
+  EXPECT_EQ(stats.entries[0].finishes, 10u);
+  obj.stop();
+}
+
+}  // namespace
+}  // namespace alps

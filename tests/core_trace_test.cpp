@@ -1,0 +1,213 @@
+// Tracing/monitoring subsystem tests: event sequences per lifecycle path,
+// latency decomposition, combining and failure phases, and the collector's
+// aggregate report.
+#include "core/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "core/alps.h"
+
+namespace alps {
+namespace {
+
+std::vector<CallPhase> phases_of(const TraceRecorder& rec,
+                                 const std::string& entry) {
+  std::vector<CallPhase> out;
+  for (const auto& ev : rec.events()) {
+    if (ev.entry == entry) out.push_back(ev.phase);
+  }
+  return out;
+}
+
+TEST(Trace, InterceptedCallEmitsFullLifecycle) {
+  TraceRecorder rec;
+  Object obj("Traced");
+  auto e = obj.define_entry({.name = "E", .params = 0, .results = 0});
+  obj.implement(e, [](BodyCtx&) -> ValueList { return {}; });
+  obj.set_manager({intercept(e)}, [&](Manager& m) {
+    while (!m.stop_requested()) m.execute(m.accept(e));
+  });
+  obj.set_tracer(&rec);
+  obj.start();
+  obj.call(e, {});
+  obj.stop();
+
+  const auto phases = phases_of(rec, "E");
+  const std::vector<CallPhase> expect{
+      CallPhase::kArrived, CallPhase::kAttached, CallPhase::kAccepted,
+      CallPhase::kStarted, CallPhase::kReady,    CallPhase::kFinished};
+  EXPECT_EQ(phases, expect);
+}
+
+TEST(Trace, UninterceptedCallEmitsArriveFinish) {
+  TraceRecorder rec;
+  Object obj("Plain");
+  auto e = obj.define_entry({.name = "E", .params = 0, .results = 0});
+  obj.implement(e, [](BodyCtx&) -> ValueList { return {}; });
+  obj.set_tracer(&rec);
+  obj.start();
+  obj.call(e, {});
+  obj.stop();
+  const auto phases = phases_of(rec, "E");
+  EXPECT_EQ(phases,
+            (std::vector<CallPhase>{CallPhase::kArrived, CallPhase::kFinished}));
+}
+
+TEST(Trace, CombinedCallEmitsCombinedPhase) {
+  TraceRecorder rec;
+  Object obj("Comb");
+  auto e = obj.define_entry({.name = "E", .params = 1, .results = 1});
+  obj.implement(e, [](BodyCtx&) -> ValueList { return {Value(0)}; });
+  obj.set_manager({intercept(e).params(1).results(1)}, [&](Manager& m) {
+    while (!m.stop_requested()) {
+      Accepted a = m.accept(e);
+      m.combine_finish(a, vals(99));
+    }
+  });
+  obj.set_tracer(&rec);
+  obj.start();
+  obj.call(e, vals(1));
+  obj.stop();
+  const auto phases = phases_of(rec, "E");
+  EXPECT_EQ(phases,
+            (std::vector<CallPhase>{CallPhase::kArrived, CallPhase::kAttached,
+                                    CallPhase::kAccepted, CallPhase::kCombined}));
+}
+
+TEST(Trace, BodyFailureEmitsFailed) {
+  TraceRecorder rec;
+  Object obj("Fail");
+  auto e = obj.define_entry({.name = "E", .params = 0, .results = 0});
+  obj.implement(e, [](BodyCtx&) -> ValueList {
+    throw std::runtime_error("x");
+  });
+  obj.set_manager({intercept(e)}, [&](Manager& m) {
+    while (!m.stop_requested()) m.execute(m.accept(e));
+  });
+  obj.set_tracer(&rec);
+  obj.start();
+  EXPECT_THROW(obj.call(e, {}), std::runtime_error);
+  obj.stop();
+  const auto phases = phases_of(rec, "E");
+  ASSERT_FALSE(phases.empty());
+  EXPECT_EQ(phases.back(), CallPhase::kFailed);
+}
+
+TEST(Trace, StopFailsPendingWithFailedPhase) {
+  TraceRecorder rec;
+  Object obj("StopTrace");
+  auto e = obj.define_entry({.name = "E", .params = 0, .results = 0});
+  obj.implement(e, [](BodyCtx&) -> ValueList { return {}; });
+  obj.set_manager({intercept(e)}, [](Manager& m) {
+    // Never accepts.
+    Select().on(when_guard([] { return false; })).loop(m);
+  });
+  obj.set_tracer(&rec);
+  obj.start();
+  auto h = obj.async_call(e, {});
+  obj.stop();
+  EXPECT_THROW(h.get(), Error);
+  const auto phases = phases_of(rec, "E");
+  EXPECT_EQ(phases.back(), CallPhase::kFailed);
+}
+
+TEST(Trace, CollectorDecomposesLatency) {
+  TraceCollector collector;
+  Object obj("Decomp", ObjectOptions{.pool_workers = 2});
+  auto e = obj.define_entry({.name = "Work", .params = 0, .results = 0});
+  obj.implement(e, ImplDecl{.array = 2}, [](BodyCtx&) -> ValueList {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    return {};
+  });
+  obj.set_manager({intercept(e)}, [&](Manager& m) {
+    Select()
+        .on(accept_guard(e).then([&m](Accepted a) { m.start(a); }))
+        .on(await_guard(e).then([&m](Awaited w) { m.finish(w); }))
+        .loop(m);
+  });
+  obj.set_tracer(&collector);
+  obj.start();
+  for (int i = 0; i < 20; ++i) obj.call(e, {});
+  obj.stop();
+
+  const auto rep = collector.report("Work");
+  EXPECT_EQ(rep.arrived, 20u);
+  EXPECT_EQ(rep.finished, 20u);
+  EXPECT_EQ(rep.failed, 0u);
+  EXPECT_EQ(rep.service_time.count(), 20u);
+  // The body sleeps 2ms, so service time must dominate total latency.
+  EXPECT_GE(rep.service_time.mean(), 1.5e6);
+  EXPECT_GE(rep.total_latency.mean(), rep.service_time.mean());
+  // All legs recorded.
+  EXPECT_EQ(rep.attach_wait.count(), 20u);
+  EXPECT_EQ(rep.accept_wait.count(), 20u);
+  EXPECT_EQ(rep.start_delay.count(), 20u);
+  EXPECT_EQ(rep.finish_delay.count(), 20u);
+  EXPECT_NE(collector.summary().find("Work"), std::string::npos);
+}
+
+TEST(Trace, CollectorTracksCombining) {
+  TraceCollector collector;
+  Object obj("CombColl");
+  auto e = obj.define_entry({.name = "E", .params = 1, .results = 1});
+  obj.implement(e, [](BodyCtx&) -> ValueList { return {Value(0)}; });
+  obj.set_manager({intercept(e).params(1).results(1)}, [&](Manager& m) {
+    while (!m.stop_requested()) {
+      Accepted a = m.accept(e);
+      m.combine_finish(a, vals(7));
+    }
+  });
+  obj.set_tracer(&collector);
+  obj.start();
+  for (int i = 0; i < 5; ++i) obj.call(e, vals(i));
+  obj.stop();
+  const auto rep = collector.report("E");
+  EXPECT_EQ(rep.combined, 5u);
+  EXPECT_EQ(rep.finished, 0u);
+  EXPECT_EQ(rep.total_latency.count(), 5u);
+}
+
+TEST(Trace, CallIdsAreUniqueAndSlotsValid) {
+  TraceRecorder rec;
+  Object obj("Ids");
+  auto e = obj.define_entry({.name = "E", .params = 0, .results = 0});
+  obj.implement(e, ImplDecl{.array = 2}, [](BodyCtx&) -> ValueList {
+    return {};
+  });
+  obj.set_manager({intercept(e)}, [&](Manager& m) {
+    Select()
+        .on(accept_guard(e).then([&m](Accepted a) { m.start(a); }))
+        .on(await_guard(e).then([&m](Awaited w) { m.finish(w); }))
+        .loop(m);
+  });
+  obj.set_tracer(&rec);
+  obj.start();
+  std::vector<CallHandle> handles;
+  for (int i = 0; i < 10; ++i) handles.push_back(obj.async_call(e, {}));
+  for (auto& h : handles) h.get();
+  obj.stop();
+
+  std::set<std::uint64_t> arrived_ids;
+  for (const auto& ev : rec.events()) {
+    if (ev.phase == CallPhase::kArrived) arrived_ids.insert(ev.call_id);
+    if (ev.phase == CallPhase::kAttached) {
+      EXPECT_LT(ev.slot, 2u);
+    }
+  }
+  EXPECT_EQ(arrived_ids.size(), 10u);
+}
+
+TEST(Trace, ResetClearsCollector) {
+  TraceCollector collector;
+  TraceEvent ev{"X", 1, 0, CallPhase::kArrived, std::chrono::steady_clock::now()};
+  collector.on_event(ev);
+  EXPECT_EQ(collector.entries().size(), 1u);
+  collector.reset();
+  EXPECT_TRUE(collector.entries().empty());
+}
+
+}  // namespace
+}  // namespace alps

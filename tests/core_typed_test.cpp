@@ -1,0 +1,140 @@
+// Typed façade tests: codecs, typed calls (void / single / tuple results),
+// typed channels, and error reporting on type mismatches.
+#include "core/typed.h"
+
+#include <gtest/gtest.h>
+
+#include "core/alps.h"
+
+namespace alps {
+namespace {
+
+TEST(Codec, ScalarRoundTrips) {
+  using typed::Codec;
+  EXPECT_EQ(Codec<int>::decode(Codec<int>::encode(-5)), -5);
+  EXPECT_EQ(Codec<std::int64_t>::decode(Codec<std::int64_t>::encode(1ll << 40)),
+            1ll << 40);
+  EXPECT_EQ(Codec<bool>::decode(Codec<bool>::encode(true)), true);
+  EXPECT_DOUBLE_EQ(Codec<double>::decode(Codec<double>::encode(2.75)), 2.75);
+  EXPECT_EQ(Codec<std::string>::decode(Codec<std::string>::encode("abc")), "abc");
+  EXPECT_EQ(Codec<std::size_t>::decode(Codec<std::size_t>::encode(7u)), 7u);
+}
+
+TEST(Codec, VectorRoundTrip) {
+  using typed::Codec;
+  std::vector<int> v{1, 2, 3};
+  EXPECT_EQ(Codec<std::vector<int>>::decode(Codec<std::vector<int>>::encode(v)), v);
+  std::vector<std::string> s{"a", "b"};
+  EXPECT_EQ(
+      Codec<std::vector<std::string>>::decode(Codec<std::vector<std::string>>::encode(s)),
+      s);
+}
+
+TEST(Codec, NestedVectorAndPair) {
+  using typed::Codec;
+  std::vector<std::vector<int>> vv{{1}, {2, 3}};
+  EXPECT_EQ(
+      (Codec<std::vector<std::vector<int>>>::decode(
+          Codec<std::vector<std::vector<int>>>::encode(vv))),
+      vv);
+  std::pair<int, std::string> p{7, "seven"};
+  EXPECT_EQ((Codec<std::pair<int, std::string>>::decode(
+                Codec<std::pair<int, std::string>>::encode(p))),
+            p);
+}
+
+TEST(Codec, PairArityMismatchThrows) {
+  using typed::Codec;
+  Value bad(vals(1, 2, 3));
+  EXPECT_THROW((Codec<std::pair<int, int>>::decode(bad)), Error);
+}
+
+struct TypedRig {
+  Object obj{"TypedRig"};
+  EntryRef add, greet, divide, noop;
+
+  TypedRig() {
+    add = obj.define_entry({.name = "Add", .params = 2, .results = 1});
+    obj.implement(add, [](BodyCtx& ctx) -> ValueList {
+      return {Value(ctx.param(0).as_int() + ctx.param(1).as_int())};
+    });
+    greet = obj.define_entry({.name = "Greet", .params = 1, .results = 2});
+    obj.implement(greet, [](BodyCtx& ctx) -> ValueList {
+      return {Value("hello " + ctx.param(0).as_string()),
+              Value(static_cast<std::int64_t>(ctx.param(0).as_string().size()))};
+    });
+    divide = obj.define_entry({.name = "Divide", .params = 2, .results = 1});
+    obj.implement(divide, [](BodyCtx& ctx) -> ValueList {
+      return {Value(ctx.param(0).as_real() / ctx.param(1).as_real())};
+    });
+    noop = obj.define_entry({.name = "Noop", .params = 0, .results = 0});
+    obj.implement(noop, [](BodyCtx&) -> ValueList { return {}; });
+    obj.start();
+  }
+  ~TypedRig() { obj.stop(); }
+};
+
+TEST(TypedCall, SingleResult) {
+  TypedRig rig;
+  EXPECT_EQ(typed::call<std::int64_t>(rig.obj, rig.add, 2, 3), 5);
+}
+
+TEST(TypedCall, VoidResult) {
+  TypedRig rig;
+  typed::call<void>(rig.obj, rig.noop);  // must compile and not throw
+}
+
+TEST(TypedCall, TupleResult) {
+  TypedRig rig;
+  auto [text, len] = typed::call<std::tuple<std::string, std::int64_t>>(
+      rig.obj, rig.greet, std::string("world"));
+  EXPECT_EQ(text, "hello world");
+  EXPECT_EQ(len, 5);
+}
+
+TEST(TypedCall, AsyncFuture) {
+  TypedRig rig;
+  auto fut = typed::async_call<std::int64_t>(rig.obj, rig.add, 40, 2);
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(TypedCall, RealArithmetic) {
+  TypedRig rig;
+  EXPECT_DOUBLE_EQ(typed::call<double>(rig.obj, rig.divide, 7.0, 2.0), 3.5);
+}
+
+TEST(TypedCall, WrongResultTypeThrows) {
+  TypedRig rig;
+  // Add returns an int; decoding it as string must throw kTypeMismatch.
+  auto fut = typed::async_call<std::string>(rig.obj, rig.add, 1, 2);
+  EXPECT_THROW(fut.get(), Error);
+}
+
+TEST(TypedCall, WrongArityRejected) {
+  TypedRig rig;
+  auto fut = typed::async_call<std::int64_t>(rig.obj, rig.add, 1);  // one arg
+  EXPECT_THROW(fut.get(), Error);
+}
+
+TEST(TypedChannelApi, SendReceiveTuple) {
+  typed::Channel<std::string, int> ch("typed");
+  ch.send("x", 1);
+  ch.send("y", 2);
+  EXPECT_EQ(ch.size(), 2u);
+  auto [s1, n1] = ch.receive();
+  EXPECT_EQ(s1, "x");
+  EXPECT_EQ(n1, 1);
+  auto got = ch.try_receive();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(std::get<0>(*got), "y");
+  EXPECT_FALSE(ch.try_receive().has_value());
+}
+
+TEST(TypedChannelApi, CloseStopsSends) {
+  typed::Channel<int> ch;
+  ch.close();
+  EXPECT_FALSE(ch.send(1));
+}
+
+}  // namespace
+}  // namespace alps

@@ -1,0 +1,125 @@
+// Unit tests for alps::Value (S3): kinds, checked access, equality, hashing,
+// printing.
+#include "core/value.h"
+
+#include <gtest/gtest.h>
+
+#include "core/channel.h"
+#include "core/error.h"
+
+namespace alps {
+namespace {
+
+TEST(Value, DefaultIsNil) {
+  Value v;
+  EXPECT_TRUE(v.is_nil());
+  EXPECT_EQ(v.kind(), ValueKind::kNil);
+}
+
+TEST(Value, BoolRoundTrip) {
+  Value v(true);
+  EXPECT_TRUE(v.is_bool());
+  EXPECT_TRUE(v.as_bool());
+  EXPECT_FALSE(Value(false).as_bool());
+}
+
+TEST(Value, IntRoundTrip) {
+  Value v(42);
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), 42);
+  EXPECT_EQ(Value(-7ll).as_int(), -7);
+  EXPECT_EQ(Value(7u).as_int(), 7);
+}
+
+TEST(Value, RealRoundTrip) {
+  Value v(3.5);
+  EXPECT_TRUE(v.is_real());
+  EXPECT_DOUBLE_EQ(v.as_real(), 3.5);
+}
+
+TEST(Value, IntWidensToReal) {
+  EXPECT_DOUBLE_EQ(Value(4).as_real(), 4.0);
+}
+
+TEST(Value, RealDoesNotNarrowToInt) {
+  EXPECT_THROW(Value(3.5).as_int(), Error);
+}
+
+TEST(Value, StringRoundTrip) {
+  Value v("hello");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.as_string(), "hello");
+}
+
+TEST(Value, BlobRoundTrip) {
+  Blob b{1, 2, 3};
+  Value v(b);
+  EXPECT_TRUE(v.is_blob());
+  EXPECT_EQ(v.as_blob(), b);
+}
+
+TEST(Value, ListRoundTrip) {
+  Value v(vals(1, "two", 3.0));
+  ASSERT_TRUE(v.is_list());
+  EXPECT_EQ(v.as_list().size(), 3u);
+  EXPECT_EQ(v.as_list()[1].as_string(), "two");
+}
+
+TEST(Value, ChannelRoundTrip) {
+  ChannelRef ch = make_channel("c");
+  Value v(ch);
+  EXPECT_TRUE(v.is_channel());
+  EXPECT_EQ(v.as_channel().get(), ch.get());
+}
+
+TEST(Value, TypeMismatchThrowsWithCode) {
+  try {
+    Value(1).as_string();
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kTypeMismatch);
+  }
+}
+
+TEST(Value, EqualityStructural) {
+  EXPECT_EQ(Value(1), Value(1));
+  EXPECT_NE(Value(1), Value(2));
+  EXPECT_NE(Value(1), Value(1.0));  // different kinds
+  EXPECT_EQ(Value("a"), Value(std::string("a")));
+  EXPECT_EQ(Value(vals(1, 2)), Value(vals(1, 2)));
+  EXPECT_NE(Value(vals(1, 2)), Value(vals(2, 1)));
+}
+
+TEST(Value, ChannelEqualityIsIdentity) {
+  ChannelRef a = make_channel();
+  ChannelRef b = make_channel();
+  EXPECT_EQ(Value(a), Value(a));
+  EXPECT_NE(Value(a), Value(b));
+}
+
+TEST(Value, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(42).hash(), Value(42).hash());
+  EXPECT_EQ(Value("xyz").hash(), Value("xyz").hash());
+  EXPECT_EQ(Value(vals(1, "a")).hash(), Value(vals(1, "a")).hash());
+  // Kinds are salted differently.
+  EXPECT_NE(Value(0).hash(), Value(false).hash());
+}
+
+TEST(Value, ToStringRendering) {
+  EXPECT_EQ(Value().to_string(), "nil");
+  EXPECT_EQ(Value(true).to_string(), "true");
+  EXPECT_EQ(Value(42).to_string(), "42");
+  EXPECT_EQ(Value("hi").to_string(), "\"hi\"");
+  EXPECT_EQ(Value(vals(1, 2)).to_string(), "[1, 2]");
+}
+
+TEST(Value, ValsBuilder) {
+  ValueList list = vals(1, "two", true);
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].as_int(), 1);
+  EXPECT_EQ(list[1].as_string(), "two");
+  EXPECT_TRUE(list[2].as_bool());
+}
+
+}  // namespace
+}  // namespace alps

@@ -1,0 +1,99 @@
+// Object types / multiple instances — the §2.2 "future version" feature:
+// an implemented object acts as a type; create_instance materializes
+// independent instances (own shared data, own manager, own processes).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "lang/interp.h"
+#include "lang/token.h"
+
+namespace alps::lang {
+namespace {
+
+constexpr const char* kCounterType = R"(
+  object Counter defines
+    proc Inc returns (int);
+    proc Get returns (int);
+  end Counter;
+  object Counter implements
+    var N: int;
+    proc Inc returns (int);
+    begin N := N + 1; return (N); end Inc;
+    proc Get returns (int);
+    begin return (N); end Get;
+    manager intercepts Inc, Get;
+    begin
+      loop
+        accept Inc[i] => execute Inc[i];
+      or
+        accept Get[j] => execute Get[j];
+      end loop
+    end;
+  end Counter;
+)";
+
+TEST(LangInstances, InstancesHaveIndependentState) {
+  Machine m(kCounterType);
+  m.create_instance("Counter", "A");
+  m.create_instance("Counter", "B");
+
+  EXPECT_EQ(m.call("A", "Inc")[0].as_int(), 1);
+  EXPECT_EQ(m.call("A", "Inc")[0].as_int(), 2);
+  EXPECT_EQ(m.call("B", "Inc")[0].as_int(), 1);
+  // The original (prototype) instance is independent too.
+  EXPECT_EQ(m.call("Counter", "Get")[0].as_int(), 0);
+  EXPECT_EQ(m.call("A", "Get")[0].as_int(), 2);
+  EXPECT_EQ(m.call("B", "Get")[0].as_int(), 1);
+}
+
+TEST(LangInstances, EachInstanceHasItsOwnManager) {
+  Machine m(kCounterType);
+  m.create_instance("Counter", "A");
+  // Concurrent traffic against both; each manager serializes its own object.
+  std::vector<std::jthread> threads;
+  for (const char* target : {"Counter", "A"}) {
+    threads.emplace_back([&m, target] {
+      for (int i = 0; i < 50; ++i) m.call(target, "Inc");
+    });
+  }
+  threads.clear();
+  EXPECT_EQ(m.call("Counter", "Get")[0].as_int(), 50);
+  EXPECT_EQ(m.call("A", "Get")[0].as_int(), 50);
+}
+
+TEST(LangInstances, DuplicateInstanceNameRejected) {
+  Machine m(kCounterType);
+  m.create_instance("Counter", "A");
+  EXPECT_THROW(m.create_instance("Counter", "A"), LangError);
+  EXPECT_THROW(m.create_instance("Counter", "Counter"), LangError);
+}
+
+TEST(LangInstances, UnknownTypeRejected) {
+  Machine m(kCounterType);
+  EXPECT_THROW(m.create_instance("NoSuchType", "X"), LangError);
+}
+
+TEST(LangInstances, InitializationRunsPerInstance) {
+  Machine m(R"(
+    object Cell implements
+      var V: int;
+      proc Get returns (int); begin return (V); end Get;
+    begin
+      V := 7;
+    end Cell;
+  )");
+  m.create_instance("Cell", "C2");
+  EXPECT_EQ(m.call("Cell", "Get")[0].as_int(), 7);
+  EXPECT_EQ(m.call("C2", "Get")[0].as_int(), 7);
+}
+
+TEST(LangInstances, InstancesListedInObjects) {
+  Machine m(kCounterType);
+  m.create_instance("Counter", "A");
+  EXPECT_EQ(m.objects().size(), 2u);
+}
+
+}  // namespace
+}  // namespace alps::lang

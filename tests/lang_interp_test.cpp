@@ -1,0 +1,370 @@
+// Interpreter tests: the paper's own programs (§2.4.1 bounded buffer,
+// §2.5.1 readers–writers, §2.7.1 combining) written in ALPS notation and run
+// on the kernel through the interpreter.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "lang/interp.h"
+#include "lang/token.h"
+
+namespace alps::lang {
+namespace {
+
+TEST(Interp, PlainProcedureObject) {
+  Machine m(R"(
+    object Math implements
+      proc Add(A: int; B: int) returns (int);
+      begin
+        return (A + B);
+      end Add;
+      proc Fact(N: int) returns (int);
+      var R: int;
+      begin
+        R := 1;
+        while N > 1 do
+          R := R * N;
+          N := N - 1;
+        end while;
+        return (R);
+      end Fact;
+    end Math;
+  )");
+  EXPECT_EQ(m.call("Math", "Add", vals(2, 3))[0].as_int(), 5);
+  EXPECT_EQ(m.call("Math", "Fact", vals(5))[0].as_int(), 120);
+}
+
+TEST(Interp, InitializationRunsBeforeCalls) {
+  Machine m(R"(
+    object X implements
+      var N: int;
+      proc Get returns (int); begin return (N); end Get;
+    begin
+      N := 42;
+    end X;
+  )");
+  EXPECT_EQ(m.call("X", "Get")[0].as_int(), 42);
+}
+
+TEST(Interp, DefinitionPartControlsExport) {
+  Machine m(R"(
+    object X defines
+      proc Public returns (int);
+    end X;
+    object X implements
+      proc Public returns (int); begin return (7); end Public;
+      proc Helper returns (int); begin return (8); end Helper;
+    end X;
+  )");
+  // "Helper" is local (absent from the definition part): external calls fail.
+  EXPECT_THROW(m.call("X", "Helper"), Error);
+}
+
+TEST(Interp, StringsAndComparisons) {
+  Machine m(R"(
+    object S implements
+      proc Concat(A: string; B: string) returns (string);
+      begin
+        return (A + B);
+      end Concat;
+      proc Less(A: string; B: string) returns (bool);
+      begin
+        return (A < B);
+      end Less;
+    end S;
+  )");
+  EXPECT_EQ(m.call("S", "Concat", vals("foo", "bar"))[0].as_string(), "foobar");
+  EXPECT_TRUE(m.call("S", "Less", vals("abc", "abd"))[0].as_bool());
+}
+
+TEST(Interp, RuntimeErrorsSurfaceToCaller) {
+  Machine m(R"(
+    object X implements
+      proc Div(A: int; B: int) returns (int);
+      begin
+        return (A / B);
+      end Div;
+      proc Idx returns (int);
+      var A: array 2 of int;
+      begin
+        return (A[5]);
+      end Idx;
+    end X;
+  )");
+  EXPECT_THROW(m.call("X", "Div", vals(1, 0)), LangError);
+  EXPECT_THROW(m.call("X", "Idx"), LangError);
+  // Machine still healthy.
+  EXPECT_EQ(m.call("X", "Div", vals(6, 3))[0].as_int(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// §2.4.1 — the paper's bounded buffer, in the paper's notation.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kBufferProgram = R"(
+  object Buffer defines
+    proc Deposit(string);
+    proc Remove returns (string);
+  end Buffer;
+
+  object Buffer implements
+    var Buf: array 4 of string;
+    var Inptr, Outptr: int;
+
+    proc Deposit(M: string);
+    begin
+      Buf[Inptr] := M;
+      Inptr := (Inptr + 1) mod 4;
+    end Deposit;
+
+    proc Remove returns (string);
+    var M: string;
+    begin
+      M := Buf[Outptr];
+      Outptr := (Outptr + 1) mod 4;
+      return (M);
+    end Remove;
+
+    manager intercepts Deposit, Remove;
+    var Count: int;
+    begin
+      Count := 0;
+      loop
+        accept Deposit[i] when Count < 4 =>
+          execute Deposit[i];
+          Count := Count + 1;
+      or
+        accept Remove[i] when Count > 0 =>
+          execute Remove[i];
+          Count := Count - 1;
+      end loop
+    end;
+  begin
+    Inptr := 0;
+    Outptr := 0;
+  end Buffer;
+)";
+
+TEST(InterpPaper, BoundedBufferFifo) {
+  Machine m(kBufferProgram);
+  for (int i = 0; i < 3; ++i) {
+    m.call("Buffer", "Deposit", vals("msg" + std::to_string(i)));
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(m.call("Buffer", "Remove")[0].as_string(),
+              "msg" + std::to_string(i));
+  }
+}
+
+TEST(InterpPaper, BoundedBufferBlocksWhenFull) {
+  Machine m(kBufferProgram);
+  for (int i = 0; i < 4; ++i) m.call("Buffer", "Deposit", vals("x"));
+  auto blocked = m.async_call("Buffer", "Deposit", vals("overflow"));
+  EXPECT_FALSE(blocked.wait_for(std::chrono::milliseconds(50)));
+  m.call("Buffer", "Remove");
+  blocked.wait();
+}
+
+TEST(InterpPaper, BoundedBufferProducerConsumerStress) {
+  Machine m(kBufferProgram);
+  std::vector<std::string> got;
+  std::jthread producer([&] {
+    for (int i = 0; i < 60; ++i) {
+      m.call("Buffer", "Deposit", vals(std::to_string(i)));
+    }
+  });
+  for (int i = 0; i < 60; ++i) {
+    got.push_back(m.call("Buffer", "Remove")[0].as_string());
+  }
+  producer.join();
+  for (int i = 0; i < 60; ++i) EXPECT_EQ(got[static_cast<size_t>(i)], std::to_string(i));
+}
+
+// ---------------------------------------------------------------------------
+// §2.5.1 — readers–writers with #Write / WriterLast, in the paper's notation.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kDatabaseProgram = R"(
+  object Database defines
+    proc Read(int) returns (int);
+    proc Write(int, int);
+  end Database;
+
+  object Database implements
+    var Data: array 16 of int;
+
+    proc Read[4](Key: int) returns (int);
+    begin
+      return (Data[Key]);
+    end Read;
+
+    proc Write(Key: int; Val: int);
+    begin
+      Data[Key] := Val;
+    end Write;
+
+    manager intercepts Read, Write;
+    var ReadCount: int; WriterLast: bool;
+    begin
+      ReadCount := 0;
+      WriterLast := false;
+      loop
+        accept Read[i] when (#Write = 0 or WriterLast) and ReadCount < 4 =>
+          start Read[i];
+          ReadCount := ReadCount + 1;
+          WriterLast := false;
+      or
+        await Read[i] =>
+          finish Read[i];
+          ReadCount := ReadCount - 1;
+      or
+        accept Write[j] when ReadCount = 0 and ((#Read = 0) or (not WriterLast)) =>
+          execute Write[j];
+          WriterLast := true;
+      end loop
+    end;
+  end Database;
+)";
+
+TEST(InterpPaper, ReadersWritersReadYourWrites) {
+  Machine m(kDatabaseProgram);
+  m.call("Database", "Write", vals(3, 333));
+  m.call("Database", "Write", vals(5, 555));
+  EXPECT_EQ(m.call("Database", "Read", vals(3))[0].as_int(), 333);
+  EXPECT_EQ(m.call("Database", "Read", vals(5))[0].as_int(), 555);
+  EXPECT_EQ(m.call("Database", "Read", vals(0))[0].as_int(), 0);
+}
+
+TEST(InterpPaper, ReadersWritersConcurrentLoad) {
+  Machine m(kDatabaseProgram);
+  std::atomic<int> ok{0};
+  {
+    std::vector<std::jthread> threads;
+    for (int r = 0; r < 4; ++r) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < 25; ++i) {
+          m.call("Database", "Read", vals(i % 16));
+          ++ok;
+        }
+      });
+    }
+    for (int w = 0; w < 2; ++w) {
+      threads.emplace_back([&, w] {
+        for (int i = 0; i < 10; ++i) {
+          m.call("Database", "Write", vals((w * 10 + i) % 16, i));
+          ++ok;
+        }
+      });
+    }
+  }
+  EXPECT_EQ(ok.load(), 120);
+  EXPECT_EQ(m.object("Database").pending(m.object("Database").entry("Read")), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// §2.7.1 — combining: finish after accept without start.
+// ---------------------------------------------------------------------------
+
+TEST(InterpPaper, CombiningFinishWithoutStart) {
+  // The manager answers directly from its cache array without running the
+  // body — the §2.7 combining pattern (here: a memoizing front).
+  Machine m(R"(
+    object Memo defines
+      proc Square(int) returns (int);
+    end Memo;
+
+    object Memo implements
+      var Calls: int;
+
+      proc Square[4](N: int) returns (int);
+      begin
+        Calls := Calls + 1;
+        return (N * N);
+      end Square;
+
+      manager intercepts Square(int; int);
+      var CachedN, CachedSq: int; Warm: bool;
+      begin
+        Warm := false;
+        loop
+          accept Square[i](N) when (not Warm) =>
+            start Square[i](N);
+          or
+          await Square[i](Sq) =>
+            CachedSq := Sq;
+            Warm := true;
+            finish Square[i];
+          or
+          accept Square[j](N2) when Warm =>
+            finish Square[j](CachedSq);
+        end loop
+      end;
+    end Memo;
+  )");
+  EXPECT_EQ(m.call("Memo", "Square", vals(6))[0].as_int(), 36);
+  // Subsequent calls are combined away: same cached answer, no body run.
+  EXPECT_EQ(m.call("Memo", "Square", vals(9))[0].as_int(), 36);
+  EXPECT_EQ(m.call("Memo", "Square", vals(12))[0].as_int(), 36);
+}
+
+// ---------------------------------------------------------------------------
+// pri guards in the language
+// ---------------------------------------------------------------------------
+
+TEST(Interp, PriGuardOrdersService) {
+  Machine m(R"(
+    object Sched defines
+      proc Work(int) returns (int);
+    end Sched;
+    object Sched implements
+      var Served: int;
+      proc Work[8](V: int) returns (int);
+      begin
+        Served := Served + 1;
+        return (Served);
+      end Work;
+      manager intercepts Work(int; int);
+      begin
+        loop
+          accept Work[i](V) pri V =>
+            execute Work[i];
+        end loop
+      end;
+    end Sched;
+  )");
+  // Stuff the queue while the manager is busy... issue all, then check that
+  // the smallest value got the earliest service order. To make it
+  // deterministic we issue all calls before any can be accepted by flooding
+  // in one burst and checking relative order of two extremes.
+  std::vector<CallHandle> handles;
+  for (int v : {9, 1, 5, 7, 3}) {
+    handles.push_back(m.async_call("Sched", "Work", vals(v)));
+  }
+  std::vector<std::int64_t> order(5);
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    order[i] = handles[i].get()[0].as_int();
+  }
+  // order[k] = service rank of request k; request with value 1 (index 1)
+  // must be served before value 9 (index 0) in the common case; at minimum
+  // all ranks are a permutation of 1..5.
+  std::set<std::int64_t> ranks(order.begin(), order.end());
+  EXPECT_EQ(ranks.size(), 5u);
+  EXPECT_EQ(*ranks.begin(), 1);
+  EXPECT_EQ(*ranks.rbegin(), 5);
+}
+
+TEST(Interp, MachineListsObjects) {
+  Machine m(R"(
+    object A implements proc X; begin end X; end A;
+    object B implements proc Y; begin end Y; end B;
+  )");
+  auto names = m.objects();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_THROW(m.object("C"), LangError);
+}
+
+}  // namespace
+}  // namespace alps::lang

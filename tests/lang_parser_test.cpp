@@ -1,0 +1,234 @@
+// Lexer and parser tests for the ALPS surface language.
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+#include "lang/token.h"
+
+namespace alps::lang {
+namespace {
+
+// ---- lexer ----
+
+TEST(Lexer, KeywordsAreCaseInsensitive) {
+  auto tokens = lex("OBJECT Object oBjEcT");
+  ASSERT_EQ(tokens.size(), 4u);  // 3 + EOF
+  EXPECT_EQ(tokens[0].kind, Tok::kObject);
+  EXPECT_EQ(tokens[1].kind, Tok::kObject);
+  EXPECT_EQ(tokens[2].kind, Tok::kObject);
+}
+
+TEST(Lexer, OperatorsAndPunctuation) {
+  auto tokens = lex(":= => = <> <= >= < > + - * / ; : , ( ) [ ] #");
+  std::vector<Tok> kinds;
+  for (const auto& t : tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds, (std::vector<Tok>{
+                       Tok::kAssign, Tok::kArrow, Tok::kEq, Tok::kNeq, Tok::kLe,
+                       Tok::kGe, Tok::kLt, Tok::kGt, Tok::kPlus, Tok::kMinus,
+                       Tok::kStar, Tok::kSlash, Tok::kSemi, Tok::kColon,
+                       Tok::kComma, Tok::kLParen, Tok::kRParen, Tok::kLBracket,
+                       Tok::kRBracket, Tok::kHash, Tok::kEof}));
+}
+
+TEST(Lexer, NumbersAndStrings) {
+  auto tokens = lex("42 3.5 \"hello world\"");
+  EXPECT_EQ(tokens[0].kind, Tok::kIntLit);
+  EXPECT_EQ(tokens[0].int_val, 42);
+  EXPECT_EQ(tokens[1].kind, Tok::kRealLit);
+  EXPECT_DOUBLE_EQ(tokens[1].real_val, 3.5);
+  EXPECT_EQ(tokens[2].kind, Tok::kStringLit);
+  EXPECT_EQ(tokens[2].text, "hello world");
+}
+
+TEST(Lexer, CommentsSkipped) {
+  auto tokens = lex("a -- line comment\n b { block\n comment } c");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[2].text, "c");
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  auto tokens = lex("a\nb\n  c");
+  EXPECT_EQ(tokens[0].line, 1u);
+  EXPECT_EQ(tokens[1].line, 2u);
+  EXPECT_EQ(tokens[2].line, 3u);
+  EXPECT_EQ(tokens[2].col, 3u);
+}
+
+TEST(Lexer, RejectsBadChars) {
+  EXPECT_THROW(lex("a $ b"), LangError);
+  EXPECT_THROW(lex("\"unterminated"), LangError);
+  EXPECT_THROW(lex("{ unterminated"), LangError);
+}
+
+// ---- parser ----
+
+TEST(Parser, ObjectDefinition) {
+  Program p = parse_program(R"(
+    object Buffer defines
+      proc Deposit(string);
+      proc Remove returns (string);
+    end Buffer;
+  )");
+  ASSERT_EQ(p.defs.size(), 1u);
+  EXPECT_EQ(p.defs[0].name, "Buffer");
+  ASSERT_EQ(p.defs[0].procs.size(), 2u);
+  EXPECT_EQ(p.defs[0].procs[0].name, "Deposit");
+  EXPECT_EQ(p.defs[0].procs[0].params.size(), 1u);
+  EXPECT_EQ(p.defs[0].procs[1].results.size(), 1u);
+}
+
+TEST(Parser, ImplementationWithArraysAndManager) {
+  Program p = parse_program(R"(
+    object Db implements
+      var Data: array 16 of int;
+      var Hits: int;
+
+      proc Read[4](Key: int) returns (int);
+      begin
+        return (Data[Key]);
+      end Read;
+
+      manager intercepts Read(int; int);
+      var Count: int;
+      begin
+        loop
+          accept Read[i] when Count < 4 =>
+            execute Read[i];
+        end loop
+      end;
+    end Db;
+  )");
+  ASSERT_EQ(p.impls.size(), 1u);
+  const ObjectImpl& impl = p.impls[0];
+  ASSERT_EQ(impl.shared.size(), 2u);
+  EXPECT_EQ(impl.shared[0].array, 16u);
+  EXPECT_EQ(impl.shared[1].array, 0u);
+  ASSERT_EQ(impl.procs.size(), 1u);
+  EXPECT_EQ(impl.procs[0].array, 4u);
+  ASSERT_TRUE(impl.manager != nullptr);
+  ASSERT_EQ(impl.manager->intercepts.size(), 1u);
+  EXPECT_EQ(impl.manager->intercepts[0].n_params, 1u);
+  EXPECT_EQ(impl.manager->intercepts[0].n_results, 1u);
+  ASSERT_EQ(impl.manager->body.size(), 1u);
+  EXPECT_EQ(impl.manager->body[0]->kind, Stmt::Kind::kLoop);
+  ASSERT_EQ(impl.manager->body[0]->guards.size(), 1u);
+  const Guard& g = impl.manager->body[0]->guards[0];
+  EXPECT_EQ(g.kind, Guard::Kind::kAccept);
+  EXPECT_EQ(g.target.slot_binder, "i");
+  ASSERT_TRUE(g.when != nullptr);
+}
+
+TEST(Parser, GuardSeparatorVsBooleanOr) {
+  // Top-level `or` separates guards; parenthesized `or` is boolean.
+  Program p = parse_program(R"(
+    object X implements
+      proc A; begin end A;
+      proc B; begin end B;
+      manager intercepts A, B;
+      var F: bool;
+      begin
+        loop
+          accept A[i] when (F or true) => execute A[i];
+        or
+          accept B[j] => execute B[j];
+        end loop
+      end;
+    end X;
+  )");
+  const Stmt& loop = *p.impls[0].manager->body[0];
+  ASSERT_EQ(loop.guards.size(), 2u);
+  EXPECT_EQ(loop.guards[0].when->kind, Expr::Kind::kBinary);
+  EXPECT_EQ(loop.guards[0].when->bin_op, BinOp::kOr);
+}
+
+TEST(Parser, PriClause) {
+  Program p = parse_program(R"(
+    object Disk implements
+      proc Access(Cyl: int; Head: int);
+      begin end Access;
+      manager intercepts Access(int);
+      var Head: int;
+      begin
+        loop
+          accept Access[i](Cyl) pri Cyl - Head =>
+            execute Access[i](Head);
+            Head := Cyl;
+        end loop
+      end;
+    end Disk;
+  )");
+  const Guard& g = p.impls[0].manager->body[0]->guards[0];
+  ASSERT_TRUE(g.pri != nullptr);
+  ASSERT_EQ(g.binders.size(), 1u);
+  EXPECT_EQ(g.binders[0], "Cyl");
+}
+
+TEST(Parser, IfElsifElseAndWhile) {
+  Program p = parse_program(R"(
+    object X implements
+      proc F(A: int) returns (int);
+      var R: int;
+      begin
+        R := 0;
+        while A > 0 do
+          A := A - 1;
+          R := R + 2;
+        end while;
+        if R = 0 then
+          return (0);
+        elsif R < 10 then
+          return (1);
+        else
+          return (2);
+        end if;
+      end F;
+    end X;
+  )");
+  ASSERT_EQ(p.impls[0].procs.size(), 1u);
+}
+
+TEST(Parser, PendingCountExpression) {
+  Program p = parse_program(R"(
+    object X implements
+      proc A; begin end A;
+      manager intercepts A;
+      begin
+        loop
+          accept A[i] when #A < 5 => execute A[i];
+        end loop
+      end;
+    end X;
+  )");
+  const Guard& g = p.impls[0].manager->body[0]->guards[0];
+  EXPECT_EQ(g.when->lhs->kind, Expr::Kind::kPending);
+  EXPECT_EQ(g.when->lhs->name, "A");
+}
+
+TEST(Parser, SyntaxErrorsCarryLocation) {
+  try {
+    parse_program("object X defines\n  proc ;\nend X;");
+    FAIL() << "expected LangError";
+  } catch (const LangError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+  EXPECT_THROW(parse_program("object X implements proc A; begin end B; end X;"),
+               LangError);
+  EXPECT_THROW(parse_program("object X defines end Y;"), LangError);
+  EXPECT_THROW(parse_program("objec X defines end;"), LangError);
+}
+
+TEST(Parser, InitializationBlock) {
+  Program p = parse_program(R"(
+    object X implements
+      var N: int;
+      proc Get returns (int); begin return (N); end Get;
+    begin
+      N := 41 + 1;
+    end X;
+  )");
+  EXPECT_EQ(p.impls[0].init.size(), 1u);
+}
+
+}  // namespace
+}  // namespace alps::lang

@@ -1,0 +1,93 @@
+// The language's `select` statement (one nondeterministic selection, §2.4)
+// and manager code mixing select with ordinary statements.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "lang/interp.h"
+#include "lang/token.h"
+
+namespace alps::lang {
+namespace {
+
+TEST(LangSelect, SingleSelectionThenContinue) {
+  // The manager performs exactly one guarded selection per loop iteration of
+  // its own while-style logic: a batching server that takes two deposits
+  // then one drain, strictly alternating by construction.
+  Machine m(R"(
+    object Batcher defines
+      proc Put(int);
+      proc Drain returns (int);
+    end Batcher;
+    object Batcher implements
+      var Sum: int;
+      proc Put(V: int);
+      begin
+        Sum := Sum + V;
+      end Put;
+      proc Drain returns (int);
+      var S: int;
+      begin
+        S := Sum;
+        Sum := 0;
+        return (S);
+      end Drain;
+      manager intercepts Put, Drain;
+      var Phase: int;
+      begin
+        Phase := 0;
+        while true do
+          select
+            accept Put[i] when Phase < 2 =>
+              execute Put[i];
+              Phase := Phase + 1;
+          or
+            accept Drain[j] when Phase = 2 =>
+              execute Drain[j];
+              Phase := 0;
+          end select
+        end while
+      end;
+    end Batcher;
+  )");
+  auto drain_early = m.async_call("Batcher", "Drain");
+  EXPECT_FALSE(drain_early.wait_for(std::chrono::milliseconds(40)))
+      << "Drain must wait for two Puts";
+  m.call("Batcher", "Put", vals(10));
+  EXPECT_FALSE(drain_early.wait_for(std::chrono::milliseconds(40)));
+  m.call("Batcher", "Put", vals(32));
+  EXPECT_EQ(drain_early.get()[0].as_int(), 42);
+}
+
+TEST(LangSelect, ManagerStatementsBetweenSelections) {
+  // Plain statements interleave with select freely (the manager body is a
+  // full program, not just one loop).
+  Machine m(R"(
+    object Once defines
+      proc Get returns (int);
+    end Once;
+    object Once implements
+      var Round: int;
+      proc Get returns (int);
+      begin
+        return (Round);
+      end Get;
+      manager intercepts Get;
+      begin
+        Round := 0;
+        while true do
+          Round := Round + 1;
+          select
+            accept Get[i] => execute Get[i];
+          end select
+        end while
+      end;
+    end Once;
+  )");
+  EXPECT_EQ(m.call("Once", "Get")[0].as_int(), 1);
+  EXPECT_EQ(m.call("Once", "Get")[0].as_int(), 2);
+  EXPECT_EQ(m.call("Once", "Get")[0].as_int(), 3);
+}
+
+}  // namespace
+}  // namespace alps::lang

@@ -1,0 +1,255 @@
+// Path-expression language tests: lexer/parser/AST shape, syntax errors, and
+// runtime enforcement of sequencing, restriction, selection and bursts.
+#include "baselines/pathexpr.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "support/sync.h"
+
+namespace alps::baselines {
+namespace {
+
+// ---- parsing ----
+
+TEST(PathParse, SingleName) {
+  auto ast = parse_path("path op end");
+  EXPECT_EQ(ast->kind, PathNode::Kind::kName);
+  EXPECT_EQ(ast->name, "op");
+}
+
+TEST(PathParse, Sequence) {
+  auto ast = parse_path("path a; b; c end");
+  ASSERT_EQ(ast->kind, PathNode::Kind::kSeq);
+  ASSERT_EQ(ast->children.size(), 3u);
+  EXPECT_EQ(to_string(*ast), "a; b; c");
+}
+
+TEST(PathParse, CommaSequences) {
+  auto ast = parse_path("path a, b end");
+  ASSERT_EQ(ast->kind, PathNode::Kind::kSeq);
+  EXPECT_EQ(ast->children.size(), 2u);
+}
+
+TEST(PathParse, Selection) {
+  auto ast = parse_path("path a | b end");
+  ASSERT_EQ(ast->kind, PathNode::Kind::kAlt);
+  EXPECT_EQ(to_string(*ast), "(a | b)");
+}
+
+TEST(PathParse, RestrictionAndBurst) {
+  auto ast = parse_path("path 3:({read} | write) end");
+  ASSERT_EQ(ast->kind, PathNode::Kind::kRestrict);
+  EXPECT_EQ(ast->bound, 3u);
+  ASSERT_EQ(ast->child->kind, PathNode::Kind::kAlt);
+  EXPECT_EQ(ast->child->children[0]->kind, PathNode::Kind::kBurst);
+  EXPECT_EQ(to_string(*ast), "3:(({read} | write))");
+}
+
+TEST(PathParse, SelectionBindsTighterThanSequence) {
+  auto ast = parse_path("path a | b; c end");
+  ASSERT_EQ(ast->kind, PathNode::Kind::kSeq);
+  EXPECT_EQ(ast->children[0]->kind, PathNode::Kind::kAlt);
+}
+
+TEST(PathParse, Parenthesization) {
+  auto ast = parse_path("path (a; b) | c end");
+  ASSERT_EQ(ast->kind, PathNode::Kind::kAlt);
+  EXPECT_EQ(ast->children[0]->kind, PathNode::Kind::kSeq);
+}
+
+TEST(PathParse, SyntaxErrors) {
+  EXPECT_THROW(parse_path("a; b end"), PathSyntaxError);        // no 'path'
+  EXPECT_THROW(parse_path("path a; b"), PathSyntaxError);       // no 'end'
+  EXPECT_THROW(parse_path("path a; end"), PathSyntaxError);     // dangling ';'
+  EXPECT_THROW(parse_path("path 0:(a) end"), PathSyntaxError);  // zero bound
+  EXPECT_THROW(parse_path("path 2 a end"), PathSyntaxError);    // missing ':'
+  EXPECT_THROW(parse_path("path {a end"), PathSyntaxError);     // unclosed '{'
+  EXPECT_THROW(parse_path("path a end x"), PathSyntaxError);    // trailing
+  EXPECT_THROW(parse_path("path a $ b end"), PathSyntaxError);  // bad char
+}
+
+TEST(PathRuntimeBuild, DuplicateNameInOnePathRejected) {
+  EXPECT_THROW(PathRuntime({"path a | a end"}), std::logic_error);
+}
+
+TEST(PathRuntimeBuild, UnknownOperationRejectedAtRuntime) {
+  PathRuntime rt({"path a end"});
+  EXPECT_THROW(rt.enter("nope"), std::logic_error);
+  EXPECT_TRUE(rt.has_operation("a"));
+  EXPECT_FALSE(rt.has_operation("nope"));
+}
+
+// ---- runtime semantics ----
+
+TEST(PathRun, RestrictionBoundsConcurrency) {
+  PathRuntime rt({"path 2:(op) end"});
+  std::atomic<int> in{0}, peak{0};
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) {
+        rt.perform("op", [&] {
+          int now = ++in;
+          int prev = peak.load();
+          while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+          --in;
+        });
+      }
+    });
+  }
+  threads.clear();
+  EXPECT_LE(peak.load(), 2);
+  EXPECT_GE(peak.load(), 1);
+}
+
+TEST(PathRun, SequencingOrdersOperations) {
+  // path a; b end — the k-th b cannot start before the k-th a finished.
+  PathRuntime rt({"path a; b end"});
+  std::atomic<int> a_done{0};
+  std::atomic<bool> violation{false};
+
+  std::jthread b_runner([&] {
+    for (int i = 1; i <= 10; ++i) {
+      rt.perform("b", [&] {
+        if (a_done.load() < i) violation = true;
+      });
+    }
+  });
+  std::jthread a_runner([&] {
+    for (int i = 0; i < 10; ++i) {
+      rt.perform("a", [&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(300));
+        ++a_done;
+      });
+    }
+  });
+  a_runner.join();
+  b_runner.join();
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(PathRun, SequenceBlocksBUntilA) {
+  PathRuntime rt({"path a; b end"});
+  std::atomic<bool> b_entered{false};
+  std::jthread b_thread([&] {
+    rt.perform("b", [&] { b_entered = true; });
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(b_entered.load());
+  rt.perform("a", [] {});
+  b_thread.join();
+  EXPECT_TRUE(b_entered.load());
+}
+
+TEST(PathRun, ReadersWritersViaBurst) {
+  // The classical path-expression readers–writers: one writer XOR a crowd
+  // of readers.
+  PathRuntime rt({"path 1:({read} | write) end"});
+  std::atomic<int> readers_in{0}, writers_in{0}, max_readers{0};
+  std::atomic<bool> violation{false};
+  std::vector<std::jthread> threads;
+  for (int r = 0; r < 4; ++r) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) {
+        rt.perform("read", [&] {
+          int now = ++readers_in;
+          int prev = max_readers.load();
+          while (now > prev && !max_readers.compare_exchange_weak(prev, now)) {
+          }
+          if (writers_in.load() > 0) violation = true;
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+          --readers_in;
+        });
+      }
+    });
+  }
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 15; ++i) {
+        rt.perform("write", [&] {
+          if (++writers_in > 1 || readers_in.load() > 0) violation = true;
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+          --writers_in;
+        });
+      }
+    });
+  }
+  threads.clear();
+  EXPECT_FALSE(violation.load());
+  EXPECT_GE(max_readers.load(), 2) << "readers should overlap in the burst";
+}
+
+TEST(PathRun, SelectionSharesTheBracket) {
+  // path 1:(a | b) end — a and b mutually exclude each other.
+  PathRuntime rt({"path 1:(a | b) end"});
+  std::atomic<int> in{0};
+  std::atomic<bool> violation{false};
+  std::vector<std::jthread> threads;
+  for (const char* op : {"a", "b"}) {
+    threads.emplace_back([&, op] {
+      for (int i = 0; i < 50; ++i) {
+        rt.perform(op, [&] {
+          if (++in > 1) violation = true;
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+          --in;
+        });
+      }
+    });
+  }
+  threads.clear();
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(PathRun, MultiplePathsCompose) {
+  // One path bounds total concurrency at 2, the other sequences a before b.
+  PathRuntime rt({"path 2:(a | b) end", "path a; b end"});
+  rt.perform("a", [] {});
+  // After one a, one b is admitted.
+  std::atomic<bool> b_done{false};
+  std::jthread t([&] {
+    rt.perform("b", [&] { b_done = true; });
+  });
+  t.join();
+  EXPECT_TRUE(b_done.load());
+}
+
+TEST(PathRun, ExceptionInBodyStillExits) {
+  PathRuntime rt({"path 1:(op) end"});
+  EXPECT_THROW(rt.perform("op", [] { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  // The restriction slot was released: another perform succeeds.
+  std::atomic<bool> ran{false};
+  rt.perform("op", [&] { ran = true; });
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(PathRun, EnterExitManualPairing) {
+  PathRuntime rt({"path 1:(op) end"});
+  rt.enter("op");
+  std::atomic<bool> second_in{false};
+  std::jthread t([&] {
+    rt.enter("op");
+    second_in = true;
+    rt.exit("op");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_in.load());
+  rt.exit("op");
+  t.join();
+  EXPECT_TRUE(second_in.load());
+}
+
+TEST(PathRun, OperationsListsAllNames) {
+  PathRuntime rt({"path a; b end", "path c end"});
+  auto ops = rt.operations();
+  EXPECT_EQ(ops.size(), 3u);
+}
+
+}  // namespace
+}  // namespace alps::baselines

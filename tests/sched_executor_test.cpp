@@ -1,0 +1,166 @@
+// Process-model executors (paper §3): eager one-per-slot creation, pooled
+// assignment at start time, dynamic per-call creation; ordering and
+// shutdown-drain guarantees; thread accounting used by experiment E7.
+#include "sched/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "support/sync.h"
+
+namespace alps::sched {
+namespace {
+
+class ExecutorModels : public ::testing::TestWithParam<ProcessModel> {
+ protected:
+  std::unique_ptr<Executor> make(std::size_t slots, std::size_t workers) {
+    return make_executor(GetParam(), slots, workers, "test");
+  }
+};
+
+TEST_P(ExecutorModels, RunsSubmittedTasks) {
+  auto ex = make(4, 2);
+  std::atomic<int> ran{0};
+  support::Event done;
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_TRUE(ex->submit(static_cast<std::size_t>(i % 4), [&] {
+      if (++ran == 16) done.set();
+    }));
+  }
+  EXPECT_TRUE(done.wait_for(std::chrono::seconds(10)));
+  ex->shutdown();
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST_P(ExecutorModels, RunsUnboundTasks) {
+  auto ex = make(2, 2);
+  std::atomic<bool> ran{false};
+  support::Event done;
+  EXPECT_TRUE(ex->submit(kUnboundTask, [&] {
+    ran = true;
+    done.set();
+  }));
+  EXPECT_TRUE(done.wait_for(std::chrono::seconds(10)));
+  ex->shutdown();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST_P(ExecutorModels, ShutdownDrainsInFlightWork) {
+  auto ex = make(1, 1);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    ex->submit(0, [&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ++ran;
+    });
+  }
+  ex->shutdown();  // must wait for all 8
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST_P(ExecutorModels, SubmitAfterShutdownRefused) {
+  auto ex = make(1, 1);
+  ex->shutdown();
+  EXPECT_FALSE(ex->submit(0, [] {}));
+  EXPECT_FALSE(ex->submit(kUnboundTask, [] {}));
+}
+
+TEST_P(ExecutorModels, ShutdownIdempotent) {
+  auto ex = make(1, 1);
+  ex->shutdown();
+  ex->shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ExecutorModels,
+                         ::testing::Values(ProcessModel::kSlotBound,
+                                           ProcessModel::kPooled,
+                                           ProcessModel::kDynamic),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param)) == "slot-bound"
+                                      ? std::string("SlotBound")
+                                  : to_string(info.param) == std::string("pooled")
+                                      ? std::string("Pooled")
+                                      : std::string("Dynamic");
+                         });
+
+// ---- model-specific properties ----
+
+TEST(SlotBound, CreatesOneThreadPerSlotEagerly) {
+  auto ex = make_slot_bound_executor(6, "eager");
+  EXPECT_EQ(ex->threads_created(), 6u);
+  EXPECT_EQ(ex->threads_alive(), 6u);
+  ex->shutdown();
+  EXPECT_EQ(ex->threads_alive(), 0u);
+}
+
+TEST(SlotBound, TasksForOneSlotRunInOrder) {
+  auto ex = make_slot_bound_executor(2, "order");
+  std::vector<int> order;
+  support::Event done;
+  for (int i = 0; i < 10; ++i) {
+    ex->submit(0, [&, i] {
+      order.push_back(i);  // single worker for slot 0: no race
+      if (i == 9) done.set();
+    });
+  }
+  EXPECT_TRUE(done.wait_for(std::chrono::seconds(10)));
+  ex->shutdown();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Pooled, ThreadCountIsM) {
+  auto ex = make_pooled_executor(3, "pool");
+  EXPECT_EQ(ex->threads_created(), 3u);
+  std::atomic<int> ran{0};
+  support::Event done;
+  for (int i = 0; i < 50; ++i) {
+    ex->submit(static_cast<std::size_t>(i), [&] {
+      if (++ran == 50) done.set();
+    });
+  }
+  EXPECT_TRUE(done.wait_for(std::chrono::seconds(10)));
+  EXPECT_EQ(ex->threads_created(), 3u);  // M stays fixed regardless of load
+  ex->shutdown();
+}
+
+TEST(Dynamic, CreatesOneThreadPerTask) {
+  auto ex = make_dynamic_executor("dyn");
+  std::atomic<int> ran{0};
+  support::Event done;
+  constexpr int kTasks = 20;
+  for (int i = 0; i < kTasks; ++i) {
+    ex->submit(kUnboundTask, [&] {
+      if (++ran == kTasks) done.set();
+    });
+  }
+  EXPECT_TRUE(done.wait_for(std::chrono::seconds(10)));
+  ex->shutdown();
+  EXPECT_EQ(ex->threads_created(), static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(Pooled, BlockedWorkersLimitConcurrency) {
+  // With M=2 and 3 tasks that block on a gate, only 2 can be in flight:
+  // the paper's motivation for sizing M to the active set, not the queue.
+  auto ex = make_pooled_executor(2, "limit");
+  std::atomic<int> entered{0};
+  support::Event open;
+  support::Event two_in;
+  for (int i = 0; i < 3; ++i) {
+    ex->submit(0, [&] {
+      if (++entered == 2) two_in.set();
+      open.wait();
+    });
+  }
+  EXPECT_TRUE(two_in.wait_for(std::chrono::seconds(10)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(entered.load(), 2);
+  open.set();
+  ex->shutdown();
+  EXPECT_EQ(entered.load(), 3);
+}
+
+}  // namespace
+}  // namespace alps::sched

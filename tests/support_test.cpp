@@ -1,0 +1,301 @@
+// Support-library tests: sync primitives, blocking queues, RNG/Zipf,
+// histograms.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "support/queue.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/sync.h"
+
+namespace alps::support {
+namespace {
+
+// ---- Semaphore ----
+
+TEST(Semaphore, AcquireRelease) {
+  Semaphore sem(2);
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_FALSE(sem.try_acquire());
+  sem.release();
+  EXPECT_TRUE(sem.try_acquire());
+}
+
+TEST(Semaphore, BlocksUntilRelease) {
+  Semaphore sem(0);
+  std::atomic<bool> acquired{false};
+  std::jthread t([&] {
+    sem.acquire();
+    acquired = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(acquired.load());
+  sem.release();
+  t.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(Semaphore, TimedAcquire) {
+  Semaphore sem(0);
+  EXPECT_FALSE(sem.try_acquire_for(std::chrono::milliseconds(5)));
+  sem.release();
+  EXPECT_TRUE(sem.try_acquire_for(std::chrono::milliseconds(5)));
+}
+
+TEST(Semaphore, BulkRelease) {
+  Semaphore sem(0);
+  sem.release(3);
+  EXPECT_EQ(sem.value(), 3);
+}
+
+// ---- Events ----
+
+TEST(Event, SetBeforeWait) {
+  Event e;
+  e.set();
+  e.wait();  // must not block
+  EXPECT_TRUE(e.is_set());
+}
+
+TEST(Event, WaitForTimesOut) {
+  Event e;
+  EXPECT_FALSE(e.wait_for(std::chrono::milliseconds(5)));
+  e.set();
+  EXPECT_TRUE(e.wait_for(std::chrono::milliseconds(5)));
+}
+
+TEST(AutoResetEvent, WakesExactlyOneWaiterPerSet) {
+  AutoResetEvent e;
+  e.set();
+  EXPECT_TRUE(e.wait_for(std::chrono::milliseconds(5)));
+  // Consumed: a second wait times out.
+  EXPECT_FALSE(e.wait_for(std::chrono::milliseconds(5)));
+}
+
+// ---- BlockingQueue ----
+
+TEST(BlockingQueue, PushPopFifo) {
+  BlockingQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.push(i);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(q.pop().value(), i);
+}
+
+TEST(BlockingQueue, CloseDrainsResidue) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.close();
+  EXPECT_FALSE(q.push(2));
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BlockingQueue, CloseWakesBlockedConsumers) {
+  BlockingQueue<int> q;
+  std::atomic<int> woke{0};
+  std::vector<std::jthread> consumers;
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&] {
+      EXPECT_FALSE(q.pop().has_value());
+      ++woke;
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  consumers.clear();
+  EXPECT_EQ(woke.load(), 3);
+}
+
+TEST(BlockingQueue, MpmcDeliversEverythingOnce) {
+  BlockingQueue<int> q;
+  constexpr int kN = 2000;
+  std::atomic<long long> sum{0};
+  std::atomic<int> count{0};
+  {
+    std::vector<std::jthread> threads;
+    for (int c = 0; c < 3; ++c) {
+      threads.emplace_back([&] {
+        while (auto v = q.pop()) {
+          sum += *v;
+          ++count;
+        }
+      });
+    }
+    for (int p = 0; p < 2; ++p) {
+      threads.emplace_back([&, p] {
+        for (int i = p; i < kN; i += 2) q.push(i);
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    while (q.size() > 0) std::this_thread::yield();
+    q.close();
+  }
+  EXPECT_EQ(count.load(), kN);
+  EXPECT_EQ(sum.load(), static_cast<long long>(kN) * (kN - 1) / 2);
+}
+
+TEST(BoundedBlockingQueue, BlocksProducerWhenFull) {
+  BoundedBlockingQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_TRUE(q.try_push(3));
+}
+
+// ---- RNG ----
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    auto v = rng.next_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialHasRoughlyRightMean) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_exponential(5.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.2);
+}
+
+TEST(Zipf, SkewsTowardLowRanks) {
+  ZipfGenerator zipf(1000, 0.99, 3);
+  std::map<std::size_t, int> counts;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[zipf.next()];
+  // Rank 0 must dominate any mid-tail rank by a wide margin.
+  EXPECT_GT(counts[0], 20 * std::max(1, counts[500]));
+  // All draws are in range.
+  for (const auto& [rank, n] : counts) EXPECT_LT(rank, 1000u);
+}
+
+TEST(Zipf, ThetaZeroIsUniformish) {
+  ZipfGenerator zipf(10, 0.0, 3);
+  std::map<std::size_t, int> counts;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[zipf.next()];
+  for (std::size_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(counts[r], kN / 10, kN / 25);
+  }
+}
+
+TEST(WordList, DeterministicNames) {
+  auto words = make_word_list(3);
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0], "w000000");
+  EXPECT_EQ(words[2], "w000002");
+}
+
+// ---- Histogram ----
+
+TEST(Histogram, CountsAndBounds) {
+  Histogram h;
+  h.record(100);
+  h.record(200);
+  h.record(300);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 300u);
+  EXPECT_NEAR(h.mean(), 200.0, 0.01);
+}
+
+TEST(Histogram, PercentilesOrdered) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<std::uint64_t>(i) * 1000);
+  const auto p50 = h.percentile(0.50);
+  const auto p90 = h.percentile(0.90);
+  const auto p99 = h.percentile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // ~4% relative bucket error.
+  EXPECT_NEAR(static_cast<double>(p50), 500e3, 50e3);
+  EXPECT_NEAR(static_cast<double>(p99), 990e3, 99e3);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a, b;
+  a.record(10);
+  b.record(20);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 20u);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
+TEST(Histogram, ConcurrentRecordsAllCounted) {
+  Histogram h;
+  constexpr int kThreads = 4, kEach = 10000;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 1; i <= kEach; ++i) h.record(static_cast<std::uint64_t>(i));
+      });
+    }
+  }
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kEach);
+}
+
+TEST(Format, HumanReadable) {
+  EXPECT_EQ(format_ns(500), "500ns");
+  EXPECT_EQ(format_ns(1500), "1.5us");
+  EXPECT_EQ(format_ns(2.5e6), "2.50ms");
+  EXPECT_EQ(format_ns(1.25e9), "1.25s");
+  EXPECT_EQ(format_rate(1234567), "1,234,567 ops/s");
+}
+
+}  // namespace
+}  // namespace alps::support
