@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abstractions.dir/bench_abstractions.cpp.o"
+  "CMakeFiles/bench_abstractions.dir/bench_abstractions.cpp.o.d"
+  "bench_abstractions"
+  "bench_abstractions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abstractions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

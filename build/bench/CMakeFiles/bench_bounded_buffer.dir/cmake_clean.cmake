@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bounded_buffer.dir/bench_bounded_buffer.cpp.o"
+  "CMakeFiles/bench_bounded_buffer.dir/bench_bounded_buffer.cpp.o.d"
+  "bench_bounded_buffer"
+  "bench_bounded_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bounded_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

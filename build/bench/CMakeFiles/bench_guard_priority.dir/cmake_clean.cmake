@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_guard_priority.dir/bench_guard_priority.cpp.o"
+  "CMakeFiles/bench_guard_priority.dir/bench_guard_priority.cpp.o.d"
+  "bench_guard_priority"
+  "bench_guard_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_guard_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

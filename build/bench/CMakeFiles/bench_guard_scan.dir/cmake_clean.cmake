@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_guard_scan.dir/bench_guard_scan.cpp.o"
+  "CMakeFiles/bench_guard_scan.dir/bench_guard_scan.cpp.o.d"
+  "bench_guard_scan"
+  "bench_guard_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_guard_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_manager_overhead.dir/bench_manager_overhead.cpp.o"
+  "CMakeFiles/bench_manager_overhead.dir/bench_manager_overhead.cpp.o.d"
+  "bench_manager_overhead"
+  "bench_manager_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_manager_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nested_calls.dir/bench_nested_calls.cpp.o"
+  "CMakeFiles/bench_nested_calls.dir/bench_nested_calls.cpp.o.d"
+  "bench_nested_calls"
+  "bench_nested_calls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nested_calls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_buffer.dir/bench_parallel_buffer.cpp.o"
+  "CMakeFiles/bench_parallel_buffer.dir/bench_parallel_buffer.cpp.o.d"
+  "bench_parallel_buffer"
+  "bench_parallel_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_process_models.dir/bench_process_models.cpp.o"
+  "CMakeFiles/bench_process_models.dir/bench_process_models.cpp.o.d"
+  "bench_process_models"
+  "bench_process_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_process_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

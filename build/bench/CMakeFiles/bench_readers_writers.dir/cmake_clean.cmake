@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_readers_writers.dir/bench_readers_writers.cpp.o"
+  "CMakeFiles/bench_readers_writers.dir/bench_readers_writers.cpp.o.d"
+  "bench_readers_writers"
+  "bench_readers_writers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_readers_writers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_alps_language.dir/alps_language.cpp.o"
+  "CMakeFiles/example_alps_language.dir/alps_language.cpp.o.d"
+  "example_alps_language"
+  "example_alps_language.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_alps_language.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

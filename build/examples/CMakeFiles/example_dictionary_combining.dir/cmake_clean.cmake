@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dictionary_combining.dir/dictionary_combining.cpp.o"
+  "CMakeFiles/example_dictionary_combining.dir/dictionary_combining.cpp.o.d"
+  "example_dictionary_combining"
+  "example_dictionary_combining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dictionary_combining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_dictionary_combining.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_disk_scheduler.dir/disk_scheduler.cpp.o"
+  "CMakeFiles/example_disk_scheduler.dir/disk_scheduler.cpp.o.d"
+  "example_disk_scheduler"
+  "example_disk_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_disk_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_distributed_dictionary.dir/distributed_dictionary.cpp.o"
+  "CMakeFiles/example_distributed_dictionary.dir/distributed_dictionary.cpp.o.d"
+  "example_distributed_dictionary"
+  "example_distributed_dictionary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_distributed_dictionary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_monitoring.dir/monitoring.cpp.o"
+  "CMakeFiles/example_monitoring.dir/monitoring.cpp.o.d"
+  "example_monitoring"
+  "example_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

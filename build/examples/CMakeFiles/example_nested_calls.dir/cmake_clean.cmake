@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_nested_calls.dir/nested_calls.cpp.o"
+  "CMakeFiles/example_nested_calls.dir/nested_calls.cpp.o.d"
+  "example_nested_calls"
+  "example_nested_calls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_nested_calls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

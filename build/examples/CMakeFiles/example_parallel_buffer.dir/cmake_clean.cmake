@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_parallel_buffer.dir/parallel_buffer.cpp.o"
+  "CMakeFiles/example_parallel_buffer.dir/parallel_buffer.cpp.o.d"
+  "example_parallel_buffer"
+  "example_parallel_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_parallel_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

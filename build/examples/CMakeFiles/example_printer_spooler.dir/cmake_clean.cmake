@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_printer_spooler.dir/printer_spooler.cpp.o"
+  "CMakeFiles/example_printer_spooler.dir/printer_spooler.cpp.o.d"
+  "example_printer_spooler"
+  "example_printer_spooler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_printer_spooler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

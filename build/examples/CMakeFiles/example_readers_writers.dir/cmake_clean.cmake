@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_readers_writers.dir/readers_writers.cpp.o"
+  "CMakeFiles/example_readers_writers.dir/readers_writers.cpp.o.d"
+  "example_readers_writers"
+  "example_readers_writers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_readers_writers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/alarm_clock.cpp" "src/apps/CMakeFiles/alps_apps.dir/alarm_clock.cpp.o" "gcc" "src/apps/CMakeFiles/alps_apps.dir/alarm_clock.cpp.o.d"
+  "/root/repo/src/apps/bounded_buffer.cpp" "src/apps/CMakeFiles/alps_apps.dir/bounded_buffer.cpp.o" "gcc" "src/apps/CMakeFiles/alps_apps.dir/bounded_buffer.cpp.o.d"
+  "/root/repo/src/apps/dictionary.cpp" "src/apps/CMakeFiles/alps_apps.dir/dictionary.cpp.o" "gcc" "src/apps/CMakeFiles/alps_apps.dir/dictionary.cpp.o.d"
+  "/root/repo/src/apps/disk_scheduler.cpp" "src/apps/CMakeFiles/alps_apps.dir/disk_scheduler.cpp.o" "gcc" "src/apps/CMakeFiles/alps_apps.dir/disk_scheduler.cpp.o.d"
+  "/root/repo/src/apps/parallel_buffer.cpp" "src/apps/CMakeFiles/alps_apps.dir/parallel_buffer.cpp.o" "gcc" "src/apps/CMakeFiles/alps_apps.dir/parallel_buffer.cpp.o.d"
+  "/root/repo/src/apps/readers_writers.cpp" "src/apps/CMakeFiles/alps_apps.dir/readers_writers.cpp.o" "gcc" "src/apps/CMakeFiles/alps_apps.dir/readers_writers.cpp.o.d"
+  "/root/repo/src/apps/spooler.cpp" "src/apps/CMakeFiles/alps_apps.dir/spooler.cpp.o" "gcc" "src/apps/CMakeFiles/alps_apps.dir/spooler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/alps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/alps_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/alps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

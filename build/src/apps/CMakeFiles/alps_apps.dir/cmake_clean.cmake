@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alps_apps.dir/alarm_clock.cpp.o"
+  "CMakeFiles/alps_apps.dir/alarm_clock.cpp.o.d"
+  "CMakeFiles/alps_apps.dir/bounded_buffer.cpp.o"
+  "CMakeFiles/alps_apps.dir/bounded_buffer.cpp.o.d"
+  "CMakeFiles/alps_apps.dir/dictionary.cpp.o"
+  "CMakeFiles/alps_apps.dir/dictionary.cpp.o.d"
+  "CMakeFiles/alps_apps.dir/disk_scheduler.cpp.o"
+  "CMakeFiles/alps_apps.dir/disk_scheduler.cpp.o.d"
+  "CMakeFiles/alps_apps.dir/parallel_buffer.cpp.o"
+  "CMakeFiles/alps_apps.dir/parallel_buffer.cpp.o.d"
+  "CMakeFiles/alps_apps.dir/readers_writers.cpp.o"
+  "CMakeFiles/alps_apps.dir/readers_writers.cpp.o.d"
+  "CMakeFiles/alps_apps.dir/spooler.cpp.o"
+  "CMakeFiles/alps_apps.dir/spooler.cpp.o.d"
+  "libalps_apps.a"
+  "libalps_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alps_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/monitor.cpp" "src/baselines/CMakeFiles/alps_baselines.dir/monitor.cpp.o" "gcc" "src/baselines/CMakeFiles/alps_baselines.dir/monitor.cpp.o.d"
+  "/root/repo/src/baselines/pathexpr.cpp" "src/baselines/CMakeFiles/alps_baselines.dir/pathexpr.cpp.o" "gcc" "src/baselines/CMakeFiles/alps_baselines.dir/pathexpr.cpp.o.d"
+  "/root/repo/src/baselines/rendezvous.cpp" "src/baselines/CMakeFiles/alps_baselines.dir/rendezvous.cpp.o" "gcc" "src/baselines/CMakeFiles/alps_baselines.dir/rendezvous.cpp.o.d"
+  "/root/repo/src/baselines/rw_locks.cpp" "src/baselines/CMakeFiles/alps_baselines.dir/rw_locks.cpp.o" "gcc" "src/baselines/CMakeFiles/alps_baselines.dir/rw_locks.cpp.o.d"
+  "/root/repo/src/baselines/serializer.cpp" "src/baselines/CMakeFiles/alps_baselines.dir/serializer.cpp.o" "gcc" "src/baselines/CMakeFiles/alps_baselines.dir/serializer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/alps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alps_baselines.dir/monitor.cpp.o"
+  "CMakeFiles/alps_baselines.dir/monitor.cpp.o.d"
+  "CMakeFiles/alps_baselines.dir/pathexpr.cpp.o"
+  "CMakeFiles/alps_baselines.dir/pathexpr.cpp.o.d"
+  "CMakeFiles/alps_baselines.dir/rendezvous.cpp.o"
+  "CMakeFiles/alps_baselines.dir/rendezvous.cpp.o.d"
+  "CMakeFiles/alps_baselines.dir/rw_locks.cpp.o"
+  "CMakeFiles/alps_baselines.dir/rw_locks.cpp.o.d"
+  "CMakeFiles/alps_baselines.dir/serializer.cpp.o"
+  "CMakeFiles/alps_baselines.dir/serializer.cpp.o.d"
+  "libalps_baselines.a"
+  "libalps_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alps_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

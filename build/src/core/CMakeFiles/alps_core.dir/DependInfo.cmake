@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/channel.cpp" "src/core/CMakeFiles/alps_core.dir/channel.cpp.o" "gcc" "src/core/CMakeFiles/alps_core.dir/channel.cpp.o.d"
+  "/root/repo/src/core/manager.cpp" "src/core/CMakeFiles/alps_core.dir/manager.cpp.o" "gcc" "src/core/CMakeFiles/alps_core.dir/manager.cpp.o.d"
+  "/root/repo/src/core/object.cpp" "src/core/CMakeFiles/alps_core.dir/object.cpp.o" "gcc" "src/core/CMakeFiles/alps_core.dir/object.cpp.o.d"
+  "/root/repo/src/core/select.cpp" "src/core/CMakeFiles/alps_core.dir/select.cpp.o" "gcc" "src/core/CMakeFiles/alps_core.dir/select.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/alps_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/alps_core.dir/trace.cpp.o.d"
+  "/root/repo/src/core/value.cpp" "src/core/CMakeFiles/alps_core.dir/value.cpp.o" "gcc" "src/core/CMakeFiles/alps_core.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/alps_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/alps_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alps_core.dir/channel.cpp.o"
+  "CMakeFiles/alps_core.dir/channel.cpp.o.d"
+  "CMakeFiles/alps_core.dir/manager.cpp.o"
+  "CMakeFiles/alps_core.dir/manager.cpp.o.d"
+  "CMakeFiles/alps_core.dir/object.cpp.o"
+  "CMakeFiles/alps_core.dir/object.cpp.o.d"
+  "CMakeFiles/alps_core.dir/select.cpp.o"
+  "CMakeFiles/alps_core.dir/select.cpp.o.d"
+  "CMakeFiles/alps_core.dir/trace.cpp.o"
+  "CMakeFiles/alps_core.dir/trace.cpp.o.d"
+  "CMakeFiles/alps_core.dir/value.cpp.o"
+  "CMakeFiles/alps_core.dir/value.cpp.o.d"
+  "libalps_core.a"
+  "libalps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

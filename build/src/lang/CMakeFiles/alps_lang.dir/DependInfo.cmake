@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/interp.cpp" "src/lang/CMakeFiles/alps_lang.dir/interp.cpp.o" "gcc" "src/lang/CMakeFiles/alps_lang.dir/interp.cpp.o.d"
+  "/root/repo/src/lang/lexer.cpp" "src/lang/CMakeFiles/alps_lang.dir/lexer.cpp.o" "gcc" "src/lang/CMakeFiles/alps_lang.dir/lexer.cpp.o.d"
+  "/root/repo/src/lang/parser.cpp" "src/lang/CMakeFiles/alps_lang.dir/parser.cpp.o" "gcc" "src/lang/CMakeFiles/alps_lang.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/alps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/alps_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/alps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alps_lang.dir/interp.cpp.o"
+  "CMakeFiles/alps_lang.dir/interp.cpp.o.d"
+  "CMakeFiles/alps_lang.dir/lexer.cpp.o"
+  "CMakeFiles/alps_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/alps_lang.dir/parser.cpp.o"
+  "CMakeFiles/alps_lang.dir/parser.cpp.o.d"
+  "libalps_lang.a"
+  "libalps_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alps_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

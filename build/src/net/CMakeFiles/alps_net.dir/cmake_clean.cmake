@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alps_net.dir/codec.cpp.o"
+  "CMakeFiles/alps_net.dir/codec.cpp.o.d"
+  "CMakeFiles/alps_net.dir/network.cpp.o"
+  "CMakeFiles/alps_net.dir/network.cpp.o.d"
+  "CMakeFiles/alps_net.dir/rpc.cpp.o"
+  "CMakeFiles/alps_net.dir/rpc.cpp.o.d"
+  "libalps_net.a"
+  "libalps_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alps_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

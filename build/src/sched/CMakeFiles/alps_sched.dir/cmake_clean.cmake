@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alps_sched.dir/executor.cpp.o"
+  "CMakeFiles/alps_sched.dir/executor.cpp.o.d"
+  "libalps_sched.a"
+  "libalps_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alps_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

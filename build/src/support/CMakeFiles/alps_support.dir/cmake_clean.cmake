@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alps_support.dir/log.cpp.o"
+  "CMakeFiles/alps_support.dir/log.cpp.o.d"
+  "CMakeFiles/alps_support.dir/rng.cpp.o"
+  "CMakeFiles/alps_support.dir/rng.cpp.o.d"
+  "CMakeFiles/alps_support.dir/stats.cpp.o"
+  "CMakeFiles/alps_support.dir/stats.cpp.o.d"
+  "CMakeFiles/alps_support.dir/thread_util.cpp.o"
+  "CMakeFiles/alps_support.dir/thread_util.cpp.o.d"
+  "libalps_support.a"
+  "libalps_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alps_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

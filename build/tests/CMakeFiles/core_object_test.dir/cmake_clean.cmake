@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_object_test.dir/core_object_test.cpp.o"
+  "CMakeFiles/core_object_test.dir/core_object_test.cpp.o.d"
+  "core_object_test"
+  "core_object_test.pdb"
+  "core_object_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_select_test.dir/core_select_test.cpp.o"
+  "CMakeFiles/core_select_test.dir/core_select_test.cpp.o.d"
+  "core_select_test"
+  "core_select_test.pdb"
+  "core_select_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_select_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

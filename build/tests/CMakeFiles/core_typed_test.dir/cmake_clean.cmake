@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_typed_test.dir/core_typed_test.cpp.o"
+  "CMakeFiles/core_typed_test.dir/core_typed_test.cpp.o.d"
+  "core_typed_test"
+  "core_typed_test.pdb"
+  "core_typed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_typed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

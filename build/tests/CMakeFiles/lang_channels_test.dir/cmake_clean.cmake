@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_channels_test.dir/lang_channels_test.cpp.o"
+  "CMakeFiles/lang_channels_test.dir/lang_channels_test.cpp.o.d"
+  "lang_channels_test"
+  "lang_channels_test.pdb"
+  "lang_channels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_channels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

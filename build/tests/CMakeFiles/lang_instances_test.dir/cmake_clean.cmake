@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_instances_test.dir/lang_instances_test.cpp.o"
+  "CMakeFiles/lang_instances_test.dir/lang_instances_test.cpp.o.d"
+  "lang_instances_test"
+  "lang_instances_test.pdb"
+  "lang_instances_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_instances_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

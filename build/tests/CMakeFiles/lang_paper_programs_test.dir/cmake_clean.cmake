@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_paper_programs_test.dir/lang_paper_programs_test.cpp.o"
+  "CMakeFiles/lang_paper_programs_test.dir/lang_paper_programs_test.cpp.o.d"
+  "lang_paper_programs_test"
+  "lang_paper_programs_test.pdb"
+  "lang_paper_programs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_paper_programs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

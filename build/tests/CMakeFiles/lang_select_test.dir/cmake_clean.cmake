@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_select_test.dir/lang_select_test.cpp.o"
+  "CMakeFiles/lang_select_test.dir/lang_select_test.cpp.o.d"
+  "lang_select_test"
+  "lang_select_test.pdb"
+  "lang_select_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_select_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_order_test.dir/net_order_test.cpp.o"
+  "CMakeFiles/net_order_test.dir/net_order_test.cpp.o.d"
+  "net_order_test"
+  "net_order_test.pdb"
+  "net_order_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_executor_test.dir/sched_executor_test.cpp.o"
+  "CMakeFiles/sched_executor_test.dir/sched_executor_test.cpp.o.d"
+  "sched_executor_test"
+  "sched_executor_test.pdb"
+  "sched_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/apps_alarm_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/codec_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/core_channel_test[1]_include.cmake")
+include("/root/repo/build/tests/core_object_test[1]_include.cmake")
+include("/root/repo/build/tests/core_property_test[1]_include.cmake")
+include("/root/repo/build/tests/core_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/core_select_test[1]_include.cmake")
+include("/root/repo/build/tests/core_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/core_typed_test[1]_include.cmake")
+include("/root/repo/build/tests/core_value_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_channels_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_instances_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_interp_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_paper_programs_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_select_test[1]_include.cmake")
+include("/root/repo/build/tests/net_failure_test[1]_include.cmake")
+include("/root/repo/build/tests/net_order_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/pathexpr_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_executor_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
