@@ -104,4 +104,4 @@ BENCHMARK(BM_FairRwLock) RW_OPTS;
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ALPS_BENCH_MAIN()

@@ -103,4 +103,4 @@ BENCHMARK(BM_RawMutexCvBuffer) PC_ARGS;
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ALPS_BENCH_MAIN()

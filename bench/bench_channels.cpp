@@ -5,6 +5,8 @@
 // through a manager, and par fan-out overhead per branch.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include <thread>
 
 #include "core/alps.h"
@@ -94,4 +96,4 @@ BENCHMARK(BM_ParFanout)->Arg(1)->Arg(8)->Arg(64)->Unit(benchmark::kMicrosecond)-
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ALPS_BENCH_MAIN()

@@ -76,4 +76,4 @@ BENCHMARK(BM_Dictionary_NoCombining) THETA_ARGS;
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ALPS_BENCH_MAIN()

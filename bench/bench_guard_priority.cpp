@@ -8,6 +8,8 @@
 // includes run-time-evaluable priorities instead of compile-time ones.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "apps/disk_scheduler.h"
 #include "support/rng.h"
 
@@ -63,4 +65,4 @@ BENCHMARK(BM_DiskSstfPriGuard) DEPTH_ARGS;
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ALPS_BENCH_MAIN()

@@ -9,6 +9,8 @@
 // naive rows degrade linearly with N while the indexed rows stay flat.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "core/alps.h"
 
 namespace {
@@ -47,4 +49,4 @@ BENCHMARK(BM_NaiveSlotPolling) N_ARGS;
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ALPS_BENCH_MAIN()

@@ -86,4 +86,4 @@ BENCHMARK(BM_InterpretedAlpsBuffer)->Unit(benchmark::kMillisecond)->UseRealTime(
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ALPS_BENCH_MAIN()

@@ -12,6 +12,8 @@
 // latency in microseconds.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include <thread>
 
 #include "core/alps.h"
@@ -84,4 +86,4 @@ BENCHMARK(BM_OpenLoopLatency)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ALPS_BENCH_MAIN()

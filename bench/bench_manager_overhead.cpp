@@ -55,4 +55,4 @@ BENCHMARK(BM_ManagerServiceDemand)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ALPS_BENCH_MAIN()

@@ -7,6 +7,8 @@
 // "DP, Ada and SR suffer from the nested calls problem".
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "baselines/rendezvous.h"
 #include "core/alps.h"
 
@@ -125,4 +127,4 @@ BENCHMARK(BM_RendezvousNestedCall_Deadlocks)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ALPS_BENCH_MAIN()

@@ -71,4 +71,4 @@ BENCHMARK(BM_ParallelBuffer_MsgSize) SIZE_ARGS;
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ALPS_BENCH_MAIN()

@@ -74,4 +74,4 @@ BENCHMARK(BM_Dynamic)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ALPS_BENCH_MAIN()

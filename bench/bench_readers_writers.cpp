@@ -140,4 +140,4 @@ BENCHMARK(BM_FairLock_WriterWait)->Iterations(1)->Unit(benchmark::kMillisecond)-
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ALPS_BENCH_MAIN()

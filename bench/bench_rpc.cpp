@@ -8,6 +8,8 @@
 // sequential calls, and pipelining recovers throughput despite latency.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "core/alps.h"
 #include "net/network.h"
 #include "net/rpc.h"
@@ -117,4 +119,4 @@ BENCHMARK(BM_RemoteChannelSend)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ALPS_BENCH_MAIN()

@@ -64,4 +64,4 @@ BENCHMARK(BM_Spooler_PrinterSweep)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ALPS_BENCH_MAIN()

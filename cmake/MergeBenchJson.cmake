@@ -1,0 +1,48 @@
+# Merges per-bench google-benchmark JSON files into one report.
+#
+# Usage:  cmake -DBENCH_DIR=<dir-with-*.json> -DOUT=<merged.json> \
+#               -P cmake/MergeBenchJson.cmake
+#
+# Each input file is one suite (named after the file); its "benchmarks"
+# entries are tagged with a "suite" member and concatenated. The "context"
+# block (host, CPU, build type) is taken from the first file.
+cmake_minimum_required(VERSION 3.19)  # string(JSON ...)
+
+if(NOT DEFINED BENCH_DIR OR NOT DEFINED OUT)
+  message(FATAL_ERROR "MergeBenchJson: pass -DBENCH_DIR=... and -DOUT=...")
+endif()
+
+file(GLOB inputs "${BENCH_DIR}/*.json")
+list(SORT inputs)
+if(inputs STREQUAL "")
+  message(FATAL_ERROR "MergeBenchJson: no .json files under ${BENCH_DIR}")
+endif()
+
+set(context "")
+set(entries "")
+set(first TRUE)
+
+foreach(input IN LISTS inputs)
+  get_filename_component(suite "${input}" NAME_WE)
+  file(READ "${input}" doc)
+  if(first)
+    string(JSON context GET "${doc}" context)
+    set(first FALSE)
+  endif()
+  string(JSON n LENGTH "${doc}" benchmarks)
+  if(n GREATER 0)
+    math(EXPR last "${n} - 1")
+    foreach(i RANGE 0 ${last})
+      string(JSON item GET "${doc}" benchmarks ${i})
+      string(JSON item SET "${item}" suite "\"${suite}\"")
+      if(NOT entries STREQUAL "")
+        string(APPEND entries ",\n")
+      endif()
+      string(APPEND entries "${item}")
+    endforeach()
+  endif()
+endforeach()
+
+file(WRITE "${OUT}"
+     "{\n\"context\": ${context},\n\"benchmarks\": [\n${entries}\n]\n}\n")
+message(STATUS "MergeBenchJson: wrote ${OUT}")

@@ -16,6 +16,8 @@ ChannelCore::ChannelCore(std::string name)
 
 bool ChannelCore::send(ValueList message) {
   std::function<bool(ValueList)> forward;
+  bool wake = false;
+  bool has_observers = false;
   {
     std::scoped_lock lock(mu_);
     if (closed_) return false;
@@ -23,17 +25,26 @@ bool ChannelCore::send(ValueList message) {
       forward = forward_;  // forward outside the lock
     } else {
       messages_.push_back(std::move(message));
+      // Snapshot both wake conditions under the lock so the fast path pays
+      // neither the notify syscall nor notify_observers' second lock round.
+      // A receiver that arrives after we release mu_ sees the message; an
+      // observer registered after we release mu_ re-evaluates its guards
+      // right after registering (see Select::select_impl).
+      wake = waiters_ > 0;
+      has_observers = !observers_.empty();
     }
   }
   if (forward) return forward(std::move(message));
-  cv_.notify_one();
-  notify_observers();
+  if (wake) cv_.notify_one();
+  if (has_observers) notify_observers();
   return true;
 }
 
 ValueList ChannelCore::receive() {
   std::unique_lock lock(mu_);
+  ++waiters_;
   cv_.wait(lock, [&] { return !messages_.empty() || closed_; });
+  --waiters_;
   if (messages_.empty()) {
     raise(ErrorCode::kChannelClosed, "receive on closed channel " + name_);
   }
@@ -53,10 +64,11 @@ std::optional<ValueList> ChannelCore::try_receive() {
 std::optional<ValueList> ChannelCore::receive_for(
     std::chrono::nanoseconds timeout) {
   std::unique_lock lock(mu_);
-  if (!cv_.wait_for(lock, timeout,
-                    [&] { return !messages_.empty() || closed_; })) {
-    return std::nullopt;
-  }
+  ++waiters_;
+  const bool ready = cv_.wait_for(
+      lock, timeout, [&] { return !messages_.empty() || closed_; });
+  --waiters_;
+  if (!ready) return std::nullopt;
   if (messages_.empty()) return std::nullopt;
   ValueList msg = std::move(messages_.front());
   messages_.pop_front();

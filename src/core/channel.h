@@ -88,6 +88,10 @@ class ChannelCore {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<ValueList> messages_;
+  /// Receivers currently blocked in cv_.wait (guarded by mu_). send() skips
+  /// the notify syscall entirely when nobody is waiting — the common case
+  /// for manager-driven channels, where select peeks instead of blocking.
+  int waiters_ = 0;
   bool closed_ = false;
   std::string name_;
   std::uint64_t id_;

@@ -26,8 +26,8 @@ void Manager::check_stop() const {
 void Manager::assert_manager_thread(const char* op) const {
   // The manager is a single CSP-like process; its primitives are not
   // thread-safe against each other by design, so misuse is caught early.
-  std::scoped_lock lock(obj_->mu_);
-  if (obj_->manager_thread_id_ != std::this_thread::get_id()) {
+  if (obj_->manager_thread_id_.load(std::memory_order_acquire) !=
+      std::this_thread::get_id()) {
     raise(ErrorCode::kProtocolViolation,
           std::string(op) + " called off the manager thread of object " +
               obj_->name());
@@ -53,32 +53,41 @@ Accepted Manager::accept(EntryRef entry) {
     raise(ErrorCode::kProtocolViolation,
           "accept on non-intercepted entry " + e.decl.name);
   }
-  std::unique_lock lock(obj_->mu_);
-  obj_->mgr_cv_.wait(lock, [&] {
-    return !e.attached.empty() || obj_->stop_source_.stop_requested();
-  });
-  check_stop();
-
-  const std::size_t slot_idx = e.attached.front();
-  e.attached.pop_front();
-  Object::Slot& s = e.slots[slot_idx];
-  s.state = Object::SlotState::kAccepted;
-  ++e.accepts;
-  obj_->update_pending_locked(e);
-  obj_->trace(e, s.call->id, slot_idx, CallPhase::kAccepted);
-  Accepted a;
-  a.entry = entry.index();
-  a.slot = slot_idx;
-  a.params.assign(s.call->params.begin(),
-                  s.call->params.begin() +
-                      static_cast<std::ptrdiff_t>(e.icept_params));
-  return a;
+  // Ticket-before-check: the ticket snapshots the wake epoch before we
+  // inspect kernel state, so a dispatch that lands between our drain and
+  // the wait bumps the epoch and the wait returns immediately.
+  for (;;) {
+    support::EventCount::Ticket ticket(obj_->mgr_wake_);
+    {
+      std::scoped_lock lock(obj_->mu_);
+      obj_->drain_intake_locked();
+      check_stop();
+      if (!e.attached.empty()) {
+        const std::size_t slot_idx = e.attached.front();
+        e.attached.pop_front();
+        Object::Slot& s = e.slots[slot_idx];
+        s.state = Object::SlotState::kAccepted;
+        ++e.accepts;
+        obj_->update_pending_locked(e);
+        obj_->trace(e, s.call->id, slot_idx, CallPhase::kAccepted);
+        Accepted a;
+        a.entry = entry.index();
+        a.slot = slot_idx;
+        a.params.assign(s.call->params.begin(),
+                        s.call->params.begin() +
+                            static_cast<std::ptrdiff_t>(e.icept_params));
+        return a;
+      }
+    }
+    ticket.wait();
+  }
 }
 
 std::optional<Accepted> Manager::try_accept(EntryRef entry) {
   assert_manager_thread("try_accept");
   Object::EntryCore& e = obj_->core_checked(entry, "try_accept");
   std::scoped_lock lock(obj_->mu_);
+  obj_->drain_intake_locked();
   check_stop();
   if (e.attached.empty()) return std::nullopt;
   const std::size_t slot_idx = e.attached.front();
@@ -131,12 +140,17 @@ void Manager::start_with(const Accepted& a, ValueList iparams,
                 std::to_string(hidden_params.size()));
     }
     // Body parameter list = manager-supplied intercepted prefix, the
-    // caller's remaining parameters, then the hidden parameters.
+    // caller's remaining parameters, then the hidden parameters. The
+    // caller's tail is moved out of the record — the kernel never reads the
+    // parameters again after start.
     full = std::move(iparams);
+    full.reserve(full.size() + (s.call->params.size() - e.icept_params) +
+                 hidden_params.size());
     full.insert(full.end(),
-                s.call->params.begin() +
-                    static_cast<std::ptrdiff_t>(e.icept_params),
-                s.call->params.end());
+                std::make_move_iterator(
+                    s.call->params.begin() +
+                    static_cast<std::ptrdiff_t>(e.icept_params)),
+                std::make_move_iterator(s.call->params.end()));
     full.insert(full.end(), std::make_move_iterator(hidden_params.begin()),
                 std::make_move_iterator(hidden_params.end()));
     s.state = Object::SlotState::kRunning;
@@ -149,55 +163,64 @@ void Manager::start_with(const Accepted& a, ValueList iparams,
 Awaited Manager::await(EntryRef entry) {
   assert_manager_thread("await");
   Object::EntryCore& e = obj_->core_checked(entry, "await");
-  std::unique_lock lock(obj_->mu_);
-  obj_->mgr_cv_.wait(lock, [&] {
-    return !e.ready.empty() || obj_->stop_source_.stop_requested();
-  });
-  check_stop();
-
-  const std::size_t slot_idx = e.ready.front();
-  e.ready.pop_front();
-  Object::Slot& s = e.slots[slot_idx];
-  s.state = Object::SlotState::kAwaited;
-  Awaited w;
-  w.entry = entry.index();
-  w.slot = slot_idx;
-  w.results = std::move(s.mgr_results);
-  w.failed = (s.body_error != nullptr);
-  return w;
+  for (;;) {
+    support::EventCount::Ticket ticket(obj_->mgr_wake_);
+    {
+      std::scoped_lock lock(obj_->mu_);
+      obj_->drain_intake_locked();
+      check_stop();
+      if (!e.ready.empty()) {
+        const std::size_t slot_idx = e.ready.front();
+        e.ready.pop_front();
+        Object::Slot& s = e.slots[slot_idx];
+        s.state = Object::SlotState::kAwaited;
+        Awaited w;
+        w.entry = entry.index();
+        w.slot = slot_idx;
+        w.results = std::move(s.mgr_results);
+        w.failed = (s.body_error != nullptr);
+        return w;
+      }
+    }
+    ticket.wait();
+  }
 }
 
 Awaited Manager::await(const Accepted& a) {
   assert_manager_thread("await");
-  std::unique_lock lock(obj_->mu_);
-  Object::EntryCore& e = obj_->core(a.entry);
-  Object::Slot& s = e.slots[a.slot];
-  if (s.state != Object::SlotState::kRunning &&
-      s.state != Object::SlotState::kReady) {
-    raise(ErrorCode::kProtocolViolation,
-          "await on " + e.decl.name + "[" + std::to_string(a.slot) +
-              "] which was not started");
+  for (;;) {
+    support::EventCount::Ticket ticket(obj_->mgr_wake_);
+    {
+      std::scoped_lock lock(obj_->mu_);
+      Object::EntryCore& e = obj_->core(a.entry);
+      Object::Slot& s = e.slots[a.slot];
+      if (s.state != Object::SlotState::kRunning &&
+          s.state != Object::SlotState::kReady) {
+        raise(ErrorCode::kProtocolViolation,
+              "await on " + e.decl.name + "[" + std::to_string(a.slot) +
+                  "] which was not started");
+      }
+      check_stop();
+      if (s.state == Object::SlotState::kReady) {
+        erase_index(e.ready, a.slot);
+        s.state = Object::SlotState::kAwaited;
+        Awaited w;
+        w.entry = a.entry;
+        w.slot = a.slot;
+        w.results = std::move(s.mgr_results);
+        w.failed = (s.body_error != nullptr);
+        return w;
+      }
+    }
+    ticket.wait();
   }
-  obj_->mgr_cv_.wait(lock, [&] {
-    return s.state == Object::SlotState::kReady ||
-           obj_->stop_source_.stop_requested();
-  });
-  check_stop();
-
-  erase_index(e.ready, a.slot);
-  s.state = Object::SlotState::kAwaited;
-  Awaited w;
-  w.entry = a.entry;
-  w.slot = a.slot;
-  w.results = std::move(s.mgr_results);
-  w.failed = (s.body_error != nullptr);
-  return w;
 }
 
 std::optional<Awaited> Manager::try_await(EntryRef entry) {
   assert_manager_thread("try_await");
   Object::EntryCore& e = obj_->core_checked(entry, "try_await");
   std::scoped_lock lock(obj_->mu_);
+  obj_->drain_intake_locked();
   check_stop();
   if (e.ready.empty()) return std::nullopt;
   const std::size_t slot_idx = e.ready.front();
@@ -246,6 +269,7 @@ void Manager::finish_with(const Awaited& w, ValueList iresults) {
     err = s.body_error;
     if (!err) {
       final_results = std::move(iresults);
+      final_results.reserve(final_results.size() + s.rest_results.size());
       final_results.insert(final_results.end(),
                            std::make_move_iterator(s.rest_results.begin()),
                            std::make_move_iterator(s.rest_results.end()));
@@ -255,7 +279,9 @@ void Manager::finish_with(const Awaited& w, ValueList iresults) {
                 err ? CallPhase::kFailed : CallPhase::kFinished);
     obj_->release_slot_locked(w.entry, w.slot);
   }
-  obj_->mgr_cv_.notify_all();
+  // No wakeup: the only mgr_wake_ waiter is the manager thread, which is
+  // the thread executing this primitive. Re-attachment done by
+  // release_slot_locked is observed by the manager's own next wait loop.
   // Complete outside the kernel lock (the caller-side callback may run
   // arbitrary code, e.g. sending an RPC response frame).
   if (err) {
@@ -297,7 +323,6 @@ void Manager::combine_finish(const Accepted& a, ValueList all_results) {
     obj_->trace(e, s.call->id, a.slot, CallPhase::kCombined);
     obj_->release_slot_locked(a.entry, a.slot);
   }
-  obj_->mgr_cv_.notify_all();
   caller->complete(std::move(all_results));
 }
 
@@ -317,7 +342,6 @@ void Manager::fail(const Accepted& a, const std::string& why) {
     obj_->trace(e, s.call->id, a.slot, CallPhase::kFailed);
     obj_->release_slot_locked(a.entry, a.slot);
   }
-  obj_->mgr_cv_.notify_all();
   caller->fail(ErrorCode::kBodyFailed, why);
 }
 
@@ -337,7 +361,6 @@ void Manager::fail(const Awaited& w, const std::string& why) {
     obj_->trace(e, s.call->id, w.slot, CallPhase::kFailed);
     obj_->release_slot_locked(w.entry, w.slot);
   }
-  obj_->mgr_cv_.notify_all();
   caller->fail(ErrorCode::kBodyFailed, why);
 }
 

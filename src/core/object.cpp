@@ -142,10 +142,8 @@ void Object::start() {
       if (opts_.boost_manager_priority) {
         support::try_boost_priority();
       }
-      {
-        std::scoped_lock lock(mu_);
-        manager_thread_id_ = std::this_thread::get_id();
-      }
+      manager_thread_id_.store(std::this_thread::get_id(),
+                               std::memory_order_release);
       Manager m(*this);
       try {
         manager_fn_(m);
@@ -177,11 +175,7 @@ void Object::stop() {
   }
 
   stop_source_.request_stop();
-  {
-    std::scoped_lock lock(mu_);
-    bump_epoch_locked();
-  }
-  mgr_cv_.notify_all();
+  mgr_wake_.signal();
 
   if (manager_thread_.joinable()) manager_thread_.join();
 
@@ -215,6 +209,10 @@ void Object::stop() {
   for (auto& state : to_fail) {
     state->fail(ErrorCode::kObjectStopped, "object " + name_ + " stopped");
   }
+  // Fail the intake backlog (records that never reached the scheduling
+  // structures). stopping_ is set, so this flush fails rather than routes;
+  // a racing dispatch that pushes after this re-flushes on its own.
+  flush_intake();
 
   if (executor_) executor_->shutdown();
   stop_done_.set();
@@ -232,8 +230,6 @@ Object::EntryCore& Object::core_checked(EntryRef entry, const char* op) {
   }
   return core(entry.index());
 }
-
-void Object::bump_epoch_locked() { ++epoch_; }
 
 void Object::update_pending_locked(EntryCore& e) {
   e.pending.store(e.overflow.size() + e.attached.size(),
@@ -271,7 +267,12 @@ std::size_t Object::pending(EntryRef entry) const {
   if (entry.object() != this || entry.index() >= entries_.size()) {
     raise(ErrorCode::kProtocolViolation, "pending with foreign EntryRef");
   }
-  return entries_[entry.index()]->pending.load(std::memory_order_relaxed);
+  // #P = waiting-to-attach + attached-but-not-accepted + still in the
+  // intake queue. Guard conditions run right after a drain, so the last
+  // term is zero where the paper's semantics need exactness.
+  const EntryCore& e = *entries_[entry.index()];
+  return e.pending.load(std::memory_order_relaxed) +
+         e.in_intake.load(std::memory_order_relaxed);
 }
 
 CallHandle Object::dispatch(std::size_t entry_idx, ValueList params,
@@ -285,42 +286,120 @@ CallHandle Object::dispatch(std::size_t entry_idx, ValueList params,
     return handle;
   }
 
-  bool intercepted;
+  // The whole dispatch path is lock-free: decl/impl/intercepted are frozen
+  // at start(), counters are atomics, and the record goes onto the MPSC
+  // intake queue rather than into the scheduling structures directly.
+  EntryCore& e = core(entry_idx);
+  if (external && !e.decl.exported) {
+    state->fail(ErrorCode::kNotExported,
+                e.decl.name + " is local to object " + name_);
+    return handle;
+  }
+  if (params.size() != e.decl.params) {
+    state->fail(ErrorCode::kArityMismatch,
+                e.decl.name + " expects " + std::to_string(e.decl.params) +
+                    " params, got " + std::to_string(params.size()));
+    return handle;
+  }
   const std::uint64_t call_id =
       next_call_id_.fetch_add(1, std::memory_order_relaxed);
-  {
-    std::scoped_lock lock(mu_);
-    EntryCore& e = core(entry_idx);
-    if (external && !e.decl.exported) {
-      state->fail(ErrorCode::kNotExported,
-                  e.decl.name + " is local to object " + name_);
-      return handle;
-    }
-    if (params.size() != e.decl.params) {
-      state->fail(ErrorCode::kArityMismatch,
-                  e.decl.name + " expects " + std::to_string(e.decl.params) +
-                      " params, got " + std::to_string(params.size()));
-      return handle;
-    }
-    ++e.calls;
-    intercepted = e.intercepted;
-    trace(e, call_id, kNoSlot, CallPhase::kArrived);
-    if (intercepted) {
-      attach_locked(entry_idx,
-                    CallRecord{std::move(params), state,
-                               std::chrono::steady_clock::now(), call_id});
-      bump_epoch_locked();
-    }
-  }
+  e.calls.fetch_add(1, std::memory_order_relaxed);
+  trace(e, call_id, kNoSlot, CallPhase::kArrived);
 
+  const bool intercepted = e.intercepted;
+  if (intercepted) e.in_intake.fetch_add(1, std::memory_order_relaxed);
+  intake_.push(IntakeItem{entry_idx,
+                          CallRecord{std::move(params), state,
+                                     std::chrono::steady_clock::now(),
+                                     call_id}});
   if (intercepted) {
-    mgr_cv_.notify_all();
+    // Batched intake: the manager drains the whole backlog under one lock
+    // acquisition when it next evaluates accept/select. signal() skips the
+    // wake syscall when the manager is not actually sleeping.
+    mgr_wake_.signal();
+    if (stopping_.load(std::memory_order_seq_cst)) {
+      // stop() may have drained before our push landed; the seq_cst
+      // push/stopping ordering guarantees one of us sees the record.
+      flush_intake();
+    }
   } else {
-    spawn_unintercepted(entry_idx,
-                        CallRecord{std::move(params), state,
-                                   std::chrono::steady_clock::now(), call_id});
+    // Unmanaged dispatch: drain immediately — uncontended callers get a
+    // batch of one, concurrent callers combine into one drain.
+    flush_intake();
   }
   return handle;
+}
+
+void Object::drain_intake_locked() {
+  if (intake_.empty()) return;
+  if (stopping_.load(std::memory_order_acquire)) {
+    // Leave the backlog queued: stop() flushes (and fails) it outside the
+    // kernel lock, where completion callbacks are allowed to run.
+    return;
+  }
+  std::vector<sched::BatchItem> batch;
+  intake_.drain([&](IntakeItem&& item) {
+    EntryCore& e = core(item.entry);
+    if (e.intercepted) {
+      e.in_intake.fetch_sub(1, std::memory_order_relaxed);
+      attach_locked(item.entry, std::move(item.rec));
+    } else {
+      batch.push_back(make_unintercepted_task(item.entry, std::move(item.rec)));
+    }
+  });
+  if (!batch.empty()) {
+    // Executor locks are leaves (never taken around kernel calls), so
+    // submitting under mu_ is deadlock-free. Refused tasks fail their
+    // caller on destruction (see make_unintercepted_task).
+    executor_->submit_batch(std::move(batch));
+  }
+}
+
+void Object::flush_intake() {
+  while (!intake_.empty()) {
+    std::vector<IntakeItem> items;
+    intake_.drain([&](IntakeItem&& item) { items.push_back(std::move(item)); });
+    if (items.empty()) continue;  // another drainer took this chain
+
+    if (stopping_.load(std::memory_order_acquire)) {
+      for (auto& item : items) {
+        EntryCore& e = core(item.entry);
+        if (e.intercepted) e.in_intake.fetch_sub(1, std::memory_order_relaxed);
+        trace(e, item.rec.id, kNoSlot, CallPhase::kFailed);
+        item.rec.state->fail(ErrorCode::kObjectStopped,
+                             "object " + name_ + " stopped");
+      }
+      continue;
+    }
+
+    std::vector<sched::BatchItem> batch;
+    bool attached_any = false;
+    bool need_lock = false;
+    for (const auto& item : items) {
+      if (core(item.entry).intercepted) need_lock = true;
+    }
+    if (need_lock) {
+      std::scoped_lock lock(mu_);
+      for (auto& item : items) {
+        EntryCore& e = core(item.entry);
+        if (e.intercepted) {
+          e.in_intake.fetch_sub(1, std::memory_order_relaxed);
+          attach_locked(item.entry, std::move(item.rec));
+          attached_any = true;
+        } else {
+          batch.push_back(
+              make_unintercepted_task(item.entry, std::move(item.rec)));
+        }
+      }
+    } else {
+      for (auto& item : items) {
+        batch.push_back(
+            make_unintercepted_task(item.entry, std::move(item.rec)));
+      }
+    }
+    if (attached_any) mgr_wake_.signal();
+    if (!batch.empty()) executor_->submit_batch(std::move(batch));
+  }
 }
 
 void Object::attach_locked(std::size_t entry_idx, CallRecord rec) {
@@ -362,15 +441,43 @@ void Object::release_slot_locked(std::size_t entry_idx, std::size_t slot_idx) {
     e.attached.push_back(slot_idx);
   }
   update_pending_locked(e);
-  bump_epoch_locked();
+  // No wakeup: release_slot_locked only runs from manager primitives, and
+  // the manager is the only mgr_wake_ waiter — it cannot be asleep while
+  // executing its own finish.
 }
 
-void Object::spawn_unintercepted(std::size_t entry_idx, CallRecord rec) {
-  auto state = rec.state;
-  const bool ok = executor_->submit(
+namespace {
+
+/// Fails the call if the wrapping task is destroyed without having run
+/// (executor refused or dropped it during shutdown). CallState's
+/// first-completion-wins makes the failure a no-op after a normal finish.
+/// Held via shared_ptr so std::function copies cannot fire it early.
+class FailOnDrop {
+ public:
+  FailOnDrop(std::shared_ptr<CallState> state, const std::string& obj_name)
+      : state_(std::move(state)), obj_name_(obj_name) {}
+  ~FailOnDrop() {
+    state_->fail(ErrorCode::kObjectStopped,
+                 "object " + obj_name_ + " stopped before the body could run");
+  }
+  FailOnDrop(const FailOnDrop&) = delete;
+  FailOnDrop& operator=(const FailOnDrop&) = delete;
+
+ private:
+  std::shared_ptr<CallState> state_;
+  std::string obj_name_;
+};
+
+}  // namespace
+
+sched::BatchItem Object::make_unintercepted_task(std::size_t entry_idx,
+                                                 CallRecord rec) {
+  auto state = std::move(rec.state);
+  auto guard = std::make_shared<FailOnDrop>(state, name_);
+  return sched::BatchItem{
       sched::kUnboundTask,
-      [this, entry_idx, id = rec.id, params = std::move(rec.params),
-       state]() mutable {
+      [this, entry_idx, id = rec.id, params = std::move(rec.params), state,
+       guard]() mutable {
         EntryCore& ec = core(entry_idx);
         BodyCtx ctx(this, ec.decl.name, kNoSlot, std::move(params));
         ValueList out;
@@ -389,11 +496,7 @@ void Object::spawn_unintercepted(std::size_t entry_idx, CallRecord rec) {
         }
         trace(ec, id, kNoSlot, CallPhase::kFinished);
         state->complete(std::move(out));
-      });
-  if (!ok) {
-    state->fail(ErrorCode::kObjectStopped,
-                "object " + name_ + " stopped before the body could run");
-  }
+      }};
 }
 
 void Object::submit_body(std::size_t entry_idx, std::size_t slot_idx,
@@ -433,24 +536,28 @@ void Object::submit_body(std::size_t entry_idx, std::size_t slot_idx,
           } else {
             // Split [visible..., hidden...]: the manager's await sees the
             // intercepted visible prefix plus all hidden results; the rest
-            // goes straight to the caller at finish.
-            s.mgr_results.assign(
-                out.begin(),
-                out.begin() + static_cast<std::ptrdiff_t>(ec.icept_results));
-            s.mgr_results.insert(
-                s.mgr_results.end(),
-                out.begin() + static_cast<std::ptrdiff_t>(ec.decl.results),
-                out.end());
-            s.rest_results.assign(
-                out.begin() + static_cast<std::ptrdiff_t>(ec.icept_results),
-                out.begin() + static_cast<std::ptrdiff_t>(ec.decl.results));
+            // goes straight to the caller at finish. `out` is dead after
+            // the split, so move every element instead of copying.
+            const auto icept =
+                out.begin() + static_cast<std::ptrdiff_t>(ec.icept_results);
+            const auto visible =
+                out.begin() + static_cast<std::ptrdiff_t>(ec.decl.results);
+            s.mgr_results.reserve(ec.icept_results + ec.impl.hidden_results);
+            s.mgr_results.assign(std::make_move_iterator(out.begin()),
+                                 std::make_move_iterator(icept));
+            s.mgr_results.insert(s.mgr_results.end(),
+                                 std::make_move_iterator(visible),
+                                 std::make_move_iterator(out.end()));
+            s.rest_results.assign(std::make_move_iterator(icept),
+                                  std::make_move_iterator(visible));
           }
           s.state = SlotState::kReady;
           trace(ec, s.call->id, slot_idx, CallPhase::kReady);
           ec.ready.push_back(slot_idx);
-          bump_epoch_locked();
         }
-        mgr_cv_.notify_all();
+        // Body completions come from executor threads; wake the manager's
+        // await/select (two atomic ops when it is not sleeping).
+        mgr_wake_.signal();
       });
   if (!ok) {
     // Executor already shut down; stop() will fail the caller.
@@ -460,13 +567,18 @@ void Object::submit_body(std::size_t entry_idx, std::size_t slot_idx,
 
 ObjectStats Object::stats() const {
   ObjectStats out;
+  Object* self = const_cast<Object*>(this);
   std::scoped_lock lock(mu_);
+  // Fold any undrained arrivals into the snapshot so counts are current.
+  if (started_.load(std::memory_order_acquire)) self->drain_intake_locked();
   out.entries.reserve(entries_.size());
   for (const auto& ep : entries_) {
     const EntryCore& e = *ep;
-    out.entries.push_back(EntryStats{e.decl.name, e.calls, e.accepts, e.starts,
-                                     e.finishes, e.combines,
-                                     e.pending.load(std::memory_order_relaxed)});
+    out.entries.push_back(
+        EntryStats{e.decl.name, e.calls.load(std::memory_order_relaxed),
+                   e.accepts, e.starts, e.finishes, e.combines,
+                   e.pending.load(std::memory_order_relaxed) +
+                       e.in_intake.load(std::memory_order_relaxed)});
   }
   if (executor_) {
     out.threads_created = executor_->threads_created();
@@ -476,11 +588,10 @@ ObjectStats Object::stats() const {
 }
 
 void Object::notify_external_event() {
-  {
-    std::scoped_lock lock(mu_);
-    bump_epoch_locked();
-  }
-  mgr_cv_.notify_all();
+  // Channel observers land here on every send to a watched channel; with
+  // the waiter-counted event this is two atomic ops unless the manager is
+  // actually parked in select.
+  mgr_wake_.signal();
 }
 
 std::exception_ptr Object::manager_error() const {

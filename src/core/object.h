@@ -14,8 +14,18 @@
 // dedicated std::jthread (the paper wants it at higher priority so it stays
 // receptive to entry calls; a dedicated always-runnable thread is the
 // portable equivalent, and try_boost_priority() is attempted on top).
-// Wakeups use a single condition variable plus an event epoch so select
-// guards never poll.
+//
+// Hot-path contention (see DESIGN.md §4.3):
+//  - async_call never takes the kernel mutex: the call record goes onto a
+//    lock-free MPSC intake queue and the kernel drains the whole backlog
+//    under ONE lock acquisition the next time the manager (or, for
+//    unintercepted entries, the dispatching caller) runs — N concurrent
+//    callers pay one mutex round instead of N;
+//  - wakeups use a waiter-counted event epoch (support::EventCount): a
+//    kernel event with no sleeping manager is two atomic ops and no
+//    syscall, and the only mgr_wake_ waiter is ever the manager thread
+//    itself, so manager-side primitives (finish et al.) need no
+//    self-notification at all.
 #pragma once
 
 #include <atomic>
@@ -37,6 +47,7 @@
 #include "core/trace.h"
 #include "core/value.h"
 #include "sched/executor.h"
+#include "support/queue.h"
 #include "support/sync.h"
 
 namespace alps {
@@ -178,18 +189,39 @@ class Object {
     std::deque<std::size_t> attached;  ///< slots awaiting accept (FIFO)
     std::deque<std::size_t> ready;     ///< slots ready to terminate (FIFO)
     std::atomic<std::size_t> pending{0};  ///< #P, lock-free mirror
-    std::uint64_t calls = 0, accepts = 0, starts = 0, finishes = 0,
-                  combines = 0;
+    /// Intercepted calls pushed to the intake but not yet drained; #P
+    /// counts them so callers polling pending() see an arrival immediately.
+    std::atomic<std::size_t> in_intake{0};
+    /// Incremented lock-free at dispatch (the call path never takes mu_).
+    std::atomic<std::uint64_t> calls{0};
+    std::uint64_t accepts = 0, starts = 0, finishes = 0, combines = 0;
+  };
+
+  /// One undrained async_call. Producers (callers) push these lock-free;
+  /// whoever next holds the kernel lock — a manager wait/select, stats(),
+  /// or an unmanaged dispatch — drains the whole backlog as a batch.
+  struct IntakeItem {
+    std::size_t entry;
+    CallRecord rec;
   };
 
   // -- kernel helpers (suffix _locked requires mu_ held) --
   EntryCore& core(std::size_t idx) { return *entries_[idx]; }
   EntryCore& core_checked(EntryRef entry, const char* op);
-  void bump_epoch_locked();
   void update_pending_locked(EntryCore& e);
   void attach_locked(std::size_t entry_idx, CallRecord rec);
   CallHandle dispatch(std::size_t entry_idx, ValueList params, bool external);
-  void spawn_unintercepted(std::size_t entry_idx, CallRecord rec);
+  /// Drains the intake under the already-held kernel lock: attaches
+  /// intercepted calls, batch-submits unintercepted bodies. Skips (leaving
+  /// items queued for stop()'s flush) once stopping_ is set.
+  void drain_intake_locked();
+  /// Drains the intake without holding mu_ (takes it only if the batch
+  /// contains intercepted calls). Fails everything drained once stopping_.
+  void flush_intake();
+  /// Builds the executor task for one unintercepted call. The task's
+  /// captures fail the caller if the task is destroyed without running.
+  sched::BatchItem make_unintercepted_task(std::size_t entry_idx,
+                                           CallRecord rec);
   void submit_body(std::size_t entry_idx, std::size_t slot_idx,
                    ValueList full_params);
   /// Frees a slot after finish/fail and attaches the next queued call.
@@ -210,8 +242,12 @@ class Object {
   ObjectOptions opts_;
 
   mutable std::mutex mu_;
-  std::condition_variable mgr_cv_;
-  std::uint64_t epoch_ = 0;  // guarded by mu_; bumped on every kernel event
+  /// Wakes the manager thread (the only waiter) after kernel events that
+  /// originate off it: call intake, body completion, channel observers,
+  /// stop. Prepare-ticket/recheck/wait gives select an epoch snapshot.
+  support::EventCount mgr_wake_;
+  /// Lock-free call intake (see IntakeItem).
+  support::MpscIntakeQueue<IntakeItem> intake_;
 
   std::vector<std::unique_ptr<EntryCore>> entries_;
   std::unordered_map<std::string, std::size_t> by_name_;
@@ -222,7 +258,7 @@ class Object {
   std::atomic<std::uint64_t> next_call_id_{1};
   std::unique_ptr<sched::Executor> executor_;
   std::jthread manager_thread_;
-  std::thread::id manager_thread_id_;
+  std::atomic<std::thread::id> manager_thread_id_{};
   std::stop_source stop_source_;
   std::exception_ptr manager_error_;
 

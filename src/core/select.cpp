@@ -62,8 +62,9 @@ Select& Select::use_naive_polling(bool enable) {
 namespace {
 
 /// RAII registration of a wake-up observer on every channel guard: the
-/// observer bumps the object's event epoch (under the kernel lock) and
-/// notifies the manager CV, making channel receive guards event-driven.
+/// observer signals the object's waiter-counted manager event, making
+/// channel receive guards event-driven (and nearly free when the manager
+/// is not actually parked in select).
 class ChannelObservers {
  public:
   ChannelObservers() = default;
@@ -99,12 +100,18 @@ Select::Fired Select::select_impl(Manager& m) {
   };
   std::vector<Candidate> candidates;
 
-  std::unique_lock lock(obj->mu_);
   for (;;) {
+    // Epoch ticket taken before the kernel lock: any event signalled after
+    // this point (call intake, body completion, channel send, stop) makes
+    // the tail wait return immediately instead of sleeping.
+    support::EventCount::Ticket ticket(obj->mgr_wake_);
+    bool need_observers = false;
+    {
+    std::unique_lock lock(obj->mu_);
     if (obj->stop_source_.stop_requested()) {
       raise(ErrorCode::kObjectStopped, "object " + obj->name() + " stopping");
     }
-    const std::uint64_t snapshot = obj->epoch_;
+    obj->drain_intake_locked();
 
     candidates.clear();
     bool any_waitable = false;
@@ -244,21 +251,22 @@ Select::Fired Select::select_impl(Manager& m) {
                 ": no eligible guard and no event source to wait on");
     }
 
-    if (!observers_registered) {
+    if (!observers_registered) need_observers = true;
+    }  // kernel lock released
+
+    if (need_observers) {
       // Register channel wake-ups, then re-evaluate once: a message that
-      // arrived before registration must not be missed.
-      lock.unlock();
+      // arrived before registration must not be missed. (Registration
+      // bumps the channel's observer count, so sends from here on signal
+      // mgr_wake_; the fresh ticket on the next iteration covers them.)
       for (auto& g : guards_) {
         if (g.kind == Kind::kReceive) observers.add(g.channel, obj);
       }
-      lock.lock();
       observers_registered = true;
       continue;
     }
 
-    obj->mgr_cv_.wait(lock, [&] {
-      return obj->epoch_ != snapshot || obj->stop_source_.stop_requested();
-    });
+    ticket.wait();
   }
 }
 

@@ -3,12 +3,15 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "support/queue.h"
+#include "support/sync.h"
 #include "support/thread_util.h"
 
 namespace alps::sched {
@@ -139,34 +142,80 @@ class SlotBoundExecutor final : public Executor {
   std::atomic<bool> shut_{false};
 };
 
-class PooledExecutor final : public Executor {
+/// The pooled process model as a work-stealing pool: every worker owns a
+/// mutex-striped deque (critical sections are a couple of pointer moves,
+/// per CP.43), submitters route to a stripe by slot key (or round-robin for
+/// unbound work), and a worker whose own deque runs dry steals from its
+/// peers before parking on an EventCount. Compared with
+/// the previous single shared BlockingQueue this removes the one mutex that
+/// every submit and every dequeue contended on, and lets an uncontended
+/// submit skip the wake syscall entirely when no worker is sleeping.
+class WorkStealingPooledExecutor final : public Executor {
  public:
-  PooledExecutor(std::size_t m_workers, std::string name)
-      : name_(std::move(name)) {
-    workers_.reserve(m_workers);
-    for (std::size_t i = 0; i < m_workers; ++i) {
+  WorkStealingPooledExecutor(std::size_t m_workers, std::string name)
+      : name_(std::move(name)), stripes_(m_workers == 0 ? 1 : m_workers) {
+    for (auto& s : stripes_) s = std::make_unique<Stripe>();
+    const std::size_t m = stripes_.size();
+    workers_.reserve(m);
+    for (std::size_t i = 0; i < m; ++i) {
       stats_.created.fetch_add(1, std::memory_order_relaxed);
       stats_.alive.fetch_add(1, std::memory_order_relaxed);
       workers_.emplace_back([this, i] {
         support::set_current_thread_name(name_ + "/p" + std::to_string(i));
-        while (auto task = queue_.pop()) {
-          (*task)();
-        }
+        run_worker(i);
         stats_.alive.fetch_sub(1, std::memory_order_relaxed);
       });
     }
   }
 
-  ~PooledExecutor() override { shutdown(); }
+  ~WorkStealingPooledExecutor() override { shutdown(); }
 
-  bool submit(std::size_t, Task task) override {
-    return queue_.push(std::move(task));
+  bool submit(std::size_t slot_key, Task task) override {
+    Stripe& s = stripe_for(slot_key);
+    {
+      std::scoped_lock lock(s.mu);
+      // closed_ is checked under the stripe lock: a worker's final
+      // emptiness scan also locks every stripe, so either it sees this
+      // push, or this check sees closed_ (read-read coherence through the
+      // lock) and the task is refused — never stranded.
+      if (closed_.load(std::memory_order_seq_cst)) return false;
+      s.q.push_back(std::move(task));
+    }
+    // One task: wake one sleeper, not the herd (workers re-scan every
+    // stripe before re-parking, so coalesced wakeups cannot strand work).
+    idle_.signal_one();
+    return true;
+  }
+
+  std::size_t submit_batch(std::vector<BatchItem> items) override {
+    if (items.empty()) return 0;
+    std::size_t accepted = 0;
+    // Group per stripe so each stripe lock is taken once, then wake the
+    // pool once for the whole batch.
+    std::vector<std::vector<Task>> per_stripe(stripes_.size());
+    for (auto& item : items) {
+      per_stripe[stripe_index(item.slot_key)].push_back(std::move(item.task));
+    }
+    for (std::size_t i = 0; i < per_stripe.size(); ++i) {
+      if (per_stripe[i].empty()) continue;
+      std::scoped_lock lock(stripes_[i]->mu);
+      if (closed_.load(std::memory_order_seq_cst)) continue;  // tasks dropped
+      for (auto& t : per_stripe[i]) stripes_[i]->q.push_back(std::move(t));
+      accepted += per_stripe[i].size();
+    }
+    if (accepted == 1) {
+      idle_.signal_one();
+    } else if (accepted > 1) {
+      idle_.signal();  // several tasks: the whole pool may have work
+    }
+    return accepted;
   }
 
   void shutdown() override {
     bool expected = false;
     if (!shut_.compare_exchange_strong(expected, true)) return;
-    queue_.close();
+    closed_.store(true, std::memory_order_seq_cst);
+    idle_.signal();
     for (auto& w : workers_) {
       if (w.joinable()) w.join();
     }
@@ -181,9 +230,94 @@ class PooledExecutor final : public Executor {
   ProcessModel model() const override { return ProcessModel::kPooled; }
 
  private:
+  struct Stripe {
+    // std::mutex, not a spinlock: uncontended futex lock/unlock is one CAS
+    // (as cheap as spinning), and on an oversubscribed or single-core box a
+    // holder preempted mid-section must make contenders *block*, not burn
+    // their whole timeslice spinning.
+    std::mutex mu;
+    std::deque<Task> q;
+  };
+
+  std::size_t stripe_index(std::size_t slot_key) const {
+    return (slot_key == kUnboundTask
+                ? rr_.fetch_add(1, std::memory_order_relaxed)
+                : slot_key) %
+           stripes_.size();
+  }
+  Stripe& stripe_for(std::size_t slot_key) {
+    return *stripes_[stripe_index(slot_key)];
+  }
+
+  std::optional<Task> pop_local(std::size_t me) {
+    Stripe& s = *stripes_[me];
+    std::scoped_lock lock(s.mu);
+    if (s.q.empty()) return std::nullopt;
+    Task t = std::move(s.q.front());
+    s.q.pop_front();
+    return t;
+  }
+
+  /// Steals from peers; try_lock so a busy stripe is skipped rather than
+  /// spun on. Steal from the back — the owner takes from the front.
+  std::optional<Task> steal(std::size_t me) {
+    const std::size_t m = stripes_.size();
+    for (std::size_t d = 1; d < m; ++d) {
+      Stripe& s = *stripes_[(me + d) % m];
+      if (!s.mu.try_lock()) continue;
+      std::unique_lock lock(s.mu, std::adopt_lock);
+      if (s.q.empty()) continue;
+      Task t = std::move(s.q.back());
+      s.q.pop_back();
+      return t;
+    }
+    return std::nullopt;
+  }
+
+  /// Exhaustive scan (blocking locks) — the authority for "the pool is
+  /// empty", used right before parking or exiting.
+  std::optional<Task> scan_all(std::size_t me) {
+    const std::size_t m = stripes_.size();
+    for (std::size_t d = 0; d < m; ++d) {
+      Stripe& s = *stripes_[(me + d) % m];
+      std::scoped_lock lock(s.mu);
+      if (s.q.empty()) continue;
+      Task t = std::move(s.q.front());
+      s.q.pop_front();
+      return t;
+    }
+    return std::nullopt;
+  }
+
+  void run_worker(std::size_t me) {
+    for (;;) {
+      if (auto t = pop_local(me)) {
+        (*t)();
+        continue;
+      }
+      if (auto t = steal(me)) {
+        (*t)();
+        continue;
+      }
+      // Register as a sleeper *before* the authoritative rescan so a
+      // submit between the rescan and the park is never missed.
+      support::EventCount::Ticket ticket(idle_);
+      const bool closed = closed_.load(std::memory_order_seq_cst);
+      if (auto t = scan_all(me)) {
+        (*t)();
+        continue;
+      }
+      if (closed) return;  // drained: closed_ was set before the empty scan
+      ticket.wait();
+    }
+  }
+
   std::string name_;
   ThreadStats stats_;
-  support::BlockingQueue<Task> queue_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  mutable std::atomic<std::size_t> rr_{0};
+  support::EventCount idle_;
+  std::atomic<bool> closed_{false};
   std::vector<std::jthread> workers_;
   std::atomic<bool> shut_{false};
 };
@@ -238,7 +372,8 @@ std::unique_ptr<Executor> make_slot_bound_executor(std::size_t n_slots,
 
 std::unique_ptr<Executor> make_pooled_executor(std::size_t m_workers,
                                                std::string name) {
-  return std::make_unique<PooledExecutor>(m_workers, std::move(name));
+  return std::make_unique<WorkStealingPooledExecutor>(m_workers,
+                                                      std::move(name));
 }
 
 std::unique_ptr<Executor> make_dynamic_executor(std::string name) {

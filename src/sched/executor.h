@@ -20,6 +20,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace alps::sched {
 
@@ -36,9 +37,21 @@ const char* to_string(ProcessModel model);
 /// model must still run it.
 inline constexpr std::size_t kUnboundTask = static_cast<std::size_t>(-1);
 
+/// One element of a batch submission (see Executor::submit_batch).
+struct BatchItem {
+  std::size_t slot_key = kUnboundTask;
+  std::function<void()> task;
+};
+
 /// Executes entry bodies on behalf of one object. Implementations own their
 /// threads; shutdown() drains in-flight work and joins everything. submit()
 /// after shutdown() is a no-op returning false.
+///
+/// Dropped-task contract: a task that is refused (submit after shutdown) is
+/// destroyed without running. Callers that must observe completion attach
+/// the observation to the task's captures (the kernel wraps call bodies so
+/// that destroying an unrun task fails the caller), rather than relying on
+/// the return value alone.
 class Executor {
  public:
   virtual ~Executor() = default;
@@ -46,6 +59,19 @@ class Executor {
   /// Schedules `task`. For kSlotBound, `slot_key` selects the dedicated
   /// worker; tasks for one slot run in submission order.
   virtual bool submit(std::size_t slot_key, std::function<void()> task) = 0;
+
+  /// Schedules a whole batch, paying at most one wakeup for all of it (the
+  /// work-stealing pooled executor distributes the batch across worker
+  /// deques under one pass and wakes the pool once). Returns the number of
+  /// tasks accepted; refused tasks are destroyed. Used by the kernel's
+  /// call-intake drain. The default forwards to submit() per item.
+  virtual std::size_t submit_batch(std::vector<BatchItem> items) {
+    std::size_t accepted = 0;
+    for (auto& item : items) {
+      if (submit(item.slot_key, std::move(item.task))) ++accepted;
+    }
+    return accepted;
+  }
 
   /// Stops accepting work, waits for in-flight tasks, joins all threads.
   virtual void shutdown() = 0;
@@ -65,7 +91,9 @@ class Executor {
 std::unique_ptr<Executor> make_slot_bound_executor(std::size_t n_slots,
                                                    std::string name);
 
-/// M pooled workers over a shared run queue.
+/// M pooled workers, each with its own deque; workers steal from each other
+/// when their own deque runs dry and park on a waiter-counted event when the
+/// whole pool is idle (no shared run-queue lock on the submit path).
 std::unique_ptr<Executor> make_pooled_executor(std::size_t m_workers,
                                                std::string name);
 

@@ -70,6 +70,104 @@ class Semaphore {
   std::int64_t count_;
 };
 
+/// A waiter-counted event epoch (an "eventcount", the futex-style discipline
+/// used by lean runtime schedulers). Producers call signal() after publishing
+/// state; consumers register with prepare_wait(), re-check their predicate,
+/// and only then block. The fast path on both sides is purely atomic:
+///
+///  - signal() with no registered waiter is two atomic operations and never
+///    takes the internal mutex or issues a wake syscall;
+///  - a waiter whose predicate is already true cancels its registration with
+///    one atomic decrement.
+///
+/// Lost-wakeup freedom: prepare_wait() publishes the waiter count *before*
+/// reading the epoch (both seq_cst), and signal() bumps the epoch *before*
+/// reading the waiter count (both seq_cst). In the seq_cst total order either
+/// the signaler sees the waiter (and notifies under the mutex), or the waiter
+/// sees the bumped epoch (and commit_wait() returns without blocking).
+class EventCount {
+ public:
+  /// Wakes all registered waiters whose epoch predates this call. Safe to
+  /// call from any thread, with or without unrelated locks held.
+  void signal() {
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    if (waiters_.load(std::memory_order_seq_cst) == 0) return;  // fast path
+    {
+      // Empty critical section: a waiter between its epoch re-check and
+      // cv_.wait() holds mu_, so this fence orders us after it and the
+      // notify below cannot be missed.
+      std::scoped_lock lock(mu_);
+    }
+    cv_.notify_all();
+  }
+
+  /// Like signal(), but wakes (at least) one waiter instead of the whole
+  /// herd. Use when a single unit of work arrived and any one waiter can
+  /// consume it — e.g. one task into a worker pool. Waiters must re-scan
+  /// shared state before re-waiting (our ticket discipline does), because
+  /// consecutive one-wakeups may coalesce onto the same waiter.
+  void signal_one() {
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    if (waiters_.load(std::memory_order_seq_cst) == 0) return;  // fast path
+    {
+      std::scoped_lock lock(mu_);
+    }
+    cv_.notify_one();
+  }
+
+  /// Registers the caller as a waiter and returns the current epoch ticket.
+  /// Must be balanced by exactly one cancel_wait() or commit_wait().
+  std::uint64_t prepare_wait() {
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  /// Deregisters without blocking (the predicate turned out to be true).
+  void cancel_wait() { waiters_.fetch_sub(1, std::memory_order_release); }
+
+  /// Blocks until the epoch moves past `ticket`, then deregisters.
+  void commit_wait(std::uint64_t ticket) {
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] {
+        return epoch_.load(std::memory_order_relaxed) != ticket;
+      });
+    }
+    waiters_.fetch_sub(1, std::memory_order_release);
+  }
+
+  /// RAII registration: construct before reading the predicate's inputs,
+  /// call wait() to block, or let the destructor cancel (predicate was
+  /// satisfied, or an exception is unwinding).
+  class Ticket {
+   public:
+    explicit Ticket(EventCount& ec) : ec_(&ec), epoch_(ec.prepare_wait()) {}
+    ~Ticket() {
+      if (armed_) ec_->cancel_wait();
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+
+    /// Blocks until a signal() after this ticket was issued; consumes the
+    /// registration.
+    void wait() {
+      armed_ = false;
+      ec_->commit_wait(epoch_);
+    }
+
+   private:
+    EventCount* ec_;
+    std::uint64_t epoch_;
+    bool armed_ = true;
+  };
+
+ private:
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint32_t> waiters_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
 /// A manual-reset event: once set it stays set until reset() is called, and
 /// every waiter (past or future) observes it.
 class Event {

@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <optional>
 #include <thread>
+#include <vector>
 
 #include "core/error.h"
 #include "core/typed.h"
@@ -170,6 +173,51 @@ TEST(Channel, ManyProducersOneConsumerDeliversAll) {
   }
   for (int p = 0; p < kProducers; ++p) {
     EXPECT_EQ(last_seen[static_cast<size_t>(p)], kEach - 1);
+  }
+}
+
+TEST(Channel, ReceiveForRacingSendNeverLosesTheMessage) {
+  // A send that lands exactly while a receive_for is timing out must end up
+  // either in the receiver's hands or still buffered in the channel —
+  // never dropped. Exercises the waiter-counted wakeup in send().
+  for (int round = 0; round < 200; ++round) {
+    ChannelRef ch = make_channel();
+    std::optional<ValueList> got;
+    std::jthread receiver(
+        [&] { got = ch->receive_for(std::chrono::microseconds(50)); });
+    std::jthread sender([&] { ch->send(vals(round)); });
+    receiver.join();
+    sender.join();
+    if (got.has_value()) {
+      EXPECT_EQ((*got)[0].as_int(), round);
+      EXPECT_TRUE(ch->empty());
+    } else {
+      ASSERT_EQ(ch->size(), 1u) << "message lost in round " << round;
+      EXPECT_EQ(ch->receive()[0].as_int(), round);
+    }
+  }
+}
+
+TEST(Channel, RemoveObserverRacingNotifyIsSafe) {
+  // remove_observer must be safe against a concurrent send()'s observer
+  // notification: after remove_observer returns, the observer may be
+  // mid-invocation (snapshot semantics) but its captures stay alive here,
+  // and no notification fires after the sender thread joins.
+  for (int round = 0; round < 100; ++round) {
+    ChannelRef ch = make_channel();
+    std::atomic<int> fired{0};
+    auto token = ch->add_observer([&] { fired.fetch_add(1); });
+    std::jthread sender([&] {
+      for (int i = 0; i < 20; ++i) ch->send(vals(i));
+    });
+    ch->remove_observer(token);
+    const int at_remove = fired.load();
+    sender.join();
+    const int after_join = fired.load();
+    // The observer saw at most the sends that snapshotted it, and exactly
+    // those that committed before removal are guaranteed.
+    EXPECT_LE(after_join, 20);
+    EXPECT_GE(after_join, at_remove);
   }
 }
 
