@@ -11,6 +11,7 @@
 #include "bench_util.h"
 
 #include "apps/disk_scheduler.h"
+#include "core/alps.h"
 #include "support/rng.h"
 
 namespace {
@@ -58,10 +59,66 @@ void BM_DiskSstfPriGuard(benchmark::State& state) {
   bench_policy(state, apps::DiskScheduler::Policy::kShortestSeekFirst);
 }
 
+// Pure guard-evaluation cost, no simulated seek time: G accept guards with
+// when/pri closures partition a backlog of calls by `tag % G` and drain it
+// smallest-tag-first. Every select pass confronts G guards x K pending
+// candidates; the delta-driven engine evaluates each (guard, call) closure
+// pair once and serves later passes from the priority index, while the
+// naive strawman re-runs all of them every pass.
+void bench_many_guards(benchmark::State& state, bool naive) {
+  const auto n_guards = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kBacklog = 128;
+  Object obj("PriSelect", ObjectOptions{.pool_workers = 2});
+  auto e = obj.define_entry({.name = "Op", .params = 1, .results = 0});
+  obj.implement(e, ImplDecl{.array = kBacklog},
+                [](BodyCtx&) -> ValueList { return {}; });
+  obj.set_manager({intercept(e).params(1)}, [&](Manager& m) {
+    Select sel;
+    sel.use_naive_polling(naive);
+    for (std::size_t g = 0; g < n_guards; ++g) {
+      const auto mod = static_cast<std::int64_t>(g);
+      const auto div = static_cast<std::int64_t>(n_guards);
+      sel.on(accept_guard(e)
+                 .when([mod, div](const ValueList& p) {
+                   return p[0].as_int() % div == mod;
+                 })
+                 .pri([](const ValueList& p) { return p[0].as_int(); })
+                 .then([&m](Accepted a) { m.execute(a); }));
+    }
+    sel.loop(m);
+  });
+  obj.start();
+
+  std::vector<CallHandle> handles;
+  handles.reserve(kBacklog);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kBacklog; ++i) {
+      handles.push_back(
+          obj.async_call(e, vals(static_cast<std::int64_t>(i))));
+    }
+    for (auto& h : handles) h.get();
+    handles.clear();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBacklog));
+  obj.stop();
+}
+
+void BM_ManyGuardPriSelect(benchmark::State& state) {
+  bench_many_guards(state, false);
+}
+void BM_ManyGuardPriNaive(benchmark::State& state) {
+  bench_many_guards(state, true);
+}
+
 #define DEPTH_ARGS ->Arg(4)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond)->UseRealTime()
+// Guard-count sweep; the largest config is the ISSUE acceptance config.
+#define GUARD_ARGS ->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMicrosecond)->UseRealTime()
 
 BENCHMARK(BM_DiskFifo) DEPTH_ARGS;
 BENCHMARK(BM_DiskSstfPriGuard) DEPTH_ARGS;
+BENCHMARK(BM_ManyGuardPriSelect) GUARD_ARGS;
+BENCHMARK(BM_ManyGuardPriNaive) GUARD_ARGS;
 
 }  // namespace
 

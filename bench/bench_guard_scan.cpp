@@ -39,13 +39,61 @@ void bench_scan(benchmark::State& state, bool naive) {
   obj.stop();
 }
 
+// High occupancy: keep `inflight` calls attached at once so the select
+// engine faces a long candidate list on every pass. The delta-driven select
+// keeps a persistent priority index over those candidates (per-select work
+// O(log K)); the naive strawman — and the pre-index engine — rebuild and
+// rescan the whole list each pass (O(N) resp. O(K)).
+void bench_scan_loaded(benchmark::State& state, bool naive) {
+  const auto array = static_cast<std::size_t>(state.range(0));
+  const auto inflight = static_cast<std::size_t>(state.range(1));
+  Object obj("ScanLoaded", ObjectOptions{.pool_workers = 2});
+  auto e = obj.define_entry({.name = "Op", .params = 0, .results = 0});
+  obj.implement(e, ImplDecl{.array = array},
+                [](BodyCtx&) -> ValueList { return {}; });
+  obj.set_manager({intercept(e)}, [&](Manager& m) {
+    Select sel;
+    sel.use_naive_polling(naive)
+        .on(accept_guard(e).then([&m](Accepted a) { m.start(a); }))
+        .on(await_guard(e).then([&m](Awaited w) { m.finish(w); }));
+    sel.loop(m);
+  });
+  obj.start();
+
+  std::vector<CallHandle> handles;
+  handles.reserve(inflight);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < inflight; ++i) {
+      handles.push_back(obj.async_call(e, {}));
+    }
+    for (auto& h : handles) h.get();
+    handles.clear();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inflight));
+  obj.stop();
+}
+
 void BM_IndexedReadyLists(benchmark::State& state) { bench_scan(state, false); }
 void BM_NaiveSlotPolling(benchmark::State& state) { bench_scan(state, true); }
+void BM_IndexedHighOccupancy(benchmark::State& state) {
+  bench_scan_loaded(state, false);
+}
+void BM_NaiveHighOccupancy(benchmark::State& state) {
+  bench_scan_loaded(state, true);
+}
 
 #define N_ARGS ->Arg(16)->Arg(256)->Arg(4096)->Arg(32768)->Unit(benchmark::kMicrosecond)->UseRealTime()
+// {array, inflight}: long attached/ready lists, the delta-driven engine's
+// target regime.  The largest config is the ISSUE acceptance config.
+#define LOAD_ARGS                                                    \
+  ->Args({256, 128})->Args({4096, 512})->Args({32768, 2048})         \
+      ->Unit(benchmark::kMicrosecond)->UseRealTime()
 
 BENCHMARK(BM_IndexedReadyLists) N_ARGS;
 BENCHMARK(BM_NaiveSlotPolling) N_ARGS;
+BENCHMARK(BM_IndexedHighOccupancy) LOAD_ARGS;
+BENCHMARK(BM_NaiveHighOccupancy) LOAD_ARGS;
 
 }  // namespace
 

@@ -25,6 +25,7 @@ bool ChannelCore::send(ValueList message) {
       forward = forward_;  // forward outside the lock
     } else {
       messages_.push_back(std::move(message));
+      bump_front_gen();
       // Snapshot both wake conditions under the lock so the fast path pays
       // neither the notify syscall nor notify_observers' second lock round.
       // A receiver that arrives after we release mu_ sees the message; an
@@ -50,6 +51,7 @@ ValueList ChannelCore::receive() {
   }
   ValueList msg = std::move(messages_.front());
   messages_.pop_front();
+  bump_front_gen();
   return msg;
 }
 
@@ -58,6 +60,7 @@ std::optional<ValueList> ChannelCore::try_receive() {
   if (messages_.empty()) return std::nullopt;
   ValueList msg = std::move(messages_.front());
   messages_.pop_front();
+  bump_front_gen();
   return msg;
 }
 
@@ -72,6 +75,7 @@ std::optional<ValueList> ChannelCore::receive_for(
   if (messages_.empty()) return std::nullopt;
   ValueList msg = std::move(messages_.front());
   messages_.pop_front();
+  bump_front_gen();
   return msg;
 }
 
@@ -89,6 +93,7 @@ std::optional<ValueList> ChannelCore::take_front_if(
   if (messages_.empty() || !fn(messages_.front())) return std::nullopt;
   ValueList msg = std::move(messages_.front());
   messages_.pop_front();
+  bump_front_gen();
   return msg;
 }
 
@@ -96,6 +101,7 @@ void ChannelCore::close() {
   {
     std::scoped_lock lock(mu_);
     closed_ = true;
+    bump_front_gen();
   }
   cv_.notify_all();
   notify_observers();

@@ -16,6 +16,7 @@
 // enqueueing entirely.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -70,6 +71,14 @@ class ChannelCore {
   /// Globally unique id (used by the wire codec to name channels).
   std::uint64_t id() const { return id_; }
 
+  /// Front-of-queue generation: bumped whenever the message a receive guard
+  /// would tentatively see can have changed (enqueue, any pop, close). The
+  /// selector caches its `when`/`pri` evaluation of the front message keyed
+  /// on this value and skips re-evaluation while it is unchanged.
+  std::uint64_t front_gen() const {
+    return front_gen_.load(std::memory_order_acquire);
+  }
+
   // ---- observer hooks (selector / network integration) ----
 
   using ObserverToken = std::uint64_t;
@@ -84,6 +93,12 @@ class ChannelCore {
 
  private:
   void notify_observers();
+  /// Must be called with mu_ held; release-publishes so a selector woken
+  /// through its observer (EventCount) sees the bump.
+  void bump_front_gen() {
+    front_gen_.store(front_gen_.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_release);
+  }
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -96,6 +111,7 @@ class ChannelCore {
   std::string name_;
   std::uint64_t id_;
   std::function<bool(ValueList)> forward_;
+  std::atomic<std::uint64_t> front_gen_{0};
   std::vector<std::pair<ObserverToken, std::function<void()>>> observers_;
   ObserverToken next_token_ = 1;
 };

@@ -7,16 +7,6 @@
 
 namespace alps {
 
-namespace {
-
-/// Removes `value` from a deque of slot indices (present at most once).
-void erase_index(std::deque<std::size_t>& dq, std::size_t value) {
-  auto it = std::find(dq.begin(), dq.end(), value);
-  if (it != dq.end()) dq.erase(it);
-}
-
-}  // namespace
-
 void Manager::check_stop() const {
   if (obj_->stop_source_.stop_requested()) {
     raise(ErrorCode::kObjectStopped, "object " + obj_->name() + " stopping");
@@ -63,8 +53,7 @@ Accepted Manager::accept(EntryRef entry) {
       obj_->drain_intake_locked();
       check_stop();
       if (!e.attached.empty()) {
-        const std::size_t slot_idx = e.attached.front();
-        e.attached.pop_front();
+        const std::size_t slot_idx = e.attached.pop_front(e.slots);
         Object::Slot& s = e.slots[slot_idx];
         s.state = Object::SlotState::kAccepted;
         ++e.accepts;
@@ -90,8 +79,7 @@ std::optional<Accepted> Manager::try_accept(EntryRef entry) {
   obj_->drain_intake_locked();
   check_stop();
   if (e.attached.empty()) return std::nullopt;
-  const std::size_t slot_idx = e.attached.front();
-  e.attached.pop_front();
+  const std::size_t slot_idx = e.attached.pop_front(e.slots);
   Object::Slot& s = e.slots[slot_idx];
   s.state = Object::SlotState::kAccepted;
   ++e.accepts;
@@ -170,8 +158,7 @@ Awaited Manager::await(EntryRef entry) {
       obj_->drain_intake_locked();
       check_stop();
       if (!e.ready.empty()) {
-        const std::size_t slot_idx = e.ready.front();
-        e.ready.pop_front();
+        const std::size_t slot_idx = e.ready.pop_front(e.slots);
         Object::Slot& s = e.slots[slot_idx];
         s.state = Object::SlotState::kAwaited;
         Awaited w;
@@ -202,7 +189,7 @@ Awaited Manager::await(const Accepted& a) {
       }
       check_stop();
       if (s.state == Object::SlotState::kReady) {
-        erase_index(e.ready, a.slot);
+        e.ready.remove(e.slots, a.slot);
         s.state = Object::SlotState::kAwaited;
         Awaited w;
         w.entry = a.entry;
@@ -223,8 +210,7 @@ std::optional<Awaited> Manager::try_await(EntryRef entry) {
   obj_->drain_intake_locked();
   check_stop();
   if (e.ready.empty()) return std::nullopt;
-  const std::size_t slot_idx = e.ready.front();
-  e.ready.pop_front();
+  const std::size_t slot_idx = e.ready.pop_front(e.slots);
   Object::Slot& s = e.slots[slot_idx];
   s.state = Object::SlotState::kAwaited;
   Awaited w;

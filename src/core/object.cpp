@@ -201,8 +201,8 @@ void Object::stop() {
         }
         s.state = SlotState::kFree;
       }
-      e.attached.clear();
-      e.ready.clear();
+      e.attached.clear(e.slots);
+      e.ready.clear(e.slots);
       update_pending_locked(e);
     }
   }
@@ -415,7 +415,7 @@ void Object::attach_locked(std::size_t entry_idx, CallRecord rec) {
       e.slots[i].mgr_results.clear();
       e.slots[i].rest_results.clear();
       e.slots[i].body_error = nullptr;
-      e.attached.push_back(i);
+      e.attached.push_back(e.slots, i);
       update_pending_locked(e);
       return;
     }
@@ -438,7 +438,7 @@ void Object::release_slot_locked(std::size_t entry_idx, std::size_t slot_idx) {
     s.state = SlotState::kAttached;
     trace(e, next.id, slot_idx, CallPhase::kAttached);
     s.call = std::move(next);
-    e.attached.push_back(slot_idx);
+    e.attached.push_back(e.slots, slot_idx);
   }
   update_pending_locked(e);
   // No wakeup: release_slot_locked only runs from manager primitives, and
@@ -553,7 +553,7 @@ void Object::submit_body(std::size_t entry_idx, std::size_t slot_idx,
           }
           s.state = SlotState::kReady;
           trace(ec, s.call->id, slot_idx, CallPhase::kReady);
-          ec.ready.push_back(slot_idx);
+          ec.ready.push_back(ec.slots, slot_idx);
         }
         // Body completions come from executor threads; wake the manager's
         // await/select (two atomic ops when it is not sleeping).
@@ -590,7 +590,11 @@ ObjectStats Object::stats() const {
 void Object::notify_external_event() {
   // Channel observers land here on every send to a watched channel; with
   // the waiter-counted event this is two atomic ops unless the manager is
-  // actually parked in select.
+  // actually parked in select. The generation bump discards every cached
+  // guard evaluation: "wake and re-evaluate the guards" is this call's
+  // documented contract, and callers use it to announce arbitrary state
+  // changes the kernel cannot see.
+  guard_inval_gen_.fetch_add(1, std::memory_order_release);
   mgr_wake_.signal();
 }
 

@@ -25,9 +25,15 @@
 //    kernel event with no sleeping manager is two atomic ops and no
 //    syscall, and the only mgr_wake_ waiter is ever the manager thread
 //    itself, so manager-side primitives (finish et al.) need no
-//    self-notification at all.
+//    self-notification at all;
+//  - the attached/ready scheduling lists are intrusive FIFO queues with the
+//    links stored in the slot (O(1) push/pop/remove, no find+erase) and each
+//    carries a generation-stamped delta journal so the select engine can
+//    react to exactly the slots that changed instead of rescanning
+//    (DESIGN.md §4.4).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -139,8 +145,16 @@ class Object {
   EntryRef entry(const std::string& name) const;
 
   /// Wakes the manager's select statement to re-evaluate its guards. Used by
-  /// channel observers; harmless to call at any time.
+  /// channel observers; harmless to call at any time. Bumps the guard
+  /// invalidation generation so cached `when`/`pri` results are discarded —
+  /// this is the documented way to tell select "object state changed".
   void notify_external_event();
+
+  /// Guard-cache invalidation epoch (see notify_external_event and
+  /// DESIGN.md §4.4). Select re-runs every closure when this moves.
+  std::uint64_t guard_inval_gen() const {
+    return guard_inval_gen_.load(std::memory_order_acquire);
+  }
 
   const std::string& name() const { return name_; }
   bool running() const;
@@ -174,6 +188,94 @@ class Object {
     std::exception_ptr body_error;
     /// Executor key for the slot-bound process model.
     std::size_t global_key = sched::kUnboundTask;
+    /// Intrusive links for the attached/ready queues. A slot is in at most
+    /// one queue at a time (kAttached => attached, kReady => ready), so one
+    /// pair of links serves both; they double as the back-pointers that make
+    /// mid-queue removal O(1) instead of find+erase.
+    std::size_t q_prev = kNoSlot;
+    std::size_t q_next = kNoSlot;
+  };
+
+  /// One membership change of a SlotQueue (for the selector's delta replay).
+  struct SlotDelta {
+    std::uint32_t slot = 0;
+    bool added = false;
+  };
+
+  /// Intrusive FIFO over Slot::q_prev/q_next plus a generation-stamped ring
+  /// journal of membership changes. `log_gen` counts every push/remove ever;
+  /// a consumer that remembers the generation it last synced at can replay
+  /// the ring window [seen, log_gen) to learn exactly which slots changed,
+  /// or fall back to a full scan of the list when it is more than kWindow
+  /// events behind. All operations require the object's kernel lock.
+  struct SlotQueue {
+    static constexpr std::size_t kWindow = 64;
+
+    std::size_t head = kNoSlot;
+    std::size_t tail = kNoSlot;
+    std::size_t count = 0;
+    std::uint64_t log_gen = 0;
+    std::array<SlotDelta, kWindow> log;
+
+    bool empty() const { return count == 0; }
+    std::size_t size() const { return count; }
+
+    void record(std::size_t slot, bool added) {
+      log[log_gen % kWindow] = SlotDelta{static_cast<std::uint32_t>(slot), added};
+      ++log_gen;
+    }
+
+    void push_back(std::vector<Slot>& slots, std::size_t idx) {
+      Slot& s = slots[idx];
+      s.q_prev = tail;
+      s.q_next = kNoSlot;
+      if (tail == kNoSlot) {
+        head = idx;
+      } else {
+        slots[tail].q_next = idx;
+      }
+      tail = idx;
+      ++count;
+      record(idx, /*added=*/true);
+    }
+
+    void remove(std::vector<Slot>& slots, std::size_t idx) {
+      Slot& s = slots[idx];
+      if (s.q_prev == kNoSlot) {
+        head = s.q_next;
+      } else {
+        slots[s.q_prev].q_next = s.q_next;
+      }
+      if (s.q_next == kNoSlot) {
+        tail = s.q_prev;
+      } else {
+        slots[s.q_next].q_prev = s.q_prev;
+      }
+      s.q_prev = s.q_next = kNoSlot;
+      --count;
+      record(idx, /*added=*/false);
+    }
+
+    std::size_t front() const { return head; }
+
+    std::size_t pop_front(std::vector<Slot>& slots) {
+      const std::size_t idx = head;
+      remove(slots, idx);
+      return idx;
+    }
+
+    /// Unlinks everything (stop path). Jumping the generation past the ring
+    /// window forces every journal consumer into a full rescan.
+    void clear(std::vector<Slot>& slots) {
+      for (std::size_t i = head; i != kNoSlot;) {
+        const std::size_t next = slots[i].q_next;
+        slots[i].q_prev = slots[i].q_next = kNoSlot;
+        i = next;
+      }
+      head = tail = kNoSlot;
+      count = 0;
+      log_gen += kWindow + 1;
+    }
   };
 
   struct EntryCore {
@@ -185,9 +287,9 @@ class Object {
     std::size_t icept_params = 0;
     std::size_t icept_results = 0;
     std::vector<Slot> slots;
-    std::deque<CallRecord> overflow;   ///< waiting to attach (FIFO)
-    std::deque<std::size_t> attached;  ///< slots awaiting accept (FIFO)
-    std::deque<std::size_t> ready;     ///< slots ready to terminate (FIFO)
+    std::deque<CallRecord> overflow;  ///< waiting to attach (FIFO)
+    SlotQueue attached;               ///< slots awaiting accept (FIFO)
+    SlotQueue ready;                  ///< slots ready to terminate (FIFO)
     std::atomic<std::size_t> pending{0};  ///< #P, lock-free mirror
     /// Intercepted calls pushed to the intake but not yet drained; #P
     /// counts them so callers polling pending() see an arrival immediately.
@@ -264,6 +366,7 @@ class Object {
 
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> guard_inval_gen_{1};
   support::Event stop_done_;
 };
 

@@ -8,6 +8,14 @@
 
 namespace alps {
 
+namespace {
+
+/// Heap slot value for the single pseudo-candidate of receive/when guards
+/// (their cache lives at SlotCache index 0).
+constexpr std::uint32_t kNoCacheSlot = 0xffffffffu;
+
+}  // namespace
+
 Select::Select() = default;
 Select::~Select() = default;
 
@@ -18,6 +26,7 @@ Select& Select::on(AcceptGuard g) {
   rec.when_v = std::move(g.when_fn);
   rec.pri_v = std::move(g.pri_fn);
   rec.on_accept = std::move(g.then_fn);
+  rec.always_reeval = g.reeval;
   guards_.push_back(std::move(rec));
   return *this;
 }
@@ -29,6 +38,7 @@ Select& Select::on(AwaitGuard g) {
   rec.when_v = std::move(g.when_fn);
   rec.pri_v = std::move(g.pri_fn);
   rec.on_await = std::move(g.then_fn);
+  rec.always_reeval = g.reeval;
   guards_.push_back(std::move(rec));
   return *this;
 }
@@ -40,6 +50,7 @@ Select& Select::on(ReceiveGuard g) {
   rec.when_v = std::move(g.when_fn);
   rec.pri_v = std::move(g.pri_fn);
   rec.on_receive = std::move(g.then_fn);
+  rec.always_reeval = g.reeval;
   guards_.push_back(std::move(rec));
   return *this;
 }
@@ -50,6 +61,7 @@ Select& Select::on(WhenGuard g) {
   rec.when_b = std::move(g.cond);
   rec.pri_b = std::move(g.pri_fn);
   rec.on_when = std::move(g.then_fn);
+  rec.always_reeval = true;  // reads arbitrary state by construction
   guards_.push_back(std::move(rec));
   return *this;
 }
@@ -88,170 +100,347 @@ void ChannelObservers::add(ChannelRef channel, Object* obj) {
   regs_.emplace_back(std::move(channel), token);
 }
 
+// ---------------------------------------------------------------------------
+// Incremental engine
+// ---------------------------------------------------------------------------
+
+bool Select::index_before(const IndexEntry& a, const IndexEntry& b) {
+  if (a.pri != b.pri) return a.pri < b.pri;
+  return a.seq < b.seq;
+}
+
+void Select::push_entry(std::size_t gi, std::uint32_t slot, SlotCache& c,
+                        std::int64_t pri) {
+  if (!c.in_index) ++live_count_;
+  // If a live entry existed (pri changed), it turns to garbage here: c.seq
+  // moves on and lazy deletion discards the old key at pop or compaction.
+  c.seq = next_seq_++;
+  c.pri = pri;
+  c.eligible = true;
+  c.in_index = true;
+  index_.push_back(IndexEntry{pri, c.seq,
+                              static_cast<std::uint32_t>(gi), slot});
+  std::push_heap(index_.begin(), index_.end(),
+                 [](const IndexEntry& a, const IndexEntry& b) {
+                   return index_before(b, a);
+                 });
+}
+
+Select::SlotCache& Select::cache_of(const IndexEntry& e) {
+  return state_[e.guard].slots[e.slot == kNoCacheSlot ? 0 : e.slot];
+}
+
+bool Select::entry_live(const IndexEntry& e) const {
+  const GuardState& st = state_[e.guard];
+  const SlotCache& c = st.slots[e.slot == kNoCacheSlot ? 0 : e.slot];
+  return c.in_index && c.seq == e.seq;
+}
+
+bool Select::validate_top(Object* obj, const IndexEntry& e) const {
+  const GuardRec& g = guards_[e.guard];
+  switch (g.kind) {
+    case Kind::kAccept:
+    case Kind::kAwait: {
+      // The cache can outlive the kernel event that retires a slot when the
+      // guard last synced via full rescan (rescans visit current members
+      // only); the kernel state is the ground truth at commit time.
+      const Object::EntryCore& ec = obj->core(g.entry.index());
+      const Object::Slot& s = ec.slots[e.slot];
+      const auto want = g.kind == Kind::kAccept ? Object::SlotState::kAttached
+                                                : Object::SlotState::kReady;
+      const SlotCache& c = state_[e.guard].slots[e.slot];
+      return s.state == want && s.call && s.call->id == c.key;
+    }
+    case Kind::kReceive:
+    case Kind::kWhen:
+      // Receive commits revalidate against the channel (take_front_if);
+      // when-guards were re-evaluated in this very pass.
+      return true;
+  }
+  return false;
+}
+
+void Select::consider_slot(std::size_t gi, Object* obj, std::size_t slot_idx,
+                          bool force) {
+  GuardRec& g = guards_[gi];
+  GuardState& st = state_[gi];
+  Object::EntryCore& e = obj->core(g.entry.index());
+  const Object::Slot& s = e.slots[slot_idx];
+  SlotCache& c = st.slots[slot_idx];
+  const std::uint64_t call_id = s.call->id;
+
+  if (!force && c.key == call_id) {
+    // Cached evaluation of the same call's values: closures are pure in
+    // their argument (the always_reeval contract), so the verdict stands.
+    // Re-insert only if the live entry was consumed out from under a still-
+    // eligible candidate (e.g. a slot removed and re-attached with the same
+    // call within one replay window — the removal retired the fresh entry).
+    if (c.eligible && !c.in_index) {
+      push_entry(gi, static_cast<std::uint32_t>(slot_idx), c, c.pri);
+    }
+    return;
+  }
+
+  bool eligible = false;
+  std::int64_t pri = 0;
+  if (g.kind == Kind::kAccept) {
+    // View of the intercepted parameter prefix (scratch buffer: capacity is
+    // reused across evaluations, no per-candidate allocation steady-state).
+    scratch_view_.assign(s.call->params.begin(),
+                         s.call->params.begin() +
+                             static_cast<std::ptrdiff_t>(e.icept_params));
+    eligible = !g.when_v || g.when_v(scratch_view_);
+    if (eligible) pri = g.pri_v ? g.pri_v(scratch_view_) : 0;
+  } else {
+    eligible = !g.when_v || g.when_v(s.mgr_results);
+    if (eligible) pri = g.pri_v ? g.pri_v(s.mgr_results) : 0;
+  }
+
+  c.key = call_id;
+  if (!eligible) {
+    if (c.in_index) --live_count_;
+    c.eligible = false;
+    c.in_index = false;
+    return;
+  }
+  if (c.in_index && c.eligible && c.pri == pri) {
+    // Continuously eligible with unchanged pri: keep the entry and its seq,
+    // preserving the candidate's place among equal-pri peers.
+    return;
+  }
+  push_entry(gi, static_cast<std::uint32_t>(slot_idx), c, pri);
+}
+
+void Select::update_mono_cache(std::size_t gi, std::uint64_t key,
+                               bool eligible, std::int64_t pri) {
+  SlotCache& c = state_[gi].slots[0];
+  c.key = key;
+  if (!eligible) {
+    if (c.in_index) --live_count_;
+    c.eligible = false;
+    c.in_index = false;
+    return;
+  }
+  if (c.in_index && c.eligible && c.pri == pri) return;  // keep seq
+  push_entry(gi, kNoCacheSlot, c, pri);
+}
+
+void Select::sync_guard(Object* obj, std::size_t gi, bool invalidated) {
+  GuardRec& g = guards_[gi];
+  GuardState& st = state_[gi];
+  switch (g.kind) {
+    case Kind::kAccept:
+    case Kind::kAwait: {
+      Object::EntryCore& e = obj->core(g.entry.index());
+      Object::SlotQueue& q =
+          g.kind == Kind::kAccept ? e.attached : e.ready;
+      if (st.slots.size() < e.slots.size()) st.slots.resize(e.slots.size());
+      const bool force = g.always_reeval || !st.primed || invalidated;
+      if (!force) {
+        if (st.src_gen == q.log_gen) return;  // source unchanged: all cached
+        const std::uint64_t behind = q.log_gen - st.src_gen;
+        if (behind <= Object::SlotQueue::kWindow) {
+          // Replay exactly the membership deltas since the last sync.
+          for (std::uint64_t p = st.src_gen; p != q.log_gen; ++p) {
+            const Object::SlotDelta& d =
+                q.log[p % Object::SlotQueue::kWindow];
+            SlotCache& c = st.slots[d.slot];
+            if (!d.added) {
+              if (c.in_index) --live_count_;
+              c.in_index = false;
+              c.eligible = false;
+              continue;
+            }
+            // The slot may have left the list again later in the window;
+            // only evaluate content that is currently live for this guard.
+            const auto want = g.kind == Kind::kAccept
+                                  ? Object::SlotState::kAttached
+                                  : Object::SlotState::kReady;
+            if (e.slots[d.slot].state == want) {
+              consider_slot(gi, obj, d.slot, /*force=*/false);
+            }
+          }
+          st.src_gen = q.log_gen;
+          st.primed = true;
+          return;
+        }
+      }
+      // Too far behind (or forced): full rescan of the current members.
+      // Departed slots' stale entries are caught by validate_top at pop.
+      for (std::size_t i = q.front(); i != kNoSlot; i = e.slots[i].q_next) {
+        consider_slot(gi, obj, i, force);
+      }
+      st.src_gen = q.log_gen;
+      st.primed = true;
+      return;
+    }
+    case Kind::kReceive: {
+      if (st.slots.empty()) st.slots.resize(1);
+      const std::uint64_t fg = g.channel->front_gen();
+      const bool force = g.always_reeval || !st.primed || invalidated;
+      if (!force && st.src_gen == fg) {
+        // Same front message; re-insert if the entry was consumed by a
+        // commit that raced away.
+        SlotCache& c = st.slots[0];
+        if (c.eligible && !c.in_index) push_entry(gi, kNoCacheSlot, c, c.pri);
+        return;
+      }
+      bool eligible = false;
+      std::int64_t pri = 0;
+      g.channel->peek_front([&](const ValueList& msg) {
+        if (g.when_v && !g.when_v(msg)) return;
+        eligible = true;
+        pri = g.pri_v ? g.pri_v(msg) : 0;
+      });
+      update_mono_cache(gi, fg, eligible, pri);
+      st.src_gen = fg;
+      st.primed = true;
+      return;
+    }
+    case Kind::kWhen: {
+      if (st.slots.empty()) st.slots.resize(1);
+      const bool eligible = g.when_b && g.when_b();
+      const std::int64_t pri = (eligible && g.pri_b) ? g.pri_b() : 0;
+      update_mono_cache(gi, 0, eligible, pri);
+      st.primed = true;
+      return;
+    }
+  }
+}
+
+void Select::compact_index() {
+  // Lazy deletion leaves garbage keys in the heap; squeeze them out once
+  // they dominate (amortized — live_count_ makes the trigger O(1)).
+  if (index_.size() <= 64 || index_.size() <= 2 * live_count_) return;
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < index_.size(); ++r) {
+    if (entry_live(index_[r])) index_[w++] = index_[r];
+  }
+  index_.resize(w);
+  std::make_heap(index_.begin(), index_.end(),
+                 [](const IndexEntry& a, const IndexEntry& b) {
+                   return index_before(b, a);
+                 });
+}
+
 Select::Fired Select::select_impl(Manager& m) {
+  if (naive_polling_) return select_impl_naive(m);
   Object* obj = m.obj_;
   ChannelObservers observers;
   bool observers_registered = false;
 
-  struct Candidate {
-    std::size_t guard_idx = 0;
-    std::size_t slot = kNoSlot;
-    std::int64_t pri = 0;
-  };
-  std::vector<Candidate> candidates;
+  if (state_.size() != guards_.size()) {
+    // First selection (or guards added since): start cold.
+    state_.assign(guards_.size(), GuardState{});
+    index_.clear();
+    live_count_ = 0;
+  }
+  bool any_waitable = false;
+  for (const auto& g : guards_) {
+    if (g.kind != Kind::kWhen) any_waitable = true;
+  }
 
   for (;;) {
     // Epoch ticket taken before the kernel lock: any event signalled after
-    // this point (call intake, body completion, channel send, stop) makes
-    // the tail wait return immediately instead of sleeping.
+    // this point (call intake, body completion, channel send, external
+    // invalidation, stop) makes the tail wait return immediately.
     support::EventCount::Ticket ticket(obj->mgr_wake_);
     bool need_observers = false;
     {
-    std::unique_lock lock(obj->mu_);
-    if (obj->stop_source_.stop_requested()) {
-      raise(ErrorCode::kObjectStopped, "object " + obj->name() + " stopping");
-    }
-    obj->drain_intake_locked();
+      std::unique_lock lock(obj->mu_);
+      if (obj->stop_source_.stop_requested()) {
+        raise(ErrorCode::kObjectStopped,
+              "object " + obj->name() + " stopping");
+      }
+      obj->drain_intake_locked();
 
-    candidates.clear();
-    bool any_waitable = false;
-    for (std::size_t gi = 0; gi < guards_.size(); ++gi) {
-      GuardRec& g = guards_[gi];
-      switch (g.kind) {
-        case Kind::kAccept: {
-          any_waitable = true;
-          Object::EntryCore& e = obj->core(g.entry.index());
-          auto consider = [&](std::size_t slot_idx) {
-            const Object::Slot& s = e.slots[slot_idx];
-            // View of the intercepted parameter prefix.
-            ValueList view(s.call->params.begin(),
-                           s.call->params.begin() +
-                               static_cast<std::ptrdiff_t>(e.icept_params));
-            if (g.when_v && !g.when_v(view)) return;
-            const std::int64_t pri = g.pri_v ? g.pri_v(view) : 0;
-            candidates.push_back(Candidate{gi, slot_idx, pri});
-          };
-          if (naive_polling_) {
-            // Deliberately wasteful O(N) scan over the whole procedure
-            // array (experiment E9's strawman).
-            for (std::size_t i = 0; i < e.slots.size(); ++i) {
-              if (e.slots[i].state == Object::SlotState::kAttached) {
-                consider(i);
-              }
-            }
-          } else {
-            for (std::size_t slot_idx : e.attached) consider(slot_idx);
-          }
-          break;
+      // Loaded after the ticket: an invalidation bumped later signals the
+      // event and the tail wait returns for a re-sync next pass.
+      const std::uint64_t inval = obj->guard_inval_gen();
+      const bool invalidated = inval != seen_inval_gen_;
+      for (std::size_t gi = 0; gi < guards_.size(); ++gi) {
+        sync_guard(obj, gi, invalidated);
+      }
+      seen_inval_gen_ = inval;
+      compact_index();
+
+      // Pick-best: pop until a live, kernel-confirmed entry surfaces.
+      while (!index_.empty()) {
+        std::pop_heap(index_.begin(), index_.end(),
+                      [](const IndexEntry& a, const IndexEntry& b) {
+                        return index_before(b, a);
+                      });
+        const IndexEntry top = index_.back();
+        index_.pop_back();
+        if (!entry_live(top)) continue;  // lazily deleted
+        SlotCache& c = cache_of(top);
+        c.in_index = false;  // consumed (or retired just below)
+        --live_count_;
+        if (!validate_top(obj, top)) {
+          c.eligible = false;
+          continue;
         }
-        case Kind::kAwait: {
-          any_waitable = true;
-          Object::EntryCore& e = obj->core(g.entry.index());
-          auto consider = [&](std::size_t slot_idx) {
-            const Object::Slot& s = e.slots[slot_idx];
-            if (g.when_v && !g.when_v(s.mgr_results)) return;
-            const std::int64_t pri = g.pri_v ? g.pri_v(s.mgr_results) : 0;
-            candidates.push_back(Candidate{gi, slot_idx, pri});
-          };
-          if (naive_polling_) {
-            for (std::size_t i = 0; i < e.slots.size(); ++i) {
-              if (e.slots[i].state == Object::SlotState::kReady) consider(i);
-            }
-          } else {
-            for (std::size_t slot_idx : e.ready) consider(slot_idx);
+
+        GuardRec& g = guards_[top.guard];
+        Fired fired;
+        fired.guard_idx = top.guard;
+        switch (g.kind) {
+          case Kind::kAccept: {
+            Object::EntryCore& e = obj->core(g.entry.index());
+            Object::Slot& s = e.slots[top.slot];
+            e.attached.remove(e.slots, top.slot);
+            s.state = Object::SlotState::kAccepted;
+            ++e.accepts;
+            obj->update_pending_locked(e);
+            obj->trace(e, s.call->id, top.slot, CallPhase::kAccepted);
+            // The only journal event since this guard's sync is our own
+            // removal; absorb it so the next pass replays nothing.
+            state_[top.guard].src_gen = e.attached.log_gen;
+            fired.accepted.entry = g.entry.index();
+            fired.accepted.slot = top.slot;
+            fired.accepted.params.assign(
+                s.call->params.begin(),
+                s.call->params.begin() +
+                    static_cast<std::ptrdiff_t>(e.icept_params));
+            return fired;
           }
-          break;
-        }
-        case Kind::kReceive: {
-          any_waitable = true;
-          bool eligible = false;
-          std::int64_t pri = 0;
-          g.channel->peek_front([&](const ValueList& msg) {
-            if (g.when_v && !g.when_v(msg)) return;
-            eligible = true;
-            pri = g.pri_v ? g.pri_v(msg) : 0;
-          });
-          if (eligible) candidates.push_back(Candidate{gi, kNoSlot, pri});
-          break;
-        }
-        case Kind::kWhen: {
-          if (g.when_b && g.when_b()) {
-            const std::int64_t pri = g.pri_b ? g.pri_b() : 0;
-            candidates.push_back(Candidate{gi, kNoSlot, pri});
+          case Kind::kAwait: {
+            Object::EntryCore& e = obj->core(g.entry.index());
+            Object::Slot& s = e.slots[top.slot];
+            e.ready.remove(e.slots, top.slot);
+            s.state = Object::SlotState::kAwaited;
+            state_[top.guard].src_gen = e.ready.log_gen;
+            fired.awaited.entry = g.entry.index();
+            fired.awaited.slot = top.slot;
+            fired.awaited.results = std::move(s.mgr_results);
+            fired.awaited.failed = (s.body_error != nullptr);
+            return fired;
           }
-          break;
+          case Kind::kReceive: {
+            // Commit must revalidate: another receiver may have consumed
+            // the message between the cached peek and now (channels are
+            // point-to-point by convention, not enforcement).
+            auto msg = g.channel->take_front_if([&](const ValueList& front) {
+              return !g.when_v || g.when_v(front);
+            });
+            // Raced away: the front generation moved, so the guard re-syncs
+            // next pass; meanwhile fall through to the next-best candidate.
+            if (!msg) continue;
+            fired.message = std::move(*msg);
+            return fired;
+          }
+          case Kind::kWhen:
+            return fired;
         }
       }
-    }
 
-    if (!candidates.empty()) {
-      // Smallest pri wins (paper: "among the guarded commands that are
-      // eligible for selection, one with the smallest pri value will be
-      // selected"); ties rotate for fairness across guards.
-      std::int64_t best = std::numeric_limits<std::int64_t>::max();
-      for (const auto& c : candidates) best = std::min(best, c.pri);
-      std::vector<std::size_t> tied;
-      for (std::size_t i = 0; i < candidates.size(); ++i) {
-        if (candidates[i].pri == best) tied.push_back(i);
+      if (!any_waitable) {
+        raise(ErrorCode::kNoEligibleGuard,
+              "select on object " + obj->name() +
+                  ": no eligible guard and no event source to wait on");
       }
-      const Candidate chosen = candidates[tied[rotation_++ % tied.size()]];
-      GuardRec& g = guards_[chosen.guard_idx];
 
-      Fired fired;
-      fired.guard_idx = chosen.guard_idx;
-      switch (g.kind) {
-        case Kind::kAccept: {
-          Object::EntryCore& e = obj->core(g.entry.index());
-          Object::Slot& s = e.slots[chosen.slot];
-          auto it = std::find(e.attached.begin(), e.attached.end(), chosen.slot);
-          e.attached.erase(it);
-          s.state = Object::SlotState::kAccepted;
-          ++e.accepts;
-          obj->update_pending_locked(e);
-          obj->trace(e, s.call->id, chosen.slot, CallPhase::kAccepted);
-          fired.accepted.entry = g.entry.index();
-          fired.accepted.slot = chosen.slot;
-          fired.accepted.params.assign(
-              s.call->params.begin(),
-              s.call->params.begin() +
-                  static_cast<std::ptrdiff_t>(e.icept_params));
-          return fired;
-        }
-        case Kind::kAwait: {
-          Object::EntryCore& e = obj->core(g.entry.index());
-          Object::Slot& s = e.slots[chosen.slot];
-          auto it = std::find(e.ready.begin(), e.ready.end(), chosen.slot);
-          e.ready.erase(it);
-          s.state = Object::SlotState::kAwaited;
-          fired.awaited.entry = g.entry.index();
-          fired.awaited.slot = chosen.slot;
-          fired.awaited.results = std::move(s.mgr_results);
-          fired.awaited.failed = (s.body_error != nullptr);
-          return fired;
-        }
-        case Kind::kReceive: {
-          // Commit must revalidate: in principle another receiver could have
-          // consumed the message between peek and now (channels are
-          // point-to-point by convention, not enforcement).
-          auto msg = g.channel->take_front_if([&](const ValueList& front) {
-            return !g.when_v || g.when_v(front);
-          });
-          if (!msg) continue;  // raced away; re-evaluate from scratch
-          fired.message = std::move(*msg);
-          return fired;
-        }
-        case Kind::kWhen:
-          return fired;
-      }
-    }
-
-    if (!any_waitable) {
-      raise(ErrorCode::kNoEligibleGuard,
-            "select on object " + obj->name() +
-                ": no eligible guard and no event source to wait on");
-    }
-
-    if (!observers_registered) need_observers = true;
+      if (!observers_registered) need_observers = true;
     }  // kernel lock released
 
     if (need_observers) {
@@ -259,6 +448,165 @@ Select::Fired Select::select_impl(Manager& m) {
       // arrived before registration must not be missed. (Registration
       // bumps the channel's observer count, so sends from here on signal
       // mgr_wake_; the fresh ticket on the next iteration covers them.)
+      for (auto& g : guards_) {
+        if (g.kind == Kind::kReceive) observers.add(g.channel, obj);
+      }
+      observers_registered = true;
+      continue;
+    }
+
+    ticket.wait();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Naive strawman (experiment E9, and the differential-test baseline):
+// rescan every guard and re-run every closure on every wakeup.
+// ---------------------------------------------------------------------------
+
+Select::Fired Select::select_impl_naive(Manager& m) {
+  Object* obj = m.obj_;
+  ChannelObservers observers;
+  bool observers_registered = false;
+
+  for (;;) {
+    support::EventCount::Ticket ticket(obj->mgr_wake_);
+    bool need_observers = false;
+    {
+      std::unique_lock lock(obj->mu_);
+      if (obj->stop_source_.stop_requested()) {
+        raise(ErrorCode::kObjectStopped,
+              "object " + obj->name() + " stopping");
+      }
+      obj->drain_intake_locked();
+
+      scratch_candidates_.clear();
+      bool any_waitable = false;
+      for (std::size_t gi = 0; gi < guards_.size(); ++gi) {
+        GuardRec& g = guards_[gi];
+        switch (g.kind) {
+          case Kind::kAccept:
+          case Kind::kAwait: {
+            any_waitable = true;
+            Object::EntryCore& e = obj->core(g.entry.index());
+            const auto want = g.kind == Kind::kAccept
+                                  ? Object::SlotState::kAttached
+                                  : Object::SlotState::kReady;
+            // Deliberately wasteful O(N) scan over the whole procedure
+            // array (experiment E9's strawman).
+            for (std::size_t i = 0; i < e.slots.size(); ++i) {
+              const Object::Slot& s = e.slots[i];
+              if (s.state != want) continue;
+              if (g.kind == Kind::kAccept) {
+                scratch_view_.assign(
+                    s.call->params.begin(),
+                    s.call->params.begin() +
+                        static_cast<std::ptrdiff_t>(e.icept_params));
+                if (g.when_v && !g.when_v(scratch_view_)) continue;
+                const std::int64_t pri =
+                    g.pri_v ? g.pri_v(scratch_view_) : 0;
+                scratch_candidates_.push_back(NaiveCandidate{gi, i, pri});
+              } else {
+                if (g.when_v && !g.when_v(s.mgr_results)) continue;
+                const std::int64_t pri =
+                    g.pri_v ? g.pri_v(s.mgr_results) : 0;
+                scratch_candidates_.push_back(NaiveCandidate{gi, i, pri});
+              }
+            }
+            break;
+          }
+          case Kind::kReceive: {
+            any_waitable = true;
+            bool eligible = false;
+            std::int64_t pri = 0;
+            g.channel->peek_front([&](const ValueList& msg) {
+              if (g.when_v && !g.when_v(msg)) return;
+              eligible = true;
+              pri = g.pri_v ? g.pri_v(msg) : 0;
+            });
+            if (eligible) {
+              scratch_candidates_.push_back(NaiveCandidate{gi, kNoSlot, pri});
+            }
+            break;
+          }
+          case Kind::kWhen: {
+            if (g.when_b && g.when_b()) {
+              const std::int64_t pri = g.pri_b ? g.pri_b() : 0;
+              scratch_candidates_.push_back(NaiveCandidate{gi, kNoSlot, pri});
+            }
+            break;
+          }
+        }
+      }
+
+      if (!scratch_candidates_.empty()) {
+        // Smallest pri wins (paper: "among the guarded commands that are
+        // eligible for selection, one with the smallest pri value will be
+        // selected"); ties rotate for fairness across guards.
+        std::int64_t best = std::numeric_limits<std::int64_t>::max();
+        for (const auto& c : scratch_candidates_) best = std::min(best, c.pri);
+        scratch_tied_.clear();
+        for (std::size_t i = 0; i < scratch_candidates_.size(); ++i) {
+          if (scratch_candidates_[i].pri == best) scratch_tied_.push_back(i);
+        }
+        const NaiveCandidate chosen =
+            scratch_candidates_[scratch_tied_[rotation_++ %
+                                              scratch_tied_.size()]];
+        GuardRec& g = guards_[chosen.guard_idx];
+
+        Fired fired;
+        fired.guard_idx = chosen.guard_idx;
+        switch (g.kind) {
+          case Kind::kAccept: {
+            Object::EntryCore& e = obj->core(g.entry.index());
+            Object::Slot& s = e.slots[chosen.slot];
+            e.attached.remove(e.slots, chosen.slot);
+            s.state = Object::SlotState::kAccepted;
+            ++e.accepts;
+            obj->update_pending_locked(e);
+            obj->trace(e, s.call->id, chosen.slot, CallPhase::kAccepted);
+            fired.accepted.entry = g.entry.index();
+            fired.accepted.slot = chosen.slot;
+            fired.accepted.params.assign(
+                s.call->params.begin(),
+                s.call->params.begin() +
+                    static_cast<std::ptrdiff_t>(e.icept_params));
+            return fired;
+          }
+          case Kind::kAwait: {
+            Object::EntryCore& e = obj->core(g.entry.index());
+            Object::Slot& s = e.slots[chosen.slot];
+            e.ready.remove(e.slots, chosen.slot);
+            s.state = Object::SlotState::kAwaited;
+            fired.awaited.entry = g.entry.index();
+            fired.awaited.slot = chosen.slot;
+            fired.awaited.results = std::move(s.mgr_results);
+            fired.awaited.failed = (s.body_error != nullptr);
+            return fired;
+          }
+          case Kind::kReceive: {
+            auto msg = g.channel->take_front_if([&](const ValueList& front) {
+              return !g.when_v || g.when_v(front);
+            });
+            if (!msg) continue;  // raced away; re-evaluate from scratch
+            fired.message = std::move(*msg);
+            return fired;
+          }
+          case Kind::kWhen:
+            return fired;
+        }
+      }
+
+      if (!any_waitable) {
+        raise(ErrorCode::kNoEligibleGuard,
+              "select on object " + obj->name() +
+                  ": no eligible guard and no event source to wait on");
+      }
+
+      if (!observers_registered) need_observers = true;
+    }  // kernel lock released
+
+    if (need_observers) {
       for (auto& g : guards_) {
         if (g.kind == Kind::kReceive) observers.add(g.channel, obj);
       }

@@ -6,6 +6,7 @@
 //   Select()
 //     .on(accept_guard(deposit)
 //           .when([&](const ValueList&) { return count < N; })
+//           .always_reeval()  // closure reads manager-local state
 //           .then([&](Accepted a) { m.execute(a); ++count; }))
 //     .on(await_guard(deposit)
 //           .then([&](Awaited w) { m.finish(w); }))
@@ -13,9 +14,25 @@
 //
 // An accept/await guard stands for the whole family `(i:1..N) accept P[i]`;
 // every eligible slot is a separate candidate, so `when`/`pri` can depend on
-// each call's own values (e.g. shortest-seek-first scheduling). Eligibility
-// checks use the kernel's indexed ready lists (O(ready), not O(N) polls —
-// the waste the paper's §3 warns about; bench_guard_scan quantifies it).
+// each call's own values (e.g. shortest-seek-first scheduling).
+//
+// Selection is delta-driven (DESIGN.md §4.4): every event source carries a
+// generation counter (the attached/ready queues' journals, the channels'
+// front generation, the object's external-event epoch), and the selector
+// caches each candidate's `when`/`pri` evaluation keyed on the generation it
+// was computed at. A wakeup replays only the membership deltas of sources
+// that actually moved; unchanged closures are never re-run. Eligible
+// candidates live in a persistent min-heap keyed (pri, insertion seq) —
+// pick-best is O(log n) rather than a rescan of guards × slots, and the seq
+// key round-robins equal-pri candidates because a fired candidate re-enters
+// behind its peers.
+//
+// Caching contract: `when`/`pri` closures are treated as pure functions of
+// the candidate's values. A guard whose closures read mutable state (the
+// enclosing manager's locals, clocks, #P, ...) must opt out with
+// `.always_reeval()`; plain when-guards (`when B => S`) re-evaluate
+// implicitly, and `Object::notify_external_event()` discards every cached
+// result for callers that mutate state the kernel cannot see.
 #pragma once
 
 #include <cstdint>
@@ -35,7 +52,9 @@ class Object;
 /// Acceptance condition: sees the tentatively received values (intercepted
 /// params for accept, intercepted+hidden results for await, the message for
 /// receive). Must be side-effect free; it runs under the kernel lock and may
-/// be evaluated for candidates that end up not selected.
+/// be evaluated for candidates that end up not selected. Unless the guard is
+/// marked `always_reeval`, it must also be a pure function of its argument —
+/// the selector caches its result per candidate.
 using ValuePred = std::function<bool(const ValueList&)>;
 /// Run-time priority (`pri E`); smaller is more urgent. Same restrictions.
 using ValuePri = std::function<std::int64_t(const ValueList&)>;
@@ -45,6 +64,7 @@ struct AcceptGuard {
   ValuePred when_fn;
   ValuePri pri_fn;
   std::function<void(Accepted)> then_fn;
+  bool reeval = false;
 
   AcceptGuard&& when(ValuePred p) && {
     when_fn = std::move(p);
@@ -52,6 +72,12 @@ struct AcceptGuard {
   }
   AcceptGuard&& pri(ValuePri p) && {
     pri_fn = std::move(p);
+    return std::move(*this);
+  }
+  /// Marks the `when`/`pri` closures as reading mutable state beyond their
+  /// argument: the selector re-runs them on every pass instead of caching.
+  AcceptGuard&& always_reeval() && {
+    reeval = true;
     return std::move(*this);
   }
   AcceptGuard&& then(std::function<void(Accepted)> h) && {
@@ -65,6 +91,7 @@ struct AwaitGuard {
   ValuePred when_fn;
   ValuePri pri_fn;
   std::function<void(Awaited)> then_fn;
+  bool reeval = false;
 
   AwaitGuard&& when(ValuePred p) && {
     when_fn = std::move(p);
@@ -72,6 +99,10 @@ struct AwaitGuard {
   }
   AwaitGuard&& pri(ValuePri p) && {
     pri_fn = std::move(p);
+    return std::move(*this);
+  }
+  AwaitGuard&& always_reeval() && {
+    reeval = true;
     return std::move(*this);
   }
   AwaitGuard&& then(std::function<void(Awaited)> h) && {
@@ -85,6 +116,7 @@ struct ReceiveGuard {
   ValuePred when_fn;
   ValuePri pri_fn;
   std::function<void(ValueList)> then_fn;
+  bool reeval = false;
 
   ReceiveGuard&& when(ValuePred p) && {
     when_fn = std::move(p);
@@ -94,13 +126,18 @@ struct ReceiveGuard {
     pri_fn = std::move(p);
     return std::move(*this);
   }
+  ReceiveGuard&& always_reeval() && {
+    reeval = true;
+    return std::move(*this);
+  }
   ReceiveGuard&& then(std::function<void(ValueList)> h) && {
     then_fn = std::move(h);
     return std::move(*this);
   }
 };
 
-/// A pure boolean guard (`when B => S`).
+/// A pure boolean guard (`when B => S`). Its condition reads arbitrary
+/// state by construction, so it is implicitly always re-evaluated.
 struct WhenGuard {
   std::function<bool()> cond;
   std::function<std::int64_t()> pri_fn;
@@ -116,7 +153,9 @@ struct WhenGuard {
   }
 };
 
-inline AcceptGuard accept_guard(EntryRef e) { return AcceptGuard{e, {}, {}, {}}; }
+inline AcceptGuard accept_guard(EntryRef e) {
+  return AcceptGuard{e, {}, {}, {}};
+}
 inline AwaitGuard await_guard(EntryRef e) { return AwaitGuard{e, {}, {}, {}}; }
 inline ReceiveGuard receive_guard(ChannelRef c) {
   return ReceiveGuard{std::move(c), {}, {}, {}};
@@ -149,9 +188,10 @@ class Select {
   /// normally on stop.
   void loop(Manager& m);
 
-  /// Enables the naive O(N) slot-scan eligibility check instead of the
-  /// indexed ready lists — the wasteful strategy §3 warns about. Exists for
-  /// experiment E9 only.
+  /// Enables the naive O(N) slot-scan eligibility check that re-runs every
+  /// closure on every wakeup — the wasteful strategy §3 warns about, and the
+  /// differential baseline the incremental engine is tested against. Exists
+  /// for experiment E9 (and that test).
   Select& use_naive_polling(bool enable);
 
   std::size_t guard_count() const { return guards_.size(); }
@@ -161,16 +201,52 @@ class Select {
 
   struct GuardRec {
     Kind kind;
-    EntryRef entry;           // accept/await
-    ChannelRef channel;       // receive
+    EntryRef entry;      // accept/await
+    ChannelRef channel;  // receive
     ValuePred when_v;
     ValuePri pri_v;
-    std::function<bool()> when_b;          // when-guard condition
-    std::function<std::int64_t()> pri_b;   // when-guard priority
+    std::function<bool()> when_b;         // when-guard condition
+    std::function<std::int64_t()> pri_b;  // when-guard priority
     std::function<void(Accepted)> on_accept;
     std::function<void(Awaited)> on_await;
     std::function<void(ValueList)> on_receive;
     std::function<void()> on_when;
+    /// Closures read mutable state: never skip them via the cache.
+    bool always_reeval = false;
+  };
+
+  /// Cached evaluation of one candidate (a slot for accept/await guards;
+  /// the single pseudo-candidate of a receive/when guard).
+  struct SlotCache {
+    /// Which evaluation the cache holds: the call id for accept/await (calls
+    /// never re-attach, so an id match proves same values), the channel
+    /// front generation for receive. 0 = never evaluated.
+    std::uint64_t key = 0;
+    /// Heap insertion seq of the live index entry (meaningful iff in_index).
+    std::uint64_t seq = 0;
+    std::int64_t pri = 0;
+    bool eligible = false;
+    /// A live heap entry for this candidate exists (with seq above). Heap
+    /// entries are lazily deleted: anything disagreeing with the cache is
+    /// garbage, discarded at pop or compaction.
+    bool in_index = false;
+  };
+
+  struct GuardState {
+    bool primed = false;      ///< evaluated at least once
+    std::uint64_t src_gen = 0;  ///< source generation at last sync
+    std::vector<SlotCache> slots;
+  };
+
+  /// Persistent priority-index entry: min by (pri, seq). seq is assigned at
+  /// insertion and kept while the candidate stays eligible with unchanged
+  /// pri; a fired candidate re-inserts with a fresh seq and thus queues
+  /// behind equal-pri peers — rotation fairness falls out of the key.
+  struct IndexEntry {
+    std::int64_t pri = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t guard = 0;
+    std::uint32_t slot = 0;  ///< kNoCacheSlot for receive/when
   };
 
   struct Fired {
@@ -181,10 +257,40 @@ class Select {
   };
 
   Fired select_impl(Manager& m);
+  Fired select_impl_naive(Manager& m);
+
+  // -- incremental engine internals (all require the kernel lock) --
+  static bool index_before(const IndexEntry& a, const IndexEntry& b);
+  void sync_guard(Object* obj, std::size_t gi, bool invalidated);
+  void consider_slot(std::size_t gi, Object* obj, std::size_t slot_idx,
+                     bool force);
+  void update_mono_cache(std::size_t gi, std::uint64_t key, bool eligible,
+                         std::int64_t pri);
+  void push_entry(std::size_t gi, std::uint32_t slot, SlotCache& c,
+                  std::int64_t pri);
+  SlotCache& cache_of(const IndexEntry& e);
+  bool entry_live(const IndexEntry& e) const;
+  bool validate_top(Object* obj, const IndexEntry& e) const;
+  void compact_index();
 
   std::vector<GuardRec> guards_;
-  std::uint64_t rotation_ = 0;
+  std::vector<GuardState> state_;
+  std::vector<IndexEntry> index_;  ///< binary min-heap, lazy deletion
+  std::size_t live_count_ = 0;     ///< non-garbage entries in index_
+  ValueList scratch_view_;         ///< reused intercepted-params view
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t seen_inval_gen_ = 0;
+  std::uint64_t rotation_ = 0;  ///< naive path's tie rotation
   bool naive_polling_ = false;
+  // Scratch buffers for the naive path, reused across iterations (no
+  // per-iteration heap allocation).
+  struct NaiveCandidate {
+    std::size_t guard_idx = 0;
+    std::size_t slot = kNoSlot;
+    std::int64_t pri = 0;
+  };
+  std::vector<NaiveCandidate> scratch_candidates_;
+  std::vector<std::size_t> scratch_tied_;
 };
 
 }  // namespace alps

@@ -447,6 +447,9 @@ void exec_guarded(const Stmt& stmt, Env& env, Frame& frame, Object* obj,
             return eval(*raw, chain, obj).as_int();
           });
         }
+        // Interpreted conditions read the live manager environment (any
+        // variable may change between selections): never cache them.
+        if (g.when || g.pri) ag = std::move(ag).always_reeval();
         const Guard* guard = &g;
         ag = std::move(ag).then([guard, &env, &frame, obj, &ms,
                                  entry_idx](Accepted a) {
@@ -487,6 +490,7 @@ void exec_guarded(const Stmt& stmt, Env& env, Frame& frame, Object* obj,
             return eval(*raw, chain, obj).as_int();
           });
         }
+        if (g.when || g.pri) wg = std::move(wg).always_reeval();
         const Guard* guard = &g;
         wg = std::move(wg).then([guard, &env, &frame, obj, &ms,
                                  entry_idx](Awaited w) {
@@ -531,6 +535,7 @@ void exec_guarded(const Stmt& stmt, Env& env, Frame& frame, Object* obj,
             return eval(*raw, chain, obj).as_int();
           });
         }
+        if (g.when || g.pri) rg = std::move(rg).always_reeval();
         const Guard* guard = &g;
         rg = std::move(rg).then([guard, &env, &frame, obj, &ms](ValueList msg) {
           for (std::size_t i = 0;

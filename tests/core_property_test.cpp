@@ -224,6 +224,139 @@ TEST(KernelFuzz, MixedGuardWorkloadStaysCoherent) {
   EXPECT_EQ(obj.manager_error(), nullptr);
 }
 
+// ---------------------------------------------------------------------------
+// Differential test: the incremental delta-driven select must fire exactly
+// the same guard/value sequence as the naive rescan-everything strawman.
+//
+// Determinism is arranged, not assumed: every candidate carries a globally
+// unique priority (no ties to rotate through), the whole workload is
+// attached/enqueued before the manager opens, and handlers use m.execute so
+// each selection completes synchronously before the next. Under those
+// conditions the fired sequence is a pure function of the workload, and any
+// divergence means the caching/journaling machinery skipped or replayed an
+// event it should not have.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct DiffFire {
+  int guard;
+  std::int64_t tag;
+  bool operator==(const DiffFire&) const = default;
+};
+
+struct DiffRound {
+  std::size_t array;
+  std::vector<std::int64_t> call_tags;  // unique across calls + messages
+  std::vector<std::int64_t> msg_tags;
+  bool with_when_guard;
+  std::int64_t when_trigger;  // fires once `fired.size()` reaches this
+};
+
+std::vector<DiffFire> run_diff_engine(const DiffRound& r, bool naive) {
+  Object obj("Diff", ObjectOptions{.pool_workers = 2});
+  auto e = obj.define_entry({.name = "E", .params = 1, .results = 0});
+  obj.implement(e, ImplDecl{.array = r.array},
+                [](BodyCtx&) -> ValueList { return {}; });
+  ChannelRef chan = make_channel("diff");
+
+  std::vector<DiffFire> fired;
+  const std::size_t total = r.call_tags.size() + r.msg_tags.size() +
+                            (r.with_when_guard ? 1u : 0u);
+  support::Event open;
+  obj.set_manager({intercept(e).params(1)}, [&](Manager& m) {
+    open.wait();
+    Select sel;
+    sel.use_naive_polling(naive);
+    // Guard 0: even tags only, urgent (pri = tag).
+    sel.on(accept_guard(e)
+               .when([](const ValueList& p) { return p[0].as_int() % 2 == 0; })
+               .pri([](const ValueList& p) { return p[0].as_int(); })
+               .then([&](Accepted a) {
+                 fired.push_back(DiffFire{0, a.params[0].as_int()});
+                 m.execute(a);
+               }));
+    // Guard 1: catch-all, deprioritized past every guard-0 candidate.
+    sel.on(accept_guard(e)
+               .pri([](const ValueList& p) { return p[0].as_int() + 1000000; })
+               .then([&](Accepted a) {
+                 fired.push_back(DiffFire{1, a.params[0].as_int()});
+                 m.execute(a);
+               }));
+    if (!r.msg_tags.empty()) {
+      // Guard 2: channel front, competing at the message's own tag.
+      sel.on(receive_guard(chan)
+                 .pri([](const ValueList& msg) { return msg[0].as_int(); })
+                 .then([&](ValueList msg) {
+                   fired.push_back(DiffFire{2, msg[0].as_int()});
+                 }));
+    }
+    if (r.with_when_guard) {
+      // Guard 3: reads mutable manager state (fired count) — implicitly
+      // re-evaluated; preempts everything (pri -1) the pass it turns true.
+      sel.on(when_guard([&] {
+               return fired.size() ==
+                      static_cast<std::size_t>(r.when_trigger);
+             })
+                 .pri([] { return std::int64_t{-1}; })
+                 .then([&] { fired.push_back(DiffFire{3, r.when_trigger}); }));
+    }
+    for (std::size_t i = 0; i < total; ++i) sel.select(m);
+  });
+  obj.start();
+
+  for (std::int64_t t : r.msg_tags) chan->send(vals(t));
+  std::vector<CallHandle> handles;
+  handles.reserve(r.call_tags.size());
+  for (std::int64_t t : r.call_tags) handles.push_back(obj.async_call(e, vals(t)));
+  // Everything must be pending before the manager starts choosing, or the
+  // arrival interleaving would leak into the fired order.
+  while (obj.pending(e) < r.call_tags.size()) std::this_thread::yield();
+  open.set();
+  for (auto& h : handles) h.get();
+  obj.stop();  // joins the manager thread; `fired` is quiescent after this
+  return fired;
+}
+
+}  // namespace
+
+TEST(KernelDifferential, IncrementalSelectMatchesNaivePolling) {
+  constexpr int kRounds = 1100;
+  for (int round = 0; round < kRounds; ++round) {
+    support::Rng rng(0xd1f5u + static_cast<std::uint64_t>(round));
+    DiffRound r;
+    r.array = static_cast<std::size_t>(rng.next_range(1, 12));
+    const auto n_calls = static_cast<std::size_t>(rng.next_range(1, 20));
+    const auto n_msgs = static_cast<std::size_t>(rng.next_range(0, 6));
+    // One shuffled pool of unique tags shared by calls and messages, so
+    // every candidate's priority is distinct and selection has no ties.
+    std::vector<std::int64_t> tags(n_calls + n_msgs);
+    for (std::size_t i = 0; i < tags.size(); ++i) {
+      tags[i] = static_cast<std::int64_t>(i);
+    }
+    for (std::size_t i = tags.size(); i > 1; --i) {
+      std::swap(tags[i - 1], tags[rng.next_below(i)]);
+    }
+    r.call_tags.assign(tags.begin(),
+                       tags.begin() + static_cast<std::ptrdiff_t>(n_calls));
+    r.msg_tags.assign(tags.begin() + static_cast<std::ptrdiff_t>(n_calls),
+                      tags.end());
+    r.with_when_guard = rng.next_bool(0.3);
+    r.when_trigger = rng.next_range(
+        0, static_cast<std::int64_t>(n_calls + n_msgs));
+
+    const auto incremental = run_diff_engine(r, /*naive=*/false);
+    const auto reference = run_diff_engine(r, /*naive=*/true);
+    ASSERT_EQ(incremental.size(), reference.size()) << "round " << round;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_EQ(incremental[i].guard, reference[i].guard)
+          << "round " << round << " fire " << i;
+      ASSERT_EQ(incremental[i].tag, reference[i].tag)
+          << "round " << round << " fire " << i;
+    }
+  }
+}
+
 // par construct
 TEST(Par, AllBranchesRunAndJoin) {
   std::atomic<int> ran{0};

@@ -306,6 +306,43 @@ TEST(Select, FairnessAcrossEqualPriorityGuards) {
   obj.stop();
 }
 
+TEST(Select, RotationRoundRobinsContinuouslyEligibleGuards) {
+  // Regression for the priority-index rewrite: two permanently eligible
+  // equal-pri guards must alternate strictly. In the index, a continuously
+  // eligible candidate keeps its (pri, seq) key, and a fired one re-enters
+  // with a fresh seq — so it queues behind its equal-pri peer and the pair
+  // round-robins, exactly like the old rotation counter.
+  Rig rig;
+  constexpr int kFires = 100;
+  std::vector<int> order;
+  support::Event done;
+  rig.run([&](Manager& m) {
+    Select sel;
+    sel.on(when_guard([&] { return order.size() < static_cast<std::size_t>(kFires); }).then([&] {
+      order.push_back(0);
+    }));
+    sel.on(when_guard([&] { return order.size() < static_cast<std::size_t>(kFires); }).then([&] {
+      order.push_back(1);
+    }));
+    for (int i = 0; i < kFires; ++i) sel.select(m);
+    done.set();
+  });
+  ASSERT_TRUE(done.wait_for(std::chrono::seconds(10)));
+  rig.obj.stop();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kFires));
+  int served[2] = {0, 0};
+  for (int i = 0; i < kFires; ++i) {
+    ++served[order[static_cast<std::size_t>(i)]];
+    if (i > 0) {
+      EXPECT_NE(order[static_cast<std::size_t>(i)],
+                order[static_cast<std::size_t>(i - 1)])
+          << "equal-pri guards must alternate (position " << i << ")";
+    }
+  }
+  EXPECT_EQ(served[0], kFires / 2);
+  EXPECT_EQ(served[1], kFires / 2);
+}
+
 TEST(Select, NaivePollingModeStillCorrect) {
   // E9's strawman must give the same answers, just slower.
   Object obj("Naive");
