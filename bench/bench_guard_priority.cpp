@@ -83,6 +83,7 @@ void bench_many_guards(benchmark::State& state, bool naive) {
                    return p[0].as_int() % div == mod;
                  })
                  .pri([](const ValueList& p) { return p[0].as_int(); })
+                 .cacheable()  // pure in the call's params: enable caching
                  .then([&m](Accepted a) { m.execute(a); }));
     }
     sel.loop(m);

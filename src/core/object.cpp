@@ -588,12 +588,12 @@ ObjectStats Object::stats() const {
 }
 
 void Object::notify_external_event() {
-  // Channel observers land here on every send to a watched channel; with
-  // the waiter-counted event this is two atomic ops unless the manager is
-  // actually parked in select. The generation bump discards every cached
-  // guard evaluation: "wake and re-evaluate the guards" is this call's
-  // documented contract, and callers use it to announce arbitrary state
-  // changes the kernel cannot see.
+  // The generation bump discards every cached guard evaluation: "wake and
+  // re-evaluate the guards" is this call's documented contract, and callers
+  // use it to announce arbitrary state changes the kernel cannot see.
+  // Sources with their own generation counter (channels, the slot queues)
+  // use the cheaper wake_manager() instead, so the delta machinery keeps
+  // its caches across their events.
   guard_inval_gen_.fetch_add(1, std::memory_order_release);
   mgr_wake_.signal();
 }

@@ -35,6 +35,7 @@
 
 #include <array>
 #include <atomic>
+#include <cassert>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -144,10 +145,12 @@ class Object {
 
   EntryRef entry(const std::string& name) const;
 
-  /// Wakes the manager's select statement to re-evaluate its guards. Used by
-  /// channel observers; harmless to call at any time. Bumps the guard
-  /// invalidation generation so cached `when`/`pri` results are discarded —
-  /// this is the documented way to tell select "object state changed".
+  /// Wakes the manager's select statement to re-evaluate its guards;
+  /// harmless to call at any time. Bumps the guard invalidation generation
+  /// so cached `when`/`pri` results are discarded — this is the documented
+  /// way to tell select "arbitrary object state changed". (Sources with
+  /// their own generation counter — channels, the attached/ready lists —
+  /// don't need it; their observers use the cheaper wake_manager().)
   void notify_external_event();
 
   /// Guard-cache invalidation epoch (see notify_external_event and
@@ -240,7 +243,16 @@ class Object {
     }
 
     void remove(std::vector<Slot>& slots, std::size_t idx) {
+      assert(count > 0 && "remove on empty SlotQueue");
       Slot& s = slots[idx];
+      // Fail fast on a slot that is not actually linked in THIS queue —
+      // unlinking it anyway would silently corrupt head/tail/count.
+      assert((s.q_prev != kNoSlot ? slots[s.q_prev].q_next == idx
+                                  : head == idx) &&
+             "slot not linked in this queue");
+      assert((s.q_next != kNoSlot ? slots[s.q_next].q_prev == idx
+                                  : tail == idx) &&
+             "slot not linked in this queue");
       if (s.q_prev == kNoSlot) {
         head = s.q_next;
       } else {
@@ -259,6 +271,7 @@ class Object {
     std::size_t front() const { return head; }
 
     std::size_t pop_front(std::vector<Slot>& slots) {
+      assert(count > 0 && "pop_front on empty SlotQueue");
       const std::size_t idx = head;
       remove(slots, idx);
       return idx;
@@ -308,6 +321,11 @@ class Object {
   };
 
   // -- kernel helpers (suffix _locked requires mu_ held) --
+  /// Wakes the manager's select WITHOUT discarding cached guard results.
+  /// For event sources that carry their own generation counter (a channel's
+  /// front_gen, the slot queues' journals): the selector re-checks those on
+  /// every pass, so a global cache flush would be pure waste.
+  void wake_manager() { mgr_wake_.signal(); }
   EntryCore& core(std::size_t idx) { return *entries_[idx]; }
   EntryCore& core_checked(EntryRef entry, const char* op);
   void update_pending_locked(EntryCore& e);

@@ -14,6 +14,17 @@ namespace {
 /// (their cache lives at SlotCache index 0).
 constexpr std::uint32_t kNoCacheSlot = 0xffffffffu;
 
+/// The caching default, safe-side: closure-bearing guards re-evaluate on
+/// every pass unless the author vouches for purity with `.cacheable()` —
+/// a `when`/`pri` reading mutable state (the common `count < N` pattern)
+/// must keep working without any annotation. Closure-less guards have a
+/// state-independent verdict and always cache. `.always_reeval()` wins
+/// over everything.
+template <typename Guard>
+bool effective_reeval(const Guard& g) {
+  return g.reeval || ((g.when_fn || g.pri_fn) && !g.cache);
+}
+
 }  // namespace
 
 Select::Select() = default;
@@ -26,7 +37,7 @@ Select& Select::on(AcceptGuard g) {
   rec.when_v = std::move(g.when_fn);
   rec.pri_v = std::move(g.pri_fn);
   rec.on_accept = std::move(g.then_fn);
-  rec.always_reeval = g.reeval;
+  rec.always_reeval = effective_reeval(g);
   guards_.push_back(std::move(rec));
   return *this;
 }
@@ -38,7 +49,7 @@ Select& Select::on(AwaitGuard g) {
   rec.when_v = std::move(g.when_fn);
   rec.pri_v = std::move(g.pri_fn);
   rec.on_await = std::move(g.then_fn);
-  rec.always_reeval = g.reeval;
+  rec.always_reeval = effective_reeval(g);
   guards_.push_back(std::move(rec));
   return *this;
 }
@@ -50,7 +61,7 @@ Select& Select::on(ReceiveGuard g) {
   rec.when_v = std::move(g.when_fn);
   rec.pri_v = std::move(g.pri_fn);
   rec.on_receive = std::move(g.then_fn);
-  rec.always_reeval = g.reeval;
+  rec.always_reeval = effective_reeval(g);
   guards_.push_back(std::move(rec));
   return *this;
 }
@@ -76,13 +87,17 @@ namespace {
 /// RAII registration of a wake-up observer on every channel guard: the
 /// observer signals the object's waiter-counted manager event, making
 /// channel receive guards event-driven (and nearly free when the manager
-/// is not actually parked in select).
+/// is not actually parked in select). The observer only *wakes* — it does
+/// not bump the guard invalidation epoch, because a channel carries its own
+/// front generation which the selector re-checks on every pass; flushing
+/// every accept/await cache on each message would defeat the delta engine
+/// for channel-heavy managers.
 class ChannelObservers {
  public:
   ChannelObservers() = default;
   ~ChannelObservers() { clear(); }
 
-  void add(ChannelRef channel, Object* obj);
+  void add(ChannelRef channel, std::function<void()> wake);
   void clear() {
     for (auto& [chan, token] : regs_) chan->remove_observer(token);
     regs_.clear();
@@ -95,8 +110,8 @@ class ChannelObservers {
 
 }  // namespace
 
-void ChannelObservers::add(ChannelRef channel, Object* obj) {
-  auto token = channel->add_observer([obj] { obj->notify_external_event(); });
+void ChannelObservers::add(ChannelRef channel, std::function<void()> wake) {
+  auto token = channel->add_observer(std::move(wake));
   regs_.emplace_back(std::move(channel), token);
 }
 
@@ -171,7 +186,7 @@ void Select::consider_slot(std::size_t gi, Object* obj, std::size_t slot_idx,
 
   if (!force && c.key == call_id) {
     // Cached evaluation of the same call's values: closures are pure in
-    // their argument (the always_reeval contract), so the verdict stands.
+    // their argument (the cacheable contract), so the verdict stands.
     // Re-insert only if the live entry was consumed out from under a still-
     // eligible candidate (e.g. a slot removed and re-attached with the same
     // call within one replay window — the removal retired the fresh entry).
@@ -246,9 +261,16 @@ void Select::sync_guard(Object* obj, std::size_t gi, bool invalidated) {
                 q.log[p % Object::SlotQueue::kWindow];
             SlotCache& c = st.slots[d.slot];
             if (!d.added) {
+              // Retire the live index entry only; keep the cached verdict.
+              // `eligible` records the evaluation's outcome, not queue
+              // membership — clearing it here would make a same-call re-add
+              // later in this window hit the cache fast path with
+              // eligible=false and never re-enter the index, leaving the
+              // slot invisible until an unrelated external event (an
+              // add/remove/add window occurs when the manager mixes select
+              // with direct accept/await on the same entry).
               if (c.in_index) --live_count_;
               c.in_index = false;
-              c.eligible = false;
               continue;
             }
             // The slot may have left the list again later in the window;
@@ -449,7 +471,9 @@ Select::Fired Select::select_impl(Manager& m) {
       // bumps the channel's observer count, so sends from here on signal
       // mgr_wake_; the fresh ticket on the next iteration covers them.)
       for (auto& g : guards_) {
-        if (g.kind == Kind::kReceive) observers.add(g.channel, obj);
+        if (g.kind == Kind::kReceive) {
+          observers.add(g.channel, [obj] { obj->wake_manager(); });
+        }
       }
       observers_registered = true;
       continue;
@@ -608,7 +632,9 @@ Select::Fired Select::select_impl_naive(Manager& m) {
 
     if (need_observers) {
       for (auto& g : guards_) {
-        if (g.kind == Kind::kReceive) observers.add(g.channel, obj);
+        if (g.kind == Kind::kReceive) {
+          observers.add(g.channel, [obj] { obj->wake_manager(); });
+        }
       }
       observers_registered = true;
       continue;

@@ -6,7 +6,6 @@
 //   Select()
 //     .on(accept_guard(deposit)
 //           .when([&](const ValueList&) { return count < N; })
-//           .always_reeval()  // closure reads manager-local state
 //           .then([&](Accepted a) { m.execute(a); ++count; }))
 //     .on(await_guard(deposit)
 //           .then([&](Awaited w) { m.finish(w); }))
@@ -27,12 +26,16 @@
 // key round-robins equal-pri candidates because a fired candidate re-enters
 // behind its peers.
 //
-// Caching contract: `when`/`pri` closures are treated as pure functions of
-// the candidate's values. A guard whose closures read mutable state (the
-// enclosing manager's locals, clocks, #P, ...) must opt out with
-// `.always_reeval()`; plain when-guards (`when B => S`) re-evaluate
-// implicitly, and `Object::notify_external_event()` discards every cached
-// result for callers that mutate state the kernel cannot see.
+// Caching contract: by default `when`/`pri` closures are re-evaluated on
+// every pass — they may freely read mutable state (the enclosing manager's
+// locals, clocks, #P, ...), matching the pre-caching API. A guard whose
+// closures are pure functions of their argument can opt into the fast path
+// with `.cacheable()`: its verdicts are then cached per candidate and the
+// closures are never re-run while the candidate is unchanged. Guards with
+// no closures at all cache implicitly (their verdict depends on nothing);
+// plain when-guards (`when B => S`) re-evaluate implicitly, and
+// `Object::notify_external_event()` discards every cached result for
+// callers that mutate state the kernel cannot see.
 #pragma once
 
 #include <cstdint>
@@ -52,9 +55,9 @@ class Object;
 /// Acceptance condition: sees the tentatively received values (intercepted
 /// params for accept, intercepted+hidden results for await, the message for
 /// receive). Must be side-effect free; it runs under the kernel lock and may
-/// be evaluated for candidates that end up not selected. Unless the guard is
-/// marked `always_reeval`, it must also be a pure function of its argument —
-/// the selector caches its result per candidate.
+/// be evaluated for candidates that end up not selected. If the guard is
+/// marked `cacheable`, it must also be a pure function of its argument —
+/// the selector then caches its result per candidate.
 using ValuePred = std::function<bool(const ValueList&)>;
 /// Run-time priority (`pri E`); smaller is more urgent. Same restrictions.
 using ValuePri = std::function<std::int64_t(const ValueList&)>;
@@ -65,6 +68,7 @@ struct AcceptGuard {
   ValuePri pri_fn;
   std::function<void(Accepted)> then_fn;
   bool reeval = false;
+  bool cache = false;
 
   AcceptGuard&& when(ValuePred p) && {
     when_fn = std::move(p);
@@ -74,8 +78,17 @@ struct AcceptGuard {
     pri_fn = std::move(p);
     return std::move(*this);
   }
-  /// Marks the `when`/`pri` closures as reading mutable state beyond their
-  /// argument: the selector re-runs them on every pass instead of caching.
+  /// Declares the `when`/`pri` closures pure functions of their argument:
+  /// the selector may cache their verdict per candidate and never re-run
+  /// them while the candidate is unchanged (the delta-driven fast path).
+  /// Without this, closure-bearing guards re-evaluate on every pass.
+  AcceptGuard&& cacheable() && {
+    cache = true;
+    return std::move(*this);
+  }
+  /// Forces re-evaluation on every pass even for a guard the selector could
+  /// cache (e.g. one with no closures). This is already the default for
+  /// guards with `when`/`pri` closures; it overrides `.cacheable()`.
   AcceptGuard&& always_reeval() && {
     reeval = true;
     return std::move(*this);
@@ -92,6 +105,7 @@ struct AwaitGuard {
   ValuePri pri_fn;
   std::function<void(Awaited)> then_fn;
   bool reeval = false;
+  bool cache = false;
 
   AwaitGuard&& when(ValuePred p) && {
     when_fn = std::move(p);
@@ -99,6 +113,11 @@ struct AwaitGuard {
   }
   AwaitGuard&& pri(ValuePri p) && {
     pri_fn = std::move(p);
+    return std::move(*this);
+  }
+  /// See AcceptGuard::cacheable.
+  AwaitGuard&& cacheable() && {
+    cache = true;
     return std::move(*this);
   }
   AwaitGuard&& always_reeval() && {
@@ -117,6 +136,7 @@ struct ReceiveGuard {
   ValuePri pri_fn;
   std::function<void(ValueList)> then_fn;
   bool reeval = false;
+  bool cache = false;
 
   ReceiveGuard&& when(ValuePred p) && {
     when_fn = std::move(p);
@@ -124,6 +144,11 @@ struct ReceiveGuard {
   }
   ReceiveGuard&& pri(ValuePri p) && {
     pri_fn = std::move(p);
+    return std::move(*this);
+  }
+  /// See AcceptGuard::cacheable.
+  ReceiveGuard&& cacheable() && {
+    cache = true;
     return std::move(*this);
   }
   ReceiveGuard&& always_reeval() && {

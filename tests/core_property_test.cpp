@@ -184,6 +184,7 @@ TEST(KernelFuzz, MixedGuardWorkloadStaysCoherent) {
         .on(receive_guard(ctl).then([&](ValueList) { ++ctl_seen; }))
         .on(accept_guard(fast)
                 .pri([](const ValueList& p) { return p[0].as_int() % 7; })
+                .cacheable()  // pure in params; keeps caching under stress
                 .then([&m](Accepted a) { m.start(a); }))
         .on(await_guard(fast).then([&m](Awaited w) { m.finish(w); }))
         .on(accept_guard(slow).then([&m](Accepted a) { m.start(a); }))
@@ -234,7 +235,10 @@ TEST(KernelFuzz, MixedGuardWorkloadStaysCoherent) {
 // each selection completes synchronously before the next. Under those
 // conditions the fired sequence is a pure function of the workload, and any
 // divergence means the caching/journaling machinery skipped or replayed an
-// event it should not have.
+// event it should not have. Half the rounds additionally interleave
+// manager-side try_accept/execute between selections (mix_manager_accept),
+// so the journal replay also faces membership changes — including same-slot
+// add/remove/add windows — that the selector did not perform itself.
 // ---------------------------------------------------------------------------
 
 namespace {
@@ -251,6 +255,11 @@ struct DiffRound {
   std::vector<std::int64_t> msg_tags;
   bool with_when_guard;
   std::int64_t when_trigger;  // fires once `fired.size()` reaches this
+  /// Interleave manager-side try_accept/execute between selections: the
+  /// same entry's attached queue is then consumed through two independent
+  /// paths, so the selector's journal replay sees add/remove/add windows
+  /// it did not produce itself (slot reuse across cycles included).
+  bool mix_manager_accept;
 };
 
 std::vector<DiffFire> run_diff_engine(const DiffRound& r, bool naive) {
@@ -268,10 +277,13 @@ std::vector<DiffFire> run_diff_engine(const DiffRound& r, bool naive) {
     open.wait();
     Select sel;
     sel.use_naive_polling(naive);
-    // Guard 0: even tags only, urgent (pri = tag).
+    // Guard 0: even tags only, urgent (pri = tag). Pure in the call's
+    // params, so `.cacheable()` — the incremental run must exercise the
+    // verdict caches, not just the forced-rescan path.
     sel.on(accept_guard(e)
                .when([](const ValueList& p) { return p[0].as_int() % 2 == 0; })
                .pri([](const ValueList& p) { return p[0].as_int(); })
+               .cacheable()
                .then([&](Accepted a) {
                  fired.push_back(DiffFire{0, a.params[0].as_int()});
                  m.execute(a);
@@ -279,6 +291,7 @@ std::vector<DiffFire> run_diff_engine(const DiffRound& r, bool naive) {
     // Guard 1: catch-all, deprioritized past every guard-0 candidate.
     sel.on(accept_guard(e)
                .pri([](const ValueList& p) { return p[0].as_int() + 1000000; })
+               .cacheable()
                .then([&](Accepted a) {
                  fired.push_back(DiffFire{1, a.params[0].as_int()});
                  m.execute(a);
@@ -287,6 +300,7 @@ std::vector<DiffFire> run_diff_engine(const DiffRound& r, bool naive) {
       // Guard 2: channel front, competing at the message's own tag.
       sel.on(receive_guard(chan)
                  .pri([](const ValueList& msg) { return msg[0].as_int(); })
+                 .cacheable()
                  .then([&](ValueList msg) {
                    fired.push_back(DiffFire{2, msg[0].as_int()});
                  }));
@@ -301,7 +315,22 @@ std::vector<DiffFire> run_diff_engine(const DiffRound& r, bool naive) {
                  .pri([] { return std::int64_t{-1}; })
                  .then([&] { fired.push_back(DiffFire{3, r.when_trigger}); }));
     }
-    for (std::size_t i = 0; i < total; ++i) sel.select(m);
+    while (fired.size() < total) {
+      // Every third event, consume a call behind the selector's back via
+      // the manager primitives (deterministic: try_accept takes arrival
+      // order, and both engines follow the same schedule). Never at the
+      // when-guard's trigger count — that event needs a select pass.
+      if (r.mix_manager_accept && fired.size() % 3 == 2 &&
+          (!r.with_when_guard ||
+           fired.size() != static_cast<std::size_t>(r.when_trigger))) {
+        if (auto acc = m.try_accept(e)) {
+          fired.push_back(DiffFire{4, acc->params[0].as_int()});
+          m.execute(*acc);
+          continue;
+        }
+      }
+      sel.select(m);
+    }
   });
   obj.start();
 
@@ -344,6 +373,7 @@ TEST(KernelDifferential, IncrementalSelectMatchesNaivePolling) {
     r.with_when_guard = rng.next_bool(0.3);
     r.when_trigger = rng.next_range(
         0, static_cast<std::int64_t>(n_calls + n_msgs));
+    r.mix_manager_accept = rng.next_bool(0.5);
 
     const auto incremental = run_diff_engine(r, /*naive=*/false);
     const auto reference = run_diff_engine(r, /*naive=*/true);

@@ -75,6 +75,7 @@ TEST(Select, PrioritySelectsSmallest) {
     Select()
         .on(accept_guard(rig.e)
                 .pri([](const ValueList& p) { return p[0].as_int(); })
+                .cacheable()  // pure in params: exercises the verdict cache
                 .then([&](Accepted a) {
                   order.push_back(a.params[0].as_int());
                   m.execute(a);
@@ -251,6 +252,7 @@ TEST(Select, AwaitGuardWhenConditionSeesResults) {
         .on(accept_guard(e).then([&](Accepted a) { m.start(a); }))
         .on(await_guard(e)
                 .when([](const ValueList& r) { return r[0].as_int() >= 10; })
+                .cacheable()  // pure in the body's results
                 .then([&](Awaited w) {
                   ++big;
                   m.finish(w);
@@ -259,6 +261,7 @@ TEST(Select, AwaitGuardWhenConditionSeesResults) {
         // selection between eligible guards is nondeterministic (CSP).
         .on(await_guard(e)
                 .when([](const ValueList& r) { return r[0].as_int() < 10; })
+                .cacheable()
                 .then([&](Awaited w) {
                   ++small;
                   m.finish(w);
@@ -341,6 +344,52 @@ TEST(Select, RotationRoundRobinsContinuouslyEligibleGuards) {
   }
   EXPECT_EQ(served[0], kFires / 2);
   EXPECT_EQ(served[1], kFires / 2);
+}
+
+TEST(Select, DeltaReplaySurvivesManagerSideAcceptBetweenSelects) {
+  // Regression: with array=1 every call reuses slot 0, and a manager-side
+  // accept/execute between two selections puts an add/remove/add window —
+  // all for slot 0, all evaluated against the slot's CURRENT call — into
+  // the journal the second selection replays. The replayed removal must
+  // retire only the index entry, not the cached eligible verdict; clearing
+  // both made the re-add hit the cache fast path with eligible=false,
+  // leaving the attached call invisible to select forever (a hang here,
+  // absent an unrelated notify_external_event).
+  Rig rig(/*array=*/1);
+  std::vector<std::int64_t> order;
+  support::Event open, done;
+  rig.run([&](Manager& m) {
+    open.wait();
+    Select sel;
+    sel.on(accept_guard(rig.e)
+               .when([](const ValueList& p) { return p[0].as_int() > 0; })
+               .cacheable()
+               .then([&](Accepted a) {
+                 order.push_back(a.params[0].as_int());
+                 m.execute(a);
+               }));
+    sel.select(m);  // fires call 1; primes the guard's journal position
+    // Call 2 attached to slot 0 when call 1 finished; consume it behind
+    // the selector's back (journal: add). Its completion re-attaches call
+    // 3 to slot 0 (journal: add, remove, add — all slot 0).
+    Accepted b = m.accept(rig.e);
+    order.push_back(b.params[0].as_int());
+    m.execute(b);
+    sel.select(m);  // must replay the window and still fire call 3
+    done.set();
+  });
+  auto h1 = rig.obj.async_call(rig.e, vals(1));
+  auto h2 = rig.obj.async_call(rig.e, vals(2));
+  auto h3 = rig.obj.async_call(rig.e, vals(3));
+  while (rig.obj.pending(rig.e) < 3) std::this_thread::yield();
+  open.set();
+  ASSERT_TRUE(done.wait_for(std::chrono::seconds(10)))
+      << "second select starved: replayed removal clobbered the cache";
+  h1.get();
+  h2.get();
+  h3.get();
+  rig.obj.stop();
+  EXPECT_EQ(order, (std::vector<std::int64_t>{1, 2, 3}));
 }
 
 TEST(Select, NaivePollingModeStillCorrect) {
