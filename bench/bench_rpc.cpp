@@ -11,8 +11,7 @@
 #include "bench_util.h"
 
 #include "core/alps.h"
-#include "net/network.h"
-#include "net/rpc.h"
+#include "net/net.h"
 
 namespace {
 
@@ -47,7 +46,7 @@ void BM_RpcSequential(benchmark::State& state) {
   server.host(svc.obj);
   auto remote = client.remote(server.id(), "Svc");
   for (auto _ : state) {
-    benchmark::DoNotOptimize(remote.call("Echo", vals(1)));
+    benchmark::DoNotOptimize(remote.call("Echo", vals(1), {}));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -63,12 +62,12 @@ void BM_RpcPipelined(benchmark::State& state) {
   server.host(svc.obj);
   auto remote = client.remote(server.id(), "Svc");
   for (auto _ : state) {
-    std::vector<CallHandle> handles;
+    std::vector<net::RpcHandle> handles;
     handles.reserve(kInflight);
     for (int i = 0; i < kInflight; ++i) {
-      handles.push_back(remote.async_call("Echo", vals(i)));
+      handles.push_back(remote.async_call("Echo", vals(i), {}));
     }
-    for (auto& h : handles) h.get();
+    for (auto& h : handles) benchmark::DoNotOptimize(h.result());
   }
   state.SetItemsProcessed(state.iterations() * kInflight);
 }
@@ -93,7 +92,7 @@ void BM_RemoteChannelSend(benchmark::State& state) {
   constexpr std::int64_t kBatch = 64;
   for (auto _ : state) {
     ChannelRef reply = make_channel();
-    remote.call("Fill", vals(kBatch, reply));
+    remote.call("Fill", vals(kBatch, reply), {});
     for (std::int64_t i = 0; i < kBatch; ++i) {
       benchmark::DoNotOptimize(reply->receive());
     }

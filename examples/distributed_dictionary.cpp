@@ -6,7 +6,9 @@
 // A dictionary object (with its combining manager) lives on a server node of
 // a simulated network; clients on other nodes call Search over RPC, and a
 // progress-reporting entry streams updates back through a channel the client
-// passed as a parameter.
+// passed as a parameter. A final lossy phase turns on 15% frame drop and
+// repeats the searches under a RetryPolicy — every call still completes, and
+// the server executes each at most once.
 //
 //   $ example_distributed_dictionary
 #include <cstdio>
@@ -14,8 +16,7 @@
 
 #include "apps/dictionary.h"
 #include "core/alps.h"
-#include "net/network.h"
-#include "net/rpc.h"
+#include "net/net.h"
 #include "support/rng.h"
 
 int main() {
@@ -54,13 +55,15 @@ int main() {
   auto remote_dict_b = client_b.remote(server.id(), "Dictionary");
 
   support::ZipfGenerator zipf(words.size(), 1.1, 3);
-  std::vector<CallHandle> calls;
+  std::vector<net::RpcHandle> calls;
   for (int i = 0; i < 30; ++i) {
     auto& proxy = (i % 2 == 0) ? remote_dict_a : remote_dict_b;
-    calls.push_back(proxy.async_call("Search", vals(words[zipf.next()])));
+    calls.push_back(proxy.async_call("Search", vals(words[zipf.next()]), {}));
   }
   for (auto& c : calls) {
-    std::printf("remote search -> %s\n", c.get()[0].as_string().c_str());
+    auto r = c.result();
+    std::printf("remote search -> %s\n",
+                r.ok() ? r.value()[0].as_string().c_str() : r.error().what());
   }
   const auto s = dict.stats();
   std::printf("server combined %llu of %llu remote requests\n",
@@ -71,7 +74,7 @@ int main() {
   // executing remote procedure.
   ChannelRef progress = make_channel("progress");
   auto remote_reporter = client_a.remote(server.id(), "Reporter");
-  remote_reporter.call("Watch", vals(5, progress));
+  if (!remote_reporter.call("Watch", vals(5, progress), {}).ok()) return 1;
   for (int i = 0; i < 5; ++i) {
     ValueList update = progress->receive();
     std::printf("progress from remote procedure: %lld/%lld\n",
@@ -79,10 +82,32 @@ int main() {
                 static_cast<long long>(update[1].as_int()));
   }
 
+  // Lossy phase: 15% of frames vanish, but retries + the server's
+  // at-most-once table keep every search exactly-once.
+  network.set_loss_probability(0.15);
+  net::CallOptions reliable;
+  reliable.retry = net::RetryPolicy{};
+  const auto dict_before = dict.stats().requests;
+  int completed = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto r = remote_dict_a.call("Search", vals(words[zipf.next()]), reliable);
+    if (r.ok()) ++completed;
+  }
+  const auto cs = client_a.client_stats();
+  const auto ss = server.server_stats();
+  std::printf(
+      "lossy phase: %d/20 searches completed, %llu retransmits, "
+      "%llu dedup hits, server executed %llu (exactly one per call)\n",
+      completed, static_cast<unsigned long long>(cs.retransmits),
+      static_cast<unsigned long long>(ss.dedup_replayed + ss.dup_in_flight +
+                                      ss.dup_acked),
+      static_cast<unsigned long long>(dict.stats().requests - dict_before));
+
   const auto net_stats = network.stats();
-  std::printf("network: %llu frames, %llu bytes\n",
+  std::printf("network: %llu frames, %llu bytes, %llu lost\n",
               static_cast<unsigned long long>(net_stats.frames_delivered),
-              static_cast<unsigned long long>(net_stats.bytes_delivered));
+              static_cast<unsigned long long>(net_stats.bytes_delivered),
+              static_cast<unsigned long long>(net_stats.frames_lost));
   reporter.stop();
   return 0;
 }

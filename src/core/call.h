@@ -71,11 +71,22 @@ class CallState {
     return cv_.wait_for(lock, timeout, [&] { return done_; });
   }
 
-  /// Waits and returns the results, rethrowing any stored error.
+  /// Waits and returns the results, rethrowing any stored error. Kernel
+  /// errors are rethrown as a per-caller copy (Error::raise_copy), never as
+  /// the shared stored object, so the caller may keep reading its exception
+  /// after every CallState reference is gone.
   ValueList get() {
     wait();
     std::scoped_lock lock(mu_);
-    if (error_) std::rethrow_exception(error_);
+    if (error_) {
+      try {
+        std::rethrow_exception(error_);
+      } catch (const Error& e) {
+        e.raise_copy();
+      }
+      // Non-Error exceptions (foreign types) propagate from the rethrow
+      // unchanged.
+    }
     return results_;
   }
 

@@ -1,8 +1,11 @@
 // Error taxonomy for the ALPS kernel.
 #pragma once
 
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <variant>
 
 namespace alps {
 
@@ -18,6 +21,7 @@ enum class ErrorCode {
   kBodyFailed,         ///< entry body raised an exception
   kNetwork,            ///< simulated-network failure
   kBadMessage,         ///< undecodable wire frame
+  kTimeout,            ///< deadline elapsed before the operation completed
 };
 
 const char* to_string(ErrorCode code);
@@ -25,13 +29,32 @@ const char* to_string(ErrorCode code);
 class Error : public std::runtime_error {
  public:
   Error(ErrorCode code, const std::string& what)
-      : std::runtime_error(std::string(to_string(code)) + ": " + what),
-        code_(code) {}
+      : std::runtime_error(""),
+        code_(code),
+        msg_(std::make_shared<const std::string>(
+            std::string(to_string(code)) + ": " + what)) {}
+
+  /// The message lives in a shared immutable string instead of the
+  /// runtime_error base: Error copies cross threads (an exception stored by
+  /// the network delivery thread, its copy read on the caller's thread), and
+  /// libstdc++ keeps what() in a refcounted COW buffer whose synchronization
+  /// is invisible to sanitizer-instrumented code. shared_ptr's refcount is
+  /// header-inlined, so the lifetime handoff stays visible.
+  const char* what() const noexcept override { return msg_->c_str(); }
+
+  /// Throws a copy of the most-derived error. Completion futures use this to
+  /// hand every caller its own exception object: the stored one is freed by
+  /// whichever thread drops the last CallState reference (often a kernel or
+  /// network thread), with lifetime managed by libstdc++'s exception_ptr
+  /// refcount — another handoff invisible to instrumented builds. Subclasses
+  /// that add state must override.
+  [[noreturn]] virtual void raise_copy() const { throw Error(*this); }
 
   ErrorCode code() const { return code_; }
 
  private:
   ErrorCode code_;
+  std::shared_ptr<const std::string> msg_;
 };
 
 [[noreturn]] inline void raise(ErrorCode code, const std::string& what) {
@@ -51,8 +74,39 @@ inline const char* to_string(ErrorCode code) {
     case ErrorCode::kBodyFailed: return "body failed";
     case ErrorCode::kNetwork: return "network error";
     case ErrorCode::kBadMessage: return "bad message";
+    case ErrorCode::kTimeout: return "timeout";
   }
   return "unknown error";
 }
+
+/// Value-or-error sum type for APIs that report failures as data instead of
+/// exceptions (the fault-tolerant RPC surface returns
+/// `Result<ValueList, net::RpcError>`). Minimal by design: `ok()`, `value()`,
+/// `error()`, and nothing that would hide which arm is engaged.
+template <class T, class E>
+class Result {
+ public:
+  Result(T value) : v_(std::in_place_index<0>, std::move(value)) {}
+  Result(E error) : v_(std::in_place_index<1>, std::move(error)) {}
+
+  bool ok() const { return v_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  /// The success value; call only when ok().
+  T& value() & { return std::get<0>(v_); }
+  const T& value() const& { return std::get<0>(v_); }
+  T&& value() && { return std::get<0>(std::move(v_)); }
+
+  /// The error; call only when !ok().
+  E& error() & { return std::get<1>(v_); }
+  const E& error() const& { return std::get<1>(v_); }
+
+  T value_or(T fallback) const& {
+    return ok() ? std::get<0>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, E> v_;
+};
 
 }  // namespace alps

@@ -58,6 +58,58 @@ std::string get_string(const std::vector<std::uint8_t>& in, std::size_t& pos) {
   return s;
 }
 
+void encode_request_header(const RequestHeader& h,
+                           std::vector<std::uint8_t>& out) {
+  put_u8(out, static_cast<std::uint8_t>(MsgType::kRequest));
+  put_u64(out, h.req_id);
+  put_u64(out, h.epoch);
+  put_u64(out, h.ack_through);
+  put_string(out, h.object);
+  put_string(out, h.entry);
+}
+
+RequestHeader decode_request_header(const std::vector<std::uint8_t>& in,
+                                    std::size_t& pos) {
+  RequestHeader h;
+  h.req_id = get_u64(in, pos);
+  h.epoch = get_u64(in, pos);
+  h.ack_through = get_u64(in, pos);
+  h.object = get_string(in, pos);
+  h.entry = get_string(in, pos);
+  return h;
+}
+
+void encode_response_header(const ResponseHeader& h,
+                            std::vector<std::uint8_t>& out) {
+  put_u8(out, static_cast<std::uint8_t>(MsgType::kResponse));
+  put_u64(out, h.req_id);
+  put_u8(out, static_cast<std::uint8_t>(h.cause));
+  put_u8(out, h.flags);
+}
+
+ResponseHeader decode_response_header(const std::vector<std::uint8_t>& in,
+                                      std::size_t& pos) {
+  ResponseHeader h;
+  h.req_id = get_u64(in, pos);
+  const std::uint8_t cause = get_u8(in, pos);
+  if (cause > static_cast<std::uint8_t>(WireCause::kObjectNotFound)) {
+    raise(ErrorCode::kBadMessage, "unknown response cause");
+  }
+  h.cause = static_cast<WireCause>(cause);
+  h.flags = get_u8(in, pos);
+  return h;
+}
+
+void encode_ack(std::uint64_t ack_through, std::vector<std::uint8_t>& out) {
+  put_u8(out, static_cast<std::uint8_t>(MsgType::kAck));
+  put_u64(out, ack_through);
+}
+
+std::uint64_t decode_ack(const std::vector<std::uint8_t>& in,
+                         std::size_t& pos) {
+  return get_u64(in, pos);
+}
+
 void encode_value(const Value& v, std::vector<std::uint8_t>& out,
                   ChannelResolver* resolver) {
   put_u8(out, static_cast<std::uint8_t>(v.kind()));

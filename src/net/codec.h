@@ -8,11 +8,77 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/value.h"
 
 namespace alps::net {
+
+// ---- frame layer -----------------------------------------------------------
+//
+// Every frame payload starts with a one-byte MsgType followed by a typed
+// header; requests and responses carry the fields the at-most-once layer
+// needs (dedup epoch, ack watermark, error cause). The header codecs below
+// are the single source of truth for that layout — rpc.cpp and the tests
+// both go through them.
+
+enum class MsgType : std::uint8_t {
+  kRequest = 1,   ///< (header, params)        → Object::async_call
+  kResponse = 2,  ///< (header, results|error) → completes the caller future
+  kChanSend = 3,  ///< (chan_id, message)      → local channel send
+  kAck = 4,       ///< (ack_through)           → dedup-table eviction
+};
+
+/// Typed cause carried in a response header. kOk means results follow;
+/// anything else means an error string follows. Values are wire-stable.
+enum class WireCause : std::uint8_t {
+  kOk = 0,
+  kRemoteError = 1,     ///< entry body threw / no such entry / object stopped
+  kObjectNotFound = 2,  ///< target node does not host the named object
+};
+
+/// Response flag bits.
+inline constexpr std::uint8_t kResponseFlagReplayed = 0x01;
+
+struct RequestHeader {
+  std::uint64_t req_id = 0;
+  std::uint64_t epoch = 0;        ///< caller's dedup epoch (see rpc.h)
+  std::uint64_t ack_through = 0;  ///< caller will never retransmit ids <= this
+  std::string object;
+  std::string entry;
+
+  bool operator==(const RequestHeader&) const = default;
+};
+
+struct ResponseHeader {
+  std::uint64_t req_id = 0;
+  WireCause cause = WireCause::kOk;
+  std::uint8_t flags = 0;
+
+  bool operator==(const ResponseHeader&) const = default;
+};
+
+/// Appends the MsgType byte plus the header fields.
+void encode_request_header(const RequestHeader& h,
+                           std::vector<std::uint8_t>& out);
+void encode_response_header(const ResponseHeader& h,
+                            std::vector<std::uint8_t>& out);
+void encode_ack(std::uint64_t ack_through, std::vector<std::uint8_t>& out);
+
+/// Decoders assume the MsgType byte has already been consumed; they throw
+/// Error(kBadMessage) on truncation or an out-of-range cause byte.
+RequestHeader decode_request_header(const std::vector<std::uint8_t>& in,
+                                    std::size_t& pos);
+ResponseHeader decode_response_header(const std::vector<std::uint8_t>& in,
+                                      std::size_t& pos);
+std::uint64_t decode_ack(const std::vector<std::uint8_t>& in,
+                         std::size_t& pos);
+
+/// Byte offset of the flags field inside an encoded response payload
+/// (type + req_id + cause); the server flips the replayed bit in its cached
+/// copy without re-encoding the whole frame.
+inline constexpr std::size_t kResponseFlagsOffset = 1 + 8 + 1;
 
 /// Hook pair used when values may contain channels. encode_channel must
 /// return a stable (node, id) naming; decode_channel must return a channel

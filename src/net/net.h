@@ -1,0 +1,14 @@
+// Umbrella header for the distribution substrate (S8), mirroring core/alps.h.
+//
+//   net::Network       simulated multi-node network: per-link latency,
+//                      fault injection (drop/duplicate/reorder/partition)
+//   net::Node          hosts kernel Objects; retry timer + at-most-once dedup
+//   net::RemoteObject  proxy: call/async_call with CallOptions → Result
+//   net::RetryPolicy   retransmission discipline (backoff + jitter)
+//   net::RpcError      typed failure causes (timeout, partitioned, ...)
+//   codec.h            wire format: Value TLV + frame headers
+#pragma once
+
+#include "net/codec.h"
+#include "net/network.h"
+#include "net/rpc.h"

@@ -57,7 +57,30 @@ LinkLatency Network::latency_for(NodeId src, NodeId dst) const {
 
 void Network::set_loss_probability(double p) {
   std::scoped_lock lock(mu_);
-  loss_probability_ = p;
+  default_faults_.drop = p;
+}
+
+void Network::set_default_faults(LinkFaults faults) {
+  std::scoped_lock lock(mu_);
+  default_faults_ = faults;
+}
+
+void Network::set_link_faults(NodeId src, NodeId dst, LinkFaults faults) {
+  std::scoped_lock lock(mu_);
+  for (auto& [key, f] : fault_overrides_) {
+    if (key.first == src && key.second == dst) {
+      f = faults;
+      return;
+    }
+  }
+  fault_overrides_.push_back({{src, dst}, faults});
+}
+
+LinkFaults Network::faults_for(NodeId src, NodeId dst) const {
+  for (const auto& [key, f] : fault_overrides_) {
+    if (key.first == src && key.second == dst) return f;
+  }
+  return default_faults_;
 }
 
 void Network::partition(NodeId a, NodeId b) {
@@ -65,27 +88,59 @@ void Network::partition(NodeId a, NodeId b) {
   partitions_.emplace_back(a, b);
 }
 
+void Network::schedule_partition(NodeId a, NodeId b, std::uint64_t after_frames,
+                                 std::uint64_t duration_frames) {
+  std::scoped_lock lock(mu_);
+  scripted_partitions_.push_back(PartitionScript{
+      a, b, total_posted_ + after_frames,
+      total_posted_ + after_frames + duration_frames});
+}
+
 void Network::heal() {
   std::scoped_lock lock(mu_);
   partitions_.clear();
+  scripted_partitions_.clear();
+}
+
+bool Network::partitioned_locked(NodeId a, NodeId b) const {
+  for (const auto& [pa, pb] : partitions_) {
+    if ((a == pa && b == pb) || (a == pb && b == pa)) return true;
+  }
+  for (const auto& s : scripted_partitions_) {
+    if (total_posted_ < s.start || total_posted_ >= s.end) continue;
+    if ((a == s.a && b == s.b) || (a == s.b && b == s.a)) return true;
+  }
+  return false;
+}
+
+bool Network::is_partitioned(NodeId a, NodeId b) const {
+  std::scoped_lock lock(mu_);
+  return partitioned_locked(a, b);
 }
 
 void Network::post(Frame frame) {
   {
     std::scoped_lock lock(mu_);
     // Failure injection: partitions and random loss silently eat the frame,
-    // as a real datagram network would.
-    for (const auto& [a, b] : partitions_) {
-      if ((frame.src == a && frame.dst == b) ||
-          (frame.src == b && frame.dst == a)) {
-        ++stats_.frames_lost;
-        return;
-      }
-    }
-    if (loss_probability_ > 0.0 && rng_.next_double() < loss_probability_) {
+    // as a real datagram network would. The partition check reads the clock
+    // before this post advances it, so "after N frames" cuts the N+1st; every
+    // post (including eaten ones) then drives the script forward —
+    // retransmissions make a scripted heal progress.
+    const bool cut = partitioned_locked(frame.src, frame.dst);
+    ++total_posted_;
+    if (cut) {
       ++stats_.frames_lost;
       return;
     }
+    const LinkFaults faults = faults_for(frame.src, frame.dst);
+    if (faults.drop > 0.0 && rng_.next_double() < faults.drop) {
+      ++stats_.frames_lost;
+      return;
+    }
+    const bool duplicate =
+        faults.duplicate > 0.0 && rng_.next_double() < faults.duplicate;
+    const bool reorder =
+        faults.reorder > 0.0 && rng_.next_double() < faults.reorder;
     const LinkLatency lat = latency_for(frame.src, frame.dst);
     auto delay = lat.base;
     if (lat.jitter.count() > 0) {
@@ -95,9 +150,25 @@ void Network::post(Frame frame) {
     auto due = std::chrono::steady_clock::now() + delay;
     // Links are FIFO (the paper's channels are point-to-point and ordered):
     // jitter may stretch a link's latency but never reorders its frames.
-    auto& last = last_due_[(frame.src << 32) | (frame.dst & 0xffffffffu)];
-    if (due < last) due = last;
-    last = due;
+    // An injected reorder fault lets this frame escape the clamp (and does
+    // not advance it, so later frames are unaffected).
+    auto& link = last_due_[(frame.src << 32) | (frame.dst & 0xffffffffu)];
+    if (reorder) {
+      if (due < link.max_due) ++stats_.frames_reordered;
+    } else {
+      if (due < link.clamp) due = link.clamp;
+      link.clamp = due;
+    }
+    if (due > link.max_due) link.max_due = due;
+    if (duplicate) {
+      auto extra = std::chrono::microseconds(0);
+      if (faults.duplicate_jitter.count() > 0) {
+        extra = std::chrono::microseconds(rng_.next_below(
+            static_cast<std::uint64_t>(faults.duplicate_jitter.count()) + 1));
+      }
+      ++stats_.frames_duplicated;
+      queue_.push(Scheduled{due + extra, next_seq_++, frame});  // copy
+    }
     queue_.push(Scheduled{due, next_seq_++, std::move(frame)});
   }
   cv_.notify_all();

@@ -38,11 +38,24 @@ struct LinkLatency {
   std::chrono::microseconds jitter{0};  // uniform in [0, jitter]
 };
 
+/// Per-link fault injection knobs. All probabilities are independent
+/// per-frame Bernoulli draws from the network's seeded RNG, so a given
+/// frame-post sequence produces the same fault pattern every run.
+struct LinkFaults {
+  double drop = 0.0;       ///< frame silently lost
+  double duplicate = 0.0;  ///< a second copy is delivered after extra jitter
+  double reorder = 0.0;    ///< frame escapes the link's FIFO clamp
+  /// Extra delay bound for duplicated copies (uniform in [0, this]).
+  std::chrono::microseconds duplicate_jitter{2000};
+};
+
 struct NetworkStats {
   std::uint64_t frames_delivered = 0;
   std::uint64_t bytes_delivered = 0;
-  std::uint64_t frames_dropped = 0;  // dst unknown or no handler
-  std::uint64_t frames_lost = 0;     // failure injection (loss or partition)
+  std::uint64_t frames_dropped = 0;     // dst unknown or no handler
+  std::uint64_t frames_lost = 0;        // failure injection (loss or partition)
+  std::uint64_t frames_duplicated = 0;  // injected duplicate copies
+  std::uint64_t frames_reordered = 0;   // frames that escaped the FIFO clamp
 };
 
 /// A set of nodes plus a delivery thread. Handlers run on the delivery
@@ -73,8 +86,15 @@ class Network {
   // ---- failure injection (experiments & tests) ----
 
   /// Drops each frame independently with probability `p` (0 disables).
-  /// Deterministic under the network's seed.
+  /// Deterministic under the network's seed. Equivalent to setting the
+  /// default LinkFaults' drop probability.
   void set_loss_probability(double p);
+
+  /// Faults applied to every link without a per-link override.
+  void set_default_faults(LinkFaults faults);
+
+  /// Overrides the fault model of the directed link src → dst.
+  void set_link_faults(NodeId src, NodeId dst, LinkFaults faults);
 
   /// Severs both directions between the two node sets containing `a` and
   /// `b`: frames between a's side and b's side are lost until heal() — a
@@ -82,8 +102,20 @@ class Network {
   /// by the explicit pair list.)
   void partition(NodeId a, NodeId b);
 
-  /// Removes all partitions.
+  /// Scripted partition, deterministic under the frame stream: the a↔b cut
+  /// activates once `after_frames` total frames have been posted and heals
+  /// after `duration_frames` more. Lost frames count as posted, so
+  /// retransmissions drive the script forward even while the cut is active.
+  void schedule_partition(NodeId a, NodeId b, std::uint64_t after_frames,
+                          std::uint64_t duration_frames);
+
+  /// Removes all partitions, manual and scripted.
   void heal();
+
+  /// True while an a↔b cut (manual or currently-active scripted) exists.
+  /// The RPC layer uses this to type a delivery failure as "partitioned"
+  /// rather than a plain timeout.
+  bool is_partitioned(NodeId a, NodeId b) const;
 
   NetworkStats stats() const;
   std::size_t node_count() const;
@@ -102,8 +134,16 @@ class Network {
     }
   };
 
+  struct PartitionScript {
+    NodeId a, b;
+    std::uint64_t start;  // activates when total_posted_ >= start
+    std::uint64_t end;    // heals when total_posted_ >= end
+  };
+
   void delivery_loop(const std::stop_token& st);
   LinkLatency latency_for(NodeId src, NodeId dst) const;
+  LinkFaults faults_for(NodeId src, NodeId dst) const;
+  bool partitioned_locked(NodeId a, NodeId b) const;
 
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
@@ -112,15 +152,23 @@ class Network {
   std::vector<std::string> node_names_;
   std::vector<std::function<void(Frame)>> handlers_;
   std::vector<std::pair<std::pair<NodeId, NodeId>, LinkLatency>> link_overrides_;
+  std::vector<std::pair<std::pair<NodeId, NodeId>, LinkFaults>> fault_overrides_;
   std::vector<std::pair<NodeId, NodeId>> partitions_;  // undirected pairs
-  double loss_probability_ = 0.0;
+  std::vector<PartitionScript> scripted_partitions_;
+  std::uint64_t total_posted_ = 0;  // all post() calls, including lost frames
+  LinkFaults default_faults_;
   LinkLatency default_latency_;
   support::Rng rng_;
   NetworkStats stats_;
-  /// Last scheduled delivery per directed link (keyed src<<32|dst), used to
-  /// keep each link FIFO under jitter.
-  std::unordered_map<std::uint64_t, std::chrono::steady_clock::time_point>
-      last_due_;
+  /// Per-directed-link schedule state (keyed src<<32|dst): `clamp` is the
+  /// FIFO watermark jittered frames are held to; `max_due` is the latest
+  /// delivery ever scheduled, used to detect when an injected reorder fault
+  /// actually overtook an earlier frame.
+  struct LinkSchedule {
+    std::chrono::steady_clock::time_point clamp;
+    std::chrono::steady_clock::time_point max_due;
+  };
+  std::unordered_map<std::uint64_t, LinkSchedule> last_due_;
   std::uint64_t next_seq_ = 0;
   bool delivering_ = false;
   std::jthread delivery_thread_;

@@ -1,59 +1,126 @@
 #include "net/rpc.h"
 
+#include <atomic>
+
 #include "core/error.h"
 #include "support/log.h"
+#include "support/thread_util.h"
 
 namespace alps::net {
 
-CallHandle RemoteObject::async_call(const std::string& entry,
-                                    ValueList params) {
+namespace {
+
+/// Upper bound on cached at-most-once entries per caller. Acks normally keep
+/// tables tiny; the bound is the backstop for a caller that never acks
+/// (entries with responses already sent are evicted oldest-first).
+constexpr std::size_t kMaxDedupPerCaller = 256;
+
+/// Dedup epochs distinguish distinct Node incarnations, so a fresh node
+/// whose req_ids restart at 1 can never be answered from a predecessor's
+/// cached responses.
+std::atomic<std::uint64_t> g_next_epoch{1};
+
+}  // namespace
+
+const char* to_string(RpcCause cause) {
+  switch (cause) {
+    case RpcCause::kTimeout: return "rpc timeout";
+    case RpcCause::kPartitioned: return "rpc partitioned";
+    case RpcCause::kObjectNotFound: return "rpc object not found";
+    case RpcCause::kRemoteError: return "rpc remote error";
+    case RpcCause::kCancelled: return "rpc cancelled";
+    case RpcCause::kShutdown: return "rpc node shutdown";
+  }
+  return "rpc error";
+}
+
+Result<ValueList, RpcError> RpcHandle::result() {
+  try {
+    return state_->get();
+  } catch (const RpcError& e) {
+    return e;
+  } catch (const Error& e) {
+    // Non-RPC Error escaping the wire layer (should not happen) — surface
+    // as a remote error rather than throwing through the no-throw surface.
+    return RpcError(RpcCause::kRemoteError, e.what());
+  }
+}
+
+void RpcHandle::cancel() {
+  if (node_) node_->cancel_request(req_id_);
+}
+
+// ---- RemoteObject ----------------------------------------------------------
+
+RpcHandle RemoteObject::async_call(const std::string& entry, ValueList params,
+                                   const CallOptions& opts) {
   if (!node_) raise(ErrorCode::kNetwork, "invalid RemoteObject");
-  return node_->send_request(target_, object_name_, entry, std::move(params));
+  std::uint64_t req_id = 0;
+  auto state = node_->start_call(target_, object_name_, entry,
+                                 std::move(params), opts, &req_id);
+  return RpcHandle(std::move(state), node_, req_id);
+}
+
+Result<ValueList, RpcError> RemoteObject::call(const std::string& entry,
+                                               ValueList params,
+                                               const CallOptions& opts) {
+  return async_call(entry, std::move(params), opts).result();
 }
 
 ValueList RemoteObject::call(const std::string& entry, ValueList params) {
-  return async_call(entry, std::move(params)).get();
+  auto r = call(entry, std::move(params), CallOptions{});
+  if (!r.ok()) throw r.error();
+  return std::move(r).value();
+}
+
+CallHandle RemoteObject::async_call(const std::string& entry,
+                                    ValueList params) {
+  return async_call(entry, std::move(params), CallOptions{}).handle();
 }
 
 std::optional<ValueList> RemoteObject::call_for(
     const std::string& entry, ValueList params,
     std::chrono::milliseconds timeout) {
-  if (!node_) raise(ErrorCode::kNetwork, "invalid RemoteObject");
-  std::uint64_t req_id = 0;
-  CallHandle handle =
-      node_->send_request(target_, object_name_, entry, std::move(params),
-                          &req_id);
-  if (!handle.wait_for(timeout)) {
-    node_->cancel_request(req_id);
-    // The cancel fails the handle unless a response raced in; re-check.
-    if (!handle.ready()) return std::nullopt;
-  }
-  try {
-    return handle.get();
-  } catch (const Error&) {
-    return std::nullopt;
-  }
+  CallOptions opts;
+  opts.deadline = timeout;
+  auto r = call(entry, std::move(params), opts);
+  if (!r.ok()) return std::nullopt;
+  return std::move(r).value();
 }
 
+// ---- Node lifecycle --------------------------------------------------------
+
 Node::Node(Network& network, const std::string& name)
-    : network_(&network), name_(name) {
+    : network_(&network),
+      name_(name),
+      epoch_(g_next_epoch.fetch_add(1, std::memory_order_relaxed)),
+      rng_(std::hash<std::string>{}(name) ^ 0x414c50534e455455ull) {
   id_ = network.add_node(name);
   network.set_handler(id_, [this](Frame f) { handle_frame(std::move(f)); });
+  timer_thread_ = std::jthread([this](std::stop_token st) { retry_loop(st); });
 }
 
 Node::~Node() {
   // Deregister so late frames are counted as drops instead of running into
   // a destroyed node.
   network_->set_handler(id_, nullptr);
+  timer_thread_.request_stop();
+  {
+    std::scoped_lock lock(mu_);  // pairs with the retry loop's wait
+  }
+  timer_cv_.notify_all();
+  if (timer_thread_.joinable()) timer_thread_.join();
   // Fail anything still waiting for a response.
-  std::vector<std::shared_ptr<CallState>> orphans;
+  std::vector<std::pair<std::shared_ptr<CallState>, std::string>> orphans;
   {
     std::scoped_lock lock(mu_);
-    for (auto& [req, state] : pending_) orphans.push_back(state);
+    for (auto& [req, p] : pending_) orphans.emplace_back(p.state, p.label);
     pending_.clear();
+    outstanding_.clear();
   }
-  for (auto& state : orphans) {
-    state->fail(ErrorCode::kNetwork, "node " + name_ + " shut down");
+  for (auto& [state, label] : orphans) {
+    state->fail(std::make_exception_ptr(RpcError(
+        RpcCause::kShutdown, label + ": node " + name_ + " shut down")));
   }
 }
 
@@ -118,26 +185,176 @@ ChannelRef Node::decode_channel(std::uint64_t node, std::uint64_t id) {
   return proxy;
 }
 
-CallHandle Node::send_request(NodeId target, const std::string& object_name,
-                              const std::string& entry, ValueList params,
-                              std::uint64_t* req_id_out) {
+// ---- client side -----------------------------------------------------------
+
+std::shared_ptr<CallState> Node::start_call(NodeId target,
+                                            const std::string& object_name,
+                                            const std::string& entry,
+                                            ValueList params,
+                                            const CallOptions& opts,
+                                            std::uint64_t* req_id_out) {
   auto state = std::make_shared<CallState>();
   std::uint64_t req_id;
+  std::uint64_t ack;
   {
     std::scoped_lock lock(mu_);
     req_id = next_req_++;
-    pending_[req_id] = state;
+    auto& out = outstanding_[target];
+    // Watermark: every id <= ack has completed (or failed) locally and will
+    // never be retransmitted, so the server may evict its dedup entries.
+    ack = out.empty() ? last_sent_[target] : *out.begin() - 1;
+    out.insert(req_id);
+    last_sent_[target] = req_id;
   }
   if (req_id_out) *req_id_out = req_id;
+
   std::vector<std::uint8_t> payload;
-  put_u8(payload, static_cast<std::uint8_t>(MsgType::kRequest));
-  put_u64(payload, req_id);
-  put_string(payload, object_name);
-  put_string(payload, entry);
-  encode_list(params, payload, this);
+  encode_request_header(
+      RequestHeader{req_id, epoch_, ack, object_name, entry}, payload);
+  encode_list(params, payload, this);  // resolver locks mu_; keep it released
+
+  const auto now = std::chrono::steady_clock::now();
+  auto overall = std::chrono::steady_clock::time_point::max();
+  if (opts.deadline.count() > 0) overall = now + opts.deadline;
+  {
+    std::scoped_lock lock(mu_);
+    Pending p;
+    p.state = state;
+    p.target = target;
+    p.label = object_name + "." + entry;
+    p.payload = payload;  // keep a re-sendable copy
+    p.retry = opts.retry.has_value();
+    if (p.retry) {
+      p.policy = *opts.retry;
+      p.backoff = std::chrono::duration_cast<std::chrono::microseconds>(
+          p.policy.initial_backoff);
+    }
+    p.overall_deadline = overall;
+    auto due = std::chrono::steady_clock::time_point::max();
+    if (p.retry) due = now + p.policy.attempt_timeout;
+    if (overall < due) due = overall;
+    pending_.emplace(req_id, std::move(p));
+    if (due != std::chrono::steady_clock::time_point::max()) {
+      timers_.push(TimerEntry{due, req_id});
+    }
+  }
+  timer_cv_.notify_all();
   network_->post(Frame{id_, target, std::move(payload)});
-  return CallHandle(state);
+  return state;
 }
+
+std::vector<std::uint8_t> Node::finish_pending_locked(std::uint64_t req_id,
+                                                      NodeId target) {
+  pending_.erase(req_id);
+  std::vector<std::uint8_t> ack;
+  auto oit = outstanding_.find(target);
+  if (oit != outstanding_.end()) {
+    oit->second.erase(req_id);
+    if (oit->second.empty()) {
+      // Caller went idle towards this target: tell it to evict everything
+      // up to the last id we ever sent it (nothing below can retransmit).
+      encode_ack(last_sent_[target], ack);
+    }
+  }
+  return ack;
+}
+
+void Node::retry_loop(const std::stop_token& st) {
+  support::set_current_thread_name("net/retry");
+  std::unique_lock lock(mu_);
+  while (!st.stop_requested()) {
+    if (timers_.empty()) {
+      timer_cv_.wait(lock, [&] {
+        return st.stop_requested() || !timers_.empty();
+      });
+      continue;
+    }
+    const auto due = timers_.top().due;
+    if (std::chrono::steady_clock::now() < due) {
+      timer_cv_.wait_until(lock, due, [&] {
+        return st.stop_requested() ||
+               (!timers_.empty() &&
+                timers_.top().due <= std::chrono::steady_clock::now());
+      });
+      continue;
+    }
+    const std::uint64_t req_id = timers_.top().req_id;
+    timers_.pop();
+    auto it = pending_.find(req_id);
+    if (it == pending_.end() || it->second.state->ready()) continue;  // stale
+    Pending& p = it->second;
+    const auto now = std::chrono::steady_clock::now();
+    const bool attempts_left =
+        p.retry &&
+        (p.policy.max_attempts == 0 || p.attempts < p.policy.max_attempts);
+    if (now >= p.overall_deadline || !attempts_left) {
+      auto state = p.state;
+      const int attempts = p.attempts;
+      const NodeId target = p.target;
+      std::string what = p.label + " to node " + std::to_string(target) +
+                         " unanswered after " + std::to_string(attempts) +
+                         " attempt(s)";
+      auto ack = finish_pending_locked(req_id, target);
+      ++client_stats_.failures;
+      if (!ack.empty()) ++client_stats_.acks_sent;
+      const bool partitioned = network_->is_partitioned(id_, target);
+      lock.unlock();
+      state->fail(std::make_exception_ptr(
+          RpcError(partitioned ? RpcCause::kPartitioned : RpcCause::kTimeout,
+                   what, attempts)));
+      if (!ack.empty()) network_->post(Frame{id_, target, std::move(ack)});
+      lock.lock();
+      continue;
+    }
+    // Retransmit now; the next timer fires after jittered backoff + the
+    // attempt timeout (a TCP-RTO-style growing retransmit interval).
+    ++p.attempts;
+    ++client_stats_.retransmits;
+    const NodeId target = p.target;
+    std::vector<std::uint8_t> payload = p.payload;
+    double jitter_scale = 1.0;
+    if (p.policy.jitter > 0.0) {
+      jitter_scale += p.policy.jitter * (rng_.next_double() * 2.0 - 1.0);
+    }
+    auto backoff = std::chrono::duration_cast<std::chrono::microseconds>(
+        p.backoff * jitter_scale);
+    auto next_backoff = std::chrono::duration_cast<std::chrono::microseconds>(
+        p.backoff * p.policy.multiplier);
+    const auto cap = std::chrono::duration_cast<std::chrono::microseconds>(
+        p.policy.max_backoff);
+    p.backoff = next_backoff < cap ? next_backoff : cap;
+    auto next_due = now + backoff + p.policy.attempt_timeout;
+    if (p.overall_deadline < next_due) next_due = p.overall_deadline;
+    timers_.push(TimerEntry{next_due, req_id});
+    lock.unlock();
+    network_->post(Frame{id_, target, std::move(payload)});
+    lock.lock();
+  }
+}
+
+void Node::cancel_request(std::uint64_t req_id) {
+  std::shared_ptr<CallState> state;
+  std::string label;
+  NodeId target = 0;
+  std::vector<std::uint8_t> ack;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = pending_.find(req_id);
+    if (it == pending_.end()) return;  // already answered
+    state = it->second.state;
+    label = it->second.label;
+    target = it->second.target;
+    ack = finish_pending_locked(req_id, target);
+    ++client_stats_.failures;
+    if (!ack.empty()) ++client_stats_.acks_sent;
+  }
+  state->fail(std::make_exception_ptr(RpcError(
+      RpcCause::kCancelled,
+      label + ": request #" + std::to_string(req_id) + " cancelled")));
+  if (!ack.empty()) network_->post(Frame{id_, target, std::move(ack)});
+}
+
+// ---- frame dispatch --------------------------------------------------------
 
 void Node::handle_frame(Frame frame) {
   std::size_t pos = 0;
@@ -148,10 +365,13 @@ void Node::handle_frame(Frame frame) {
         handle_request(frame.src, frame.payload, pos);
         return;
       case MsgType::kResponse:
-        handle_response(frame.payload, pos);
+        handle_response(frame.src, frame.payload, pos);
         return;
       case MsgType::kChanSend:
         handle_chan_send(frame.payload, pos);
+        return;
+      case MsgType::kAck:
+        handle_ack(frame.src, frame.payload, pos);
         return;
     }
     raise(ErrorCode::kBadMessage, "unknown frame type");
@@ -161,23 +381,113 @@ void Node::handle_frame(Frame frame) {
   }
 }
 
+// ---- server side -----------------------------------------------------------
+
+void Node::evict_dedup_locked(CallerTable& table, std::uint64_t ack_through) {
+  if (ack_through > table.acked_through) table.acked_through = ack_through;
+  auto it = table.entries.begin();
+  while (it != table.entries.end() && it->first <= ack_through) {
+    it = table.entries.erase(it);
+    ++server_stats_.dedup_evicted;
+  }
+}
+
 void Node::handle_request(NodeId from, const std::vector<std::uint8_t>& payload,
                           std::size_t pos) {
-  const std::uint64_t req_id = get_u64(payload, pos);
-  const std::string object_name = get_string(payload, pos);
-  const std::string entry = get_string(payload, pos);
+  const RequestHeader header = decode_request_header(payload, pos);
   ValueList params = decode_list(payload, pos, this);
 
-  auto respond = [this, from, req_id](bool ok, ValueList results,
-                                      const std::string& error) {
+  // At-most-once gate: a retransmission of an executed request replays the
+  // cached response; one still executing is dropped (its response will go
+  // out when the body finishes). Only a first arrival dispatches.
+  std::vector<std::uint8_t> replay;
+  bool in_flight_dup = false;
+  {
+    std::scoped_lock lock(mu_);
+    ++server_stats_.requests_received;
+    auto& table = dedup_[from];
+    if (table.epoch != header.epoch) {
+      // New caller incarnation: its req_ids restart, so the old cache is
+      // not just stale but wrong. Flush it.
+      server_stats_.dedup_evicted += table.entries.size();
+      table.entries.clear();
+      table.acked_through = 0;
+      table.epoch = header.epoch;
+    }
+    evict_dedup_locked(table, header.ack_through);
+    if (header.req_id <= table.acked_through) {
+      // A network-level duplicate of a call the caller already acked: its
+      // dedup entry is gone, but the ack guarantees the caller has the
+      // result, so re-executing would break at-most-once. Drop it.
+      ++server_stats_.dup_acked;
+      return;
+    }
+    if (auto it = table.entries.find(header.req_id);
+        it != table.entries.end()) {
+      if (it->second.done) {
+        replay = it->second.response;
+        replay[kResponseFlagsOffset] |= kResponseFlagReplayed;
+        ++server_stats_.dedup_replayed;
+      } else {
+        ++server_stats_.dup_in_flight;
+        in_flight_dup = true;
+      }
+    } else {
+      table.entries.emplace(header.req_id, DedupEntry{});
+      if (table.entries.size() > kMaxDedupPerCaller) {
+        // Backstop for ack-less callers: drop oldest completed entries.
+        for (auto eit = table.entries.begin();
+             eit != table.entries.end() &&
+             table.entries.size() > kMaxDedupPerCaller;) {
+          if (eit->second.done) {
+            eit = table.entries.erase(eit);
+            ++server_stats_.dedup_evicted;
+          } else {
+            ++eit;
+          }
+        }
+      }
+    }
+  }
+  if (in_flight_dup) return;
+  if (!replay.empty()) {
+    network_->post(Frame{id_, from, std::move(replay)});
+    return;
+  }
+
+  auto respond = [this, from, req_id = header.req_id, epoch = header.epoch](
+                     WireCause cause, ValueList results,
+                     const std::string& error) {
     std::vector<std::uint8_t> out;
-    put_u8(out, static_cast<std::uint8_t>(MsgType::kResponse));
-    put_u64(out, req_id);
-    put_u8(out, ok ? 1 : 0);
-    if (ok) {
+    encode_response_header(ResponseHeader{req_id, cause, 0}, out);
+    if (cause == WireCause::kOk) {
       encode_list(results, out, this);
     } else {
       put_string(out, error);
+    }
+    {
+      std::scoped_lock lock(mu_);
+      auto dit = dedup_.find(from);
+      if (dit != dedup_.end() && dit->second.epoch == epoch) {
+        if (auto eit = dit->second.entries.find(req_id);
+            eit != dit->second.entries.end()) {
+          eit->second.done = true;
+          eit->second.response = out;
+        }
+        // The insert-time bound cannot evict in-flight entries, so a burst
+        // from an ack-less caller can overrun the cap; shrink back as the
+        // bodies complete.
+        auto& entries = dit->second.entries;
+        for (auto bit = entries.begin();
+             bit != entries.end() && entries.size() > kMaxDedupPerCaller;) {
+          if (bit->second.done) {
+            bit = entries.erase(bit);
+            ++server_stats_.dedup_evicted;
+          } else {
+            ++bit;
+          }
+        }
+      }
     }
     network_->post(Frame{id_, from, std::move(out)});
   };
@@ -185,50 +495,83 @@ void Node::handle_request(NodeId from, const std::vector<std::uint8_t>& payload,
   Object* object = nullptr;
   {
     std::scoped_lock lock(mu_);
-    auto it = hosted_.find(object_name);
+    auto it = hosted_.find(header.object);
     if (it != hosted_.end()) object = it->second;
   }
   if (!object) {
-    respond(false, {}, "no such object: " + object_name);
+    respond(WireCause::kObjectNotFound, {},
+            "no such object: " + header.object);
     return;
   }
 
   CallHandle handle;
   try {
-    handle = object->async_call(entry, std::move(params));
+    handle = object->async_call(header.entry, std::move(params));
+    std::scoped_lock lock(mu_);
+    ++server_stats_.dispatched;
   } catch (const std::exception& e) {
-    respond(false, {}, e.what());
+    respond(WireCause::kRemoteError, {}, e.what());
     return;
   }
   // Send the response from whichever thread completes the call (typically
   // the object's manager at finish); posting a frame never blocks.
   handle.state()->on_complete([respond](CallState& state) {
     try {
-      respond(true, state.get(), "");
+      respond(WireCause::kOk, state.get(), "");
     } catch (const std::exception& e) {
-      respond(false, {}, e.what());
+      respond(WireCause::kRemoteError, {}, e.what());
     }
   });
 }
 
-void Node::handle_response(const std::vector<std::uint8_t>& payload,
+void Node::handle_response(NodeId from,
+                           const std::vector<std::uint8_t>& payload,
                            std::size_t pos) {
-  const std::uint64_t req_id = get_u64(payload, pos);
-  const bool ok = get_u8(payload, pos) != 0;
+  const ResponseHeader header = decode_response_header(payload, pos);
+  // Decode the body before touching bookkeeping so a corrupt frame cannot
+  // orphan the pending entry (the retry timer keeps owning it).
+  ValueList results;
+  std::string error;
+  if (header.cause == WireCause::kOk) {
+    results = decode_list(payload, pos, this);
+  } else {
+    error = get_string(payload, pos);
+  }
   std::shared_ptr<CallState> state;
+  int attempts = 1;
+  std::vector<std::uint8_t> ack;
   {
     std::scoped_lock lock(mu_);
-    auto it = pending_.find(req_id);
-    if (it == pending_.end()) return;  // duplicate or post-shutdown response
-    state = it->second;
-    pending_.erase(it);
+    auto it = pending_.find(header.req_id);
+    if (it == pending_.end()) {
+      // Late (post-timeout/cancel), duplicate, or post-shutdown response:
+      // req_ids are never reused, so dropping it is always correct.
+      ++client_stats_.stale_responses;
+      return;
+    }
+    state = it->second.state;
+    attempts = it->second.attempts;
+    ack = finish_pending_locked(header.req_id, from);
+    if (!ack.empty()) ++client_stats_.acks_sent;
   }
-  if (ok) {
-    state->complete(decode_list(payload, pos, this));
+  if (header.cause == WireCause::kOk) {
+    state->complete(std::move(results));
   } else {
-    state->fail(ErrorCode::kNetwork,
-                "remote call failed: " + get_string(payload, pos));
+    const RpcCause cause = header.cause == WireCause::kObjectNotFound
+                               ? RpcCause::kObjectNotFound
+                               : RpcCause::kRemoteError;
+    state->fail(std::make_exception_ptr(RpcError(cause, error, attempts)));
   }
+  if (!ack.empty()) network_->post(Frame{id_, from, std::move(ack)});
+}
+
+void Node::handle_ack(NodeId from, const std::vector<std::uint8_t>& payload,
+                      std::size_t pos) {
+  const std::uint64_t ack_through = decode_ack(payload, pos);
+  std::scoped_lock lock(mu_);
+  auto it = dedup_.find(from);
+  if (it == dedup_.end()) return;
+  evict_dedup_locked(it->second, ack_through);
 }
 
 void Node::handle_chan_send(const std::vector<std::uint8_t>& payload,
@@ -248,22 +591,25 @@ void Node::handle_chan_send(const std::vector<std::uint8_t>& payload,
   channel->send(std::move(message));
 }
 
-void Node::cancel_request(std::uint64_t req_id) {
-  std::shared_ptr<CallState> state;
-  {
-    std::scoped_lock lock(mu_);
-    auto it = pending_.find(req_id);
-    if (it == pending_.end()) return;  // already answered
-    state = it->second;
-    pending_.erase(it);
-  }
-  state->fail(ErrorCode::kNetwork,
-              "request #" + std::to_string(req_id) + " timed out");
-}
-
 std::size_t Node::inflight() const {
   std::scoped_lock lock(mu_);
   return pending_.size();
+}
+
+Node::ServerStats Node::server_stats() const {
+  std::scoped_lock lock(mu_);
+  return server_stats_;
+}
+
+Node::ClientStats Node::client_stats() const {
+  std::scoped_lock lock(mu_);
+  return client_stats_;
+}
+
+std::size_t Node::dedup_entries(NodeId caller) const {
+  std::scoped_lock lock(mu_);
+  auto it = dedup_.find(caller);
+  return it == dedup_.end() ? 0 : it->second.entries.size();
 }
 
 }  // namespace alps::net

@@ -4,10 +4,27 @@
 // procedure calls. A user can further communicate with an executing remote
 // procedure using message passing on point-to-point channels." (§1)
 //
-// A Node hosts kernel Objects and speaks three frame types:
-//   kRequest   — (req_id, object, entry, params)   → Object::async_call
-//   kResponse  — (req_id, ok, results | error)     → completes the future
-//   kChanSend  — (chan_id, message)                → local channel send
+// A Node hosts kernel Objects and speaks four frame types (see codec.h for
+// the wire layout):
+//   kRequest   — (req_id, epoch, ack, object, entry, params) → Object::async_call
+//   kResponse  — (req_id, cause, flags, results | error)     → completes the future
+//   kChanSend  — (chan_id, message)                          → local channel send
+//   kAck       — (ack_through)                               → dedup eviction
+//
+// Fault tolerance. The network may drop, duplicate or reorder frames and
+// sever links (see network.h). Two cooperating mechanisms restore the
+// exactly-once call semantics ALPS objects assume:
+//
+//   * Client retries — a RetryPolicy retransmits an unanswered request with
+//     exponential backoff + jitter, driven by a per-Node retry timer thread.
+//     Failures surface as a typed RpcError (timeout, partitioned,
+//     object-not-found, remote-error) rather than an untyped hang.
+//   * Server-side at-most-once — a per-(caller, epoch) dedup table keyed by
+//     req_id. A retransmission of an executed request replays the cached
+//     response frame instead of re-invoking the entry body; one still in
+//     flight is dropped (its response is already on the way). Entries are
+//     evicted by the caller's ack watermark (piggybacked on requests and
+//     sent standalone when a caller goes idle) and bounded per caller.
 //
 // Channels cross the wire by name: a local channel encodes as (home node,
 // id); the receiving node materializes a proxy whose sends come back as
@@ -16,11 +33,16 @@
 #pragma once
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <queue>
+#include <set>
 #include <string>
+#include <thread>
 #include <unordered_map>
 
 #include "core/call.h"
@@ -28,24 +50,138 @@
 #include "core/object.h"
 #include "net/codec.h"
 #include "net/network.h"
+#include "support/rng.h"
 
 namespace alps::net {
 
 class Node;
+
+/// Why a remote call failed, as surfaced to the caller.
+enum class RpcCause {
+  kTimeout,         ///< no response within the attempt/overall deadline
+  kPartitioned,     ///< as kTimeout, but a partition to the target is active
+  kObjectNotFound,  ///< target node does not host the named object
+  kRemoteError,     ///< entry body threw / no such entry / object stopped
+  kCancelled,       ///< caller cancelled the in-flight request
+  kShutdown,        ///< local node destroyed with the call outstanding
+};
+
+const char* to_string(RpcCause cause);
+
+/// Typed RPC failure. Derives from Error so legacy `.get()` callers that
+/// catch Error keep working; new callers receive it as the error arm of
+/// `Result<ValueList, RpcError>` and switch on cause().
+class RpcError : public Error {
+ public:
+  RpcError(RpcCause cause, const std::string& what, int attempts = 1)
+      : Error(cause == RpcCause::kTimeout ? ErrorCode::kTimeout
+                                          : ErrorCode::kNetwork,
+              std::string(to_string(cause)) + ": " + what),
+        cause_(cause),
+        attempts_(attempts) {}
+
+  [[noreturn]] void raise_copy() const override { throw RpcError(*this); }
+
+  RpcCause cause() const { return cause_; }
+  /// Number of transmissions made before the failure surfaced.
+  int attempts() const { return attempts_; }
+
+ private:
+  RpcCause cause_;
+  int attempts_;
+};
+
+/// Retransmission discipline for one call. Attempt k waits
+/// `attempt_timeout`, then backs off `initial_backoff * multiplier^(k-1)`
+/// (capped at `max_backoff`, ± `jitter` fraction) before retransmitting.
+/// max_attempts == 0 means unlimited — retry until the overall deadline
+/// (or forever if none); that is the default, because with at-most-once
+/// dedup a retransmission is always safe and eventual completion is what
+/// the exactly-once call semantics promise.
+struct RetryPolicy {
+  int max_attempts = 0;  ///< 0 = unlimited (bounded by the overall deadline)
+  std::chrono::milliseconds attempt_timeout{50};
+  std::chrono::milliseconds initial_backoff{10};
+  double multiplier = 2.0;
+  std::chrono::milliseconds max_backoff{200};
+  double jitter = 0.2;  ///< fraction of the backoff, uniform ±
+};
+
+/// Per-call knobs for the redesigned call surface.
+struct CallOptions {
+  /// Overall deadline across all attempts; zero means none (wait forever).
+  std::chrono::milliseconds deadline{0};
+  /// Engaged = retransmit per the policy (server dedup keeps this safe for
+  /// non-idempotent entries). Disengaged = single attempt.
+  std::optional<RetryPolicy> retry;
+};
+
+/// Handle to an in-flight fault-tolerant call. result() blocks and never
+/// throws for RPC-level failures — they come back as the RpcError arm.
+class RpcHandle {
+ public:
+  RpcHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  bool ready() const { return state_ && state_->ready(); }
+  void wait() const { state_->wait(); }
+
+  template <class Rep, class Period>
+  bool wait_for(std::chrono::duration<Rep, Period> timeout) const {
+    return state_->wait_for(timeout);
+  }
+
+  /// Blocks until completion; returns results or the typed failure.
+  Result<ValueList, RpcError> result();
+
+  /// Abandons the call if still in flight: stops its retry timer, fails the
+  /// handle with RpcError(kCancelled), and guarantees a late response frame
+  /// is dropped (req_ids are never reused). No-op once completed. Note the
+  /// entry body may still execute remotely — cancellation is client-side.
+  void cancel();
+
+  std::uint64_t req_id() const { return req_id_; }
+
+  /// The underlying future, for interop with CallHandle-based code. Its
+  /// get() rethrows the RpcError.
+  CallHandle handle() const { return CallHandle(state_); }
+
+ private:
+  friend class RemoteObject;
+  RpcHandle(std::shared_ptr<CallState> state, Node* node, std::uint64_t req_id)
+      : state_(std::move(state)), node_(node), req_id_(req_id) {}
+
+  std::shared_ptr<CallState> state_;
+  Node* node_ = nullptr;
+  std::uint64_t req_id_ = 0;
+};
 
 /// Client-side proxy for an object hosted on another node.
 class RemoteObject {
  public:
   RemoteObject() = default;
 
-  /// Marshals the call into a request frame; the returned handle completes
-  /// when the response frame arrives.
-  CallHandle async_call(const std::string& entry, ValueList params);
+  /// Fault-tolerant call: blocks (respecting opts.deadline) and returns the
+  /// results or a typed RpcError. With opts.retry engaged the request is
+  /// retransmitted under the policy; server dedup guarantees the entry body
+  /// still executes at most once.
+  Result<ValueList, RpcError> call(const std::string& entry, ValueList params,
+                                   const CallOptions& opts);
 
+  /// Asynchronous form of the same surface.
+  RpcHandle async_call(const std::string& entry, ValueList params,
+                       const CallOptions& opts);
+
+  // ---- deprecated pre-CallOptions surface (thin forwarders) ----
+
+  [[deprecated("use call(entry, params, CallOptions{}) and inspect Result")]]
   ValueList call(const std::string& entry, ValueList params);
 
-  /// Timed call for lossy/partitioned networks: nullopt on timeout, after
-  /// which a late response is ignored (the request is cancelled).
+  [[deprecated("use async_call(entry, params, CallOptions{})")]]
+  CallHandle async_call(const std::string& entry, ValueList params);
+
+  [[deprecated(
+      "use call(entry, params, {.deadline = timeout}) and inspect Result")]]
   std::optional<ValueList> call_for(const std::string& entry, ValueList params,
                                     std::chrono::milliseconds timeout);
 
@@ -63,6 +199,25 @@ class RemoteObject {
 
 class Node : public ChannelResolver {
  public:
+  /// Counters for the at-most-once server side (tests assert exactly-once
+  /// execution through `dispatched` and the dedup counters).
+  struct ServerStats {
+    std::uint64_t requests_received = 0;
+    std::uint64_t dispatched = 0;       ///< entry bodies actually invoked
+    std::uint64_t dedup_replayed = 0;   ///< retransmissions answered from cache
+    std::uint64_t dup_in_flight = 0;    ///< retransmissions of running calls
+    std::uint64_t dup_acked = 0;        ///< duplicates at/below the ack mark
+    std::uint64_t dedup_evicted = 0;    ///< entries evicted by ack/bound
+  };
+
+  /// Counters for the client side.
+  struct ClientStats {
+    std::uint64_t retransmits = 0;
+    std::uint64_t failures = 0;          ///< calls surfaced as RpcError
+    std::uint64_t stale_responses = 0;   ///< late/duplicate responses dropped
+    std::uint64_t acks_sent = 0;
+  };
+
   Node(Network& network, const std::string& name);
   ~Node() override;
 
@@ -92,38 +247,89 @@ class Node : public ChannelResolver {
   /// Outstanding client requests (for tests).
   std::size_t inflight() const;
 
+  ServerStats server_stats() const;
+  ClientStats client_stats() const;
+  /// Live at-most-once entries cached for `caller` (for eviction tests).
+  std::size_t dedup_entries(NodeId caller) const;
+
  private:
   friend class RemoteObject;
+  friend class RpcHandle;
 
-  enum class MsgType : std::uint8_t {
-    kRequest = 1,
-    kResponse = 2,
-    kChanSend = 3,
+  struct Pending {
+    std::shared_ptr<CallState> state;
+    NodeId target = 0;
+    std::string label;                   // "object.entry" for diagnostics
+    std::vector<std::uint8_t> payload;   // encoded request frame, re-sendable
+    bool retry = false;
+    RetryPolicy policy;
+    int attempts = 1;
+    std::chrono::microseconds backoff{0};
+    std::chrono::steady_clock::time_point overall_deadline;
+  };
+
+  struct DedupEntry {
+    bool done = false;
+    std::vector<std::uint8_t> response;  // cached encoded response frame
+  };
+
+  struct CallerTable {
+    std::uint64_t epoch = 0;
+    /// Highest req_id the caller has acked. Requests at or below this are
+    /// network-level duplicates of completed calls — dropped outright, since
+    /// the ack promises the caller will never want their responses again.
+    std::uint64_t acked_through = 0;
+    std::map<std::uint64_t, DedupEntry> entries;  // ordered for watermarks
+  };
+
+  struct TimerEntry {
+    std::chrono::steady_clock::time_point due;
+    std::uint64_t req_id;
+    bool operator>(const TimerEntry& o) const { return due > o.due; }
   };
 
   void handle_frame(Frame frame);
   void handle_request(NodeId from, const std::vector<std::uint8_t>& payload,
                       std::size_t pos);
-  void handle_response(const std::vector<std::uint8_t>& payload,
+  void handle_response(NodeId from, const std::vector<std::uint8_t>& payload,
                        std::size_t pos);
   void handle_chan_send(const std::vector<std::uint8_t>& payload,
                         std::size_t pos);
+  void handle_ack(NodeId from, const std::vector<std::uint8_t>& payload,
+                  std::size_t pos);
 
-  CallHandle send_request(NodeId target, const std::string& object_name,
-                          const std::string& entry, ValueList params,
-                          std::uint64_t* req_id_out = nullptr);
+  std::shared_ptr<CallState> start_call(NodeId target,
+                                        const std::string& object_name,
+                                        const std::string& entry,
+                                        ValueList params,
+                                        const CallOptions& opts,
+                                        std::uint64_t* req_id_out);
 
   /// Abandons an in-flight request: the caller's handle fails with
-  /// kNetwork and a late response frame is ignored.
+  /// RpcError(kCancelled) and a late response frame is ignored.
   void cancel_request(std::uint64_t req_id);
+
+  void retry_loop(const std::stop_token& st);
+  /// Removes client bookkeeping for req_id; returns an ack frame to post
+  /// (empty if none is due). Caller holds mu_.
+  std::vector<std::uint8_t> finish_pending_locked(std::uint64_t req_id,
+                                                  NodeId target);
+  void evict_dedup_locked(CallerTable& table, std::uint64_t ack_through);
 
   Network* network_;
   NodeId id_;
   std::string name_;
+  std::uint64_t epoch_;
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, Object*> hosted_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<CallState>> pending_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  /// Outstanding req_ids per target plus the last id sent there — the two
+  /// feed the ack watermark ("no id <= X will ever be retransmitted").
+  std::unordered_map<NodeId, std::set<std::uint64_t>> outstanding_;
+  std::unordered_map<NodeId, std::uint64_t> last_sent_;
+  /// Server-side at-most-once state, keyed by caller node.
+  std::unordered_map<NodeId, CallerTable> dedup_;
   /// Channels this node has exported (kept alive; keyed by channel id).
   std::unordered_map<std::uint64_t, ChannelRef> exported_channels_;
   /// Proxies for channels homed elsewhere, keyed by (node, id).
@@ -131,6 +337,14 @@ class Node : public ChannelResolver {
                      std::unordered_map<std::uint64_t, std::weak_ptr<ChannelCore>>>
       proxies_;
   std::uint64_t next_req_ = 1;
+  ServerStats server_stats_;
+  ClientStats client_stats_;
+  support::Rng rng_;  // backoff jitter (seeded from the node name)
+
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>, std::greater<>>
+      timers_;
+  std::condition_variable timer_cv_;
+  std::jthread timer_thread_;
 };
 
 }  // namespace alps::net

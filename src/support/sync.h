@@ -173,10 +173,12 @@ class EventCount {
 class Event {
  public:
   void set() {
-    {
-      std::scoped_lock lock(mu_);
-      set_ = true;
-    }
+    // Notify while holding the lock: a woken waiter must reacquire mu_
+    // before returning, so it cannot destroy this Event while notify_all is
+    // still touching the condition variable (the common stack-local-Event
+    // pattern in tests relies on this).
+    std::scoped_lock lock(mu_);
+    set_ = true;
     cv_.notify_all();
   }
 

@@ -102,6 +102,92 @@ TEST_P(CodecFuzz, SingleByteCorruptionNeverCrashes) {
   }
 }
 
+// ---- RPC frame headers (request/response/ack) ------------------------------
+
+/// Decodes a full request frame the way Node::handle_frame does: type byte,
+/// header, then the parameter list.
+void decode_request_frame(const std::vector<std::uint8_t>& buf) {
+  std::size_t pos = 0;
+  if (get_u8(buf, pos) != static_cast<std::uint8_t>(MsgType::kRequest)) {
+    raise(ErrorCode::kBadMessage, "wrong frame type");
+  }
+  (void)decode_request_header(buf, pos);
+  (void)decode_list(buf, pos);
+}
+
+void decode_response_frame(const std::vector<std::uint8_t>& buf) {
+  std::size_t pos = 0;
+  if (get_u8(buf, pos) != static_cast<std::uint8_t>(MsgType::kResponse)) {
+    raise(ErrorCode::kBadMessage, "wrong frame type");
+  }
+  (void)decode_response_header(buf, pos);
+  (void)decode_list(buf, pos);
+}
+
+TEST_P(CodecFuzz, RequestFrameTruncationsRejected) {
+  support::Rng rng(GetParam() + 3000);
+  std::vector<std::uint8_t> buf;
+  encode_request_header(RequestHeader{rng.next(), rng.next(), rng.next(),
+                                      "Dictionary", "Insert"},
+                        buf);
+  ValueList params;
+  for (int i = 0; i < 3; ++i) params.push_back(random_value(rng, 2));
+  encode_list(params, buf);
+  ASSERT_NO_THROW(decode_request_frame(buf));
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    std::vector<std::uint8_t> shorter(
+        buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(decode_request_frame(shorter), Error) << "cut at " << cut;
+  }
+}
+
+TEST_P(CodecFuzz, ResponseFrameTruncationsRejected) {
+  support::Rng rng(GetParam() + 4000);
+  std::vector<std::uint8_t> buf;
+  encode_response_header(
+      ResponseHeader{rng.next(), WireCause::kOk, kResponseFlagReplayed}, buf);
+  ValueList results;
+  for (int i = 0; i < 2; ++i) results.push_back(random_value(rng, 2));
+  encode_list(results, buf);
+  ASSERT_NO_THROW(decode_response_frame(buf));
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    std::vector<std::uint8_t> shorter(
+        buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(decode_response_frame(shorter), Error) << "cut at " << cut;
+  }
+}
+
+TEST_P(CodecFuzz, AckTruncationsRejected) {
+  std::vector<std::uint8_t> buf;
+  encode_ack(GetParam() * 7919u, buf);
+  std::size_t pos = 1;  // past the type byte
+  EXPECT_EQ(decode_ack(buf, pos), GetParam() * 7919u);
+  for (std::size_t cut = 1; cut < buf.size(); ++cut) {
+    std::vector<std::uint8_t> shorter(
+        buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(cut));
+    pos = 1;
+    EXPECT_THROW(decode_ack(shorter, pos), Error) << "cut at " << cut;
+  }
+}
+
+TEST_P(CodecFuzz, HeaderCorruptionNeverCrashes) {
+  support::Rng rng(GetParam() + 5000);
+  std::vector<std::uint8_t> buf;
+  encode_response_header(ResponseHeader{rng.next(), WireCause::kRemoteError, 0},
+                         buf);
+  encode_list(vals(std::string("boom")), buf);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto corrupted = buf;
+    const auto at = rng.next_below(corrupted.size());
+    corrupted[at] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+    try {
+      decode_response_frame(corrupted);
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kBadMessage);
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz,
                          ::testing::Values(1u, 42u, 20260704u));
 

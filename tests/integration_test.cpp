@@ -13,8 +13,7 @@
 
 #include "core/alps.h"
 #include "lang/interp.h"
-#include "net/network.h"
-#include "net/rpc.h"
+#include "net/net.h"
 
 namespace alps {
 namespace {
@@ -46,9 +45,9 @@ TEST(Integration, InterpretedObjectServedOverRpc) {
   server.host(machine.object("Counter"));
 
   auto counter = client.remote(server.id(), "Counter");
-  EXPECT_EQ(counter.call("Inc", {})[0].as_int(), 1);
-  EXPECT_EQ(counter.call("Inc", {})[0].as_int(), 2);
-  EXPECT_EQ(counter.call("Inc", {})[0].as_int(), 3);
+  EXPECT_EQ(counter.call("Inc", {}, {}).value()[0].as_int(), 1);
+  EXPECT_EQ(counter.call("Inc", {}, {}).value()[0].as_int(), 2);
+  EXPECT_EQ(counter.call("Inc", {}, {}).value()[0].as_int(), 3);
 }
 
 TEST(Integration, ManagerGrantsCriticalSectionsByMessage) {

@@ -6,8 +6,7 @@
 #include <atomic>
 
 #include "core/alps.h"
-#include "net/network.h"
-#include "net/rpc.h"
+#include "net/net.h"
 #include "support/sync.h"
 
 namespace alps::net {
@@ -28,6 +27,35 @@ TEST(NetworkOrder, JitteryLinkStaysFifo) {
   for (std::uint8_t i = 0; i < 50; ++i) net.post(Frame{a, b, {i}});
   ASSERT_TRUE(done.wait_for(std::chrono::seconds(10)));
   for (std::uint8_t i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(NetworkOrder, ReorderFaultLetsFramesEscapeFifo) {
+  // With an injected reorder fault, jitter is allowed to do what the FIFO
+  // clamp normally prevents: deliver a later-posted frame first.
+  Network net(LinkLatency{std::chrono::microseconds(100),
+                          std::chrono::microseconds(2000)},
+              /*seed=*/99);
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  LinkFaults faults;
+  faults.reorder = 1.0;
+  net.set_link_faults(a, b, faults);
+  std::mutex mu;
+  std::vector<std::uint8_t> order;
+  support::Event done;
+  net.set_handler(b, [&](Frame f) {
+    std::scoped_lock lock(mu);
+    order.push_back(f.payload[0]);
+    if (order.size() == 50) done.set();
+  });
+  for (std::uint8_t i = 0; i < 50; ++i) net.post(Frame{a, b, {i}});
+  ASSERT_TRUE(done.wait_for(std::chrono::seconds(10)));
+  bool out_of_order = false;
+  for (std::uint8_t i = 0; i < 50; ++i) {
+    if (order[i] != i) out_of_order = true;
+  }
+  EXPECT_TRUE(out_of_order) << "seed 99's jitter must shuffle at least once";
+  EXPECT_GT(net.stats().frames_reordered, 0u);
 }
 
 TEST(NetworkOrder, IndependentLinksDoNotBlockEachOther) {
@@ -69,7 +97,7 @@ TEST(NetworkOrder, RemoteChannelMessagesArriveInSendOrder) {
 
   ChannelRef reply = make_channel();
   auto remote = client.remote(server.id(), "Streamer");
-  remote.call("Burst", vals(40, reply));
+  ASSERT_TRUE(remote.call("Burst", vals(40, reply), {}).ok());
   for (std::int64_t i = 0; i < 40; ++i) {
     auto msg = reply->receive_for(std::chrono::seconds(10));
     ASSERT_TRUE(msg.has_value());

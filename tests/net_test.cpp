@@ -1,14 +1,13 @@
-// Distribution substrate tests: wire codec round-trips, simulated network
-// delivery/latency, RPC calls against kernel objects, and remote channels.
+// Distribution substrate tests: wire codec round-trips (values and frame
+// headers), simulated network delivery/latency, RPC calls against kernel
+// objects via the CallOptions surface, and remote channels.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <thread>
 
 #include "core/alps.h"
-#include "net/codec.h"
-#include "net/network.h"
-#include "net/rpc.h"
+#include "net/net.h"
 
 namespace alps::net {
 namespace {
@@ -62,6 +61,48 @@ TEST(Codec, GarbageTagRejected) {
 TEST(Codec, ChannelWithoutResolverRejected) {
   std::vector<std::uint8_t> buf;
   EXPECT_THROW(encode_list(vals(make_channel()), buf), Error);
+}
+
+// ---- codec: frame headers (ack / dedup-epoch fields) ----
+
+TEST(Codec, RequestHeaderRoundTrip) {
+  const RequestHeader in{/*req_id=*/77, /*epoch=*/12345678901234ull,
+                         /*ack_through=*/76, "Dictionary", "Search"};
+  std::vector<std::uint8_t> buf;
+  encode_request_header(in, buf);
+  std::size_t pos = 0;
+  EXPECT_EQ(get_u8(buf, pos), static_cast<std::uint8_t>(MsgType::kRequest));
+  EXPECT_EQ(decode_request_header(buf, pos), in);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Codec, ResponseHeaderRoundTrip) {
+  for (const auto cause : {WireCause::kOk, WireCause::kRemoteError,
+                           WireCause::kObjectNotFound}) {
+    const ResponseHeader in{/*req_id=*/99, cause, kResponseFlagReplayed};
+    std::vector<std::uint8_t> buf;
+    encode_response_header(in, buf);
+    EXPECT_EQ(buf[kResponseFlagsOffset], kResponseFlagReplayed);
+    std::size_t pos = 0;
+    EXPECT_EQ(get_u8(buf, pos), static_cast<std::uint8_t>(MsgType::kResponse));
+    EXPECT_EQ(decode_response_header(buf, pos), in);
+  }
+}
+
+TEST(Codec, ResponseUnknownCauseRejected) {
+  std::vector<std::uint8_t> buf;
+  encode_response_header(ResponseHeader{1, WireCause::kOk, 0}, buf);
+  buf[1 + 8] = 250;  // cause byte out of range
+  std::size_t pos = 1;
+  EXPECT_THROW(decode_response_header(buf, pos), Error);
+}
+
+TEST(Codec, AckRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  encode_ack(31337, buf);
+  std::size_t pos = 0;
+  EXPECT_EQ(get_u8(buf, pos), static_cast<std::uint8_t>(MsgType::kAck));
+  EXPECT_EQ(decode_ack(buf, pos), 31337u);
 }
 
 // ---- network ----
@@ -136,6 +177,41 @@ TEST(Network, ZeroLatencyFramesKeepFifoOrder) {
   for (std::uint8_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
 }
 
+TEST(Network, DuplicationDeliversExtraCopies) {
+  Network net(LinkLatency{}, /*seed=*/11);
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  LinkFaults faults;
+  faults.duplicate = 1.0;
+  faults.duplicate_jitter = std::chrono::microseconds(100);
+  net.set_link_faults(a, b, faults);
+  std::atomic<int> received{0};
+  net.set_handler(b, [&](Frame) { ++received; });
+  for (int i = 0; i < 5; ++i) net.post(Frame{a, b, {1}});
+  net.wait_quiescent();
+  EXPECT_EQ(received.load(), 10);
+  EXPECT_EQ(net.stats().frames_duplicated, 5u);
+}
+
+TEST(Network, ScriptedPartitionActivatesAndHealsByFrameCount) {
+  Network net;
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  std::atomic<int> received{0};
+  net.set_handler(b, [&](Frame) { ++received; });
+  // Cut activates after 3 posted frames and heals after 4 more.
+  net.schedule_partition(a, b, 3, 4);
+  EXPECT_FALSE(net.is_partitioned(a, b));
+  for (int i = 0; i < 3; ++i) net.post(Frame{a, b, {1}});
+  EXPECT_TRUE(net.is_partitioned(a, b));
+  for (int i = 0; i < 4; ++i) net.post(Frame{a, b, {1}});  // all eaten
+  EXPECT_FALSE(net.is_partitioned(a, b));
+  for (int i = 0; i < 2; ++i) net.post(Frame{a, b, {1}});
+  net.wait_quiescent();
+  EXPECT_EQ(received.load(), 5);  // 3 before + 2 after
+  EXPECT_EQ(net.stats().frames_lost, 4u);
+}
+
 // ---- RPC ----
 
 /// Dictionary-ish test object: echoes and doubles.
@@ -180,49 +256,54 @@ struct RpcRig {
 
 TEST(Rpc, RemoteCallRoundTrip) {
   RpcRig rig;
-  ValueList out = rig.echo.call("Double", vals(21));
-  ASSERT_EQ(out.size(), 1u);
-  EXPECT_EQ(out[0].as_int(), 42);
+  auto r = rig.echo.call("Double", vals(21), {});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 1u);
+  EXPECT_EQ(r.value()[0].as_int(), 42);
   EXPECT_EQ(rig.client.inflight(), 0u);
 }
 
 TEST(Rpc, ManyConcurrentCalls) {
   RpcRig rig;
-  std::vector<CallHandle> handles;
+  std::vector<RpcHandle> handles;
   for (int i = 0; i < 50; ++i) {
-    handles.push_back(rig.echo.async_call("Double", vals(i)));
+    handles.push_back(rig.echo.async_call("Double", vals(i), {}));
   }
   for (int i = 0; i < 50; ++i) {
-    EXPECT_EQ(handles[static_cast<size_t>(i)].get()[0].as_int(), 2 * i);
+    auto r = handles[static_cast<size_t>(i)].result();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value()[0].as_int(), 2 * i);
   }
 }
 
-TEST(Rpc, RemoteErrorPropagates) {
+TEST(Rpc, RemoteErrorSurfacesTypedCause) {
   RpcRig rig;
-  try {
-    rig.echo.call("Boom", {});
-    FAIL() << "expected kNetwork error";
-  } catch (const Error& e) {
-    EXPECT_EQ(e.code(), ErrorCode::kNetwork);
-    EXPECT_NE(std::string(e.what()).find("remote failure"), std::string::npos);
-  }
+  auto r = rig.echo.call("Boom", {}, {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().cause(), RpcCause::kRemoteError);
+  EXPECT_NE(std::string(r.error().what()).find("remote failure"),
+            std::string::npos);
 }
 
-TEST(Rpc, UnknownObjectFails) {
+TEST(Rpc, UnknownObjectFailsWithObjectNotFound) {
   RpcRig rig;
   auto missing = rig.client.remote(rig.server.id(), "NoSuchObject");
-  EXPECT_THROW(missing.call("X", {}), Error);
+  auto r = missing.call("X", {}, {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().cause(), RpcCause::kObjectNotFound);
 }
 
-TEST(Rpc, UnknownEntryFails) {
+TEST(Rpc, UnknownEntryFailsAsRemoteError) {
   RpcRig rig;
-  EXPECT_THROW(rig.echo.call("NoSuchEntry", {}), Error);
+  auto r = rig.echo.call("NoSuchEntry", {}, {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().cause(), RpcCause::kRemoteError);
 }
 
 TEST(Rpc, ChannelParameterFlowsBack) {
   RpcRig rig;
   ChannelRef reply = make_channel("reply");
-  rig.echo.call("Notify", vals(reply));
+  ASSERT_TRUE(rig.echo.call("Notify", vals(reply), {}).ok());
   // The body ran on the server and sent through a proxy; the message must
   // arrive on the client's original channel.
   auto msg = reply->receive_for(std::chrono::seconds(5));
@@ -239,7 +320,9 @@ TEST(Rpc, WithLatencyStillCorrect) {
   server.host(service.object());
   auto echo = client.remote(server.id(), "Echo");
   for (int i = 0; i < 10; ++i) {
-    EXPECT_EQ(echo.call("Double", vals(i))[0].as_int(), 2 * i);
+    auto r = echo.call("Double", vals(i), {});
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value()[0].as_int(), 2 * i);
   }
 }
 
@@ -260,10 +343,34 @@ TEST(Rpc, ManagerInterceptedObjectCallableRemotely) {
   server.host(obj);
 
   auto counter = client.remote(server.id(), "Counter");
-  EXPECT_EQ(counter.call("Inc", {})[0].as_int(), 1);
-  EXPECT_EQ(counter.call("Inc", {})[0].as_int(), 2);
+  EXPECT_EQ(counter.call("Inc", {}, {}).value()[0].as_int(), 1);
+  EXPECT_EQ(counter.call("Inc", {}, {}).value()[0].as_int(), 2);
   obj.stop();
 }
+
+// ---- deprecated compatibility surface ----
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Rpc, DeprecatedWrappersStillWork) {
+  RpcRig rig;
+  // call(): throws on failure, returns results directly.
+  EXPECT_EQ(rig.echo.call("Double", vals(4))[0].as_int(), 8);
+  try {
+    rig.echo.call("Boom", {});
+    FAIL() << "expected RpcError";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNetwork);
+  }
+  // async_call(): CallHandle whose get() works as before.
+  CallHandle h = rig.echo.async_call("Double", vals(5));
+  EXPECT_EQ(h.get()[0].as_int(), 10);
+  // call_for(): optional result.
+  auto timed = rig.echo.call_for("Double", vals(6), std::chrono::seconds(5));
+  ASSERT_TRUE(timed.has_value());
+  EXPECT_EQ((*timed)[0].as_int(), 12);
+}
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace alps::net
