@@ -1,0 +1,116 @@
+// E14: cost of supervision & failure containment on the healthy path.
+//
+// Robustness machinery is only free if the fault-free path stays lean. Two
+// sweeps quantify that:
+//
+//   * BM_SupervisionUncontended — single caller, trivial entry, manager
+//     executing in a tight loop; configurations arm progressively more of
+//     the machinery without ever triggering it: 0 = plain object (the
+//     pre-supervision hot path, the A/B baseline), 1 = a far-future
+//     per-call deadline (supervisor thread + deadline heap on every call),
+//     2 = restart policy armed (supervisor running, nothing crashes),
+//     3 = watchdog polling (1 s threshold, never stalls). The acceptance
+//     bar: configurations 1-3 within a few percent of 0.
+//
+//   * BM_DeadlineByPolicy — deadline sweep × supervision policy. Callers
+//     attach real deadlines (some tight enough to occasionally fire) while
+//     the policy machinery is armed, measuring the combined bookkeeping
+//     cost under deadline-bearing traffic.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/alps.h"
+
+namespace {
+
+using namespace alps;
+using namespace std::chrono_literals;
+
+constexpr int kOps = 200;
+
+ObjectOptions options_for(int cfg) {
+  ObjectOptions opts;
+  if (cfg == 2) {
+    opts.supervision = {.mode = SupervisionMode::kRestart,
+                        .max_restarts = 3,
+                        .initial_backoff = 1ms};
+  } else if (cfg == 3) {
+    opts.watchdog = {.enabled = true, .stall_threshold = 1000ms};
+  }
+  return opts;
+}
+
+void BM_SupervisionUncontended(benchmark::State& state) {
+  const int cfg = static_cast<int>(state.range(0));
+  Object obj("Sup", options_for(cfg));
+  auto e = obj.define_entry({.name = "Op", .params = 0, .results = 0});
+  obj.implement(e, [](BodyCtx&) -> ValueList { return {}; });
+  obj.set_manager({intercept(e)}, [&](Manager& m) {
+    while (!m.stop_requested()) m.execute(m.accept(e));
+  });
+  obj.start();
+
+  CallOptions with_deadline{.deadline = 10000ms};  // armed, never fires
+  for (auto _ : state) {
+    for (int i = 0; i < kOps; ++i) {
+      if (cfg == 1) {
+        obj.call(e, {}, with_deadline);
+      } else {
+        obj.call(e, {});
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kOps);
+  obj.stop();
+}
+
+BENCHMARK(BM_SupervisionUncontended)
+    ->Arg(0)   // baseline: no supervision machinery touched
+    ->Arg(1)   // per-call deadline armed
+    ->Arg(2)   // restart policy armed
+    ->Arg(3)   // watchdog polling
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_DeadlineByPolicy(benchmark::State& state) {
+  const auto deadline = std::chrono::milliseconds(state.range(0));
+  const int cfg = static_cast<int>(state.range(1));
+  Object obj("Sweep", options_for(cfg));
+  auto e = obj.define_entry({.name = "Op", .params = 0, .results = 0});
+  obj.implement(e, [](BodyCtx&) -> ValueList { return {}; });
+  obj.set_manager({intercept(e)}, [&](Manager& m) {
+    while (!m.stop_requested()) m.execute(m.accept(e));
+  });
+  obj.start();
+
+  const CallOptions opts{.deadline = deadline};
+  std::int64_t expired = 0;
+  constexpr int kClients = 2;
+  for (auto _ : state) {
+    std::atomic<std::int64_t> round_expired{0};
+    benchutil::run_threads(kClients, [&](int) {
+      for (int i = 0; i < kOps; ++i) {
+        try {
+          obj.call(e, {}, opts);
+        } catch (const Error&) {
+          ++round_expired;  // tight deadlines may legitimately fire
+        }
+      }
+    });
+    expired += round_expired.load();
+  }
+  state.SetItemsProcessed(state.iterations() * kClients * kOps);
+  state.counters["expired"] =
+      benchmark::Counter(static_cast<double>(expired));
+  obj.stop();
+}
+
+BENCHMARK(BM_DeadlineByPolicy)
+    ->ArgsProduct({{1, 20, 1000},  // deadline ms: tight → loose
+                   {0, 2, 3}})     // policy: fail-fast / restart / watchdog
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+ALPS_BENCH_MAIN()

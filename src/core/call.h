@@ -15,11 +15,74 @@
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "core/error.h"
 #include "core/value.h"
 
 namespace alps {
+
+/// Cooperative cancellation handle shared between a caller and the kernel.
+/// The caller keeps the token and calls request_cancel(); every call launched
+/// with this token in its CallOptions is then failed with kCancelled at
+/// whatever lifecycle stage it has reached (pending calls are unqueued,
+/// started bodies are abandoned and their result discarded). One token may
+/// cover many calls, and may outlive the objects it was used against.
+class CancelToken {
+ public:
+  void request_cancel() {
+    std::vector<std::function<void()>> subs;
+    {
+      std::scoped_lock lock(mu_);
+      if (cancelled_) return;
+      cancelled_ = true;
+      subs.swap(subs_);
+    }
+    for (auto& fn : subs) fn();
+  }
+
+  bool cancelled() const {
+    std::scoped_lock lock(mu_);
+    return cancelled_;
+  }
+
+  /// Kernel-internal: registers a callback run exactly once when the token is
+  /// cancelled (immediately if it already is). Callbacks must not assume the
+  /// object that registered them is still alive; the kernel registers thunks
+  /// that only touch independently-owned supervisor state.
+  void subscribe(std::function<void()> fn) {
+    bool run_now = false;
+    {
+      std::scoped_lock lock(mu_);
+      if (cancelled_) {
+        run_now = true;
+      } else {
+        subs_.push_back(std::move(fn));
+      }
+    }
+    if (run_now) fn();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  bool cancelled_ = false;
+  std::vector<std::function<void()>> subs_;
+};
+
+/// Per-call options for local (kernel-level) invocations. Distinct from
+/// net::CallOptions, which drives the RPC retry machinery; this one is
+/// enforced inside the object kernel and works at every stage of the
+/// intercepted-call lifecycle. Zero-cost when default-constructed: the
+/// kernel registers nothing unless a deadline or token is present.
+struct CallOptions {
+  /// Relative deadline; <=0 means none. On expiry the caller observes a
+  /// typed Error(kTimeout) and the kernel reclaims whatever the call held.
+  std::chrono::milliseconds deadline{0};
+  /// Optional cancellation token (see CancelToken).
+  std::shared_ptr<CancelToken> cancel = nullptr;
+
+  bool none() const { return deadline.count() <= 0 && cancel == nullptr; }
+};
 
 class CallState {
  public:
@@ -65,10 +128,25 @@ class CallState {
     cv_.wait(lock, [&] { return done_; });
   }
 
+  /// Plain timed wait; returns false on timeout without completing the call.
+  /// Callers that want a typed outcome should use get_for, which converts a
+  /// timeout into an Error(kTimeout) completion instead of a bare false.
   template <class Rep, class Period>
   bool wait_for(std::chrono::duration<Rep, Period> timeout) const {
     std::unique_lock lock(mu_);
     return cv_.wait_for(lock, timeout, [&] { return done_; });
+  }
+
+  /// Waits up to `timeout`; on expiry fails the call with a typed
+  /// Error(kTimeout) and throws it. First-completion-wins still holds: if a
+  /// real completion races past the timeout, that completion is what get()
+  /// observes and no timeout error is recorded.
+  template <class Rep, class Period>
+  ValueList get_for(std::chrono::duration<Rep, Period> timeout) {
+    if (!wait_for(timeout)) {
+      fail(ErrorCode::kTimeout, "call still outstanding at deadline");
+    }
+    return get();
   }
 
   /// Waits and returns the results, rethrowing any stored error. Kernel
@@ -139,6 +217,13 @@ class CallHandle {
 
   /// Blocks for the results; rethrows the call's error if it failed.
   ValueList get() { return state_->get(); }
+
+  /// Timed get: throws Error(kTimeout) if the call is still outstanding
+  /// after `timeout` (and fails the call so later observers agree).
+  template <class Rep, class Period>
+  ValueList get_for(std::chrono::duration<Rep, Period> timeout) {
+    return state_->get_for(timeout);
+  }
 
   std::shared_ptr<CallState> state() const { return state_; }
 

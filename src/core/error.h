@@ -22,6 +22,8 @@ enum class ErrorCode {
   kNetwork,            ///< simulated-network failure
   kBadMessage,         ///< undecodable wire frame
   kTimeout,            ///< deadline elapsed before the operation completed
+  kCancelled,          ///< caller revoked the call via its CancelToken
+  kObjectDown,         ///< object quarantined after a manager failure
 };
 
 const char* to_string(ErrorCode code);
@@ -75,6 +77,8 @@ inline const char* to_string(ErrorCode code) {
     case ErrorCode::kNetwork: return "network error";
     case ErrorCode::kBadMessage: return "bad message";
     case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kObjectDown: return "object down";
   }
   return "unknown error";
 }

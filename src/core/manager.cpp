@@ -11,6 +11,9 @@ void Manager::check_stop() const {
   if (obj_->stop_source_.stop_requested()) {
     raise(ErrorCode::kObjectStopped, "object " + obj_->name() + " stopping");
   }
+  // A watchdog escalation unwinds the manager here with a typed error; the
+  // supervision policy (restart/quarantine) takes over from its catch.
+  obj_->check_manager_abort();
 }
 
 void Manager::assert_manager_thread(const char* op) const {
@@ -46,6 +49,7 @@ Accepted Manager::accept(EntryRef entry) {
   // Ticket-before-check: the ticket snapshots the wake epoch before we
   // inspect kernel state, so a dispatch that lands between our drain and
   // the wait bumps the epoch and the wait returns immediately.
+  Object::ActivityScope activity(*obj_, Object::kActAcceptWait);
   for (;;) {
     support::EventCount::Ticket ticket(obj_->mgr_wake_);
     {
@@ -59,6 +63,7 @@ Accepted Manager::accept(EntryRef entry) {
         ++e.accepts;
         obj_->update_pending_locked(e);
         obj_->trace(e, s.call->id, slot_idx, CallPhase::kAccepted);
+        obj_->note_progress();
         Accepted a;
         a.entry = entry.index();
         a.slot = slot_idx;
@@ -85,6 +90,7 @@ std::optional<Accepted> Manager::try_accept(EntryRef entry) {
   ++e.accepts;
   obj_->update_pending_locked(e);
   obj_->trace(e, s.call->id, slot_idx, CallPhase::kAccepted);
+  obj_->note_progress();
   Accepted a;
   a.entry = entry.index();
   a.slot = slot_idx;
@@ -112,6 +118,16 @@ void Manager::start_with(const Accepted& a, ValueList iparams,
       raise(ErrorCode::kProtocolViolation,
             "start on " + e.decl.name + "[" + std::to_string(slot_idx) +
                 "] which is not in the Accepted state");
+    }
+    if (s.abandoned) {
+      // The caller was failed (deadline/cancel) between accept and start:
+      // never launch the body. The slot goes straight to Ready carrying the
+      // typed error, so the manager's await/finish protocol runs unchanged
+      // and reclaims it.
+      s.state = Object::SlotState::kReady;
+      obj_->note_progress();
+      e.ready.push_back(e.slots, slot_idx);
+      return;
     }
     if (iparams.size() != e.icept_params) {
       raise(ErrorCode::kArityMismatch,
@@ -144,6 +160,7 @@ void Manager::start_with(const Accepted& a, ValueList iparams,
     s.state = Object::SlotState::kRunning;
     ++e.starts;
     obj_->trace(e, s.call->id, slot_idx, CallPhase::kStarted);
+    obj_->note_progress();
   }
   obj_->submit_body(entry_idx, slot_idx, std::move(full));
 }
@@ -151,6 +168,7 @@ void Manager::start_with(const Accepted& a, ValueList iparams,
 Awaited Manager::await(EntryRef entry) {
   assert_manager_thread("await");
   Object::EntryCore& e = obj_->core_checked(entry, "await");
+  Object::ActivityScope activity(*obj_, Object::kActAwaitWait);
   for (;;) {
     support::EventCount::Ticket ticket(obj_->mgr_wake_);
     {
@@ -161,11 +179,14 @@ Awaited Manager::await(EntryRef entry) {
         const std::size_t slot_idx = e.ready.pop_front(e.slots);
         Object::Slot& s = e.slots[slot_idx];
         s.state = Object::SlotState::kAwaited;
+        obj_->note_progress();
         Awaited w;
         w.entry = entry.index();
         w.slot = slot_idx;
         w.results = std::move(s.mgr_results);
         w.failed = (s.body_error != nullptr);
+        w.abandoned = s.abandoned;
+        w.error = s.body_error;
         return w;
       }
     }
@@ -175,6 +196,7 @@ Awaited Manager::await(EntryRef entry) {
 
 Awaited Manager::await(const Accepted& a) {
   assert_manager_thread("await");
+  Object::ActivityScope activity(*obj_, Object::kActAwaitWait);
   for (;;) {
     support::EventCount::Ticket ticket(obj_->mgr_wake_);
     {
@@ -191,11 +213,14 @@ Awaited Manager::await(const Accepted& a) {
       if (s.state == Object::SlotState::kReady) {
         e.ready.remove(e.slots, a.slot);
         s.state = Object::SlotState::kAwaited;
+        obj_->note_progress();
         Awaited w;
         w.entry = a.entry;
         w.slot = a.slot;
         w.results = std::move(s.mgr_results);
         w.failed = (s.body_error != nullptr);
+        w.abandoned = s.abandoned;
+        w.error = s.body_error;
         return w;
       }
     }
@@ -213,11 +238,14 @@ std::optional<Awaited> Manager::try_await(EntryRef entry) {
   const std::size_t slot_idx = e.ready.pop_front(e.slots);
   Object::Slot& s = e.slots[slot_idx];
   s.state = Object::SlotState::kAwaited;
+  obj_->note_progress();
   Awaited w;
   w.entry = entry.index();
   w.slot = slot_idx;
   w.results = std::move(s.mgr_results);
   w.failed = (s.body_error != nullptr);
+  w.abandoned = s.abandoned;
+  w.error = s.body_error;
   return w;
 }
 
@@ -252,7 +280,11 @@ void Manager::finish_with(const Awaited& w, ValueList iresults) {
                 std::to_string(iresults.size()));
     }
     caller = s.call->state;
-    err = s.body_error;
+    // Move, not copy: the slot's reference to the exception object transfers
+    // through `err` into the caller's CallState below, so the final release
+    // of a failing body's exception lands on a caller-synchronized thread
+    // (see the matching move in submit_body).
+    err = std::move(s.body_error);
     if (!err) {
       final_results = std::move(iresults);
       final_results.reserve(final_results.size() + s.rest_results.size());
@@ -264,6 +296,7 @@ void Manager::finish_with(const Awaited& w, ValueList iresults) {
     obj_->trace(e, s.call->id, w.slot,
                 err ? CallPhase::kFailed : CallPhase::kFinished);
     obj_->release_slot_locked(w.entry, w.slot);
+    obj_->note_progress();
   }
   // No wakeup: the only mgr_wake_ waiter is the manager thread, which is
   // the thread executing this primitive. Re-attachment done by
@@ -271,7 +304,7 @@ void Manager::finish_with(const Awaited& w, ValueList iresults) {
   // Complete outside the kernel lock (the caller-side callback may run
   // arbitrary code, e.g. sending an RPC response frame).
   if (err) {
-    caller->fail(err);
+    caller->fail(std::move(err));
   } else {
     caller->complete(std::move(final_results));
   }
@@ -308,6 +341,7 @@ void Manager::combine_finish(const Accepted& a, ValueList all_results) {
     ++e.finishes;
     obj_->trace(e, s.call->id, a.slot, CallPhase::kCombined);
     obj_->release_slot_locked(a.entry, a.slot);
+    obj_->note_progress();
   }
   caller->complete(std::move(all_results));
 }
@@ -327,6 +361,7 @@ void Manager::fail(const Accepted& a, const std::string& why) {
     ++e.finishes;
     obj_->trace(e, s.call->id, a.slot, CallPhase::kFailed);
     obj_->release_slot_locked(a.entry, a.slot);
+    obj_->note_progress();
   }
   caller->fail(ErrorCode::kBodyFailed, why);
 }
@@ -346,6 +381,7 @@ void Manager::fail(const Awaited& w, const std::string& why) {
     ++e.finishes;
     obj_->trace(e, s.call->id, w.slot, CallPhase::kFailed);
     obj_->release_slot_locked(w.entry, w.slot);
+    obj_->note_progress();
   }
   caller->fail(ErrorCode::kBodyFailed, why);
 }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <exception>
 #include <optional>
 #include <stop_token>
 #include <string>
@@ -33,12 +34,19 @@ struct Accepted {
 
 /// Result of an `await P[i](...)`: the intercepted result prefix followed by
 /// all hidden results. `failed` is set when the body raised instead of
-/// returning; the error is delivered to the caller at finish.
+/// returning — the entry-body exception surfaces here, to the manager, as a
+/// per-call failure (`error` holds it for inspection) and is delivered to
+/// the caller at finish. `abandoned` is set when the caller was already
+/// failed (deadline expiry / cancellation / restart): the manager should
+/// finish normally — the completion is discarded — and skip side effects it
+/// only wants for live callers.
 struct Awaited {
   std::size_t entry = static_cast<std::size_t>(-1);
   std::size_t slot = kNoSlot;
   ValueList results;
   bool failed = false;
+  bool abandoned = false;
+  std::exception_ptr error;
 
   bool valid() const { return slot != kNoSlot; }
 };

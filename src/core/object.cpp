@@ -1,6 +1,9 @@
 #include "core/object.h"
 
 #include <algorithm>
+#include <cmath>
+#include <memory>
+#include <semaphore>
 #include <utility>
 
 #include "core/error.h"
@@ -137,31 +140,91 @@ void Object::start() {
   started_.store(true, std::memory_order_release);
 
   if (has_manager_) {
-    manager_thread_ = std::jthread([this] {
-      support::set_current_thread_name("mgr:" + name_);
-      if (opts_.boost_manager_priority) {
-        support::try_boost_priority();
+    // Restart and watchdog both need the supervisor thread from the first
+    // instant; deadline/cancel callers start it lazily otherwise.
+    if (opts_.supervision.mode == SupervisionMode::kRestart ||
+        opts_.watchdog.enabled) {
+      ensure_supervisor();
+    }
+    spawn_manager();
+  }
+}
+
+void Object::spawn_manager() {
+  mgr_live_.store(true, std::memory_order_release);
+  // Gate the body behind the handle assignment: a manager that crashes
+  // instantly would otherwise wake the supervisor into joining/replacing
+  // manager_thread_ while the move-assignment below is still in flight —
+  // the supervisor could even spawn a replacement that this assignment then
+  // clobbers. The release() after the assignment gives the supervisor a
+  // happens-before edge to a fully-written handle.
+  auto gate = std::make_shared<std::binary_semaphore>(0);
+  manager_thread_ = std::jthread([this, gate] {
+    gate->acquire();
+    support::set_current_thread_name("mgr:" + name_);
+    if (opts_.boost_manager_priority) {
+      support::try_boost_priority();
+    }
+    manager_thread_id_.store(std::this_thread::get_id(),
+                             std::memory_order_release);
+    Manager m(*this);
+    try {
+      manager_fn_(m);
+      mgr_live_.store(false, std::memory_order_release);
+    } catch (const Error& err) {
+      // Stop-induced unwinding is the normal shutdown path.
+      if (err.code() != ErrorCode::kObjectStopped) {
+        handle_manager_failure(std::current_exception(), err.what());
+      } else {
+        mgr_live_.store(false, std::memory_order_release);
       }
-      manager_thread_id_.store(std::this_thread::get_id(),
-                               std::memory_order_release);
-      Manager m(*this);
-      try {
-        manager_fn_(m);
-      } catch (const Error& err) {
-        // Stop-induced unwinding is the normal shutdown path.
-        if (err.code() != ErrorCode::kObjectStopped) {
-          std::scoped_lock lock(mu_);
-          manager_error_ = std::current_exception();
-          ALPS_LOG_ERROR("object %s: manager terminated with error: %s",
-                         name_.c_str(), err.what());
-        }
-      } catch (...) {
-        std::scoped_lock lock(mu_);
-        manager_error_ = std::current_exception();
-        ALPS_LOG_ERROR("object %s: manager terminated with unknown error",
-                       name_.c_str());
+    } catch (const std::exception& ex) {
+      handle_manager_failure(std::current_exception(), ex.what());
+    } catch (...) {
+      handle_manager_failure(std::current_exception(), "unknown error");
+    }
+  });
+  gate->release();
+}
+
+void Object::handle_manager_failure(std::exception_ptr err,
+                                    const std::string& what) {
+  mgr_live_.store(false, std::memory_order_release);
+  mgr_activity_.store(kActDown, std::memory_order_relaxed);
+  {
+    std::scoped_lock lock(mu_);
+    manager_error_ = err;
+  }
+  ALPS_LOG_ERROR("object %s: manager terminated with error: %s", name_.c_str(),
+                 what.c_str());
+  if (stopping_.load(std::memory_order_acquire)) return;
+  const bool watchdog_abort = mgr_abort_.load(std::memory_order_acquire);
+  switch (opts_.supervision.mode) {
+    case SupervisionMode::kFailFast:
+      // A watchdog escalation must contain the stall even here: leaving the
+      // object up with a dead manager would make escalation a silent no-op.
+      if (watchdog_abort) {
+        take_down(err, "object " + name_ +
+                           " quarantined: watchdog aborted a stalled manager");
       }
-    });
+      break;
+    case SupervisionMode::kQuarantine:
+      take_down(err,
+                "object " + name_ + " quarantined: manager failed: " + what);
+      break;
+    case SupervisionMode::kRestart: {
+      // Hand off to the supervisor thread: this (dying) thread cannot join
+      // or replace itself. The supervisor was started in start().
+      auto hub = hub_;
+      {
+        std::scoped_lock lk(hub->mu);
+        hub->manager_down = true;
+        hub->down_cause = err;
+        hub->down_what = what;
+      }
+      hub->cv.notify_one();
+      break;
+    }
   }
 }
 
@@ -176,6 +239,20 @@ void Object::stop() {
 
   stop_source_.request_stop();
   mgr_wake_.signal();
+
+  // Stop the supervisor BEFORE joining the manager: the supervisor is the
+  // only other thread that joins/replaces manager_thread_ (restart), so
+  // retiring it first makes the join below race-free. The empty critical
+  // section is a barrier: stopping_ is already set, so any in-flight
+  // ensure_supervisor() has either finished spawning (joinable below) or
+  // bailed out — it checks stopping_ under this same mutex.
+  { std::scoped_lock lock(mu_); }
+  {
+    std::scoped_lock lk(hub_->mu);
+    hub_->stop = true;
+  }
+  hub_->cv.notify_all();
+  if (supervisor_thread_.joinable()) supervisor_thread_.join();
 
   if (manager_thread_.joinable()) manager_thread_.join();
 
@@ -248,8 +325,26 @@ CallHandle Object::async_call(const std::string& entry_name, ValueList params) {
                   /*external=*/true);
 }
 
+CallHandle Object::async_call(EntryRef entry, ValueList params,
+                              const CallOptions& opts) {
+  if (entry.object() != this) {
+    raise(ErrorCode::kProtocolViolation, "async_call with foreign EntryRef");
+  }
+  return dispatch(entry.index(), std::move(params), /*external=*/true, &opts);
+}
+
+CallHandle Object::async_call(const std::string& entry_name, ValueList params,
+                              const CallOptions& opts) {
+  return dispatch(entry(entry_name).index(), std::move(params),
+                  /*external=*/true, &opts);
+}
+
 ValueList Object::call(EntryRef e, ValueList params) {
   return async_call(e, std::move(params)).get();
+}
+
+ValueList Object::call(EntryRef e, ValueList params, const CallOptions& opts) {
+  return async_call(e, std::move(params), opts).get();
 }
 
 EntryRef Object::entry(const std::string& name) const {
@@ -276,13 +371,19 @@ std::size_t Object::pending(EntryRef entry) const {
 }
 
 CallHandle Object::dispatch(std::size_t entry_idx, ValueList params,
-                            bool external) {
+                            bool external, const CallOptions* opts) {
   require_started("call");
   auto state = std::make_shared<CallState>();
   CallHandle handle(state);
 
   if (stopping_.load(std::memory_order_acquire)) {
     state->fail(ErrorCode::kObjectStopped, "object " + name_ + " stopped");
+    return handle;
+  }
+  if (down_.load(std::memory_order_acquire)) {
+    // down_msg_ is written before the seq_cst store to down_; the acquire
+    // load above makes it safely readable (and it is never written again).
+    state->fail(ErrorCode::kObjectDown, down_msg_);
     return handle;
   }
 
@@ -301,6 +402,13 @@ CallHandle Object::dispatch(std::size_t entry_idx, ValueList params,
                     " params, got " + std::to_string(params.size()));
     return handle;
   }
+  if (opts != nullptr && opts->cancel && opts->cancel->cancelled()) {
+    // A pre-cancelled token never queues: the caller gets a deterministic
+    // kCancelled instead of racing the manager for the slot.
+    state->fail(ErrorCode::kCancelled,
+                e.decl.name + " on " + name_ + " cancelled before dispatch");
+    return handle;
+  }
   const std::uint64_t call_id =
       next_call_id_.fetch_add(1, std::memory_order_relaxed);
   e.calls.fetch_add(1, std::memory_order_relaxed);
@@ -317,9 +425,10 @@ CallHandle Object::dispatch(std::size_t entry_idx, ValueList params,
     // acquisition when it next evaluates accept/select. signal() skips the
     // wake syscall when the manager is not actually sleeping.
     mgr_wake_.signal();
-    if (stopping_.load(std::memory_order_seq_cst)) {
-      // stop() may have drained before our push landed; the seq_cst
-      // push/stopping ordering guarantees one of us sees the record.
+    if (stopping_.load(std::memory_order_seq_cst) ||
+        down_.load(std::memory_order_seq_cst)) {
+      // stop()/take_down() may have drained before our push landed; the
+      // seq_cst push/flag ordering guarantees one of us sees the record.
       flush_intake();
     }
   } else {
@@ -327,14 +436,18 @@ CallHandle Object::dispatch(std::size_t entry_idx, ValueList params,
     // batch of one, concurrent callers combine into one drain.
     flush_intake();
   }
+  if (opts != nullptr && !opts->none() && !state->ready()) {
+    register_call_guard(call_id, entry_idx, state, *opts);
+  }
   return handle;
 }
 
 void Object::drain_intake_locked() {
   if (intake_.empty()) return;
-  if (stopping_.load(std::memory_order_acquire)) {
-    // Leave the backlog queued: stop() flushes (and fails) it outside the
-    // kernel lock, where completion callbacks are allowed to run.
+  if (stopping_.load(std::memory_order_acquire) ||
+      down_.load(std::memory_order_acquire)) {
+    // Leave the backlog queued: stop()/take_down() flush (and fail) it
+    // outside the kernel lock, where completion callbacks may run.
     return;
   }
   std::vector<sched::BatchItem> batch;
@@ -361,13 +474,18 @@ void Object::flush_intake() {
     intake_.drain([&](IntakeItem&& item) { items.push_back(std::move(item)); });
     if (items.empty()) continue;  // another drainer took this chain
 
-    if (stopping_.load(std::memory_order_acquire)) {
+    const bool stopped_now = stopping_.load(std::memory_order_acquire);
+    if (stopped_now || down_.load(std::memory_order_acquire)) {
       for (auto& item : items) {
         EntryCore& e = core(item.entry);
         if (e.intercepted) e.in_intake.fetch_sub(1, std::memory_order_relaxed);
         trace(e, item.rec.id, kNoSlot, CallPhase::kFailed);
-        item.rec.state->fail(ErrorCode::kObjectStopped,
-                             "object " + name_ + " stopped");
+        if (stopped_now) {
+          item.rec.state->fail(ErrorCode::kObjectStopped,
+                               "object " + name_ + " stopped");
+        } else {
+          item.rec.state->fail(ErrorCode::kObjectDown, down_msg_);
+        }
       }
       continue;
     }
@@ -415,6 +533,8 @@ void Object::attach_locked(std::size_t entry_idx, CallRecord rec) {
       e.slots[i].mgr_results.clear();
       e.slots[i].rest_results.clear();
       e.slots[i].body_error = nullptr;
+      e.slots[i].abandoned = false;
+      e.slots[i].discard_on_ready = false;
       e.attached.push_back(e.slots, i);
       update_pending_locked(e);
       return;
@@ -432,6 +552,8 @@ void Object::release_slot_locked(std::size_t entry_idx, std::size_t slot_idx) {
   s.mgr_results.clear();
   s.rest_results.clear();
   s.body_error = nullptr;
+  s.abandoned = false;
+  s.discard_on_ready = false;
   if (!e.overflow.empty()) {
     CallRecord next = std::move(e.overflow.front());
     e.overflow.pop_front();
@@ -531,8 +653,23 @@ void Object::submit_body(std::size_t entry_idx, std::size_t slot_idx,
             // caller has already been failed.
             return;
           }
+          if (s.discard_on_ready) {
+            // No manager will ever await this body (quarantine, or a
+            // restart that could not replay a started call): the caller was
+            // already failed, so drop the result and reclaim the slot — a
+            // queued overflow call re-attaches for the next incarnation.
+            release_slot_locked(entry_idx, slot_idx);
+            mgr_wake_.signal();
+            return;
+          }
           if (err) {
-            s.body_error = err;
+            // Move (not copy): the worker's reference transfers into the
+            // slot here, under mu_, so every later release of the exception
+            // object happens on a mutex-synchronized thread. Holding a copy
+            // until the lambda exits would let this thread do the *final*
+            // release after mgr_wake_.signal(), racing readers that TSan
+            // cannot relate through libstdc++'s internal refcounting.
+            s.body_error = std::move(err);
           } else {
             // Split [visible..., hidden...]: the manager's await sees the
             // intercepted visible prefix plus all hidden results; the rest
@@ -601,6 +738,510 @@ void Object::notify_external_event() {
 std::exception_ptr Object::manager_error() const {
   std::scoped_lock lock(mu_);
   return manager_error_;
+}
+
+// ---------------------------------------------------------------------------
+// Supervision: quarantine, restart, deadlines/cancellation, watchdog
+// (DESIGN.md §4.6)
+// ---------------------------------------------------------------------------
+
+void Object::check_manager_abort() const {
+  if (mgr_abort_.load(std::memory_order_acquire)) {
+    raise(ErrorCode::kTimeout,
+          "manager of object " + name_ + " aborted by watchdog (stalled)");
+  }
+}
+
+void Object::take_down(std::exception_ptr cause, const std::string& why) {
+  std::vector<std::shared_ptr<CallState>> to_fail;
+  {
+    std::scoped_lock lock(mu_);
+    if (down_.load(std::memory_order_relaxed) ||
+        stopping_.load(std::memory_order_acquire)) {
+      return;
+    }
+    down_msg_ = why;
+    if (!manager_error_ && cause) manager_error_ = cause;
+    // seq_cst store paired with dispatch's push-then-recheck: a caller that
+    // pushed before this store is flushed below; one that pushes after it
+    // sees down_ and flushes (or fails) itself.
+    down_.store(true, std::memory_order_seq_cst);
+    for (auto& ep : entries_) {
+      EntryCore& e = *ep;
+      for (auto& rec : e.overflow) {
+        trace(e, rec.id, kNoSlot, CallPhase::kFailed);
+        to_fail.push_back(rec.state);
+      }
+      e.overflow.clear();
+      for (std::size_t i = 0; i < e.slots.size(); ++i) {
+        Slot& s = e.slots[i];
+        if (s.state == SlotState::kFree || !s.call.has_value()) continue;
+        trace(e, s.call->id, i, CallPhase::kFailed);
+        to_fail.push_back(s.call->state);
+        if (s.state == SlotState::kRunning) {
+          // Body still executing: keep the record (the completion handler
+          // reads it) and let discard_on_ready reclaim the slot.
+          s.discard_on_ready = true;
+        } else {
+          s.call.reset();
+          s.state = SlotState::kFree;
+          s.abandoned = false;
+        }
+      }
+      e.attached.clear(e.slots);
+      e.ready.clear(e.slots);
+      update_pending_locked(e);
+    }
+  }
+  for (auto& state : to_fail) {
+    state->fail(ErrorCode::kObjectDown, why);
+  }
+  // Fail the intake backlog; new arrivals see down_ in dispatch.
+  flush_intake();
+}
+
+void Object::reconcile_for_restart() {
+  const bool replay = opts_.supervision.replay_pending;
+  std::vector<std::shared_ptr<CallState>> to_fail;
+  const std::string why =
+      "object " + name_ + ": call dropped during manager restart";
+  {
+    std::scoped_lock lock(mu_);
+    for (std::size_t ei = 0; ei < entries_.size(); ++ei) {
+      EntryCore& e = core(ei);
+      if (!e.intercepted) continue;
+      if (!replay) {
+        for (auto& rec : e.overflow) {
+          trace(e, rec.id, kNoSlot, CallPhase::kFailed);
+          to_fail.push_back(rec.state);
+        }
+        e.overflow.clear();
+      }
+      for (std::size_t i = 0; i < e.slots.size(); ++i) {
+        Slot& s = e.slots[i];
+        switch (s.state) {
+          case SlotState::kFree:
+            break;
+          case SlotState::kAttached:
+            // Never reached the dead manager; waits for the next one
+            // (unless the policy says otherwise).
+            if (!replay) {
+              e.attached.remove(e.slots, i);
+              trace(e, s.call->id, i, CallPhase::kFailed);
+              to_fail.push_back(s.call->state);
+              s.call.reset();
+              s.state = SlotState::kFree;
+              s.abandoned = false;
+            }
+            break;
+          case SlotState::kAccepted:
+            if (replay && !s.abandoned) {
+              // Accepted but never started: no side effects yet, so the
+              // call is safe to re-queue for the new incarnation. It joins
+              // the tail of the accept queue (arrival order within the
+              // queue is preserved; its place relative to already-attached
+              // peers is not).
+              s.state = SlotState::kAttached;
+              s.mgr_results.clear();
+              s.rest_results.clear();
+              s.body_error = nullptr;
+              e.attached.push_back(e.slots, i);
+            } else {
+              trace(e, s.call->id, i, CallPhase::kFailed);
+              to_fail.push_back(s.call->state);
+              s.call.reset();
+              s.state = SlotState::kFree;
+              s.abandoned = false;
+            }
+            break;
+          case SlotState::kRunning:
+            // Side effects may have happened: a started body cannot be
+            // replayed. Fail the caller; the completion handler reclaims
+            // the slot.
+            if (s.call) {
+              trace(e, s.call->id, i, CallPhase::kFailed);
+              to_fail.push_back(s.call->state);
+            }
+            s.discard_on_ready = true;
+            break;
+          case SlotState::kReady:
+            e.ready.remove(e.slots, i);
+            if (s.call) {
+              trace(e, s.call->id, i, CallPhase::kFailed);
+              to_fail.push_back(s.call->state);
+            }
+            s.call.reset();
+            s.state = SlotState::kFree;
+            s.abandoned = false;
+            break;
+          case SlotState::kAwaited:
+            if (s.call) {
+              trace(e, s.call->id, i, CallPhase::kFailed);
+              to_fail.push_back(s.call->state);
+            }
+            s.call.reset();
+            s.state = SlotState::kFree;
+            s.abandoned = false;
+            break;
+        }
+      }
+      // Re-attach queued overflow onto any slots the reconcile freed.
+      while (!e.overflow.empty()) {
+        bool attached_one = false;
+        for (std::size_t i = 0; i < e.slots.size() && !e.overflow.empty();
+             ++i) {
+          if (e.slots[i].state == SlotState::kFree) {
+            CallRecord next = std::move(e.overflow.front());
+            e.overflow.pop_front();
+            Slot& s = e.slots[i];
+            s.state = SlotState::kAttached;
+            trace(e, next.id, i, CallPhase::kAttached);
+            s.call = std::move(next);
+            s.mgr_results.clear();
+            s.rest_results.clear();
+            s.body_error = nullptr;
+            s.abandoned = false;
+            s.discard_on_ready = false;
+            e.attached.push_back(e.slots, i);
+            attached_one = true;
+          }
+        }
+        if (!attached_one) break;
+      }
+      update_pending_locked(e);
+    }
+  }
+  for (auto& state : to_fail) {
+    state->fail(ErrorCode::kObjectDown, why);
+  }
+}
+
+void Object::handle_manager_down(std::exception_ptr cause,
+                                 const std::string& what) {
+  if (stopping_.load(std::memory_order_acquire) ||
+      down_.load(std::memory_order_acquire)) {
+    return;
+  }
+  const SupervisionPolicy& pol = opts_.supervision;
+  const int attempt = restarts_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (pol.max_restarts >= 0 && attempt > pol.max_restarts) {
+    restarts_.fetch_sub(1, std::memory_order_acq_rel);
+    take_down(cause, "object " + name_ +
+                         " quarantined: restart budget exhausted (" +
+                         std::to_string(pol.max_restarts) +
+                         " restarts) after manager failure: " + what);
+    return;
+  }
+
+  // Bounded exponential backoff, interruptible by stop().
+  const double mult = pol.backoff_multiplier < 1.0 ? 1.0
+                                                   : pol.backoff_multiplier;
+  double delay_ms = static_cast<double>(pol.initial_backoff.count()) *
+                    std::pow(mult, attempt - 1);
+  delay_ms = std::min(delay_ms, static_cast<double>(pol.max_backoff.count()));
+  if (delay_ms > 0) {
+    std::unique_lock lk(hub_->mu);
+    hub_->cv.wait_for(lk,
+                      std::chrono::milliseconds(static_cast<long>(delay_ms)),
+                      [&] { return hub_->stop; });
+    if (hub_->stop) return;
+  }
+  if (stopping_.load(std::memory_order_acquire)) return;
+
+  reconcile_for_restart();
+  if (pol.on_restart) pol.on_restart();
+  mgr_abort_.store(false, std::memory_order_release);
+  // The old incarnation's thread has exited its catch block (it only
+  // notified the hub); join it before installing the replacement. stop()
+  // cannot race this join: it retires the supervisor thread first.
+  if (manager_thread_.joinable()) manager_thread_.join();
+  ALPS_LOG_INFO("object %s: restarting manager (attempt %d): %s",
+                name_.c_str(), attempt, what.c_str());
+  spawn_manager();
+}
+
+void Object::ensure_supervisor() {
+  std::scoped_lock lock(mu_);
+  if (supervisor_started_ || stopping_.load(std::memory_order_acquire)) {
+    return;
+  }
+  supervisor_started_ = true;
+  supervisor_thread_ = std::jthread([this] { supervisor_loop(); });
+}
+
+void Object::register_call_guard(std::uint64_t id, std::size_t entry_idx,
+                                 const std::shared_ptr<CallState>& state,
+                                 const CallOptions& opts) {
+  ensure_supervisor();
+  if (opts.deadline.count() > 0) {
+    {
+      std::scoped_lock lk(hub_->mu);
+      hub_->deadlines.push_back(SupervisorHub::Deadline{
+          std::chrono::steady_clock::now() + opts.deadline, id, entry_idx,
+          state});
+      std::push_heap(hub_->deadlines.begin(), hub_->deadlines.end(),
+                     [](const SupervisorHub::Deadline& a,
+                        const SupervisorHub::Deadline& b) {
+                       return a.due > b.due;  // min-heap by due
+                     });
+      hub_->kick = true;
+    }
+    hub_->cv.notify_one();
+  }
+  if (opts.cancel) {
+    // The subscription captures only a weak hub reference: if the token
+    // outlives the object, the callback finds the hub expired and falls
+    // back to failing the (already-failed) state directly.
+    std::weak_ptr<SupervisorHub> whub = hub_;
+    std::weak_ptr<CallState> wstate = state;
+    opts.cancel->subscribe([whub, wstate, id, entry_idx] {
+      if (auto hub = whub.lock()) {
+        {
+          std::scoped_lock lk(hub->mu);
+          hub->doomed.push_back(SupervisorHub::Doomed{id, entry_idx, wstate});
+          hub->kick = true;
+        }
+        hub->cv.notify_one();
+      } else if (auto st = wstate.lock()) {
+        st->fail(ErrorCode::kCancelled, "call cancelled");
+      }
+    });
+  }
+}
+
+void Object::fail_call(std::uint64_t id, std::size_t entry_idx,
+                       const std::weak_ptr<CallState>& wstate, ErrorCode code,
+                       const std::string& why) {
+  auto state = wstate.lock();
+  if (!state || state->ready()) return;
+  bool touched_sched = false;
+  {
+    std::scoped_lock lock(mu_);
+    if (!stopping_.load(std::memory_order_acquire) &&
+        !down_.load(std::memory_order_acquire)) {
+      // Make sure the record reached the scheduling structures (the caller
+      // registered the guard after pushing to intake).
+      drain_intake_locked();
+      EntryCore& e = core(entry_idx);
+      if (e.intercepted) {
+        bool found = false;
+        for (auto it = e.overflow.begin(); it != e.overflow.end(); ++it) {
+          if (it->id == id) {
+            trace(e, id, kNoSlot, CallPhase::kFailed);
+            e.overflow.erase(it);
+            update_pending_locked(e);
+            touched_sched = true;
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          for (std::size_t i = 0; i < e.slots.size(); ++i) {
+            Slot& s = e.slots[i];
+            if (!s.call.has_value() || s.call->id != id) continue;
+            switch (s.state) {
+              case SlotState::kAttached:
+                // Unqueue before the manager ever sees it; the freed slot
+                // immediately re-attaches any waiting overflow call.
+                e.attached.remove(e.slots, i);
+                trace(e, id, i, CallPhase::kFailed);
+                release_slot_locked(entry_idx, i);
+                touched_sched = true;
+                break;
+              case SlotState::kAccepted:
+                // The manager holds this call: mark it abandoned so start
+                // skips the body and await reports the failure; the slot
+                // travels the normal accept→finish protocol and is
+                // reclaimed there.
+                s.abandoned = true;
+                s.body_error = std::make_exception_ptr(Error(code, why));
+                trace(e, id, i, CallPhase::kFailed);
+                touched_sched = true;
+                break;
+              case SlotState::kRunning:
+              case SlotState::kReady:
+              case SlotState::kAwaited:
+                // Body started (or finished): let the protocol run; the
+                // manager sees `abandoned` at await and its finish becomes
+                // a no-op completion.
+                s.abandoned = true;
+                trace(e, id, i, CallPhase::kFailed);
+                touched_sched = true;
+                break;
+              case SlotState::kFree:
+                break;
+            }
+            break;
+          }
+        }
+      }
+    }
+  }
+  // Complete the caller outside the kernel lock (callbacks may run user
+  // code). First-completion-wins: if finish/fail raced past us, this no-ops
+  // and the caller keeps the real completion.
+  state->fail(code, why);
+  if (touched_sched) {
+    // #P moved or a candidate vanished: discard cached guard verdicts and
+    // wake the manager so select/accept re-evaluates against the new state.
+    notify_external_event();
+  }
+}
+
+void Object::supervisor_loop() {
+  support::set_current_thread_name("sup:" + name_);
+  auto hub = hub_;
+  const WatchdogOptions wd = opts_.watchdog;
+  std::chrono::milliseconds poll = wd.poll_interval;
+  if (wd.enabled && poll.count() <= 0) {
+    poll = std::max(wd.stall_threshold / 4, std::chrono::milliseconds(1));
+  }
+  WatchdogState wds;
+  auto wd_next = std::chrono::steady_clock::now() + poll;
+
+  const auto heap_less = [](const SupervisorHub::Deadline& a,
+                            const SupervisorHub::Deadline& b) {
+    return a.due > b.due;
+  };
+
+  std::unique_lock lk(hub->mu);
+  for (;;) {
+    auto due = std::chrono::steady_clock::time_point::max();
+    if (!hub->deadlines.empty()) due = hub->deadlines.front().due;
+    if (wd.enabled) due = std::min(due, wd_next);
+    const auto pred = [&] {
+      return hub->stop || hub->kick || hub->manager_down;
+    };
+    if (due == std::chrono::steady_clock::time_point::max()) {
+      hub->cv.wait(lk, pred);
+    } else {
+      hub->cv.wait_until(lk, due, pred);
+    }
+    if (hub->stop) return;
+    hub->kick = false;
+
+    std::vector<SupervisorHub::Doomed> doomed = std::move(hub->doomed);
+    hub->doomed.clear();
+    std::vector<SupervisorHub::Deadline> expired;
+    const auto now = std::chrono::steady_clock::now();
+    while (!hub->deadlines.empty() && hub->deadlines.front().due <= now) {
+      std::pop_heap(hub->deadlines.begin(), hub->deadlines.end(), heap_less);
+      expired.push_back(std::move(hub->deadlines.back()));
+      hub->deadlines.pop_back();
+    }
+    const bool mgr_down = hub->manager_down;
+    hub->manager_down = false;
+    std::exception_ptr cause = std::move(hub->down_cause);
+    std::string what = std::move(hub->down_what);
+    hub->down_cause = nullptr;
+    hub->down_what.clear();
+
+    lk.unlock();
+    for (const auto& d : doomed) {
+      fail_call(d.id, d.entry, d.state, ErrorCode::kCancelled,
+                "call cancelled by caller on object " + name_);
+    }
+    for (const auto& d : expired) {
+      fail_call(d.id, d.entry, d.state, ErrorCode::kTimeout,
+                "call deadline expired on object " + name_);
+    }
+    if (mgr_down) handle_manager_down(cause, what);
+    if (wd.enabled && std::chrono::steady_clock::now() >= wd_next) {
+      watchdog_tick(wds);
+      wd_next = std::chrono::steady_clock::now() + poll;
+    }
+    lk.lock();
+  }
+}
+
+void Object::watchdog_tick(WatchdogState& wd) {
+  if (stopping_.load(std::memory_order_acquire) ||
+      down_.load(std::memory_order_acquire)) {
+    return;
+  }
+  if (!mgr_live_.load(std::memory_order_acquire)) {
+    // Between incarnations (or after a fail-fast death): not a stall.
+    wd.have_baseline = false;
+    wd.reported = false;
+    return;
+  }
+  const std::uint64_t ops = mgr_ops_.load(std::memory_order_relaxed);
+  bool work_pending = false;
+  {
+    std::scoped_lock lock(mu_);
+    for (const auto& ep : entries_) {
+      const EntryCore& e = *ep;
+      if (e.pending.load(std::memory_order_relaxed) > 0 ||
+          e.in_intake.load(std::memory_order_relaxed) > 0) {
+        work_pending = true;
+        break;
+      }
+      for (const Slot& s : e.slots) {
+        if (s.state != SlotState::kFree) {
+          work_pending = true;
+          break;
+        }
+      }
+      if (work_pending) break;
+    }
+  }
+  const auto now = std::chrono::steady_clock::now();
+  if (!wd.have_baseline || ops != wd.last_ops || !work_pending) {
+    wd.have_baseline = true;
+    wd.last_ops = ops;
+    wd.last_progress = now;
+    wd.reported = false;
+    return;
+  }
+  const auto stalled =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now -
+                                                            wd.last_progress);
+  if (stalled < opts_.watchdog.stall_threshold || wd.reported) return;
+  wd.reported = true;  // once per stall episode; re-arms on progress
+  const bool escalate = opts_.watchdog.escalate;
+  StallReport report = build_stall_report(stalled, escalate);
+  ALPS_LOG_ERROR("%s", report.summary().c_str());
+  if (tracer_) tracer_->on_stall(report);
+  if (escalate) {
+    mgr_abort_.store(true, std::memory_order_release);
+    // The manager converts the flag into a typed unwind at its next
+    // blocking primitive; the policy then decides restart vs quarantine.
+    notify_external_event();
+  }
+}
+
+StallReport Object::build_stall_report(std::chrono::milliseconds stalled,
+                                       bool escalated) {
+  static const char* const kActivityNames[] = {
+      "user-code", "accept-wait", "await-wait", "select-wait", "down"};
+  StallReport report;
+  report.object = name_;
+  report.stalled_for = stalled;
+  report.escalated = escalated;
+  const std::uint8_t act = mgr_activity_.load(std::memory_order_relaxed);
+  report.manager_activity = kActivityNames[act <= kActDown ? act : 0];
+  std::scoped_lock lock(mu_);
+  report.guards = guard_snapshot_;
+  report.entries.reserve(entries_.size());
+  for (const auto& ep : entries_) {
+    const EntryCore& e = *ep;
+    StallReport::EntryRow row;
+    row.name = e.decl.name;
+    row.pending = e.pending.load(std::memory_order_relaxed) +
+                  e.in_intake.load(std::memory_order_relaxed);
+    for (const Slot& s : e.slots) {
+      switch (s.state) {
+        case SlotState::kFree: break;
+        case SlotState::kAttached: ++row.attached; break;
+        case SlotState::kAccepted: ++row.accepted; break;
+        case SlotState::kRunning: ++row.running; break;
+        case SlotState::kReady: ++row.ready; break;
+        case SlotState::kAwaited: ++row.awaited; break;
+      }
+    }
+    report.entries.push_back(std::move(row));
+  }
+  return report;
 }
 
 }  // namespace alps

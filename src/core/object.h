@@ -51,6 +51,7 @@
 
 #include "core/call.h"
 #include "core/entry.h"
+#include "core/supervision.h"
 #include "core/trace.h"
 #include "core/value.h"
 #include "sched/executor.h"
@@ -72,6 +73,11 @@ struct ObjectOptions {
   /// Attempt to raise the manager thread's scheduling priority (best effort;
   /// the dedicated thread preserves the intent when this fails).
   bool boost_manager_priority = true;
+  /// What to do when the manager fails (see core/supervision.h). Fields are
+  /// appended here so existing designated initializers keep compiling.
+  SupervisionPolicy supervision{};
+  /// Manager progress monitor (off by default; see core/supervision.h).
+  WatchdogOptions watchdog{};
 };
 
 struct EntryStats {
@@ -134,8 +140,20 @@ class Object {
   CallHandle async_call(EntryRef entry, ValueList params);
   CallHandle async_call(const std::string& entry_name, ValueList params);
 
+  /// As above with per-call options: a deadline and/or a CancelToken,
+  /// enforced at every stage of the intercepted-call lifecycle. On expiry or
+  /// cancellation the caller observes a typed Error (kTimeout / kCancelled)
+  /// exactly once: still-pending calls are unqueued and their slot reclaimed,
+  /// accepted ones are abandoned before the body runs, started ones have
+  /// their result discarded at finish.
+  CallHandle async_call(EntryRef entry, ValueList params,
+                        const CallOptions& opts);
+  CallHandle async_call(const std::string& entry_name, ValueList params,
+                        const CallOptions& opts);
+
   /// Blocking call; returns the results (throws the call's error).
   ValueList call(EntryRef entry, ValueList params);
+  ValueList call(EntryRef entry, ValueList params, const CallOptions& opts);
 
   // ---- introspection ----
 
@@ -163,7 +181,16 @@ class Object {
   bool running() const;
   ObjectStats stats() const;
   /// Error that escaped the manager function, if any (nullptr otherwise).
+  /// Under kRestart this is the most recent incarnation's failure.
   std::exception_ptr manager_error() const;
+
+  /// True once the object has been quarantined (manager failed under
+  /// SupervisionMode::kQuarantine, restart budget exhausted, or a watchdog
+  /// escalation under kFailFast). Every call then fails with kObjectDown.
+  bool quarantined() const { return down_.load(std::memory_order_acquire); }
+
+  /// Manager restarts performed so far (kRestart only).
+  int restarts() const { return restarts_.load(std::memory_order_acquire); }
 
  private:
   friend class Manager;
@@ -181,6 +208,13 @@ class Object {
 
   struct Slot {
     SlotState state = SlotState::kFree;
+    /// The caller was failed (deadline/cancel) while this call was in or
+    /// past Accepted: the protocol still runs to finish, but the result is
+    /// discarded there (first-completion-wins makes the finish a no-op).
+    bool abandoned = false;
+    /// No manager will ever await this started body (quarantine/restart):
+    /// the body-completion handler releases the slot directly.
+    bool discard_on_ready = false;
     std::optional<CallRecord> call;
     /// After the body returns: intercepted visible results + hidden results
     /// (what `await` hands to the manager).
@@ -320,6 +354,62 @@ class Object {
     CallRecord rec;
   };
 
+  /// Shared state between the object and its supervisor thread (deadlines,
+  /// cancellations, manager-failure events, watchdog pacing). Held via
+  /// shared_ptr so CancelToken subscriptions can capture a weak_ptr and
+  /// outlive the object safely: a token fired after the object is gone
+  /// simply finds the hub expired.
+  struct SupervisorHub {
+    struct Doomed {
+      std::uint64_t id = 0;
+      std::size_t entry = 0;
+      std::weak_ptr<CallState> state;
+    };
+    struct Deadline {
+      std::chrono::steady_clock::time_point due;
+      std::uint64_t id = 0;
+      std::size_t entry = 0;
+      std::weak_ptr<CallState> state;
+    };
+
+    std::mutex mu;
+    std::condition_variable cv;
+    bool stop = false;
+    bool kick = false;              ///< new deadline/doomed entry queued
+    bool manager_down = false;      ///< manager failed under kRestart
+    std::exception_ptr down_cause;
+    std::string down_what;
+    std::vector<Doomed> doomed;     ///< cancelled calls awaiting cleanup
+    std::vector<Deadline> deadlines;  ///< min-heap by due (std::*_heap)
+  };
+
+  /// Manager-thread activity for the watchdog's stall report (what the
+  /// manager was last seen doing). Values index kActivityNames.
+  enum : std::uint8_t {
+    kActUserCode = 0,
+    kActAcceptWait = 1,
+    kActAwaitWait = 2,
+    kActSelectWait = 3,
+    kActDown = 4,
+  };
+
+  /// RAII marker for the manager's blocking primitives (accept/await/select
+  /// waits); restores "user-code" on exit, including unwinds.
+  class ActivityScope {
+   public:
+    ActivityScope(Object& obj, std::uint8_t activity) : obj_(obj) {
+      obj_.mgr_activity_.store(activity, std::memory_order_relaxed);
+    }
+    ~ActivityScope() {
+      obj_.mgr_activity_.store(kActUserCode, std::memory_order_relaxed);
+    }
+    ActivityScope(const ActivityScope&) = delete;
+    ActivityScope& operator=(const ActivityScope&) = delete;
+
+   private:
+    Object& obj_;
+  };
+
   // -- kernel helpers (suffix _locked requires mu_ held) --
   /// Wakes the manager's select WITHOUT discarding cached guard results.
   /// For event sources that carry their own generation counter (a channel's
@@ -330,7 +420,54 @@ class Object {
   EntryCore& core_checked(EntryRef entry, const char* op);
   void update_pending_locked(EntryCore& e);
   void attach_locked(std::size_t entry_idx, CallRecord rec);
-  CallHandle dispatch(std::size_t entry_idx, ValueList params, bool external);
+  CallHandle dispatch(std::size_t entry_idx, ValueList params, bool external,
+                      const CallOptions* opts = nullptr);
+  /// Manager primitives (and select fires) bump this so the watchdog can
+  /// tell "blocked with nothing to do" from "wedged with work pending".
+  void note_progress() { mgr_ops_.fetch_add(1, std::memory_order_relaxed); }
+  /// Throws the watchdog-abort error if an escalation has flagged this
+  /// manager incarnation; called from the manager's blocking primitives.
+  void check_manager_abort() const;
+
+  // -- supervision (core/supervision.h; DESIGN.md §4.6) --
+  /// Spawns the manager thread for a (re)start; its catch block routes
+  /// failures to handle_manager_failure.
+  void spawn_manager();
+  /// Runs on the failing manager thread: records manager_error_, then
+  /// applies the policy (quarantine / schedule a restart / nothing).
+  void handle_manager_failure(std::exception_ptr err, const std::string& what);
+  /// Quarantines the object: fails every pending caller and all future
+  /// calls with Error(kObjectDown, why). Idempotent.
+  void take_down(std::exception_ptr cause, const std::string& why);
+  /// Supervisor-thread half of kRestart: backoff, reconcile pending calls,
+  /// on_restart hook, join the dead thread, spawn the next incarnation.
+  void handle_manager_down(std::exception_ptr cause, const std::string& what);
+  /// Re-queues / fails the failed incarnation's calls per replay_pending.
+  void reconcile_for_restart();
+  /// Starts the supervisor thread once (no-op when already running or
+  /// stopping); needed for deadlines/cancellation, kRestart and watchdog.
+  void ensure_supervisor();
+  void supervisor_loop();
+  /// Registers deadline/cancel enforcement for a dispatched call.
+  void register_call_guard(std::uint64_t id, std::size_t entry_idx,
+                           const std::shared_ptr<CallState>& state,
+                           const CallOptions& opts);
+  /// Fails one call wherever it currently is in the lifecycle (intake,
+  /// overflow, attached, accepted, started...) with a typed error; the
+  /// caller observes exactly one completion.
+  void fail_call(std::uint64_t id, std::size_t entry_idx,
+                 const std::weak_ptr<CallState>& wstate, ErrorCode code,
+                 const std::string& why);
+  /// One watchdog sample; state lives in the supervisor loop's frame.
+  struct WatchdogState {
+    bool have_baseline = false;
+    std::uint64_t last_ops = 0;
+    std::chrono::steady_clock::time_point last_progress{};
+    bool reported = false;
+  };
+  void watchdog_tick(WatchdogState& wd);
+  StallReport build_stall_report(std::chrono::milliseconds stalled,
+                                 bool escalated);
   /// Drains the intake under the already-held kernel lock: attaches
   /// intercepted calls, batch-submits unintercepted bodies. Skips (leaving
   /// items queued for stop()'s flush) once stopping_ is set.
@@ -386,6 +523,28 @@ class Object {
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> guard_inval_gen_{1};
   support::Event stop_done_;
+
+  // -- supervision state --
+  std::shared_ptr<SupervisorHub> hub_ = std::make_shared<SupervisorHub>();
+  std::jthread supervisor_thread_;
+  bool supervisor_started_ = false;  // guarded by mu_
+  /// Quarantined: set once (seq_cst, mirroring stopping_'s dispatch/flush
+  /// handshake), never cleared. down_msg_ is written before the store and
+  /// read only after an acquire load observes true.
+  std::atomic<bool> down_{false};
+  std::string down_msg_;
+  std::atomic<int> restarts_{0};
+  /// Watchdog escalation flag: manager primitives convert it into a typed
+  /// unwind (check_manager_abort). Reset before each restart.
+  std::atomic<bool> mgr_abort_{false};
+  /// A manager incarnation is running (false between failure and restart).
+  std::atomic<bool> mgr_live_{false};
+  /// Manager progress counter (see note_progress).
+  std::atomic<std::uint64_t> mgr_ops_{0};
+  std::atomic<std::uint8_t> mgr_activity_{kActUserCode};
+  /// Guard descriptions of the manager's most recent select (guarded by
+  /// mu_); copied by value into stall reports so they survive the Select.
+  std::vector<std::string> guard_snapshot_;
 };
 
 }  // namespace alps

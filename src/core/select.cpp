@@ -345,23 +345,47 @@ void Select::compact_index() {
                  });
 }
 
+std::string Select::describe_guard(const GuardRec& g, Object* obj) {
+  std::string desc;
+  switch (g.kind) {
+    case Kind::kAccept:
+      desc = "accept " + obj->core(g.entry.index()).decl.name;
+      break;
+    case Kind::kAwait:
+      desc = "await " + obj->core(g.entry.index()).decl.name;
+      break;
+    case Kind::kReceive:
+      desc = "receive <channel>";
+      break;
+    case Kind::kWhen:
+      desc = "when <cond>";
+      break;
+  }
+  if (g.when_v) desc += " when(...)";
+  if (g.pri_v || g.pri_b) desc += " pri(...)";
+  return desc;
+}
+
 Select::Fired Select::select_impl(Manager& m) {
   if (naive_polling_) return select_impl_naive(m);
   Object* obj = m.obj_;
   ChannelObservers observers;
   bool observers_registered = false;
 
+  bool publish_guards = false;
   if (state_.size() != guards_.size()) {
     // First selection (or guards added since): start cold.
     state_.assign(guards_.size(), GuardState{});
     index_.clear();
     live_count_ = 0;
+    publish_guards = true;
   }
   bool any_waitable = false;
   for (const auto& g : guards_) {
     if (g.kind != Kind::kWhen) any_waitable = true;
   }
 
+  Object::ActivityScope activity(*obj, Object::kActSelectWait);
   for (;;) {
     // Epoch ticket taken before the kernel lock: any event signalled after
     // this point (call intake, body completion, channel send, external
@@ -373,6 +397,17 @@ Select::Fired Select::select_impl(Manager& m) {
       if (obj->stop_source_.stop_requested()) {
         raise(ErrorCode::kObjectStopped,
               "object " + obj->name() + " stopping");
+      }
+      obj->check_manager_abort();
+      if (publish_guards) {
+        // Snapshot the guard set BY VALUE into the object so the watchdog's
+        // stall report can cite it after this Select is long gone.
+        obj->guard_snapshot_.clear();
+        obj->guard_snapshot_.reserve(guards_.size());
+        for (const auto& g : guards_) {
+          obj->guard_snapshot_.push_back(describe_guard(g, obj));
+        }
+        publish_guards = false;
       }
       obj->drain_intake_locked();
 
@@ -436,6 +471,8 @@ Select::Fired Select::select_impl(Manager& m) {
             fired.awaited.slot = top.slot;
             fired.awaited.results = std::move(s.mgr_results);
             fired.awaited.failed = (s.body_error != nullptr);
+            fired.awaited.abandoned = s.abandoned;
+            fired.awaited.error = s.body_error;
             return fired;
           }
           case Kind::kReceive: {
@@ -493,6 +530,7 @@ Select::Fired Select::select_impl_naive(Manager& m) {
   ChannelObservers observers;
   bool observers_registered = false;
 
+  Object::ActivityScope activity(*obj, Object::kActSelectWait);
   for (;;) {
     support::EventCount::Ticket ticket(obj->mgr_wake_);
     bool need_observers = false;
@@ -502,6 +540,7 @@ Select::Fired Select::select_impl_naive(Manager& m) {
         raise(ErrorCode::kObjectStopped,
               "object " + obj->name() + " stopping");
       }
+      obj->check_manager_abort();
       obj->drain_intake_locked();
 
       scratch_candidates_.clear();
@@ -606,6 +645,8 @@ Select::Fired Select::select_impl_naive(Manager& m) {
             fired.awaited.slot = chosen.slot;
             fired.awaited.results = std::move(s.mgr_results);
             fired.awaited.failed = (s.body_error != nullptr);
+            fired.awaited.abandoned = s.abandoned;
+            fired.awaited.error = s.body_error;
             return fired;
           }
           case Kind::kReceive: {
@@ -650,6 +691,8 @@ std::size_t Select::select(Manager& m) {
     raise(ErrorCode::kProtocolViolation, "select with no guards");
   }
   Fired fired = select_impl(m);
+  // A fired guard is manager progress for the watchdog, whatever its kind.
+  m.obj_->note_progress();
   GuardRec& g = guards_[fired.guard_idx];
   // Handlers run outside the kernel lock and may freely use the manager
   // primitives (the paper's `G => S` statement sequence).

@@ -283,6 +283,8 @@ class Select {
 
   Fired select_impl(Manager& m);
   Fired select_impl_naive(Manager& m);
+  /// Human-readable guard description for the watchdog's stall report.
+  static std::string describe_guard(const GuardRec& g, Object* obj);
 
   // -- incremental engine internals (all require the kernel lock) --
   static bool index_before(const IndexEntry& a, const IndexEntry& b);

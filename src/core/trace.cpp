@@ -18,6 +18,28 @@ const char* to_string(CallPhase phase) {
   return "?";
 }
 
+std::string StallReport::summary() const {
+  std::ostringstream os;
+  os << "watchdog: object '" << object << "' stalled for " << stalled_for.count()
+     << "ms (manager: " << manager_activity
+     << (escalated ? ", escalated" : "") << ")\n";
+  for (const EntryRow& row : entries) {
+    if (row.pending == 0 && row.attached == 0 && row.accepted == 0 &&
+        row.running == 0 && row.ready == 0 && row.awaited == 0) {
+      continue;
+    }
+    os << "  entry '" << row.name << "': pending=" << row.pending
+       << " attached=" << row.attached << " accepted=" << row.accepted
+       << " running=" << row.running << " ready=" << row.ready
+       << " awaited=" << row.awaited << "\n";
+  }
+  if (!guards.empty()) {
+    os << "  last select guards:\n";
+    for (const std::string& g : guards) os << "    " << g << "\n";
+  }
+  return os.str();
+}
+
 void TraceCollector::on_event(const TraceEvent& event) {
   std::scoped_lock lock(mu_);
   EntryState& state = entries_[event.entry];

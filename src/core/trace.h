@@ -48,6 +48,36 @@ struct TraceEvent {
   std::chrono::steady_clock::time_point at;
 };
 
+/// Watchdog diagnostic: a snapshot of a stalled object, emitted through
+/// Tracer::on_stall when the manager has made no progress past the stall
+/// threshold while calls are pending. All strings are copied by value — the
+/// report stays valid after the object (or its current Select) is gone.
+struct StallReport {
+  std::string object;
+  /// What the manager thread was last seen doing: "user-code",
+  /// "accept-wait", "await-wait", "select-wait", or "down".
+  const char* manager_activity = "user-code";
+  std::chrono::milliseconds stalled_for{0};
+  bool escalated = false;  ///< watchdog aborted the manager for this stall
+
+  struct EntryRow {
+    std::string name;
+    std::size_t pending = 0;   ///< attached + overflow + in intake (#P)
+    std::size_t attached = 0;  ///< occupying a hidden-array slot, unaccepted
+    std::size_t accepted = 0;
+    std::size_t running = 0;
+    std::size_t ready = 0;
+    std::size_t awaited = 0;
+  };
+  std::vector<EntryRow> entries;
+
+  /// Guard descriptions of the manager's most recent select (empty if the
+  /// manager never reached a select).
+  std::vector<std::string> guards;
+
+  std::string summary() const;
+};
+
 /// Interface the kernel calls on every transition. Implementations must be
 /// thread-safe and fast; they run on callers' threads, the manager thread
 /// and worker threads, sometimes under the object's kernel lock — a tracer
@@ -56,6 +86,11 @@ class Tracer {
  public:
   virtual ~Tracer() = default;
   virtual void on_event(const TraceEvent& event) = 0;
+
+  /// Watchdog stall diagnostic; called at most once per stall episode, from
+  /// the object's supervisor thread, outside the kernel lock. Default no-op
+  /// so existing tracers are unaffected.
+  virtual void on_stall(const StallReport& report) { (void)report; }
 };
 
 /// Aggregating tracer: per-entry counts and latency histograms for each

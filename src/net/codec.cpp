@@ -64,6 +64,7 @@ void encode_request_header(const RequestHeader& h,
   put_u64(out, h.req_id);
   put_u64(out, h.epoch);
   put_u64(out, h.ack_through);
+  put_u64(out, h.deadline_ms);
   put_string(out, h.object);
   put_string(out, h.entry);
 }
@@ -74,6 +75,7 @@ RequestHeader decode_request_header(const std::vector<std::uint8_t>& in,
   h.req_id = get_u64(in, pos);
   h.epoch = get_u64(in, pos);
   h.ack_through = get_u64(in, pos);
+  h.deadline_ms = get_u64(in, pos);
   h.object = get_string(in, pos);
   h.entry = get_string(in, pos);
   return h;
@@ -92,7 +94,7 @@ ResponseHeader decode_response_header(const std::vector<std::uint8_t>& in,
   ResponseHeader h;
   h.req_id = get_u64(in, pos);
   const std::uint8_t cause = get_u8(in, pos);
-  if (cause > static_cast<std::uint8_t>(WireCause::kObjectNotFound)) {
+  if (cause > static_cast<std::uint8_t>(WireCause::kObjectDown)) {
     raise(ErrorCode::kBadMessage, "unknown response cause");
   }
   h.cause = static_cast<WireCause>(cause);

@@ -36,6 +36,9 @@ enum class WireCause : std::uint8_t {
   kOk = 0,
   kRemoteError = 1,     ///< entry body threw / no such entry / object stopped
   kObjectNotFound = 2,  ///< target node does not host the named object
+  kTimeout = 3,         ///< call deadline expired inside the remote kernel
+  kCancelled = 4,       ///< remote kernel revoked the call (CancelToken)
+  kObjectDown = 5,      ///< target object quarantined after a manager failure
 };
 
 /// Response flag bits.
@@ -45,6 +48,11 @@ struct RequestHeader {
   std::uint64_t req_id = 0;
   std::uint64_t epoch = 0;        ///< caller's dedup epoch (see rpc.h)
   std::uint64_t ack_through = 0;  ///< caller will never retransmit ids <= this
+  /// Caller's overall deadline in ms (0 = none). The serving node applies it
+  /// to the hosted call via kernel CallOptions, so an expiry is detected
+  /// where the work queues — the caller gets a typed kTimeout response
+  /// instead of retransmitting into a stalled object.
+  std::uint64_t deadline_ms = 0;
   std::string object;
   std::string entry;
 

@@ -30,6 +30,7 @@ const char* to_string(RpcCause cause) {
     case RpcCause::kRemoteError: return "rpc remote error";
     case RpcCause::kCancelled: return "rpc cancelled";
     case RpcCause::kShutdown: return "rpc node shutdown";
+    case RpcCause::kObjectDown: return "rpc object down";
   }
   return "rpc error";
 }
@@ -209,8 +210,15 @@ std::shared_ptr<CallState> Node::start_call(NodeId target,
   if (req_id_out) *req_id_out = req_id;
 
   std::vector<std::uint8_t> payload;
+  // Ship the deadline so the serving kernel enforces it at the object, not
+  // just this side's retry timer.
+  const std::uint64_t deadline_ms =
+      opts.deadline.count() > 0
+          ? static_cast<std::uint64_t>(opts.deadline.count())
+          : 0;
   encode_request_header(
-      RequestHeader{req_id, epoch_, ack, object_name, entry}, payload);
+      RequestHeader{req_id, epoch_, ack, deadline_ms, object_name, entry},
+      payload);
   encode_list(params, payload, this);  // resolver locks mu_; keep it released
 
   const auto now = std::chrono::steady_clock::now();
@@ -504,20 +512,46 @@ void Node::handle_request(NodeId from, const std::vector<std::uint8_t>& payload,
     return;
   }
 
+  // Typed kernel failures cross the wire as their own causes; everything
+  // else (entry body threw, no such entry, object stopped) stays
+  // kRemoteError.
+  auto wire_cause_of = [](const Error& e) {
+    switch (e.code()) {
+      case ErrorCode::kTimeout: return WireCause::kTimeout;
+      case ErrorCode::kCancelled: return WireCause::kCancelled;
+      case ErrorCode::kObjectDown: return WireCause::kObjectDown;
+      default: return WireCause::kRemoteError;
+    }
+  };
+
   CallHandle handle;
   try {
-    handle = object->async_call(header.entry, std::move(params));
+    // Apply the caller's deadline inside the serving kernel: the hosted call
+    // is unqueued/abandoned on expiry and the timeout travels back typed.
+    alps::CallOptions kernel_opts;
+    if (header.deadline_ms > 0) {
+      kernel_opts.deadline = std::chrono::milliseconds(header.deadline_ms);
+    }
+    handle = kernel_opts.none()
+                 ? object->async_call(header.entry, std::move(params))
+                 : object->async_call(header.entry, std::move(params),
+                                      kernel_opts);
     std::scoped_lock lock(mu_);
     ++server_stats_.dispatched;
+  } catch (const Error& e) {
+    respond(wire_cause_of(e), {}, e.what());
+    return;
   } catch (const std::exception& e) {
     respond(WireCause::kRemoteError, {}, e.what());
     return;
   }
   // Send the response from whichever thread completes the call (typically
   // the object's manager at finish); posting a frame never blocks.
-  handle.state()->on_complete([respond](CallState& state) {
+  handle.state()->on_complete([respond, wire_cause_of](CallState& state) {
     try {
       respond(WireCause::kOk, state.get(), "");
+    } catch (const Error& e) {
+      respond(wire_cause_of(e), {}, e.what());
     } catch (const std::exception& e) {
       respond(WireCause::kRemoteError, {}, e.what());
     }
@@ -557,9 +591,14 @@ void Node::handle_response(NodeId from,
   if (header.cause == WireCause::kOk) {
     state->complete(std::move(results));
   } else {
-    const RpcCause cause = header.cause == WireCause::kObjectNotFound
-                               ? RpcCause::kObjectNotFound
-                               : RpcCause::kRemoteError;
+    RpcCause cause = RpcCause::kRemoteError;
+    switch (header.cause) {
+      case WireCause::kObjectNotFound: cause = RpcCause::kObjectNotFound; break;
+      case WireCause::kTimeout: cause = RpcCause::kTimeout; break;
+      case WireCause::kCancelled: cause = RpcCause::kCancelled; break;
+      case WireCause::kObjectDown: cause = RpcCause::kObjectDown; break;
+      default: break;
+    }
     state->fail(std::make_exception_ptr(RpcError(cause, error, attempts)));
   }
   if (!ack.empty()) network_->post(Frame{id_, from, std::move(ack)});

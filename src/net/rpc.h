@@ -56,14 +56,18 @@ namespace alps::net {
 
 class Node;
 
-/// Why a remote call failed, as surfaced to the caller.
+/// Why a remote call failed, as surfaced to the caller. kTimeout covers both
+/// ends of the same contract: no response arrived in time, or the serving
+/// kernel itself expired the call's deadline (the request header carries it)
+/// and said so in a typed response.
 enum class RpcCause {
-  kTimeout,         ///< no response within the attempt/overall deadline
+  kTimeout,         ///< attempt/overall deadline passed, locally or remotely
   kPartitioned,     ///< as kTimeout, but a partition to the target is active
   kObjectNotFound,  ///< target node does not host the named object
   kRemoteError,     ///< entry body threw / no such entry / object stopped
-  kCancelled,       ///< caller cancelled the in-flight request
+  kCancelled,       ///< caller cancelled the request (client- or kernel-side)
   kShutdown,        ///< local node destroyed with the call outstanding
+  kObjectDown,      ///< target object quarantined after a manager failure
 };
 
 const char* to_string(RpcCause cause);
@@ -74,9 +78,7 @@ const char* to_string(RpcCause cause);
 class RpcError : public Error {
  public:
   RpcError(RpcCause cause, const std::string& what, int attempts = 1)
-      : Error(cause == RpcCause::kTimeout ? ErrorCode::kTimeout
-                                          : ErrorCode::kNetwork,
-              std::string(to_string(cause)) + ": " + what),
+      : Error(code_for(cause), std::string(to_string(cause)) + ": " + what),
         cause_(cause),
         attempts_(attempts) {}
 
@@ -87,6 +89,17 @@ class RpcError : public Error {
   int attempts() const { return attempts_; }
 
  private:
+  /// Keeps ErrorCode and RpcCause telling the same story, so callers that
+  /// only see the Error base still get the right typed code.
+  static ErrorCode code_for(RpcCause cause) {
+    switch (cause) {
+      case RpcCause::kTimeout: return ErrorCode::kTimeout;
+      case RpcCause::kCancelled: return ErrorCode::kCancelled;
+      case RpcCause::kObjectDown: return ErrorCode::kObjectDown;
+      default: return ErrorCode::kNetwork;
+    }
+  }
+
   RpcCause cause_;
   int attempts_;
 };

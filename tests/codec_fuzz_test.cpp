@@ -128,7 +128,7 @@ TEST_P(CodecFuzz, RequestFrameTruncationsRejected) {
   support::Rng rng(GetParam() + 3000);
   std::vector<std::uint8_t> buf;
   encode_request_header(RequestHeader{rng.next(), rng.next(), rng.next(),
-                                      "Dictionary", "Insert"},
+                                      rng.next(), "Dictionary", "Insert"},
                         buf);
   ValueList params;
   for (int i = 0; i < 3; ++i) params.push_back(random_value(rng, 2));

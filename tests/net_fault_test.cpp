@@ -147,7 +147,7 @@ struct RawRig {
                     std::uint64_t ack, std::int64_t param) {
     std::vector<std::uint8_t> payload;
     encode_request_header(
-        RequestHeader{req_id, epoch, ack, "Counter", "Add"}, payload);
+        RequestHeader{req_id, epoch, ack, 0, "Counter", "Add"}, payload);
     encode_list(vals(param), payload);
     net.post(Frame{raw, server.id(), std::move(payload)});
   }

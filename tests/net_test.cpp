@@ -67,7 +67,8 @@ TEST(Codec, ChannelWithoutResolverRejected) {
 
 TEST(Codec, RequestHeaderRoundTrip) {
   const RequestHeader in{/*req_id=*/77, /*epoch=*/12345678901234ull,
-                         /*ack_through=*/76, "Dictionary", "Search"};
+                         /*ack_through=*/76, /*deadline_ms=*/1500,
+                         "Dictionary", "Search"};
   std::vector<std::uint8_t> buf;
   encode_request_header(in, buf);
   std::size_t pos = 0;
@@ -77,8 +78,9 @@ TEST(Codec, RequestHeaderRoundTrip) {
 }
 
 TEST(Codec, ResponseHeaderRoundTrip) {
-  for (const auto cause : {WireCause::kOk, WireCause::kRemoteError,
-                           WireCause::kObjectNotFound}) {
+  for (const auto cause :
+       {WireCause::kOk, WireCause::kRemoteError, WireCause::kObjectNotFound,
+        WireCause::kTimeout, WireCause::kCancelled, WireCause::kObjectDown}) {
     const ResponseHeader in{/*req_id=*/99, cause, kResponseFlagReplayed};
     std::vector<std::uint8_t> buf;
     encode_response_header(in, buf);
@@ -345,6 +347,89 @@ TEST(Rpc, ManagerInterceptedObjectCallableRemotely) {
   auto counter = client.remote(server.id(), "Counter");
   EXPECT_EQ(counter.call("Inc", {}, {}).value()[0].as_int(), 1);
   EXPECT_EQ(counter.call("Inc", {}, {}).value()[0].as_int(), 2);
+  obj.stop();
+}
+
+// ---- supervision × RPC: the typed taxonomy crosses the wire ----
+
+TEST(Rpc, QuarantinedObjectSurfacesObjectDown) {
+  Network net;
+  Node client(net, "client");
+  Node server(net, "server");
+
+  Object obj("Fragile",
+             ObjectOptions{.supervision = {.mode = SupervisionMode::kQuarantine}});
+  auto work = obj.define_entry({.name = "Work", .params = 0, .results = 0});
+  obj.implement(work, [](BodyCtx&) -> ValueList { return {}; });
+  obj.set_manager({intercept(work)}, [&](Manager& m) {
+    m.accept(work);
+    throw std::runtime_error("manager crashed");
+  });
+  obj.start();
+  server.host(obj);
+
+  auto fragile = client.remote(server.id(), "Fragile");
+  // The crash-triggering call itself comes back typed: the pending hosted
+  // call is failed with kObjectDown when the quarantine takes effect.
+  auto r1 = fragile.call("Work", {}, {});
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.error().cause(), RpcCause::kObjectDown);
+  EXPECT_EQ(r1.error().code(), ErrorCode::kObjectDown);
+  EXPECT_TRUE(obj.quarantined());
+
+  // Later calls are refused at dispatch with the same cause.
+  auto r2 = fragile.call("Work", {}, {});
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.error().cause(), RpcCause::kObjectDown);
+  obj.stop();
+}
+
+TEST(Rpc, RequestDeadlineEnforcedByServingKernel) {
+  // Drive the server with a hand-built request frame so the *server-side*
+  // deadline path is observed directly: the response must come back with
+  // WireCause::kTimeout, independent of any client retry timer.
+  Network net;
+  Node server(net, "server");
+  const NodeId raw = net.add_node("raw-client");
+  std::mutex mu;
+  std::vector<std::vector<std::uint8_t>> responses;
+  support::Event got_response;
+  net.set_handler(raw, [&](Frame f) {
+    std::scoped_lock lock(mu);
+    responses.push_back(std::move(f.payload));
+    got_response.set();
+  });
+
+  Object obj("Stall");
+  auto work = obj.define_entry({.name = "Work", .params = 0, .results = 0});
+  auto never = obj.define_entry({.name = "Never", .params = 0, .results = 0});
+  obj.implement(work, [](BodyCtx&) -> ValueList { return {}; });
+  obj.implement(never, [](BodyCtx&) -> ValueList { return {}; });
+  obj.set_manager({intercept(work), intercept(never)}, [&](Manager& m) {
+    for (;;) m.execute(m.accept(never));  // Work is never admitted
+  });
+  obj.start();
+  server.host(obj);
+
+  std::vector<std::uint8_t> payload;
+  encode_request_header(
+      RequestHeader{/*req_id=*/1, /*epoch=*/7, /*ack_through=*/0,
+                    /*deadline_ms=*/50, "Stall", "Work"},
+      payload);
+  encode_list({}, payload);
+  net.post(Frame{raw, server.id(), std::move(payload)});
+
+  ASSERT_TRUE(got_response.wait_for(std::chrono::seconds(5)));
+  std::scoped_lock lock(mu);
+  ASSERT_EQ(responses.size(), 1u);
+  std::size_t pos = 0;
+  ASSERT_EQ(get_u8(responses[0], pos),
+            static_cast<std::uint8_t>(MsgType::kResponse));
+  const ResponseHeader header = decode_response_header(responses[0], pos);
+  EXPECT_EQ(header.req_id, 1u);
+  EXPECT_EQ(header.cause, WireCause::kTimeout);
+  const std::string error = get_string(responses[0], pos);
+  EXPECT_NE(error.find("deadline"), std::string::npos);
   obj.stop();
 }
 
