@@ -50,9 +50,15 @@ int main() {
   reporter.start();
   server.host(reporter);
 
-  // Clients call over RPC.
-  auto remote_dict_a = client_a.remote(server.id(), "Dictionary");
-  auto remote_dict_b = client_b.remote(server.id(), "Dictionary");
+  // Clients call by object *name* — host() registered "Dictionary" in the
+  // cluster directory, so nobody needs to know which node it lives on
+  // (location transparency, DESIGN.md §4.7). Frame batching coalesces the
+  // burst of requests/responses on each link.
+  client_a.set_batching({});  // defaults: flush at 8 frames or 200 µs
+  client_b.set_batching({});
+  server.set_batching({});
+  auto remote_dict_a = client_a.remote("Dictionary");
+  auto remote_dict_b = client_b.remote("Dictionary");
 
   support::ZipfGenerator zipf(words.size(), 1.1, 3);
   std::vector<net::RpcHandle> calls;
@@ -69,11 +75,17 @@ int main() {
   std::printf("server combined %llu of %llu remote requests\n",
               static_cast<unsigned long long>(s.combined),
               static_cast<unsigned long long>(s.requests));
+  const auto ab = client_a.batch_stats();
+  std::printf("client-a batching: %llu frames flushed as %llu batches + "
+              "%llu singles\n",
+              static_cast<unsigned long long>(ab.frames_enqueued),
+              static_cast<unsigned long long>(ab.batches_posted),
+              static_cast<unsigned long long>(ab.singles_posted));
 
   // Channel across the network: client passes a reply channel to the
   // executing remote procedure.
   ChannelRef progress = make_channel("progress");
-  auto remote_reporter = client_a.remote(server.id(), "Reporter");
+  auto remote_reporter = client_a.remote("Reporter");
   if (!remote_reporter.call("Watch", vals(5, progress), {}).ok()) return 1;
   for (int i = 0; i < 5; ++i) {
     ValueList update = progress->receive();

@@ -81,17 +81,24 @@ void TraceCollector::on_event(const TraceEvent& event) {
     case CallPhase::kFinished:
     case CallPhase::kFailed:
     case CallPhase::kCombined: {
-      auto it = state.pending.find(event.call_id);
-      if (it == state.pending.end()) return;
+      // Terminal counters always advance — a call that terminates is a call
+      // that terminated, whether or not its arrival was observed. Only the
+      // latency samples need the pending timestamps.
       if (event.phase == CallPhase::kFinished) {
         ++rep.finished;
-        if (it->second.ready.time_since_epoch().count() != 0) {
-          rep.finish_delay.record_duration(event.at - it->second.ready);
-        }
       } else if (event.phase == CallPhase::kFailed) {
         ++rep.failed;
       } else {
         ++rep.combined;
+      }
+      auto it = state.pending.find(event.call_id);
+      if (it == state.pending.end()) {
+        ++rep.unmatched;
+        return;
+      }
+      if (event.phase == CallPhase::kFinished &&
+          it->second.ready.time_since_epoch().count() != 0) {
+        rep.finish_delay.record_duration(event.at - it->second.ready);
       }
       rep.total_latency.record_duration(event.at - it->second.arrived);
       state.pending.erase(it);
@@ -105,7 +112,9 @@ TraceCollector::EntryReport TraceCollector::report(
   std::scoped_lock lock(mu_);
   auto it = entries_.find(entry);
   if (it == entries_.end()) return {};
-  return it->second.report;
+  EntryReport rep = it->second.report;
+  rep.still_pending = it->second.pending.size();
+  return rep;
 }
 
 std::vector<std::string> TraceCollector::entries() const {
@@ -117,16 +126,33 @@ std::vector<std::string> TraceCollector::entries() const {
 }
 
 std::string TraceCollector::summary() const {
+  // One lock acquisition for the whole dump: re-locking per entry would let
+  // events land between entries and tear the snapshot (entry A's counters
+  // from before a burst, entry B's from after).
+  std::scoped_lock lock(mu_);
   std::ostringstream os;
-  for (const auto& name : entries()) {
-    const EntryReport rep = report(name);
+  for (const auto& [name, state] : entries_) {
+    const EntryReport& rep = state.report;
     os << name << ": arrived=" << rep.arrived << " finished=" << rep.finished
-       << " failed=" << rep.failed << " combined=" << rep.combined << "\n";
+       << " failed=" << rep.failed << " combined=" << rep.combined
+       << " unmatched=" << rep.unmatched << " abandoned=" << rep.abandoned
+       << " pending=" << state.pending.size() << "\n";
     os << "  accept_wait   " << rep.accept_wait.summary() << "\n";
     os << "  service_time  " << rep.service_time.summary() << "\n";
     os << "  total_latency " << rep.total_latency.summary() << "\n";
   }
   return os.str();
+}
+
+std::size_t TraceCollector::flush_pending() {
+  std::scoped_lock lock(mu_);
+  std::size_t flushed = 0;
+  for (auto& [name, state] : entries_) {
+    state.report.abandoned += state.pending.size();
+    flushed += state.pending.size();
+    state.pending.clear();
+  }
+  return flushed;
 }
 
 void TraceCollector::reset() {

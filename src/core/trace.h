@@ -102,6 +102,19 @@ class TraceCollector final : public Tracer {
     std::uint64_t finished = 0;
     std::uint64_t failed = 0;
     std::uint64_t combined = 0;
+    /// Terminal events whose call_id had no pending arrival (e.g. the tracer
+    /// was attached mid-call, or the call failed before kArrived). Counted —
+    /// never silently dropped — but without latency samples, since there is
+    /// no arrival timestamp to measure from.
+    std::uint64_t unmatched = 0;
+    /// Pending arrivals discarded by flush_pending() (calls abandoned
+    /// without a terminal event, e.g. object torn down mid-call).
+    std::uint64_t abandoned = 0;
+    /// Arrivals still awaiting their terminal event at snapshot time.
+    /// Reconciliation invariant for any quiescent or live snapshot:
+    ///   arrived + unmatched == finished + failed + combined
+    ///                          + still_pending + abandoned
+    std::uint64_t still_pending = 0;
     support::Histogram attach_wait;   ///< arrive → attach
     support::Histogram accept_wait;   ///< attach → accept
     support::Histogram start_delay;   ///< accept → start
@@ -117,8 +130,16 @@ class TraceCollector final : public Tracer {
 
   std::vector<std::string> entries() const;
 
-  /// Human-readable multi-line dump of all entries.
+  /// Human-readable multi-line dump of all entries. Built under a single
+  /// lock acquisition, so the counters of different entries are a consistent
+  /// snapshot (no torn reads between per-entry locks).
   std::string summary() const;
+
+  /// Discards all pending (non-terminated) call timestamps, folding them
+  /// into each entry's `abandoned` count. Call after tearing down traced
+  /// objects so abandoned calls do not linger as still_pending forever.
+  /// Returns the number of calls flushed.
+  std::size_t flush_pending();
 
   void reset();
 

@@ -102,6 +102,56 @@ ResponseHeader decode_response_header(const std::vector<std::uint8_t>& in,
   return h;
 }
 
+void encode_wrong_node(const WrongNodeHeader& h,
+                       std::vector<std::uint8_t>& out) {
+  put_u8(out, static_cast<std::uint8_t>(MsgType::kWrongNode));
+  put_u64(out, h.req_id);
+  put_u64(out, h.home);
+  put_string(out, h.object);
+}
+
+WrongNodeHeader decode_wrong_node(const std::vector<std::uint8_t>& in,
+                                  std::size_t& pos) {
+  WrongNodeHeader h;
+  h.req_id = get_u64(in, pos);
+  h.home = get_u64(in, pos);
+  h.object = get_string(in, pos);
+  return h;
+}
+
+void encode_batch(const std::vector<std::vector<std::uint8_t>>& members,
+                  std::vector<std::uint8_t>& out) {
+  put_u8(out, static_cast<std::uint8_t>(MsgType::kBatch));
+  put_u32(out, static_cast<std::uint32_t>(members.size()));
+  for (const auto& m : members) {
+    put_u32(out, static_cast<std::uint32_t>(m.size()));
+    out.insert(out.end(), m.begin(), m.end());
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> decode_batch(
+    const std::vector<std::uint8_t>& in, std::size_t& pos) {
+  const std::uint32_t n = get_u32(in, pos);
+  // Each member costs at least its 4-byte length prefix plus a type byte;
+  // a count beyond the remaining bytes is a corrupt frame, not a reserve().
+  if (n > in.size() - pos) {
+    raise(ErrorCode::kBadMessage, "batch count exceeds frame size");
+  }
+  std::vector<std::vector<std::uint8_t>> members;
+  members.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t len = get_u32(in, pos);
+    if (len == 0) {
+      raise(ErrorCode::kBadMessage, "empty batch member");
+    }
+    need(in, pos, len);
+    members.emplace_back(in.begin() + static_cast<std::ptrdiff_t>(pos),
+                         in.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    pos += len;
+  }
+  return members;
+}
+
 void encode_ack(std::uint64_t ack_through, std::vector<std::uint8_t>& out) {
   put_u8(out, static_cast<std::uint8_t>(MsgType::kAck));
   put_u64(out, ack_through);

@@ -24,10 +24,12 @@ namespace alps::net {
 // both go through them.
 
 enum class MsgType : std::uint8_t {
-  kRequest = 1,   ///< (header, params)        → Object::async_call
-  kResponse = 2,  ///< (header, results|error) → completes the caller future
-  kChanSend = 3,  ///< (chan_id, message)      → local channel send
-  kAck = 4,       ///< (ack_through)           → dedup-table eviction
+  kRequest = 1,    ///< (header, params)        → Object::async_call
+  kResponse = 2,   ///< (header, results|error) → completes the caller future
+  kChanSend = 3,   ///< (chan_id, message)      → local channel send
+  kAck = 4,        ///< (ack_through)           → dedup-table eviction
+  kWrongNode = 5,  ///< (req_id, home, object)  → stale route; re-send to home
+  kBatch = 6,      ///< (count, length-prefixed member frames) → coalesced link
 };
 
 /// Typed cause carried in a response header. kOk means results follow;
@@ -83,10 +85,46 @@ ResponseHeader decode_response_header(const std::vector<std::uint8_t>& in,
 std::uint64_t decode_ack(const std::vector<std::uint8_t>& in,
                          std::size_t& pos);
 
+/// Typed redirect: the receiving node does not host `object`, but the
+/// cluster directory says `home` does. Stateless on the server (no dedup
+/// entry is created), so a duplicate request to a wrong node just earns a
+/// duplicate redirect. The client refreshes its route cache and re-sends
+/// the stored request frame to `home` — at most one extra hop per redirect,
+/// never a server-side forwarding chain.
+struct WrongNodeHeader {
+  std::uint64_t req_id = 0;
+  std::uint64_t home = 0;  ///< the directory's current home for `object`
+  std::string object;
+
+  bool operator==(const WrongNodeHeader&) const = default;
+};
+
+void encode_wrong_node(const WrongNodeHeader& h,
+                       std::vector<std::uint8_t>& out);
+WrongNodeHeader decode_wrong_node(const std::vector<std::uint8_t>& in,
+                                  std::size_t& pos);
+
+/// Batch frame: `count` member frames, each length-prefixed. Members are
+/// complete frame payloads (type byte first) and must not themselves be
+/// batches — the dispatch layer rejects nesting, so a hostile frame cannot
+/// recurse. decode_batch validates every length against the remaining
+/// bytes and rejects empty members (no type byte).
+void encode_batch(const std::vector<std::vector<std::uint8_t>>& members,
+                  std::vector<std::uint8_t>& out);
+std::vector<std::vector<std::uint8_t>> decode_batch(
+    const std::vector<std::uint8_t>& in, std::size_t& pos);
+
 /// Byte offset of the flags field inside an encoded response payload
 /// (type + req_id + cause); the server flips the replayed bit in its cached
 /// copy without re-encoding the whole frame.
 inline constexpr std::size_t kResponseFlagsOffset = 1 + 8 + 1;
+
+/// Byte offset of ack_through inside an encoded request payload (type +
+/// req_id + epoch). A kWrongNode re-route patches the piggybacked watermark
+/// for the new target link in place, without re-encoding the params — the
+/// req_id/epoch dedup key is deliberately untouched so at-most-once state
+/// survives the re-route.
+inline constexpr std::size_t kRequestAckOffset = 1 + 8 + 8;
 
 /// Hook pair used when values may contain channels. encode_channel must
 /// return a stable (node, id) naming; decode_channel must return a channel

@@ -1,0 +1,36 @@
+#include "net/directory.h"
+
+namespace alps::net {
+
+void Directory::add(const std::string& object, NodeId home) {
+  std::scoped_lock lock(mu_);
+  map_[object] = home;
+}
+
+void Directory::remove(const std::string& object, NodeId home) {
+  std::scoped_lock lock(mu_);
+  auto it = map_.find(object);
+  if (it != map_.end() && it->second == home) map_.erase(it);
+}
+
+std::optional<NodeId> Directory::lookup(const std::string& object) const {
+  std::scoped_lock lock(mu_);
+  auto it = map_.find(object);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t Directory::size() const {
+  std::scoped_lock lock(mu_);
+  return map_.size();
+}
+
+std::vector<std::string> Directory::objects() const {
+  std::scoped_lock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(map_.size());
+  for (const auto& [name, home] : map_) out.push_back(name);
+  return out;
+}
+
+}  // namespace alps::net

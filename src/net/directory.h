@@ -1,0 +1,50 @@
+// Cluster directory: object name → home node.
+//
+// The paper pitches entry calls as RPCs so that "a parallel program can be
+// executed on a distributed system without change" (§1, §4) — which needs a
+// cluster-level view of where each object lives, not caller-managed node
+// ids. The Network owns one Directory as the authoritative map; Node::host
+// and Node::unhost keep it current, and each node caches resolutions
+// per-object. A stale cache is corrected in-band: the wrong node answers
+// with a typed kWrongNode redirect carrying the directory's current home
+// (see rpc.h), so placement can change without touching callers.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.h"
+
+namespace alps::net {
+
+/// Thread-safe name → home-node map. All operations are O(1) hash lookups;
+/// nodes hold a pointer to the Network's instance, never a copy.
+class Directory {
+ public:
+  /// Registers (or re-homes) `object` at `home`. A migration is just a
+  /// second add under the new home — the map is last-writer-wins.
+  void add(const std::string& object, NodeId home);
+
+  /// Removes the mapping only while it still names `home`: an unhost on the
+  /// old node after a migration must not erase the new home's entry (this
+  /// is what makes "host on B, then unhost on A" a race-free migration
+  /// order — there is never a window with no entry).
+  void remove(const std::string& object, NodeId home);
+
+  std::optional<NodeId> lookup(const std::string& object) const;
+
+  std::size_t size() const;
+
+  /// All registered object names (diagnostics / examples).
+  std::vector<std::string> objects() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, NodeId> map_;
+};
+
+}  // namespace alps::net

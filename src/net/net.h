@@ -2,13 +2,19 @@
 //
 //   net::Network       simulated multi-node network: per-link latency,
 //                      fault injection (drop/duplicate/reorder/partition)
-//   net::Node          hosts kernel Objects; retry timer + at-most-once dedup
+//   net::Directory     cluster map object name → home node (kWrongNode heals
+//                      stale per-node route caches in-band)
+//   net::Node          hosts kernel Objects; retry timer + at-most-once dedup;
+//                      name-based call surface resolves through the directory
 //   net::RemoteObject  proxy: call/async_call with CallOptions → Result
 //   net::RetryPolicy   retransmission discipline (backoff + jitter)
 //   net::RpcError      typed failure causes (timeout, partitioned, ...)
+//   net::FrameBatcher  per-link frame coalescing (kBatch envelopes)
 //   codec.h            wire format: Value TLV + frame headers
 #pragma once
 
+#include "net/batch.h"
 #include "net/codec.h"
+#include "net/directory.h"
 #include "net/network.h"
 #include "net/rpc.h"

@@ -1,12 +1,15 @@
 #include "net/network.h"
 
 #include "core/error.h"
+#include "net/directory.h"
 #include "support/thread_util.h"
 
 namespace alps::net {
 
 Network::Network(LinkLatency default_latency, std::uint64_t seed)
-    : default_latency_(default_latency), rng_(seed) {
+    : default_latency_(default_latency),
+      rng_(seed),
+      directory_(std::make_unique<Directory>()) {
   delivery_thread_ =
       std::jthread([this](std::stop_token st) { delivery_loop(st); });
 }
@@ -128,6 +131,7 @@ void Network::post(Frame frame) {
     // retransmissions make a scripted heal progress.
     const bool cut = partitioned_locked(frame.src, frame.dst);
     ++total_posted_;
+    ++stats_.frames_posted;
     if (cut) {
       ++stats_.frames_lost;
       return;

@@ -14,6 +14,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <string>
@@ -26,6 +27,8 @@
 namespace alps::net {
 
 using NodeId = std::uint64_t;
+
+class Directory;
 
 struct Frame {
   NodeId src = 0;
@@ -50,6 +53,7 @@ struct LinkFaults {
 };
 
 struct NetworkStats {
+  std::uint64_t frames_posted = 0;      // every post(), incl. lost frames
   std::uint64_t frames_delivered = 0;
   std::uint64_t bytes_delivered = 0;
   std::uint64_t frames_dropped = 0;     // dst unknown or no handler
@@ -71,6 +75,12 @@ class Network {
 
   /// Registers a node; returns its id (ids are dense, starting at 0).
   NodeId add_node(const std::string& name);
+
+  /// The cluster's object directory (see directory.h). The Network models
+  /// the cluster, so it owns the authoritative name → home-node map;
+  /// Node::host/unhost maintain it and name-based calls resolve through it.
+  Directory& directory() { return *directory_; }
+  const Directory& directory() const { return *directory_; }
 
   void set_handler(NodeId node, std::function<void(Frame)> handler);
 
@@ -171,6 +181,7 @@ class Network {
   std::unordered_map<std::uint64_t, LinkSchedule> last_due_;
   std::uint64_t next_seq_ = 0;
   bool delivering_ = false;
+  std::unique_ptr<Directory> directory_;
   std::jthread delivery_thread_;
 };
 

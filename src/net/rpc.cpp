@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "core/error.h"
+#include "net/directory.h"
 #include "support/log.h"
 #include "support/thread_util.h"
 
@@ -14,6 +15,22 @@ namespace {
 /// tables tiny; the bound is the backstop for a caller that never acks
 /// (entries with responses already sent are evicted oldest-first).
 constexpr std::size_t kMaxDedupPerCaller = 256;
+
+/// Upper bound on kWrongNode hops a single request will follow. Routing
+/// converges in one hop when placement is stable; a bound this generous only
+/// trips when hosts chase each other indefinitely, and the call then fails
+/// typed instead of ping-ponging forever.
+constexpr int kMaxRedirects = 8;
+
+/// Patches the piggybacked ack watermark inside an encoded request frame
+/// (little-endian u64 at kRequestAckOffset) without re-encoding — the
+/// req_id/epoch dedup key bytes stay untouched across a re-route.
+void patch_request_ack(std::vector<std::uint8_t>& payload, std::uint64_t ack) {
+  for (int i = 0; i < 8; ++i) {
+    payload[kRequestAckOffset + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(ack >> (8 * i));
+  }
+}
 
 /// Dedup epochs distinguish distinct Node incarnations, so a fresh node
 /// whose req_ids restart at 1 can never be answered from a predecessor's
@@ -57,8 +74,11 @@ RpcHandle RemoteObject::async_call(const std::string& entry, ValueList params,
                                    const CallOptions& opts) {
   if (!node_) raise(ErrorCode::kNetwork, "invalid RemoteObject");
   std::uint64_t req_id = 0;
-  auto state = node_->start_call(target_, object_name_, entry,
-                                 std::move(params), opts, &req_id);
+  auto state =
+      by_name_ ? node_->start_named_call(object_name_, entry, std::move(params),
+                                         opts, &req_id)
+               : node_->start_call(target_, object_name_, entry,
+                                   std::move(params), opts, &req_id);
   return RpcHandle(std::move(state), node_, req_id);
 }
 
@@ -111,6 +131,10 @@ Node::~Node() {
   }
   timer_cv_.notify_all();
   if (timer_thread_.joinable()) timer_thread_.join();
+  // Retire the batcher after the retry thread (its last posts still coalesce)
+  // and before orphaning pending calls; its destructor flushes residue.
+  batcher_raw_.store(nullptr, std::memory_order_release);
+  batcher_.reset();
   // Fail anything still waiting for a response.
   std::vector<std::pair<std::shared_ptr<CallState>, std::string>> orphans;
   {
@@ -126,17 +150,82 @@ Node::~Node() {
 }
 
 void Node::host(Object& object) {
-  std::scoped_lock lock(mu_);
-  hosted_[object.name()] = &object;
+  {
+    std::scoped_lock lock(mu_);
+    hosted_[object.name()] = &object;
+  }
+  // Register after the local table so a request racing the registration
+  // finds the object hosted. Migration order is host(new) then unhost(old):
+  // the directory entry just moves (last-writer-wins), never disappears.
+  network_->directory().add(object.name(), id_);
 }
 
 void Node::unhost(const std::string& object_name) {
-  std::scoped_lock lock(mu_);
-  hosted_.erase(object_name);
+  {
+    std::scoped_lock lock(mu_);
+    hosted_.erase(object_name);
+  }
+  // Conditional removal: after a migration the entry names the new home and
+  // this unhost must leave it alone.
+  network_->directory().remove(object_name, id_);
 }
 
 RemoteObject Node::remote(NodeId target, const std::string& object_name) {
   return RemoteObject(this, target, object_name);
+}
+
+RemoteObject Node::remote(const std::string& object_name) {
+  return RemoteObject(this, object_name);
+}
+
+Result<ValueList, RpcError> Node::call(const std::string& object,
+                                       const std::string& entry,
+                                       ValueList params,
+                                       const CallOptions& opts) {
+  return async_call(object, entry, std::move(params), opts).result();
+}
+
+RpcHandle Node::async_call(const std::string& object, const std::string& entry,
+                           ValueList params, const CallOptions& opts) {
+  return remote(object).async_call(entry, std::move(params), opts);
+}
+
+void Node::set_batching(const BatchOptions& options) {
+  // Quiesce the old batcher (if any) before swapping: posting threads read
+  // batcher_raw_ with acquire ordering, so publish the new one last.
+  batcher_raw_.store(nullptr, std::memory_order_release);
+  batcher_.reset();
+  batcher_ = std::make_unique<FrameBatcher>(
+      options, [this](NodeId dst, std::vector<std::uint8_t> payload) {
+        network_->post(Frame{id_, dst, std::move(payload)});
+      });
+  batcher_raw_.store(batcher_.get(), std::memory_order_release);
+}
+
+void Node::flush_batches() {
+  if (auto* b = batcher_raw_.load(std::memory_order_acquire)) b->flush_all();
+}
+
+FrameBatcher::Stats Node::batch_stats() const {
+  if (auto* b = batcher_raw_.load(std::memory_order_acquire)) {
+    return b->stats();
+  }
+  return {};
+}
+
+std::optional<NodeId> Node::cached_route(const std::string& object) const {
+  std::scoped_lock lock(mu_);
+  auto it = route_cache_.find(object);
+  if (it == route_cache_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Node::post_frame(NodeId dst, std::vector<std::uint8_t> payload) {
+  if (auto* b = batcher_raw_.load(std::memory_order_acquire)) {
+    b->enqueue(dst, std::move(payload));
+    return;
+  }
+  network_->post(Frame{id_, dst, std::move(payload)});
 }
 
 void Node::export_channel(const ChannelRef& channel) {
@@ -179,7 +268,7 @@ ChannelRef Node::decode_channel(std::uint64_t node, std::uint64_t id) {
     put_u8(payload, static_cast<std::uint8_t>(MsgType::kChanSend));
     put_u64(payload, id);
     encode_list(message, payload, this);
-    network_->post(Frame{id_, node, std::move(payload)});
+    post_frame(node, std::move(payload));
     return true;
   });
   by_id[id] = proxy;
@@ -200,11 +289,11 @@ std::shared_ptr<CallState> Node::start_call(NodeId target,
   {
     std::scoped_lock lock(mu_);
     req_id = next_req_++;
-    auto& out = outstanding_[target];
     // Watermark: every id <= ack has completed (or failed) locally and will
     // never be retransmitted, so the server may evict its dedup entries.
-    ack = out.empty() ? last_sent_[target] : *out.begin() - 1;
-    out.insert(req_id);
+    // Computed before inserting req_id, so ack < req_id always holds.
+    ack = ack_watermark_locked(target);
+    outstanding_[target].insert(req_id);
     last_sent_[target] = req_id;
   }
   if (req_id_out) *req_id_out = req_id;
@@ -229,6 +318,7 @@ std::shared_ptr<CallState> Node::start_call(NodeId target,
     Pending p;
     p.state = state;
     p.target = target;
+    p.object = object_name;
     p.label = object_name + "." + entry;
     p.payload = payload;  // keep a re-sendable copy
     p.retry = opts.retry.has_value();
@@ -247,8 +337,66 @@ std::shared_ptr<CallState> Node::start_call(NodeId target,
     }
   }
   timer_cv_.notify_all();
-  network_->post(Frame{id_, target, std::move(payload)});
+  post_frame(target, std::move(payload));
   return state;
+}
+
+std::shared_ptr<CallState> Node::start_named_call(
+    const std::string& object_name, const std::string& entry, ValueList params,
+    const CallOptions& opts, std::uint64_t* req_id_out) {
+  // Resolve: per-node cache first, then the cluster directory. The cache may
+  // be stale after a migration — that is fine, the wrong node answers with a
+  // kWrongNode redirect and handle_wrong_node re-routes in-band.
+  std::optional<NodeId> target;
+  {
+    std::scoped_lock lock(mu_);
+    if (auto it = route_cache_.find(object_name); it != route_cache_.end()) {
+      target = it->second;
+    }
+  }
+  if (!target) {
+    target = network_->directory().lookup(object_name);
+    if (target) {
+      std::scoped_lock lock(mu_);
+      route_cache_[object_name] = *target;
+    }
+  }
+  if (!target) {
+    // Nothing in the cluster has ever hosted this name: fail typed without
+    // touching the network (attempts = 0 — no frame was sent).
+    auto state = std::make_shared<CallState>();
+    {
+      std::scoped_lock lock(mu_);
+      ++client_stats_.failures;
+    }
+    state->fail(std::make_exception_ptr(
+        RpcError(RpcCause::kObjectNotFound,
+                 object_name + "." + entry + ": no directory entry", 0)));
+    if (req_id_out) *req_id_out = 0;
+    return state;
+  }
+  return start_call(*target, object_name, entry, std::move(params), opts,
+                    req_id_out);
+}
+
+std::uint64_t Node::ack_watermark_locked(NodeId target) const {
+  std::uint64_t ack = 0;
+  auto oit = outstanding_.find(target);
+  if (oit != outstanding_.end() && !oit->second.empty()) {
+    ack = *oit->second.begin() - 1;
+  } else if (auto lit = last_sent_.find(target); lit != last_sent_.end()) {
+    // Idle towards this target: nothing at or below the last id we ever sent
+    // it can retransmit there...
+    ack = lit->second;
+  }
+  // ...unless a kWrongNode redirect migrates a still-outstanding id onto
+  // this link later. Cap at the globally smallest outstanding id so the
+  // promise holds across re-routes (without redirects this never lowers the
+  // per-target value, preserving the original single-target semantics).
+  for (const auto& [node, ids] : outstanding_) {
+    if (!ids.empty() && *ids.begin() - 1 < ack) ack = *ids.begin() - 1;
+  }
+  return ack;
 }
 
 std::vector<std::uint8_t> Node::finish_pending_locked(std::uint64_t req_id,
@@ -260,8 +408,8 @@ std::vector<std::uint8_t> Node::finish_pending_locked(std::uint64_t req_id,
     oit->second.erase(req_id);
     if (oit->second.empty()) {
       // Caller went idle towards this target: tell it to evict everything
-      // up to the last id we ever sent it (nothing below can retransmit).
-      encode_ack(last_sent_[target], ack);
+      // at or below the watermark (nothing there can retransmit).
+      encode_ack(ack_watermark_locked(target), ack);
     }
   }
   return ack;
@@ -310,7 +458,7 @@ void Node::retry_loop(const std::stop_token& st) {
       state->fail(std::make_exception_ptr(
           RpcError(partitioned ? RpcCause::kPartitioned : RpcCause::kTimeout,
                    what, attempts)));
-      if (!ack.empty()) network_->post(Frame{id_, target, std::move(ack)});
+      if (!ack.empty()) post_frame(target, std::move(ack));
       lock.lock();
       continue;
     }
@@ -335,7 +483,7 @@ void Node::retry_loop(const std::stop_token& st) {
     if (p.overall_deadline < next_due) next_due = p.overall_deadline;
     timers_.push(TimerEntry{next_due, req_id});
     lock.unlock();
-    network_->post(Frame{id_, target, std::move(payload)});
+    post_frame(target, std::move(payload));
     lock.lock();
   }
 }
@@ -359,34 +507,115 @@ void Node::cancel_request(std::uint64_t req_id) {
   state->fail(std::make_exception_ptr(RpcError(
       RpcCause::kCancelled,
       label + ": request #" + std::to_string(req_id) + " cancelled")));
-  if (!ack.empty()) network_->post(Frame{id_, target, std::move(ack)});
+  if (!ack.empty()) post_frame(target, std::move(ack));
 }
 
 // ---- frame dispatch --------------------------------------------------------
 
 void Node::handle_frame(Frame frame) {
+  dispatch_payload(frame.src, frame.payload, /*batched=*/false);
+}
+
+void Node::dispatch_payload(NodeId from,
+                            const std::vector<std::uint8_t>& payload,
+                            bool batched) {
   std::size_t pos = 0;
   try {
-    const auto type = static_cast<MsgType>(get_u8(frame.payload, pos));
+    const auto type = static_cast<MsgType>(get_u8(payload, pos));
     switch (type) {
       case MsgType::kRequest:
-        handle_request(frame.src, frame.payload, pos);
+        handle_request(from, payload, pos);
         return;
       case MsgType::kResponse:
-        handle_response(frame.src, frame.payload, pos);
+        handle_response(from, payload, pos);
         return;
       case MsgType::kChanSend:
-        handle_chan_send(frame.payload, pos);
+        handle_chan_send(payload, pos);
         return;
       case MsgType::kAck:
-        handle_ack(frame.src, frame.payload, pos);
+        handle_ack(from, payload, pos);
         return;
+      case MsgType::kWrongNode:
+        handle_wrong_node(from, payload, pos);
+        return;
+      case MsgType::kBatch: {
+        if (batched) raise(ErrorCode::kBadMessage, "nested batch frame");
+        // Members dispatch in order, preserving the link's FIFO semantics.
+        // Each member is its own dispatch: one malformed member is dropped
+        // without taking down its batch-mates.
+        const auto members = decode_batch(payload, pos);
+        for (const auto& member : members) {
+          dispatch_payload(from, member, /*batched=*/true);
+        }
+        return;
+      }
     }
     raise(ErrorCode::kBadMessage, "unknown frame type");
   } catch (const Error& e) {
     ALPS_LOG_WARN("node %s: dropping bad frame from %llu: %s", name_.c_str(),
-                  static_cast<unsigned long long>(frame.src), e.what());
+                  static_cast<unsigned long long>(from), e.what());
   }
+}
+
+void Node::handle_wrong_node(NodeId /*from*/,
+                             const std::vector<std::uint8_t>& payload,
+                             std::size_t pos) {
+  const WrongNodeHeader header = decode_wrong_node(payload, pos);
+  std::shared_ptr<CallState> failed_state;
+  std::string failed_what;
+  int failed_attempts = 1;
+  std::vector<std::uint8_t> ack;
+  NodeId ack_target = 0;
+  std::vector<std::uint8_t> resend;
+  {
+    std::scoped_lock lock(mu_);
+    // The redirect carries fresh placement news; take it even if the call it
+    // answers is already gone.
+    route_cache_[header.object] = header.home;
+    auto it = pending_.find(header.req_id);
+    if (it == pending_.end()) {
+      ++client_stats_.stale_responses;
+      return;
+    }
+    Pending& p = it->second;
+    if (p.target == header.home) {
+      // Duplicate redirect for a re-route already taken: the retry timer
+      // owns retransmission towards the new home, nothing to do.
+      return;
+    }
+    if (p.redirects >= kMaxRedirects) {
+      failed_state = p.state;
+      failed_attempts = p.attempts;
+      failed_what = p.label + ": routing did not converge after " +
+                    std::to_string(p.redirects) + " redirects";
+      ack_target = p.target;
+      ack = finish_pending_locked(header.req_id, ack_target);
+      ++client_stats_.failures;
+      if (!ack.empty()) ++client_stats_.acks_sent;
+    } else {
+      // Migrate the outstanding id old link → new link. The dedup key
+      // (req_id, epoch) in the stored frame is untouched; only the
+      // piggybacked ack is re-patched, and only after the id is registered
+      // against the new target so the watermark can never cover it.
+      ++p.redirects;
+      ++client_stats_.redirects;
+      auto oit = outstanding_.find(p.target);
+      if (oit != outstanding_.end()) oit->second.erase(header.req_id);
+      p.target = header.home;
+      outstanding_[header.home].insert(header.req_id);
+      auto& last = last_sent_[header.home];
+      if (last < header.req_id) last = header.req_id;
+      patch_request_ack(p.payload, ack_watermark_locked(header.home));
+      resend = p.payload;  // the retry timer keeps covering loss of this copy
+    }
+  }
+  if (failed_state) {
+    failed_state->fail(std::make_exception_ptr(RpcError(
+        RpcCause::kObjectNotFound, failed_what, failed_attempts)));
+    if (!ack.empty()) post_frame(ack_target, std::move(ack));
+    return;
+  }
+  post_frame(header.home, std::move(resend));
 }
 
 // ---- server side -----------------------------------------------------------
@@ -400,6 +629,25 @@ void Node::evict_dedup_locked(CallerTable& table, std::uint64_t ack_through) {
   }
 }
 
+void Node::shrink_dedup_locked(CallerTable& table) {
+  // Oldest-first over *done* entries only; bound_evicted_through remembers
+  // the newest id dropped this way so its retransmission is refused typed
+  // (handle_request) instead of silently re-executed.
+  auto it = table.entries.begin();
+  while (it != table.entries.end() &&
+         table.entries.size() > kMaxDedupPerCaller) {
+    if (it->second.done) {
+      if (it->first > table.bound_evicted_through) {
+        table.bound_evicted_through = it->first;
+      }
+      it = table.entries.erase(it);
+      ++server_stats_.dedup_evicted;
+    } else {
+      ++it;
+    }
+  }
+}
+
 void Node::handle_request(NodeId from, const std::vector<std::uint8_t>& payload,
                           std::size_t pos) {
   const RequestHeader header = decode_request_header(payload, pos);
@@ -407,9 +655,12 @@ void Node::handle_request(NodeId from, const std::vector<std::uint8_t>& payload,
 
   // At-most-once gate: a retransmission of an executed request replays the
   // cached response; one still executing is dropped (its response will go
-  // out when the body finishes). Only a first arrival dispatches.
+  // out when the body finishes). Only a first arrival of a locally hosted
+  // object dispatches — misrouted requests leave no dedup state at all.
   std::vector<std::uint8_t> replay;
+  std::vector<std::uint8_t> reject;
   bool in_flight_dup = false;
+  Object* object = nullptr;
   {
     std::scoped_lock lock(mu_);
     ++server_stats_.requests_received;
@@ -420,6 +671,7 @@ void Node::handle_request(NodeId from, const std::vector<std::uint8_t>& payload,
       server_stats_.dedup_evicted += table.entries.size();
       table.entries.clear();
       table.acked_through = 0;
+      table.bound_evicted_through = 0;
       table.epoch = header.epoch;
     }
     evict_dedup_locked(table, header.ack_through);
@@ -440,26 +692,52 @@ void Node::handle_request(NodeId from, const std::vector<std::uint8_t>& payload,
         ++server_stats_.dup_in_flight;
         in_flight_dup = true;
       }
-    } else {
+    } else if (header.req_id <= table.bound_evicted_through) {
+      // The size-bound backstop discarded this id's entry while un-acked, so
+      // its body may already have run and the cached response is gone.
+      // Refuse typed rather than re-dispatch — at-most-once beats availability
+      // here, and only a pathological (ack-less) caller can reach this.
+      ++server_stats_.dedup_rejected;
+      encode_response_header(
+          ResponseHeader{header.req_id, WireCause::kRemoteError, 0}, reject);
+      put_string(reject,
+                 "at-most-once entry evicted under the per-caller bound; "
+                 "result unknown, refusing to re-execute");
+    } else if (auto hit = hosted_.find(header.object); hit != hosted_.end()) {
+      object = hit->second;
       table.entries.emplace(header.req_id, DedupEntry{});
-      if (table.entries.size() > kMaxDedupPerCaller) {
-        // Backstop for ack-less callers: drop oldest completed entries.
-        for (auto eit = table.entries.begin();
-             eit != table.entries.end() &&
-             table.entries.size() > kMaxDedupPerCaller;) {
-          if (eit->second.done) {
-            eit = table.entries.erase(eit);
-            ++server_stats_.dedup_evicted;
-          } else {
-            ++eit;
-          }
-        }
-      }
+      // Backstop for ack-less callers: drop oldest completed entries.
+      shrink_dedup_locked(table);
     }
+    // Not hosted: fall through with object == nullptr; the redirect /
+    // not-found answer is stateless (no dedup entry), so a duplicate just
+    // earns another redirect and the table never learns misrouted ids.
   }
   if (in_flight_dup) return;
   if (!replay.empty()) {
-    network_->post(Frame{id_, from, std::move(replay)});
+    post_frame(from, std::move(replay));
+    return;
+  }
+  if (!reject.empty()) {
+    post_frame(from, std::move(reject));
+    return;
+  }
+  if (!object) {
+    const auto home = network_->directory().lookup(header.object);
+    std::vector<std::uint8_t> out;
+    if (home && *home != id_) {
+      // The directory knows a better home: redirect instead of failing, so a
+      // stale client route cache heals in one extra hop.
+      encode_wrong_node(WrongNodeHeader{header.req_id, *home, header.object},
+                        out);
+      std::scoped_lock lock(mu_);
+      ++server_stats_.wrong_node_redirects;
+    } else {
+      encode_response_header(
+          ResponseHeader{header.req_id, WireCause::kObjectNotFound, 0}, out);
+      put_string(out, "no such object: " + header.object);
+    }
+    post_frame(from, std::move(out));
     return;
   }
 
@@ -485,32 +763,11 @@ void Node::handle_request(NodeId from, const std::vector<std::uint8_t>& payload,
         // The insert-time bound cannot evict in-flight entries, so a burst
         // from an ack-less caller can overrun the cap; shrink back as the
         // bodies complete.
-        auto& entries = dit->second.entries;
-        for (auto bit = entries.begin();
-             bit != entries.end() && entries.size() > kMaxDedupPerCaller;) {
-          if (bit->second.done) {
-            bit = entries.erase(bit);
-            ++server_stats_.dedup_evicted;
-          } else {
-            ++bit;
-          }
-        }
+        shrink_dedup_locked(dit->second);
       }
     }
-    network_->post(Frame{id_, from, std::move(out)});
+    post_frame(from, std::move(out));
   };
-
-  Object* object = nullptr;
-  {
-    std::scoped_lock lock(mu_);
-    auto it = hosted_.find(header.object);
-    if (it != hosted_.end()) object = it->second;
-  }
-  if (!object) {
-    respond(WireCause::kObjectNotFound, {},
-            "no such object: " + header.object);
-    return;
-  }
 
   // Typed kernel failures cross the wire as their own causes; everything
   // else (entry body threw, no such entry, object stopped) stays
@@ -585,6 +842,15 @@ void Node::handle_response(NodeId from,
     }
     state = it->second.state;
     attempts = it->second.attempts;
+    if (header.cause == WireCause::kObjectNotFound) {
+      // The route we used no longer serves this object and the directory
+      // had nothing better (a redirect would have come instead). Drop the
+      // cached route so the next name-based call re-resolves.
+      auto rit = route_cache_.find(it->second.object);
+      if (rit != route_cache_.end() && rit->second == from) {
+        route_cache_.erase(rit);
+      }
+    }
     ack = finish_pending_locked(header.req_id, from);
     if (!ack.empty()) ++client_stats_.acks_sent;
   }
@@ -601,7 +867,7 @@ void Node::handle_response(NodeId from,
     }
     state->fail(std::make_exception_ptr(RpcError(cause, error, attempts)));
   }
-  if (!ack.empty()) network_->post(Frame{id_, from, std::move(ack)});
+  if (!ack.empty()) post_frame(from, std::move(ack));
 }
 
 void Node::handle_ack(NodeId from, const std::vector<std::uint8_t>& payload,

@@ -4,12 +4,32 @@
 // procedure calls. A user can further communicate with an executing remote
 // procedure using message passing on point-to-point channels." (§1)
 //
-// A Node hosts kernel Objects and speaks four frame types (see codec.h for
+// A Node hosts kernel Objects and speaks six frame types (see codec.h for
 // the wire layout):
 //   kRequest   — (req_id, epoch, ack, object, entry, params) → Object::async_call
 //   kResponse  — (req_id, cause, flags, results | error)     → completes the future
 //   kChanSend  — (chan_id, message)                          → local channel send
 //   kAck       — (ack_through)                               → dedup eviction
+//   kWrongNode — (req_id, home, object)                      → stale route; re-send
+//   kBatch     — (count, member frames)                      → coalesced link traffic
+//
+// Location transparency. Objects are addressable by name alone: the
+// Network's Directory (directory.h) maps object → home node, Node::host
+// registers there, and the name-based call surface
+// (`node.call("Dict", "Search", ...)` / `node.remote("Dict")`) resolves
+// through a per-node route cache backed by the directory. When placement
+// changes (host on the new node, then unhost on the old — the directory
+// keeps an entry through that order), a request that lands on a stale home
+// earns a stateless kWrongNode redirect carrying the current home; the
+// client refreshes its cache, re-patches the piggybacked ack watermark for
+// the new link, and re-sends the *same* (req_id, epoch) frame — so the
+// at-most-once dedup key survives the re-route and the redirect composes
+// with retries: at most one extra hop, never a double execution.
+//
+// Frame coalescing. set_batching() buffers this node's outgoing frames per
+// destination link and flushes on a size or interval bound (batch.h); the
+// receiver unpacks kBatch members in order, preserving link FIFO. High
+// fan-in workloads pay ~1/batch-size frames per call (bench_routing, E15).
 //
 // Fault tolerance. The network may drop, duplicate or reorder frames and
 // sever links (see network.h). Two cooperating mechanisms restore the
@@ -32,6 +52,7 @@
 // to an executing entry procedure, exactly as the paper describes.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -48,6 +69,7 @@
 #include "core/call.h"
 #include "core/channel.h"
 #include "core/object.h"
+#include "net/batch.h"
 #include "net/codec.h"
 #include "net/network.h"
 #include "support/rng.h"
@@ -204,9 +226,12 @@ class RemoteObject {
   friend class Node;
   RemoteObject(Node* node, NodeId target, std::string object_name)
       : node_(node), target_(target), object_name_(std::move(object_name)) {}
+  RemoteObject(Node* node, std::string object_name)
+      : node_(node), by_name_(true), object_name_(std::move(object_name)) {}
 
   Node* node_ = nullptr;
   NodeId target_ = 0;
+  bool by_name_ = false;  ///< resolve per call via route cache / directory
   std::string object_name_;
 };
 
@@ -221,6 +246,9 @@ class Node : public ChannelResolver {
     std::uint64_t dup_in_flight = 0;    ///< retransmissions of running calls
     std::uint64_t dup_acked = 0;        ///< duplicates at/below the ack mark
     std::uint64_t dedup_evicted = 0;    ///< entries evicted by ack/bound
+    std::uint64_t dedup_rejected = 0;   ///< retransmissions past the bound,
+                                        ///< refused typed (never re-executed)
+    std::uint64_t wrong_node_redirects = 0;  ///< kWrongNode frames sent
   };
 
   /// Counters for the client side.
@@ -229,6 +257,7 @@ class Node : public ChannelResolver {
     std::uint64_t failures = 0;          ///< calls surfaced as RpcError
     std::uint64_t stale_responses = 0;   ///< late/duplicate responses dropped
     std::uint64_t acks_sent = 0;
+    std::uint64_t redirects = 0;         ///< requests re-routed by kWrongNode
   };
 
   Node(Network& network, const std::string& name);
@@ -247,6 +276,31 @@ class Node : public ChannelResolver {
 
   /// A proxy for `object_name` on node `target`.
   RemoteObject remote(NodeId target, const std::string& object_name);
+
+  /// Location-transparent proxy: the home node is resolved per call through
+  /// this node's route cache, falling back to the cluster directory, and is
+  /// corrected in-band by kWrongNode redirects after a migration.
+  RemoteObject remote(const std::string& object_name);
+
+  /// Name-based call surface — `object` is resolved as in remote(name).
+  /// A name with no directory entry fails typed (kObjectNotFound) without
+  /// touching the network.
+  Result<ValueList, RpcError> call(const std::string& object,
+                                   const std::string& entry, ValueList params,
+                                   const CallOptions& opts = {});
+  RpcHandle async_call(const std::string& object, const std::string& entry,
+                       ValueList params, const CallOptions& opts = {});
+
+  /// Enables per-link coalescing of this node's outgoing frames (batch.h).
+  /// Configure during setup, before traffic flows: swapping the batcher
+  /// while calls are in flight is not synchronized against them.
+  void set_batching(const BatchOptions& options);
+  /// Synchronously flushes any buffered outgoing frames (quiesce points).
+  void flush_batches();
+  FrameBatcher::Stats batch_stats() const;
+
+  /// This node's cached route for `object` (tests/diagnostics).
+  std::optional<NodeId> cached_route(const std::string& object) const;
 
   /// Exports a locally created channel so its (node, id) name can be handed
   /// out manually. Hosted-call marshalling does this automatically.
@@ -272,11 +326,13 @@ class Node : public ChannelResolver {
   struct Pending {
     std::shared_ptr<CallState> state;
     NodeId target = 0;
+    std::string object;                  // target object (route-cache upkeep)
     std::string label;                   // "object.entry" for diagnostics
     std::vector<std::uint8_t> payload;   // encoded request frame, re-sendable
     bool retry = false;
     RetryPolicy policy;
     int attempts = 1;
+    int redirects = 0;                   // kWrongNode hops taken so far
     std::chrono::microseconds backoff{0};
     std::chrono::steady_clock::time_point overall_deadline;
   };
@@ -292,6 +348,12 @@ class Node : public ChannelResolver {
     /// network-level duplicates of completed calls — dropped outright, since
     /// the ack promises the caller will never want their responses again.
     std::uint64_t acked_through = 0;
+    /// Highest req_id discarded by the per-caller size bound while un-acked.
+    /// A retransmission at or below this mark might have executed already,
+    /// so it is refused typed (kRemoteError) instead of re-dispatched —
+    /// at-most-once is preserved even past the bound, at the cost of a
+    /// spurious failure for a pathological (ack-less) caller.
+    std::uint64_t bound_evicted_through = 0;
     std::map<std::uint64_t, DedupEntry> entries;  // ordered for watermarks
   };
 
@@ -302,6 +364,10 @@ class Node : public ChannelResolver {
   };
 
   void handle_frame(Frame frame);
+  /// Dispatches one decoded payload (a direct frame or a kBatch member).
+  /// `batched` rejects nested kBatch envelopes.
+  void dispatch_payload(NodeId from, const std::vector<std::uint8_t>& payload,
+                        bool batched);
   void handle_request(NodeId from, const std::vector<std::uint8_t>& payload,
                       std::size_t pos);
   void handle_response(NodeId from, const std::vector<std::uint8_t>& payload,
@@ -310,6 +376,8 @@ class Node : public ChannelResolver {
                         std::size_t pos);
   void handle_ack(NodeId from, const std::vector<std::uint8_t>& payload,
                   std::size_t pos);
+  void handle_wrong_node(NodeId from, const std::vector<std::uint8_t>& payload,
+                         std::size_t pos);
 
   std::shared_ptr<CallState> start_call(NodeId target,
                                         const std::string& object_name,
@@ -317,6 +385,28 @@ class Node : public ChannelResolver {
                                         ValueList params,
                                         const CallOptions& opts,
                                         std::uint64_t* req_id_out);
+
+  /// Name-based start: resolves the home via route cache → directory. On a
+  /// miss the returned state is already failed (kObjectNotFound).
+  std::shared_ptr<CallState> start_named_call(const std::string& object_name,
+                                              const std::string& entry,
+                                              ValueList params,
+                                              const CallOptions& opts,
+                                              std::uint64_t* req_id_out);
+
+  /// Sends one payload to dst — through the batcher when enabled, straight
+  /// to the network otherwise. Never called with mu_ held.
+  void post_frame(NodeId dst, std::vector<std::uint8_t> payload);
+
+  /// The ack watermark safe to piggyback on a frame to `target`: no req_id
+  /// at or below it will ever be retransmitted. Per-target progress capped
+  /// by the globally smallest pending id, because a redirect can migrate an
+  /// outstanding id to a different target. Caller holds mu_.
+  std::uint64_t ack_watermark_locked(NodeId target) const;
+
+  /// Enforces the per-caller dedup bound: evicts oldest *done* entries past
+  /// the cap and advances bound_evicted_through. Caller holds mu_.
+  void shrink_dedup_locked(CallerTable& table);
 
   /// Abandons an in-flight request: the caller's handle fails with
   /// RpcError(kCancelled) and a late response frame is ignored.
@@ -336,7 +426,12 @@ class Node : public ChannelResolver {
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, Object*> hosted_;
-  std::unordered_map<std::uint64_t, Pending> pending_;
+  /// Ordered so begin() is the smallest outstanding req_id — the global ack
+  /// watermark a redirect-migrated id must still be protected by.
+  std::map<std::uint64_t, Pending> pending_;
+  /// Name → last known home, fed by directory lookups and corrected by
+  /// kWrongNode redirects; dropped on a kObjectNotFound response.
+  std::unordered_map<std::string, NodeId> route_cache_;
   /// Outstanding req_ids per target plus the last id sent there — the two
   /// feed the ack watermark ("no id <= X will ever be retransmitted").
   std::unordered_map<NodeId, std::set<std::uint64_t>> outstanding_;
@@ -353,6 +448,12 @@ class Node : public ChannelResolver {
   ServerStats server_stats_;
   ClientStats client_stats_;
   support::Rng rng_;  // backoff jitter (seeded from the node name)
+
+  /// Outgoing frame coalescing (set_batching). The owning pointer is only
+  /// written at setup time; hot paths read the raw pointer with acquire
+  /// ordering so posting threads never touch mu_ for the common case.
+  std::unique_ptr<FrameBatcher> batcher_;
+  std::atomic<FrameBatcher*> batcher_raw_{nullptr};
 
   std::priority_queue<TimerEntry, std::vector<TimerEntry>, std::greater<>>
       timers_;

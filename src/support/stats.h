@@ -36,8 +36,10 @@ class Histogram {
 
   template <class Rep, class Period>
   void record_duration(std::chrono::duration<Rep, Period> d) {
-    record(static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count()));
+    // Clamp negative deltas to zero: clock-skewed or out-of-order timestamp
+    // pairs would otherwise cast to ~2^64 ns and blow out max/mean/p99.
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(d);
+    record(ns.count() < 0 ? 0 : static_cast<std::uint64_t>(ns.count()));
   }
 
   void merge(const Histogram& other);

@@ -170,6 +170,71 @@ TEST_P(CodecFuzz, AckTruncationsRejected) {
   }
 }
 
+TEST_P(CodecFuzz, WrongNodeTruncationsRejected) {
+  support::Rng rng(GetParam() + 6000);
+  std::vector<std::uint8_t> buf;
+  const WrongNodeHeader original{rng.next(), rng.next(), "Dictionary"};
+  encode_wrong_node(original, buf);
+  std::size_t pos = 0;
+  ASSERT_EQ(get_u8(buf, pos), static_cast<std::uint8_t>(MsgType::kWrongNode));
+  EXPECT_EQ(decode_wrong_node(buf, pos), original);
+  EXPECT_EQ(pos, buf.size());
+  for (std::size_t cut = 1; cut < buf.size(); ++cut) {
+    std::vector<std::uint8_t> shorter(
+        buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(cut));
+    pos = 1;  // past the type byte
+    EXPECT_THROW(decode_wrong_node(shorter, pos), Error) << "cut at " << cut;
+  }
+}
+
+TEST_P(CodecFuzz, BatchTruncationsRejected) {
+  support::Rng rng(GetParam() + 7000);
+  // A realistic batch: an ack, a request and a response as members.
+  std::vector<std::vector<std::uint8_t>> members(3);
+  encode_ack(rng.next(), members[0]);
+  encode_request_header(RequestHeader{rng.next(), rng.next(), rng.next(),
+                                      rng.next(), "Dict", "Get"},
+                        members[1]);
+  encode_list(vals(1), members[1]);
+  encode_response_header(ResponseHeader{rng.next(), WireCause::kOk, 0},
+                         members[2]);
+  encode_list(vals(2), members[2]);
+  std::vector<std::uint8_t> buf;
+  encode_batch(members, buf);
+  std::size_t pos = 0;
+  ASSERT_EQ(get_u8(buf, pos), static_cast<std::uint8_t>(MsgType::kBatch));
+  EXPECT_EQ(decode_batch(buf, pos), members);
+  EXPECT_EQ(pos, buf.size());
+  for (std::size_t cut = 1; cut < buf.size(); ++cut) {
+    std::vector<std::uint8_t> shorter(
+        buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(cut));
+    pos = 1;
+    EXPECT_THROW(decode_batch(shorter, pos), Error) << "cut at " << cut;
+  }
+}
+
+TEST_P(CodecFuzz, BatchCorruptionNeverCrashesNorOverallocates) {
+  support::Rng rng(GetParam() + 8000);
+  std::vector<std::vector<std::uint8_t>> members(2);
+  encode_ack(rng.next(), members[0]);
+  encode_ack(rng.next(), members[1]);
+  std::vector<std::uint8_t> buf;
+  encode_batch(members, buf);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto corrupted = buf;
+    const auto at = rng.next_below(corrupted.size());
+    corrupted[at] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+    std::size_t pos = 1;
+    try {
+      // A corrupted count or member length must be caught by the
+      // remaining-bytes validation, never turn into a huge allocation.
+      (void)decode_batch(corrupted, pos);
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kBadMessage);
+    }
+  }
+}
+
 TEST_P(CodecFuzz, HeaderCorruptionNeverCrashes) {
   support::Rng rng(GetParam() + 5000);
   std::vector<std::uint8_t> buf;

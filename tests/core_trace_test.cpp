@@ -209,5 +209,73 @@ TEST(Trace, ResetClearsCollector) {
   EXPECT_TRUE(collector.entries().empty());
 }
 
+// Regression: a terminal event whose call_id was never seen arriving (tracer
+// attached mid-call) used to be dropped entirely — the finished/failed/
+// combined counters stayed at zero and the call vanished from the report.
+// Terminal counters must always advance, with the orphan counted as
+// unmatched.
+TEST(Trace, UnmatchedTerminalEventsAreCounted) {
+  TraceCollector collector;
+  const auto now = std::chrono::steady_clock::now();
+  collector.on_event({"E", 7, 0, CallPhase::kFinished, now});
+  collector.on_event({"E", 8, 0, CallPhase::kFailed, now});
+  collector.on_event({"E", 9, 0, CallPhase::kCombined, now});
+
+  const auto rep = collector.report("E");
+  EXPECT_EQ(rep.arrived, 0u);
+  EXPECT_EQ(rep.finished, 1u);
+  EXPECT_EQ(rep.failed, 1u);
+  EXPECT_EQ(rep.combined, 1u);
+  EXPECT_EQ(rep.unmatched, 3u);
+  // No arrival timestamps → no latency samples for the orphans.
+  EXPECT_EQ(rep.total_latency.count(), 0u);
+}
+
+TEST(Trace, FlushPendingAccountsAbandonedCalls) {
+  TraceCollector collector;
+  const auto now = std::chrono::steady_clock::now();
+  collector.on_event({"E", 1, 0, CallPhase::kArrived, now});
+  collector.on_event({"E", 2, 0, CallPhase::kArrived, now});
+  collector.on_event({"E", 2, 0, CallPhase::kFinished, now});
+
+  auto rep = collector.report("E");
+  EXPECT_EQ(rep.still_pending, 1u);  // call 1 never terminated
+
+  EXPECT_EQ(collector.flush_pending(), 1u);
+  rep = collector.report("E");
+  EXPECT_EQ(rep.still_pending, 0u);
+  EXPECT_EQ(rep.abandoned, 1u);
+  // A terminal for a flushed call is unmatched, not lost — and the
+  // reconciliation invariant holds throughout.
+  collector.on_event({"E", 1, 0, CallPhase::kFinished, now});
+  rep = collector.report("E");
+  EXPECT_EQ(rep.finished, 2u);
+  EXPECT_EQ(rep.unmatched, 1u);
+  EXPECT_EQ(rep.arrived + rep.unmatched, rep.finished + rep.failed +
+                                             rep.combined + rep.still_pending +
+                                             rep.abandoned);
+}
+
+// The reconciliation invariant on a live workload: after the object stops,
+// every arrival must be accounted as finished, failed, combined, pending or
+// abandoned — nothing silently dropped.
+TEST(Trace, CollectorReconcilesAfterWorkload) {
+  TraceCollector collector;
+  Object obj("Recon");
+  auto e = obj.define_entry({.name = "E", .params = 0, .results = 0});
+  obj.implement(e, [](BodyCtx&) -> ValueList { return {}; });
+  obj.set_tracer(&collector);
+  obj.start();
+  for (int i = 0; i < 32; ++i) obj.call(e, {});
+  obj.stop();
+  collector.flush_pending();
+
+  const auto rep = collector.report("E");
+  EXPECT_EQ(rep.arrived, 32u);
+  EXPECT_EQ(rep.arrived + rep.unmatched, rep.finished + rep.failed +
+                                             rep.combined + rep.still_pending +
+                                             rep.abandoned);
+}
+
 }  // namespace
 }  // namespace alps

@@ -251,6 +251,55 @@ TEST(NetFault, DedupTableIsBoundedWithoutAcks) {
   EXPECT_GT(rig.server.server_stats().dedup_evicted, 0u);
 }
 
+TEST(NetFault, BoundEvictedRetransmissionRefusedNotReExecuted) {
+  RawRig rig;
+  // Fill an ack-less caller's table exactly to the cap (256), waiting for
+  // every response so all entries are done, then push it over one request
+  // at a time: each overflow insert must evict exactly the oldest done
+  // entry, so ids 1..4 fall off the bound deterministically.
+  constexpr int kRequests = 260;
+  for (int i = 1; i <= 256; ++i) {
+    rig.post_request(static_cast<std::uint64_t>(i), 5, 0,
+                     static_cast<std::int64_t>(i));
+  }
+  ASSERT_TRUE(rig.wait_responses(256));
+  ASSERT_EQ(rig.server.dedup_entries(rig.raw), 256u);
+  for (int i = 257; i <= kRequests; ++i) {
+    rig.post_request(static_cast<std::uint64_t>(i), 5, 0,
+                     static_cast<std::int64_t>(i));
+    ASSERT_TRUE(rig.wait_responses(static_cast<std::size_t>(i)));
+  }
+  ASSERT_EQ(rig.svc.executions.load(), kRequests);
+  ASSERT_EQ(rig.server.dedup_entries(rig.raw), 256u);
+  ASSERT_EQ(rig.server.server_stats().dedup_evicted, 4u);
+
+  // A retransmission of a bound-evicted id may already have executed and its
+  // cached response is gone — it must come back as a typed refusal, and the
+  // body must NOT run again.
+  rig.post_request(3, 5, 0, 3);
+  ASSERT_TRUE(rig.wait_responses(kRequests + 1));
+  EXPECT_EQ(rig.svc.executions.load(), kRequests)
+      << "at-most-once violated past the eviction bound";
+  const auto refusal = rig.response_header(kRequests);
+  EXPECT_EQ(refusal.req_id, 3u);
+  EXPECT_EQ(refusal.cause, WireCause::kRemoteError);
+  EXPECT_EQ(rig.server.server_stats().dedup_rejected, 1u);
+
+  // An id still inside the table replays exactly-once as usual...
+  rig.post_request(kRequests, 5, 0, kRequests);
+  ASSERT_TRUE(rig.wait_responses(kRequests + 2));
+  EXPECT_EQ(rig.svc.executions.load(), kRequests);
+  EXPECT_EQ(
+      rig.response_header(kRequests + 1).flags & kResponseFlagReplayed,
+      kResponseFlagReplayed);
+
+  // ...and fresh ids past the boundary still dispatch normally.
+  rig.post_request(kRequests + 1, 5, 0, kRequests + 1);
+  ASSERT_TRUE(rig.wait_responses(kRequests + 3));
+  EXPECT_EQ(rig.svc.executions.load(), kRequests + 1);
+  EXPECT_EQ(rig.response_header(kRequests + 2).cause, WireCause::kOk);
+}
+
 TEST(NetFault, ClientGoingIdleAcksAndServerEvicts) {
   // Full-stack version of ack-based eviction: a real client completes its
   // calls, goes idle towards the server, and the standalone ack empties the

@@ -275,6 +275,22 @@ TEST(Histogram, ResetClears) {
   EXPECT_EQ(h.percentile(0.5), 0u);
 }
 
+// Regression: a negative duration (clock skew / out-of-order timestamps)
+// used to cast to ~2^64 ns and blow out max/mean/percentiles. It must clamp
+// to zero instead.
+TEST(Histogram, NegativeDurationClampsToZero) {
+  Histogram h;
+  h.record_duration(std::chrono::nanoseconds(-500));
+  h.record_duration(std::chrono::microseconds(-3));
+  h.record_duration(std::chrono::nanoseconds(100));
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_LE(h.percentile(0.99), 100u);
+  EXPECT_GE(h.mean(), 0.0);
+  EXPECT_LE(h.mean(), 100.0);
+}
+
 TEST(Histogram, ConcurrentRecordsAllCounted) {
   Histogram h;
   constexpr int kThreads = 4, kEach = 10000;
