@@ -44,7 +44,8 @@ void drive(ReadFn do_read, WriteFn do_write) {
 void BM_AlpsManagerRw(benchmark::State& state) {
   apps::ReadersWritersDb db({.read_max = kReadMax,
                              .read_time = kReadTime,
-                             .write_time = kWriteTime});
+                             .write_time = kWriteTime,
+                             .multiactive = false});
   for (auto _ : state) {
     drive([&] { db.read(0); }, [&] { db.write(0, 1); });
   }

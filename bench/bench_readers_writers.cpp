@@ -30,7 +30,8 @@ void BM_AlpsRw_ReadMaxSweep(benchmark::State& state) {
   apps::ReadersWritersDb db({.read_max = read_max,
                              .read_time = std::chrono::microseconds(100),
                              .write_time = std::chrono::microseconds(100),
-                             .pool_workers = read_max + 1});
+                             .pool_workers = read_max + 1,
+                             .multiactive = false});
   constexpr int kReaders = 8, kOpsPerReader = 50;
   for (auto _ : state) {
     benchutil::run_threads(kReaders + 1, [&](int t) {
@@ -84,7 +85,8 @@ double writer_max_wait_ms(Submit submit_write, const std::function<void()>& do_r
 
 void BM_AlpsRw_WriterWait(benchmark::State& state) {
   apps::ReadersWritersDb db({.read_max = 4,
-                             .read_time = std::chrono::microseconds(200)});
+                             .read_time = std::chrono::microseconds(200),
+                             .multiactive = false});
   double max_wait = 0;
   for (auto _ : state) {
     max_wait = writer_max_wait_ms([&] { db.write(0, 1); },

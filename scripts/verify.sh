@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Full verification sweep: tier-1 build + tests, then the two sanitizer
+# configurations over the concurrency-heavy suites.
+#
+#   scripts/verify.sh            # tier-1 + TSan + ASan/UBSan
+#   scripts/verify.sh --tier1    # tier-1 only (what CI gates on)
+#
+# Sanitizer builds go to build-tsan/ and build-asan/ so they never disturb
+# the primary build/ tree. The sanitizer pass runs the suites that exercise
+# kernel concurrency, the executor, supervision, multiactive scheduling and
+# the codec fuzzers; the full matrix × every suite would triple the wall
+# time for no additional coverage (the remaining suites are single-threaded
+# protocol tests).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc)}
+TIER1_ONLY=0
+[[ "${1:-}" == "--tier1" ]] && TIER1_ONLY=1
+
+echo "== tier-1: default build + full ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+if [[ "$TIER1_ONLY" == 1 ]]; then
+  echo "verify: tier-1 OK"
+  exit 0
+fi
+
+# Suites worth the sanitizer tax: everything that races threads on purpose.
+SAN_SUITES=(
+  core_object_test core_select_test core_channel_test core_property_test
+  core_supervision_test core_multiactive_test core_trace_test
+  sched_executor_test sched_executor_stress_test
+  net_test net_failure_test net_fault_test net_routing_test
+  codec_fuzz_test integration_test
+)
+
+for san in thread address; do
+  echo "== ALPS_SANITIZE=$san build + concurrency suites =="
+  cmake -B "build-$san" -S . -DALPS_SANITIZE="$san" >/dev/null
+  cmake --build "build-$san" -j "$JOBS" --target "${SAN_SUITES[@]}"
+  for t in "${SAN_SUITES[@]}"; do
+    echo "-- [$san] $t"
+    "build-$san/tests/$t" --gtest_brief=1 || {
+      echo "verify: $san/$t FAILED"; exit 1; }
+  done
+done
+
+echo "verify: tier-1 + thread + address all OK"

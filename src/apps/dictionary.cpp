@@ -6,12 +6,25 @@ namespace alps::apps {
 
 Dictionary::Dictionary(std::vector<std::string> words, Options options)
     : options_(options),
-      obj_("Dictionary", ObjectOptions{.model = options.model,
-                                       .pool_workers = options.pool_workers}) {
+      obj_(options.object_name,
+           ObjectOptions{.model = options.model,
+                         .pool_workers = options.pool_workers}) {
   for (auto& w : words) db_.emplace(w, "meaning of " + w);
 
-  // --- definition: proc Search(String) returns (String) ---
-  search_ = obj_.define_entry({.name = "Search", .params = 1, .results = 1});
+  // --- definition: proc Search(String) returns (String),
+  //                 proc Insert(String, String) ---
+  if (options_.multiactive) {
+    // Compatibility annotations (DESIGN.md §4.8): searches overlap each
+    // other, inserts conflict with everything (including other inserts).
+    search_ = obj_.define_entry(
+        EntryDecl{.name = "Search", .params = 1, .results = 1}.compatible_with(
+            {"Search"}));
+    insert_ = obj_.define_entry(
+        EntryDecl{.name = "Insert", .params = 2, .results = 0}.serial_group());
+  } else {
+    search_ = obj_.define_entry({.name = "Search", .params = 1, .results = 1});
+    insert_ = obj_.define_entry({.name = "Insert", .params = 2, .results = 0});
+  }
 
   // --- implementation: Search[1..SearchMax] ---
   obj_.implement(search_, ImplDecl{.array = options_.search_max},
@@ -24,33 +37,84 @@ Dictionary::Dictionary(std::vector<std::string> words, Options options)
                    return {Value(it == db_.end() ? std::string("?")
                                                  : it->second)};
                  });
+  obj_.implement(insert_, [this](BodyCtx& ctx) -> ValueList {
+    db_[ctx.param(0).as_string()] = ctx.param(1).as_string();
+    ++inserts_;
+    return {};
+  });
+
+  if (options_.multiactive) {
+    // --- manager: compat-gated dispatch. The annotations carry the whole
+    // exclusion protocol; no combining (searches launch without the await
+    // turn combining hooks into).
+    obj_.set_manager(
+        {intercept(search_), intercept(insert_)}, [this](Manager& m) {
+          Select()
+              .on(accept_guard(search_).compatible().then([&, this](
+                                                              Accepted a) {
+                ++requests_;
+                m.start_compatible(a);
+                requests_ += m.start_compatible_pending(search_);
+              }))
+              .on(accept_guard(insert_).compatible().then([&](Accepted a) {
+                m.start_compatible(a);
+              }))
+              .loop(m);
+        });
+    obj_.start();
+    return;
+  }
 
   // --- manager: intercepts Search(String; String) ---
   obj_.set_manager(
-      {intercept(search_).params(1).results(1)}, [this](Manager& m) {
+      {intercept(search_).params(1).results(1), intercept(insert_)},
+      [this](Manager& m) {
         // Which word each running slot is searching, and the accepted
         // requests waiting to be combined with it.
         std::unordered_map<std::size_t, std::string> slot_word;
         std::unordered_map<std::string, std::vector<Accepted>> piggybacked;
+        // Inserts mutate db_ so they must run with no search body in
+        // flight. Accepted inserts queue here; searches arriving behind a
+        // queued insert stall so the running searches drain.
+        std::vector<Accepted> queued_inserts;
+        std::vector<Accepted> stalled_searches;
         auto word_in_flight = [&](const std::string& w) {
           for (const auto& [slot, word] : slot_word) {
             if (word == w) return true;
           }
           return false;
         };
+        auto dispatch_search = [&, this](Accepted a) {
+          const std::string word = a.params[0].as_string();
+          if (options_.combining && word_in_flight(word)) {
+            // "record that Word is now being searched on behalf of
+            // Search[i]" — no start.
+            piggybacked[word].push_back(std::move(a));
+          } else {
+            slot_word[a.slot] = word;
+            m.start(a);
+          }
+        };
+        auto maybe_drain_inserts = [&](Manager& mgr) {
+          if (queued_inserts.empty() || !slot_word.empty()) return;
+          for (Accepted& ins : queued_inserts) mgr.execute(ins);
+          queued_inserts.clear();
+          for (Accepted& a : stalled_searches) dispatch_search(std::move(a));
+          stalled_searches.clear();
+        };
 
         Select()
             .on(accept_guard(search_).then([&, this](Accepted a) {
               ++requests_;
-              const std::string word = a.params[0].as_string();
-              if (options_.combining && word_in_flight(word)) {
-                // "record that Word is now being searched on behalf of
-                // Search[i]" — no start.
-                piggybacked[word].push_back(std::move(a));
+              if (!queued_inserts.empty()) {
+                stalled_searches.push_back(std::move(a));
               } else {
-                slot_word[a.slot] = word;
-                m.start(a);
+                dispatch_search(std::move(a));
               }
+            }))
+            .on(accept_guard(insert_).then([&](Accepted a) {
+              queued_inserts.push_back(std::move(a));
+              maybe_drain_inserts(m);
             }))
             .on(await_guard(search_).then([&, this](Awaited w) {
               const std::string word = slot_word[w.slot];
@@ -66,6 +130,7 @@ Dictionary::Dictionary(std::vector<std::string> words, Options options)
                 }
                 piggybacked.erase(it);
               }
+              maybe_drain_inserts(m);
             }))
             .loop(m);
       });
@@ -82,8 +147,18 @@ CallHandle Dictionary::async_search(const std::string& word) {
   return obj_.async_call(search_, vals(word));
 }
 
+void Dictionary::insert(const std::string& word, const std::string& meaning) {
+  obj_.call(insert_, vals(word, meaning));
+}
+
+CallHandle Dictionary::async_insert(const std::string& word,
+                                    const std::string& meaning) {
+  return obj_.async_call(insert_, vals(word, meaning));
+}
+
 Dictionary::Stats Dictionary::stats() const {
-  return Stats{requests_.load(), executed_.load(), combined_.load()};
+  return Stats{requests_.load(), executed_.load(), combined_.load(),
+               inserts_.load()};
 }
 
 }  // namespace alps::apps

@@ -28,8 +28,17 @@ class Dictionary {
     /// Simulated time for one dictionary search.
     std::chrono::microseconds search_time{0};
     /// Combining on/off (off = every request runs its own body; used as the
-    /// E3 baseline).
+    /// E3 baseline). Ignored when `multiactive` is set: multiactive dispatch
+    /// launches searches without the await turn combining hooks into.
     bool combining = true;
+    /// Multiactive scheduling (DESIGN.md §4.8): Search is annotated
+    /// compatible with itself, Insert conflicts with everything, and the
+    /// manager dispatches through compat-gated guards + start_compatible.
+    /// false = the paper's serial manager with request combining.
+    bool multiactive = false;
+    /// Name the kernel object registers under (distinguishes multiple
+    /// dictionaries hosted in one cluster directory).
+    std::string object_name = "Dictionary";
     sched::ProcessModel model = sched::ProcessModel::kPooled;
     std::size_t pool_workers = 8;
   };
@@ -38,6 +47,7 @@ class Dictionary {
     std::uint64_t requests = 0;   ///< Search calls accepted
     std::uint64_t executed = 0;   ///< bodies actually run
     std::uint64_t combined = 0;   ///< requests answered by combining
+    std::uint64_t inserts = 0;    ///< Insert bodies run
   };
 
   /// The dictionary maps each of `words` to "meaning of <word>".
@@ -49,15 +59,22 @@ class Dictionary {
   std::string search(const std::string& word);
   CallHandle async_search(const std::string& word);
 
+  /// Defines (or overwrites) `word` -> `meaning`. Runs in exclusion with
+  /// searches — via compat annotations when multiactive, via the manager's
+  /// drain protocol otherwise.
+  void insert(const std::string& word, const std::string& meaning);
+  CallHandle async_insert(const std::string& word, const std::string& meaning);
+
   Stats stats() const;
   Object& object() { return obj_; }
 
  private:
   Options options_;
   Object obj_;
-  EntryRef search_;
+  EntryRef search_, insert_;
   std::unordered_map<std::string, std::string> db_;
-  std::atomic<std::uint64_t> requests_{0}, executed_{0}, combined_{0};
+  std::atomic<std::uint64_t> requests_{0}, executed_{0}, combined_{0},
+      inserts_{0};
 };
 
 }  // namespace alps::apps

@@ -9,8 +9,18 @@ ReadersWritersDb::ReadersWritersDb(Options options)
       obj_("Database", ObjectOptions{.model = options.model,
                                      .pool_workers = options.pool_workers}) {
   // --- definition part: Read and Write appear as single procedures ---
-  read_ = obj_.define_entry({.name = "Read", .params = 1, .results = 1});
-  write_ = obj_.define_entry({.name = "Write", .params = 2, .results = 0});
+  if (options_.multiactive) {
+    // Compatibility annotations (DESIGN.md §4.8): reads overlap each other,
+    // writes conflict with everything (including other writes).
+    read_ = obj_.define_entry(
+        EntryDecl{.name = "Read", .params = 1, .results = 1}.compatible_with(
+            {"Read"}));
+    write_ = obj_.define_entry(
+        EntryDecl{.name = "Write", .params = 2, .results = 0}.serial_group());
+  } else {
+    read_ = obj_.define_entry({.name = "Read", .params = 1, .results = 1});
+    write_ = obj_.define_entry({.name = "Write", .params = 2, .results = 0});
+  }
 
   // --- implementation part: Read is a hidden array Read[1..ReadMax] ---
   obj_.implement(read_, ImplDecl{.array = options_.read_max},
@@ -41,6 +51,30 @@ ReadersWritersDb::ReadersWritersDb(Options options)
     --writers_active_;
     return {};
   });
+
+  if (options_.multiactive) {
+    // --- manager: compat-gated dispatch. The kernel's compatibility gate
+    // subsumes the paper's ReadCount/WriterLast bookkeeping: the gate opens
+    // only when the call is compatible with every in-flight group AND no
+    // older incompatible call is waiting (arrival-order fairness), and
+    // ReadMax is still enforced by the hidden array's slot count. Bodies
+    // complete their callers directly — no await/finish turns.
+    obj_.set_manager({intercept(read_), intercept(write_)}, [this](Manager& m) {
+      Select()
+          .on(accept_guard(read_).compatible().then([&](Accepted a) {
+            m.start_compatible(a);
+            // Drain any reads that piled up while we slept — one batch,
+            // one lock, one executor wakeup.
+            m.start_compatible_pending(read_);
+          }))
+          .on(accept_guard(write_).compatible().then([&](Accepted a) {
+            m.start_compatible(a);
+          }))
+          .loop(m);
+    });
+    obj_.start();
+    return;
+  }
 
   // --- manager: the paper's protocol, verbatim ---
   obj_.set_manager(

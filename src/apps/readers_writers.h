@@ -31,6 +31,13 @@ class ReadersWritersDb {
     std::chrono::microseconds write_time{0};
     sched::ProcessModel model = sched::ProcessModel::kPooled;
     std::size_t pool_workers = 8;
+    /// Multiactive scheduling (DESIGN.md §4.8): Read is annotated compatible
+    /// with itself, Write conflicts with everything, and the manager
+    /// dispatches through compat-gated guards + start_compatible — reads
+    /// overlap without per-read await/finish manager turns, writes keep
+    /// exclusion and arrival-order fairness. false = the paper's fully
+    /// serial ReadCount/WriterLast protocol.
+    bool multiactive = true;
   };
 
   struct Invariants {

@@ -5,8 +5,10 @@
 
 #include <cstddef>
 #include <functional>
+#include <initializer_list>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/call.h"
 #include "core/value.h"
@@ -30,6 +32,33 @@ struct EntryDecl {
   /// with exported=false: they are callable from bodies of the same object
   /// but not from outside.
   bool exported = true;
+  /// Compatibility annotations (multiactive scheduling, DESIGN.md §4.8).
+  /// Entries named here may execute concurrently with this one when the
+  /// manager dispatches through Manager::start_compatible (or a
+  /// compat-gated accept guard). Compatibility is symmetric: listing B on A
+  /// also makes A compatible with B. List the entry's own name to let calls
+  /// of this entry overlap each other (e.g. readers). An annotated entry
+  /// *participates* in compatibility scheduling; within the participant
+  /// set, any pair not listed conflicts and is serialized in arrival
+  /// order. Unannotated entries are untouched and keep the fully-serial
+  /// manager protocol.
+  std::vector<std::string> compatible{};
+  /// True once any compatibility annotation was applied (serial_group()
+  /// sets it with an empty list: participate, conflict with everyone).
+  bool compat_annotated = false;
+
+  EntryDecl&& compatible_with(std::initializer_list<const char*> names) && {
+    for (const char* n : names) compatible.emplace_back(n);
+    compat_annotated = true;
+    return std::move(*this);
+  }
+  /// Participates in compatibility scheduling but conflicts with every
+  /// participant (including itself): calls run one at a time, ordered
+  /// against compatible groups by arrival. The annotation for writers.
+  EntryDecl&& serial_group() && {
+    compat_annotated = true;
+    return std::move(*this);
+  }
 };
 
 /// The *implementation part*: the hidden procedure array size N (§2.5) and

@@ -101,7 +101,158 @@ std::optional<Accepted> Manager::try_accept(EntryRef entry) {
 }
 
 void Manager::start(const Accepted& a, ValueList hidden_params) {
-  start_with(a, a.params, std::move(hidden_params));
+  // Hot path: the manager re-supplies the intercepted prefix unchanged, so
+  // the body's parameter list is the caller's own list moved wholesale out
+  // of the record — no per-call copy of the prefix (start_with pays that
+  // only when it actually substitutes). hidden_params rides by value and is
+  // moved, never copied.
+  assert_manager_thread("start");
+  ValueList full;
+  const std::size_t entry_idx = a.entry;
+  const std::size_t slot_idx = a.slot;
+  {
+    std::scoped_lock lock(obj_->mu_);
+    Object::EntryCore& e = obj_->core(entry_idx);
+    Object::Slot& s = e.slots[slot_idx];
+    if (s.state != Object::SlotState::kAccepted) {
+      raise(ErrorCode::kProtocolViolation,
+            "start on " + e.decl.name + "[" + std::to_string(slot_idx) +
+                "] which is not in the Accepted state");
+    }
+    if (s.abandoned) {
+      // The caller was failed (deadline/cancel) between accept and start:
+      // never launch the body (see start_with).
+      s.state = Object::SlotState::kReady;
+      obj_->note_progress();
+      e.ready.push_back(e.slots, slot_idx);
+      return;
+    }
+    if (hidden_params.size() != e.impl.hidden_params) {
+      raise(ErrorCode::kArityMismatch,
+            "start " + e.decl.name + ": expects " +
+                std::to_string(e.impl.hidden_params) +
+                " hidden parameter(s), got " +
+                std::to_string(hidden_params.size()));
+    }
+    full = std::move(s.call->params);
+    s.call->params.clear();
+    full.reserve(full.size() + hidden_params.size());
+    full.insert(full.end(), std::make_move_iterator(hidden_params.begin()),
+                std::make_move_iterator(hidden_params.end()));
+    s.state = Object::SlotState::kRunning;
+    ++e.starts;
+    obj_->trace(e, s.call->id, slot_idx, CallPhase::kStarted);
+    obj_->note_progress();
+  }
+  obj_->submit_body(entry_idx, slot_idx, std::move(full));
+}
+
+void Manager::start_compatible(const Accepted& a) {
+  // Multiactive dispatch (DESIGN.md §4.8): launch the accepted call if it is
+  // compatible with every in-flight group, otherwise park it kernel-side —
+  // the kernel launches it in arrival order when the conflict drains, and
+  // completes the caller directly when the body returns (no await/finish).
+  assert_manager_thread("start_compatible");
+  std::vector<sched::BatchItem> launch;
+  {
+    std::scoped_lock lock(obj_->mu_);
+    Object::EntryCore& e = obj_->core(a.entry);
+    Object::Slot& s = e.slots[a.slot];
+    if (s.state != Object::SlotState::kAccepted) {
+      raise(ErrorCode::kProtocolViolation,
+            "start_compatible on " + e.decl.name + "[" +
+                std::to_string(a.slot) +
+                "] which is not in the Accepted state");
+    }
+    if (!e.compat_participant) {
+      raise(ErrorCode::kProtocolViolation,
+            "start_compatible on entry " + e.decl.name +
+                " without compatibility annotations (use compatible_with/"
+                "serial_group on the EntryDecl)");
+    }
+    if (e.impl.hidden_params > 0 || e.impl.hidden_results > 0) {
+      raise(ErrorCode::kProtocolViolation,
+            "start_compatible on entry " + e.decl.name +
+                ": hidden params/results need the await/finish protocol and "
+                "are not supported on the compat path");
+    }
+    if (s.abandoned) {
+      // Caller already failed (deadline/cancel between accept and start):
+      // reclaim immediately — no body, no deferral.
+      ++e.finishes;
+      obj_->release_slot_locked(a.entry, a.slot);
+      obj_->note_progress();
+      return;
+    }
+    // The compat path never substitutes the intercepted prefix: the body's
+    // parameter list is the caller's own, moved out of the record.
+    ValueList full = std::move(s.call->params);
+    s.call->params.clear();
+    if (obj_->compat_admissible_locked(a.entry)) {
+      obj_->ma_mark_running_locked(a.entry, a.slot);
+      launch.push_back(obj_->make_body_task(a.entry, a.slot, std::move(full)));
+    } else {
+      s.state = Object::SlotState::kDeferred;
+      s.multiactive = true;
+      s.deferred_params = std::move(full);
+      ++e.ma_conflicts;
+      if (e.ma_deferred == 0) ++obj_->compat_gen_;
+      ++e.ma_deferred;
+      obj_->ma_queue_.emplace_back(a.entry, a.slot);
+      obj_->trace(e, s.call->id, a.slot, CallPhase::kDeferred);
+    }
+    obj_->note_progress();
+  }
+  if (!launch.empty()) obj_->executor_->submit_batch(std::move(launch));
+}
+
+std::size_t Manager::start_compatible_pending(EntryRef entry) {
+  // Batched accept+start_compatible: under ONE lock acquisition, accept and
+  // launch attached calls of `entry` while the compat gate stays open (the
+  // gate closes when an incompatible group is in flight or an older
+  // incompatible call is waiting its turn). One executor wakeup for the
+  // whole batch — this is the multiactive fast path.
+  assert_manager_thread("start_compatible_pending");
+  Object::EntryCore& e = obj_->core_checked(entry, "start_compatible_pending");
+  if (!e.intercepted) {
+    raise(ErrorCode::kProtocolViolation,
+          "start_compatible_pending on non-intercepted entry " + e.decl.name);
+  }
+  std::vector<sched::BatchItem> launch;
+  std::size_t n = 0;
+  {
+    std::scoped_lock lock(obj_->mu_);
+    obj_->drain_intake_locked();
+    check_stop();
+    if (!e.compat_participant) {
+      raise(ErrorCode::kProtocolViolation,
+            "start_compatible_pending on entry " + e.decl.name +
+                " without compatibility annotations");
+    }
+    if (e.impl.hidden_params > 0 || e.impl.hidden_results > 0) {
+      raise(ErrorCode::kProtocolViolation,
+            "start_compatible_pending on entry " + e.decl.name +
+                ": hidden params/results are not supported on the compat "
+                "path");
+    }
+    const std::size_t idx = entry.index();
+    while (!e.attached.empty() && obj_->compat_gate_open_locked(idx)) {
+      const std::size_t slot_idx = e.attached.pop_front(e.slots);
+      Object::Slot& s = e.slots[slot_idx];
+      s.state = Object::SlotState::kAccepted;
+      ++e.accepts;
+      obj_->update_pending_locked(e);
+      obj_->trace(e, s.call->id, slot_idx, CallPhase::kAccepted);
+      ValueList full = std::move(s.call->params);
+      s.call->params.clear();
+      obj_->ma_mark_running_locked(idx, slot_idx);
+      launch.push_back(obj_->make_body_task(idx, slot_idx, std::move(full)));
+      ++n;
+    }
+    if (n > 0) obj_->note_progress();
+  }
+  if (!launch.empty()) obj_->executor_->submit_batch(std::move(launch));
+  return n;
 }
 
 void Manager::start_with(const Accepted& a, ValueList iparams,

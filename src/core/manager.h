@@ -78,6 +78,26 @@ class Manager {
   void start_with(const Accepted& a, ValueList iparams,
                   ValueList hidden_params = {});
 
+  // ---- multiactive dispatch (compatibility groups, DESIGN.md §4.8) ----
+
+  /// Starts an accepted call of a compat-annotated entry. If the call is
+  /// compatible with every in-flight multiactive group it launches
+  /// immediately (possibly overlapping other bodies of this object);
+  /// otherwise the kernel parks it and launches it in arrival order once the
+  /// conflicting group drains. Either way the kernel completes the caller
+  /// directly when the body returns — do NOT await/finish such a call. The
+  /// entry must carry compatibility annotations and must not declare hidden
+  /// params/results (those need the await/finish round-trip).
+  void start_compatible(const Accepted& a);
+
+  /// Batched accept + start_compatible: accepts attached calls of `entry`
+  /// in arrival order and launches each, for as long as the compat gate
+  /// stays open (no incompatible group in flight and no older incompatible
+  /// call waiting its turn). The whole batch costs one kernel-lock
+  /// acquisition and one executor wakeup. Returns the number launched
+  /// (0 when nothing was attached or the gate is closed).
+  std::size_t start_compatible_pending(EntryRef entry);
+
   // ---- await ----
 
   /// Blocks until *some* started call of `entry` is ready to terminate and

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <semaphore>
 #include <utility>
@@ -132,6 +133,42 @@ void Object::start() {
         e.slots.resize(e.impl.array);
         for (auto& s : e.slots) s.global_key = total_slots++;
       }
+    }
+    // Freeze the compatibility matrix (multiactive scheduling, DESIGN.md
+    // §4.8). Compatibility is symmetric: listing B on A also admits A
+    // beside B, and naming an entry (or being named) makes it participate.
+    const std::size_t n = entries_.size();
+    for (auto& ep : entries_) ep->compat.assign(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+      EntryCore& e = *entries_[i];
+      if (!e.decl.compat_annotated) continue;
+      if (!e.intercepted) {
+        raise(ErrorCode::kProtocolViolation,
+              "entry " + e.decl.name +
+                  " has compatibility annotations but is not intercepted "
+                  "(only managed entries are compat-scheduled)");
+      }
+      e.compat_participant = true;
+      for (const std::string& other : e.decl.compatible) {
+        auto it = by_name_.find(other);
+        if (it == by_name_.end()) {
+          raise(ErrorCode::kNoSuchEntry,
+                "compatible_with(\"" + other + "\") on entry " + e.decl.name +
+                    ": no such entry on object " + name_);
+        }
+        EntryCore& o = *entries_[it->second];
+        if (!o.intercepted) {
+          raise(ErrorCode::kProtocolViolation,
+                "compatible_with(\"" + other + "\") on entry " + e.decl.name +
+                    ": target entry is not intercepted");
+        }
+        o.compat_participant = true;
+        e.compat[it->second] = true;
+        o.compat[i] = true;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (entries_[i]->compat_participant) compat_participants_.push_back(i);
     }
     executor_ = sched::make_executor(opts_.model, total_slots,
                                      opts_.pool_workers, name_);
@@ -277,11 +314,19 @@ void Object::stop() {
           s.call.reset();
         }
         s.state = SlotState::kFree;
+        s.multiactive = false;
+        s.deferred_params.clear();
       }
       e.attached.clear(e.slots);
       e.ready.clear(e.slots);
+      e.ma_running = 0;
+      e.ma_deferred = 0;
       update_pending_locked(e);
     }
+    // Running multiactive bodies see state != kRunning in their completion
+    // handler and bail without touching these (now-reset) counters.
+    ma_queue_.clear();
+    ma_total_running_ = 0;
   }
   for (auto& state : to_fail) {
     state->fail(ErrorCode::kObjectStopped, "object " + name_ + " stopped");
@@ -311,6 +356,10 @@ Object::EntryCore& Object::core_checked(EntryRef entry, const char* op) {
 void Object::update_pending_locked(EntryCore& e) {
   e.pending.store(e.overflow.size() + e.attached.size(),
                   std::memory_order_relaxed);
+  // Attached-queue membership of a participant feeds the compat gate's
+  // arrival-fairness term; re-key the gate so select re-derives it (the
+  // recompute is O(participants) and happens only when the gen moved).
+  if (e.compat_participant) ++compat_gen_;
 }
 
 CallHandle Object::async_call(EntryRef entry, ValueList params) {
@@ -535,6 +584,8 @@ void Object::attach_locked(std::size_t entry_idx, CallRecord rec) {
       e.slots[i].body_error = nullptr;
       e.slots[i].abandoned = false;
       e.slots[i].discard_on_ready = false;
+      e.slots[i].multiactive = false;
+      e.slots[i].deferred_params.clear();
       e.attached.push_back(e.slots, i);
       update_pending_locked(e);
       return;
@@ -554,6 +605,8 @@ void Object::release_slot_locked(std::size_t entry_idx, std::size_t slot_idx) {
   s.body_error = nullptr;
   s.abandoned = false;
   s.discard_on_ready = false;
+  s.multiactive = false;
+  s.deferred_params.clear();
   if (!e.overflow.empty()) {
     CallRecord next = std::move(e.overflow.front());
     e.overflow.pop_front();
@@ -623,10 +676,23 @@ sched::BatchItem Object::make_unintercepted_task(std::size_t entry_idx,
 
 void Object::submit_body(std::size_t entry_idx, std::size_t slot_idx,
                          ValueList full_params) {
+  sched::BatchItem item =
+      make_body_task(entry_idx, slot_idx, std::move(full_params));
+  const bool ok = executor_->submit(item.slot_key, std::move(item.task));
+  if (!ok) {
+    // Executor already shut down; stop() will fail the caller.
+    ALPS_LOG_DEBUG("object %s: start after shutdown dropped", name_.c_str());
+  }
+}
+
+sched::BatchItem Object::make_body_task(std::size_t entry_idx,
+                                        std::size_t slot_idx,
+                                        ValueList full_params) {
   EntryCore& e = core(entry_idx);
   const std::size_t key = e.slots[slot_idx].global_key;
-  const bool ok = executor_->submit(
-      key, [this, entry_idx, slot_idx, params = std::move(full_params)]() mutable {
+  return sched::BatchItem{
+      key,
+      [this, entry_idx, slot_idx, params = std::move(full_params)]() mutable {
         EntryCore& ec = core(entry_idx);
         BodyCtx ctx(this, ec.decl.name, slot_idx, std::move(params));
         ValueList out;
@@ -645,6 +711,10 @@ void Object::submit_body(std::size_t entry_idx, std::size_t slot_idx,
           err = std::current_exception();
         }
 
+        std::shared_ptr<CallState> caller;
+        ValueList final_results;
+        std::vector<sched::BatchItem> launch;
+        bool wake_mgr = true;
         {
           std::scoped_lock lock(mu_);
           Slot& s = ec.slots[slot_idx];
@@ -653,53 +723,209 @@ void Object::submit_body(std::size_t entry_idx, std::size_t slot_idx,
             // caller has already been failed.
             return;
           }
-          if (s.discard_on_ready) {
+          if (s.multiactive) {
+            // Compat-path epilogue: the kernel completes the caller itself
+            // (no await/finish round-trip through the manager), retires the
+            // group occupancy and launches any deferred calls that the
+            // departure unblocked.
+            //
+            // The manager is woken only when this completion changes what it
+            // can do: the group drained while a participant has attached
+            // calls (a closed compat gate may now be open), or the freed
+            // slot re-attaches an overflow call. A plain completion needs no
+            // manager turn at all — that is the multiactive throughput win.
+            wake_mgr = false;
+            --ec.ma_running;
+            if (ec.ma_running == 0) {
+              ++compat_gen_;
+              for (std::size_t idx : compat_participants_) {
+                if (!entries_[idx]->attached.empty()) {
+                  wake_mgr = true;
+                  break;
+                }
+              }
+            }
+            --ma_total_running_;
+            ++ec.finishes;
+            if (!s.discard_on_ready && !s.abandoned) {
+              caller = s.call->state;
+              trace(ec, s.call->id, slot_idx,
+                    err ? CallPhase::kFailed : CallPhase::kFinished);
+              if (!err) final_results = std::move(out);
+            }
+            if (!ec.overflow.empty()) wake_mgr = true;  // release re-attaches
+            release_slot_locked(entry_idx, slot_idx);
+            drain_deferred_locked(launch);
+            if (stopping_.load(std::memory_order_relaxed)) wake_mgr = true;
+          } else if (s.discard_on_ready) {
             // No manager will ever await this body (quarantine, or a
             // restart that could not replay a started call): the caller was
             // already failed, so drop the result and reclaim the slot — a
             // queued overflow call re-attaches for the next incarnation.
             release_slot_locked(entry_idx, slot_idx);
-            mgr_wake_.signal();
-            return;
-          }
-          if (err) {
-            // Move (not copy): the worker's reference transfers into the
-            // slot here, under mu_, so every later release of the exception
-            // object happens on a mutex-synchronized thread. Holding a copy
-            // until the lambda exits would let this thread do the *final*
-            // release after mgr_wake_.signal(), racing readers that TSan
-            // cannot relate through libstdc++'s internal refcounting.
-            s.body_error = std::move(err);
           } else {
-            // Split [visible..., hidden...]: the manager's await sees the
-            // intercepted visible prefix plus all hidden results; the rest
-            // goes straight to the caller at finish. `out` is dead after
-            // the split, so move every element instead of copying.
-            const auto icept =
-                out.begin() + static_cast<std::ptrdiff_t>(ec.icept_results);
-            const auto visible =
-                out.begin() + static_cast<std::ptrdiff_t>(ec.decl.results);
-            s.mgr_results.reserve(ec.icept_results + ec.impl.hidden_results);
-            s.mgr_results.assign(std::make_move_iterator(out.begin()),
-                                 std::make_move_iterator(icept));
-            s.mgr_results.insert(s.mgr_results.end(),
-                                 std::make_move_iterator(visible),
-                                 std::make_move_iterator(out.end()));
-            s.rest_results.assign(std::make_move_iterator(icept),
-                                  std::make_move_iterator(visible));
+            if (err) {
+              // Move (not copy): the worker's reference transfers into the
+              // slot here, under mu_, so every later release of the exception
+              // object happens on a mutex-synchronized thread. Holding a copy
+              // until the lambda exits would let this thread do the *final*
+              // release after mgr_wake_.signal(), racing readers that TSan
+              // cannot relate through libstdc++'s internal refcounting.
+              s.body_error = std::move(err);
+              err = nullptr;
+            } else {
+              // Split [visible..., hidden...]: the manager's await sees the
+              // intercepted visible prefix plus all hidden results; the rest
+              // goes straight to the caller at finish. `out` is dead after
+              // the split, so move every element instead of copying.
+              const auto icept =
+                  out.begin() + static_cast<std::ptrdiff_t>(ec.icept_results);
+              const auto visible =
+                  out.begin() + static_cast<std::ptrdiff_t>(ec.decl.results);
+              s.mgr_results.reserve(ec.icept_results + ec.impl.hidden_results);
+              s.mgr_results.assign(std::make_move_iterator(out.begin()),
+                                   std::make_move_iterator(icept));
+              s.mgr_results.insert(s.mgr_results.end(),
+                                   std::make_move_iterator(visible),
+                                   std::make_move_iterator(out.end()));
+              s.rest_results.assign(std::make_move_iterator(icept),
+                                    std::make_move_iterator(visible));
+            }
+            s.state = SlotState::kReady;
+            trace(ec, s.call->id, slot_idx, CallPhase::kReady);
+            ec.ready.push_back(ec.slots, slot_idx);
           }
-          s.state = SlotState::kReady;
-          trace(ec, s.call->id, slot_idx, CallPhase::kReady);
-          ec.ready.push_back(ec.slots, slot_idx);
         }
         // Body completions come from executor threads; wake the manager's
-        // await/select (two atomic ops when it is not sleeping).
-        mgr_wake_.signal();
-      });
-  if (!ok) {
-    // Executor already shut down; stop() will fail the caller.
-    ALPS_LOG_DEBUG("object %s: start after shutdown dropped", name_.c_str());
+        // await/select (two atomic ops when it is not sleeping). On the
+        // compat path this also re-keys gated guards via compat_gen_.
+        if (wake_mgr) mgr_wake_.signal();
+        if (caller) {
+          // Outside mu_: completion callbacks run user code.
+          if (err) {
+            caller->fail(std::move(err));
+          } else {
+            caller->complete(std::move(final_results));
+          }
+        }
+        if (!launch.empty()) executor_->submit_batch(std::move(launch));
+      }};
+}
+
+// ---------------------------------------------------------------------------
+// Multiactive scheduling: compatibility groups (DESIGN.md §4.8)
+// ---------------------------------------------------------------------------
+
+bool Object::compat_admissible_locked(std::size_t i) const {
+  // Launchable now: compatible with every participant that has in-flight
+  // (running or deferred) calls. Deferred occupancy counts so a newly
+  // accepted call cannot overtake an earlier parked incompatible one.
+  for (std::size_t j : compat_participants_) {
+    const EntryCore& ej = *entries_[j];
+    if (ej.ma_running + ej.ma_deferred == 0) continue;
+    if (!entries_[i]->compat[j]) return false;
   }
+  return true;
+}
+
+bool Object::compat_gate_open_locked(std::size_t i) const {
+  // Select-gate for entry i: admissible AND no incompatible participant has
+  // an attached call older than i's own oldest attached call. Call ids are
+  // globally increasing, so the second term is arrival-order fairness: a
+  // stream of compatible calls cannot starve an incompatible one that
+  // arrived first (the paper's writer-takes-its-turn property).
+  const EntryCore& ei = *entries_[i];
+  const std::uint64_t my_oldest =
+      ei.attached.empty()
+          ? std::numeric_limits<std::uint64_t>::max()
+          : ei.slots[ei.attached.front()].call->id;
+  for (std::size_t j : compat_participants_) {
+    if (entries_[i]->compat[j]) continue;
+    const EntryCore& ej = *entries_[j];
+    if (ej.ma_running + ej.ma_deferred > 0) return false;
+    if (j != i && !ej.attached.empty() &&
+        ej.slots[ej.attached.front()].call->id < my_oldest) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Object::ma_mark_running_locked(std::size_t entry_idx,
+                                    std::size_t slot_idx) {
+  EntryCore& e = core(entry_idx);
+  Slot& s = e.slots[slot_idx];
+  s.state = SlotState::kRunning;
+  s.multiactive = true;
+  ++e.starts;
+  ++e.ma_started;
+  if (e.ma_running == 0) ++compat_gen_;
+  ++e.ma_running;
+  ++ma_total_running_;
+  if (ma_total_running_ > 1) ++e.ma_concurrent;
+  trace(e, s.call->id, slot_idx, CallPhase::kStarted, ma_total_running_);
+}
+
+void Object::drain_deferred_locked(std::vector<sched::BatchItem>& out) {
+  if (ma_queue_.empty()) return;
+  // FIFO with a blocked-set: a deferred call launches only if it is
+  // compatible with everything running AND with every earlier-deferred call
+  // still parked — a later arrival never overtakes an earlier incompatible
+  // one (arrival-order serial equivalence).
+  std::vector<std::size_t> blocked;
+  for (std::size_t qi = 0; qi < ma_queue_.size();) {
+    const auto [ei, si] = ma_queue_[qi];
+    EntryCore& e = core(ei);
+    Slot& s = e.slots[si];
+    bool ok = true;
+    for (std::size_t j : compat_participants_) {
+      if (core(j).ma_running > 0 && !e.compat[j]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      for (std::size_t b : blocked) {
+        if (!e.compat[b]) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) {
+      blocked.push_back(ei);
+      ++qi;
+      continue;
+    }
+    ma_queue_.erase(ma_queue_.begin() +
+                    static_cast<std::ptrdiff_t>(qi));
+    if (e.ma_deferred > 0) --e.ma_deferred;
+    if (e.ma_deferred == 0) ++compat_gen_;
+    if (s.state != SlotState::kDeferred || s.abandoned) {
+      // Failed/cancelled while parked (fail_call unqueues eagerly, but be
+      // robust): reclaim without running — the caller is already failed.
+      if (s.state == SlotState::kDeferred) release_slot_locked(ei, si);
+      continue;
+    }
+    ValueList full = std::move(s.deferred_params);
+    s.deferred_params.clear();
+    ma_mark_running_locked(ei, si);
+    out.push_back(make_body_task(ei, si, std::move(full)));
+    // A launch only adds occupancy (more restrictive), so the scan resumes
+    // at the same index with the updated ma_running counts.
+  }
+}
+
+void Object::ma_unqueue_locked(std::size_t entry_idx, std::size_t slot_idx) {
+  for (auto it = ma_queue_.begin(); it != ma_queue_.end(); ++it) {
+    if (it->first == entry_idx && it->second == slot_idx) {
+      ma_queue_.erase(it);
+      break;
+    }
+  }
+  EntryCore& e = core(entry_idx);
+  if (e.ma_deferred > 0) --e.ma_deferred;
+  if (e.ma_deferred == 0) ++compat_gen_;
 }
 
 ObjectStats Object::stats() const {
@@ -711,11 +937,19 @@ ObjectStats Object::stats() const {
   out.entries.reserve(entries_.size());
   for (const auto& ep : entries_) {
     const EntryCore& e = *ep;
-    out.entries.push_back(
-        EntryStats{e.decl.name, e.calls.load(std::memory_order_relaxed),
-                   e.accepts, e.starts, e.finishes, e.combines,
-                   e.pending.load(std::memory_order_relaxed) +
-                       e.in_intake.load(std::memory_order_relaxed)});
+    EntryStats st;
+    st.name = e.decl.name;
+    st.calls = e.calls.load(std::memory_order_relaxed);
+    st.accepts = e.accepts;
+    st.starts = e.starts;
+    st.finishes = e.finishes;
+    st.combines = e.combines;
+    st.pending = e.pending.load(std::memory_order_relaxed) +
+                 e.in_intake.load(std::memory_order_relaxed);
+    st.ma_started = e.ma_started;
+    st.ma_concurrent_starts = e.ma_concurrent;
+    st.ma_conflict_blocks = e.ma_conflicts;
+    out.entries.push_back(std::move(st));
   }
   if (executor_) {
     out.threads_created = executor_->threads_created();
@@ -780,18 +1014,23 @@ void Object::take_down(std::exception_ptr cause, const std::string& why) {
         to_fail.push_back(s.call->state);
         if (s.state == SlotState::kRunning) {
           // Body still executing: keep the record (the completion handler
-          // reads it) and let discard_on_ready reclaim the slot.
+          // reads it) and let discard_on_ready reclaim the slot. Multiactive
+          // handlers also retire their ma_running occupancy there.
           s.discard_on_ready = true;
         } else {
           s.call.reset();
           s.state = SlotState::kFree;
           s.abandoned = false;
+          s.multiactive = false;
+          s.deferred_params.clear();
         }
       }
       e.attached.clear(e.slots);
       e.ready.clear(e.slots);
+      e.ma_deferred = 0;  // deferred slots were freed above
       update_pending_locked(e);
     }
+    ma_queue_.clear();
   }
   for (auto& state : to_fail) {
     state->fail(ErrorCode::kObjectDown, why);
@@ -854,10 +1093,35 @@ void Object::reconcile_for_restart() {
               s.abandoned = false;
             }
             break;
+          case SlotState::kDeferred:
+            // Parked by the compat scheduler: the body never ran, so under
+            // replay the call is as safe to re-queue as an accepted one —
+            // restore the moved-out params and put it back on the attach
+            // queue for the next incarnation.
+            ma_unqueue_locked(ei, i);
+            if (replay && !s.abandoned) {
+              s.state = SlotState::kAttached;
+              s.call->params = std::move(s.deferred_params);
+              s.deferred_params.clear();
+              s.multiactive = false;
+              s.mgr_results.clear();
+              s.rest_results.clear();
+              s.body_error = nullptr;
+              e.attached.push_back(e.slots, i);
+            } else {
+              trace(e, s.call->id, i, CallPhase::kFailed);
+              to_fail.push_back(s.call->state);
+              s.call.reset();
+              s.state = SlotState::kFree;
+              s.abandoned = false;
+              s.multiactive = false;
+              s.deferred_params.clear();
+            }
+            break;
           case SlotState::kRunning:
             // Side effects may have happened: a started body cannot be
             // replayed. Fail the caller; the completion handler reclaims
-            // the slot.
+            // the slot (and, on the compat path, its group occupancy).
             if (s.call) {
               trace(e, s.call->id, i, CallPhase::kFailed);
               to_fail.push_back(s.call->state);
@@ -1015,6 +1279,7 @@ void Object::fail_call(std::uint64_t id, std::size_t entry_idx,
   auto state = wstate.lock();
   if (!state || state->ready()) return;
   bool touched_sched = false;
+  std::vector<sched::BatchItem> launch;
   {
     std::scoped_lock lock(mu_);
     if (!stopping_.load(std::memory_order_acquire) &&
@@ -1058,12 +1323,23 @@ void Object::fail_call(std::uint64_t id, std::size_t entry_idx,
                 trace(e, id, i, CallPhase::kFailed);
                 touched_sched = true;
                 break;
+              case SlotState::kDeferred:
+                // Parked by the compat scheduler: unqueue and reclaim now;
+                // later-deferred calls it was blocking may have become
+                // launchable, so drain after the removal.
+                ma_unqueue_locked(entry_idx, i);
+                trace(e, id, i, CallPhase::kFailed);
+                release_slot_locked(entry_idx, i);
+                drain_deferred_locked(launch);
+                touched_sched = true;
+                break;
               case SlotState::kRunning:
               case SlotState::kReady:
               case SlotState::kAwaited:
                 // Body started (or finished): let the protocol run; the
                 // manager sees `abandoned` at await and its finish becomes
-                // a no-op completion.
+                // a no-op completion. A multiactive body's completion
+                // handler sees `abandoned` and skips caller completion.
                 s.abandoned = true;
                 trace(e, id, i, CallPhase::kFailed);
                 touched_sched = true;
@@ -1081,6 +1357,7 @@ void Object::fail_call(std::uint64_t id, std::size_t entry_idx,
   // code). First-completion-wins: if finish/fail raced past us, this no-ops
   // and the caller keeps the real completion.
   state->fail(code, why);
+  if (!launch.empty()) executor_->submit_batch(std::move(launch));
   if (touched_sched) {
     // #P moved or a candidate vanished: discard cached guard verdicts and
     // wake the manager so select/accept re-evaluates against the new state.
@@ -1237,6 +1514,7 @@ StallReport Object::build_stall_report(std::chrono::milliseconds stalled,
         case SlotState::kRunning: ++row.running; break;
         case SlotState::kReady: ++row.ready; break;
         case SlotState::kAwaited: ++row.awaited; break;
+        case SlotState::kDeferred: ++row.deferred; break;
       }
     }
     report.entries.push_back(std::move(row));

@@ -88,6 +88,15 @@ struct EntryStats {
   std::uint64_t finishes = 0;
   std::uint64_t combines = 0;
   std::size_t pending = 0;
+  // -- multiactive counters (DESIGN.md §4.8); zero for unannotated entries --
+  /// Calls launched through the compatibility path (start_compatible).
+  std::uint64_t ma_started = 0;
+  /// Of those, launches that overlapped >=1 other in-flight multiactive
+  /// body (the intra-object parallelism actually realized).
+  std::uint64_t ma_concurrent_starts = 0;
+  /// start_compatible calls parked because an incompatible group was in
+  /// flight (each later launched in arrival order when the group drained).
+  std::uint64_t ma_conflict_blocks = 0;
 };
 
 struct ObjectStats {
@@ -204,6 +213,10 @@ class Object {
     kRunning,
     kReady,
     kAwaited,
+    /// start_compatible'd while an incompatible group was in flight: parked
+    /// kernel-side (params staged in the slot, FIFO position in ma_queue_)
+    /// until the conflict drains, then launched without the manager.
+    kDeferred,
   };
 
   struct Slot {
@@ -215,6 +228,12 @@ class Object {
     /// No manager will ever await this started body (quarantine/restart):
     /// the body-completion handler releases the slot directly.
     bool discard_on_ready = false;
+    /// Launched via the compatibility path: the kernel completes the caller
+    /// directly when the body returns (no await/finish round-trip) and
+    /// drains the deferred queue on the way out.
+    bool multiactive = false;
+    /// Full body parameter list of a kDeferred call, staged until launch.
+    ValueList deferred_params;
     std::optional<CallRecord> call;
     /// After the body returns: intercepted visible results + hidden results
     /// (what `await` hands to the manager).
@@ -344,6 +363,20 @@ class Object {
     /// Incremented lock-free at dispatch (the call path never takes mu_).
     std::atomic<std::uint64_t> calls{0};
     std::uint64_t accepts = 0, starts = 0, finishes = 0, combines = 0;
+
+    // -- compatibility scheduling (DESIGN.md §4.8); frozen at start() --
+    /// This entry carries a compat annotation (or is named by one).
+    bool compat_participant = false;
+    /// compat[j]: a call of this entry may run concurrently with a call of
+    /// entry j. Symmetric across entries; compat[self] only when the entry
+    /// listed itself. Sized entries_.size() at start().
+    std::vector<bool> compat;
+    /// In-flight multiactive bodies / parked deferred calls of this entry
+    /// (guarded by mu_). Occupancy 0<->nonzero transitions bump compat_gen_.
+    std::size_t ma_running = 0;
+    std::size_t ma_deferred = 0;
+    /// Stats mirrors of the EntryStats multiactive counters.
+    std::uint64_t ma_started = 0, ma_concurrent = 0, ma_conflicts = 0;
   };
 
   /// One undrained async_call. Producers (callers) push these lock-free;
@@ -479,18 +512,52 @@ class Object {
   /// captures fail the caller if the task is destroyed without running.
   sched::BatchItem make_unintercepted_task(std::size_t entry_idx,
                                            CallRecord rec);
+  /// Builds the executor task for one started intercepted body (slot is
+  /// already kRunning and holds the call). The completion handler routes on
+  /// Slot::multiactive: the serial path parks the result for await/finish,
+  /// the compat path completes the caller directly and drains the deferred
+  /// queue. Requires mu_ (reads global_key; safe either way, but every
+  /// caller already holds it).
+  sched::BatchItem make_body_task(std::size_t entry_idx, std::size_t slot_idx,
+                                  ValueList full_params);
   void submit_body(std::size_t entry_idx, std::size_t slot_idx,
                    ValueList full_params);
+
+  // -- compatibility scheduling (multiactive; DESIGN.md §4.8) --
+  bool compat_ok(std::size_t i, std::size_t j) const {
+    return entries_[i]->compat[j];
+  }
+  /// Admissible to launch a call of entry i now: compatible with every
+  /// entry holding running or deferred multiactive work (self included).
+  bool compat_admissible_locked(std::size_t i) const;
+  /// Accept-gate for compat-gated select guards: launch-admissible AND no
+  /// incompatible participant holds an attached call older than entry i's
+  /// oldest attached call (arrival-order fairness — an incompatible call
+  /// that arrived first gets its turn before the gate reopens).
+  bool compat_gate_open_locked(std::size_t i) const;
+  /// Marks an accepted slot Running on the compat path: counters, occupancy
+  /// transitions, kStarted trace (with the realized concurrency level).
+  void ma_mark_running_locked(std::size_t entry_idx, std::size_t slot_idx);
+  /// Launches every deferred call that became admissible, FIFO with a
+  /// blocked-set (a deferred call never overtakes an earlier-deferred
+  /// incompatible one). Appends body tasks for submission outside mu_.
+  void drain_deferred_locked(std::vector<sched::BatchItem>& out);
+  /// Removes one slot's (entry,slot) pair from ma_queue_ (fail/teardown).
+  void ma_unqueue_locked(std::size_t entry_idx, std::size_t slot_idx);
   /// Frees a slot after finish/fail and attaches the next queued call.
   void release_slot_locked(std::size_t entry_idx, std::size_t slot_idx);
   void require_started(const char* op) const;
   void require_not_started(const char* op) const;
   /// Emits a trace event if a tracer is installed. Safe with or without the
   /// kernel lock held (the tracer must not reenter the kernel).
+  /// `concurrency` is the number of in-flight multiactive bodies including
+  /// this call (meaningful on kStarted events from the compat path; 0
+  /// elsewhere).
   void trace(const EntryCore& e, std::uint64_t call_id, std::size_t slot,
-             CallPhase phase) const {
+             CallPhase phase, std::size_t concurrency = 0) const {
     if (tracer_) {
       tracer_->on_event(TraceEvent{e.decl.name, call_id, slot, phase,
+                                   concurrency,
                                    std::chrono::steady_clock::now()});
     }
   }
@@ -523,6 +590,20 @@ class Object {
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> guard_inval_gen_{1};
   support::Event stop_done_;
+
+  // -- compatibility scheduling state (all guarded by mu_) --
+  /// Generation of the compat dimension: bumped on occupancy-set changes
+  /// (an entry's multiactive work going 0<->nonzero) and on attached-queue
+  /// changes of participant entries. Select's compat gate re-derives only
+  /// when this moves — the "group occupancy as a cached guard dimension"
+  /// contract.
+  std::uint64_t compat_gen_ = 1;
+  /// FIFO of deferred calls: (entry, slot). Arrival order across entries.
+  std::deque<std::pair<std::size_t, std::size_t>> ma_queue_;
+  /// Entry indices participating in compatibility scheduling.
+  std::vector<std::size_t> compat_participants_;
+  /// Total in-flight multiactive bodies (concurrent-start stat).
+  std::size_t ma_total_running_ = 0;
 
   // -- supervision state --
   std::shared_ptr<SupervisorHub> hub_ = std::make_shared<SupervisorHub>();

@@ -38,6 +38,7 @@ Select& Select::on(AcceptGuard g) {
   rec.pri_v = std::move(g.pri_fn);
   rec.on_accept = std::move(g.then_fn);
   rec.always_reeval = effective_reeval(g);
+  rec.compat_gate = g.compat_gate;
   guards_.push_back(std::move(rec));
   return *this;
 }
@@ -250,6 +251,53 @@ void Select::sync_guard(Object* obj, std::size_t gi, bool invalidated) {
       Object::SlotQueue& q =
           g.kind == Kind::kAccept ? e.attached : e.ready;
       if (st.slots.size() < e.slots.size()) st.slots.resize(e.slots.size());
+      if (g.kind == Kind::kAccept && g.compat_gate) {
+        // Group occupancy as a cached guard dimension: the gate verdict is
+        // keyed on the object's compat generation; unchanged gen => the
+        // cached verdict stands with no recompute.
+        if (!e.compat_participant) {
+          raise(ErrorCode::kProtocolViolation,
+                "compatible() accept guard on entry " + e.decl.name +
+                    " without compatibility annotations");
+        }
+        const std::uint64_t cg = obj->compat_gen_;
+        bool open = st.gate_open;
+        if (!st.primed || st.compat_gen != cg || invalidated) {
+          open = obj->compat_gate_open_locked(g.entry.index());
+          st.compat_gen = cg;
+        }
+        if (!open) {
+          if (st.gate_open || !st.primed) {
+            // Transition open->closed (or first sync while closed): retire
+            // this guard's live heap entries once. The cached per-call
+            // verdicts stay, so the reopen rescan is a cheap re-add.
+            for (SlotCache& c : st.slots) {
+              if (c.in_index) {
+                --live_count_;
+                c.in_index = false;
+              }
+            }
+          }
+          st.gate_open = false;
+          // Skip the journal while closed; the reopen path rescans members.
+          st.src_gen = q.log_gen;
+          st.primed = true;
+          return;
+        }
+        if (!st.gate_open) {
+          // Reopened: deltas were skipped while closed — full member rescan.
+          st.gate_open = true;
+          const bool rescan_force = g.always_reeval || invalidated;
+          for (std::size_t i = q.front(); i != kNoSlot;
+               i = e.slots[i].q_next) {
+            consider_slot(gi, obj, i, rescan_force);
+          }
+          st.src_gen = q.log_gen;
+          st.primed = true;
+          return;
+        }
+        // Gate open and was open: fall through to the normal delta path.
+      }
       const bool force = g.always_reeval || !st.primed || invalidated;
       if (!force) {
         if (st.src_gen == q.log_gen) return;  // source unchanged: all cached
@@ -363,6 +411,7 @@ std::string Select::describe_guard(const GuardRec& g, Object* obj) {
   }
   if (g.when_v) desc += " when(...)";
   if (g.pri_v || g.pri_b) desc += " pri(...)";
+  if (g.compat_gate) desc += " compatible()";
   return desc;
 }
 
@@ -552,6 +601,16 @@ Select::Fired Select::select_impl_naive(Manager& m) {
           case Kind::kAwait: {
             any_waitable = true;
             Object::EntryCore& e = obj->core(g.entry.index());
+            if (g.kind == Kind::kAccept && g.compat_gate) {
+              if (!e.compat_participant) {
+                raise(ErrorCode::kProtocolViolation,
+                      "compatible() accept guard on entry " + e.decl.name +
+                          " without compatibility annotations");
+              }
+              // Naive parity: recompute the gate on every pass (the
+              // incremental engine caches it keyed on compat_gen_).
+              if (!obj->compat_gate_open_locked(g.entry.index())) break;
+            }
             const auto want = g.kind == Kind::kAccept
                                   ? Object::SlotState::kAttached
                                   : Object::SlotState::kReady;

@@ -69,9 +69,23 @@ struct AcceptGuard {
   std::function<void(Accepted)> then_fn;
   bool reeval = false;
   bool cache = false;
+  bool compat_gate = false;
 
   AcceptGuard&& when(ValuePred p) && {
     when_fn = std::move(p);
+    return std::move(*this);
+  }
+  /// Gates the guard on the entry's compatibility group (DESIGN.md §4.8):
+  /// candidates are eligible only while a call of this entry could launch —
+  /// no incompatible group in flight and no older incompatible call waiting
+  /// its turn. Group occupancy is a cached guard dimension: the verdict is
+  /// keyed on the object's compat generation and re-derived only when that
+  /// moves (occupancy transitions, participant queue changes) — never by a
+  /// per-pass rescan. The entry must carry compatibility annotations; pair
+  /// the guard's `then` with Manager::start_compatible (or
+  /// start_compatible_pending).
+  AcceptGuard&& compatible() && {
+    compat_gate = true;
     return std::move(*this);
   }
   AcceptGuard&& pri(ValuePri p) && {
@@ -238,6 +252,9 @@ class Select {
     std::function<void()> on_when;
     /// Closures read mutable state: never skip them via the cache.
     bool always_reeval = false;
+    /// Accept guard gated on the entry's compat group (see
+    /// AcceptGuard::compatible).
+    bool compat_gate = false;
   };
 
   /// Cached evaluation of one candidate (a slot for accept/await guards;
@@ -260,6 +277,12 @@ class Select {
   struct GuardState {
     bool primed = false;      ///< evaluated at least once
     std::uint64_t src_gen = 0;  ///< source generation at last sync
+    /// Compat-gated guards: object compat generation the gate verdict was
+    /// derived at, and the verdict itself. While the gate is closed the
+    /// guard contributes no candidates and skips its delta journal (a
+    /// reopen rescans the members, re-adding cached verdicts cheaply).
+    std::uint64_t compat_gen = 0;
+    bool gate_open = true;
     std::vector<SlotCache> slots;
   };
 

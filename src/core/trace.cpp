@@ -14,6 +14,7 @@ const char* to_string(CallPhase phase) {
     case CallPhase::kFinished: return "finished";
     case CallPhase::kFailed: return "failed";
     case CallPhase::kCombined: return "combined";
+    case CallPhase::kDeferred: return "deferred";
   }
   return "?";
 }
@@ -25,13 +26,16 @@ std::string StallReport::summary() const {
      << (escalated ? ", escalated" : "") << ")\n";
   for (const EntryRow& row : entries) {
     if (row.pending == 0 && row.attached == 0 && row.accepted == 0 &&
-        row.running == 0 && row.ready == 0 && row.awaited == 0) {
+        row.running == 0 && row.ready == 0 && row.awaited == 0 &&
+        row.deferred == 0) {
       continue;
     }
     os << "  entry '" << row.name << "': pending=" << row.pending
        << " attached=" << row.attached << " accepted=" << row.accepted
        << " running=" << row.running << " ready=" << row.ready
-       << " awaited=" << row.awaited << "\n";
+       << " awaited=" << row.awaited;
+    if (row.deferred > 0) os << " deferred=" << row.deferred;
+    os << "\n";
   }
   if (!guards.empty()) {
     os << "  last select guards:\n";
@@ -65,10 +69,21 @@ void TraceCollector::on_event(const TraceEvent& event) {
       return;
     }
     case CallPhase::kStarted: {
+      if (event.concurrency >= 2) ++rep.concurrent_starts;
       auto it = state.pending.find(event.call_id);
       if (it == state.pending.end()) return;
       it->second.started = event.at;
       rep.start_delay.record_duration(event.at - it->second.accepted);
+      if (it->second.deferred.time_since_epoch().count() != 0) {
+        rep.defer_wait.record_duration(event.at - it->second.deferred);
+      }
+      return;
+    }
+    case CallPhase::kDeferred: {
+      ++rep.deferred;
+      auto it = state.pending.find(event.call_id);
+      if (it == state.pending.end()) return;
+      it->second.deferred = event.at;
       return;
     }
     case CallPhase::kReady: {
@@ -136,7 +151,12 @@ std::string TraceCollector::summary() const {
     os << name << ": arrived=" << rep.arrived << " finished=" << rep.finished
        << " failed=" << rep.failed << " combined=" << rep.combined
        << " unmatched=" << rep.unmatched << " abandoned=" << rep.abandoned
-       << " pending=" << state.pending.size() << "\n";
+       << " pending=" << state.pending.size();
+    if (rep.deferred > 0 || rep.concurrent_starts > 0) {
+      os << " deferred=" << rep.deferred
+         << " concurrent_starts=" << rep.concurrent_starts;
+    }
+    os << "\n";
     os << "  accept_wait   " << rep.accept_wait.summary() << "\n";
     os << "  service_time  " << rep.service_time.summary() << "\n";
     os << "  total_latency " << rep.total_latency.summary() << "\n";

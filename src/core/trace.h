@@ -36,6 +36,10 @@ enum class CallPhase : std::uint8_t {
   kFinished = 5,  ///< manager executed finish; caller completed
   kFailed = 6,    ///< completed with an error (any stage)
   kCombined = 7,  ///< answered by combining (no body)
+  /// start_compatible hit an incompatible in-flight group: the call is
+  /// parked kernel-side (multiactive scheduling, DESIGN.md §4.8). Always
+  /// followed by kStarted when the conflict drains — or a terminal kFailed.
+  kDeferred = 8,
 };
 
 const char* to_string(CallPhase phase);
@@ -45,6 +49,10 @@ struct TraceEvent {
   std::uint64_t call_id = 0;
   std::size_t slot = static_cast<std::size_t>(-1);
   CallPhase phase = CallPhase::kArrived;
+  /// On kStarted events from the compat path: in-flight multiactive bodies
+  /// including this one (>= 2 means the start realized intra-object
+  /// parallelism). 0 on every other event.
+  std::size_t concurrency = 0;
   std::chrono::steady_clock::time_point at;
 };
 
@@ -68,6 +76,7 @@ struct StallReport {
     std::size_t running = 0;
     std::size_t ready = 0;
     std::size_t awaited = 0;
+    std::size_t deferred = 0;  ///< parked by the compat scheduler
   };
   std::vector<EntryRow> entries;
 
@@ -114,13 +123,25 @@ class TraceCollector final : public Tracer {
     /// Reconciliation invariant for any quiescent or live snapshot:
     ///   arrived + unmatched == finished + failed + combined
     ///                          + still_pending + abandoned
+    /// The multiactive counters below are covered by the same identity:
+    /// kDeferred and concurrency-annotated kStarted are non-terminal
+    /// waypoints of calls already counted in `arrived`, so
+    ///   deferred <= arrived + unmatched   and every deferred call still
+    /// reaches exactly one terminal event (tests cross-check `deferred` and
+    /// `concurrent_starts` against the kernel's EntryStats counters).
     std::uint64_t still_pending = 0;
+    /// Calls parked by the compat scheduler (kDeferred events).
+    std::uint64_t deferred = 0;
+    /// Starts that overlapped >=1 other in-flight multiactive body
+    /// (kStarted events with concurrency >= 2).
+    std::uint64_t concurrent_starts = 0;
     support::Histogram attach_wait;   ///< arrive → attach
     support::Histogram accept_wait;   ///< attach → accept
     support::Histogram start_delay;   ///< accept → start
     support::Histogram service_time;  ///< start → ready
     support::Histogram finish_delay;  ///< ready → finish
     support::Histogram total_latency; ///< arrive → finish/fail/combine
+    support::Histogram defer_wait;    ///< deferred → started (compat stall)
   };
 
   void on_event(const TraceEvent& event) override;
@@ -146,7 +167,7 @@ class TraceCollector final : public Tracer {
  private:
   struct Pending {
     std::chrono::steady_clock::time_point arrived, attached, accepted, started,
-        ready;
+        ready, deferred;
   };
 
   struct EntryState {

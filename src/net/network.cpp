@@ -28,11 +28,15 @@ NodeId Network::add_node(const std::string& name) {
 }
 
 void Network::set_handler(NodeId node, std::function<void(Frame)> handler) {
-  std::scoped_lock lock(mu_);
+  std::unique_lock lock(mu_);
   if (node >= handlers_.size()) {
     raise(ErrorCode::kNetwork, "set_handler on unknown node");
   }
   handlers_[node] = std::move(handler);
+  // The delivery loop invokes its copied handler outside the lock; a caller
+  // deregistering (typically ~Node) must not return while such an invocation
+  // is still running into the old handler's captures.
+  idle_cv_.wait(lock, [&] { return !delivering_ || delivering_to_ != node; });
 }
 
 void Network::set_link_latency(NodeId src, NodeId dst, LinkLatency latency) {
@@ -174,8 +178,12 @@ void Network::post(Frame frame) {
       queue_.push(Scheduled{due + extra, next_seq_++, frame});  // copy
     }
     queue_.push(Scheduled{due, next_seq_++, std::move(frame)});
+    // Notify under the lock: the delivery thread's latency-timeout wakeup can
+    // otherwise consume the frame — and the whole Network be torn down by a
+    // caller that observed the delivery — while this thread is still touching
+    // cv_ after the unlock.
+    cv_.notify_all();
   }
-  cv_.notify_all();
 }
 
 void Network::delivery_loop(const std::stop_token& st) {
@@ -208,6 +216,7 @@ void Network::delivery_loop(const std::stop_token& st) {
     ++stats_.frames_delivered;
     stats_.bytes_delivered += frame.payload.size();
     delivering_ = true;
+    delivering_to_ = frame.dst;
     lock.unlock();
     handler(std::move(frame));  // outside the lock: handlers may post frames
     lock.lock();

@@ -181,6 +181,7 @@ class Network {
   std::unordered_map<std::uint64_t, LinkSchedule> last_due_;
   std::uint64_t next_seq_ = 0;
   bool delivering_ = false;
+  NodeId delivering_to_ = 0;  ///< valid while delivering_ is true
   std::unique_ptr<Directory> directory_;
   std::jthread delivery_thread_;
 };

@@ -202,7 +202,8 @@ TEST(Trace, CallIdsAreUniqueAndSlotsValid) {
 
 TEST(Trace, ResetClearsCollector) {
   TraceCollector collector;
-  TraceEvent ev{"X", 1, 0, CallPhase::kArrived, std::chrono::steady_clock::now()};
+  TraceEvent ev{"X", 1, 0, CallPhase::kArrived, 0,
+                std::chrono::steady_clock::now()};
   collector.on_event(ev);
   EXPECT_EQ(collector.entries().size(), 1u);
   collector.reset();
@@ -217,9 +218,9 @@ TEST(Trace, ResetClearsCollector) {
 TEST(Trace, UnmatchedTerminalEventsAreCounted) {
   TraceCollector collector;
   const auto now = std::chrono::steady_clock::now();
-  collector.on_event({"E", 7, 0, CallPhase::kFinished, now});
-  collector.on_event({"E", 8, 0, CallPhase::kFailed, now});
-  collector.on_event({"E", 9, 0, CallPhase::kCombined, now});
+  collector.on_event({"E", 7, 0, CallPhase::kFinished, 0, now});
+  collector.on_event({"E", 8, 0, CallPhase::kFailed, 0, now});
+  collector.on_event({"E", 9, 0, CallPhase::kCombined, 0, now});
 
   const auto rep = collector.report("E");
   EXPECT_EQ(rep.arrived, 0u);
@@ -231,12 +232,39 @@ TEST(Trace, UnmatchedTerminalEventsAreCounted) {
   EXPECT_EQ(rep.total_latency.count(), 0u);
 }
 
+// Multiactive waypoints (DESIGN.md §4.8): kDeferred marks a compat-parked
+// call and a kStarted with concurrency >= 2 counts as a concurrent start.
+// Both are non-terminal, so the reconciliation invariant is unchanged.
+TEST(Trace, DeferredAndConcurrentStartsAreNonTerminalWaypoints) {
+  TraceCollector collector;
+  const auto now = std::chrono::steady_clock::now();
+  collector.on_event({"E", 1, 0, CallPhase::kArrived, 0, now});
+  collector.on_event({"E", 1, 0, CallPhase::kAccepted, 0, now});
+  collector.on_event({"E", 1, 0, CallPhase::kDeferred, 0, now});
+  collector.on_event({"E", 1, 0, CallPhase::kStarted, 2, now});
+  collector.on_event({"E", 1, 0, CallPhase::kFinished, 0, now});
+  collector.on_event({"E", 2, 0, CallPhase::kArrived, 0, now});
+  collector.on_event({"E", 2, 0, CallPhase::kAccepted, 0, now});
+  collector.on_event({"E", 2, 0, CallPhase::kStarted, 1, now});  // solo start
+  collector.on_event({"E", 2, 0, CallPhase::kFinished, 0, now});
+
+  const auto rep = collector.report("E");
+  EXPECT_EQ(rep.arrived, 2u);
+  EXPECT_EQ(rep.finished, 2u);
+  EXPECT_EQ(rep.deferred, 1u);
+  EXPECT_EQ(rep.concurrent_starts, 1u);
+  EXPECT_EQ(rep.defer_wait.count(), 1u);  // deferred->started wait sampled
+  EXPECT_EQ(rep.arrived + rep.unmatched, rep.finished + rep.failed +
+                                             rep.combined + rep.still_pending +
+                                             rep.abandoned);
+}
+
 TEST(Trace, FlushPendingAccountsAbandonedCalls) {
   TraceCollector collector;
   const auto now = std::chrono::steady_clock::now();
-  collector.on_event({"E", 1, 0, CallPhase::kArrived, now});
-  collector.on_event({"E", 2, 0, CallPhase::kArrived, now});
-  collector.on_event({"E", 2, 0, CallPhase::kFinished, now});
+  collector.on_event({"E", 1, 0, CallPhase::kArrived, 0, now});
+  collector.on_event({"E", 2, 0, CallPhase::kArrived, 0, now});
+  collector.on_event({"E", 2, 0, CallPhase::kFinished, 0, now});
 
   auto rep = collector.report("E");
   EXPECT_EQ(rep.still_pending, 1u);  // call 1 never terminated
@@ -247,7 +275,7 @@ TEST(Trace, FlushPendingAccountsAbandonedCalls) {
   EXPECT_EQ(rep.abandoned, 1u);
   // A terminal for a flushed call is unmatched, not lost — and the
   // reconciliation invariant holds throughout.
-  collector.on_event({"E", 1, 0, CallPhase::kFinished, now});
+  collector.on_event({"E", 1, 0, CallPhase::kFinished, 0, now});
   rep = collector.report("E");
   EXPECT_EQ(rep.finished, 2u);
   EXPECT_EQ(rep.unmatched, 1u);

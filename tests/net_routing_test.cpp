@@ -410,11 +410,17 @@ TEST(Batch, NestedBatchFrameIsRejectedWithoutCrash) {
   EXPECT_EQ(svc.executions.load(), 0)
       << "nested batch members must not dispatch";
 
-  // A well-formed single-level batch from the same sender still works.
+  // A well-formed single-level batch from the same sender still works. The
+  // raw sender has no Node to await the response on, and wait_quiescent only
+  // drains the network queue — the body still runs asynchronously in the
+  // serving kernel after the frame is consumed — so poll for the execution.
   std::vector<std::uint8_t> flat;
   encode_batch({request}, flat);
   net.post(Frame{raw, server.id(), std::move(flat)});
   net.wait_quiescent();
+  for (int spin = 0; spin < 2000 && svc.executions.load() == 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   EXPECT_EQ(svc.executions.load(), 1);
 }
 
