@@ -30,6 +30,7 @@ fi
 
 # Suites worth the sanitizer tax: everything that races threads on purpose.
 SAN_SUITES=(
+  core_buffer_test
   core_object_test core_select_test core_channel_test core_property_test
   core_supervision_test core_multiactive_test core_trace_test
   sched_executor_test sched_executor_stress_test

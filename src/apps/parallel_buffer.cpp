@@ -2,6 +2,23 @@
 
 namespace alps::apps {
 
+namespace {
+
+/// §2.8.2's long-message copy, materialized on purpose. Value assignment is
+/// O(1) since the zero-copy data plane (string/blob payloads are shared,
+/// DESIGN.md §4.9), so a buffer that wants an *independent* copy of the
+/// message bytes — the workload whose parallelism the paper's design
+/// exploits — must now ask for one explicitly.
+Value deep_copy(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::kString: return Value(std::string(v.as_string()));
+    case ValueKind::kBlob: return Value(v.as_blob().to_blob());
+    default: return v;
+  }
+}
+
+}  // namespace
+
 ParallelBoundedBuffer::ParallelBoundedBuffer(Options options)
     : options_(options),
       obj_("ParBuffer", ObjectOptions{.model = options.model,
@@ -30,7 +47,7 @@ ParallelBoundedBuffer::ParallelBoundedBuffer(Options options)
       [this, track](BodyCtx& ctx) -> ValueList {
         return track([&]() -> ValueList {
           const auto place = static_cast<std::size_t>(ctx.param(1).as_int());
-          buf_[place] = ctx.param(0);  // the parallel copy
+          buf_[place] = deep_copy(ctx.param(0));  // the parallel copy
           ++deposits_;
           return {Value(static_cast<std::int64_t>(place))};  // hidden result
         });
@@ -42,7 +59,7 @@ ParallelBoundedBuffer::ParallelBoundedBuffer(Options options)
       [this, track](BodyCtx& ctx) -> ValueList {
         return track([&]() -> ValueList {
           const auto place = static_cast<std::size_t>(ctx.param(0).as_int());
-          Value m = buf_[place];  // the parallel copy
+          Value m = deep_copy(buf_[place]);  // the parallel copy
           ++removes_;
           return {std::move(m), Value(static_cast<std::int64_t>(place))};
         });

@@ -67,6 +67,8 @@ Accepted Manager::accept(EntryRef entry) {
         Accepted a;
         a.entry = entry.index();
         a.slot = slot_idx;
+        // Intercepted-prefix copy: O(icept_params) refcount bumps — string
+        // and blob payloads are shared, not duplicated (DESIGN.md §4.9).
         a.params.assign(s.call->params.begin(),
                         s.call->params.begin() +
                             static_cast<std::ptrdiff_t>(e.icept_params));

@@ -201,7 +201,8 @@ void Select::consider_slot(std::size_t gi, Object* obj, std::size_t slot_idx,
   std::int64_t pri = 0;
   if (g.kind == Kind::kAccept) {
     // View of the intercepted parameter prefix (scratch buffer: capacity is
-    // reused across evaluations, no per-candidate allocation steady-state).
+    // reused across evaluations, no per-candidate allocation steady-state;
+    // element copies are O(1) payload-refcount bumps, DESIGN.md §4.9).
     scratch_view_.assign(s.call->params.begin(),
                          s.call->params.begin() +
                              static_cast<std::ptrdiff_t>(e.icept_params));

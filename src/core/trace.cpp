@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "support/stats.h"
+
 namespace alps {
 
 const char* to_string(CallPhase phase) {
@@ -161,6 +163,14 @@ std::string TraceCollector::summary() const {
     os << "  service_time  " << rep.service_time.summary() << "\n";
     os << "  total_latency " << rep.total_latency.summary() << "\n";
   }
+  // Process-wide data-plane footer (§4.9): how many payload bytes were
+  // actually memcpy'd vs. carried by reference since start/reset — the
+  // observable form of the zero-copy claim.
+  const auto& dp = support::data_plane();
+  os << "data-plane: frames=" << dp.frames_assembled.get()
+     << " assembled=" << dp.bytes_assembled.get() << "B"
+     << " copied=" << dp.bytes_copied.get() << "B"
+     << " referenced=" << dp.bytes_referenced.get() << "B\n";
   return os.str();
 }
 

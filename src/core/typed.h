@@ -78,7 +78,13 @@ struct Codec<std::string> {
 template <>
 struct Codec<Blob> {
   static Value encode(Blob v) { return Value(std::move(v)); }
-  static Blob decode(const Value& v) { return v.as_blob(); }
+  static Blob decode(const Value& v) { return v.as_blob().to_blob(); }
+};
+
+template <>
+struct Codec<Buffer> {
+  static Value encode(Buffer v) { return Value(std::move(v)); }
+  static Buffer decode(const Value& v) { return v.as_blob(); }
 };
 
 template <>

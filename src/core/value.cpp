@@ -47,13 +47,22 @@ double Value::as_real() const {
 }
 
 const std::string& Value::as_string() const {
-  if (auto* p = std::get_if<std::string>(&v_)) return *p;
+  if (auto* p = std::get_if<std::shared_ptr<const std::string>>(&v_)) {
+    return **p;
+  }
   kind_error(ValueKind::kString, kind());
 }
 
-const Blob& Value::as_blob() const {
-  if (auto* p = std::get_if<Blob>(&v_)) return *p;
+const Buffer& Value::as_blob() const {
+  if (auto* p = std::get_if<Buffer>(&v_)) return *p;
   kind_error(ValueKind::kBlob, kind());
+}
+
+std::shared_ptr<const std::string> Value::shared_string() const {
+  if (auto* p = std::get_if<std::shared_ptr<const std::string>>(&v_)) {
+    return *p;
+  }
+  return nullptr;
 }
 
 const ValueList& Value::as_list() const {
@@ -80,9 +89,9 @@ bool Value::operator==(const Value& other) const {
       return std::get<std::int64_t>(v_) == std::get<std::int64_t>(other.v_);
     case ValueKind::kReal:
       return std::get<double>(v_) == std::get<double>(other.v_);
-    case ValueKind::kString:
-      return std::get<std::string>(v_) == std::get<std::string>(other.v_);
-    case ValueKind::kBlob: return std::get<Blob>(v_) == std::get<Blob>(other.v_);
+    case ValueKind::kString: return as_string() == other.as_string();
+    case ValueKind::kBlob:
+      return std::get<Buffer>(v_) == std::get<Buffer>(other.v_);
     case ValueKind::kList:
       return std::get<ValueList>(v_) == std::get<ValueList>(other.v_);
     case ValueKind::kChannel:
@@ -103,9 +112,10 @@ std::string Value::to_string() const {
     case ValueKind::kReal:
       std::snprintf(buf, sizeof buf, "%g", std::get<double>(v_));
       return buf;
-    case ValueKind::kString: return "\"" + std::get<std::string>(v_) + "\"";
+    case ValueKind::kString: return "\"" + as_string() + "\"";
     case ValueKind::kBlob:
-      std::snprintf(buf, sizeof buf, "<blob:%zu>", std::get<Blob>(v_).size());
+      std::snprintf(buf, sizeof buf, "<blob:%zu>",
+                    std::get<Buffer>(v_).size());
       return buf;
     case ValueKind::kList: return alps::to_string(std::get<ValueList>(v_));
     case ValueKind::kChannel:
@@ -127,10 +137,10 @@ std::size_t Value::hash() const {
     case ValueKind::kReal:
       return mix(std::hash<double>{}(std::get<double>(v_)));
     case ValueKind::kString:
-      return mix(std::hash<std::string>{}(std::get<std::string>(v_)));
+      return mix(std::hash<std::string>{}(as_string()));
     case ValueKind::kBlob: {
       std::size_t h = 1469598103934665603ull;
-      for (auto b : std::get<Blob>(v_)) h = (h ^ b) * 1099511628211ull;
+      for (auto b : std::get<Buffer>(v_)) h = (h ^ b) * 1099511628211ull;
       return mix(h);
     }
     case ValueKind::kList: {

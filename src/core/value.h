@@ -10,6 +10,15 @@
 // A Value is one of: nil, bool, int (64-bit), real (double), string, blob,
 // list (vector<Value>), or a channel reference (§2.1.2 allows channels to be
 // passed as procedure parameters and message values).
+//
+// Payload sharing (DESIGN.md §4.9): string and blob payloads are stored
+// behind refcounted immutable storage (shared string / Buffer), so copying a
+// Value — and therefore a ValueList — costs O(participants), not O(bytes).
+// The accessor surface is unchanged: as_string() still returns a
+// const std::string&, and there are no mutating string/blob accessors, so
+// sharing is invisible to kernel and application code. The one mutable
+// accessor, as_list()&, edits the list spine held inline in this Value;
+// shared payloads referenced by its elements stay immutable.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +27,8 @@
 #include <variant>
 #include <vector>
 
+#include "core/buffer.h"
+
 namespace alps {
 
 class ChannelCore;
@@ -25,7 +36,6 @@ using ChannelRef = std::shared_ptr<ChannelCore>;
 
 class Value;
 using ValueList = std::vector<Value>;
-using Blob = std::vector<std::uint8_t>;
 
 enum class ValueKind : std::uint8_t {
   kNil = 0,
@@ -52,9 +62,16 @@ class Value {
   Value(unsigned long i) : v_(static_cast<std::int64_t>(i)) {}
   Value(unsigned long long i) : v_(static_cast<std::int64_t>(i)) {}
   Value(double d) : v_(d) {}
-  Value(const char* s) : v_(std::string(s)) {}
-  Value(std::string s) : v_(std::move(s)) {}
-  Value(Blob b) : v_(std::move(b)) {}
+  Value(const char* s) : v_(std::make_shared<const std::string>(s)) {}
+  Value(std::string s)
+      : v_(std::make_shared<const std::string>(std::move(s))) {}
+  /// Shares an already-shared string without re-allocating (a null pointer
+  /// becomes the empty string — string Values always hold storage).
+  Value(std::shared_ptr<const std::string> s)
+      : v_(s ? std::move(s) : std::make_shared<const std::string>()) {}
+  Value(Blob b) : v_(Buffer::adopt(std::move(b))) {}
+  /// Blob value sharing the Buffer's storage (zero-copy).
+  Value(Buffer b) : v_(std::move(b)) {}
   Value(ValueList l) : v_(std::move(l)) {}
   Value(ChannelRef c) : v_(std::move(c)) {}
 
@@ -75,10 +92,16 @@ class Value {
   /// Accepts kInt or kReal (ints widen).
   double as_real() const;
   const std::string& as_string() const;
-  const Blob& as_blob() const;
+  /// The blob payload as a shared immutable slice; Buffer::to_blob()
+  /// materializes an independent std::vector copy when one is needed.
+  const Buffer& as_blob() const;
   const ValueList& as_list() const;
   ValueList& as_list();
   const ChannelRef& as_channel() const;
+
+  /// The string payload's shared storage (null when not a string) — lets the
+  /// codec reference large strings on the wire instead of copying them.
+  std::shared_ptr<const std::string> shared_string() const;
 
   /// Structural equality; channels compare by identity.
   bool operator==(const Value& other) const;
@@ -90,8 +113,10 @@ class Value {
   std::size_t hash() const;
 
  private:
-  std::variant<std::monostate, bool, std::int64_t, double, std::string, Blob,
-               ValueList, ChannelRef>
+  // Alternative order mirrors ValueKind — kind() is the variant index.
+  std::variant<std::monostate, bool, std::int64_t, double,
+               std::shared_ptr<const std::string>, Buffer, ValueList,
+               ChannelRef>
       v_;
 };
 

@@ -23,21 +23,27 @@ void FrameBatcher::collect_locked(NodeId dst, LinkBuffer& buf,
                                   std::vector<Flush>& out) {
   if (buf.members.empty()) return;
   if (buf.members.size() == 1) {
-    out.emplace_back(dst, std::move(buf.members.front()));
+    out.emplace_back(dst, buf.members.front().build());
     ++stats_.singles_posted;
   } else {
-    std::vector<std::uint8_t> payload;
-    payload.reserve(1 + 4 + buf.bytes + 4 * buf.members.size());
-    encode_batch(buf.members, payload);
+    // One envelope, one gather: member headers splice into the envelope's
+    // arena, member payload slices stay referenced until the single
+    // build() below — the members' bytes hit contiguous memory exactly once.
+    FrameBuilder envelope;
+    encode_batch(buf.members, envelope);
     stats_.frames_coalesced += buf.members.size();
     ++stats_.batches_posted;
-    out.emplace_back(dst, std::move(payload));
+    out.emplace_back(dst, envelope.build());
   }
   buf.members.clear();
   buf.bytes = 0;
 }
 
 void FrameBatcher::enqueue(NodeId dst, std::vector<std::uint8_t> payload) {
+  enqueue(dst, FrameBuilder::from_bytes(std::move(payload)));
+}
+
+void FrameBatcher::enqueue(NodeId dst, FrameBuilder frame) {
   std::vector<Flush> out;
   {
     std::scoped_lock lock(mu_);
@@ -46,8 +52,8 @@ void FrameBatcher::enqueue(NodeId dst, std::vector<std::uint8_t> payload) {
       buf.oldest = std::chrono::steady_clock::now();
       cv_.notify_all();  // the flusher may need an earlier deadline
     }
-    buf.bytes += payload.size();
-    buf.members.push_back(std::move(payload));
+    buf.bytes += frame.size();
+    buf.members.push_back(std::move(frame));
     ++stats_.frames_enqueued;
     if (buf.members.size() >= options_.max_frames ||
         buf.bytes >= options_.max_bytes) {

@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/codec.h"
 #include "net/network.h"
 
 namespace alps::net {
@@ -61,6 +62,11 @@ class FrameBatcher {
   FrameBatcher(const FrameBatcher&) = delete;
   FrameBatcher& operator=(const FrameBatcher&) = delete;
 
+  /// Buffers a frame still in scatter-gather form: its payload slices are
+  /// carried by reference into the batch envelope and written once, at the
+  /// envelope's single build.
+  void enqueue(NodeId dst, FrameBuilder frame);
+  /// Pre-encoded frame (adopted without a byte copy).
   void enqueue(NodeId dst, std::vector<std::uint8_t> payload);
 
   /// Synchronously flushes every link's buffer (tests / quiesce points).
@@ -70,7 +76,7 @@ class FrameBatcher {
 
  private:
   struct LinkBuffer {
-    std::vector<std::vector<std::uint8_t>> members;
+    std::vector<FrameBuilder> members;
     std::size_t bytes = 0;
     std::chrono::steady_clock::time_point oldest{};
   };

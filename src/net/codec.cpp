@@ -1,10 +1,37 @@
 #include "net/codec.h"
 
+#include <atomic>
 #include <cstring>
 
 #include "core/error.h"
+#include "support/stats.h"
 
 namespace alps::net {
+
+namespace {
+
+std::atomic<bool> g_zero_copy{true};
+
+/// Truncation guard, written so an attacker-controlled length field can
+/// never overflow the comparison: `n` is checked against the *remaining*
+/// bytes, not added to `pos` first.
+void need(const Buffer& in, std::size_t pos, std::size_t n) {
+  if (pos > in.size() || n > in.size() - pos) {
+    raise(ErrorCode::kBadMessage, "truncated frame");
+  }
+}
+
+}  // namespace
+
+void set_zero_copy_data_plane(bool enabled) {
+  g_zero_copy.store(enabled, std::memory_order_relaxed);
+}
+
+bool zero_copy_data_plane() {
+  return g_zero_copy.load(std::memory_order_relaxed);
+}
+
+// ---- primitives ------------------------------------------------------------
 
 void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
   out.push_back(v);
@@ -23,39 +50,149 @@ void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
   out.insert(out.end(), s.begin(), s.end());
 }
 
-namespace {
-void need(const std::vector<std::uint8_t>& in, std::size_t pos, std::size_t n) {
-  if (pos + n > in.size()) {
-    raise(ErrorCode::kBadMessage, "truncated frame");
-  }
-}
-}  // namespace
-
-std::uint8_t get_u8(const std::vector<std::uint8_t>& in, std::size_t& pos) {
+std::uint8_t get_u8(const Buffer& in, std::size_t& pos) {
   need(in, pos, 1);
   return in[pos++];
 }
 
-std::uint32_t get_u32(const std::vector<std::uint8_t>& in, std::size_t& pos) {
+std::uint32_t get_u32(const Buffer& in, std::size_t& pos) {
   need(in, pos, 4);
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[pos++]) << (8 * i);
   return v;
 }
 
-std::uint64_t get_u64(const std::vector<std::uint8_t>& in, std::size_t& pos) {
+std::uint64_t get_u64(const Buffer& in, std::size_t& pos) {
   need(in, pos, 8);
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[pos++]) << (8 * i);
   return v;
 }
 
-std::string get_string(const std::vector<std::uint8_t>& in, std::size_t& pos) {
+std::string get_string(const Buffer& in, std::size_t& pos) {
   const std::uint32_t n = get_u32(in, pos);
   need(in, pos, n);
   std::string s(reinterpret_cast<const char*>(in.data() + pos), n);
   pos += n;
   return s;
+}
+
+// ---- FrameBuilder ----------------------------------------------------------
+
+FrameBuilder FrameBuilder::from_bytes(std::vector<std::uint8_t> bytes) {
+  FrameBuilder fb;
+  fb.size_ = bytes.size();
+  fb.arena_ = std::move(bytes);
+  return fb;
+}
+
+void FrameBuilder::put_u8(std::uint8_t v) {
+  arena_.push_back(v);
+  ++size_;
+}
+
+void FrameBuilder::put_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    arena_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  size_ += 4;
+}
+
+void FrameBuilder::put_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    arena_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  size_ += 8;
+}
+
+void FrameBuilder::put_string(const std::string& s) {
+  put_u32(static_cast<std::uint32_t>(s.size()));
+  put_bytes(s.data(), s.size());
+}
+
+void FrameBuilder::put_bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  arena_.insert(arena_.end(), p, p + n);
+  size_ += n;
+}
+
+void FrameBuilder::append_slice(const Buffer& slice) {
+  if (!zero_copy_data_plane() || !slice.owned() ||
+      slice.size() < kZeroCopySliceThreshold) {
+    put_bytes(slice.data(), slice.size());
+    return;
+  }
+  slices_.push_back(Slice{arena_.size(), slice});
+  size_ += slice.size();
+}
+
+void FrameBuilder::append(const FrameBuilder& other) {
+  std::size_t consumed = 0;
+  for (const auto& s : other.slices_) {
+    put_bytes(other.arena_.data() + consumed, s.arena_prefix - consumed);
+    consumed = s.arena_prefix;
+    slices_.push_back(Slice{arena_.size(), s.bytes});
+    size_ += s.bytes.size();
+  }
+  put_bytes(other.arena_.data() + consumed, other.arena_.size() - consumed);
+  // The arena re-copy is a real intermediate copy; remember it so the
+  // accounting at build() does not under-report envelope assembly.
+  copied_extra_ += other.arena_.size() + other.copied_extra_;
+}
+
+void FrameBuilder::patch_u64(std::size_t offset, std::uint64_t v) {
+  if (offset + 8 > patchable_prefix()) {
+    raise(ErrorCode::kBadMessage, "frame patch outside header arena");
+  }
+  for (int i = 0; i < 8; ++i) {
+    arena_[offset + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+void FrameBuilder::patch_u8_or(std::size_t offset, std::uint8_t bits) {
+  if (offset >= patchable_prefix()) {
+    raise(ErrorCode::kBadMessage, "frame patch outside header arena");
+  }
+  arena_[offset] |= bits;
+}
+
+void FrameBuilder::build_into(std::vector<std::uint8_t>& out) const {
+  out.reserve(out.size() + size_);
+  std::size_t consumed = 0;
+  std::size_t referenced = 0;
+  for (const auto& s : slices_) {
+    out.insert(out.end(), arena_.begin() + static_cast<std::ptrdiff_t>(consumed),
+               arena_.begin() + static_cast<std::ptrdiff_t>(s.arena_prefix));
+    consumed = s.arena_prefix;
+    out.insert(out.end(), s.bytes.begin(), s.bytes.end());
+    referenced += s.bytes.size();
+  }
+  out.insert(out.end(), arena_.begin() + static_cast<std::ptrdiff_t>(consumed),
+             arena_.end());
+  auto& dp = support::data_plane();
+  dp.bytes_copied.add(arena_.size() + copied_extra_);
+  dp.bytes_referenced.add(referenced);
+  dp.frames_assembled.add(1);
+  dp.bytes_assembled.add(size_);
+}
+
+std::vector<std::uint8_t> FrameBuilder::build() const {
+  std::vector<std::uint8_t> out;
+  build_into(out);
+  return out;
+}
+
+// ---- frame headers ---------------------------------------------------------
+
+void encode_request_header(const RequestHeader& h, FrameBuilder& out) {
+  out.put_u8(static_cast<std::uint8_t>(MsgType::kRequest));
+  out.put_u64(h.req_id);
+  out.put_u64(h.epoch);
+  out.put_u64(h.ack_through);
+  out.put_u64(h.deadline_ms);
+  out.put_string(h.object);
+  out.put_string(h.entry);
 }
 
 void encode_request_header(const RequestHeader& h,
@@ -69,8 +206,7 @@ void encode_request_header(const RequestHeader& h,
   put_string(out, h.entry);
 }
 
-RequestHeader decode_request_header(const std::vector<std::uint8_t>& in,
-                                    std::size_t& pos) {
+RequestHeader decode_request_header(const Buffer& in, std::size_t& pos) {
   RequestHeader h;
   h.req_id = get_u64(in, pos);
   h.epoch = get_u64(in, pos);
@@ -81,6 +217,13 @@ RequestHeader decode_request_header(const std::vector<std::uint8_t>& in,
   return h;
 }
 
+void encode_response_header(const ResponseHeader& h, FrameBuilder& out) {
+  out.put_u8(static_cast<std::uint8_t>(MsgType::kResponse));
+  out.put_u64(h.req_id);
+  out.put_u8(static_cast<std::uint8_t>(h.cause));
+  out.put_u8(h.flags);
+}
+
 void encode_response_header(const ResponseHeader& h,
                             std::vector<std::uint8_t>& out) {
   put_u8(out, static_cast<std::uint8_t>(MsgType::kResponse));
@@ -89,8 +232,7 @@ void encode_response_header(const ResponseHeader& h,
   put_u8(out, h.flags);
 }
 
-ResponseHeader decode_response_header(const std::vector<std::uint8_t>& in,
-                                      std::size_t& pos) {
+ResponseHeader decode_response_header(const Buffer& in, std::size_t& pos) {
   ResponseHeader h;
   h.req_id = get_u64(in, pos);
   const std::uint8_t cause = get_u8(in, pos);
@@ -110,8 +252,7 @@ void encode_wrong_node(const WrongNodeHeader& h,
   put_string(out, h.object);
 }
 
-WrongNodeHeader decode_wrong_node(const std::vector<std::uint8_t>& in,
-                                  std::size_t& pos) {
+WrongNodeHeader decode_wrong_node(const Buffer& in, std::size_t& pos) {
   WrongNodeHeader h;
   h.req_id = get_u64(in, pos);
   h.home = get_u64(in, pos);
@@ -129,15 +270,24 @@ void encode_batch(const std::vector<std::vector<std::uint8_t>>& members,
   }
 }
 
-std::vector<std::vector<std::uint8_t>> decode_batch(
-    const std::vector<std::uint8_t>& in, std::size_t& pos) {
+void encode_batch(const std::vector<FrameBuilder>& members,
+                  FrameBuilder& out) {
+  out.put_u8(static_cast<std::uint8_t>(MsgType::kBatch));
+  out.put_u32(static_cast<std::uint32_t>(members.size()));
+  for (const auto& m : members) {
+    out.put_u32(static_cast<std::uint32_t>(m.size()));
+    out.append(m);
+  }
+}
+
+std::vector<Buffer> decode_batch_slices(const Buffer& in, std::size_t& pos) {
   const std::uint32_t n = get_u32(in, pos);
   // Each member costs at least its 4-byte length prefix plus a type byte;
   // a count beyond the remaining bytes is a corrupt frame, not a reserve().
   if (n > in.size() - pos) {
     raise(ErrorCode::kBadMessage, "batch count exceeds frame size");
   }
-  std::vector<std::vector<std::uint8_t>> members;
+  std::vector<Buffer> members;
   members.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     const std::uint32_t len = get_u32(in, pos);
@@ -145,10 +295,18 @@ std::vector<std::vector<std::uint8_t>> decode_batch(
       raise(ErrorCode::kBadMessage, "empty batch member");
     }
     need(in, pos, len);
-    members.emplace_back(in.begin() + static_cast<std::ptrdiff_t>(pos),
-                         in.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    members.push_back(in.slice(pos, len));
     pos += len;
   }
+  return members;
+}
+
+std::vector<std::vector<std::uint8_t>> decode_batch(const Buffer& in,
+                                                    std::size_t& pos) {
+  const std::vector<Buffer> slices = decode_batch_slices(in, pos);
+  std::vector<std::vector<std::uint8_t>> members;
+  members.reserve(slices.size());
+  for (const auto& s : slices) members.push_back(s.to_blob());
   return members;
 }
 
@@ -157,42 +315,48 @@ void encode_ack(std::uint64_t ack_through, std::vector<std::uint8_t>& out) {
   put_u64(out, ack_through);
 }
 
-std::uint64_t decode_ack(const std::vector<std::uint8_t>& in,
-                         std::size_t& pos) {
+std::uint64_t decode_ack(const Buffer& in, std::size_t& pos) {
   return get_u64(in, pos);
 }
 
-void encode_value(const Value& v, std::vector<std::uint8_t>& out,
+// ---- values ----------------------------------------------------------------
+
+void encode_value(const Value& v, FrameBuilder& out,
                   ChannelResolver* resolver) {
-  put_u8(out, static_cast<std::uint8_t>(v.kind()));
+  out.put_u8(static_cast<std::uint8_t>(v.kind()));
   switch (v.kind()) {
     case ValueKind::kNil:
       return;
     case ValueKind::kBool:
-      put_u8(out, v.as_bool() ? 1 : 0);
+      out.put_u8(v.as_bool() ? 1 : 0);
       return;
     case ValueKind::kInt:
-      put_u64(out, static_cast<std::uint64_t>(v.as_int()));
+      out.put_u64(static_cast<std::uint64_t>(v.as_int()));
       return;
     case ValueKind::kReal: {
       std::uint64_t bits;
       const double d = v.as_real();
       std::memcpy(&bits, &d, sizeof bits);
-      put_u64(out, bits);
+      out.put_u64(bits);
       return;
     }
-    case ValueKind::kString:
-      put_string(out, v.as_string());
+    case ValueKind::kString: {
+      // Large strings ride as slices of their shared storage — the Value
+      // keeps the string alive for as long as any frame references it.
+      auto shared = v.shared_string();
+      out.put_u32(static_cast<std::uint32_t>(shared->size()));
+      out.append_slice(Buffer::from_shared(std::move(shared)));
       return;
+    }
     case ValueKind::kBlob: {
-      const Blob& b = v.as_blob();
-      put_u32(out, static_cast<std::uint32_t>(b.size()));
-      out.insert(out.end(), b.begin(), b.end());
+      const Buffer& b = v.as_blob();
+      out.put_u32(static_cast<std::uint32_t>(b.size()));
+      out.append_slice(b);
       return;
     }
     case ValueKind::kList: {
       const ValueList& list = v.as_list();
-      put_u32(out, static_cast<std::uint32_t>(list.size()));
+      out.put_u32(static_cast<std::uint32_t>(list.size()));
       for (const auto& x : list) encode_value(x, out, resolver);
       return;
     }
@@ -202,15 +366,22 @@ void encode_value(const Value& v, std::vector<std::uint8_t>& out,
               "channel in value but no channel resolver supplied");
       }
       auto [node, id] = resolver->encode_channel(v.as_channel());
-      put_u64(out, node);
-      put_u64(out, id);
+      out.put_u64(node);
+      out.put_u64(id);
       return;
     }
   }
   raise(ErrorCode::kBadMessage, "unencodable value kind");
 }
 
-Value decode_value(const std::vector<std::uint8_t>& in, std::size_t& pos,
+void encode_value(const Value& v, std::vector<std::uint8_t>& out,
+                  ChannelResolver* resolver) {
+  FrameBuilder fb;
+  encode_value(v, fb, resolver);
+  fb.build_into(out);
+}
+
+Value decode_value(const Buffer& in, std::size_t& pos,
                    ChannelResolver* resolver) {
   const auto kind = static_cast<ValueKind>(get_u8(in, pos));
   switch (kind) {
@@ -226,14 +397,34 @@ Value decode_value(const std::vector<std::uint8_t>& in, std::size_t& pos,
       std::memcpy(&d, &bits, sizeof d);
       return Value(d);
     }
-    case ValueKind::kString:
-      return Value(get_string(in, pos));
+    case ValueKind::kString: {
+      const std::uint32_t n = get_u32(in, pos);
+      need(in, pos, n);
+      // Strings materialize (std::string representation), but directly into
+      // the shared storage the Value will hand out — one copy, no re-wrap.
+      auto s = std::make_shared<const std::string>(
+          reinterpret_cast<const char*>(in.data() + pos), n);
+      pos += n;
+      support::data_plane().bytes_copied.add(n);
+      return Value(std::move(s));
+    }
     case ValueKind::kBlob: {
       const std::uint32_t n = get_u32(in, pos);
       need(in, pos, n);
+      if (zero_copy_data_plane() && in.owned() &&
+          n >= kZeroCopySliceThreshold) {
+        // Alias the received frame: the blob Value shares the frame's
+        // storage and keeps it alive. The whole frame stays resident while
+        // any such Value lives — the standard slice-aliasing tradeoff.
+        Buffer b = in.slice(pos, n);
+        pos += n;
+        support::data_plane().bytes_referenced.add(n);
+        return Value(std::move(b));
+      }
       Blob b(in.begin() + static_cast<std::ptrdiff_t>(pos),
              in.begin() + static_cast<std::ptrdiff_t>(pos + n));
       pos += n;
+      support::data_plane().bytes_copied.add(n);
       return Value(std::move(b));
     }
     case ValueKind::kList: {
@@ -265,13 +456,20 @@ Value decode_value(const std::vector<std::uint8_t>& in, std::size_t& pos,
   raise(ErrorCode::kBadMessage, "unknown value tag");
 }
 
-void encode_list(const ValueList& list, std::vector<std::uint8_t>& out,
+void encode_list(const ValueList& list, FrameBuilder& out,
                  ChannelResolver* resolver) {
-  put_u32(out, static_cast<std::uint32_t>(list.size()));
+  out.put_u32(static_cast<std::uint32_t>(list.size()));
   for (const auto& v : list) encode_value(v, out, resolver);
 }
 
-ValueList decode_list(const std::vector<std::uint8_t>& in, std::size_t& pos,
+void encode_list(const ValueList& list, std::vector<std::uint8_t>& out,
+                 ChannelResolver* resolver) {
+  FrameBuilder fb;
+  encode_list(list, fb, resolver);
+  fb.build_into(out);
+}
+
+ValueList decode_list(const Buffer& in, std::size_t& pos,
                       ChannelResolver* resolver) {
   const std::uint32_t n = get_u32(in, pos);
   if (n > in.size() - pos) {

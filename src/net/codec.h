@@ -5,12 +5,21 @@
 // help: a channel reference crossing the wire is encoded as its (home node,
 // channel id) pair, and the ChannelResolver — implemented by net::Node —
 // turns that pair back into a local reference or a forwarding proxy.
+//
+// Zero-copy assembly (DESIGN.md §4.9). Frames are built through a
+// FrameBuilder: headers and small values are encoded into an inline arena,
+// while large string/blob payloads ride as refcounted Buffer slices. The
+// scatter-gather list is flattened exactly once, by build(), into the wire
+// vector — so a payload that travels through encode, a retransmit cache and
+// a batch envelope is still written once. On the decode side, blob payloads
+// of an *owned* frame buffer alias the frame instead of copying out of it.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "core/buffer.h"
 #include "core/value.h"
 
 namespace alps::net {
@@ -46,6 +55,89 @@ enum class WireCause : std::uint8_t {
 /// Response flag bits.
 inline constexpr std::uint8_t kResponseFlagReplayed = 0x01;
 
+/// Payloads at or above this size are carried as Buffer slices through
+/// frame assembly (and aliased out of owned frames on decode); smaller ones
+/// are cheaper to copy into the arena than to track as segments.
+inline constexpr std::size_t kZeroCopySliceThreshold = 256;
+
+/// A/B strawman switch for the payload benches: disabling zero-copy makes
+/// append_slice copy into the arena and the decoder always materialize —
+/// the seed data plane's behavior — so bench_payload can interleave both
+/// modes in one binary. Defaults to enabled.
+void set_zero_copy_data_plane(bool enabled);
+bool zero_copy_data_plane();
+
+/// Scatter-gather frame under assembly: an inline arena for headers and
+/// small values, plus ordered Buffer slices for large payloads. Copyable —
+/// a copy duplicates the arena (tens of bytes) and bumps slice refcounts,
+/// which is what makes retransmit payloads and dedup response caches cheap
+/// to keep. build() flattens into the single wire write and flushes the
+/// data-plane counters (support/stats.h).
+class FrameBuilder {
+ public:
+  FrameBuilder() = default;
+
+  /// Adopts an already-encoded frame (vector move, no byte copy). The bytes
+  /// land in the arena, so the result stays patchable.
+  static FrameBuilder from_bytes(std::vector<std::uint8_t> bytes);
+
+  void put_u8(std::uint8_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  /// u32 length prefix + bytes, into the arena.
+  void put_string(const std::string& s);
+  /// Raw bytes into the arena (no length prefix).
+  void put_bytes(const void* data, std::size_t n);
+
+  /// Appends payload bytes: referenced as a slice when zero-copy is on, the
+  /// slice owns its storage and meets kZeroCopySliceThreshold; copied into
+  /// the arena otherwise. (Borrowed views are always copied — the frame may
+  /// outlive the caller's storage.)
+  void append_slice(const Buffer& slice);
+
+  /// Splices another builder's contents: its arena bytes are copied (header
+  /// material), its slices are re-referenced. This is how a batch envelope
+  /// absorbs member frames without re-copying their payloads.
+  void append(const FrameBuilder& other);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Bytes held inline vs. referenced as slices (accounting/tests).
+  std::size_t bytes_inline() const { return arena_.size(); }
+  std::size_t bytes_referenced() const { return size_ - arena_.size(); }
+
+  /// In-place header patches (ack watermark re-route, replay flag). The
+  /// offset must fall inside the leading arena run — header fields always
+  /// do, since headers are encoded before any payload slice. Throws
+  /// Error(kBadMessage) otherwise.
+  void patch_u64(std::size_t offset, std::uint64_t v);
+  void patch_u8_or(std::size_t offset, std::uint8_t bits);
+
+  /// Flattens the scatter-gather list into one contiguous wire vector (the
+  /// data plane's single copy of referenced payloads).
+  std::vector<std::uint8_t> build() const;
+  /// As build(), but appends to `out` (batch envelopes, legacy wrappers).
+  void build_into(std::vector<std::uint8_t>& out) const;
+
+ private:
+  struct Slice {
+    std::size_t arena_prefix;  ///< arena bytes emitted before this slice
+    Buffer bytes;
+  };
+
+  /// Frame bytes that are contiguous arena from offset 0 (patch window).
+  std::size_t patchable_prefix() const {
+    return slices_.empty() ? arena_.size() : slices_.front().arena_prefix;
+  }
+
+  std::vector<std::uint8_t> arena_;
+  std::vector<Slice> slices_;
+  std::size_t size_ = 0;
+  /// Arena bytes re-copied by append() (envelope splices) — folded into
+  /// bytes_copied at build so intermediate copies stay visible.
+  std::size_t copied_extra_ = 0;
+};
+
 struct RequestHeader {
   std::uint64_t req_id = 0;
   std::uint64_t epoch = 0;        ///< caller's dedup epoch (see rpc.h)
@@ -70,6 +162,8 @@ struct ResponseHeader {
 };
 
 /// Appends the MsgType byte plus the header fields.
+void encode_request_header(const RequestHeader& h, FrameBuilder& out);
+void encode_response_header(const ResponseHeader& h, FrameBuilder& out);
 void encode_request_header(const RequestHeader& h,
                            std::vector<std::uint8_t>& out);
 void encode_response_header(const ResponseHeader& h,
@@ -77,13 +171,12 @@ void encode_response_header(const ResponseHeader& h,
 void encode_ack(std::uint64_t ack_through, std::vector<std::uint8_t>& out);
 
 /// Decoders assume the MsgType byte has already been consumed; they throw
-/// Error(kBadMessage) on truncation or an out-of-range cause byte.
-RequestHeader decode_request_header(const std::vector<std::uint8_t>& in,
-                                    std::size_t& pos);
-ResponseHeader decode_response_header(const std::vector<std::uint8_t>& in,
-                                      std::size_t& pos);
-std::uint64_t decode_ack(const std::vector<std::uint8_t>& in,
-                         std::size_t& pos);
+/// Error(kBadMessage) on truncation or an out-of-range cause byte. Inputs
+/// are Buffers — a plain byte vector converts to a borrowed view, an owned
+/// Buffer (e.g. a received frame) additionally enables payload aliasing.
+RequestHeader decode_request_header(const Buffer& in, std::size_t& pos);
+ResponseHeader decode_response_header(const Buffer& in, std::size_t& pos);
+std::uint64_t decode_ack(const Buffer& in, std::size_t& pos);
 
 /// Typed redirect: the receiving node does not host `object`, but the
 /// cluster directory says `home` does. Stateless on the server (no dedup
@@ -101,18 +194,23 @@ struct WrongNodeHeader {
 
 void encode_wrong_node(const WrongNodeHeader& h,
                        std::vector<std::uint8_t>& out);
-WrongNodeHeader decode_wrong_node(const std::vector<std::uint8_t>& in,
-                                  std::size_t& pos);
+WrongNodeHeader decode_wrong_node(const Buffer& in, std::size_t& pos);
 
 /// Batch frame: `count` member frames, each length-prefixed. Members are
 /// complete frame payloads (type byte first) and must not themselves be
 /// batches — the dispatch layer rejects nesting, so a hostile frame cannot
-/// recurse. decode_batch validates every length against the remaining
-/// bytes and rejects empty members (no type byte).
+/// recurse. Decoders validate every length against the remaining bytes and
+/// reject empty members (no type byte).
 void encode_batch(const std::vector<std::vector<std::uint8_t>>& members,
                   std::vector<std::uint8_t>& out);
-std::vector<std::vector<std::uint8_t>> decode_batch(
-    const std::vector<std::uint8_t>& in, std::size_t& pos);
+/// Scatter-gather envelope: member headers/arenas are spliced, member
+/// payload slices stay referenced — the whole batch is written once.
+void encode_batch(const std::vector<FrameBuilder>& members, FrameBuilder& out);
+std::vector<std::vector<std::uint8_t>> decode_batch(const Buffer& in,
+                                                    std::size_t& pos);
+/// Members as slices of `in` (zero-copy when `in` is owned) — the dispatch
+/// path's form; member decode can then alias payloads of the original frame.
+std::vector<Buffer> decode_batch_slices(const Buffer& in, std::size_t& pos);
 
 /// Byte offset of the flags field inside an encoded response payload
 /// (type + req_id + cause); the server flips the replayed bit in its cached
@@ -137,20 +235,26 @@ class ChannelResolver {
   virtual ChannelRef decode_channel(std::uint64_t node, std::uint64_t id) = 0;
 };
 
-/// Appends the encoding of `v` to `out`. Throws Error(kBadMessage) when a
-/// channel is present and `resolver` is null.
+/// Appends the encoding of `v`. Throws Error(kBadMessage) when a channel is
+/// present and `resolver` is null. Large string/blob payloads become slices
+/// of the builder (no byte copy); the vector overload flattens immediately.
+void encode_value(const Value& v, FrameBuilder& out,
+                  ChannelResolver* resolver = nullptr);
 void encode_value(const Value& v, std::vector<std::uint8_t>& out,
                   ChannelResolver* resolver = nullptr);
 
 /// Decodes one value starting at `pos` (which advances past it). Throws
-/// Error(kBadMessage) on malformed input.
-Value decode_value(const std::vector<std::uint8_t>& in, std::size_t& pos,
+/// Error(kBadMessage) on malformed input. Blob payloads >=
+/// kZeroCopySliceThreshold alias `in` when it owns its storage.
+Value decode_value(const Buffer& in, std::size_t& pos,
                    ChannelResolver* resolver = nullptr);
 
+void encode_list(const ValueList& list, FrameBuilder& out,
+                 ChannelResolver* resolver = nullptr);
 void encode_list(const ValueList& list, std::vector<std::uint8_t>& out,
                  ChannelResolver* resolver = nullptr);
 
-ValueList decode_list(const std::vector<std::uint8_t>& in, std::size_t& pos,
+ValueList decode_list(const Buffer& in, std::size_t& pos,
                       ChannelResolver* resolver = nullptr);
 
 // Primitive writers/readers (exposed for the frame headers in rpc.cpp).
@@ -158,9 +262,9 @@ void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v);
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v);
 void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v);
 void put_string(std::vector<std::uint8_t>& out, const std::string& s);
-std::uint8_t get_u8(const std::vector<std::uint8_t>& in, std::size_t& pos);
-std::uint32_t get_u32(const std::vector<std::uint8_t>& in, std::size_t& pos);
-std::uint64_t get_u64(const std::vector<std::uint8_t>& in, std::size_t& pos);
-std::string get_string(const std::vector<std::uint8_t>& in, std::size_t& pos);
+std::uint8_t get_u8(const Buffer& in, std::size_t& pos);
+std::uint32_t get_u32(const Buffer& in, std::size_t& pos);
+std::uint64_t get_u64(const Buffer& in, std::size_t& pos);
+std::string get_string(const Buffer& in, std::size_t& pos);
 
 }  // namespace alps::net

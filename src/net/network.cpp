@@ -136,6 +136,7 @@ void Network::post(Frame frame) {
     const bool cut = partitioned_locked(frame.src, frame.dst);
     ++total_posted_;
     ++stats_.frames_posted;
+    stats_.bytes_posted += frame.payload.size();
     if (cut) {
       ++stats_.frames_lost;
       return;

@@ -54,6 +54,7 @@ struct LinkFaults {
 
 struct NetworkStats {
   std::uint64_t frames_posted = 0;      // every post(), incl. lost frames
+  std::uint64_t bytes_posted = 0;       // payload bytes across all posts
   std::uint64_t frames_delivered = 0;
   std::uint64_t bytes_delivered = 0;
   std::uint64_t frames_dropped = 0;     // dst unknown or no handler

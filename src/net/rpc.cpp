@@ -22,14 +22,11 @@ constexpr std::size_t kMaxDedupPerCaller = 256;
 /// typed instead of ping-ponging forever.
 constexpr int kMaxRedirects = 8;
 
-/// Patches the piggybacked ack watermark inside an encoded request frame
+/// Patches the piggybacked ack watermark inside a stored request frame
 /// (little-endian u64 at kRequestAckOffset) without re-encoding — the
 /// req_id/epoch dedup key bytes stay untouched across a re-route.
-void patch_request_ack(std::vector<std::uint8_t>& payload, std::uint64_t ack) {
-  for (int i = 0; i < 8; ++i) {
-    payload[kRequestAckOffset + static_cast<std::size_t>(i)] =
-        static_cast<std::uint8_t>(ack >> (8 * i));
-  }
+void patch_request_ack(FrameBuilder& frame, std::uint64_t ack) {
+  frame.patch_u64(kRequestAckOffset, ack);
 }
 
 /// Dedup epochs distinguish distinct Node incarnations, so a fresh node
@@ -220,6 +217,16 @@ std::optional<NodeId> Node::cached_route(const std::string& object) const {
   return it->second;
 }
 
+void Node::post_frame(NodeId dst, FrameBuilder frame) {
+  if (auto* b = batcher_raw_.load(std::memory_order_acquire)) {
+    // Hand the scatter-gather form to the batcher: payload slices stay
+    // referenced until the envelope's single build.
+    b->enqueue(dst, std::move(frame));
+    return;
+  }
+  network_->post(Frame{id_, dst, frame.build()});
+}
+
 void Node::post_frame(NodeId dst, std::vector<std::uint8_t> payload) {
   if (auto* b = batcher_raw_.load(std::memory_order_acquire)) {
     b->enqueue(dst, std::move(payload));
@@ -264,9 +271,9 @@ ChannelRef Node::decode_channel(std::uint64_t node, std::uint64_t id) {
   ChannelRef proxy = make_channel("proxy:" + std::to_string(node) + "/" +
                                   std::to_string(id));
   proxy->set_forward([this, node, id](ValueList message) {
-    std::vector<std::uint8_t> payload;
-    put_u8(payload, static_cast<std::uint8_t>(MsgType::kChanSend));
-    put_u64(payload, id);
+    FrameBuilder payload;
+    payload.put_u8(static_cast<std::uint8_t>(MsgType::kChanSend));
+    payload.put_u64(id);
     encode_list(message, payload, this);
     post_frame(node, std::move(payload));
     return true;
@@ -298,7 +305,7 @@ std::shared_ptr<CallState> Node::start_call(NodeId target,
   }
   if (req_id_out) *req_id_out = req_id;
 
-  std::vector<std::uint8_t> payload;
+  FrameBuilder payload;
   // Ship the deadline so the serving kernel enforces it at the object, not
   // just this side's retry timer.
   const std::uint64_t deadline_ms =
@@ -320,7 +327,7 @@ std::shared_ptr<CallState> Node::start_call(NodeId target,
     p.target = target;
     p.object = object_name;
     p.label = object_name + "." + entry;
-    p.payload = payload;  // keep a re-sendable copy
+    p.frame = payload;  // re-sendable copy: arena + slice refcounts, O(1)/byte
     p.retry = opts.retry.has_value();
     if (p.retry) {
       p.policy = *opts.retry;
@@ -467,7 +474,7 @@ void Node::retry_loop(const std::stop_token& st) {
     ++p.attempts;
     ++client_stats_.retransmits;
     const NodeId target = p.target;
-    std::vector<std::uint8_t> payload = p.payload;
+    FrameBuilder payload = p.frame;
     double jitter_scale = 1.0;
     if (p.policy.jitter > 0.0) {
       jitter_scale += p.policy.jitter * (rng_.next_double() * 2.0 - 1.0);
@@ -513,11 +520,15 @@ void Node::cancel_request(std::uint64_t req_id) {
 // ---- frame dispatch --------------------------------------------------------
 
 void Node::handle_frame(Frame frame) {
-  dispatch_payload(frame.src, frame.payload, /*batched=*/false);
+  // Promote the delivered payload to shared ownership (vector move, no byte
+  // copy): decoded blob params and batch members can then alias the frame
+  // instead of copying out of it, keeping it alive only as long as needed.
+  auto owned = std::make_shared<const Blob>(std::move(frame.payload));
+  dispatch_payload(frame.src, Buffer::from_shared(std::move(owned)),
+                   /*batched=*/false);
 }
 
-void Node::dispatch_payload(NodeId from,
-                            const std::vector<std::uint8_t>& payload,
+void Node::dispatch_payload(NodeId from, const Buffer& payload,
                             bool batched) {
   std::size_t pos = 0;
   try {
@@ -543,7 +554,7 @@ void Node::dispatch_payload(NodeId from,
         // Members dispatch in order, preserving the link's FIFO semantics.
         // Each member is its own dispatch: one malformed member is dropped
         // without taking down its batch-mates.
-        const auto members = decode_batch(payload, pos);
+        const auto members = decode_batch_slices(payload, pos);
         for (const auto& member : members) {
           dispatch_payload(from, member, /*batched=*/true);
         }
@@ -557,8 +568,7 @@ void Node::dispatch_payload(NodeId from,
   }
 }
 
-void Node::handle_wrong_node(NodeId /*from*/,
-                             const std::vector<std::uint8_t>& payload,
+void Node::handle_wrong_node(NodeId /*from*/, const Buffer& payload,
                              std::size_t pos) {
   const WrongNodeHeader header = decode_wrong_node(payload, pos);
   std::shared_ptr<CallState> failed_state;
@@ -566,7 +576,7 @@ void Node::handle_wrong_node(NodeId /*from*/,
   int failed_attempts = 1;
   std::vector<std::uint8_t> ack;
   NodeId ack_target = 0;
-  std::vector<std::uint8_t> resend;
+  FrameBuilder resend;
   {
     std::scoped_lock lock(mu_);
     // The redirect carries fresh placement news; take it even if the call it
@@ -605,8 +615,8 @@ void Node::handle_wrong_node(NodeId /*from*/,
       outstanding_[header.home].insert(header.req_id);
       auto& last = last_sent_[header.home];
       if (last < header.req_id) last = header.req_id;
-      patch_request_ack(p.payload, ack_watermark_locked(header.home));
-      resend = p.payload;  // the retry timer keeps covering loss of this copy
+      patch_request_ack(p.frame, ack_watermark_locked(header.home));
+      resend = p.frame;  // the retry timer keeps covering loss of this copy
     }
   }
   if (failed_state) {
@@ -648,7 +658,7 @@ void Node::shrink_dedup_locked(CallerTable& table) {
   }
 }
 
-void Node::handle_request(NodeId from, const std::vector<std::uint8_t>& payload,
+void Node::handle_request(NodeId from, const Buffer& payload,
                           std::size_t pos) {
   const RequestHeader header = decode_request_header(payload, pos);
   ValueList params = decode_list(payload, pos, this);
@@ -657,7 +667,7 @@ void Node::handle_request(NodeId from, const std::vector<std::uint8_t>& payload,
   // cached response; one still executing is dropped (its response will go
   // out when the body finishes). Only a first arrival of a locally hosted
   // object dispatches — misrouted requests leave no dedup state at all.
-  std::vector<std::uint8_t> replay;
+  FrameBuilder replay;
   std::vector<std::uint8_t> reject;
   bool in_flight_dup = false;
   Object* object = nullptr;
@@ -686,7 +696,7 @@ void Node::handle_request(NodeId from, const std::vector<std::uint8_t>& payload,
         it != table.entries.end()) {
       if (it->second.done) {
         replay = it->second.response;
-        replay[kResponseFlagsOffset] |= kResponseFlagReplayed;
+        replay.patch_u8_or(kResponseFlagsOffset, kResponseFlagReplayed);
         ++server_stats_.dedup_replayed;
       } else {
         ++server_stats_.dup_in_flight;
@@ -744,12 +754,12 @@ void Node::handle_request(NodeId from, const std::vector<std::uint8_t>& payload,
   auto respond = [this, from, req_id = header.req_id, epoch = header.epoch](
                      WireCause cause, ValueList results,
                      const std::string& error) {
-    std::vector<std::uint8_t> out;
+    FrameBuilder out;
     encode_response_header(ResponseHeader{req_id, cause, 0}, out);
     if (cause == WireCause::kOk) {
       encode_list(results, out, this);
     } else {
-      put_string(out, error);
+      out.put_string(error);
     }
     {
       std::scoped_lock lock(mu_);
@@ -815,8 +825,7 @@ void Node::handle_request(NodeId from, const std::vector<std::uint8_t>& payload,
   });
 }
 
-void Node::handle_response(NodeId from,
-                           const std::vector<std::uint8_t>& payload,
+void Node::handle_response(NodeId from, const Buffer& payload,
                            std::size_t pos) {
   const ResponseHeader header = decode_response_header(payload, pos);
   // Decode the body before touching bookkeeping so a corrupt frame cannot
@@ -870,7 +879,7 @@ void Node::handle_response(NodeId from,
   if (!ack.empty()) post_frame(from, std::move(ack));
 }
 
-void Node::handle_ack(NodeId from, const std::vector<std::uint8_t>& payload,
+void Node::handle_ack(NodeId from, const Buffer& payload,
                       std::size_t pos) {
   const std::uint64_t ack_through = decode_ack(payload, pos);
   std::scoped_lock lock(mu_);
@@ -879,8 +888,7 @@ void Node::handle_ack(NodeId from, const std::vector<std::uint8_t>& payload,
   evict_dedup_locked(it->second, ack_through);
 }
 
-void Node::handle_chan_send(const std::vector<std::uint8_t>& payload,
-                            std::size_t pos) {
+void Node::handle_chan_send(const Buffer& payload, std::size_t pos) {
   const std::uint64_t chan_id = get_u64(payload, pos);
   ValueList message = decode_list(payload, pos, this);
   ChannelRef channel;

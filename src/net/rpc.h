@@ -328,7 +328,10 @@ class Node : public ChannelResolver {
     NodeId target = 0;
     std::string object;                  // target object (route-cache upkeep)
     std::string label;                   // "object.entry" for diagnostics
-    std::vector<std::uint8_t> payload;   // encoded request frame, re-sendable
+    /// Request frame in scatter-gather form, re-sendable: a retransmit
+    /// copies the builder (header arena + payload slice refcounts) instead
+    /// of a full encoded frame.
+    FrameBuilder frame;
     bool retry = false;
     RetryPolicy policy;
     int attempts = 1;
@@ -339,7 +342,10 @@ class Node : public ChannelResolver {
 
   struct DedupEntry {
     bool done = false;
-    std::vector<std::uint8_t> response;  // cached encoded response frame
+    /// Cached response still in scatter-gather form — large results are
+    /// held as slices shared with the original send, so caching a response
+    /// for replay costs O(participants), not O(bytes).
+    FrameBuilder response;
   };
 
   struct CallerTable {
@@ -365,19 +371,14 @@ class Node : public ChannelResolver {
 
   void handle_frame(Frame frame);
   /// Dispatches one decoded payload (a direct frame or a kBatch member).
-  /// `batched` rejects nested kBatch envelopes.
-  void dispatch_payload(NodeId from, const std::vector<std::uint8_t>& payload,
-                        bool batched);
-  void handle_request(NodeId from, const std::vector<std::uint8_t>& payload,
-                      std::size_t pos);
-  void handle_response(NodeId from, const std::vector<std::uint8_t>& payload,
-                       std::size_t pos);
-  void handle_chan_send(const std::vector<std::uint8_t>& payload,
-                        std::size_t pos);
-  void handle_ack(NodeId from, const std::vector<std::uint8_t>& payload,
-                  std::size_t pos);
-  void handle_wrong_node(NodeId from, const std::vector<std::uint8_t>& payload,
-                         std::size_t pos);
+  /// `payload` owns its storage (the received frame), so blob params can
+  /// alias it instead of copying. `batched` rejects nested kBatch envelopes.
+  void dispatch_payload(NodeId from, const Buffer& payload, bool batched);
+  void handle_request(NodeId from, const Buffer& payload, std::size_t pos);
+  void handle_response(NodeId from, const Buffer& payload, std::size_t pos);
+  void handle_chan_send(const Buffer& payload, std::size_t pos);
+  void handle_ack(NodeId from, const Buffer& payload, std::size_t pos);
+  void handle_wrong_node(NodeId from, const Buffer& payload, std::size_t pos);
 
   std::shared_ptr<CallState> start_call(NodeId target,
                                         const std::string& object_name,
@@ -394,8 +395,11 @@ class Node : public ChannelResolver {
                                               const CallOptions& opts,
                                               std::uint64_t* req_id_out);
 
-  /// Sends one payload to dst — through the batcher when enabled, straight
-  /// to the network otherwise. Never called with mu_ held.
+  /// Sends one frame to dst — through the batcher when enabled (keeping the
+  /// scatter-gather form so the envelope re-references payload slices),
+  /// built and posted straight to the network otherwise. Never called with
+  /// mu_ held.
+  void post_frame(NodeId dst, FrameBuilder frame);
   void post_frame(NodeId dst, std::vector<std::uint8_t> payload);
 
   /// The ack watermark safe to piggyback on a frame to `target`: no req_id

@@ -116,6 +116,11 @@ void Histogram::reset() {
   sum_ = 0.0;
 }
 
+DataPlaneStats& data_plane() {
+  static DataPlaneStats stats;
+  return stats;
+}
+
 std::string format_rate(double ops_per_sec) {
   char num[64];
   std::snprintf(num, sizeof num, "%.0f", ops_per_sec);

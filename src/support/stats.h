@@ -100,6 +100,31 @@ class Counter {
   std::atomic<std::uint64_t> v_{0};
 };
 
+/// Process-wide data-plane accounting (DESIGN.md §4.9). The codec's
+/// FrameBuilder flushes one set of adds per assembled frame (never per byte)
+/// and the value decoder adds per payload, so the counters are cheap enough
+/// to stay always-on. `bytes_copied` counts payload bytes memcpy'd into
+/// intermediate storage (frame arenas, decode materialization);
+/// `bytes_referenced` counts bytes that crossed the data plane as refcounted
+/// slices instead. The single final gather into the wire vector is
+/// `bytes_assembled` — every frame pays it exactly once by construction.
+struct DataPlaneStats {
+  Counter bytes_copied;
+  Counter bytes_referenced;
+  Counter frames_assembled;
+  Counter bytes_assembled;
+
+  void reset() {
+    bytes_copied.reset();
+    bytes_referenced.reset();
+    frames_assembled.reset();
+    bytes_assembled.reset();
+  }
+};
+
+/// The process-wide instance (benches reset() it between A/B phases).
+DataPlaneStats& data_plane();
+
 /// Formats n as ops/s with thousands grouping, e.g. "1,234,567 ops/s".
 std::string format_rate(double ops_per_sec);
 

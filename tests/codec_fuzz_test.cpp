@@ -102,6 +102,114 @@ TEST_P(CodecFuzz, SingleByteCorruptionNeverCrashes) {
   }
 }
 
+// ---- hostile length fields -------------------------------------------------
+//
+// Length prefixes are attacker-controlled: a flipped byte can claim a 4 GB
+// string inside a 20-byte frame. Every decode path must reject it with a
+// typed kBadMessage — never resize/reserve to the claimed length first.
+
+void expect_bad_message(const std::vector<std::uint8_t>& buf) {
+  std::size_t pos = 0;
+  try {
+    (void)decode_list(buf, pos);
+    FAIL() << "hostile frame decoded";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadMessage);
+  }
+}
+
+TEST(CodecHostile, OversizedStringLengthRejected) {
+  std::vector<std::uint8_t> buf;
+  put_u32(buf, 1);  // one element
+  put_u8(buf, static_cast<std::uint8_t>(ValueKind::kString));
+  put_u32(buf, 0xFFFFFFFFu);  // claims 4 GB of chars
+  put_string(buf, "tiny");    // actual bytes: far fewer
+  expect_bad_message(buf);
+}
+
+TEST(CodecHostile, OversizedBlobLengthRejected) {
+  std::vector<std::uint8_t> buf;
+  put_u32(buf, 1);
+  put_u8(buf, static_cast<std::uint8_t>(ValueKind::kBlob));
+  put_u32(buf, 0x7FFFFFFFu);
+  put_u8(buf, 0xAB);  // one actual byte
+  expect_bad_message(buf);
+}
+
+TEST(CodecHostile, OversizedListCountRejected) {
+  std::vector<std::uint8_t> buf;
+  put_u32(buf, 0xFFFFFF00u);  // count far beyond the remaining bytes
+  expect_bad_message(buf);
+}
+
+TEST(CodecHostile, OversizedLengthAgainstOwnedFrameRejected) {
+  // The aliasing path (owned input) takes a different branch than borrowed
+  // views; the guard must hold there too.
+  std::vector<std::uint8_t> raw;
+  put_u32(raw, 1);
+  put_u8(raw, static_cast<std::uint8_t>(ValueKind::kBlob));
+  put_u32(raw, 0xFFFF0000u);
+  for (int i = 0; i < 16; ++i) put_u8(raw, 0x55);
+  Buffer frame = Buffer::adopt(std::move(raw));
+  std::size_t pos = 0;
+  try {
+    (void)decode_list(frame, pos);
+    FAIL() << "hostile frame decoded";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadMessage);
+  }
+}
+
+TEST(CodecHostile, OversizedHeaderStringRejected) {
+  std::vector<std::uint8_t> buf;
+  encode_request_header(RequestHeader{1, 2, 3, 0, "Dict", "Get"}, buf);
+  // The object-name length prefix sits right after the four u64 fields.
+  const std::size_t name_len_at = 1 + 8 * 4;
+  buf[name_len_at + 3] = 0xFF;  // now claims a ~4 GB object name
+  std::size_t pos = 1;
+  EXPECT_THROW((void)decode_request_header(buf, pos), Error);
+}
+
+TEST(CodecHostile, ZeroLengthStringAndBlobRoundTrip) {
+  // Degenerate-but-legal payloads must survive, not be confused with the
+  // hostile cases above.
+  ValueList original{Value(std::string()), Value(Blob{})};
+  std::vector<std::uint8_t> buf;
+  encode_list(original, buf);
+  std::size_t pos = 0;
+  ValueList decoded = decode_list(buf, pos);
+  EXPECT_EQ(pos, buf.size());
+  EXPECT_EQ(decoded, original);
+  EXPECT_TRUE(decoded[0].as_string().empty());
+  EXPECT_TRUE(decoded[1].as_blob().empty());
+}
+
+TEST(CodecHostile, ZeroLengthBatchMemberRejected) {
+  std::vector<std::uint8_t> buf;
+  put_u8(buf, static_cast<std::uint8_t>(MsgType::kBatch));
+  put_u32(buf, 1);  // one member...
+  put_u32(buf, 0);  // ...of zero bytes (no type byte — meaningless)
+  std::size_t pos = 1;
+  try {
+    (void)decode_batch(buf, pos);
+    FAIL() << "empty batch member decoded";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadMessage);
+  }
+}
+
+TEST(CodecHostile, OversizedBatchMemberLengthRejected) {
+  std::vector<std::uint8_t> member;
+  encode_ack(5, member);
+  std::vector<std::uint8_t> buf;
+  put_u8(buf, static_cast<std::uint8_t>(MsgType::kBatch));
+  put_u32(buf, 1);
+  put_u32(buf, 0xFFFFFFF0u);  // claimed member length >> remaining bytes
+  buf.insert(buf.end(), member.begin(), member.end());
+  std::size_t pos = 1;
+  EXPECT_THROW((void)decode_batch_slices(buf, pos), Error);
+}
+
 // ---- RPC frame headers (request/response/ack) ------------------------------
 
 /// Decodes a full request frame the way Node::handle_frame does: type byte,
