@@ -70,7 +70,7 @@ void BM_BatchedThroughput(benchmark::State& state) {
     if (batch > 0) clients.back()->set_batching(batch_options(batch));
   }
 
-  const auto frames_before = network.stats().frames_posted;
+  const auto frames_before = network.transport_stats().frames_posted;
   std::int64_t calls = 0;
   std::vector<net::RpcHandle> handles;
   handles.reserve(fan_in * kWindow);
@@ -86,7 +86,7 @@ void BM_BatchedThroughput(benchmark::State& state) {
     }
     calls += static_cast<std::int64_t>(handles.size());
   }
-  const auto frames = network.stats().frames_posted - frames_before;
+  const auto frames = network.transport_stats().frames_posted - frames_before;
 
   state.counters["frames_per_call"] = benchmark::Counter(
       static_cast<double>(frames) /

@@ -3,25 +3,279 @@
 // an executing remote procedure using message passing on point-to-point
 // channels."
 //
-// A dictionary object (with its combining manager) lives on a server node of
-// a simulated network; clients on other nodes call Search over RPC, and a
-// progress-reporting entry streams updates back through a channel the client
-// passed as a parameter. A final lossy phase turns on 15% frame drop and
-// repeats the searches under a RetryPolicy — every call still completes, and
-// the server executes each at most once.
+// Three modes share this binary:
 //
 //   $ example_distributed_dictionary
+//       The original single-process demo on the *simulated* network: a
+//       dictionary object with its combining manager on a server node,
+//       clients calling Search over RPC, channels as parameters, a lossy
+//       phase under retries, and a multiactive phase.
+//
+//   $ example_distributed_dictionary driver <n> [--smoke]
+//       Real multi-process deployment: spawns <n> dictionary server
+//       *processes* (one OS process per node, Unix-domain sockets between
+//       them via net::SocketTransport) and drives them by object name. The
+//       driver deliberately mis-seeds one route to show a kWrongNode
+//       redirect healing a stale directory replica, runs every insert under
+//       an aggressive RetryPolicy, and asserts exactly-once execution from
+//       the servers' own counters. --smoke shrinks the workload (ctest).
+//
+//   $ example_distributed_dictionary serve <i> <n> <dir>
+//       Internal: server process i of n (started by the driver).
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/dictionary.h"
 #include "core/alps.h"
 #include "net/net.h"
 #include "support/rng.h"
+#include "support/sync.h"
 
-int main() {
-  using namespace alps;
+namespace {
 
+using namespace alps;
+
+// ---- multi-process cluster plumbing ----------------------------------------
+
+/// NodeId 0 is the driver; servers are 1..n. Every process gets the same
+/// static cluster map — the unix socket path of each node's listener.
+net::SocketTransportOptions cluster_options(net::NodeId self, int n,
+                                            const std::string& dir) {
+  net::SocketTransportOptions opts;
+  opts.local_node = self;
+  opts.local_name = self == 0 ? "driver" : "server-" + std::to_string(self);
+  auto path_of = [&dir](net::NodeId id) {
+    return dir + "/" + std::to_string(id) + ".sock";
+  };
+  opts.listen = net::SocketAddress::unix_path(path_of(self));
+  for (net::NodeId id = 0; id <= static_cast<net::NodeId>(n); ++id) {
+    if (id == self) continue;
+    opts.peers.push_back(net::SocketPeer{
+        id, id == 0 ? "driver" : "server-" + std::to_string(id),
+        net::SocketAddress::unix_path(path_of(id))});
+  }
+  return opts;
+}
+
+std::string dict_name(int i) { return "Dict-" + std::to_string(i); }
+std::string ctl_name(int i) { return "Ctl-" + std::to_string(i); }
+
+/// Server process `i` of `n`: hosts one dictionary plus a control object
+/// (Stats for the exactly-once audit, Shutdown to exit). Blocks until the
+/// driver calls Shutdown.
+int run_server(int i, int n, const std::string& dir) {
+  net::SocketTransport transport(cluster_options(i, n, dir));
+  net::Node node(transport, "server-" + std::to_string(i));
+
+  apps::Dictionary dict(support::make_word_list(16),
+                        {.object_name = dict_name(i)});
+  node.host(dict.object());
+
+  support::Event quit;
+  Object ctl(ctl_name(i));
+  auto stats = ctl.define_entry({.name = "Stats", .params = 0, .results = 2});
+  ctl.implement(stats, [&dict](BodyCtx&) -> ValueList {
+    const auto s = dict.stats();
+    return {Value(static_cast<std::int64_t>(s.inserts)),
+            Value(static_cast<std::int64_t>(s.requests))};
+  });
+  auto shutdown =
+      ctl.define_entry({.name = "Shutdown", .params = 0, .results = 0});
+  ctl.implement(shutdown, [&quit](BodyCtx&) -> ValueList {
+    quit.set();
+    return {};
+  });
+  ctl.start();
+  node.host(ctl);
+
+  // This process's directory replica: its own objects registered via host();
+  // every sibling's placement comes from the same static config the driver
+  // uses. (A stale entry here is not fatal — kWrongNode redirects heal it.)
+  for (int j = 1; j <= n; ++j) {
+    if (j == i) continue;
+    transport.directory().add(dict_name(j), static_cast<net::NodeId>(j));
+    transport.directory().add(ctl_name(j), static_cast<net::NodeId>(j));
+  }
+
+  quit.wait();
+  // quit is set from inside the Shutdown body; its response frame is posted
+  // only after the body returns. Give the reply a moment to be enqueued,
+  // then drain the wire before tearing down.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  transport.wait_quiescent();
+  ctl.stop();
+  return 0;
+}
+
+/// Driver: spawns n server processes, then exercises the cluster over real
+/// sockets — name-based calls, a deliberate stale route healed by
+/// kWrongNode, aggressive retries, and an exactly-once audit against the
+/// servers' own insert counters. Returns nonzero on any failed check.
+int run_driver(int n, bool smoke) {
+  char dir_template[] = "/tmp/alps-dict-XXXXXX";
+  if (::mkdtemp(dir_template) == nullptr) {
+    std::perror("mkdtemp");
+    return 1;
+  }
+  const std::string dir = dir_template;
+
+  std::vector<pid_t> children;
+  for (int i = 1; i <= n; ++i) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return 1;
+    }
+    if (pid == 0) {
+      ::execl("/proc/self/exe", "example_distributed_dictionary", "serve",
+              std::to_string(i).c_str(), std::to_string(n).c_str(),
+              dir.c_str(), static_cast<char*>(nullptr));
+      std::perror("execl");
+      std::_Exit(127);
+    }
+    children.push_back(pid);
+  }
+
+  int failures = 0;
+  auto check = [&failures](bool ok, const char* what) {
+    if (!ok) {
+      ++failures;
+      std::fprintf(stderr, "FAIL: %s\n", what);
+    }
+    return ok;
+  };
+
+  {
+    // Scope the transport so it tears down before waitpid.
+    net::SocketTransport transport(cluster_options(0, n, dir));
+    net::Node driver(transport, "driver");
+
+    // Static placement knowledge — with one deliberate lie: the last
+    // dictionary is claimed to live on node 1. The first call to it will
+    // land wrong, earn a kWrongNode redirect from node 1's honest replica,
+    // and heal this process's route cache in-band.
+    for (int i = 1; i <= n; ++i) {
+      const bool lie = n >= 2 && i == n;
+      transport.directory().add(dict_name(i),
+                                static_cast<net::NodeId>(lie ? 1 : i));
+      transport.directory().add(ctl_name(i), static_cast<net::NodeId>(i));
+    }
+
+    // Servers are up once their listeners exist.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(15);
+    for (int i = 1; i <= n; ++i) {
+      const auto sock = dir + "/" + std::to_string(i) + ".sock";
+      while (!std::filesystem::exists(sock)) {
+        if (std::chrono::steady_clock::now() > deadline) {
+          std::fprintf(stderr, "server %d never came up\n", i);
+          return 1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+
+    // Aggressive retries: a 10 ms attempt timeout forces retransmissions
+    // across connect latency and scheduling noise — which is the point: the
+    // per-server insert counters must still show exactly one execution per
+    // key (at-most-once dedup over a real transport).
+    net::CallOptions reliable;
+    net::RetryPolicy policy;
+    policy.attempt_timeout = std::chrono::milliseconds(10);
+    reliable.retry = policy;
+    reliable.deadline = std::chrono::seconds(30);
+
+    const int keys_per_server = smoke ? 24 : 200;
+    int insert_failures = 0;
+    for (int i = 1; i <= n; ++i) {
+      for (int k = 0; k < keys_per_server; ++k) {
+        const std::string key =
+            "key-" + std::to_string(i) + "-" + std::to_string(k);
+        auto r = driver.call(dict_name(i), "Insert",
+                             vals(key, "value of " + key), reliable);
+        if (!r.ok()) {
+          ++insert_failures;
+          std::fprintf(stderr, "insert %s: %s\n", key.c_str(),
+                       r.error().what());
+        }
+      }
+    }
+    check(insert_failures == 0, "every insert completes over the sockets");
+
+    // Redirect audit: the lie about Dict-n must have been corrected by a
+    // kWrongNode hop, not by luck.
+    if (n >= 2) {
+      check(driver.client_stats().redirects >= 1,
+            "stale replica heals via kWrongNode redirect");
+      check(driver.cached_route(dict_name(n)) ==
+                std::optional<net::NodeId>(static_cast<net::NodeId>(n)),
+            "route cache learns the true home");
+    }
+
+    // Read-back round-trip through each server.
+    for (int i = 1; i <= n; ++i) {
+      const std::string key = "key-" + std::to_string(i) + "-0";
+      auto r = driver.call(dict_name(i), "Search", vals(key), reliable);
+      check(r.ok() && r.value()[0].as_string() == "value of " + key,
+            "search returns the inserted value");
+    }
+
+    // Exactly-once audit: each server's own insert counter must equal the
+    // number of distinct keys sent to it, no matter how many retransmits
+    // the aggressive policy produced.
+    std::uint64_t retransmits = driver.client_stats().retransmits;
+    for (int i = 1; i <= n; ++i) {
+      auto r = driver.call(ctl_name(i), "Stats", {}, reliable);
+      if (!check(r.ok(), "control Stats call completes")) continue;
+      const auto inserts = r.value()[0].as_int();
+      if (!check(inserts == keys_per_server,
+                 "server executed each insert exactly once")) {
+        std::fprintf(stderr, "  server %d: %lld inserts for %d keys\n", i,
+                     static_cast<long long>(inserts), keys_per_server);
+      }
+    }
+    std::printf(
+        "multi-process: %d servers x %d keys, %llu retransmits, "
+        "exactly-once %s\n",
+        n, keys_per_server, static_cast<unsigned long long>(retransmits),
+        failures == 0 ? "held" : "VIOLATED");
+
+    for (int i = 1; i <= n; ++i) {
+      // Shutdown responses race process exit; tolerate a lost reply.
+      net::CallOptions lenient;
+      lenient.deadline = std::chrono::seconds(5);
+      lenient.retry = net::RetryPolicy{};
+      driver.call(ctl_name(i), "Shutdown", {}, lenient);
+    }
+  }
+
+  for (pid_t pid : children) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) < 0) {
+      std::perror("waitpid");
+      ++failures;
+    } else if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "server pid %d exited abnormally (status %d)\n",
+                   static_cast<int>(pid), status);
+      ++failures;
+    }
+  }
+  std::filesystem::remove_all(dir);
+  return failures == 0 ? 0 : 1;
+}
+
+// ---- original single-process demo on the simulated network -----------------
+
+int run_sim_demo() {
   // A 3-node network with 200±100us link latency.
   net::Network network(net::LinkLatency{std::chrono::microseconds(200),
                                         std::chrono::microseconds(100)},
@@ -115,7 +369,7 @@ int main() {
                                       ss.dup_acked),
       static_cast<unsigned long long>(dict.stats().requests - dict_before));
 
-  const auto net_stats = network.stats();
+  const auto net_stats = network.transport_stats();
   std::printf("network: %llu frames, %llu bytes, %llu lost\n",
               static_cast<unsigned long long>(net_stats.frames_delivered),
               static_cast<unsigned long long>(net_stats.bytes_delivered),
@@ -161,4 +415,30 @@ int main() {
 
   reporter.stop();
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
+    if (argc != 5) {
+      std::fprintf(stderr, "usage: %s serve <i> <n> <dir>\n", argv[0]);
+      return 2;
+    }
+    return run_server(std::atoi(argv[2]), std::atoi(argv[3]), argv[4]);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "driver") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: %s driver <n> [--smoke]\n", argv[0]);
+      return 2;
+    }
+    const int n = std::atoi(argv[2]);
+    const bool smoke = argc >= 4 && std::strcmp(argv[3], "--smoke") == 0;
+    if (n < 1) {
+      std::fprintf(stderr, "driver needs at least one server\n");
+      return 2;
+    }
+    return run_driver(n, smoke);
+  }
+  return run_sim_demo();
 }

@@ -23,6 +23,9 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
+echo "== multi-process smoke: 2 server processes over unix sockets =="
+./build/examples/example_distributed_dictionary driver 2 --smoke
+
 if [[ "$TIER1_ONLY" == 1 ]]; then
   echo "verify: tier-1 OK"
   exit 0
@@ -35,6 +38,7 @@ SAN_SUITES=(
   core_supervision_test core_multiactive_test core_trace_test
   sched_executor_test sched_executor_stress_test
   net_test net_failure_test net_fault_test net_routing_test
+  net_socket_test
   codec_fuzz_test integration_test
 )
 

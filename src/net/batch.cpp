@@ -23,17 +23,18 @@ void FrameBatcher::collect_locked(NodeId dst, LinkBuffer& buf,
                                   std::vector<Flush>& out) {
   if (buf.members.empty()) return;
   if (buf.members.size() == 1) {
-    out.emplace_back(dst, buf.members.front().build());
+    out.emplace_back(dst, std::move(buf.members.front()));
     ++stats_.singles_posted;
   } else {
-    // One envelope, one gather: member headers splice into the envelope's
-    // arena, member payload slices stay referenced until the single
-    // build() below — the members' bytes hit contiguous memory exactly once.
+    // One envelope, still in scatter-gather form: member headers splice into
+    // the envelope's arena, member payload slices stay referenced. Whether
+    // the members' bytes ever hit contiguous memory is the transport's call
+    // (the sim builds once at post; a socket writes the segments directly).
     FrameBuilder envelope;
     encode_batch(buf.members, envelope);
     stats_.frames_coalesced += buf.members.size();
     ++stats_.batches_posted;
-    out.emplace_back(dst, envelope.build());
+    out.emplace_back(dst, std::move(envelope));
   }
   buf.members.clear();
   buf.bytes = 0;

@@ -27,7 +27,7 @@
 #include <vector>
 
 #include "net/codec.h"
-#include "net/network.h"
+#include "net/transport.h"
 
 namespace alps::net {
 
@@ -44,8 +44,10 @@ struct BatchOptions {
 /// happen inline on the enqueuing thread. The destructor flushes residue.
 class FrameBatcher {
  public:
-  using PostFn =
-      std::function<void(NodeId dst, std::vector<std::uint8_t> payload)>;
+  /// Flushes leave in scatter-gather form so the transport can keep the
+  /// batch envelope on the writev path (a socket backend sends the segment
+  /// list directly; the sim builds it at post).
+  using PostFn = std::function<void(NodeId dst, FrameBuilder frame)>;
 
   struct Stats {
     std::uint64_t frames_enqueued = 0;
@@ -80,7 +82,7 @@ class FrameBatcher {
     std::size_t bytes = 0;
     std::chrono::steady_clock::time_point oldest{};
   };
-  using Flush = std::pair<NodeId, std::vector<std::uint8_t>>;
+  using Flush = std::pair<NodeId, FrameBuilder>;
 
   /// Drains `buf` into one outgoing payload appended to `out`. Caller holds
   /// mu_; the actual post happens outside the lock.

@@ -1,5 +1,6 @@
 #include "net/codec.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 
@@ -181,6 +182,33 @@ std::vector<std::uint8_t> FrameBuilder::build() const {
   std::vector<std::uint8_t> out;
   build_into(out);
   return out;
+}
+
+void FrameBuilder::segments(std::vector<Segment>& out) const {
+  std::size_t consumed = 0;
+  for (const auto& s : slices_) {
+    if (s.arena_prefix > consumed) {
+      out.push_back(Segment{arena_.data() + consumed, s.arena_prefix - consumed});
+    }
+    consumed = s.arena_prefix;
+    if (!s.bytes.empty()) {
+      out.push_back(Segment{s.bytes.data(), s.bytes.size()});
+    }
+  }
+  if (arena_.size() > consumed) {
+    out.push_back(Segment{arena_.data() + consumed, arena_.size() - consumed});
+  }
+}
+
+void FrameBuilder::note_sent_scattered() const {
+  std::size_t referenced = 0;
+  for (const auto& s : slices_) referenced += s.bytes.size();
+  auto& dp = support::data_plane();
+  dp.bytes_copied.add(arena_.size() + copied_extra_);
+  dp.bytes_referenced.add(referenced);
+  dp.frames_assembled.add(1);
+  // bytes_assembled deliberately stays put: the scatter list went to the
+  // wire as-is, the final gather never happened.
 }
 
 // ---- frame headers ---------------------------------------------------------
@@ -481,6 +509,95 @@ ValueList decode_list(const Buffer& in, std::size_t& pos,
     list.push_back(decode_value(in, pos, resolver));
   }
   return list;
+}
+
+// ---- stream framing --------------------------------------------------------
+
+void encode_stream_header(NodeId src, std::size_t payload_bytes,
+                          std::uint8_t out[kStreamHeaderBytes]) {
+  if (payload_bytes > kMaxStreamFrameBytes - 8) {
+    raise(ErrorCode::kBadMessage, "stream frame exceeds the size bound");
+  }
+  if (payload_bytes == 0) {
+    // Every real payload starts with a MsgType byte; the reassembler rejects
+    // length 8 as corruption, so refuse to produce it.
+    raise(ErrorCode::kBadMessage, "stream frame with empty payload");
+  }
+  const auto length = static_cast<std::uint32_t>(payload_bytes + 8);
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<std::uint8_t>(length >> (8 * i));
+  }
+  for (int i = 0; i < 8; ++i) {
+    out[4 + i] = static_cast<std::uint8_t>(src >> (8 * i));
+  }
+}
+
+void StreamReassembler::feed(const void* data, std::size_t n) {
+  if (poisoned_) {
+    raise(ErrorCode::kBadMessage, "stream poisoned by an earlier bad length");
+  }
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    if (body_ == nullptr) {
+      // Accumulating a (possibly torn) chunk header.
+      const std::size_t take = std::min(n, kStreamHeaderBytes - header_fill_);
+      std::memcpy(header_ + header_fill_, p, take);
+      header_fill_ += take;
+      p += take;
+      n -= take;
+      if (header_fill_ < kStreamHeaderBytes) return;
+      std::uint32_t length = 0;
+      for (int i = 0; i < 4; ++i) {
+        length |= static_cast<std::uint32_t>(header_[i]) << (8 * i);
+      }
+      src_ = 0;
+      for (int i = 0; i < 8; ++i) {
+        src_ |= static_cast<NodeId>(header_[4 + i]) << (8 * i);
+      }
+      if (length > kMaxStreamFrameBytes) {
+        // A wild length field means the stream is desynced; there is no way
+        // to find the next frame boundary, so refuse everything from here on
+        // (the owning connection tears down).
+        poisoned_ = true;
+        raise(ErrorCode::kBadMessage,
+              "stream frame length " + std::to_string(length) +
+                  " exceeds the " + std::to_string(kMaxStreamFrameBytes) +
+                  " byte bound");
+      }
+      if (length < 9) {
+        // Shorter than src + one MsgType byte: no valid frame fits.
+        poisoned_ = true;
+        raise(ErrorCode::kBadMessage, "stream frame length too small");
+      }
+      header_fill_ = 0;
+      body_ = std::make_shared<Blob>(length - 8);
+      body_fill_ = 0;
+    }
+    const std::size_t take = std::min(n, body_->size() - body_fill_);
+    std::memcpy(body_->data() + body_fill_, p, take);
+    body_fill_ += take;
+    p += take;
+    n -= take;
+    if (body_fill_ == body_->size()) {
+      ready_.push_back(Message{src_, Buffer::from_shared(
+                                         std::shared_ptr<const Blob>(body_))});
+      body_.reset();
+      body_fill_ = 0;
+    }
+  }
+}
+
+std::optional<StreamReassembler::Message> StreamReassembler::next() {
+  if (ready_pos_ >= ready_.size()) {
+    ready_.clear();
+    ready_pos_ = 0;
+    return std::nullopt;
+  }
+  return std::move(ready_[ready_pos_++]);
+}
+
+std::size_t StreamReassembler::buffered_bytes() const {
+  return header_fill_ + body_fill_;
 }
 
 }  // namespace alps::net

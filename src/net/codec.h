@@ -16,11 +16,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/buffer.h"
 #include "core/value.h"
+#include "net/transport.h"
 
 namespace alps::net {
 
@@ -119,6 +122,25 @@ class FrameBuilder {
   /// As build(), but appends to `out` (batch envelopes, legacy wrappers).
   void build_into(std::vector<std::uint8_t>& out) const;
 
+  /// One contiguous piece of the frame, in wire order. A writev-style send
+  /// path hands these to the kernel directly — no gather ever happens.
+  struct Segment {
+    const void* data;
+    std::size_t size;
+  };
+
+  /// Appends this frame's pieces (alternating arena runs and referenced
+  /// slices) to `out` in wire order. The views stay valid only while this
+  /// builder is alive and unmodified.
+  void segments(std::vector<Segment>& out) const;
+
+  /// Flushes the data-plane counters for a frame sent scattered (writev):
+  /// arena/copied bytes count as copied, slices as referenced, and — the
+  /// whole point — bytes_assembled advances by zero, because no contiguous
+  /// frame was ever built. Call exactly once per wire send, in place of the
+  /// flush build() would have done.
+  void note_sent_scattered() const;
+
  private:
   struct Slice {
     std::size_t arena_prefix;  ///< arena bytes emitted before this slice
@@ -211,6 +233,75 @@ std::vector<std::vector<std::uint8_t>> decode_batch(const Buffer& in,
 /// Members as slices of `in` (zero-copy when `in` is owned) — the dispatch
 /// path's form; member decode can then alias payloads of the original frame.
 std::vector<Buffer> decode_batch_slices(const Buffer& in, std::size_t& pos);
+
+// ---- stream framing (byte-stream transports) -------------------------------
+//
+// A socket carries a byte stream, not frames; this layer restores frame
+// boundaries with a fixed 12-byte chunk header:
+//
+//   [u32 length][u64 src]  followed by `length - 8` payload bytes
+//
+// `length` counts the src field plus the payload, so a complete chunk is
+// kStreamHeaderBytes - 8 + length bytes on the wire. The payload is a normal
+// frame (MsgType byte first) and feeds the same dispatch path as a simulated
+// delivery. Lengths are validated before any allocation: a corrupt or
+// hostile peer can at worst cost kMaxStreamFrameBytes of buffering.
+
+/// Fixed size of the chunk header: u32 length + u64 src.
+inline constexpr std::size_t kStreamHeaderBytes = 12;
+
+/// Upper bound on one stream frame's `length` field (64 MiB). Anything
+/// larger is rejected as kBadMessage — a real frame never gets close, so an
+/// oversized length means stream corruption or a hostile peer.
+inline constexpr std::uint32_t kMaxStreamFrameBytes = 64u << 20;
+
+/// Writes the chunk header for a frame of `payload_bytes` payload from
+/// `src` into `out` (exactly kStreamHeaderBytes). Throws Error(kBadMessage)
+/// if the frame would exceed kMaxStreamFrameBytes.
+void encode_stream_header(NodeId src, std::size_t payload_bytes,
+                          std::uint8_t out[kStreamHeaderBytes]);
+
+/// Incremental reassembler for one connection's byte stream. feed() accepts
+/// arbitrarily torn reads (a header split across reads, a payload arriving
+/// in fragments, several frames in one read); next() yields complete frames
+/// in order. Each frame's payload is an *owned* Buffer, so ≥256 B blob
+/// decodes alias it exactly as they alias a simulated delivery. A connection
+/// dying mid-frame simply drops the reassembler with the partial frame —
+/// mid_frame() lets the owner count that.
+class StreamReassembler {
+ public:
+  struct Message {
+    NodeId src = 0;
+    Buffer payload;  ///< owned; frame bytes (MsgType first)
+  };
+
+  /// Appends `n` raw bytes read from the stream. Throws Error(kBadMessage)
+  /// on an oversized or undersized length field; the stream is then poisoned
+  /// (every later feed rethrows) because byte-stream framing cannot resync.
+  void feed(const void* data, std::size_t n);
+
+  /// Next complete frame, if one is ready.
+  std::optional<Message> next();
+
+  /// True while a frame is partially buffered (torn header or body) — what
+  /// a mid-frame connection drop abandons.
+  bool mid_frame() const { return header_fill_ > 0 || body_ != nullptr; }
+
+  /// Bytes buffered towards the current incomplete frame.
+  std::size_t buffered_bytes() const;
+
+ private:
+  std::uint8_t header_[kStreamHeaderBytes];
+  std::size_t header_fill_ = 0;
+  /// Body under reassembly; shared so the completed frame's Buffer can
+  /// alias it without a copy.
+  std::shared_ptr<Blob> body_;
+  std::size_t body_fill_ = 0;
+  NodeId src_ = 0;
+  std::vector<Message> ready_;
+  std::size_t ready_pos_ = 0;
+  bool poisoned_ = false;
+};
 
 /// Byte offset of the flags field inside an encoded response payload
 /// (type + req_id + cause); the server flips the replayed bit in its cached

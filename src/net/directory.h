@@ -3,11 +3,14 @@
 // The paper pitches entry calls as RPCs so that "a parallel program can be
 // executed on a distributed system without change" (§1, §4) — which needs a
 // cluster-level view of where each object lives, not caller-managed node
-// ids. The Network owns one Directory as the authoritative map; Node::host
-// and Node::unhost keep it current, and each node caches resolutions
-// per-object. A stale cache is corrected in-band: the wrong node answers
-// with a typed kWrongNode redirect carrying the directory's current home
-// (see rpc.h), so placement can change without touching callers.
+// ids. Every Transport owns one Directory; the simulated Network's instance
+// is authoritative for the whole in-process cluster, while a SocketTransport
+// owns this process's replica, seeded from static placement config.
+// Node::host and Node::unhost keep it current, and each node caches
+// resolutions per-object. A stale cache (or stale replica) is corrected
+// in-band: the wrong node answers with a typed kWrongNode redirect carrying
+// its directory's current home (see rpc.h), so placement can change without
+// touching callers.
 #pragma once
 
 #include <cstdint>
@@ -17,7 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "net/network.h"
+#include "net/transport.h"
 
 namespace alps::net {
 

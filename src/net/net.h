@@ -1,7 +1,9 @@
 // Umbrella header for the distribution substrate (S8), mirroring core/alps.h.
 //
-//   net::Network       simulated multi-node network: per-link latency,
+//   net::Transport     backend seam: post frames, register handlers, stats
+//   net::Network       simulated multi-node transport: per-link latency,
 //                      fault injection (drop/duplicate/reorder/partition)
+//   net::SocketTransport  real TCP / Unix-socket transport between processes
 //   net::Directory     cluster map object name → home node (kWrongNode heals
 //                      stale per-node route caches in-band)
 //   net::Node          hosts kernel Objects; retry timer + at-most-once dedup;
@@ -18,3 +20,5 @@
 #include "net/directory.h"
 #include "net/network.h"
 #include "net/rpc.h"
+#include "net/transport.h"
+#include "net/transport_socket.h"

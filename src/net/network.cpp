@@ -27,7 +27,7 @@ NodeId Network::add_node(const std::string& name) {
   return node_names_.size() - 1;
 }
 
-void Network::set_handler(NodeId node, std::function<void(Frame)> handler) {
+void Network::set_handler(NodeId node, Handler handler) {
   std::unique_lock lock(mu_);
   if (node >= handlers_.size()) {
     raise(ErrorCode::kNetwork, "set_handler on unknown node");
@@ -163,7 +163,7 @@ void Network::post(Frame frame) {
     // not advance it, so later frames are unaffected).
     auto& link = last_due_[(frame.src << 32) | (frame.dst & 0xffffffffu)];
     if (reorder) {
-      if (due < link.max_due) ++stats_.frames_reordered;
+      if (due < link.max_due) ++fault_stats_.frames_reordered;
     } else {
       if (due < link.clamp) due = link.clamp;
       link.clamp = due;
@@ -175,7 +175,7 @@ void Network::post(Frame frame) {
         extra = std::chrono::microseconds(rng_.next_below(
             static_cast<std::uint64_t>(faults.duplicate_jitter.count()) + 1));
       }
-      ++stats_.frames_duplicated;
+      ++fault_stats_.frames_duplicated;
       queue_.push(Scheduled{due + extra, next_seq_++, frame});  // copy
     }
     queue_.push(Scheduled{due, next_seq_++, std::move(frame)});
@@ -208,7 +208,7 @@ void Network::delivery_loop(const std::stop_token& st) {
     }
     Frame frame = std::move(const_cast<Scheduled&>(queue_.top()).frame);
     queue_.pop();
-    std::function<void(Frame)> handler;
+    Handler handler;
     if (frame.dst < handlers_.size()) handler = handlers_[frame.dst];
     if (!handler) {
       ++stats_.frames_dropped;
@@ -218,17 +218,26 @@ void Network::delivery_loop(const std::stop_token& st) {
     stats_.bytes_delivered += frame.payload.size();
     delivering_ = true;
     delivering_to_ = frame.dst;
+    // Promote the payload to shared ownership (vector move, no byte copy):
+    // decoded blob params and batch members can then alias the frame.
+    Buffer payload = Buffer::adopt(std::move(frame.payload));
     lock.unlock();
-    handler(std::move(frame));  // outside the lock: handlers may post frames
+    // Outside the lock: handlers may post frames.
+    handler(frame.src, std::move(payload));
     lock.lock();
     delivering_ = false;
     idle_cv_.notify_all();
   }
 }
 
-NetworkStats Network::stats() const {
+TransportStats Network::transport_stats() const {
   std::scoped_lock lock(mu_);
   return stats_;
+}
+
+SimFaultStats Network::fault_stats() const {
+  std::scoped_lock lock(mu_);
+  return fault_stats_;
 }
 
 std::size_t Network::node_count() const {

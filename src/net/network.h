@@ -1,13 +1,19 @@
-// Simulated multi-node network.
+// Simulated multi-node transport.
 //
 // The ALPS kernel was being implemented on a 16-node transputer network
-// (§4); no such hardware here, so this module simulates the substrate the
-// RPC layer needs: named nodes, point-to-point frames, per-link latency
-// (base + uniform jitter, deterministic under a seed), delivery on a
-// dedicated thread, and traffic accounting. The substitution preserves the
-// code path the paper depends on — entry calls marshalled into messages,
-// delivered asynchronously, answered with response messages — while staying
-// laptop-runnable (experiment E11 sweeps the latency).
+// (§4); no such hardware here, so this Transport implementation simulates
+// the substrate the RPC layer needs: named nodes, point-to-point frames,
+// per-link latency (base + uniform jitter, deterministic under a seed),
+// delivery on a dedicated thread, and traffic accounting. The substitution
+// preserves the code path the paper depends on — entry calls marshalled
+// into messages, delivered asynchronously, answered with response messages
+// — while staying laptop-runnable (experiment E11 sweeps the latency).
+//
+// This is the deterministic half of the Transport seam (transport.h): the
+// fault injectors below (drop/duplicate/reorder, scripted partitions) have
+// no socket equivalent, which is exactly why the simulation stays — every
+// fault-model test keeps its reproducible substrate, while the same RPC
+// stack runs unchanged over real sockets (transport_socket.h).
 #pragma once
 
 #include <chrono>
@@ -22,19 +28,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/transport.h"
 #include "support/rng.h"
 
 namespace alps::net {
-
-using NodeId = std::uint64_t;
-
-class Directory;
-
-struct Frame {
-  NodeId src = 0;
-  NodeId dst = 0;
-  std::vector<std::uint8_t> payload;
-};
 
 struct LinkLatency {
   std::chrono::microseconds base{0};
@@ -52,38 +49,34 @@ struct LinkFaults {
   std::chrono::microseconds duplicate_jitter{2000};
 };
 
-struct NetworkStats {
-  std::uint64_t frames_posted = 0;      // every post(), incl. lost frames
-  std::uint64_t bytes_posted = 0;       // payload bytes across all posts
-  std::uint64_t frames_delivered = 0;
-  std::uint64_t bytes_delivered = 0;
-  std::uint64_t frames_dropped = 0;     // dst unknown or no handler
-  std::uint64_t frames_lost = 0;        // failure injection (loss or partition)
-  std::uint64_t frames_duplicated = 0;  // injected duplicate copies
-  std::uint64_t frames_reordered = 0;   // frames that escaped the FIFO clamp
+/// Counters only the simulation can produce: a socket transport never
+/// duplicates or reorders frames on its own, so these stay out of the
+/// transport-agnostic TransportStats shape.
+struct SimFaultStats {
+  std::uint64_t frames_duplicated = 0;  ///< injected duplicate copies
+  std::uint64_t frames_reordered = 0;   ///< frames that escaped the FIFO clamp
 };
 
 /// A set of nodes plus a delivery thread. Handlers run on the delivery
 /// thread and must not block for long (the RPC layer's handlers only
 /// enqueue kernel work).
-class Network {
+class Network final : public Transport {
  public:
   explicit Network(LinkLatency default_latency = {}, std::uint64_t seed = 1);
-  ~Network();
+  ~Network() override;
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
   /// Registers a node; returns its id (ids are dense, starting at 0).
-  NodeId add_node(const std::string& name);
+  NodeId add_node(const std::string& name) override;
 
   /// The cluster's object directory (see directory.h). The Network models
-  /// the cluster, so it owns the authoritative name → home-node map;
+  /// the whole cluster, so it owns the authoritative name → home-node map;
   /// Node::host/unhost maintain it and name-based calls resolve through it.
-  Directory& directory() { return *directory_; }
-  const Directory& directory() const { return *directory_; }
+  Directory& directory() override { return *directory_; }
 
-  void set_handler(NodeId node, std::function<void(Frame)> handler);
+  void set_handler(NodeId node, Handler handler) override;
 
   /// Overrides the latency of the directed link src → dst.
   void set_link_latency(NodeId src, NodeId dst, LinkLatency latency);
@@ -92,7 +85,8 @@ class Network {
 
   /// Schedules delivery of `frame` after the link's latency. Frames to the
   /// sender itself are delivered through the same path (loopback latency).
-  void post(Frame frame);
+  void post(Frame frame) override;
+  using Transport::post;  // scatter-gather overload (flattens via build())
 
   // ---- failure injection (experiments & tests) ----
 
@@ -126,14 +120,19 @@ class Network {
   /// True while an a↔b cut (manual or currently-active scripted) exists.
   /// The RPC layer uses this to type a delivery failure as "partitioned"
   /// rather than a plain timeout.
-  bool is_partitioned(NodeId a, NodeId b) const;
+  bool is_partitioned(NodeId a, NodeId b) const override;
 
-  NetworkStats stats() const;
-  std::size_t node_count() const;
-  std::string node_name(NodeId id) const;
+  TransportStats transport_stats() const override;
+  /// Injected-fault accounting (sim-only; see SimFaultStats).
+  SimFaultStats fault_stats() const;
+
+  std::size_t node_count() const override;
+  std::string node_name(NodeId id) const override;
 
   /// Blocks until no frame is queued or in flight (for tests/benches).
-  void wait_quiescent() const;
+  /// Exact, unlike a socket transport's best-effort version: the sim owns
+  /// both ends of every link.
+  void wait_quiescent() const override;
 
  private:
   struct Scheduled {
@@ -161,7 +160,7 @@ class Network {
   mutable std::condition_variable idle_cv_;
   std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>> queue_;
   std::vector<std::string> node_names_;
-  std::vector<std::function<void(Frame)>> handlers_;
+  std::vector<Handler> handlers_;
   std::vector<std::pair<std::pair<NodeId, NodeId>, LinkLatency>> link_overrides_;
   std::vector<std::pair<std::pair<NodeId, NodeId>, LinkFaults>> fault_overrides_;
   std::vector<std::pair<NodeId, NodeId>> partitions_;  // undirected pairs
@@ -170,7 +169,8 @@ class Network {
   LinkFaults default_faults_;
   LinkLatency default_latency_;
   support::Rng rng_;
-  NetworkStats stats_;
+  TransportStats stats_;
+  SimFaultStats fault_stats_;
   /// Per-directed-link schedule state (keyed src<<32|dst): `clamp` is the
   /// FIFO watermark jittered frames are held to; `max_due` is the latest
   /// delivery ever scheduled, used to detect when an injected reorder fault

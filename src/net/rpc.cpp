@@ -85,43 +85,24 @@ Result<ValueList, RpcError> RemoteObject::call(const std::string& entry,
   return async_call(entry, std::move(params), opts).result();
 }
 
-ValueList RemoteObject::call(const std::string& entry, ValueList params) {
-  auto r = call(entry, std::move(params), CallOptions{});
-  if (!r.ok()) throw r.error();
-  return std::move(r).value();
-}
-
-CallHandle RemoteObject::async_call(const std::string& entry,
-                                    ValueList params) {
-  return async_call(entry, std::move(params), CallOptions{}).handle();
-}
-
-std::optional<ValueList> RemoteObject::call_for(
-    const std::string& entry, ValueList params,
-    std::chrono::milliseconds timeout) {
-  CallOptions opts;
-  opts.deadline = timeout;
-  auto r = call(entry, std::move(params), opts);
-  if (!r.ok()) return std::nullopt;
-  return std::move(r).value();
-}
-
 // ---- Node lifecycle --------------------------------------------------------
 
-Node::Node(Network& network, const std::string& name)
-    : network_(&network),
+Node::Node(Transport& transport, const std::string& name)
+    : transport_(&transport),
       name_(name),
       epoch_(g_next_epoch.fetch_add(1, std::memory_order_relaxed)),
       rng_(std::hash<std::string>{}(name) ^ 0x414c50534e455455ull) {
-  id_ = network.add_node(name);
-  network.set_handler(id_, [this](Frame f) { handle_frame(std::move(f)); });
+  id_ = transport.add_node(name);
+  transport.set_handler(id_, [this](NodeId src, Buffer payload) {
+    dispatch_payload(src, payload, /*batched=*/false);
+  });
   timer_thread_ = std::jthread([this](std::stop_token st) { retry_loop(st); });
 }
 
 Node::~Node() {
   // Deregister so late frames are counted as drops instead of running into
   // a destroyed node.
-  network_->set_handler(id_, nullptr);
+  transport_->set_handler(id_, nullptr);
   timer_thread_.request_stop();
   {
     std::scoped_lock lock(mu_);  // pairs with the retry loop's wait
@@ -154,7 +135,7 @@ void Node::host(Object& object) {
   // Register after the local table so a request racing the registration
   // finds the object hosted. Migration order is host(new) then unhost(old):
   // the directory entry just moves (last-writer-wins), never disappears.
-  network_->directory().add(object.name(), id_);
+  transport_->directory().add(object.name(), id_);
 }
 
 void Node::unhost(const std::string& object_name) {
@@ -164,7 +145,7 @@ void Node::unhost(const std::string& object_name) {
   }
   // Conditional removal: after a migration the entry names the new home and
   // this unhost must leave it alone.
-  network_->directory().remove(object_name, id_);
+  transport_->directory().remove(object_name, id_);
 }
 
 RemoteObject Node::remote(NodeId target, const std::string& object_name) {
@@ -193,8 +174,10 @@ void Node::set_batching(const BatchOptions& options) {
   batcher_raw_.store(nullptr, std::memory_order_release);
   batcher_.reset();
   batcher_ = std::make_unique<FrameBatcher>(
-      options, [this](NodeId dst, std::vector<std::uint8_t> payload) {
-        network_->post(Frame{id_, dst, std::move(payload)});
+      options, [this](NodeId dst, FrameBuilder frame) {
+        // Flushes stay in scatter-gather form all the way to the transport,
+        // so batch envelopes ride a socket backend's writev path too.
+        transport_->post(id_, dst, frame);
       });
   batcher_raw_.store(batcher_.get(), std::memory_order_release);
 }
@@ -220,11 +203,11 @@ std::optional<NodeId> Node::cached_route(const std::string& object) const {
 void Node::post_frame(NodeId dst, FrameBuilder frame) {
   if (auto* b = batcher_raw_.load(std::memory_order_acquire)) {
     // Hand the scatter-gather form to the batcher: payload slices stay
-    // referenced until the envelope's single build.
+    // referenced until the envelope's single build (or scattered write).
     b->enqueue(dst, std::move(frame));
     return;
   }
-  network_->post(Frame{id_, dst, frame.build()});
+  transport_->post(id_, dst, frame);
 }
 
 void Node::post_frame(NodeId dst, std::vector<std::uint8_t> payload) {
@@ -232,7 +215,7 @@ void Node::post_frame(NodeId dst, std::vector<std::uint8_t> payload) {
     b->enqueue(dst, std::move(payload));
     return;
   }
-  network_->post(Frame{id_, dst, std::move(payload)});
+  transport_->post(Frame{id_, dst, std::move(payload)});
 }
 
 void Node::export_channel(const ChannelRef& channel) {
@@ -362,7 +345,7 @@ std::shared_ptr<CallState> Node::start_named_call(
     }
   }
   if (!target) {
-    target = network_->directory().lookup(object_name);
+    target = transport_->directory().lookup(object_name);
     if (target) {
       std::scoped_lock lock(mu_);
       route_cache_[object_name] = *target;
@@ -460,7 +443,7 @@ void Node::retry_loop(const std::stop_token& st) {
       auto ack = finish_pending_locked(req_id, target);
       ++client_stats_.failures;
       if (!ack.empty()) ++client_stats_.acks_sent;
-      const bool partitioned = network_->is_partitioned(id_, target);
+      const bool partitioned = transport_->is_partitioned(id_, target);
       lock.unlock();
       state->fail(std::make_exception_ptr(
           RpcError(partitioned ? RpcCause::kPartitioned : RpcCause::kTimeout,
@@ -518,15 +501,6 @@ void Node::cancel_request(std::uint64_t req_id) {
 }
 
 // ---- frame dispatch --------------------------------------------------------
-
-void Node::handle_frame(Frame frame) {
-  // Promote the delivered payload to shared ownership (vector move, no byte
-  // copy): decoded blob params and batch members can then alias the frame
-  // instead of copying out of it, keeping it alive only as long as needed.
-  auto owned = std::make_shared<const Blob>(std::move(frame.payload));
-  dispatch_payload(frame.src, Buffer::from_shared(std::move(owned)),
-                   /*batched=*/false);
-}
 
 void Node::dispatch_payload(NodeId from, const Buffer& payload,
                             bool batched) {
@@ -733,7 +707,7 @@ void Node::handle_request(NodeId from, const Buffer& payload,
     return;
   }
   if (!object) {
-    const auto home = network_->directory().lookup(header.object);
+    const auto home = transport_->directory().lookup(header.object);
     std::vector<std::uint8_t> out;
     if (home && *home != id_) {
       // The directory knows a better home: redirect instead of failing, so a

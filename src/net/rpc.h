@@ -1,4 +1,4 @@
-// RPC over the simulated network: remote entry calls and remote channels.
+// RPC over a Transport backend: remote entry calls and remote channels.
 //
 // "Calls to the entry procedures of an object are implemented as remote
 // procedure calls. A user can further communicate with an executing remote
@@ -71,7 +71,7 @@
 #include "core/object.h"
 #include "net/batch.h"
 #include "net/codec.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "support/rng.h"
 
 namespace alps::net {
@@ -207,19 +207,6 @@ class RemoteObject {
   RpcHandle async_call(const std::string& entry, ValueList params,
                        const CallOptions& opts);
 
-  // ---- deprecated pre-CallOptions surface (thin forwarders) ----
-
-  [[deprecated("use call(entry, params, CallOptions{}) and inspect Result")]]
-  ValueList call(const std::string& entry, ValueList params);
-
-  [[deprecated("use async_call(entry, params, CallOptions{})")]]
-  CallHandle async_call(const std::string& entry, ValueList params);
-
-  [[deprecated(
-      "use call(entry, params, {.deadline = timeout}) and inspect Result")]]
-  std::optional<ValueList> call_for(const std::string& entry, ValueList params,
-                                    std::chrono::milliseconds timeout);
-
   bool valid() const { return node_ != nullptr; }
 
  private:
@@ -260,7 +247,10 @@ class Node : public ChannelResolver {
     std::uint64_t redirects = 0;         ///< requests re-routed by kWrongNode
   };
 
-  Node(Network& network, const std::string& name);
+  /// Binds this node to a transport backend — the in-process simulator
+  /// (net::Network) or a real socket transport (net::SocketTransport); the
+  /// whole RPC surface above is backend-agnostic.
+  Node(Transport& transport, const std::string& name);
   ~Node() override;
 
   Node(const Node&) = delete;
@@ -369,7 +359,6 @@ class Node : public ChannelResolver {
     bool operator>(const TimerEntry& o) const { return due > o.due; }
   };
 
-  void handle_frame(Frame frame);
   /// Dispatches one decoded payload (a direct frame or a kBatch member).
   /// `payload` owns its storage (the received frame), so blob params can
   /// alias it instead of copying. `batched` rejects nested kBatch envelopes.
@@ -397,7 +386,8 @@ class Node : public ChannelResolver {
 
   /// Sends one frame to dst — through the batcher when enabled (keeping the
   /// scatter-gather form so the envelope re-references payload slices),
-  /// built and posted straight to the network otherwise. Never called with
+  /// handed to the transport in builder form otherwise (a socket backend
+  /// writes the segments directly; the sim builds once). Never called with
   /// mu_ held.
   void post_frame(NodeId dst, FrameBuilder frame);
   void post_frame(NodeId dst, std::vector<std::uint8_t> payload);
@@ -423,7 +413,7 @@ class Node : public ChannelResolver {
                                                   NodeId target);
   void evict_dedup_locked(CallerTable& table, std::uint64_t ack_through);
 
-  Network* network_;
+  Transport* transport_;
   NodeId id_;
   std::string name_;
   std::uint64_t epoch_;

@@ -1,0 +1,130 @@
+// Transport — the substrate contract under the RPC layer.
+//
+// The paper's ALPS kernel ran on a 16-node transputer network (§4): objects
+// on distinct nodes, entry calls crossing real links. This interface is the
+// seam that makes that claim testable both ways. A Transport moves opaque
+// frame payloads between named nodes and delivers them, asynchronously, to
+// per-node handlers; everything above it (rpc.h) — retries, at-most-once
+// dedup, routing, batching — is transport-agnostic by construction. Two
+// implementations ship:
+//
+//   * net::Network (network.h) — the in-process simulation. Deterministic
+//     under a seed, with per-link latency and injected faults (drop /
+//     duplicate / reorder / partition). The fault-model tests live here.
+//   * net::SocketTransport (transport_socket.h) — real TCP or Unix-domain
+//     sockets between OS processes: listener/connector lifecycle, per-peer
+//     reconnect with backoff, length-prefixed stream framing, and a
+//     writev-style scatter-gather send path that skips the final frame
+//     gather entirely.
+//
+// What the contract promises (and deliberately does not):
+//   * Per-link FIFO for delivered frames (sim clamps jitter; TCP is a
+//     byte stream) — unless a sim reorder fault is injected on purpose.
+//   * Frames may be lost. The sim loses them by injection; sockets lose
+//     them when a connection dies mid-flight or a peer is unreachable.
+//     Loss is counted, never reported synchronously to the poster.
+//   * Frames may be duplicated by the sim (injection) but never by the
+//     socket transport; the RPC dedup layer tolerates both.
+//   * Delivery handlers run on transport-owned threads and must not block
+//     for long; the RPC layer's handlers only enqueue kernel work.
+// DESIGN.md §4.10 tabulates the full sim-vs-socket contract.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/buffer.h"
+
+namespace alps::net {
+
+using NodeId = std::uint64_t;
+
+class Directory;
+class FrameBuilder;
+
+/// One point-to-point message: an opaque payload from src to dst. The
+/// payload is a contiguous byte vector here; the scatter-gather post
+/// overload below avoids ever materializing it on transports that can
+/// write a slice list directly.
+struct Frame {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Transport-agnostic traffic accounting — one shape for both backends, so
+/// benches and tests read the same fields over the sim and over sockets.
+/// Sim-only fault-injection counters live in SimFaultStats (network.h).
+struct TransportStats {
+  std::uint64_t frames_posted = 0;     ///< every post(), incl. lost frames
+  std::uint64_t bytes_posted = 0;      ///< payload bytes across all posts
+  std::uint64_t frames_delivered = 0;  ///< handed to a handler
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t frames_dropped = 0;    ///< dst unknown or no handler
+  std::uint64_t frames_lost = 0;       ///< injected loss / partition (sim),
+                                       ///< dead or unreachable link (sockets)
+};
+
+class Transport {
+ public:
+  /// Delivery callback. `payload` owns its storage (the received frame), so
+  /// ≥ kZeroCopySliceThreshold blob decodes alias the frame instead of
+  /// copying out of it — on both backends.
+  using Handler = std::function<void(NodeId src, Buffer payload)>;
+
+  virtual ~Transport() = default;
+
+  /// Registers a local delivery endpoint; returns its id. The simulation
+  /// mints dense ids for any number of in-process nodes; a socket transport
+  /// is configured with exactly one local node per process and returns its
+  /// preassigned cluster id.
+  virtual NodeId add_node(const std::string& name) = 0;
+
+  /// Installs (or, with nullptr, removes) the handler for `node`. Must not
+  /// return while a delivery into a previous handler is still running, so a
+  /// deregistering caller (~Node) can safely destroy the captures.
+  virtual void set_handler(NodeId node, Handler handler) = 0;
+
+  /// Posts one frame for asynchronous delivery. Never blocks on the remote
+  /// end; loss is silent (counted in stats), exactly as a datagram network.
+  virtual void post(Frame frame) = 0;
+
+  /// Scatter-gather post: the frame still in FrameBuilder form. The default
+  /// flattens via build() (the sim's single gather); stream transports
+  /// override it to write the slice list directly — no contiguous frame is
+  /// ever assembled, so data-plane `bytes_assembled` stays at zero.
+  virtual void post(NodeId src, NodeId dst, const FrameBuilder& frame);
+
+  virtual TransportStats transport_stats() const = 0;
+
+  /// The cluster's object directory (name → home node). The simulation owns
+  /// the authoritative map for all in-process nodes; a socket transport owns
+  /// this process's replica, seeded from static placement configuration and
+  /// healed in-band by kWrongNode redirects (DESIGN.md §4.10).
+  virtual Directory& directory() = 0;
+  const Directory& directory() const {
+    return const_cast<Transport*>(this)->directory();
+  }
+
+  /// True while a↔b is known unreachable: an active sim partition, or a
+  /// socket peer whose connection is dead/in backoff. The RPC layer uses it
+  /// to type a delivery failure as "partitioned" rather than plain timeout.
+  virtual bool is_partitioned(NodeId a, NodeId b) const {
+    (void)a;
+    (void)b;
+    return false;
+  }
+
+  virtual std::size_t node_count() const = 0;
+  virtual std::string node_name(NodeId id) const = 0;
+
+  /// Best effort: blocks until nothing this transport buffered locally is
+  /// still queued or being delivered. The sim's version is exact (it owns
+  /// both ends); a socket transport can only quiesce its own send queues —
+  /// bytes in kernel buffers or the peer process are out of reach.
+  virtual void wait_quiescent() const {}
+};
+
+}  // namespace alps::net

@@ -1,0 +1,606 @@
+#include "net/transport_socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "core/error.h"
+#include "support/log.h"
+#include "support/thread_util.h"
+
+namespace alps::net {
+
+namespace {
+
+/// Read-buffer granularity for inbound streams. One syscall per chunk; the
+/// reassembler handles frames larger or smaller than this transparently.
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+/// Most iovecs one sendmsg may carry; longer scatter lists loop.
+constexpr std::size_t kIovBatch = 64;
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// Writes every iovec fully, advancing across partial writes. Returns false
+/// on a dead connection. MSG_NOSIGNAL: a peer closing mid-write must surface
+/// as EPIPE, not kill the process.
+bool send_all(int fd, std::vector<iovec>& iov) {
+  std::size_t idx = 0;
+  while (idx < iov.size()) {
+    msghdr msg{};
+    msg.msg_iov = iov.data() + idx;
+    msg.msg_iovlen = std::min(iov.size() - idx, kIovBatch);
+    ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    auto advanced = static_cast<std::size_t>(n);
+    while (advanced > 0) {
+      if (iov[idx].iov_len <= advanced) {
+        advanced -= iov[idx].iov_len;
+        ++idx;
+      } else {
+        iov[idx].iov_base = static_cast<char*>(iov[idx].iov_base) + advanced;
+        iov[idx].iov_len -= advanced;
+        advanced = 0;
+      }
+    }
+  }
+  return true;
+}
+
+sockaddr_un make_unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    raise(ErrorCode::kNetwork, "unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in make_tcp_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string target = host.empty() ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, target.c_str(), &addr.sin_addr) != 1) {
+    raise(ErrorCode::kNetwork, "bad IPv4 address: " + target);
+  }
+  return addr;
+}
+
+}  // namespace
+
+std::string SocketAddress::to_string() const {
+  if (is_unix()) return "unix:" + path;
+  return (host.empty() ? std::string("127.0.0.1") : host) + ":" +
+         std::to_string(port);
+}
+
+// ---- construction / teardown -----------------------------------------------
+
+SocketTransport::SocketTransport(SocketTransportOptions options)
+    : options_(std::move(options)) {
+  // Static membership: one PeerLink per configured peer, sender threads
+  // started lazily on first traffic (connect-on-demand).
+  for (const auto& peer : options_.peers) {
+    if (peer.id == options_.local_node) continue;  // self entry tolerated
+    auto link = std::make_unique<PeerLink>();
+    link->id = peer.id;
+    link->address = peer.address;
+    peer_names_[peer.id] = peer.name;
+    links_.emplace(peer.id, std::move(link));
+  }
+
+  // Listener socket. Unix paths are unlinked first so a crashed predecessor
+  // cannot wedge the bind.
+  const auto& listen_addr = options_.listen;
+  if (listen_addr.is_unix()) {
+    ::unlink(listen_addr.path.c_str());
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) raise(ErrorCode::kNetwork, "socket() failed");
+    auto addr = make_unix_addr(listen_addr.path);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      close_fd(listen_fd_);
+      raise(ErrorCode::kNetwork,
+            "bind failed on " + listen_addr.to_string() + ": " +
+                std::strerror(errno));
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) raise(ErrorCode::kNetwork, "socket() failed");
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    auto addr = make_tcp_addr(listen_addr.host, listen_addr.port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      close_fd(listen_fd_);
+      raise(ErrorCode::kNetwork,
+            "bind failed on " + listen_addr.to_string() + ": " +
+                std::strerror(errno));
+    }
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    close_fd(listen_fd_);
+    raise(ErrorCode::kNetwork, "listen failed");
+  }
+  if (!listen_addr.is_unix()) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+        0) {
+      bound_port_ = ntohs(bound.sin_port);
+    }
+  }
+  listener_ = std::jthread([this](std::stop_token st) { listen_loop(st); });
+}
+
+SocketTransport::~SocketTransport() {
+  // Stop accepting first so no new readers appear under our feet.
+  listener_.request_stop();
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (listener_.joinable()) listener_.join();
+  close_fd(listen_fd_);
+
+  // Senders: best-effort drain of queued frames (see sender_loop), then join.
+  for (auto& [id, link] : links_) {
+    if (link->sender.joinable()) {
+      link->sender.request_stop();
+      {
+        std::scoped_lock lock(link->mu);
+        link->cv.notify_all();
+      }
+      link->sender.join();
+    }
+    std::scoped_lock lock(link->mu);
+    close_fd(link->fd);
+  }
+
+  // Readers: shutting the fd down unblocks the blocking read.
+  std::vector<std::shared_ptr<Inbound>> inbound;
+  {
+    std::scoped_lock lock(mu_);
+    inbound.swap(inbound_);
+  }
+  for (auto& conn : inbound) {
+    conn->reader.request_stop();
+    if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  for (auto& conn : inbound) {
+    if (conn->reader.joinable()) conn->reader.join();
+    close_fd(conn->fd);
+  }
+
+  if (options_.listen.is_unix()) ::unlink(options_.listen.path.c_str());
+}
+
+NodeId SocketTransport::add_node(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  if (have_node_) {
+    raise(ErrorCode::kNetwork,
+          "SocketTransport serves one local node per process; second "
+          "add_node(" + name + ") refused");
+  }
+  have_node_ = true;
+  if (options_.local_name.empty()) options_.local_name = name;
+  return options_.local_node;
+}
+
+void SocketTransport::set_handler(NodeId node, Handler handler) {
+  std::unique_lock lock(mu_);
+  if (node != options_.local_node) {
+    raise(ErrorCode::kNetwork, "set_handler on non-local node");
+  }
+  handler_ = std::move(handler);
+  // Same contract as the sim: a deregistering caller (~Node) must not return
+  // while a delivery is still running into the old handler's captures.
+  delivery_cv_.wait(lock, [&] { return active_deliveries_ == 0; });
+}
+
+// ---- send path -------------------------------------------------------------
+
+void SocketTransport::post(Frame frame) {
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.frames_posted;
+    stats_.bytes_posted += frame.payload.size();
+  }
+  if (frame.dst == options_.local_node) {
+    // Loopback: delivered inline on the posting thread (the sim routes this
+    // through its delivery thread instead; handlers never block long, so
+    // inline is safe and keeps the no-self-connection invariant).
+    deliver(frame.src, Buffer::adopt(std::move(frame.payload)));
+    return;
+  }
+  enqueue(frame.dst, FrameBuilder::from_bytes(std::move(frame.payload)));
+}
+
+void SocketTransport::post(NodeId src, NodeId dst, const FrameBuilder& frame) {
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.frames_posted;
+    stats_.bytes_posted += frame.size();
+  }
+  if (dst == options_.local_node) {
+    // Loopback never touches the wire, so it pays the ordinary gather.
+    deliver(src, Buffer::adopt(frame.build()));
+    return;
+  }
+  enqueue(dst, frame);
+}
+
+void SocketTransport::enqueue(NodeId dst, FrameBuilder frame) {
+  auto it = links_.find(dst);
+  if (it == links_.end()) {
+    std::scoped_lock lock(mu_);
+    ++stats_.frames_dropped;
+    return;
+  }
+  PeerLink& link = *it->second;
+  bool lost = false;
+  const std::size_t bytes = frame.size();
+  {
+    std::scoped_lock lock(link.mu);
+    if (link.severed || link.queue.size() >= options_.max_queued_per_peer) {
+      lost = true;
+    } else {
+      link.queue.push_back(std::move(frame));
+      if (!link.sender.joinable()) {
+        // Connect-on-demand: first frame towards this peer starts its
+        // sender, which owns the connection lifecycle from here on.
+        link.sender = std::jthread(
+            [this, l = &link](std::stop_token st) { sender_loop(st, l); });
+      }
+      link.cv.notify_all();
+    }
+  }
+  if (lost) count_lost(1, bytes);
+}
+
+bool SocketTransport::connect_locked(PeerLink& link) {
+  int fd = -1;
+  sockaddr_storage storage{};
+  socklen_t addr_len = 0;
+  if (link.address.is_unix()) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    auto addr = make_unix_addr(link.address.path);
+    std::memcpy(&storage, &addr, sizeof(addr));
+    addr_len = sizeof(addr);
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    auto addr = make_tcp_addr(link.address.host, link.address.port);
+    std::memcpy(&storage, &addr, sizeof(addr));
+    addr_len = sizeof(addr);
+  }
+  bool ok = fd >= 0;
+  if (ok) {
+    // Non-blocking connect with a poll deadline: an unreachable TCP peer
+    // must cost connect_timeout, not a kernel-default 2 minutes.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&storage), addr_len);
+    if (rc != 0 && errno == EINPROGRESS) {
+      pollfd pfd{fd, POLLOUT, 0};
+      rc = ::poll(&pfd, 1,
+                  static_cast<int>(options_.connect_timeout.count()));
+      if (rc == 1) {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        rc = err == 0 ? 0 : -1;
+      } else {
+        rc = -1;  // timeout or poll failure
+      }
+    }
+    ok = rc == 0;
+    if (ok) {
+      ::fcntl(fd, F_SETFL, flags);  // back to blocking for the send loop
+      if (!link.address.is_unix()) {
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      }
+    }
+  }
+  if (!ok) {
+    if (fd >= 0) ::close(fd);
+    link.unreachable = true;
+    link.backoff = link.backoff.count() == 0
+                       ? options_.connect_backoff_initial
+                       : std::min(link.backoff * 2,
+                                  options_.connect_backoff_max);
+    link.next_attempt = std::chrono::steady_clock::now() + link.backoff;
+    return false;
+  }
+  link.fd = fd;
+  link.unreachable = false;
+  link.backoff = std::chrono::milliseconds(0);
+  return true;
+}
+
+bool SocketTransport::send_frame(int fd, const FrameBuilder& frame) {
+  // Stream chunk = 12-byte header + the frame's scatter segments, handed to
+  // sendmsg as one iovec list: the writev path. No contiguous frame is ever
+  // assembled on this side of the kernel boundary.
+  std::uint8_t header[kStreamHeaderBytes];
+  encode_stream_header(options_.local_node, frame.size(), header);
+  std::vector<FrameBuilder::Segment> segments;
+  frame.segments(segments);
+  std::vector<iovec> iov;
+  iov.reserve(segments.size() + 1);
+  iov.push_back(iovec{header, sizeof(header)});
+  for (const auto& s : segments) {
+    iov.push_back(iovec{const_cast<void*>(s.data), s.size});
+  }
+  if (!send_all(fd, iov)) return false;
+  frame.note_sent_scattered();
+  return true;
+}
+
+void SocketTransport::sender_loop(const std::stop_token& st, PeerLink* link) {
+  support::set_current_thread_name("net/send/" + std::to_string(link->id));
+  std::stop_callback wake(st, [link] {
+    std::scoped_lock lock(link->mu);
+    link->cv.notify_all();
+  });
+  std::unique_lock lock(link->mu);
+  for (;;) {
+    if (link->queue.empty()) {
+      if (st.stop_requested()) return;
+      link->cv.wait(lock, [&] {
+        return st.stop_requested() || !link->queue.empty();
+      });
+      continue;
+    }
+    if (link->severed) {
+      std::size_t frames = link->queue.size(), bytes = 0;
+      for (const auto& f : link->queue) bytes += f.size();
+      link->queue.clear();
+      lock.unlock();
+      count_lost(frames, bytes);
+      lock.lock();
+      continue;
+    }
+    if (link->fd < 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (st.stop_requested()) {
+        // Teardown with a dead connection: what is still queued is lost.
+        std::size_t frames = link->queue.size(), bytes = 0;
+        for (const auto& f : link->queue) bytes += f.size();
+        link->queue.clear();
+        lock.unlock();
+        count_lost(frames, bytes);
+        return;
+      }
+      if (now < link->next_attempt) {
+        // In backoff after a failed round; frames keep queueing (bounded)
+        // until the next attempt — or get dropped then.
+        link->cv.wait_until(lock, link->next_attempt, [&] {
+          return st.stop_requested() || link->severed;
+        });
+        continue;
+      }
+      if (!connect_locked(*link)) {
+        // The round failed: everything queued so far is lost, exactly as a
+        // datagram network loses frames towards a dead host. Retries above
+        // (rpc.h) re-post; the armed backoff paces the next round.
+        std::size_t frames = link->queue.size(), bytes = 0;
+        for (const auto& f : link->queue) bytes += f.size();
+        link->queue.clear();
+        lock.unlock();
+        count_lost(frames, bytes);
+        lock.lock();
+        continue;
+      }
+    }
+    FrameBuilder frame = std::move(link->queue.front());
+    link->queue.pop_front();
+    link->sending = true;
+    const int fd = link->fd;
+    lock.unlock();
+    const bool ok = send_frame(fd, frame);
+    if (!ok) count_lost(1, frame.size());
+    lock.lock();
+    link->sending = false;
+    if (!ok && link->fd == fd) {
+      // The connection died under this frame (possibly mid-frame — the
+      // peer's reassembler drops the torn tail with the connection). The
+      // next frame reconnects immediately; backoff only paces repeated
+      // connect failures.
+      close_fd(link->fd);
+    }
+    link->cv.notify_all();  // wait_quiescent
+  }
+}
+
+// ---- receive path ----------------------------------------------------------
+
+void SocketTransport::listen_loop(const std::stop_token& st) {
+  support::set_current_thread_name("net/accept");
+  while (!st.stop_requested()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 200);
+    if (st.stop_requested()) return;
+    if (rc <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listener shut down
+    }
+    auto conn = std::make_shared<Inbound>();
+    conn->fd = fd;
+    {
+      std::scoped_lock lock(mu_);
+      inbound_.push_back(conn);
+    }
+    conn->reader = std::jthread(
+        [this, conn](std::stop_token rst) { reader_loop(rst, conn); });
+  }
+}
+
+void SocketTransport::reader_loop(const std::stop_token& st,
+                                  std::shared_ptr<Inbound> conn) {
+  support::set_current_thread_name("net/recv");
+  StreamReassembler reassembler;
+  std::vector<std::uint8_t> chunk(kReadChunk);
+  while (!st.stop_requested()) {
+    const ssize_t n = ::read(conn->fd, chunk.data(), chunk.size());
+    if (n == 0) return;  // peer closed; a torn frame dies with the stream
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    try {
+      reassembler.feed(chunk.data(), static_cast<std::size_t>(n));
+    } catch (const Error& e) {
+      // Framing is unrecoverable on a byte stream: drop the connection. The
+      // peer reconnects and the retry layer re-posts what mattered.
+      ALPS_LOG_WARN("socket transport: dropping connection: %s", e.what());
+      ::shutdown(conn->fd, SHUT_RDWR);
+      return;
+    }
+    while (auto msg = reassembler.next()) {
+      conn->last_src = msg->src;
+      bool severed = false;
+      const auto it = links_.find(msg->src);
+      if (it != links_.end()) {
+        std::scoped_lock lock(it->second->mu);
+        severed = it->second->severed;
+      }
+      if (severed) {
+        // A severed peer's inbound traffic is part of the same cut.
+        count_lost(1, msg->payload.size());
+        continue;
+      }
+      deliver(msg->src, std::move(msg->payload));
+    }
+  }
+}
+
+void SocketTransport::deliver(NodeId src, Buffer payload) {
+  Handler handler;
+  {
+    std::scoped_lock lock(mu_);
+    if (!handler_) {
+      ++stats_.frames_dropped;
+      return;
+    }
+    handler = handler_;
+    ++stats_.frames_delivered;
+    stats_.bytes_delivered += payload.size();
+    ++active_deliveries_;
+  }
+  handler(src, std::move(payload));  // outside the lock: handlers may post
+  {
+    std::scoped_lock lock(mu_);
+    --active_deliveries_;
+  }
+  delivery_cv_.notify_all();
+}
+
+void SocketTransport::count_lost(std::size_t frames, std::size_t bytes) {
+  if (frames == 0) return;
+  std::scoped_lock lock(mu_);
+  stats_.frames_lost += frames;
+  (void)bytes;  // loss is counted in frames; bytes_posted already includes them
+}
+
+// ---- partition / lifecycle hooks -------------------------------------------
+
+void SocketTransport::sever(NodeId peer) {
+  auto it = links_.find(peer);
+  if (it != links_.end()) {
+    std::scoped_lock lock(it->second->mu);
+    it->second->severed = true;
+    close_fd(it->second->fd);
+    it->second->cv.notify_all();
+  }
+  // Inbound side of the cut: close streams the peer already has open.
+  std::vector<std::shared_ptr<Inbound>> to_close;
+  {
+    std::scoped_lock lock(mu_);
+    for (const auto& conn : inbound_) {
+      if (conn->last_src == peer && conn->fd >= 0) to_close.push_back(conn);
+    }
+  }
+  for (auto& conn : to_close) ::shutdown(conn->fd, SHUT_RDWR);
+}
+
+void SocketTransport::restore(NodeId peer) {
+  auto it = links_.find(peer);
+  if (it == links_.end()) return;
+  std::scoped_lock lock(it->second->mu);
+  it->second->severed = false;
+  it->second->unreachable = false;
+  it->second->backoff = std::chrono::milliseconds(0);
+  it->second->next_attempt = std::chrono::steady_clock::now();
+  it->second->cv.notify_all();
+}
+
+void SocketTransport::disconnect(NodeId peer) {
+  auto it = links_.find(peer);
+  if (it == links_.end()) return;
+  std::scoped_lock lock(it->second->mu);
+  close_fd(it->second->fd);
+  it->second->cv.notify_all();
+}
+
+bool SocketTransport::is_partitioned(NodeId a, NodeId b) const {
+  const NodeId peer = a == options_.local_node ? b : a;
+  auto it = links_.find(peer);
+  if (it == links_.end()) return false;
+  std::scoped_lock lock(it->second->mu);
+  return it->second->severed || it->second->unreachable;
+}
+
+// ---- introspection ---------------------------------------------------------
+
+TransportStats SocketTransport::transport_stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+std::size_t SocketTransport::node_count() const {
+  return links_.size() + 1;
+}
+
+std::string SocketTransport::node_name(NodeId id) const {
+  if (id == options_.local_node) return options_.local_name;
+  auto it = peer_names_.find(id);
+  if (it == peer_names_.end()) {
+    raise(ErrorCode::kNetwork, "unknown node id");
+  }
+  return it->second;
+}
+
+void SocketTransport::wait_quiescent() const {
+  for (const auto& [id, link] : links_) {
+    std::unique_lock lock(link->mu);
+    link->cv.wait(lock, [&] {
+      return (link->queue.empty() && !link->sending) || link->severed;
+    });
+  }
+}
+
+std::uint16_t SocketTransport::bound_port() const {
+  return bound_port_ != 0 ? bound_port_ : options_.listen.port;
+}
+
+}  // namespace alps::net

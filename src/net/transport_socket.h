@@ -1,0 +1,206 @@
+// SocketTransport — real TCP / Unix-domain-socket transport between
+// OS processes.
+//
+// The other half of the Transport seam (transport.h): where net::Network
+// simulates the paper's transputer links in one address space, this
+// implementation actually crosses the OS boundary, so "calls to the entry
+// procedures of an object are implemented as remote procedure calls" (§1)
+// holds between separate processes on separate nodes. The RPC stack above
+// (rpc.h) runs unchanged on either backend.
+//
+// Cluster model. Membership is static configuration: each process is told
+// its own NodeId, a listen address, and the address of every peer
+// (SocketTransportOptions). One SocketTransport serves exactly one local
+// node — processes are the unit of distribution here, unlike the sim's
+// many-nodes-in-one-process model.
+//
+// Connection lifecycle.
+//   * A listener thread accepts inbound connections; each gets a reader
+//     thread that reassembles length-prefixed stream frames (codec.h,
+//     StreamReassembler) and dispatches them to the local handler. Frame
+//     payloads arrive as owned Buffers, so ≥256 B blob decodes alias the
+//     receive buffer exactly as they alias a simulated delivery.
+//   * Outbound links are created on demand: the first post() towards a peer
+//     starts its sender thread, which connects lazily and reconnects with
+//     exponential backoff after failures. While a peer is unreachable,
+//     queued frames are counted lost and dropped — the datagram-like
+//     contract the RPC retry layer already converges under.
+//   * sever()/restore() are the real-transport analog of a sim partition:
+//     sever tears the connection down and fails sends/receives for that
+//     peer until restore; is_partitioned() reports it so RPC failures are
+//     typed kPartitioned. ~SocketTransport tears down every connection
+//     after a best-effort drain of queued frames.
+//
+// Zero-copy send path. post(src, dst, FrameBuilder) never builds the frame:
+// the sender thread hands the builder's scatter-gather segment list to
+// sendmsg() (writev semantics) behind the 12-byte stream header, so the
+// data plane's `bytes_assembled` counter stays at zero for every frame this
+// transport sends — the slices' single remaining copy happens inside the
+// kernel, on the way to the wire.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/codec.h"
+#include "net/directory.h"
+#include "net/transport.h"
+
+namespace alps::net {
+
+/// One endpoint: either TCP (host:port) or a Unix-domain socket path.
+struct SocketAddress {
+  std::string host;         ///< TCP peer address; empty for Unix sockets
+  std::uint16_t port = 0;   ///< TCP port; 0 asks the OS to pick (listen only)
+  std::string path;         ///< Unix socket path; empty for TCP
+
+  static SocketAddress tcp(std::string host, std::uint16_t port) {
+    SocketAddress a;
+    a.host = std::move(host);
+    a.port = port;
+    return a;
+  }
+  static SocketAddress unix_path(std::string path) {
+    SocketAddress a;
+    a.path = std::move(path);
+    return a;
+  }
+  bool is_unix() const { return !path.empty(); }
+  std::string to_string() const;
+};
+
+struct SocketPeer {
+  NodeId id = 0;
+  std::string name;
+  SocketAddress address;
+};
+
+struct SocketTransportOptions {
+  NodeId local_node = 0;
+  std::string local_name;
+  SocketAddress listen;
+  std::vector<SocketPeer> peers;  ///< the rest of the static cluster
+  /// Reconnect backoff after a failed connect: doubles from initial to max.
+  std::chrono::milliseconds connect_backoff_initial{20};
+  std::chrono::milliseconds connect_backoff_max{1000};
+  /// Per-connect-attempt timeout (non-blocking connect + poll).
+  std::chrono::milliseconds connect_timeout{1000};
+  /// Bound on frames buffered towards one peer; overflow is counted lost
+  /// and dropped (a real NIC queue tail-drops the same way).
+  std::size_t max_queued_per_peer = 4096;
+};
+
+class SocketTransport final : public Transport {
+ public:
+  explicit SocketTransport(SocketTransportOptions options);
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  /// Returns the preconfigured local node id. One local node per transport;
+  /// a second registration raises kNetwork.
+  NodeId add_node(const std::string& name) override;
+
+  void set_handler(NodeId node, Handler handler) override;
+
+  void post(Frame frame) override;
+  /// Scatter-gather post: queued in builder form; the sender thread writes
+  /// the segment list directly (sendmsg), never assembling the frame.
+  void post(NodeId src, NodeId dst, const FrameBuilder& frame) override;
+
+  TransportStats transport_stats() const override;
+  Directory& directory() override { return directory_; }
+
+  /// True while `sever` is in force for the peer, or its connection is down
+  /// and in reconnect backoff after a failure.
+  bool is_partitioned(NodeId a, NodeId b) const override;
+
+  std::size_t node_count() const override;
+  std::string node_name(NodeId id) const override;
+
+  /// Blocks until every peer's send queue is drained and no write is in
+  /// flight. Send-side only: bytes in kernel buffers or the peer process
+  /// are beyond this transport's knowledge (DESIGN.md §4.10).
+  void wait_quiescent() const override;
+
+  /// Real-transport partition: closes the connection to `peer`, drops its
+  /// queued frames as lost, and fails every send/receive for that peer
+  /// until restore(). The RPC layer sees is_partitioned() and types
+  /// failures kPartitioned, exactly as under a sim cut.
+  void sever(NodeId peer);
+  void restore(NodeId peer);
+
+  /// Closes the outbound connection to `peer` (it reconnects on demand on
+  /// the next post). Unhost/teardown hook and a reconnect test handle.
+  void disconnect(NodeId peer);
+
+  /// The port the listener actually bound (TCP with port 0); the configured
+  /// port otherwise.
+  std::uint16_t bound_port() const;
+
+ private:
+  /// Outbound link to one peer: lazily-started sender thread, its queue,
+  /// and the connection state machine (disconnected → connecting →
+  /// connected, with backoff between failed rounds).
+  struct PeerLink {
+    NodeId id = 0;
+    SocketAddress address;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<FrameBuilder> queue;
+    int fd = -1;
+    bool severed = false;
+    bool sending = false;       ///< a frame is between pop and wire
+    bool unreachable = false;   ///< last connect round failed (in backoff)
+    std::chrono::milliseconds backoff{0};
+    std::chrono::steady_clock::time_point next_attempt{};
+    std::jthread sender;
+  };
+
+  /// One accepted inbound connection and its reader thread.
+  struct Inbound {
+    int fd = -1;
+    NodeId last_src = 0;  ///< latest src seen on this stream (sever teardown)
+    std::jthread reader;
+  };
+
+  void listen_loop(const std::stop_token& st);
+  void reader_loop(const std::stop_token& st, std::shared_ptr<Inbound> conn);
+  void sender_loop(const std::stop_token& st, PeerLink* link);
+  /// Connects link->fd (non-blocking + poll timeout). Returns false and
+  /// arms the backoff on failure. Caller holds link->mu.
+  bool connect_locked(PeerLink& link);
+  /// Sends one frame over the link's fd as header + scatter segments.
+  bool send_frame(int fd, const FrameBuilder& frame);
+  void deliver(NodeId src, Buffer payload);
+  void enqueue(NodeId dst, FrameBuilder frame);
+  void count_lost(std::size_t frames, std::size_t bytes);
+
+  SocketTransportOptions options_;
+  Directory directory_;
+
+  mutable std::mutex mu_;
+  Handler handler_;
+  bool have_node_ = false;
+  int active_deliveries_ = 0;
+  mutable std::condition_variable delivery_cv_;
+  TransportStats stats_;
+  std::unordered_map<NodeId, std::unique_ptr<PeerLink>> links_;
+  std::vector<std::shared_ptr<Inbound>> inbound_;
+  std::unordered_map<NodeId, std::string> peer_names_;
+
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::jthread listener_;
+};
+
+}  // namespace alps::net

@@ -4,6 +4,9 @@
 // or throw — never hang or read out of bounds.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
+
 #include "core/error.h"
 #include "net/codec.h"
 #include "support/rng.h"
@@ -355,6 +358,124 @@ TEST_P(CodecFuzz, HeaderCorruptionNeverCrashes) {
     corrupted[at] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
     try {
       decode_response_frame(corrupted);
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kBadMessage);
+    }
+  }
+}
+
+// ---- stream framing (socket transport byte streams) ----
+
+/// Encodes one complete stream chunk (header + payload) for feeding.
+std::vector<std::uint8_t> stream_chunk(NodeId src,
+                                       const std::vector<std::uint8_t>& body) {
+  std::vector<std::uint8_t> out(kStreamHeaderBytes);
+  encode_stream_header(src, body.size(), out.data());
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+TEST_P(CodecFuzz, StreamReassemblesAcrossArbitrarilyTornReads) {
+  support::Rng rng(GetParam() + 9000);
+  for (int trial = 0; trial < 40; ++trial) {
+    // A run of frames with mixed sizes (empty through multi-KB), concatenated
+    // as one wire stream, then fed in random-sized fragments — including
+    // fragments that tear headers and bodies at every possible offset.
+    std::vector<std::vector<std::uint8_t>> bodies;
+    std::vector<std::uint8_t> wire;
+    const auto frames = 1 + rng.next_below(8);
+    for (std::uint64_t f = 0; f < frames; ++f) {
+      std::vector<std::uint8_t> body(1 + (rng.next_below(3) == 0
+                                              ? rng.next_below(4096)
+                                              : rng.next_below(32)));
+      for (auto& b : body) b = static_cast<std::uint8_t>(rng.next_below(256));
+      const auto chunk = stream_chunk(7, body);
+      wire.insert(wire.end(), chunk.begin(), chunk.end());
+      bodies.push_back(std::move(body));
+    }
+    StreamReassembler reassembler;
+    std::vector<std::vector<std::uint8_t>> got;
+    std::size_t pos = 0;
+    while (pos < wire.size()) {
+      const auto n =
+          std::min<std::size_t>(1 + rng.next_below(64), wire.size() - pos);
+      reassembler.feed(wire.data() + pos, n);
+      pos += n;
+      while (auto msg = reassembler.next()) {
+        EXPECT_EQ(msg->src, 7u);
+        got.emplace_back(msg->payload.data(),
+                         msg->payload.data() + msg->payload.size());
+      }
+    }
+    ASSERT_EQ(got.size(), bodies.size());
+    for (std::size_t f = 0; f < bodies.size(); ++f) EXPECT_EQ(got[f], bodies[f]);
+    EXPECT_FALSE(reassembler.mid_frame());
+    EXPECT_EQ(reassembler.buffered_bytes(), 0u);
+  }
+}
+
+TEST(StreamFraming, OversizedLengthPoisonsTheStream) {
+  // length > kMaxStreamFrameBytes must be rejected before any allocation,
+  // and the reassembler must stay rejecting: a byte stream with a corrupt
+  // length field has no resync point.
+  std::vector<std::uint8_t> header(kStreamHeaderBytes, 0);
+  const std::uint32_t bad = kMaxStreamFrameBytes + 1;
+  std::memcpy(header.data(), &bad, sizeof(bad));
+  StreamReassembler reassembler;
+  EXPECT_THROW(reassembler.feed(header.data(), header.size()), Error);
+  const std::uint8_t byte = 0;
+  EXPECT_THROW(reassembler.feed(&byte, 1), Error) << "stream must stay poisoned";
+}
+
+TEST(StreamFraming, UndersizedLengthRejected) {
+  // length < 9 cannot hold the src field plus the payload's MsgType byte,
+  // so every value through 8 is corruption on this wire.
+  for (std::uint32_t bad : {0u, 1u, 7u, 8u}) {
+    std::vector<std::uint8_t> header(kStreamHeaderBytes, 0);
+    std::memcpy(header.data(), &bad, sizeof(bad));
+    StreamReassembler reassembler;
+    EXPECT_THROW(reassembler.feed(header.data(), header.size()), Error)
+        << "length " << bad;
+  }
+}
+
+TEST(StreamFraming, MidFrameDropLeavesPartialObservable) {
+  // A connection dying mid-frame abandons the reassembler with the torn
+  // tail; mid_frame()/buffered_bytes() are what the owner counts as lost.
+  const auto chunk = stream_chunk(3, std::vector<std::uint8_t>(100, 0xab));
+  {
+    StreamReassembler reassembler;  // torn inside the header
+    reassembler.feed(chunk.data(), kStreamHeaderBytes / 2);
+    EXPECT_TRUE(reassembler.mid_frame());
+    EXPECT_FALSE(reassembler.next().has_value());
+  }
+  {
+    StreamReassembler reassembler;  // torn inside the body
+    reassembler.feed(chunk.data(), chunk.size() - 10);
+    EXPECT_TRUE(reassembler.mid_frame());
+    EXPECT_GT(reassembler.buffered_bytes(), 0u);
+    EXPECT_FALSE(reassembler.next().has_value());
+    // The tail arriving later (same connection) still completes the frame.
+    reassembler.feed(chunk.data() + chunk.size() - 10, 10);
+    auto msg = reassembler.next();
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->src, 3u);
+    EXPECT_EQ(msg->payload.size(), 100u);
+  }
+}
+
+TEST_P(CodecFuzz, StreamLengthCorruptionNeverCrashesNorOverallocates) {
+  support::Rng rng(GetParam() + 9500);
+  const auto chunk = stream_chunk(9, {1, 2, 3, 4, 5});
+  for (int trial = 0; trial < 200; ++trial) {
+    auto corrupted = chunk;
+    const auto at = rng.next_below(kStreamHeaderBytes);
+    corrupted[at] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+    StreamReassembler reassembler;
+    try {
+      reassembler.feed(corrupted.data(), corrupted.size());
+      while (reassembler.next()) {
+      }
     } catch (const Error& e) {
       EXPECT_EQ(e.code(), ErrorCode::kBadMessage);
     }

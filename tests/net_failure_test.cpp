@@ -44,7 +44,7 @@ TEST(NetFailure, PartitionSurfacesTypedPartitionError) {
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.error().cause(), RpcCause::kPartitioned)
       << "an active partition must be typed as such, not a bare timeout";
-  EXPECT_GT(rig.net.stats().frames_lost, 0u);
+  EXPECT_GT(rig.net.transport_stats().frames_lost, 0u);
   EXPECT_EQ(rig.client.inflight(), 0u) << "timed-out request must be reaped";
 }
 
@@ -145,7 +145,7 @@ TEST(NetFailure, RandomLossEventuallyLosesFrames) {
   EXPECT_GT(timeouts, 0) << "50% loss must time out some calls";
   rig.net.set_loss_probability(0.0);
   EXPECT_EQ(rig.remote.call("Echo", vals(99), {}).value()[0].as_int(), 99);
-  EXPECT_GT(rig.net.stats().frames_lost, 0u);
+  EXPECT_GT(rig.net.transport_stats().frames_lost, 0u);
 }
 
 TEST(NetFailure, RetryPolicySucceedsUnderModerateLoss) {

@@ -95,7 +95,7 @@ TEST(NetFault, ThousandCallsSurviveDropAndPartitionExactlyOnce) {
   EXPECT_GT(ss.dedup_replayed + ss.dup_in_flight + ss.dup_acked, 0u)
       << "some retransmission must have hit the dedup table";
   EXPECT_EQ(cs.failures, 0u);
-  EXPECT_GT(net.stats().frames_lost, 0u);
+  EXPECT_GT(net.transport_stats().frames_lost, 0u);
   EXPECT_EQ(client.inflight(), 0u);
 }
 
@@ -137,9 +137,9 @@ struct RawRig {
   RawRig() {
     server.host(svc.obj);
     raw = net.add_node("raw-client");
-    net.set_handler(raw, [this](Frame f) {
+    net.set_handler(raw, [this](NodeId, Buffer payload) {
       std::scoped_lock lock(mu);
-      responses.push_back(std::move(f.payload));
+      responses.emplace_back(payload.data(), payload.data() + payload.size());
     });
   }
 

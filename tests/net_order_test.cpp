@@ -20,8 +20,8 @@ TEST(NetworkOrder, JitteryLinkStaysFifo) {
   const NodeId b = net.add_node("b");
   std::vector<std::uint8_t> order;
   support::Event done;
-  net.set_handler(b, [&](Frame f) {
-    order.push_back(f.payload[0]);
+  net.set_handler(b, [&](NodeId, Buffer payload) {
+    order.push_back(payload[0]);
     if (order.size() == 50) done.set();
   });
   for (std::uint8_t i = 0; i < 50; ++i) net.post(Frame{a, b, {i}});
@@ -43,9 +43,9 @@ TEST(NetworkOrder, ReorderFaultLetsFramesEscapeFifo) {
   std::mutex mu;
   std::vector<std::uint8_t> order;
   support::Event done;
-  net.set_handler(b, [&](Frame f) {
+  net.set_handler(b, [&](NodeId, Buffer payload) {
     std::scoped_lock lock(mu);
-    order.push_back(f.payload[0]);
+    order.push_back(payload[0]);
     if (order.size() == 50) done.set();
   });
   for (std::uint8_t i = 0; i < 50; ++i) net.post(Frame{a, b, {i}});
@@ -55,7 +55,7 @@ TEST(NetworkOrder, ReorderFaultLetsFramesEscapeFifo) {
     if (order[i] != i) out_of_order = true;
   }
   EXPECT_TRUE(out_of_order) << "seed 99's jitter must shuffle at least once";
-  EXPECT_GT(net.stats().frames_reordered, 0u);
+  EXPECT_GT(net.fault_stats().frames_reordered, 0u);
 }
 
 TEST(NetworkOrder, IndependentLinksDoNotBlockEachOther) {
@@ -66,11 +66,11 @@ TEST(NetworkOrder, IndependentLinksDoNotBlockEachOther) {
   net.set_link_latency(a, b, LinkLatency{std::chrono::microseconds(50000), {}});
   std::atomic<bool> fast_got{false};
   support::Event fast_done;
-  net.set_handler(c, [&](Frame) {
+  net.set_handler(c, [&](NodeId, Buffer) {
     fast_got = true;
     fast_done.set();
   });
-  net.set_handler(b, [&](Frame) {});
+  net.set_handler(b, [&](NodeId, Buffer) {});
   net.post(Frame{a, b, {}});  // slow link
   net.post(Frame{a, c, {}});  // fast link, posted later
   EXPECT_TRUE(fast_done.wait_for(std::chrono::milliseconds(500)));

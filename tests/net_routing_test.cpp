@@ -119,13 +119,13 @@ TEST(Routing, SelfHostedObjectCallableByName) {
 TEST(Routing, UnknownNameFailsTypedWithoutTraffic) {
   Network net;
   Node client(net, "client");
-  const auto posted_before = net.stats().frames_posted;
+  const auto posted_before = net.transport_stats().frames_posted;
 
   auto r = client.call("Nowhere", "X", {});
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.error().cause(), RpcCause::kObjectNotFound);
   EXPECT_EQ(r.error().attempts(), 0);
-  EXPECT_EQ(net.stats().frames_posted, posted_before)
+  EXPECT_EQ(net.transport_stats().frames_posted, posted_before)
       << "a directory miss must not touch the network";
 }
 
@@ -256,9 +256,9 @@ TEST(Batch, SizeBoundCoalescesAndPreservesFifo) {
   BatchOptions opts;
   opts.max_frames = 4;
   opts.flush_interval = std::chrono::microseconds(60'000'000);  // size-only
-  FrameBatcher batcher(opts, [&](NodeId dst, std::vector<std::uint8_t> p) {
+  FrameBatcher batcher(opts, [&](NodeId dst, FrameBuilder frame) {
     std::scoped_lock lock(mu);
-    posted.emplace_back(dst, std::move(p));
+    posted.emplace_back(dst, frame.build());
   });
   for (std::uint8_t i = 0; i < 8; ++i) {
     batcher.enqueue(7, {static_cast<std::uint8_t>(MsgType::kAck), i});
@@ -290,9 +290,9 @@ TEST(Batch, SingleFrameFlushesRawWithoutEnvelope) {
   BatchOptions opts;
   opts.max_frames = 8;
   opts.flush_interval = std::chrono::microseconds(60'000'000);
-  FrameBatcher batcher(opts, [&](NodeId, std::vector<std::uint8_t> p) {
+  FrameBatcher batcher(opts, [&](NodeId, FrameBuilder frame) {
     std::scoped_lock lock(mu);
-    posted.push_back(std::move(p));
+    posted.push_back(frame.build());
   });
   batcher.enqueue(1, {static_cast<std::uint8_t>(MsgType::kAck), 9});
   batcher.flush_all();
@@ -311,7 +311,7 @@ TEST(Batch, IntervalBoundFlushesWithoutHelp) {
   BatchOptions opts;
   opts.max_frames = 100;  // never reached
   opts.flush_interval = std::chrono::microseconds(500);
-  FrameBatcher batcher(opts, [&](NodeId, std::vector<std::uint8_t>) {
+  FrameBatcher batcher(opts, [&](NodeId, const FrameBuilder&) {
     std::scoped_lock lock(mu);
     ++posted;
     cv.notify_all();

@@ -1,0 +1,304 @@
+// SocketTransport tests: real OS sockets (Unix-domain and TCP loopback)
+// inside one test process. Several transports — one per "node", each with
+// its own listener and directory replica — exercise the same code paths a
+// multi-process deployment uses (examples/distributed_dictionary.cpp and
+// the net_multiprocess_smoke ctest cover the actual process boundary).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/alps.h"
+#include "net/net.h"
+#include "support/stats.h"
+#include "support/sync.h"
+
+namespace alps::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Short per-test unix socket paths (sun_path is ~100 bytes; the default
+/// temp dir keeps us well under).
+class SocketPaths {
+ public:
+  explicit SocketPaths(const std::string& tag) {
+    base_ = std::filesystem::temp_directory_path() /
+            ("alps-" + tag + "-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(base_);
+  }
+  ~SocketPaths() { std::filesystem::remove_all(base_); }
+
+  std::string node(NodeId id) const {
+    return (base_ / (std::to_string(id) + ".sock")).string();
+  }
+
+ private:
+  std::filesystem::path base_;
+};
+
+/// A fully-meshed unix-socket cluster config for `ids`, from `self`'s view.
+SocketTransportOptions uds_options(const SocketPaths& paths, NodeId self,
+                                   const std::vector<NodeId>& ids) {
+  SocketTransportOptions opts;
+  opts.local_node = self;
+  opts.local_name = "n" + std::to_string(self);
+  opts.listen = SocketAddress::unix_path(paths.node(self));
+  for (NodeId id : ids) {
+    if (id == self) continue;
+    opts.peers.push_back(SocketPeer{id, "n" + std::to_string(id),
+                                    SocketAddress::unix_path(paths.node(id))});
+  }
+  return opts;
+}
+
+TEST(SocketTransport, DeliversRawFramesOverUnixSocket) {
+  SocketPaths paths("raw");
+  SocketTransport ta(uds_options(paths, 1, {1, 2}));
+  SocketTransport tb(uds_options(paths, 2, {1, 2}));
+  ta.add_node("a");
+  tb.add_node("b");
+
+  std::mutex mu;
+  std::vector<std::vector<std::uint8_t>> got;
+  support::Event done;
+  tb.set_handler(2, [&](NodeId src, Buffer payload) {
+    EXPECT_EQ(src, 1u);
+    std::scoped_lock lock(mu);
+    got.emplace_back(payload.data(), payload.data() + payload.size());
+    if (got.size() == 3) done.set();
+  });
+
+  for (std::uint8_t i = 0; i < 3; ++i) ta.post(Frame{1, 2, {i, 42}});
+  ASSERT_TRUE(done.wait_for(10s));
+
+  std::scoped_lock lock(mu);
+  ASSERT_EQ(got.size(), 3u);
+  for (std::uint8_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(got[i], (std::vector<std::uint8_t>{i, 42}))
+        << "frames must arrive intact and FIFO";
+  }
+  const auto sent = ta.transport_stats();
+  EXPECT_EQ(sent.frames_posted, 3u);
+  EXPECT_EQ(sent.bytes_posted, 6u);
+  const auto recv = tb.transport_stats();
+  EXPECT_EQ(recv.frames_delivered, 3u);
+  EXPECT_EQ(recv.bytes_delivered, 6u);
+}
+
+TEST(SocketTransport, DeliversRawFramesOverTcpLoopback) {
+  SocketTransportOptions a_opts;
+  a_opts.local_node = 1;
+  a_opts.listen = SocketAddress::tcp("127.0.0.1", 0);  // OS picks
+  SocketTransport ta(a_opts);  // peer list patched below via second transport
+
+  // B learns A's actual port after A binds; A needs no route to B for this
+  // one-directional test.
+  SocketTransportOptions b_opts;
+  b_opts.local_node = 2;
+  b_opts.listen = SocketAddress::tcp("127.0.0.1", 0);
+  b_opts.peers.push_back(
+      SocketPeer{1, "a", SocketAddress::tcp("127.0.0.1", ta.bound_port())});
+  SocketTransport tb(b_opts);
+  ta.add_node("a");
+  tb.add_node("b");
+
+  support::Event done;
+  std::atomic<std::size_t> bytes{0};
+  ta.set_handler(1, [&](NodeId src, Buffer payload) {
+    EXPECT_EQ(src, 2u);
+    bytes += payload.size();
+    done.set();
+  });
+  tb.post(Frame{2, 1, std::vector<std::uint8_t>(1024, 7)});
+  ASSERT_TRUE(done.wait_for(10s));
+  EXPECT_EQ(bytes.load(), 1024u);
+}
+
+TEST(SocketTransport, LoopbackToSelfDeliversInline) {
+  SocketPaths paths("self");
+  SocketTransport t(uds_options(paths, 1, {1}));
+  t.add_node("a");
+  bool got = false;
+  t.set_handler(1, [&](NodeId src, Buffer payload) {
+    EXPECT_EQ(src, 1u);
+    EXPECT_EQ(payload.size(), 2u);
+    got = true;
+  });
+  t.post(Frame{1, 1, {9, 9}});  // synchronous: no peer, no socket
+  EXPECT_TRUE(got);
+}
+
+/// Two socket transports + an RPC Node on each; the client's directory
+/// replica is seeded like static placement config would be.
+struct SocketRpcRig {
+  SocketPaths paths{"rpc"};
+  SocketTransport client_t{uds_options(paths, 1, {1, 2})};
+  SocketTransport server_t{uds_options(paths, 2, {1, 2})};
+  Node client{client_t, "client"};
+  Node server{server_t, "server"};
+  Object echo{"Echo"};
+
+  SocketRpcRig() {
+    auto dbl = echo.define_entry({.name = "Double", .params = 1, .results = 1});
+    echo.implement(dbl, [](BodyCtx& ctx) -> ValueList {
+      return {Value(ctx.param(0).as_int() * 2)};
+    });
+    auto blob = echo.define_entry({.name = "Len", .params = 1, .results = 1});
+    echo.implement(blob, [](BodyCtx& ctx) -> ValueList {
+      return {Value(static_cast<std::int64_t>(ctx.param(0).as_blob().size()))};
+    });
+    echo.start();
+    server.host(echo);  // registers in the *server's* replica
+    // The client's replica is this process's placement knowledge.
+    client_t.directory().add("Echo", 2);
+  }
+  ~SocketRpcRig() { echo.stop(); }
+};
+
+TEST(SocketRpc, NameBasedCallRoundTrips) {
+  SocketRpcRig rig;
+  CallOptions opts;
+  opts.retry = RetryPolicy{};  // sockets may need the first-connect grace
+  for (int i = 0; i < 10; ++i) {
+    auto r = rig.client.call("Echo", "Double", {Value(std::int64_t(i))}, opts);
+    ASSERT_TRUE(r.ok()) << r.error().what();
+    EXPECT_EQ(r.value()[0].as_int(), 2 * i);
+  }
+  EXPECT_EQ(rig.server.server_stats().dispatched, 10u);
+  EXPECT_EQ(rig.client.client_stats().failures, 0u);
+}
+
+TEST(SocketRpc, LargeBlobsRideTheScatterPathWithoutAssembly) {
+  SocketRpcRig rig;
+  auto& dp = support::data_plane();
+  const auto assembled_before = dp.bytes_assembled.get();
+  const auto referenced_before = dp.bytes_referenced.get();
+
+  // 64 KiB blob parameter: far above kZeroCopySliceThreshold, so the request
+  // frame carries it as a referenced slice and the socket's sendmsg path
+  // must never gather it into a contiguous frame.
+  Blob big(64 * 1024, 0x5a);
+  CallOptions opts;
+  opts.retry = RetryPolicy{};
+  auto r = rig.client.call("Echo", "Len", {Value(std::move(big))}, opts);
+  ASSERT_TRUE(r.ok()) << r.error().what();
+  EXPECT_EQ(r.value()[0].as_int(), 64 * 1024);
+
+  EXPECT_GE(dp.bytes_referenced.get() - referenced_before, 64u * 1024u)
+      << "the blob must travel by reference on the send side";
+  EXPECT_EQ(dp.bytes_assembled.get() - assembled_before, 0u)
+      << "no frame on the socket path may pay the final gather";
+}
+
+TEST(SocketRpc, ReconnectsAfterDisconnect) {
+  SocketRpcRig rig;
+  CallOptions opts;
+  opts.retry = RetryPolicy{};
+  ASSERT_TRUE(rig.client.call("Echo", "Double", vals(1), opts).ok());
+  // Drop the established connection; the next call must transparently
+  // reconnect (same contract as connect-on-demand).
+  rig.client_t.disconnect(2);
+  auto r = rig.client.call("Echo", "Double", vals(2), opts);
+  ASSERT_TRUE(r.ok()) << r.error().what();
+  EXPECT_EQ(r.value()[0].as_int(), 4);
+}
+
+TEST(SocketRpc, SeverFailsTypedAndRestoreHeals) {
+  SocketRpcRig rig;
+  CallOptions opts;
+  opts.retry = RetryPolicy{};
+  ASSERT_TRUE(rig.client.call("Echo", "Double", vals(1), opts).ok());
+
+  rig.client_t.sever(2);
+  EXPECT_TRUE(rig.client_t.is_partitioned(1, 2));
+  CallOptions bounded = opts;
+  bounded.deadline = 300ms;
+  auto r = rig.client.call("Echo", "Double", vals(2), bounded);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().cause(), RpcCause::kPartitioned);
+
+  rig.client_t.restore(2);
+  EXPECT_FALSE(rig.client_t.is_partitioned(1, 2));
+  auto healed = rig.client.call("Echo", "Double", vals(3), opts);
+  ASSERT_TRUE(healed.ok()) << healed.error().what();
+  EXPECT_EQ(healed.value()[0].as_int(), 6);
+}
+
+TEST(SocketRpc, WrongNodeRedirectHealsStaleReplica) {
+  // Three "processes": the client's directory replica deliberately names a
+  // stale home (node 2) for an object actually hosted on node 3. Node 2's
+  // replica knows the truth, so the request earns a kWrongNode redirect and
+  // the client's second hop lands right — placement heals in-band exactly
+  // as in the simulated cluster.
+  SocketPaths paths("redir");
+  const std::vector<NodeId> ids{1, 2, 3};
+  SocketTransport t1(uds_options(paths, 1, ids));
+  SocketTransport t2(uds_options(paths, 2, ids));
+  SocketTransport t3(uds_options(paths, 3, ids));
+  Node client(t1, "client");
+  Node middle(t2, "middle");
+  Node serving(t3, "serving");
+
+  Object obj("Roamer");
+  auto ping = obj.define_entry({.name = "Ping", .params = 0, .results = 1});
+  obj.implement(ping, [](BodyCtx&) -> ValueList {
+    return {Value(std::int64_t(99))};
+  });
+  obj.start();
+  serving.host(obj);           // t3's replica: Roamer → 3
+  t2.directory().add("Roamer", 3);  // node 2 knows the real home
+  t1.directory().add("Roamer", 2);  // client's replica is stale
+
+  CallOptions opts;
+  opts.retry = RetryPolicy{};
+  auto r = client.call("Roamer", "Ping", {}, opts);
+  ASSERT_TRUE(r.ok()) << r.error().what();
+  EXPECT_EQ(r.value()[0].as_int(), 99);
+  EXPECT_GE(client.client_stats().redirects, 1u);
+  EXPECT_GE(middle.server_stats().wrong_node_redirects, 1u);
+  EXPECT_EQ(client.cached_route("Roamer"), std::optional<NodeId>(3))
+      << "the redirect must heal the client's route cache";
+  obj.stop();
+}
+
+TEST(SocketRpc, BatchedCallsCoalesceOverTheWire) {
+  SocketRpcRig rig;
+  BatchOptions batch;
+  batch.max_frames = 8;
+  batch.flush_interval = std::chrono::microseconds(200);
+  rig.client.set_batching(batch);
+
+  CallOptions opts;
+  opts.retry = RetryPolicy{};
+  std::vector<RpcHandle> handles;
+  for (int i = 0; i < 32; ++i) {
+    handles.push_back(
+        rig.client.async_call("Echo", "Double", vals(i), opts));
+  }
+  rig.client.flush_batches();
+  for (int i = 0; i < 32; ++i) {
+    auto r = handles[i].result();
+    ASSERT_TRUE(r.ok()) << r.error().what();
+    EXPECT_EQ(r.value()[0].as_int(), 2 * i);
+  }
+  EXPECT_GT(rig.client.batch_stats().frames_coalesced, 0u)
+      << "some requests must have shared a kBatch envelope on the socket";
+}
+
+TEST(SocketTransport, SecondLocalNodeRefused) {
+  SocketPaths paths("one");
+  SocketTransport t(uds_options(paths, 1, {1}));
+  t.add_node("only");
+  EXPECT_THROW(t.add_node("second"), Error);
+}
+
+}  // namespace
+}  // namespace alps::net

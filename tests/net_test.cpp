@@ -115,14 +115,14 @@ TEST(Network, DeliversFrames) {
   const NodeId b = net.add_node("b");
   std::atomic<int> received{0};
   support::Event done;
-  net.set_handler(b, [&](Frame f) {
-    EXPECT_EQ(f.src, a);
-    EXPECT_EQ(f.dst, b);
+  net.set_handler(b, [&](NodeId src, Buffer payload) {
+    EXPECT_EQ(src, a);
+    EXPECT_EQ(payload.size(), 3u);
     if (++received == 3) done.set();
   });
   for (int i = 0; i < 3; ++i) net.post(Frame{a, b, {1, 2, 3}});
   EXPECT_TRUE(done.wait_for(std::chrono::seconds(5)));
-  auto stats = net.stats();
+  auto stats = net.transport_stats();
   EXPECT_EQ(stats.frames_delivered, 3u);
   EXPECT_EQ(stats.bytes_delivered, 9u);
 }
@@ -134,7 +134,7 @@ TEST(Network, DropsFramesForUnknownOrHandlerlessNodes) {
   net.post(Frame{a, 1, {}});
   net.post(Frame{a, 77, {}});  // unknown
   net.wait_quiescent();
-  EXPECT_EQ(net.stats().frames_dropped, 2u);
+  EXPECT_EQ(net.transport_stats().frames_dropped, 2u);
 }
 
 TEST(Network, LatencyDelaysDelivery) {
@@ -142,7 +142,7 @@ TEST(Network, LatencyDelaysDelivery) {
   const NodeId a = net.add_node("a");
   const NodeId b = net.add_node("b");
   support::Event done;
-  net.set_handler(b, [&](Frame) { done.set(); });
+  net.set_handler(b, [&](NodeId, Buffer) { done.set(); });
   const auto begin = std::chrono::steady_clock::now();
   net.post(Frame{a, b, {}});
   EXPECT_TRUE(done.wait_for(std::chrono::seconds(5)));
@@ -156,7 +156,7 @@ TEST(Network, PerLinkOverrideApplies) {
   const NodeId b = net.add_node("b");
   net.set_link_latency(a, b, LinkLatency{});  // fast lane
   support::Event done;
-  net.set_handler(b, [&](Frame) { done.set(); });
+  net.set_handler(b, [&](NodeId, Buffer) { done.set(); });
   const auto begin = std::chrono::steady_clock::now();
   net.post(Frame{a, b, {}});
   EXPECT_TRUE(done.wait_for(std::chrono::seconds(5)));
@@ -170,8 +170,8 @@ TEST(Network, ZeroLatencyFramesKeepFifoOrder) {
   const NodeId b = net.add_node("b");
   std::vector<std::uint8_t> order;
   support::Event done;
-  net.set_handler(b, [&](Frame f) {
-    order.push_back(f.payload[0]);
+  net.set_handler(b, [&](NodeId, Buffer payload) {
+    order.push_back(payload[0]);
     if (order.size() == 10) done.set();
   });
   for (std::uint8_t i = 0; i < 10; ++i) net.post(Frame{a, b, {i}});
@@ -188,11 +188,11 @@ TEST(Network, DuplicationDeliversExtraCopies) {
   faults.duplicate_jitter = std::chrono::microseconds(100);
   net.set_link_faults(a, b, faults);
   std::atomic<int> received{0};
-  net.set_handler(b, [&](Frame) { ++received; });
+  net.set_handler(b, [&](NodeId, Buffer) { ++received; });
   for (int i = 0; i < 5; ++i) net.post(Frame{a, b, {1}});
   net.wait_quiescent();
   EXPECT_EQ(received.load(), 10);
-  EXPECT_EQ(net.stats().frames_duplicated, 5u);
+  EXPECT_EQ(net.fault_stats().frames_duplicated, 5u);
 }
 
 TEST(Network, ScriptedPartitionActivatesAndHealsByFrameCount) {
@@ -200,7 +200,7 @@ TEST(Network, ScriptedPartitionActivatesAndHealsByFrameCount) {
   const NodeId a = net.add_node("a");
   const NodeId b = net.add_node("b");
   std::atomic<int> received{0};
-  net.set_handler(b, [&](Frame) { ++received; });
+  net.set_handler(b, [&](NodeId, Buffer) { ++received; });
   // Cut activates after 3 posted frames and heals after 4 more.
   net.schedule_partition(a, b, 3, 4);
   EXPECT_FALSE(net.is_partitioned(a, b));
@@ -211,7 +211,7 @@ TEST(Network, ScriptedPartitionActivatesAndHealsByFrameCount) {
   for (int i = 0; i < 2; ++i) net.post(Frame{a, b, {1}});
   net.wait_quiescent();
   EXPECT_EQ(received.load(), 5);  // 3 before + 2 after
-  EXPECT_EQ(net.stats().frames_lost, 4u);
+  EXPECT_EQ(net.transport_stats().frames_lost, 4u);
 }
 
 // ---- RPC ----
@@ -394,9 +394,9 @@ TEST(Rpc, RequestDeadlineEnforcedByServingKernel) {
   std::mutex mu;
   std::vector<std::vector<std::uint8_t>> responses;
   support::Event got_response;
-  net.set_handler(raw, [&](Frame f) {
+  net.set_handler(raw, [&](NodeId, Buffer payload) {
     std::scoped_lock lock(mu);
-    responses.push_back(std::move(f.payload));
+    responses.emplace_back(payload.data(), payload.data() + payload.size());
     got_response.set();
   });
 
@@ -432,30 +432,6 @@ TEST(Rpc, RequestDeadlineEnforcedByServingKernel) {
   EXPECT_NE(error.find("deadline"), std::string::npos);
   obj.stop();
 }
-
-// ---- deprecated compatibility surface ----
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(Rpc, DeprecatedWrappersStillWork) {
-  RpcRig rig;
-  // call(): throws on failure, returns results directly.
-  EXPECT_EQ(rig.echo.call("Double", vals(4))[0].as_int(), 8);
-  try {
-    rig.echo.call("Boom", {});
-    FAIL() << "expected RpcError";
-  } catch (const Error& e) {
-    EXPECT_EQ(e.code(), ErrorCode::kNetwork);
-  }
-  // async_call(): CallHandle whose get() works as before.
-  CallHandle h = rig.echo.async_call("Double", vals(5));
-  EXPECT_EQ(h.get()[0].as_int(), 10);
-  // call_for(): optional result.
-  auto timed = rig.echo.call_for("Double", vals(6), std::chrono::seconds(5));
-  ASSERT_TRUE(timed.has_value());
-  EXPECT_EQ((*timed)[0].as_int(), 12);
-}
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace alps::net
