@@ -241,6 +241,98 @@ void BM_TransportBatched(benchmark::State& state) {
   state.SetBytesProcessed(calls * static_cast<std::int64_t>(64 * 1024));
 }
 
+// ---- chaos: echo through a server that dies and comes back (E19) -----------
+
+// E19 (DESIGN.md §4.11): the cost of riding out a server blip. Halfway
+// through the run the server's transport+node are destroyed and rebuilt on
+// the same unix address after `downtime_ms`; every call runs under an
+// aggressive RetryPolicy. completion_rate must hold at 1.0 — the price of
+// the blip shows up in retransmits_per_call and the p99 tail instead.
+void BM_TransportChaos(benchmark::State& state) {
+  const auto downtime = std::chrono::milliseconds(state.range(0));
+
+  static std::atomic<int> counter{0};
+  const std::string dir = (std::filesystem::temp_directory_path() /
+                           ("alps-bench-chaos-" + std::to_string(::getpid()) +
+                            "-" + std::to_string(counter.fetch_add(1))))
+                              .string();
+  std::filesystem::create_directories(dir);
+  const auto addr1 = net::SocketAddress::unix_path(dir + "/1.sock");
+  const auto addr2 = net::SocketAddress::unix_path(dir + "/2.sock");
+  auto options = [&](net::NodeId self) {
+    net::SocketTransportOptions o;
+    o.local_node = self;
+    o.local_name = self == 1 ? "client" : "server";
+    o.listen = self == 1 ? addr1 : addr2;
+    o.peers.push_back(self == 1 ? net::SocketPeer{2, "server", addr2}
+                                : net::SocketPeer{1, "client", addr1});
+    return o;
+  };
+
+  // The server side is bundled so one reset() is the kill and one
+  // make_unique is the same-address restart.
+  struct ServerSide {
+    net::SocketTransport transport;
+    net::Node node;
+    Service svc;
+    explicit ServerSide(const net::SocketTransportOptions& o)
+        : transport(o), node(transport, "server") {
+      node.host(svc.obj);
+    }
+  };
+  {
+  auto server = std::make_unique<ServerSide>(options(2));
+  net::SocketTransport client_t(options(1));
+  net::Node client(client_t, "client");
+  client_t.directory().add("Svc", 2);
+
+  net::CallOptions reliable;
+  net::RetryPolicy policy;
+  policy.attempt_timeout = std::chrono::milliseconds(5);
+  reliable.retry = policy;
+  reliable.deadline = std::chrono::seconds(10);
+
+  const Value payload(pattern(1024));
+  auto remote = client.remote("Svc");
+  remote.call("Echo", {payload}, reliable).value();  // warm connections
+
+  const auto retransmits_before = client.client_stats().retransmits;
+  std::vector<double> latency_us;
+  std::int64_t calls = 0, ok = 0;
+  const auto blip_at = state.max_iterations / 2;
+  for (auto _ : state) {
+    if (calls == blip_at) {
+      server.reset();
+      if (downtime.count() > 0) std::this_thread::sleep_for(downtime);
+      server = std::make_unique<ServerSide>(options(2));
+    }
+    const auto begin = std::chrono::steady_clock::now();
+    if (remote.call("Echo", {payload}, reliable).ok()) ++ok;
+    const auto elapsed = std::chrono::steady_clock::now() - begin;
+    latency_us.push_back(
+        std::chrono::duration<double, std::micro>(elapsed).count());
+    ++calls;
+  }
+  std::sort(latency_us.begin(), latency_us.end());
+  const auto pct = [&](double q) {
+    if (latency_us.empty()) return 0.0;
+    return latency_us[static_cast<std::size_t>(
+        q * static_cast<double>(latency_us.size() - 1))];
+  };
+  const auto denom = static_cast<double>(std::max<std::int64_t>(calls, 1));
+  state.counters["p50_us"] = benchmark::Counter(pct(0.50));
+  state.counters["p99_us"] = benchmark::Counter(pct(0.99));
+  state.counters["completion_rate"] =
+      benchmark::Counter(static_cast<double>(ok) / denom);
+  state.counters["retransmits_per_call"] = benchmark::Counter(
+      static_cast<double>(client.client_stats().retransmits -
+                          retransmits_before) /
+      denom);
+  state.SetItemsProcessed(calls);
+  }
+  std::filesystem::remove_all(dir);
+}
+
 void EchoSweep(benchmark::internal::Benchmark* b) {
   // Backend alternates fastest so each payload size is measured across all
   // three back-to-back (keeps allocator/thermal drift out of the contrast).
@@ -270,6 +362,15 @@ BENCHMARK(BM_TransportBatched)
     ->Apply(BatchSweep)
     ->Iterations(100)
     ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+// Chaos rows: enough calls on each side of the mid-run blip for a stable
+// p99; downtime 0 is a pure connection drop, 50 ms adds a real dead window.
+BENCHMARK(BM_TransportChaos)
+    ->ArgName("downtime_ms")
+    ->Arg(0)
+    ->Arg(50)
+    ->Iterations(400)
+    ->Unit(benchmark::kMicrosecond)
     ->UseRealTime();
 
 }  // namespace

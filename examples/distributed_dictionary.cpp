@@ -22,6 +22,26 @@
 //
 //   $ example_distributed_dictionary serve <i> <n> <dir>
 //       Internal: server process i of n (started by the driver).
+//
+//   $ ALPS_SOAK=1 example_distributed_dictionary chaos <n> [--ci]
+//       Chaos/soak harness (DESIGN.md §4.11): spawns <n> servers, then
+//       kill -9s one mid-burst and restarts it on the same address, adds a
+//       brand-new server to the live cluster, and evicts + re-admits a
+//       healthy peer — all while a driver pushes inserts under aggressive
+//       retries. Each server keeps a durable append-only key log, so the
+//       harness can assert exactly-once convergence from the servers' own
+//       counters even across the kill. An impostor connection (raw garbage
+//       bytes) is thrown at the driver's listener first and must be
+//       rejected before any frame is dispatched. Without ALPS_SOAK=1 the
+//       mode prints [SKIP-SOAK] and exits 77 (ctest SKIP_RETURN_CODE).
+//       --ci shrinks the workload to stay comfortably under a minute.
+//
+//   $ example_distributed_dictionary chaos-serve <i> <dir>
+//       Internal: chaos server process i (started by the chaos driver).
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -30,14 +50,19 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "apps/dictionary.h"
 #include "core/alps.h"
 #include "net/net.h"
 #include "support/rng.h"
+#include "support/stats.h"
 #include "support/sync.h"
 
 namespace {
@@ -273,6 +298,346 @@ int run_driver(int n, bool smoke) {
   return failures == 0 ? 0 : 1;
 }
 
+// ---- chaos/soak harness (DESIGN.md §4.11) ----------------------------------
+
+constexpr const char* kChaosToken = "alps-chaos-demo";
+
+std::string chaos_obj_name(int i) { return "CDict-" + std::to_string(i); }
+
+std::string chaos_sock(const std::string& dir, int id) {
+  return dir + "/" + std::to_string(id) + ".sock";
+}
+
+/// Chaos server `i`: hosts one object with Insert/Stats/Shutdown. Applied
+/// keys go to a durable O_APPEND log *before* the in-memory seen-set, so a
+/// kill -9 between the two replays the key on restart (counted as a
+/// re-execution, never a loss). Only the driver (node 0) is a peer.
+int run_chaos_server(int i, const std::string& dir) {
+  net::SocketTransportOptions opts;
+  opts.local_node = static_cast<net::NodeId>(i);
+  opts.local_name = "chaos-server-" + std::to_string(i);
+  // Listen on a hidden path first and atomically rename to the advertised
+  // one only after the object is hosted: a call that races server startup
+  // then fails at connect (retried silently by the sender's backoff)
+  // instead of reaching a transport with no object behind it (a typed,
+  // non-retryable "no such object").
+  opts.listen = net::SocketAddress::unix_path(chaos_sock(dir, i) + ".tmp");
+  opts.peers.push_back(
+      net::SocketPeer{0, "driver", net::SocketAddress::unix_path(
+                                       chaos_sock(dir, 0))});
+  opts.cluster_token = kChaosToken;
+  net::SocketTransport transport(opts);
+  net::Node node(transport, opts.local_name);
+
+  // Crash recovery: replay the key log a dead predecessor left behind.
+  const std::string log_path = dir + "/keys-" + std::to_string(i) + ".log";
+  std::unordered_set<std::string> seen;
+  {
+    std::ifstream in(log_path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) seen.insert(line);
+    }
+  }
+  const int log_fd =
+      ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (log_fd < 0) {
+    std::perror("open key log");
+    return 1;
+  }
+
+  // Entry bodies of a manager-less object run concurrently on the pooled
+  // executor, so the applied-key state is mutex-guarded.
+  std::mutex mu;
+  std::uint64_t requests = 0, reexec = 0;
+  support::Event quit;
+  Object obj(chaos_obj_name(i));
+  auto insert = obj.define_entry({.name = "Insert", .params = 1, .results = 1});
+  obj.implement(insert, [&](BodyCtx& ctx) -> ValueList {
+    const std::string key = ctx.param(0).as_string();
+    std::scoped_lock lock(mu);
+    ++requests;
+    if (seen.count(key) != 0) {
+      // A retransmit that outlived the RPC dedup table (it died with the
+      // killed incarnation) re-executes the body; the durable log makes
+      // that visible-but-idempotent instead of a double insert.
+      ++reexec;
+      return {Value(std::int64_t(0))};
+    }
+    const std::string rec = key + "\n";
+    if (::write(log_fd, rec.data(), rec.size()) !=
+        static_cast<ssize_t>(rec.size())) {
+      std::perror("append key log");
+    }
+    seen.insert(key);
+    return {Value(std::int64_t(1))};
+  });
+  auto stats = obj.define_entry({.name = "Stats", .params = 0, .results = 3});
+  obj.implement(stats, [&](BodyCtx&) -> ValueList {
+    std::scoped_lock lock(mu);
+    return {Value(static_cast<std::int64_t>(seen.size())),
+            Value(static_cast<std::int64_t>(requests)),
+            Value(static_cast<std::int64_t>(reexec))};
+  });
+  auto shutdown =
+      obj.define_entry({.name = "Shutdown", .params = 0, .results = 0});
+  obj.implement(shutdown, [&quit](BodyCtx&) -> ValueList {
+    quit.set();
+    return {};
+  });
+  obj.start();
+  node.host(obj);
+  std::filesystem::rename(chaos_sock(dir, i) + ".tmp", chaos_sock(dir, i));
+
+  quit.wait();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  transport.wait_quiescent();
+  obj.stop();
+  ::close(log_fd);
+  return 0;
+}
+
+/// Chaos driver: the scripted failure sequence from DESIGN.md §4.11 —
+/// impostor rejection, kill -9 + same-address restart mid-burst, a server
+/// added to the live cluster, a healthy peer evicted and re-admitted —
+/// with an exactly-once audit against each server's durable key counters.
+int run_chaos(int n, bool ci) {
+  if (std::getenv("ALPS_SOAK") == nullptr) {
+    std::printf("[SKIP-SOAK] ALPS_SOAK=1 not set; skipping chaos soak\n");
+    return 77;  // ctest SKIP_RETURN_CODE
+  }
+  if (n < 2) {
+    std::fprintf(stderr, "chaos needs at least two servers\n");
+    return 2;
+  }
+  char dir_template[] = "/tmp/alps-chaos-XXXXXX";
+  if (::mkdtemp(dir_template) == nullptr) {
+    std::perror("mkdtemp");
+    return 1;
+  }
+  const std::string dir = dir_template;
+
+  auto spawn = [&dir](int i) -> pid_t {
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ::execl("/proc/self/exe", "example_distributed_dictionary",
+              "chaos-serve", std::to_string(i).c_str(), dir.c_str(),
+              static_cast<char*>(nullptr));
+      std::perror("execl");
+      std::_Exit(127);
+    }
+    return pid;
+  };
+  std::map<int, pid_t> pids;
+  for (int i = 1; i <= n; ++i) pids[i] = spawn(i);
+
+  int failures = 0;
+  auto check = [&failures](bool ok, const char* what) {
+    if (!ok) {
+      ++failures;
+      std::fprintf(stderr, "FAIL: %s\n", what);
+    }
+    return ok;
+  };
+
+  const int victim = 1;    // kill -9'ed mid-burst, restarted on same address
+  const int churned = 2;   // evicted from the live cluster, then re-admitted
+  const int added = n + 1; // joins the live cluster mid-run
+  const int K = ci ? 250 : 1000;  // keys per server
+
+  {
+    net::SocketTransportOptions opts;
+    opts.local_node = 0;
+    opts.local_name = "chaos-driver";
+    opts.listen = net::SocketAddress::unix_path(chaos_sock(dir, 0));
+    for (int i = 1; i <= n; ++i) {
+      opts.peers.push_back(net::SocketPeer{
+          static_cast<net::NodeId>(i), "chaos-server-" + std::to_string(i),
+          net::SocketAddress::unix_path(chaos_sock(dir, i))});
+    }
+    opts.cluster_token = kChaosToken;
+    net::SocketTransport transport(opts);
+    net::Node driver(transport, "chaos-driver");
+    for (int i = 1; i <= n; ++i) {
+      transport.directory().add(chaos_obj_name(i),
+                                static_cast<net::NodeId>(i));
+    }
+    std::uint64_t peers_added = 0, peers_removed = 0;
+    const auto member_token = transport.add_membership_listener(
+        [&](net::NodeId, bool was_added) {
+          if (was_added) ++peers_added; else ++peers_removed;
+        });
+
+    // ---- impostor: raw garbage at the driver's own listener must be
+    // rejected by the HELLO gate before any frame is dispatched.
+    const auto rejected_before = support::net_health().handshake_rejected.get();
+    {
+      const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      std::strncpy(addr.sun_path, chaos_sock(dir, 0).c_str(),
+                   sizeof(addr.sun_path) - 1);
+      if (check(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                          sizeof(addr)) == 0,
+                "impostor can reach the listener")) {
+        const char garbage[] = "GET / HTTP/1.1\r\n\r\n";
+        (void)::send(fd, garbage, sizeof(garbage) - 1, MSG_NOSIGNAL);
+        timeval tv{2, 0};
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        char buf[64];
+        while (::recv(fd, buf, sizeof(buf), 0) > 0) {
+        }
+      }
+      ::close(fd);
+    }
+    check(support::net_health().handshake_rejected.get() > rejected_before,
+          "impostor handshake rejected");
+    check(transport.transport_stats().frames_delivered == 0,
+          "impostor delivered no frames");
+
+    net::CallOptions reliable;
+    net::RetryPolicy policy;
+    policy.attempt_timeout = std::chrono::milliseconds(15);
+    reliable.retry = policy;
+    reliable.deadline = std::chrono::seconds(60);
+
+    auto key_of = [](int i, int k) {
+      return "k-" + std::to_string(i) + "-" + std::to_string(k);
+    };
+    std::map<int, int> next;  // next unissued key index per server
+    auto insert_upto = [&](int i, int upto) {
+      for (; next[i] < upto; ++next[i]) {
+        auto r = driver.call(chaos_obj_name(i), "Insert",
+                             vals(key_of(i, next[i])), reliable);
+        if (!check(r.ok(), "insert completes under chaos")) {
+          std::fprintf(stderr, "  %s: %s\n", key_of(i, next[i]).c_str(),
+                       r.error().what());
+        }
+      }
+    };
+
+    // Phase A: warm the cluster — 40% of each original server's keys.
+    const int warm = (K * 2) / 5;
+    for (int i = 1; i <= n; ++i) insert_upto(i, warm);
+
+    // Phase B: kill -9 the victim while a burst of calls is in flight,
+    // restart it on the same address. Retries ride the retransmit queue
+    // across the blip; the durable key log absorbs any re-executions.
+    const int burst_n = ci ? 60 : 200;
+    auto proxy = driver.remote(chaos_obj_name(victim));
+    std::vector<net::RpcHandle> burst;
+    burst.reserve(burst_n);
+    for (int b = 0; b < burst_n; ++b) {
+      burst.push_back(proxy.async_call(
+          "Insert", vals(key_of(victim, next[victim] + b)), reliable));
+    }
+    ::kill(pids[victim], SIGKILL);
+    int status = 0;
+    ::waitpid(pids[victim], &status, 0);
+    check(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL,
+          "victim died by SIGKILL");
+    // A real downtime window so retransmits actually queue against a dead
+    // address before the same-address restart.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    pids[victim] = spawn(victim);
+    int burst_ok = 0;
+    for (auto& h : burst) {
+      if (h.result().ok()) ++burst_ok;
+    }
+    next[victim] += burst_n;
+    check(burst_ok == burst_n,
+          "every in-flight call completes across the kill");
+
+    // Phase C1: grow the live cluster — admit a brand-new server and give
+    // it a full complement of keys while everything else keeps running.
+    transport.add_peer(static_cast<net::NodeId>(added),
+                       "chaos-server-" + std::to_string(added),
+                       "unix:" + chaos_sock(dir, added));
+    transport.directory().add(chaos_obj_name(added),
+                              static_cast<net::NodeId>(added));
+    pids[added] = spawn(added);
+    insert_upto(added, K);
+
+    // Phase C2: evict a healthy peer live — calls to it must fail typed
+    // (its directory entries are purged), not hang — then re-admit it.
+    check(transport.remove_peer(static_cast<net::NodeId>(churned)),
+          "live eviction succeeds");
+    net::CallOptions fast;
+    fast.deadline = std::chrono::seconds(1);
+    auto evicted = driver.call(chaos_obj_name(churned), "Insert",
+                               vals(std::string("evicted-probe")), fast);
+    check(!evicted.ok() &&
+              evicted.error().cause() == net::RpcCause::kObjectNotFound,
+          "call to an evicted peer fails typed, not by timeout");
+    transport.add_peer(static_cast<net::NodeId>(churned),
+                       "chaos-server-" + std::to_string(churned),
+                       "unix:" + chaos_sock(dir, churned));
+    transport.directory().add(chaos_obj_name(churned),
+                              static_cast<net::NodeId>(churned));
+
+    // Phase D: drain the remaining keys everywhere, including the
+    // restarted victim and the re-admitted peer.
+    for (int i = 1; i <= n; ++i) insert_upto(i, K);
+
+    // Exactly-once audit from the servers' own durable counters: every
+    // server holds exactly its K distinct keys; servers that were never
+    // killed saw zero re-executions (the RPC dedup table alone sufficed).
+    std::uint64_t total_distinct = 0;
+    for (int i = 1; i <= added; ++i) {
+      auto r = driver.call(chaos_obj_name(i), "Stats", {}, reliable);
+      if (!check(r.ok(), "Stats call completes")) continue;
+      const auto distinct = r.value()[0].as_int();
+      const auto reexec = r.value()[2].as_int();
+      total_distinct += static_cast<std::uint64_t>(distinct);
+      if (!check(distinct == K, "server holds exactly K distinct keys")) {
+        std::fprintf(stderr, "  server %d: %lld distinct for %d keys\n", i,
+                     static_cast<long long>(distinct), K);
+      }
+      if (i != victim) {
+        check(reexec == 0, "never-killed server saw no re-executions");
+      }
+    }
+    check(total_distinct == static_cast<std::uint64_t>(K) * (n + 1),
+          "cluster converged on every issued key exactly once");
+    check(peers_added == 2 && peers_removed == 1,
+          "membership listener saw the add/evict/re-admit churn");
+
+    const auto ts = transport.transport_stats();
+    std::printf(
+        "chaos: %d+1 servers x %d keys, kill -9 + restart survived, "
+        "%llu retransmits, %llu frames requeued, %llu handshake rejects, "
+        "exactly-once %s\n",
+        n, K,
+        static_cast<unsigned long long>(driver.client_stats().retransmits),
+        static_cast<unsigned long long>(ts.frames_requeued),
+        static_cast<unsigned long long>(
+            support::net_health().handshake_rejected.get()),
+        failures == 0 ? "held" : "VIOLATED");
+
+    transport.remove_membership_listener(member_token);
+    for (int i = 1; i <= added; ++i) {
+      net::CallOptions lenient;
+      lenient.deadline = std::chrono::seconds(5);
+      lenient.retry = net::RetryPolicy{};
+      driver.call(chaos_obj_name(i), "Shutdown", {}, lenient);
+    }
+  }
+
+  for (const auto& [i, pid] : pids) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) < 0) {
+      std::perror("waitpid");
+      ++failures;
+    } else if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "chaos server %d exited abnormally (status %d)\n",
+                   i, status);
+      ++failures;
+    }
+  }
+  std::filesystem::remove_all(dir);
+  return failures == 0 ? 0 : 1;
+}
+
 // ---- original single-process demo on the simulated network -----------------
 
 int run_sim_demo() {
@@ -426,6 +791,22 @@ int main(int argc, char** argv) {
       return 2;
     }
     return run_server(std::atoi(argv[2]), std::atoi(argv[3]), argv[4]);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "chaos-serve") == 0) {
+    if (argc != 4) {
+      std::fprintf(stderr, "usage: %s chaos-serve <i> <dir>\n", argv[0]);
+      return 2;
+    }
+    return run_chaos_server(std::atoi(argv[2]), argv[3]);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "chaos") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: %s chaos <n> [--ci]\n", argv[0]);
+      return 2;
+    }
+    const int n = std::atoi(argv[2]);
+    const bool ci = argc >= 4 && std::strcmp(argv[3], "--ci") == 0;
+    return run_chaos(n, ci);
   }
   if (argc >= 2 && std::strcmp(argv[1], "driver") == 0) {
     if (argc < 3) {

@@ -26,6 +26,14 @@ cmake --build build -j "$JOBS"
 echo "== multi-process smoke: 2 server processes over unix sockets =="
 ./build/examples/example_distributed_dictionary driver 2 --smoke
 
+# Chaos soak (DESIGN.md §4.11) is opt-in: ALPS_SOAK=1 scripts/verify.sh
+# also runs the kill -9 / membership-churn harness, here and again under
+# each sanitizer below.
+if [[ "${ALPS_SOAK:-}" == 1 ]]; then
+  echo "== chaos soak: kill -9 + membership churn over unix sockets =="
+  ./build/examples/example_distributed_dictionary chaos 3 --ci
+fi
+
 if [[ "$TIER1_ONLY" == 1 ]]; then
   echo "verify: tier-1 OK"
   exit 0
@@ -51,6 +59,13 @@ for san in thread address; do
     "build-$san/tests/$t" --gtest_brief=1 || {
       echo "verify: $san/$t FAILED"; exit 1; }
   done
+  if [[ "${ALPS_SOAK:-}" == 1 ]]; then
+    echo "-- [$san] chaos soak"
+    cmake --build "build-$san" -j "$JOBS" \
+      --target example_distributed_dictionary
+    "build-$san/examples/example_distributed_dictionary" chaos 3 --ci || {
+      echo "verify: $san/chaos FAILED"; exit 1; }
+  fi
 done
 
 echo "verify: tier-1 + thread + address all OK"

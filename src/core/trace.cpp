@@ -171,6 +171,13 @@ std::string TraceCollector::summary() const {
      << " assembled=" << dp.bytes_assembled.get() << "B"
      << " copied=" << dp.bytes_copied.get() << "B"
      << " referenced=" << dp.bytes_referenced.get() << "B\n";
+  // Transport-health footer (§4.11): rejected handshakes and poisoned
+  // streams are never silent — they surface here even when no test holds
+  // the owning transport's stats.
+  const auto& nh = support::net_health();
+  os << "transport-health: handshake_rejected=" << nh.handshake_rejected.get()
+     << " connections_poisoned=" << nh.connections_poisoned.get()
+     << " streams_poisoned=" << nh.streams_poisoned.get() << "\n";
   return os.str();
 }
 

@@ -74,6 +74,18 @@ void FrameBatcher::flush_all() {
   for (auto& [to, p] : out) post_(to, std::move(p));
 }
 
+void FrameBatcher::flush_peer(NodeId dst) {
+  std::vector<Flush> out;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = buffers_.find(dst);
+    if (it == buffers_.end()) return;
+    collect_locked(dst, it->second, out);
+    buffers_.erase(it);  // a departed peer's buffer does not linger
+  }
+  for (auto& [to, p] : out) post_(to, std::move(p));
+}
+
 void FrameBatcher::flusher(const std::stop_token& st) {
   support::set_current_thread_name("net/batch");
   std::unique_lock lock(mu_);

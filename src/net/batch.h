@@ -74,6 +74,12 @@ class FrameBatcher {
   /// Synchronously flushes every link's buffer (tests / quiesce points).
   void flush_all();
 
+  /// Synchronously flushes (and forgets) one destination's buffer — the
+  /// membership-change hook. Posting fails fast at the transport for a
+  /// removed peer (counted dropped) instead of the members idling a full
+  /// flush_interval and then dying anyway.
+  void flush_peer(NodeId dst);
+
   Stats stats() const;
 
  private:

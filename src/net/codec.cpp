@@ -557,8 +557,10 @@ void StreamReassembler::feed(const void* data, std::size_t n) {
       if (length > kMaxStreamFrameBytes) {
         // A wild length field means the stream is desynced; there is no way
         // to find the next frame boundary, so refuse everything from here on
-        // (the owning connection tears down).
+        // (the owning connection tears down). Poison events are counted
+        // process-wide so corruption is observable, never silent.
         poisoned_ = true;
+        support::net_health().streams_poisoned.add();
         raise(ErrorCode::kBadMessage,
               "stream frame length " + std::to_string(length) +
                   " exceeds the " + std::to_string(kMaxStreamFrameBytes) +
@@ -567,6 +569,7 @@ void StreamReassembler::feed(const void* data, std::size_t n) {
       if (length < 9) {
         // Shorter than src + one MsgType byte: no valid frame fits.
         poisoned_ = true;
+        support::net_health().streams_poisoned.add();
         raise(ErrorCode::kBadMessage, "stream frame length too small");
       }
       header_fill_ = 0;
@@ -598,6 +601,70 @@ std::optional<StreamReassembler::Message> StreamReassembler::next() {
 
 std::size_t StreamReassembler::buffered_bytes() const {
   return header_fill_ + body_fill_;
+}
+
+// ---- peer handshake --------------------------------------------------------
+
+void encode_hello(const HelloFrame& h, std::vector<std::uint8_t>& out) {
+  if (h.token.size() > kMaxHelloTokenBytes) {
+    raise(ErrorCode::kBadMessage, "hello token exceeds the size bound");
+  }
+  put_u32(out, h.magic);
+  put_u32(out, h.version);
+  put_u64(out, h.node);
+  put_u32(out, static_cast<std::uint32_t>(h.token.size()));
+  out.insert(out.end(), h.token.begin(), h.token.end());
+}
+
+bool HelloReader::feed(const std::uint8_t*& data, std::size_t& n) {
+  if (poisoned_) {
+    raise(ErrorCode::kBadMessage, "hello poisoned by earlier bad bytes");
+  }
+  if (done_) return true;
+  const auto read_u32 = [&](std::size_t at) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(buf_[at + i]) << (8 * i);
+    }
+    return v;
+  };
+  while (n > 0) {
+    // Accumulate the fixed prefix first; the token length then tells us the
+    // total size. Validate each field as soon as its bytes arrive so a
+    // hostile connection is rejected at the earliest possible byte.
+    std::size_t want = buf_.size() < kHelloFixedBytes
+                           ? kHelloFixedBytes
+                           : kHelloFixedBytes + read_u32(kHelloFixedBytes - 4);
+    const std::size_t take = std::min(n, want - buf_.size());
+    buf_.insert(buf_.end(), data, data + take);
+    data += take;
+    n -= take;
+    if (buf_.size() >= 4 && read_u32(0) != kHelloMagic) {
+      poisoned_ = true;
+      raise(ErrorCode::kBadMessage, "bad hello magic");
+    }
+    if (buf_.size() < kHelloFixedBytes) return false;
+    const std::uint32_t token_len = read_u32(kHelloFixedBytes - 4);
+    if (token_len > kMaxHelloTokenBytes) {
+      // Bounded before any token allocation: an oversized length is
+      // corruption (or hostility), not a frame to buffer.
+      poisoned_ = true;
+      raise(ErrorCode::kBadMessage, "hello token length exceeds the bound");
+    }
+    if (buf_.size() < kHelloFixedBytes + token_len) continue;
+    hello_.magic = read_u32(0);
+    hello_.version = read_u32(4);
+    hello_.node = 0;
+    for (int i = 0; i < 8; ++i) {
+      hello_.node |= static_cast<NodeId>(buf_[8 + i]) << (8 * i);
+    }
+    hello_.token.assign(buf_.begin() + kHelloFixedBytes, buf_.end());
+    buf_.clear();
+    buf_.shrink_to_fit();
+    done_ = true;
+    return true;
+  }
+  return done_;
 }
 
 }  // namespace alps::net

@@ -303,6 +303,63 @@ class StreamReassembler {
   bool poisoned_ = false;
 };
 
+// ---- peer handshake (byte-stream transports) -------------------------------
+//
+// The first bytes on every stream connection, before any framed traffic:
+//
+//   [u32 magic][u32 version][u64 node][u32 token_len][token bytes]
+//
+// The acceptor validates the hello before dispatching a single frame —
+// unknown peers, protocol mismatches and bad cluster tokens are counted and
+// disconnected instead of feeding the reassembler (DESIGN.md §4.11). The
+// magic is checked as soon as its four bytes arrive and the token length is
+// bounded, so a port-scanner or hostile connection costs at most
+// kMaxHelloTokenBytes of buffering before it is dropped.
+
+/// First four bytes of every ALPS stream connection ("ALPS", little-endian).
+inline constexpr std::uint32_t kHelloMagic = 0x53504C41u;
+
+/// Stream protocol version advertised and required by this build.
+inline constexpr std::uint32_t kHelloVersion = 1;
+
+/// Bound on the cluster token carried in a hello.
+inline constexpr std::uint32_t kMaxHelloTokenBytes = 1024;
+
+/// Fixed-size prefix of the hello: magic + version + node + token_len.
+inline constexpr std::size_t kHelloFixedBytes = 4 + 4 + 8 + 4;
+
+struct HelloFrame {
+  std::uint32_t magic = kHelloMagic;
+  std::uint32_t version = kHelloVersion;
+  NodeId node = 0;        ///< the connecting side's claimed cluster id
+  std::string token;      ///< pre-shared cluster token; empty = none
+
+  bool operator==(const HelloFrame&) const = default;
+};
+
+/// Appends the wire form of `h` to `out`. Throws Error(kBadMessage) if the
+/// token exceeds kMaxHelloTokenBytes.
+void encode_hello(const HelloFrame& h, std::vector<std::uint8_t>& out);
+
+/// Incremental hello decoder for one connection. feed() consumes hello bytes
+/// from the front of [data, data+n) — advancing both — and returns true once
+/// the hello is complete; the remaining bytes belong to the frame stream.
+/// Accepts arbitrarily torn reads. Throws Error(kBadMessage) on a bad magic
+/// (as soon as four bytes arrive) or an oversized token length; the reader is
+/// then poisoned and every later feed rethrows.
+class HelloReader {
+ public:
+  bool feed(const std::uint8_t*& data, std::size_t& n);
+  bool done() const { return done_; }
+  const HelloFrame& hello() const { return hello_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  HelloFrame hello_;
+  bool done_ = false;
+  bool poisoned_ = false;
+};
+
 /// Byte offset of the flags field inside an encoded response payload
 /// (type + req_id + cause); the server flips the replayed bit in its cached
 /// copy without re-encoding the whole frame.

@@ -13,6 +13,12 @@ void Directory::remove(const std::string& object, NodeId home) {
   if (it != map_.end() && it->second == home) map_.erase(it);
 }
 
+std::size_t Directory::remove_node(NodeId home) {
+  std::scoped_lock lock(mu_);
+  return std::erase_if(map_,
+                       [home](const auto& kv) { return kv.second == home; });
+}
+
 std::optional<NodeId> Directory::lookup(const std::string& object) const {
   std::scoped_lock lock(mu_);
   auto it = map_.find(object);

@@ -38,6 +38,12 @@ class Directory {
   /// order — there is never a window with no entry).
   void remove(const std::string& object, NodeId home);
 
+  /// Erases every object homed at `home` — the directory half of a
+  /// membership eviction (Transport::remove_peer). Lookups for the departed
+  /// node's objects then fail typed (kObjectNotFound) instead of timing out
+  /// against a dead address. Returns how many entries were purged.
+  std::size_t remove_node(NodeId home);
+
   std::optional<NodeId> lookup(const std::string& object) const;
 
   std::size_t size() const;

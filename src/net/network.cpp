@@ -122,7 +122,58 @@ bool Network::partitioned_locked(NodeId a, NodeId b) const {
 
 bool Network::is_partitioned(NodeId a, NodeId b) const {
   std::scoped_lock lock(mu_);
+  // A departed node is unreachable from everywhere: the permanent cut.
+  if (departed_.contains(a) || departed_.contains(b)) return true;
   return partitioned_locked(a, b);
+}
+
+void Network::add_peer(NodeId id, const std::string& name,
+                       const std::string& address) {
+  (void)address;  // in-process: there is no wire endpoint to dial
+  {
+    std::scoped_lock lock(mu_);
+    if (id < node_names_.size()) {
+      // Revival of a departed id (a restarted process re-joining under its
+      // old identity). A live id is a no-op, matching the socket backend's
+      // idempotent add_peer.
+      departed_.erase(id);
+      node_names_[id] = name;
+    } else if (id == node_names_.size()) {
+      node_names_.push_back(name);
+      handlers_.emplace_back();
+    } else {
+      raise(ErrorCode::kNetwork,
+            "sim node ids are dense; cannot add sparse id " +
+                std::to_string(id));
+    }
+  }
+  notify_membership(id, true);
+}
+
+bool Network::remove_peer(NodeId id) {
+  {
+    std::scoped_lock lock(mu_);
+    if (id >= node_names_.size() || departed_.contains(id)) return false;
+    departed_.insert(id);
+    handlers_[id] = nullptr;
+    // Purge in-flight frames touching the departed node: rebuild the
+    // schedule without them, counting each as lost (the socket backend's
+    // queue-drop on eviction).
+    decltype(queue_) kept;
+    while (!queue_.empty()) {
+      Scheduled s = std::move(const_cast<Scheduled&>(queue_.top()));
+      queue_.pop();
+      if (s.frame.src == id || s.frame.dst == id) {
+        ++stats_.frames_lost;
+      } else {
+        kept.push(std::move(s));
+      }
+    }
+    queue_.swap(kept);
+  }
+  directory().remove_node(id);
+  notify_membership(id, false);
+  return true;
 }
 
 void Network::post(Frame frame) {
@@ -133,7 +184,9 @@ void Network::post(Frame frame) {
     // before this post advances it, so "after N frames" cuts the N+1st; every
     // post (including eaten ones) then drives the script forward —
     // retransmissions make a scripted heal progress.
-    const bool cut = partitioned_locked(frame.src, frame.dst);
+    const bool cut = partitioned_locked(frame.src, frame.dst) ||
+                     departed_.contains(frame.src) ||
+                     departed_.contains(frame.dst);
     ++total_posted_;
     ++stats_.frames_posted;
     stats_.bytes_posted += frame.payload.size();
@@ -208,6 +261,12 @@ void Network::delivery_loop(const std::stop_token& st) {
     }
     Frame frame = std::move(const_cast<Scheduled&>(queue_.top()).frame);
     queue_.pop();
+    if (departed_.contains(frame.src) || departed_.contains(frame.dst)) {
+      // Removed after this frame was scheduled but before delivery: the
+      // eviction wins (remove_peer purges the queue; this covers the race).
+      ++stats_.frames_lost;
+      continue;
+    }
     Handler handler;
     if (frame.dst < handlers_.size()) handler = handlers_[frame.dst];
     if (!handler) {

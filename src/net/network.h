@@ -26,6 +26,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "net/transport.h"
@@ -122,6 +123,20 @@ class Network final : public Transport {
   /// rather than a plain timeout.
   bool is_partitioned(NodeId a, NodeId b) const override;
 
+  // ---- dynamic membership (parity with SocketTransport) ----
+
+  /// Revives a departed node, or appends a brand-new one when `id` equals
+  /// the next dense id (`address` is meaningless in-process and ignored).
+  /// Raises kNetwork for a sparse id — the sim's ids stay dense.
+  void add_peer(NodeId id, const std::string& name,
+                const std::string& address) override;
+
+  /// Marks `id` departed: frames to or from it — queued, in flight, or
+  /// posted later — are counted lost, is_partitioned() reports it cut, and
+  /// its directory entries are purged, exactly what a SocketTransport
+  /// eviction looks like from the RPC layer.
+  bool remove_peer(NodeId id) override;
+
   TransportStats transport_stats() const override;
   /// Injected-fault accounting (sim-only; see SimFaultStats).
   SimFaultStats fault_stats() const;
@@ -164,6 +179,7 @@ class Network final : public Transport {
   std::vector<std::pair<std::pair<NodeId, NodeId>, LinkLatency>> link_overrides_;
   std::vector<std::pair<std::pair<NodeId, NodeId>, LinkFaults>> fault_overrides_;
   std::vector<std::pair<NodeId, NodeId>> partitions_;  // undirected pairs
+  std::unordered_set<NodeId> departed_;  ///< evicted by remove_peer
   std::vector<PartitionScript> scripted_partitions_;
   std::uint64_t total_posted_ = 0;  // all post() calls, including lost frames
   LinkFaults default_faults_;

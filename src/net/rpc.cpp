@@ -96,10 +96,27 @@ Node::Node(Transport& transport, const std::string& name)
   transport.set_handler(id_, [this](NodeId src, Buffer payload) {
     dispatch_payload(src, payload, /*batched=*/false);
   });
+  membership_token_ = transport.add_membership_listener(
+      [this](NodeId peer, bool added) { on_membership(peer, added); });
   timer_thread_ = std::jthread([this](std::stop_token st) { retry_loop(st); });
 }
 
+void Node::on_membership(NodeId peer, bool added) {
+  if (added) return;
+  // A departed peer: flush its batch buffer now — the transport fail-fasts
+  // the post (counted dropped) instead of the members idling out a flush
+  // interval — and drop routes naming it so the next call re-resolves.
+  if (auto* b = batcher_raw_.load(std::memory_order_acquire)) {
+    b->flush_peer(peer);
+  }
+  std::scoped_lock lock(mu_);
+  std::erase_if(route_cache_,
+                [peer](const auto& kv) { return kv.second == peer; });
+}
+
 Node::~Node() {
+  // Listener first: a membership change must not call into a dying node.
+  transport_->remove_membership_listener(membership_token_);
   // Deregister so late frames are counted as drops instead of running into
   // a destroyed node.
   transport_->set_handler(id_, nullptr);

@@ -407,6 +407,9 @@ class Node : public ChannelResolver {
   void cancel_request(std::uint64_t req_id);
 
   void retry_loop(const std::stop_token& st);
+  /// Membership-change hook (Transport listener): a departed peer's batch
+  /// buffer is flushed fail-fast and its cached routes dropped.
+  void on_membership(NodeId peer, bool added);
   /// Removes client bookkeeping for req_id; returns an ack frame to post
   /// (empty if none is due). Caller holds mu_.
   std::vector<std::uint8_t> finish_pending_locked(std::uint64_t req_id,
@@ -417,6 +420,7 @@ class Node : public ChannelResolver {
   NodeId id_;
   std::string name_;
   std::uint64_t epoch_;
+  std::uint64_t membership_token_ = 0;  ///< Transport listener registration
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, Object*> hosted_;

@@ -32,7 +32,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/buffer.h"
@@ -65,6 +67,14 @@ struct TransportStats {
   std::uint64_t frames_dropped = 0;    ///< dst unknown or no handler
   std::uint64_t frames_lost = 0;       ///< injected loss / partition (sim),
                                        ///< dead or unreachable link (sockets)
+  // Socket-only resilience counters (always zero on the sim — it has no
+  // wire, no handshake and no reconnect; see DESIGN.md §4.11):
+  std::uint64_t handshake_rejected = 0;    ///< inbound connections refused
+                                           ///< before any frame dispatched
+  std::uint64_t connections_poisoned = 0;  ///< connections dropped on
+                                           ///< framing corruption
+  std::uint64_t frames_requeued = 0;       ///< frames that survived a dead
+                                           ///< connection for in-order replay
 };
 
 class Transport {
@@ -125,6 +135,42 @@ class Transport {
   /// both ends); a socket transport can only quiesce its own send queues —
   /// bytes in kernel buffers or the peer process are out of reach.
   virtual void wait_quiescent() const {}
+
+  // ---- dynamic membership (DESIGN.md §4.11) ----
+  //
+  // Both backends support changing the peer set on a live transport: the
+  // socket backend spins PeerLinks and reader threads up and down without
+  // quiescing; the sim marks nodes departed (their frames are lost, exactly
+  // as a cut). Removing a peer also purges its directory entries, so a
+  // departed node's named objects fail typed instead of timing out.
+
+  /// Admits `id` to the peer set. `address` is backend-specific ("unix:<path>"
+  /// or "host:port" for sockets; ignored by the sim, which revives or appends
+  /// the node). Raises kNetwork if the backend cannot honor the request.
+  virtual void add_peer(NodeId id, const std::string& name,
+                        const std::string& address);
+
+  /// Evicts `id` from the peer set: frames to/from it are dropped or lost
+  /// from now on, its queued frames are counted lost, and its directory
+  /// entries are removed. Returns false if the peer was not present.
+  virtual bool remove_peer(NodeId id);
+
+  /// Membership-change hook: invoked (outside transport locks) after every
+  /// add_peer / remove_peer, with `added` telling which. Nodes use it to
+  /// flush departed-peer batch buffers and drop stale routes. Returns a
+  /// token for remove_membership_listener.
+  using MembershipListener = std::function<void(NodeId peer, bool added)>;
+  std::uint64_t add_membership_listener(MembershipListener listener);
+  void remove_membership_listener(std::uint64_t token);
+
+ protected:
+  /// Backends call this after a membership change, holding no locks.
+  void notify_membership(NodeId peer, bool added);
+
+ private:
+  mutable std::mutex listeners_mu_;
+  std::unordered_map<std::uint64_t, MembershipListener> listeners_;
+  std::uint64_t next_listener_token_ = 1;
 };
 
 }  // namespace alps::net

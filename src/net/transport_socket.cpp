@@ -16,6 +16,7 @@
 
 #include "core/error.h"
 #include "support/log.h"
+#include "support/stats.h"
 #include "support/thread_util.h"
 
 namespace alps::net {
@@ -94,15 +95,40 @@ std::string SocketAddress::to_string() const {
          std::to_string(port);
 }
 
+SocketAddress SocketAddress::parse(const std::string& text) {
+  if (text.rfind("unix:", 0) == 0) return unix_path(text.substr(5));
+  const auto colon = text.rfind(':');
+  if (colon == std::string::npos || colon + 1 == text.size()) {
+    raise(ErrorCode::kNetwork, "unparseable socket address: " + text);
+  }
+  std::uint32_t port = 0;
+  for (std::size_t i = colon + 1; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9' || (port = port * 10 + (c - '0')) > 65535) {
+      raise(ErrorCode::kNetwork, "bad port in socket address: " + text);
+    }
+  }
+  return tcp(text.substr(0, colon), static_cast<std::uint16_t>(port));
+}
+
 // ---- construction / teardown -----------------------------------------------
 
 SocketTransport::SocketTransport(SocketTransportOptions options)
     : options_(std::move(options)) {
-  // Static membership: one PeerLink per configured peer, sender threads
-  // started lazily on first traffic (connect-on-demand).
+  // Our HELLO, sent as the first bytes of every outbound connection. Built
+  // once: options are immutable after construction.
+  HelloFrame hello;
+  hello.version = options_.protocol_version;
+  hello.node = options_.local_node;
+  hello.token = options_.cluster_token;
+  encode_hello(hello, hello_bytes_);
+
+  // Initial membership: one PeerLink per configured peer, sender threads
+  // started lazily on first traffic (connect-on-demand). add_peer /
+  // remove_peer change this set on the live transport.
   for (const auto& peer : options_.peers) {
     if (peer.id == options_.local_node) continue;  // self entry tolerated
-    auto link = std::make_unique<PeerLink>();
+    auto link = std::make_shared<PeerLink>();
     link->id = peer.id;
     link->address = peer.address;
     peer_names_[peer.id] = peer.name;
@@ -161,7 +187,13 @@ SocketTransport::~SocketTransport() {
   close_fd(listen_fd_);
 
   // Senders: best-effort drain of queued frames (see sender_loop), then join.
-  for (auto& [id, link] : links_) {
+  std::vector<std::shared_ptr<PeerLink>> links;
+  {
+    std::scoped_lock lock(links_mu_);
+    links.reserve(links_.size());
+    for (auto& [id, link] : links_) links.push_back(link);
+  }
+  for (auto& link : links) {
     if (link->sender.joinable()) {
       link->sender.request_stop();
       {
@@ -215,6 +247,90 @@ void SocketTransport::set_handler(NodeId node, Handler handler) {
   delivery_cv_.wait(lock, [&] { return active_deliveries_ == 0; });
 }
 
+// ---- dynamic membership ----------------------------------------------------
+
+std::shared_ptr<SocketTransport::PeerLink> SocketTransport::find_link(
+    NodeId id) const {
+  std::scoped_lock lock(links_mu_);
+  auto it = links_.find(id);
+  return it == links_.end() ? nullptr : it->second;
+}
+
+void SocketTransport::add_peer(const SocketPeer& peer) {
+  if (peer.id == options_.local_node) return;
+  {
+    std::scoped_lock lock(links_mu_);
+    if (links_.contains(peer.id)) return;  // idempotent per id
+    auto link = std::make_shared<PeerLink>();
+    link->id = peer.id;
+    link->address = peer.address;
+    peer_names_[peer.id] = peer.name;
+    links_.emplace(peer.id, std::move(link));
+  }
+  notify_membership(peer.id, true);
+}
+
+void SocketTransport::add_peer(NodeId id, const std::string& name,
+                               const std::string& address) {
+  SocketPeer peer;
+  peer.id = id;
+  peer.name = name;
+  peer.address = SocketAddress::parse(address);
+  add_peer(peer);
+}
+
+bool SocketTransport::remove_peer(NodeId id) {
+  std::shared_ptr<PeerLink> link;
+  {
+    std::scoped_lock lock(links_mu_);
+    auto it = links_.find(id);
+    if (it == links_.end()) return false;
+    link = std::move(it->second);
+    links_.erase(it);
+    peer_names_.erase(id);
+  }
+  // Mark terminal and wake the sender; join it holding no locks (it takes
+  // link->mu and mu_). A racing enqueue that copied the shared_ptr before the
+  // erase sees `removed` and counts its frame dropped.
+  {
+    std::scoped_lock lock(link->mu);
+    link->removed = true;
+    close_fd(link->fd);
+    link->cv.notify_all();
+  }
+  if (link->sender.joinable()) {
+    link->sender.request_stop();
+    link->sender.join();
+  }
+  std::size_t frames = 0, bytes = 0;
+  {
+    std::scoped_lock lock(link->mu);
+    frames = link->queue.size();
+    bytes = link->queue_bytes;
+    link->queue.clear();
+    link->queue_bytes = 0;
+  }
+  count_lost(frames, bytes);
+  // Inbound side: shut down streams the evicted peer has open. Their reader
+  // threads exit on the dead fd; ~SocketTransport joins them.
+  std::vector<std::shared_ptr<Inbound>> to_close;
+  {
+    std::scoped_lock lock(mu_);
+    for (const auto& conn : inbound_) {
+      if (conn->authed.load(std::memory_order_acquire) &&
+          conn->peer.load(std::memory_order_relaxed) == id && conn->fd >= 0) {
+        to_close.push_back(conn);
+      }
+    }
+  }
+  for (auto& conn : to_close) ::shutdown(conn->fd, SHUT_RDWR);
+  // A departed node's named objects fail typed (kObjectNotFound) instead of
+  // timing out against a dead address.
+  directory_.remove_node(id);
+  notify_membership(id, false);
+  return true;
+}
+
 // ---- send path -------------------------------------------------------------
 
 void SocketTransport::post(Frame frame) {
@@ -248,29 +364,48 @@ void SocketTransport::post(NodeId src, NodeId dst, const FrameBuilder& frame) {
 }
 
 void SocketTransport::enqueue(NodeId dst, FrameBuilder frame) {
-  auto it = links_.find(dst);
-  if (it == links_.end()) {
+  auto link = find_link(dst);
+  if (!link) {
     std::scoped_lock lock(mu_);
     ++stats_.frames_dropped;
     return;
   }
-  PeerLink& link = *it->second;
-  bool lost = false;
   const std::size_t bytes = frame.size();
+  bool lost = false;
+  bool dropped = false;
   {
-    std::scoped_lock lock(link.mu);
-    if (link.severed || link.queue.size() >= options_.max_queued_per_peer) {
+    std::scoped_lock lock(link->mu);
+    if (link->removed) {
+      dropped = true;  // racing eviction: same as "dst unknown"
+    } else if (link->queue.size() >= options_.max_queued_per_peer) {
+      lost = true;
+    } else if ((link->severed || link->unreachable) &&
+               (link->queue.size() >= options_.retransmit_budget_frames ||
+                link->queue_bytes + bytes > options_.retransmit_budget_bytes)) {
+      // The peer is down and the replay budget is full: past-budget frames
+      // are datagram loss, exactly what the RPC retry layer converges under.
       lost = true;
     } else {
-      link.queue.push_back(std::move(frame));
-      if (!link.sender.joinable()) {
+      link->queue.push_back(std::move(frame));
+      link->queue_bytes += bytes;
+      // Queued while the peer is down: this frame is riding out the blip,
+      // whether or not the sender observes the outage before it heals.
+      if (link->severed || link->unreachable) link->replaying = true;
+      if (!link->sender.joinable()) {
         // Connect-on-demand: first frame towards this peer starts its
-        // sender, which owns the connection lifecycle from here on.
-        link.sender = std::jthread(
-            [this, l = &link](std::stop_token st) { sender_loop(st, l); });
+        // sender, which owns the connection lifecycle from here on. Raw
+        // pointer is safe: remove_peer / ~SocketTransport join the sender
+        // before the last shared_ptr can drop.
+        PeerLink* raw = link.get();
+        link->sender = std::jthread(
+            [this, raw](std::stop_token st) { sender_loop(st, raw); });
       }
-      link.cv.notify_all();
+      link->cv.notify_all();
     }
+  }
+  if (dropped) {
+    std::scoped_lock lock(mu_);
+    ++stats_.frames_dropped;
   }
   if (lost) count_lost(1, bytes);
 }
@@ -321,18 +456,36 @@ bool SocketTransport::connect_locked(PeerLink& link) {
   }
   if (!ok) {
     if (fd >= 0) ::close(fd);
-    link.unreachable = true;
-    link.backoff = link.backoff.count() == 0
-                       ? options_.connect_backoff_initial
-                       : std::min(link.backoff * 2,
-                                  options_.connect_backoff_max);
-    link.next_attempt = std::chrono::steady_clock::now() + link.backoff;
+    arm_backoff_locked(link);
     return false;
   }
   link.fd = fd;
   link.unreachable = false;
   link.backoff = std::chrono::milliseconds(0);
   return true;
+}
+
+void SocketTransport::arm_backoff_locked(PeerLink& link) {
+  link.unreachable = true;
+  link.backoff = link.backoff.count() == 0
+                     ? options_.connect_backoff_initial
+                     : std::min(link.backoff * 2, options_.connect_backoff_max);
+  link.next_attempt = std::chrono::steady_clock::now() + link.backoff;
+}
+
+void SocketTransport::trim_queue_locked(PeerLink& link) {
+  std::size_t frames = 0, bytes = 0;
+  while (!link.queue.empty() &&
+         (link.queue.size() > options_.retransmit_budget_frames ||
+          link.queue_bytes > options_.retransmit_budget_bytes)) {
+    // Tail-drop the newest: the surviving prefix replays in posted order.
+    const std::size_t sz = link.queue.back().size();
+    link.queue.pop_back();
+    link.queue_bytes -= sz;
+    bytes += sz;
+    ++frames;
+  }
+  if (frames > 0) count_lost(frames, bytes);
 }
 
 bool SocketTransport::send_frame(int fd, const FrameBuilder& frame) {
@@ -354,6 +507,13 @@ bool SocketTransport::send_frame(int fd, const FrameBuilder& frame) {
   return true;
 }
 
+bool SocketTransport::send_hello(int fd) {
+  std::vector<iovec> iov;
+  iov.push_back(iovec{const_cast<std::uint8_t*>(hello_bytes_.data()),
+                      hello_bytes_.size()});
+  return send_all(fd, iov);
+}
+
 void SocketTransport::sender_loop(const std::stop_token& st, PeerLink* link) {
   support::set_current_thread_name("net/send/" + std::to_string(link->id));
   std::stop_callback wake(st, [link] {
@@ -361,70 +521,105 @@ void SocketTransport::sender_loop(const std::stop_token& st, PeerLink* link) {
     link->cv.notify_all();
   });
   std::unique_lock lock(link->mu);
+  const auto drain_as_lost = [&] {
+    const std::size_t frames = link->queue.size();
+    const std::size_t bytes = link->queue_bytes;
+    link->queue.clear();
+    link->queue_bytes = 0;
+    if (frames > 0) count_lost(frames, bytes);
+  };
   for (;;) {
+    if (link->removed) return;  // remove_peer counts the queue itself
     if (link->queue.empty()) {
       if (st.stop_requested()) return;
       link->cv.wait(lock, [&] {
-        return st.stop_requested() || !link->queue.empty();
+        return st.stop_requested() || link->removed || !link->queue.empty();
       });
       continue;
     }
     if (link->severed) {
-      std::size_t frames = link->queue.size(), bytes = 0;
-      for (const auto& f : link->queue) bytes += f.size();
-      link->queue.clear();
-      lock.unlock();
-      count_lost(frames, bytes);
-      lock.lock();
+      if (st.stop_requested()) {
+        drain_as_lost();
+        return;
+      }
+      // The cut parks the queue (budget-bounded): restore() replays it in
+      // order, so a deliberate partition heals without re-posting.
+      link->replaying = true;
+      trim_queue_locked(*link);
+      link->cv.notify_all();  // wait_quiescent: parked, not draining
+      link->cv.wait(lock, [&] {
+        return st.stop_requested() || link->removed || !link->severed;
+      });
       continue;
     }
     if (link->fd < 0) {
       const auto now = std::chrono::steady_clock::now();
       if (st.stop_requested()) {
         // Teardown with a dead connection: what is still queued is lost.
-        std::size_t frames = link->queue.size(), bytes = 0;
-        for (const auto& f : link->queue) bytes += f.size();
-        link->queue.clear();
-        lock.unlock();
-        count_lost(frames, bytes);
+        drain_as_lost();
         return;
       }
       if (now < link->next_attempt) {
-        // In backoff after a failed round; frames keep queueing (bounded)
-        // until the next attempt — or get dropped then.
+        // In backoff after a failed round; frames keep queueing (budget-
+        // bounded) until the next attempt.
         link->cv.wait_until(lock, link->next_attempt, [&] {
-          return st.stop_requested() || link->severed;
+          return st.stop_requested() || link->removed || link->severed;
         });
         continue;
       }
       if (!connect_locked(*link)) {
-        // The round failed: everything queued so far is lost, exactly as a
-        // datagram network loses frames towards a dead host. Retries above
-        // (rpc.h) re-post; the armed backoff paces the next round.
-        std::size_t frames = link->queue.size(), bytes = 0;
-        for (const auto& f : link->queue) bytes += f.size();
-        link->queue.clear();
-        lock.unlock();
-        count_lost(frames, bytes);
-        lock.lock();
+        // The round failed: the queue survives for in-order replay on the
+        // next successful connect, bounded by the retransmit budget. The
+        // armed backoff paces the next round.
+        link->replaying = true;
+        trim_queue_locked(*link);
+        link->cv.notify_all();  // wait_quiescent: parked in backoff
         continue;
+      }
+      // Fresh connection: our HELLO goes first, before any frame. A failure
+      // here is a connect failure — close and back off.
+      const int fd = link->fd;
+      lock.unlock();
+      const bool hello_ok = send_hello(fd);
+      lock.lock();
+      if (!hello_ok) {
+        if (link->fd == fd) close_fd(link->fd);
+        arm_backoff_locked(*link);
+        continue;
+      }
+      if (link->replaying) {
+        // Everything still queued rode out the blip and is about to replay.
+        link->replaying = false;
+        const std::uint64_t survived = link->queue.size();
+        std::scoped_lock slock(mu_);
+        stats_.frames_requeued += survived;
       }
     }
     FrameBuilder frame = std::move(link->queue.front());
     link->queue.pop_front();
+    const std::size_t frame_bytes = frame.size();
+    link->queue_bytes -= frame_bytes;
     link->sending = true;
     const int fd = link->fd;
     lock.unlock();
     const bool ok = send_frame(fd, frame);
-    if (!ok) count_lost(1, frame.size());
     lock.lock();
     link->sending = false;
-    if (!ok && link->fd == fd) {
+    if (!ok) {
       // The connection died under this frame (possibly mid-frame — the
-      // peer's reassembler drops the torn tail with the connection). The
-      // next frame reconnects immediately; backoff only paces repeated
-      // connect failures.
-      close_fd(link->fd);
+      // peer's reassembler drops the torn tail with the connection). Requeue
+      // it at the front so replay preserves posted order; the backoff paces
+      // a peer that accepts and immediately dies.
+      if (link->fd == fd) close_fd(link->fd);
+      if (link->removed || link->severed || st.stop_requested()) {
+        count_lost(1, frame_bytes);
+      } else {
+        link->queue.push_front(std::move(frame));
+        link->queue_bytes += frame_bytes;
+        link->replaying = true;
+        trim_queue_locked(*link);
+        arm_backoff_locked(*link);
+      }
     }
     link->cv.notify_all();  // wait_quiescent
   }
@@ -455,9 +650,55 @@ void SocketTransport::listen_loop(const std::stop_token& st) {
   }
 }
 
+bool SocketTransport::validate_hello(const HelloFrame& hello,
+                                     std::string* why) const {
+  if (hello.version != options_.protocol_version) {
+    *why = "protocol version " + std::to_string(hello.version) +
+           " != required " + std::to_string(options_.protocol_version);
+    return false;
+  }
+  if (hello.token != options_.cluster_token) {
+    *why = "cluster token mismatch";  // never echo either token
+    return false;
+  }
+  if (hello.node == options_.local_node) {
+    *why = "peer claims our own node id " + std::to_string(hello.node);
+    return false;
+  }
+  if (!find_link(hello.node)) {
+    *why = "node " + std::to_string(hello.node) + " is not in the peer set";
+    return false;
+  }
+  return true;
+}
+
+void SocketTransport::reject_inbound(Inbound& conn, const std::string& why) {
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.handshake_rejected;
+  }
+  support::net_health().handshake_rejected.add();
+  ALPS_LOG_WARN("socket transport: rejecting inbound connection: %s",
+                why.c_str());
+  if (conn.fd >= 0) ::shutdown(conn.fd, SHUT_RDWR);
+}
+
+void SocketTransport::poison_inbound(Inbound& conn, const std::string& why) {
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.connections_poisoned;
+  }
+  support::net_health().connections_poisoned.add();
+  ALPS_LOG_WARN("socket transport: poisoned connection dropped: %s",
+                why.c_str());
+  if (conn.fd >= 0) ::shutdown(conn.fd, SHUT_RDWR);
+}
+
 void SocketTransport::reader_loop(const std::stop_token& st,
                                   std::shared_ptr<Inbound> conn) {
   support::set_current_thread_name("net/recv");
+  HelloReader hello;
+  std::shared_ptr<PeerLink> peer_link;  // cached after the handshake
   StreamReassembler reassembler;
   std::vector<std::uint8_t> chunk(kReadChunk);
   while (!st.stop_requested()) {
@@ -467,22 +708,68 @@ void SocketTransport::reader_loop(const std::stop_token& st,
       if (errno == EINTR) continue;
       return;
     }
+    const std::uint8_t* data = chunk.data();
+    std::size_t remaining = static_cast<std::size_t>(n);
+    if (!conn->authed.load(std::memory_order_relaxed)) {
+      // Handshake phase: nothing reaches the reassembler until a valid
+      // HELLO has been consumed — an impostor never delivers a frame.
+      bool complete = false;
+      try {
+        complete = hello.feed(data, remaining);
+      } catch (const Error& e) {
+        reject_inbound(*conn, std::string("bad hello: ") + e.what());
+        return;
+      }
+      if (!complete) continue;
+      std::string why;
+      if (!validate_hello(hello.hello(), &why)) {
+        reject_inbound(*conn, why);
+        return;
+      }
+      peer_link = find_link(hello.hello().node);
+      conn->peer.store(hello.hello().node, std::memory_order_relaxed);
+      conn->authed.store(true, std::memory_order_release);
+      if (remaining == 0) continue;
+    }
     try {
-      reassembler.feed(chunk.data(), static_cast<std::size_t>(n));
+      reassembler.feed(data, remaining);
     } catch (const Error& e) {
       // Framing is unrecoverable on a byte stream: drop the connection. The
-      // peer reconnects and the retry layer re-posts what mattered.
-      ALPS_LOG_WARN("socket transport: dropping connection: %s", e.what());
-      ::shutdown(conn->fd, SHUT_RDWR);
+      // peer reconnects (replaying its queue) and the retry layer re-posts
+      // what mattered.
+      poison_inbound(*conn, e.what());
       return;
     }
     while (auto msg = reassembler.next()) {
-      conn->last_src = msg->src;
+      const NodeId claimed = conn->peer.load(std::memory_order_relaxed);
+      if (msg->src != claimed) {
+        // A stream may only speak for the node its HELLO claimed.
+        poison_inbound(*conn, "frame src " + std::to_string(msg->src) +
+                                  " does not match handshaken node " +
+                                  std::to_string(claimed));
+        return;
+      }
       bool severed = false;
-      const auto it = links_.find(msg->src);
-      if (it != links_.end()) {
-        std::scoped_lock lock(it->second->mu);
-        severed = it->second->severed;
+      bool removed = false;
+      if (peer_link) {
+        std::scoped_lock lock(peer_link->mu);
+        severed = peer_link->severed;
+        removed = peer_link->removed;
+      }
+      if (removed) {
+        // Evicted — but maybe re-admitted under a new link since.
+        peer_link = find_link(claimed);
+        if (peer_link) {
+          std::scoped_lock lock(peer_link->mu);
+          severed = peer_link->severed;
+        }
+      }
+      if (!peer_link) {
+        // Evicted mid-stream (remove_peer race backstop): the rest of this
+        // connection is part of the departure.
+        count_lost(1, msg->payload.size());
+        if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+        return;
       }
       if (severed) {
         // A severed peer's inbound traffic is part of the same cut.
@@ -525,49 +812,51 @@ void SocketTransport::count_lost(std::size_t frames, std::size_t bytes) {
 // ---- partition / lifecycle hooks -------------------------------------------
 
 void SocketTransport::sever(NodeId peer) {
-  auto it = links_.find(peer);
-  if (it != links_.end()) {
-    std::scoped_lock lock(it->second->mu);
-    it->second->severed = true;
-    close_fd(it->second->fd);
-    it->second->cv.notify_all();
+  if (auto link = find_link(peer)) {
+    std::scoped_lock lock(link->mu);
+    link->severed = true;
+    if (!link->queue.empty()) link->replaying = true;
+    close_fd(link->fd);
+    link->cv.notify_all();
   }
   // Inbound side of the cut: close streams the peer already has open.
   std::vector<std::shared_ptr<Inbound>> to_close;
   {
     std::scoped_lock lock(mu_);
     for (const auto& conn : inbound_) {
-      if (conn->last_src == peer && conn->fd >= 0) to_close.push_back(conn);
+      if (conn->peer.load(std::memory_order_relaxed) == peer && conn->fd >= 0) {
+        to_close.push_back(conn);
+      }
     }
   }
   for (auto& conn : to_close) ::shutdown(conn->fd, SHUT_RDWR);
 }
 
 void SocketTransport::restore(NodeId peer) {
-  auto it = links_.find(peer);
-  if (it == links_.end()) return;
-  std::scoped_lock lock(it->second->mu);
-  it->second->severed = false;
-  it->second->unreachable = false;
-  it->second->backoff = std::chrono::milliseconds(0);
-  it->second->next_attempt = std::chrono::steady_clock::now();
-  it->second->cv.notify_all();
+  auto link = find_link(peer);
+  if (!link) return;
+  std::scoped_lock lock(link->mu);
+  link->severed = false;
+  link->unreachable = false;
+  link->backoff = std::chrono::milliseconds(0);
+  link->next_attempt = std::chrono::steady_clock::now();
+  link->cv.notify_all();
 }
 
 void SocketTransport::disconnect(NodeId peer) {
-  auto it = links_.find(peer);
-  if (it == links_.end()) return;
-  std::scoped_lock lock(it->second->mu);
-  close_fd(it->second->fd);
-  it->second->cv.notify_all();
+  auto link = find_link(peer);
+  if (!link) return;
+  std::scoped_lock lock(link->mu);
+  close_fd(link->fd);
+  link->cv.notify_all();
 }
 
 bool SocketTransport::is_partitioned(NodeId a, NodeId b) const {
   const NodeId peer = a == options_.local_node ? b : a;
-  auto it = links_.find(peer);
-  if (it == links_.end()) return false;
-  std::scoped_lock lock(it->second->mu);
-  return it->second->severed || it->second->unreachable;
+  auto link = find_link(peer);
+  if (!link) return false;
+  std::scoped_lock lock(link->mu);
+  return link->severed || link->unreachable;
 }
 
 // ---- introspection ---------------------------------------------------------
@@ -578,11 +867,13 @@ TransportStats SocketTransport::transport_stats() const {
 }
 
 std::size_t SocketTransport::node_count() const {
+  std::scoped_lock lock(links_mu_);
   return links_.size() + 1;
 }
 
 std::string SocketTransport::node_name(NodeId id) const {
   if (id == options_.local_node) return options_.local_name;
+  std::scoped_lock lock(links_mu_);
   auto it = peer_names_.find(id);
   if (it == peer_names_.end()) {
     raise(ErrorCode::kNetwork, "unknown node id");
@@ -591,10 +882,19 @@ std::string SocketTransport::node_name(NodeId id) const {
 }
 
 void SocketTransport::wait_quiescent() const {
-  for (const auto& [id, link] : links_) {
+  std::vector<std::shared_ptr<PeerLink>> links;
+  {
+    std::scoped_lock lock(links_mu_);
+    links.reserve(links_.size());
+    for (const auto& [id, link] : links_) links.push_back(link);
+  }
+  for (const auto& link : links) {
     std::unique_lock lock(link->mu);
     link->cv.wait(lock, [&] {
-      return (link->queue.empty() && !link->sending) || link->severed;
+      // Parked frames (sever / backoff) count as quiescent: nothing is
+      // moving until the peer comes back.
+      return (link->queue.empty() && !link->sending) || link->severed ||
+             link->unreachable || link->removed;
     });
   }
 }

@@ -8,28 +8,39 @@
 // holds between separate processes on separate nodes. The RPC stack above
 // (rpc.h) runs unchanged on either backend.
 //
-// Cluster model. Membership is static configuration: each process is told
-// its own NodeId, a listen address, and the address of every peer
-// (SocketTransportOptions). One SocketTransport serves exactly one local
-// node — processes are the unit of distribution here, unlike the sim's
-// many-nodes-in-one-process model.
+// Cluster model. Each process is told its own NodeId, a listen address, and
+// the address of every initial peer (SocketTransportOptions); add_peer /
+// remove_peer then change the peer set on the live transport — PeerLinks and
+// reader threads spin up and down without quiescing (DESIGN.md §4.11). One
+// SocketTransport serves exactly one local node — processes are the unit of
+// distribution here, unlike the sim's many-nodes-in-one-process model.
 //
 // Connection lifecycle.
-//   * A listener thread accepts inbound connections; each gets a reader
-//     thread that reassembles length-prefixed stream frames (codec.h,
-//     StreamReassembler) and dispatches them to the local handler. Frame
-//     payloads arrive as owned Buffers, so ≥256 B blob decodes alias the
-//     receive buffer exactly as they alias a simulated delivery.
+//   * A listener thread accepts inbound connections. Before any frame is
+//     dispatched, the connection must present a valid HELLO (codec.h):
+//     right magic, matching protocol version, matching cluster token, and a
+//     claimed NodeId in the current peer set. Anything else is counted
+//     (handshake_rejected), logged, and disconnected — an impostor never
+//     feeds the reassembler. After the handshake, a reader thread
+//     reassembles length-prefixed stream frames (StreamReassembler) and
+//     dispatches them; a frame whose src differs from the handshaken id, or
+//     a corrupt length field, poisons the connection (connections_poisoned)
+//     and tears it down. Frame payloads arrive as owned Buffers, so ≥256 B
+//     blob decodes alias the receive buffer exactly as they alias a
+//     simulated delivery.
 //   * Outbound links are created on demand: the first post() towards a peer
-//     starts its sender thread, which connects lazily and reconnects with
-//     exponential backoff after failures. While a peer is unreachable,
-//     queued frames are counted lost and dropped — the datagram-like
+//     starts its sender thread, which connects lazily (sending its own
+//     HELLO first) and reconnects with exponential backoff after failures.
+//     While a peer is down, queued frames survive up to the retransmit
+//     budget (frames and bytes) and replay in order on reconnect — a TCP
+//     blip no longer needs the RPC layer's full backoff round-trip. Frames
+//     past the budget are counted lost and dropped, per the datagram
 //     contract the RPC retry layer already converges under.
 //   * sever()/restore() are the real-transport analog of a sim partition:
-//     sever tears the connection down and fails sends/receives for that
-//     peer until restore; is_partitioned() reports it so RPC failures are
-//     typed kPartitioned. ~SocketTransport tears down every connection
-//     after a best-effort drain of queued frames.
+//     sever tears the connection down and holds (budget-bounded) outbound
+//     frames until restore replays them; is_partitioned() reports the cut
+//     so RPC failures are typed kPartitioned. ~SocketTransport tears down
+//     every connection after a best-effort drain of queued frames.
 //
 // Zero-copy send path. post(src, dst, FrameBuilder) never builds the frame:
 // the sender thread hands the builder's scatter-gather segment list to
@@ -39,6 +50,7 @@
 // kernel, on the way to the wire.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -75,6 +87,9 @@ struct SocketAddress {
   }
   bool is_unix() const { return !path.empty(); }
   std::string to_string() const;
+  /// Inverse of to_string: "unix:<path>" or "host:port" (last ':' splits).
+  /// Raises kNetwork on anything unparseable.
+  static SocketAddress parse(const std::string& text);
 };
 
 struct SocketPeer {
@@ -96,6 +111,18 @@ struct SocketTransportOptions {
   /// Bound on frames buffered towards one peer; overflow is counted lost
   /// and dropped (a real NIC queue tail-drops the same way).
   std::size_t max_queued_per_peer = 4096;
+  /// While a peer is down (severed, or a connect round failed), at most this
+  /// many frames / payload bytes wait for the reconnect and replay in order;
+  /// the excess tail-drops as frames_lost. Both bounds apply.
+  std::size_t retransmit_budget_frames = 1024;
+  std::size_t retransmit_budget_bytes = 4u << 20;
+  /// Pre-shared cluster secret carried in the HELLO; an inbound connection
+  /// with a different token is rejected before any frame is dispatched.
+  /// Empty means "no token required" — but both sides must agree on empty.
+  std::string cluster_token;
+  /// Wire protocol version claimed and required. Overridable only so tests
+  /// can manufacture a version-mismatch rejection.
+  std::uint32_t protocol_version = kHelloVersion;
 };
 
 class SocketTransport final : public Transport {
@@ -132,12 +159,23 @@ class SocketTransport final : public Transport {
   /// are beyond this transport's knowledge (DESIGN.md §4.10).
   void wait_quiescent() const override;
 
-  /// Real-transport partition: closes the connection to `peer`, drops its
-  /// queued frames as lost, and fails every send/receive for that peer
-  /// until restore(). The RPC layer sees is_partitioned() and types
-  /// failures kPartitioned, exactly as under a sim cut.
+  /// Real-transport partition: closes the connection to `peer` and fails
+  /// every receive for that peer until restore(). Outbound frames posted
+  /// during the cut are held up to the retransmit budget and replay in
+  /// order on restore; past-budget frames are counted lost. The RPC layer
+  /// sees is_partitioned() and types failures kPartitioned, exactly as
+  /// under a sim cut.
   void sever(NodeId peer);
   void restore(NodeId peer);
+
+  /// Dynamic membership (DESIGN.md §4.11): admit / evict a peer on the live
+  /// transport. add_peer is idempotent per id; remove_peer joins the peer's
+  /// sender, drops its queue as lost, tears down its inbound connections and
+  /// purges its directory entries.
+  void add_peer(const SocketPeer& peer);
+  void add_peer(NodeId id, const std::string& name,
+                const std::string& address) override;
+  bool remove_peer(NodeId id) override;
 
   /// Closes the outbound connection to `peer` (it reconnects on demand on
   /// the next post). Unhost/teardown hook and a reconnect test handle.
@@ -157,19 +195,27 @@ class SocketTransport final : public Transport {
     std::mutex mu;
     std::condition_variable cv;
     std::deque<FrameBuilder> queue;
+    std::size_t queue_bytes = 0;  ///< payload bytes across `queue`
     int fd = -1;
     bool severed = false;
     bool sending = false;       ///< a frame is between pop and wire
     bool unreachable = false;   ///< last connect round failed (in backoff)
+    bool removed = false;       ///< evicted by remove_peer; terminal
+    bool replaying = false;     ///< queue survived a dead connection
     std::chrono::milliseconds backoff{0};
     std::chrono::steady_clock::time_point next_attempt{};
+    // Last member on purpose: ~jthread (request_stop + join) runs first, so
+    // the sender never outlives mu/cv above it.
     std::jthread sender;
   };
 
   /// One accepted inbound connection and its reader thread.
   struct Inbound {
     int fd = -1;
-    NodeId last_src = 0;  ///< latest src seen on this stream (sever teardown)
+    /// NodeId the HELLO claimed; 0 until `authed`. Atomics because sever /
+    /// remove_peer scan these from other threads while the reader runs.
+    std::atomic<NodeId> peer{0};
+    std::atomic<bool> authed{false};
     std::jthread reader;
   };
 
@@ -179,13 +225,31 @@ class SocketTransport final : public Transport {
   /// Connects link->fd (non-blocking + poll timeout). Returns false and
   /// arms the backoff on failure. Caller holds link->mu.
   bool connect_locked(PeerLink& link);
+  /// Arms the exponential reconnect backoff (same schedule as a failed
+  /// connect round). Caller holds link.mu.
+  void arm_backoff_locked(PeerLink& link);
+  /// Tail-drops frames past the retransmit budget, counting them lost.
+  /// Caller holds link.mu.
+  void trim_queue_locked(PeerLink& link);
   /// Sends one frame over the link's fd as header + scatter segments.
   bool send_frame(int fd, const FrameBuilder& frame);
+  /// Writes our HELLO as the first bytes of a fresh connection.
+  bool send_hello(int fd);
+  /// Allowlist check: version, token, claimed node known and not us.
+  bool validate_hello(const HelloFrame& hello, std::string* why) const;
+  /// Counts + logs a pre-dispatch rejection / post-handshake poisoning and
+  /// shuts the connection down.
+  void reject_inbound(Inbound& conn, const std::string& why);
+  void poison_inbound(Inbound& conn, const std::string& why);
   void deliver(NodeId src, Buffer payload);
   void enqueue(NodeId dst, FrameBuilder frame);
   void count_lost(std::size_t frames, std::size_t bytes);
+  /// Snapshot lookup; the returned shared_ptr keeps the link alive across a
+  /// racing remove_peer.
+  std::shared_ptr<PeerLink> find_link(NodeId id) const;
 
   SocketTransportOptions options_;
+  std::vector<std::uint8_t> hello_bytes_;  ///< our encoded HELLO, immutable
   Directory directory_;
 
   mutable std::mutex mu_;
@@ -194,9 +258,15 @@ class SocketTransport final : public Transport {
   int active_deliveries_ = 0;
   mutable std::condition_variable delivery_cv_;
   TransportStats stats_;
-  std::unordered_map<NodeId, std::unique_ptr<PeerLink>> links_;
-  std::vector<std::shared_ptr<Inbound>> inbound_;
+
+  /// Peer set. Guarded by links_mu_ (map shape + names); each link's own
+  /// state is under its PeerLink::mu. Lock order: links_mu_ or link->mu may
+  /// each be followed by mu_, never the reverse.
+  mutable std::mutex links_mu_;
+  std::unordered_map<NodeId, std::shared_ptr<PeerLink>> links_;
   std::unordered_map<NodeId, std::string> peer_names_;
+
+  std::vector<std::shared_ptr<Inbound>> inbound_;
 
   int listen_fd_ = -1;
   std::uint16_t bound_port_ = 0;

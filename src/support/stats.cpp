@@ -121,6 +121,11 @@ DataPlaneStats& data_plane() {
   return stats;
 }
 
+NetHealthStats& net_health() {
+  static NetHealthStats stats;
+  return stats;
+}
+
 std::string format_rate(double ops_per_sec) {
   char num[64];
   std::snprintf(num, sizeof num, "%.0f", ops_per_sec);

@@ -125,6 +125,26 @@ struct DataPlaneStats {
 /// The process-wide instance (benches reset() it between A/B phases).
 DataPlaneStats& data_plane();
 
+/// Process-wide transport-health accounting (DESIGN.md §4.11). Per-transport
+/// TransportStats carries the same counters for tests that own the instance;
+/// this aggregate exists so the trace summary footer can report poisoned
+/// streams and rejected handshakes process-wide — the codec's reassembler
+/// counts poison events even when no transport owns it (fuzz harnesses).
+struct NetHealthStats {
+  Counter handshake_rejected;    ///< inbound connections refused pre-dispatch
+  Counter connections_poisoned;  ///< connections dropped on framing corruption
+  Counter streams_poisoned;      ///< StreamReassembler poison events
+
+  void reset() {
+    handshake_rejected.reset();
+    connections_poisoned.reset();
+    streams_poisoned.reset();
+  }
+};
+
+/// The process-wide instance.
+NetHealthStats& net_health();
+
 /// Formats n as ops/s with thousands grouping, e.g. "1,234,567 ops/s".
 std::string format_rate(double ops_per_sec);
 

@@ -5,14 +5,18 @@
 // the net_multiprocess_smoke ctest cover the actual process boundary).
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/alps.h"
@@ -99,14 +103,16 @@ TEST(SocketTransport, DeliversRawFramesOverTcpLoopback) {
   a_opts.listen = SocketAddress::tcp("127.0.0.1", 0);  // OS picks
   SocketTransport ta(a_opts);  // peer list patched below via second transport
 
-  // B learns A's actual port after A binds; A needs no route to B for this
-  // one-directional test.
+  // B learns A's actual port after A binds. The traffic is one-directional,
+  // but A must still admit B to its peer set — the handshake allowlist
+  // rejects unknown nodes — so A adds B live (string-address form).
   SocketTransportOptions b_opts;
   b_opts.local_node = 2;
   b_opts.listen = SocketAddress::tcp("127.0.0.1", 0);
   b_opts.peers.push_back(
       SocketPeer{1, "a", SocketAddress::tcp("127.0.0.1", ta.bound_port())});
   SocketTransport tb(b_opts);
+  ta.add_peer(2, "b", "127.0.0.1:" + std::to_string(tb.bound_port()));
   ta.add_node("a");
   tb.add_node("b");
 
@@ -298,6 +304,345 @@ TEST(SocketTransport, SecondLocalNodeRefused) {
   SocketTransport t(uds_options(paths, 1, {1}));
   t.add_node("only");
   EXPECT_THROW(t.add_node("second"), Error);
+}
+
+// ---- transport resilience (DESIGN.md §4.11) --------------------------------
+
+/// Collects frames at a receiving transport in arrival order.
+struct FrameSink {
+  std::mutex mu;
+  std::vector<std::vector<std::uint8_t>> got;
+  support::Event reached;
+  std::size_t want = 0;
+
+  Transport::Handler handler() {
+    return [this](NodeId, Buffer payload) {
+      std::scoped_lock lock(mu);
+      got.emplace_back(payload.data(), payload.data() + payload.size());
+      if (want != 0 && got.size() >= want) reached.set();
+    };
+  }
+};
+
+TEST(SocketTransport, BlipRetainsQueuedFramesAndReplaysInOrder) {
+  SocketPaths paths("blip");
+  auto a_opts = uds_options(paths, 1, {1, 2});
+  a_opts.connect_backoff_initial = 5ms;
+  a_opts.connect_backoff_max = 20ms;
+  SocketTransport ta(a_opts);
+  ta.add_node("a");
+
+  // B does not exist yet: the first connect rounds fail instantly (no
+  // listener at the path). The 5 frames must ride out the blip in A's
+  // retransmit queue — not be counted lost. Waiting for is_partitioned
+  // pins the "a round actually failed" half of the claim.
+  for (std::uint8_t i = 0; i < 5; ++i) ta.post(Frame{1, 2, {i}});
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (!ta.is_partitioned(1, 2)) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(1ms);
+  }
+
+  FrameSink sink;
+  sink.want = 5;
+  SocketTransport tb(uds_options(paths, 2, {1, 2}));
+  tb.add_node("b");
+  tb.set_handler(2, sink.handler());
+  ASSERT_TRUE(sink.reached.wait_for(10s));
+
+  std::scoped_lock lock(sink.mu);
+  ASSERT_EQ(sink.got.size(), 5u);
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(sink.got[i], std::vector<std::uint8_t>{i})
+        << "replay must preserve posted order";
+  }
+  const auto stats = ta.transport_stats();
+  EXPECT_EQ(stats.frames_lost, 0u);
+  EXPECT_GE(stats.frames_requeued, 5u)
+      << "the surviving frames must be accounted as requeued";
+}
+
+TEST(SocketTransport, RetransmitBudgetOverflowCountsLost) {
+  SocketPaths paths("budget");
+  auto a_opts = uds_options(paths, 1, {1, 2});
+  a_opts.connect_backoff_initial = 5ms;
+  a_opts.connect_backoff_max = 20ms;
+  a_opts.retransmit_budget_frames = 3;
+  SocketTransport ta(a_opts);
+  ta.add_node("a");
+
+  // First frame arms the sender; wait until a connect round has failed so
+  // the link is known-down and the budget applies.
+  ta.post(Frame{1, 2, {0}});
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (!ta.is_partitioned(1, 2)) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(1ms);
+  }
+  for (std::uint8_t i = 1; i < 6; ++i) ta.post(Frame{1, 2, {i}});
+
+  FrameSink sink;
+  sink.want = 3;
+  SocketTransport tb(uds_options(paths, 2, {1, 2}));
+  tb.add_node("b");
+  tb.set_handler(2, sink.handler());
+  ASSERT_TRUE(sink.reached.wait_for(10s));
+  // Give any unexpected extra frame a moment to arrive, then snapshot.
+  ta.wait_quiescent();
+  tb.wait_quiescent();
+
+  std::scoped_lock lock(sink.mu);
+  ASSERT_EQ(sink.got.size(), 3u)
+      << "only the budgeted prefix may survive the outage";
+  for (std::uint8_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(sink.got[i], std::vector<std::uint8_t>{i})
+        << "the surviving prefix replays in posted order";
+  }
+  EXPECT_EQ(ta.transport_stats().frames_lost, 3u)
+      << "past-budget frames are datagram loss, and counted";
+}
+
+TEST(SocketTransport, SeverQueuesUnderBudgetAndRestoreReplaysInOrder) {
+  SocketPaths paths("sevq");
+  SocketTransport ta(uds_options(paths, 1, {1, 2}));
+  SocketTransport tb(uds_options(paths, 2, {1, 2}));
+  ta.add_node("a");
+  tb.add_node("b");
+  FrameSink sink;
+  sink.want = 1;
+  tb.set_handler(2, sink.handler());
+  ta.post(Frame{1, 2, {0}});
+  ASSERT_TRUE(sink.reached.wait_for(10s));
+
+  ta.sever(2);
+  EXPECT_TRUE(ta.is_partitioned(1, 2));
+  for (std::uint8_t i = 1; i <= 4; ++i) ta.post(Frame{1, 2, {i}});
+  ta.wait_quiescent();  // parked frames count as quiescent during the cut
+  {
+    std::scoped_lock lock(sink.mu);
+    EXPECT_EQ(sink.got.size(), 1u) << "nothing crosses an active cut";
+  }
+
+  sink.reached.reset();
+  sink.want = 5;
+  ta.restore(2);
+  ASSERT_TRUE(sink.reached.wait_for(10s));
+  std::scoped_lock lock(sink.mu);
+  ASSERT_EQ(sink.got.size(), 5u);
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(sink.got[i], std::vector<std::uint8_t>{i})
+        << "restore must replay the parked frames in order";
+  }
+  const auto stats = ta.transport_stats();
+  EXPECT_EQ(stats.frames_lost, 0u);
+  EXPECT_GE(stats.frames_requeued, 4u);
+}
+
+TEST(SocketTransport, RemovePeerRacesInFlightDeliveryAndRejectsReconnect) {
+  SocketPaths paths("evict");
+  SocketTransport ta(uds_options(paths, 1, {1, 2}));
+  auto b_opts = uds_options(paths, 2, {1, 2});
+  b_opts.connect_backoff_initial = 5ms;
+  SocketTransport tb(b_opts);
+  ta.add_node("a");
+  tb.add_node("b");
+
+  support::Event entered, release;
+  std::atomic<int> delivered{0};
+  tb.set_handler(2, [&](NodeId, Buffer) {
+    if (++delivered == 1) {
+      entered.set();
+      release.wait();
+    }
+  });
+  ta.post(Frame{1, 2, {1}});
+  ASSERT_TRUE(entered.wait_for(10s));
+  // A second frame is already behind the blocked delivery; the eviction
+  // below must win the race against it.
+  ta.post(Frame{1, 2, {2}});
+
+  std::thread evict([&] { EXPECT_TRUE(tb.remove_peer(1)); });
+  std::this_thread::sleep_for(50ms);  // overlap eviction with the delivery
+  release.set();
+  evict.join();
+  EXPECT_FALSE(tb.remove_peer(1)) << "second eviction must report absent";
+
+  // A keeps talking, but its HELLO now claims a node outside B's peer set:
+  // every reconnect is refused before a frame can dispatch.
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (tb.transport_stats().handshake_rejected == 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    ta.post(Frame{1, 2, {3}});
+    ta.disconnect(2);  // force a fresh connection (and a fresh handshake)
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(delivered.load(), 1) << "no frame may land after the eviction";
+}
+
+TEST(SocketTransport, AddPeerAdmitsTrafficMidRun) {
+  SocketPaths paths("admit");
+  SocketTransport ta(uds_options(paths, 1, {1}));  // B unknown at first
+  auto b_opts = uds_options(paths, 2, {1, 2});
+  b_opts.connect_backoff_initial = 5ms;
+  SocketTransport tb(b_opts);
+  ta.add_node("a");
+  tb.add_node("b");
+
+  std::atomic<int> got{0};
+  support::Event first;
+  ta.set_handler(1, [&](NodeId src, Buffer) {
+    EXPECT_EQ(src, 2u);
+    if (++got == 1) first.set();
+  });
+
+  std::atomic<int> membership_adds{0};
+  const auto token = ta.add_membership_listener([&](NodeId peer, bool added) {
+    if (peer == 2 && added) ++membership_adds;
+  });
+
+  // Unknown peer: every stream B opens is refused before dispatch.
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (ta.transport_stats().handshake_rejected == 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    tb.post(Frame{2, 1, {7}});
+    tb.disconnect(1);
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(ta.transport_stats().frames_delivered, 0u)
+      << "an unadmitted peer must never deliver a frame";
+
+  // Admit B live (string-address form) — traffic starts flowing without
+  // touching A's construction-time configuration.
+  ta.add_peer(2, "b", "unix:" + paths.node(2));
+  EXPECT_EQ(ta.node_name(2), "b");
+  EXPECT_EQ(membership_adds.load(), 1);
+  while (!first.wait_for(50ms)) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    tb.post(Frame{2, 1, {8}});
+    tb.disconnect(1);
+  }
+  EXPECT_GE(got.load(), 1);
+  ta.remove_membership_listener(token);
+}
+
+TEST(SocketTransport, HandshakeRejectsWrongClusterToken) {
+  SocketPaths paths("token");
+  auto a_opts = uds_options(paths, 1, {1, 2});
+  a_opts.cluster_token = "alpha";
+  auto b_opts = uds_options(paths, 2, {1, 2});
+  b_opts.cluster_token = "beta";
+  b_opts.connect_backoff_initial = 5ms;
+  SocketTransport ta(a_opts);
+  SocketTransport tb(b_opts);
+  ta.add_node("a");
+  tb.add_node("b");
+  ta.set_handler(1, [&](NodeId, Buffer) { FAIL() << "must not deliver"; });
+
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (ta.transport_stats().handshake_rejected == 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    tb.post(Frame{2, 1, {1}});
+    tb.disconnect(1);
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(ta.transport_stats().frames_delivered, 0u);
+}
+
+TEST(SocketTransport, HandshakeRejectsProtocolVersionMismatch) {
+  SocketPaths paths("ver");
+  auto a_opts = uds_options(paths, 1, {1, 2});
+  auto b_opts = uds_options(paths, 2, {1, 2});
+  b_opts.protocol_version = kHelloVersion + 1;
+  b_opts.connect_backoff_initial = 5ms;
+  SocketTransport ta(a_opts);
+  SocketTransport tb(b_opts);
+  ta.add_node("a");
+  tb.add_node("b");
+  ta.set_handler(1, [&](NodeId, Buffer) { FAIL() << "must not deliver"; });
+
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (ta.transport_stats().handshake_rejected == 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    tb.post(Frame{2, 1, {1}});
+    tb.disconnect(1);
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(ta.transport_stats().frames_delivered, 0u);
+}
+
+/// Connects a bare OS socket to `path` and writes `bytes`; returns after the
+/// peer closes (or 2s). The impostor's view: does the transport talk back?
+void raw_connection(const std::string& path,
+                    const std::vector<std::uint8_t>& bytes) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(bytes.size()));
+  // Wait for the far end to hang up on us (read returns 0).
+  char buf[64];
+  struct timeval tv{2, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  while (::read(fd, buf, sizeof(buf)) > 0) {
+  }
+  ::close(fd);
+}
+
+TEST(SocketTransport, RawImpostorConnectionNeverDeliversAFrame) {
+  SocketPaths paths("impostor");
+  SocketTransport ta(uds_options(paths, 1, {1, 2}));
+  ta.add_node("a");
+  ta.set_handler(1, [&](NodeId, Buffer) { FAIL() << "must not deliver"; });
+
+  // Garbage instead of a HELLO: rejected on the magic check, counted, cut.
+  raw_connection(paths.node(1),
+                 {'G', 'A', 'R', 'B', 'A', 'G', 'E', '!', 0, 0, 0, 0});
+  auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (ta.transport_stats().handshake_rejected < 1) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(ta.transport_stats().frames_delivered, 0u);
+
+  // A valid HELLO followed by a corrupt length field: the handshake passes,
+  // the framing layer poisons the connection before anything dispatches.
+  HelloFrame hello;
+  hello.node = 2;
+  std::vector<std::uint8_t> bytes;
+  encode_hello(hello, bytes);
+  for (int i = 0; i < 4; ++i) bytes.push_back(0xff);  // length = 2^32-1
+  for (int i = 0; i < 8; ++i) bytes.push_back(0x02);  // src (never parsed)
+  raw_connection(paths.node(1), bytes);
+  deadline = std::chrono::steady_clock::now() + 10s;
+  while (ta.transport_stats().connections_poisoned < 1) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(ta.transport_stats().frames_delivered, 0u);
+}
+
+TEST(SocketRpc, RemovePeerPurgesDirectoryAndFailsTyped) {
+  SocketRpcRig rig;
+  CallOptions opts;
+  opts.retry = RetryPolicy{};
+  ASSERT_TRUE(rig.client.call("Echo", "Double", vals(1), opts).ok());
+  ASSERT_EQ(rig.client.cached_route("Echo"), std::optional<NodeId>(2));
+
+  rig.client_t.remove_peer(2);
+  EXPECT_FALSE(rig.client.cached_route("Echo").has_value())
+      << "the membership listener must drop routes to the departed peer";
+  EXPECT_FALSE(rig.client_t.directory().lookup("Echo").has_value())
+      << "eviction must purge the departed node's directory entries";
+  CallOptions bounded = opts;
+  bounded.deadline = 300ms;
+  auto r = rig.client.call("Echo", "Double", vals(2), bounded);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().cause(), RpcCause::kObjectNotFound)
+      << "a departed home fails typed, not by timeout";
 }
 
 }  // namespace

@@ -127,6 +127,68 @@ TEST(Network, DeliversFrames) {
   EXPECT_EQ(stats.bytes_delivered, 9u);
 }
 
+TEST(Network, RemovePeerLosesTrafficAndAddPeerRevives) {
+  // Sim half of the dynamic-membership contract (parity with the socket
+  // backend): a departed node's frames are lost, the cut is reported, its
+  // directory entries vanish, and re-admission under the same id heals.
+  Network net;
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  net.directory().add("Obj", b);
+  std::atomic<int> received{0};
+  support::Event done;
+  net.set_handler(b, [&](NodeId, Buffer) {
+    ++received;
+    done.set();
+  });
+
+  std::vector<std::pair<NodeId, bool>> changes;
+  const auto token = net.add_membership_listener(
+      [&](NodeId peer, bool added) { changes.emplace_back(peer, added); });
+
+  EXPECT_TRUE(net.remove_peer(b));
+  EXPECT_FALSE(net.remove_peer(b)) << "second eviction reports absent";
+  EXPECT_TRUE(net.is_partitioned(a, b));
+  EXPECT_FALSE(net.directory().lookup("Obj").has_value())
+      << "eviction purges the departed node's directory entries";
+  net.post(Frame{a, b, {1}});
+  net.wait_quiescent();
+  EXPECT_EQ(net.transport_stats().frames_lost, 1u);
+  EXPECT_EQ(received.load(), 0);
+
+  net.add_peer(b, "b", "");  // revival: same dense id rejoins
+  EXPECT_FALSE(net.is_partitioned(a, b));
+  net.set_handler(b, [&](NodeId, Buffer) {
+    ++received;
+    done.set();
+  });
+  net.post(Frame{a, b, {2}});
+  EXPECT_TRUE(done.wait_for(std::chrono::seconds(5)));
+  EXPECT_EQ(received.load(), 1);
+
+  EXPECT_THROW(net.add_peer(77, "sparse", ""), Error)
+      << "sim node ids stay dense";
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_EQ(changes[0], (std::pair<NodeId, bool>{b, false}));
+  EXPECT_EQ(changes[1], (std::pair<NodeId, bool>{b, true}));
+  net.remove_membership_listener(token);
+}
+
+TEST(Network, RemovePeerPurgesInFlightFrames) {
+  // Frames already scheduled towards the victim die with it — the sim
+  // analog of the socket backend dropping a removed peer's send queue.
+  Network net(LinkLatency{std::chrono::microseconds(50000), {}});
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  std::atomic<int> received{0};
+  net.set_handler(b, [&](NodeId, Buffer) { ++received; });
+  for (int i = 0; i < 4; ++i) net.post(Frame{a, b, {}});  // 50ms in flight
+  EXPECT_TRUE(net.remove_peer(b));
+  net.wait_quiescent();
+  EXPECT_EQ(received.load(), 0);
+  EXPECT_EQ(net.transport_stats().frames_lost, 4u);
+}
+
 TEST(Network, DropsFramesForUnknownOrHandlerlessNodes) {
   Network net;
   const NodeId a = net.add_node("a");
