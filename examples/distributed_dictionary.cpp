@@ -38,6 +38,19 @@
 //
 //   $ example_distributed_dictionary chaos-serve <i> <dir>
 //       Internal: chaos server process i (started by the chaos driver).
+//
+//   $ ALPS_SOAK=1 example_distributed_dictionary shard-soak [--ci]
+//       Shard-migration soak (DESIGN.md §4.12): four server processes host
+//       one *sharded* named object. The driver inserts a keyed stream while
+//       the shard map is split live, 2 → 3 → 4 homes, each split installed
+//       on the servers mid-burst while the driver's cached map stays stale.
+//       Convergence is per-key through shard-precise kWrongNode redirects;
+//       the exactly-once audit reads each server's durable key log counters
+//       (every key applied on exactly one server, zero re-executions).
+//       Without ALPS_SOAK=1 prints [SKIP-SOAK] and exits 77.
+//
+//   $ example_distributed_dictionary shard-serve <i> <dir>
+//       Internal: shard server process i (started by the shard-soak driver).
 #include <fcntl.h>
 #include <signal.h>
 #include <sys/socket.h>
@@ -638,6 +651,311 @@ int run_chaos(int n, bool ci) {
   return failures == 0 ? 0 : 1;
 }
 
+// ---- shard-migration soak (DESIGN.md §4.12) --------------------------------
+
+constexpr const char* kShardToken = "alps-shard-soak";
+constexpr int kShardInitial = 2;  ///< homes in the seed map
+constexpr int kShardMax = 4;      ///< homes after both live splits
+
+std::string shard_ctl_name(int i) { return "SCtl-" + std::to_string(i); }
+
+/// Shard server `i`: hosts its slice of the sharded object "SDict" plus a
+/// per-server control object. Applied keys go to a durable O_APPEND log
+/// before the in-memory seen-set (same recovery discipline as the chaos
+/// server), so the driver can audit exactly-once from the servers' own
+/// counters across splits. SetMap(n) installs the n-home map {1..n} in this
+/// process's directory replica — the shard-split signal; from then on this
+/// server answers shard-precise kWrongNode redirects for keys it no longer
+/// owns.
+int run_shard_server(int i, const std::string& dir) {
+  net::SocketTransportOptions opts;
+  opts.local_node = static_cast<net::NodeId>(i);
+  opts.local_name = "shard-server-" + std::to_string(i);
+  // Hidden listen path, atomically renamed once everything is hosted (see
+  // run_chaos_server for why).
+  opts.listen = net::SocketAddress::unix_path(chaos_sock(dir, i) + ".tmp");
+  opts.peers.push_back(net::SocketPeer{
+      0, "driver", net::SocketAddress::unix_path(chaos_sock(dir, 0))});
+  opts.cluster_token = kShardToken;
+  net::SocketTransport transport(opts);
+  net::Node node(transport, opts.local_name);
+
+  const std::string log_path = dir + "/keys-" + std::to_string(i) + ".log";
+  std::unordered_set<std::string> seen;
+  {
+    std::ifstream in(log_path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) seen.insert(line);
+    }
+  }
+  const int log_fd =
+      ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (log_fd < 0) {
+    std::perror("open key log");
+    return 1;
+  }
+
+  std::mutex mu;
+  std::uint64_t requests = 0, reexec = 0;
+  support::Event quit;
+  Object obj("SDict");
+  auto insert = obj.define_entry({.name = "Insert", .params = 1, .results = 1});
+  obj.implement(insert, [&](BodyCtx& ctx) -> ValueList {
+    const std::string key = ctx.param(0).as_string();
+    std::scoped_lock lock(mu);
+    ++requests;
+    if (seen.count(key) != 0) {
+      ++reexec;
+      return {Value(std::int64_t(0))};
+    }
+    const std::string rec = key + "\n";
+    if (::write(log_fd, rec.data(), rec.size()) !=
+        static_cast<ssize_t>(rec.size())) {
+      std::perror("append key log");
+    }
+    seen.insert(key);
+    return {Value(std::int64_t(1))};
+  });
+  obj.start();
+  node.host(obj);
+
+  Object ctl(shard_ctl_name(i));
+  auto set_map =
+      ctl.define_entry({.name = "SetMap", .params = 1, .results = 0});
+  ctl.implement(set_map, [&transport](BodyCtx& ctx) -> ValueList {
+    // Install the n-home map {1..n}. New homes receive it before old homes
+    // (driver's ordering), so by the time an old home starts redirecting a
+    // moved key its new shard already accepts it.
+    const auto n = ctx.param(0).as_int();
+    std::vector<net::NodeId> homes;
+    for (std::int64_t h = 1; h <= n; ++h) {
+      homes.push_back(static_cast<net::NodeId>(h));
+    }
+    transport.directory().add_sharded("SDict", std::move(homes));
+    return {};
+  });
+  auto stats = ctl.define_entry({.name = "Stats", .params = 0, .results = 3});
+  ctl.implement(stats, [&](BodyCtx&) -> ValueList {
+    std::scoped_lock lock(mu);
+    return {Value(static_cast<std::int64_t>(seen.size())),
+            Value(static_cast<std::int64_t>(requests)),
+            Value(static_cast<std::int64_t>(reexec))};
+  });
+  auto shutdown =
+      ctl.define_entry({.name = "Shutdown", .params = 0, .results = 0});
+  ctl.implement(shutdown, [&quit](BodyCtx&) -> ValueList {
+    quit.set();
+    return {};
+  });
+  ctl.start();
+  node.host(ctl);
+
+  // Seed this replica's shard map after host() (which registered "SDict"
+  // single-homed here): the initial truth is kShardInitial homes, whether or
+  // not this server is among them yet.
+  {
+    std::vector<net::NodeId> homes;
+    for (int h = 1; h <= kShardInitial; ++h) {
+      homes.push_back(static_cast<net::NodeId>(h));
+    }
+    transport.directory().add_sharded("SDict", std::move(homes));
+  }
+  std::filesystem::rename(chaos_sock(dir, i) + ".tmp", chaos_sock(dir, i));
+
+  quit.wait();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  transport.wait_quiescent();
+  ctl.stop();
+  obj.stop();
+  ::close(log_fd);
+  return 0;
+}
+
+/// Shard-soak driver: inserts a keyed stream against the sharded name while
+/// the map is split live 2 → 3 → 4 homes under in-flight traffic, then
+/// audits exactly-once convergence from the servers' durable counters. The
+/// driver's own map stays deliberately stale across both splits — every
+/// moved key's first call earns a shard-precise kWrongNode redirect that
+/// patches exactly one slot of its cached map.
+int run_shard_soak(bool ci) {
+  if (std::getenv("ALPS_SOAK") == nullptr) {
+    std::printf("[SKIP-SOAK] ALPS_SOAK=1 not set; skipping shard soak\n");
+    return 77;  // ctest SKIP_RETURN_CODE
+  }
+  char dir_template[] = "/tmp/alps-shard-XXXXXX";
+  if (::mkdtemp(dir_template) == nullptr) {
+    std::perror("mkdtemp");
+    return 1;
+  }
+  const std::string dir = dir_template;
+
+  std::map<int, pid_t> pids;
+  for (int i = 1; i <= kShardMax; ++i) {
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ::execl("/proc/self/exe", "example_distributed_dictionary",
+              "shard-serve", std::to_string(i).c_str(), dir.c_str(),
+              static_cast<char*>(nullptr));
+      std::perror("execl");
+      std::_Exit(127);
+    }
+    pids[i] = pid;
+  }
+
+  int failures = 0;
+  auto check = [&failures](bool ok, const char* what) {
+    if (!ok) {
+      ++failures;
+      std::fprintf(stderr, "FAIL: %s\n", what);
+    }
+    return ok;
+  };
+
+  const int K = ci ? 600 : 2400;        // total keys
+  const int burst_n = ci ? 80 : 240;    // in-flight calls across each split
+
+  {
+    net::SocketTransportOptions opts;
+    opts.local_node = 0;
+    opts.local_name = "shard-driver";
+    opts.listen = net::SocketAddress::unix_path(chaos_sock(dir, 0));
+    for (int i = 1; i <= kShardMax; ++i) {
+      opts.peers.push_back(net::SocketPeer{
+          static_cast<net::NodeId>(i), "shard-server-" + std::to_string(i),
+          net::SocketAddress::unix_path(chaos_sock(dir, i))});
+    }
+    opts.cluster_token = kShardToken;
+    net::SocketTransport transport(opts);
+    net::Node driver(transport, "shard-driver");
+    {
+      std::vector<net::NodeId> homes;
+      for (int h = 1; h <= kShardInitial; ++h) {
+        homes.push_back(static_cast<net::NodeId>(h));
+      }
+      transport.directory().add_sharded("SDict", std::move(homes));
+    }
+    for (int i = 1; i <= kShardMax; ++i) {
+      transport.directory().add(shard_ctl_name(i),
+                                static_cast<net::NodeId>(i));
+    }
+
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(15);
+    for (int i = 1; i <= kShardMax; ++i) {
+      while (!std::filesystem::exists(chaos_sock(dir, i))) {
+        if (std::chrono::steady_clock::now() > deadline) {
+          std::fprintf(stderr, "shard server %d never came up\n", i);
+          return 1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+
+    net::CallOptions reliable;
+    net::RetryPolicy policy;
+    policy.attempt_timeout = std::chrono::milliseconds(15);
+    reliable.retry = policy;
+    reliable.deadline = std::chrono::seconds(60);
+
+    auto key_of = [](int k) { return "sk-" + std::to_string(k); };
+    int issued = 0;
+    auto insert_upto = [&](int upto) {
+      for (; issued < upto; ++issued) {
+        auto r =
+            driver.call("SDict", "Insert", vals(key_of(issued)), reliable);
+        if (!check(r.ok(), "insert completes across the soak")) {
+          std::fprintf(stderr, "  %s: %s\n", key_of(issued).c_str(),
+                       r.error().what());
+        }
+      }
+    };
+    // Installs the n-home map on every server, newest first: a new home
+    // accepts its shard before any old home starts redirecting into it.
+    auto install_map = [&](int n) {
+      for (int i = kShardMax; i >= 1; --i) {
+        auto r = driver.call(shard_ctl_name(i), "SetMap",
+                             vals(static_cast<std::int64_t>(n)), reliable);
+        check(r.ok(), "SetMap reaches every server");
+      }
+    };
+    // The live-split pattern: a burst of async inserts goes up against the
+    // old map, the new map is installed while they are in flight, and every
+    // call must still complete — moved keys through a redirect hop.
+    auto split_under_burst = [&](int new_n) {
+      auto proxy = driver.remote("SDict");
+      std::vector<net::RpcHandle> burst;
+      burst.reserve(burst_n);
+      for (int b = 0; b < burst_n; ++b) {
+        burst.push_back(
+            proxy.async_call("Insert", vals(key_of(issued + b)), reliable));
+      }
+      install_map(new_n);
+      int ok = 0;
+      for (auto& h : burst) {
+        if (h.result().ok()) ++ok;
+      }
+      issued += burst_n;
+      check(ok == burst_n,
+            "every in-flight insert completes across the split");
+    };
+
+    insert_upto((K * 2) / 5);     // warm: cached 2-home map established
+    split_under_burst(3);         // live split 2 -> 3 mid-burst
+    insert_upto((K * 7) / 10);    // stale slots heal one redirect per slot
+    split_under_burst(4);         // live split 3 -> 4 mid-burst
+    insert_upto(K);               // drain on the 4-home map
+
+    check(driver.client_stats().redirects >= 1,
+          "moved keys healed via shard-precise kWrongNode redirects");
+
+    // Exactly-once audit from the servers' durable counters: the union of
+    // per-server key logs is exactly the issued key set (each key applied on
+    // one server), and no server ever re-executed an applied key.
+    std::uint64_t total_distinct = 0, total_reexec = 0;
+    for (int i = 1; i <= kShardMax; ++i) {
+      auto r = driver.call(shard_ctl_name(i), "Stats", {}, reliable);
+      if (!check(r.ok(), "Stats call completes")) continue;
+      total_distinct += static_cast<std::uint64_t>(r.value()[0].as_int());
+      total_reexec += static_cast<std::uint64_t>(r.value()[2].as_int());
+      check(r.value()[0].as_int() > 0,
+            "every home serves a non-empty shard after the splits");
+    }
+    check(total_distinct == static_cast<std::uint64_t>(issued),
+          "union of shard key logs is exactly the issued key set");
+    check(total_reexec == 0, "zero re-executions across both live splits");
+
+    std::printf(
+        "shard-soak: %d keys over 2->3->4 homes, %llu redirects, "
+        "%llu retransmits, exactly-once %s\n",
+        issued,
+        static_cast<unsigned long long>(driver.client_stats().redirects),
+        static_cast<unsigned long long>(driver.client_stats().retransmits),
+        failures == 0 ? "held" : "VIOLATED");
+
+    for (int i = 1; i <= kShardMax; ++i) {
+      net::CallOptions lenient;
+      lenient.deadline = std::chrono::seconds(5);
+      lenient.retry = net::RetryPolicy{};
+      driver.call(shard_ctl_name(i), "Shutdown", {}, lenient);
+    }
+  }
+
+  for (const auto& [i, pid] : pids) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) < 0) {
+      std::perror("waitpid");
+      ++failures;
+    } else if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "shard server %d exited abnormally (status %d)\n",
+                   i, status);
+      ++failures;
+    }
+  }
+  std::filesystem::remove_all(dir);
+  return failures == 0 ? 0 : 1;
+}
+
 // ---- original single-process demo on the simulated network -----------------
 
 int run_sim_demo() {
@@ -798,6 +1116,17 @@ int main(int argc, char** argv) {
       return 2;
     }
     return run_chaos_server(std::atoi(argv[2]), argv[3]);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "shard-serve") == 0) {
+    if (argc != 4) {
+      std::fprintf(stderr, "usage: %s shard-serve <i> <dir>\n", argv[0]);
+      return 2;
+    }
+    return run_shard_server(std::atoi(argv[2]), argv[3]);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "shard-soak") == 0) {
+    const bool ci = argc >= 3 && std::strcmp(argv[2], "--ci") == 0;
+    return run_shard_soak(ci);
   }
   if (argc >= 2 && std::strcmp(argv[1], "chaos") == 0) {
     if (argc < 3) {

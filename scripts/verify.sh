@@ -32,6 +32,8 @@ echo "== multi-process smoke: 2 server processes over unix sockets =="
 if [[ "${ALPS_SOAK:-}" == 1 ]]; then
   echo "== chaos soak: kill -9 + membership churn over unix sockets =="
   ./build/examples/example_distributed_dictionary chaos 3 --ci
+  echo "== shard soak: live 2->3->4 shard split under traffic =="
+  ./build/examples/example_distributed_dictionary shard-soak --ci
 fi
 
 if [[ "$TIER1_ONLY" == 1 ]]; then
@@ -65,6 +67,9 @@ for san in thread address; do
       --target example_distributed_dictionary
     "build-$san/examples/example_distributed_dictionary" chaos 3 --ci || {
       echo "verify: $san/chaos FAILED"; exit 1; }
+    echo "-- [$san] shard-migration soak"
+    "build-$san/examples/example_distributed_dictionary" shard-soak --ci || {
+      echo "verify: $san/shard-soak FAILED"; exit 1; }
   fi
 done
 

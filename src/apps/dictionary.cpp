@@ -2,6 +2,9 @@
 
 #include <thread>
 
+#include "net/directory.h"
+#include "net/rpc.h"
+
 namespace alps::apps {
 
 Dictionary::Dictionary(std::vector<std::string> words, Options options)
@@ -159,6 +162,86 @@ CallHandle Dictionary::async_insert(const std::string& word,
 Dictionary::Stats Dictionary::stats() const {
   return Stats{requests_.load(), executed_.load(), combined_.load(),
                inserts_.load()};
+}
+
+// ---- ShardedDictionary -----------------------------------------------------
+
+namespace {
+
+/// Which shard a word routes to under an n-home map — must agree with the
+/// client-side router (rpc.cpp), so use the same two hashes.
+std::uint32_t shard_of_word(const std::string& word, std::uint32_t n) {
+  return net::jump_consistent_hash(net::shard_key_hash(Value(word)), n);
+}
+
+}  // namespace
+
+ShardedDictionary::ShardedDictionary(std::vector<std::string> words,
+                                     Dictionary::Options options,
+                                     net::Transport& transport,
+                                     std::vector<net::Node*> homes)
+    : name_(options.object_name),
+      words_(std::move(words)),
+      options_(options),
+      transport_(&transport),
+      homes_(std::move(homes)) {
+  // Partition the initial corpus the way the router will: each shard's
+  // Dictionary holds exactly the words that hash to it. Homes must be
+  // distinct nodes (one hosted "name_" per node).
+  const auto n = static_cast<std::uint32_t>(homes_.size());
+  std::vector<std::vector<std::string>> per_shard(homes_.size());
+  for (const auto& w : words_) per_shard[shard_of_word(w, n)].push_back(w);
+
+  std::vector<net::NodeId> ids;
+  ids.reserve(homes_.size());
+  for (std::size_t i = 0; i < homes_.size(); ++i) {
+    shards_.push_back(
+        std::make_unique<Dictionary>(std::move(per_shard[i]), options_));
+    homes_[i]->host(shards_[i]->object());
+    ids.push_back(homes_[i]->id());
+  }
+  // host() above registered the name single-homed (last writer); installing
+  // the shard map last makes the whole set authoritative in one epoch bump.
+  transport_->directory().add_sharded(name_, std::move(ids));
+}
+
+ShardedDictionary::~ShardedDictionary() {
+  // Each unhost demotes its node out of the shared entry; the last one
+  // erases it.
+  for (net::Node* node : homes_) node->unhost(name_);
+}
+
+void ShardedDictionary::split_to(net::Node& new_home) {
+  const auto new_n = static_cast<std::uint32_t>(homes_.size() + 1);
+  // Jump hashing guarantees every key that moves under N → N+1 moves to the
+  // NEW bucket, so the new shard's corpus is exactly the words hashing to
+  // slot N under the grown map — the survivors keep their slots untouched.
+  std::vector<std::string> moved;
+  for (const auto& w : words_) {
+    if (shard_of_word(w, new_n) == new_n - 1) moved.push_back(w);
+  }
+  shards_.push_back(std::make_unique<Dictionary>(std::move(moved), options_));
+  new_home.host(shards_.back()->object());
+  homes_.push_back(&new_home);
+
+  // Flip the map only after the new shard is hosted and loaded: a request
+  // redirected mid-split always finds the data already there.
+  std::vector<net::NodeId> ids;
+  ids.reserve(homes_.size());
+  for (net::Node* node : homes_) ids.push_back(node->id());
+  transport_->directory().add_sharded(name_, std::move(ids));
+}
+
+Dictionary::Stats ShardedDictionary::stats() const {
+  Dictionary::Stats sum;
+  for (const auto& d : shards_) {
+    const auto s = d->stats();
+    sum.requests += s.requests;
+    sum.executed += s.executed;
+    sum.combined += s.combined;
+    sum.inserts += s.inserts;
+  }
+  return sum;
 }
 
 }  // namespace alps::apps

@@ -13,11 +13,17 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/alps.h"
+
+namespace alps::net {
+class Node;
+class Transport;
+}  // namespace alps::net
 
 namespace alps::apps {
 
@@ -75,6 +81,49 @@ class Dictionary {
   std::unordered_map<std::string, std::string> db_;
   std::atomic<std::uint64_t> requests_{0}, executed_{0}, combined_{0},
       inserts_{0};
+};
+
+/// Sharded mode (DESIGN.md §4.12): one Dictionary instance per shard home,
+/// all registered under a single name. Callers keep using
+/// `node.call(name, "Search", {word})` — the router on each node hashes the
+/// word (the call's first parameter) and picks the shard, so intra-object
+/// parallelism scales across nodes with zero caller changes.
+///
+/// Each shard's words are the subset of `words` the shard map routes to it,
+/// so every word resolves on exactly one shard. split_to() performs a live
+/// shard split: the new shard's Dictionary is hosted and the N+1-home map
+/// installed while traffic is in flight — stale clients converge key by key
+/// through shard-precise kWrongNode redirects.
+class ShardedDictionary {
+ public:
+  ShardedDictionary(std::vector<std::string> words,
+                    Dictionary::Options options, net::Transport& transport,
+                    std::vector<net::Node*> homes);
+  ~ShardedDictionary();
+
+  ShardedDictionary(const ShardedDictionary&) = delete;
+  ShardedDictionary& operator=(const ShardedDictionary&) = delete;
+
+  std::size_t shards() const { return shards_.size(); }
+  Dictionary& shard(std::size_t i) { return *shards_[i]; }
+
+  /// Grow the map N → N+1 with `new_home` serving the new shard; jump
+  /// hashing moves only ~1/(N+1) of the keys. Words that re-route to the
+  /// new shard are re-inserted there before the map flips.
+  void split_to(net::Node& new_home);
+
+  /// Stats summed across shards.
+  Dictionary::Stats stats() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<std::string> words_;
+  Dictionary::Options options_;
+  net::Transport* transport_;
+  std::vector<net::Node*> homes_;
+  std::vector<std::unique_ptr<Dictionary>> shards_;
 };
 
 }  // namespace alps::apps

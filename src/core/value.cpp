@@ -4,8 +4,28 @@
 #include <functional>
 
 #include "core/error.h"
+#include "support/stats.h"
 
 namespace alps {
+
+const std::string& StringPayload::str() const {
+  std::call_once(once_, [this] {
+    if (str_ != nullptr) return;  // string-backed from construction
+    // Frame-backed: the one deliberate copy, on first as_string() — decode
+    // itself stayed zero-copy (bytes_referenced); this materialization is
+    // what bytes_copied now counts for aliased strings.
+    str_ = std::make_shared<const std::string>(
+        reinterpret_cast<const char*>(bytes_.data()), bytes_.size());
+    support::data_plane().bytes_copied.add(bytes_.size());
+  });
+  return *str_;
+}
+
+Value Value::aliased_string(Buffer bytes) {
+  Value v;
+  v.v_ = std::make_shared<const StringPayload>(std::move(bytes));
+  return v;
+}
 
 const char* to_string(ValueKind kind) {
   switch (kind) {
@@ -47,8 +67,22 @@ double Value::as_real() const {
 }
 
 const std::string& Value::as_string() const {
-  if (auto* p = std::get_if<std::shared_ptr<const std::string>>(&v_)) {
-    return **p;
+  if (auto* p = std::get_if<std::shared_ptr<const StringPayload>>(&v_)) {
+    return (*p)->str();
+  }
+  kind_error(ValueKind::kString, kind());
+}
+
+std::string_view Value::string_view() const {
+  if (auto* p = std::get_if<std::shared_ptr<const StringPayload>>(&v_)) {
+    return (*p)->view();
+  }
+  kind_error(ValueKind::kString, kind());
+}
+
+Buffer Value::string_bytes() const {
+  if (auto* p = std::get_if<std::shared_ptr<const StringPayload>>(&v_)) {
+    return (*p)->bytes();
   }
   kind_error(ValueKind::kString, kind());
 }
@@ -59,8 +93,8 @@ const Buffer& Value::as_blob() const {
 }
 
 std::shared_ptr<const std::string> Value::shared_string() const {
-  if (auto* p = std::get_if<std::shared_ptr<const std::string>>(&v_)) {
-    return *p;
+  if (auto* p = std::get_if<std::shared_ptr<const StringPayload>>(&v_)) {
+    return (*p)->shared();
   }
   return nullptr;
 }
@@ -89,7 +123,7 @@ bool Value::operator==(const Value& other) const {
       return std::get<std::int64_t>(v_) == std::get<std::int64_t>(other.v_);
     case ValueKind::kReal:
       return std::get<double>(v_) == std::get<double>(other.v_);
-    case ValueKind::kString: return as_string() == other.as_string();
+    case ValueKind::kString: return string_view() == other.string_view();
     case ValueKind::kBlob:
       return std::get<Buffer>(v_) == std::get<Buffer>(other.v_);
     case ValueKind::kList:
@@ -112,7 +146,8 @@ std::string Value::to_string() const {
     case ValueKind::kReal:
       std::snprintf(buf, sizeof buf, "%g", std::get<double>(v_));
       return buf;
-    case ValueKind::kString: return "\"" + as_string() + "\"";
+    case ValueKind::kString:
+      return "\"" + std::string(string_view()) + "\"";
     case ValueKind::kBlob:
       std::snprintf(buf, sizeof buf, "<blob:%zu>",
                     std::get<Buffer>(v_).size());
@@ -137,7 +172,8 @@ std::size_t Value::hash() const {
     case ValueKind::kReal:
       return mix(std::hash<double>{}(std::get<double>(v_)));
     case ValueKind::kString:
-      return mix(std::hash<std::string>{}(as_string()));
+      // std::hash<string_view> matches std::hash<string> on equal content.
+      return mix(std::hash<std::string_view>{}(string_view()));
     case ValueKind::kBlob: {
       std::size_t h = 1469598103934665603ull;
       for (auto b : std::get<Buffer>(v_)) h = (h ^ b) * 1099511628211ull;

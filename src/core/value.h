@@ -12,18 +12,22 @@
 // passed as procedure parameters and message values).
 //
 // Payload sharing (DESIGN.md §4.9): string and blob payloads are stored
-// behind refcounted immutable storage (shared string / Buffer), so copying a
+// behind refcounted immutable storage (StringPayload / Buffer), so copying a
 // Value — and therefore a ValueList — costs O(participants), not O(bytes).
-// The accessor surface is unchanged: as_string() still returns a
-// const std::string&, and there are no mutating string/blob accessors, so
-// sharing is invisible to kernel and application code. The one mutable
-// accessor, as_list()&, edits the list spine held inline in this Value;
-// shared payloads referenced by its elements stay immutable.
+// A string Value may even be a zero-copy window into a received frame
+// (Value::aliased_string): string_view()/string_bytes() never copy, and
+// as_string() still returns a const std::string& by materializing the
+// std::string form once, on first use. There are no mutating string/blob
+// accessors, so sharing is invisible to kernel and application code. The one
+// mutable accessor, as_list()&, edits the list spine held inline in this
+// Value; shared payloads referenced by its elements stay immutable.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -50,6 +54,44 @@ enum class ValueKind : std::uint8_t {
 
 const char* to_string(ValueKind kind);
 
+/// Shared storage behind a string Value. Two forms, one interface:
+///   * string-backed — constructed from a std::string; `bytes()` is a
+///     zero-copy window over the shared string.
+///   * frame-backed — constructed from a Buffer slice of a received frame
+///     (decode aliasing, DESIGN.md §4.9); `str()` materializes the
+///     std::string form once, on first use (counted in bytes_copied).
+/// Always held behind a shared_ptr; materialization is call_once-guarded so
+/// concurrent as_string() on shared Values is safe.
+class StringPayload {
+ public:
+  explicit StringPayload(std::string s)
+      : str_(std::make_shared<const std::string>(std::move(s))),
+        bytes_(Buffer::from_shared(str_)) {}
+  explicit StringPayload(std::shared_ptr<const std::string> s)
+      : str_(s ? std::move(s) : std::make_shared<const std::string>()),
+        bytes_(Buffer::from_shared(str_)) {}
+  explicit StringPayload(Buffer frame_bytes) : bytes_(std::move(frame_bytes)) {}
+
+  /// The payload bytes, either form, no materialization.
+  std::string_view view() const {
+    return {reinterpret_cast<const char*>(bytes_.data()), bytes_.size()};
+  }
+  /// The refcounted storage window (re-encode references this, copy-free).
+  const Buffer& bytes() const { return bytes_; }
+
+  /// The std::string form; frame-backed payloads copy once, here.
+  const std::string& str() const;
+  std::shared_ptr<const std::string> shared() const {
+    str();
+    return str_;
+  }
+
+ private:
+  mutable std::shared_ptr<const std::string> str_;  // null until materialized
+  Buffer bytes_;
+  mutable std::once_flag once_;
+};
+
 class Value {
  public:
   Value() = default;
@@ -62,18 +104,24 @@ class Value {
   Value(unsigned long i) : v_(static_cast<std::int64_t>(i)) {}
   Value(unsigned long long i) : v_(static_cast<std::int64_t>(i)) {}
   Value(double d) : v_(d) {}
-  Value(const char* s) : v_(std::make_shared<const std::string>(s)) {}
+  Value(const char* s)
+      : v_(std::make_shared<const StringPayload>(std::string(s))) {}
   Value(std::string s)
-      : v_(std::make_shared<const std::string>(std::move(s))) {}
-  /// Shares an already-shared string without re-allocating (a null pointer
-  /// becomes the empty string — string Values always hold storage).
+      : v_(std::make_shared<const StringPayload>(std::move(s))) {}
+  /// Shares an already-shared string's storage (a null pointer becomes the
+  /// empty string — string Values always hold storage).
   Value(std::shared_ptr<const std::string> s)
-      : v_(s ? std::move(s) : std::make_shared<const std::string>()) {}
+      : v_(std::make_shared<const StringPayload>(std::move(s))) {}
   Value(Blob b) : v_(Buffer::adopt(std::move(b))) {}
   /// Blob value sharing the Buffer's storage (zero-copy).
   Value(Buffer b) : v_(std::move(b)) {}
   Value(ValueList l) : v_(std::move(l)) {}
   Value(ChannelRef c) : v_(std::move(c)) {}
+
+  /// A string Value aliasing `bytes` (typically a slice of a received
+  /// frame) without copying. as_string() materializes on demand; the view
+  /// accessors never do.
+  static Value aliased_string(Buffer bytes);
 
   ValueKind kind() const { return static_cast<ValueKind>(v_.index()); }
 
@@ -99,8 +147,17 @@ class Value {
   ValueList& as_list();
   const ChannelRef& as_channel() const;
 
-  /// The string payload's shared storage (null when not a string) — lets the
-  /// codec reference large strings on the wire instead of copying them.
+  /// The string payload's bytes without materializing a std::string —
+  /// frame-aliased strings stay zero-copy. Throws on kind mismatch.
+  std::string_view string_view() const;
+
+  /// The string payload's refcounted storage window — lets the codec
+  /// reference strings on the wire instead of copying them (both forms).
+  /// Throws on kind mismatch.
+  Buffer string_bytes() const;
+
+  /// The string payload's shared std::string form (null when not a string);
+  /// frame-aliased strings materialize once here.
   std::shared_ptr<const std::string> shared_string() const;
 
   /// Structural equality; channels compare by identity.
@@ -115,7 +172,7 @@ class Value {
  private:
   // Alternative order mirrors ValueKind — kind() is the variant index.
   std::variant<std::monostate, bool, std::int64_t, double,
-               std::shared_ptr<const std::string>, Buffer, ValueList,
+               std::shared_ptr<const StringPayload>, Buffer, ValueList,
                ChannelRef>
       v_;
 };

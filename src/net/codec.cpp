@@ -219,6 +219,7 @@ void encode_request_header(const RequestHeader& h, FrameBuilder& out) {
   out.put_u64(h.epoch);
   out.put_u64(h.ack_through);
   out.put_u64(h.deadline_ms);
+  out.put_u8(h.flags);
   out.put_string(h.object);
   out.put_string(h.entry);
 }
@@ -230,6 +231,7 @@ void encode_request_header(const RequestHeader& h,
   put_u64(out, h.epoch);
   put_u64(out, h.ack_through);
   put_u64(out, h.deadline_ms);
+  put_u8(out, h.flags);
   put_string(out, h.object);
   put_string(out, h.entry);
 }
@@ -240,6 +242,7 @@ RequestHeader decode_request_header(const Buffer& in, std::size_t& pos) {
   h.epoch = get_u64(in, pos);
   h.ack_through = get_u64(in, pos);
   h.deadline_ms = get_u64(in, pos);
+  h.flags = get_u8(in, pos);
   h.object = get_string(in, pos);
   h.entry = get_string(in, pos);
   return h;
@@ -278,6 +281,8 @@ void encode_wrong_node(const WrongNodeHeader& h,
   put_u64(out, h.req_id);
   put_u64(out, h.home);
   put_string(out, h.object);
+  put_u32(out, h.shard);
+  put_u64(out, h.map_epoch);
 }
 
 WrongNodeHeader decode_wrong_node(const Buffer& in, std::size_t& pos) {
@@ -285,6 +290,8 @@ WrongNodeHeader decode_wrong_node(const Buffer& in, std::size_t& pos) {
   h.req_id = get_u64(in, pos);
   h.home = get_u64(in, pos);
   h.object = get_string(in, pos);
+  h.shard = get_u32(in, pos);
+  h.map_epoch = get_u64(in, pos);
   return h;
 }
 
@@ -370,10 +377,12 @@ void encode_value(const Value& v, FrameBuilder& out,
     }
     case ValueKind::kString: {
       // Large strings ride as slices of their shared storage — the Value
-      // keeps the string alive for as long as any frame references it.
-      auto shared = v.shared_string();
-      out.put_u32(static_cast<std::uint32_t>(shared->size()));
-      out.append_slice(Buffer::from_shared(std::move(shared)));
+      // keeps the payload alive for as long as any frame references it.
+      // A frame-aliased string re-encodes from its original frame window,
+      // never materializing a std::string.
+      Buffer bytes = v.string_bytes();
+      out.put_u32(static_cast<std::uint32_t>(bytes.size()));
+      out.append_slice(std::move(bytes));
       return;
     }
     case ValueKind::kBlob: {
@@ -428,8 +437,18 @@ Value decode_value(const Buffer& in, std::size_t& pos,
     case ValueKind::kString: {
       const std::uint32_t n = get_u32(in, pos);
       need(in, pos, n);
-      // Strings materialize (std::string representation), but directly into
-      // the shared storage the Value will hand out — one copy, no re-wrap.
+      if (zero_copy_data_plane() && in.owned() &&
+          n >= kZeroCopySliceThreshold) {
+        // Like blobs: alias the owned frame instead of copying. The copy
+        // happens only if someone later insists on the std::string form
+        // (as_string), and is counted there.
+        Buffer bytes = in.slice(pos, n);
+        pos += n;
+        support::data_plane().bytes_referenced.add(n);
+        return Value::aliased_string(std::move(bytes));
+      }
+      // Small or borrowed: materialize directly into the shared storage the
+      // Value will hand out — one copy, no re-wrap.
       auto s = std::make_shared<const std::string>(
           reinterpret_cast<const char*>(in.data() + pos), n);
       pos += n;

@@ -160,6 +160,9 @@ class FrameBuilder {
   std::size_t copied_extra_ = 0;
 };
 
+/// Request flag bits (RequestHeader::flags).
+inline constexpr std::uint8_t kRequestFlagReadOnly = 0x01;
+
 struct RequestHeader {
   std::uint64_t req_id = 0;
   std::uint64_t epoch = 0;        ///< caller's dedup epoch (see rpc.h)
@@ -171,6 +174,12 @@ struct RequestHeader {
   std::uint64_t deadline_ms = 0;
   std::string object;
   std::string entry;
+  /// kRequestFlagReadOnly marks the call as answerable by a read replica;
+  /// the serving node uses it to decide whether a replica that is not the
+  /// primary may dispatch or must redirect (DESIGN.md §4.12). Declared last
+  /// so existing aggregate initializers keep compiling; encoded right after
+  /// deadline_ms so kRequestAckOffset is unchanged.
+  std::uint8_t flags = 0;
 
   bool operator==(const RequestHeader&) const = default;
 };
@@ -206,10 +215,22 @@ std::uint64_t decode_ack(const Buffer& in, std::size_t& pos);
 /// duplicate redirect. The client refreshes its route cache and re-sends
 /// the stored request frame to `home` — at most one extra hop per redirect,
 /// never a server-side forwarding chain.
+/// WrongNodeHeader::shard value for "not a shard redirect": the whole
+/// object re-homed to `home` (single-home migration, the original form).
+inline constexpr std::uint32_t kWrongNodeNoShard = 0xffffffffu;
+
 struct WrongNodeHeader {
   std::uint64_t req_id = 0;
   std::uint64_t home = 0;  ///< the directory's current home for `object`
   std::string object;
+  /// Shard hint: which shard of `object` the redirected key belongs to
+  /// (kWrongNodeNoShard for whole-object redirects). Lets the client patch
+  /// one slot of its cached shard map instead of dropping it, so a live
+  /// shard split heals key by key with no global barrier.
+  std::uint32_t shard = kWrongNodeNoShard;
+  /// The answering directory's epoch for `object`; the client only applies
+  /// a shard patch from an epoch at least as new as its cached map.
+  std::uint64_t map_epoch = 0;
 
   bool operator==(const WrongNodeHeader&) const = default;
 };

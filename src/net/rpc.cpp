@@ -111,7 +111,7 @@ void Node::on_membership(NodeId peer, bool added) {
   }
   std::scoped_lock lock(mu_);
   std::erase_if(route_cache_,
-                [peer](const auto& kv) { return kv.second == peer; });
+                [peer](const auto& kv) { return kv.second.contains(peer); });
 }
 
 Node::~Node() {
@@ -213,8 +213,10 @@ FrameBatcher::Stats Node::batch_stats() const {
 std::optional<NodeId> Node::cached_route(const std::string& object) const {
   std::scoped_lock lock(mu_);
   auto it = route_cache_.find(object);
-  if (it == route_cache_.end()) return std::nullopt;
-  return it->second;
+  if (it == route_cache_.end() || it->second.homes.empty()) {
+    return std::nullopt;
+  }
+  return it->second.primary();
 }
 
 void Node::post_frame(NodeId dst, FrameBuilder frame) {
@@ -289,7 +291,8 @@ std::shared_ptr<CallState> Node::start_call(NodeId target,
                                             const std::string& entry,
                                             ValueList params,
                                             const CallOptions& opts,
-                                            std::uint64_t* req_id_out) {
+                                            std::uint64_t* req_id_out,
+                                            std::uint8_t flags) {
   auto state = std::make_shared<CallState>();
   std::uint64_t req_id;
   std::uint64_t ack;
@@ -313,7 +316,8 @@ std::shared_ptr<CallState> Node::start_call(NodeId target,
           ? static_cast<std::uint64_t>(opts.deadline.count())
           : 0;
   encode_request_header(
-      RequestHeader{req_id, epoch_, ack, deadline_ms, object_name, entry},
+      RequestHeader{req_id, epoch_, ack, deadline_ms, object_name, entry,
+                    flags},
       payload);
   encode_list(params, payload, this);  // resolver locks mu_; keep it released
 
@@ -352,21 +356,32 @@ std::shared_ptr<CallState> Node::start_named_call(
     const std::string& object_name, const std::string& entry, ValueList params,
     const CallOptions& opts, std::uint64_t* req_id_out) {
   // Resolve: per-node cache first, then the cluster directory. The cache may
-  // be stale after a migration — that is fine, the wrong node answers with a
-  // kWrongNode redirect and handle_wrong_node re-routes in-band.
-  std::optional<NodeId> target;
+  // be stale after a migration or shard split — that is fine, the wrong node
+  // answers with a kWrongNode redirect (shard-precise for sharded entries)
+  // and handle_wrong_node re-routes in-band.
+  //
+  // Sharded/replicated routing hashes the call's first parameter — the
+  // paper's "initial subsequence" dispatch, applied to placement — before
+  // resolving, so the same key deterministically lands on the same home.
+  const std::uint64_t key_hash =
+      params.empty() ? 0 : shard_key_hash(params.front());
+  std::optional<Placement> placement;
   {
     std::scoped_lock lock(mu_);
     if (auto it = route_cache_.find(object_name); it != route_cache_.end()) {
-      target = it->second;
+      placement = it->second;
     }
   }
-  if (!target) {
-    target = transport_->directory().lookup(object_name);
-    if (target) {
+  if (!placement) {
+    placement = transport_->directory().placement(object_name);
+    if (placement) {
       std::scoped_lock lock(mu_);
-      route_cache_[object_name] = *target;
+      route_cache_[object_name] = *placement;
     }
+  }
+  std::optional<NodeId> target;
+  if (placement && !placement->homes.empty()) {
+    target = placement->route(key_hash, opts.read);
   }
   if (!target) {
     // Nothing in the cluster has ever hosted this name: fail typed without
@@ -383,7 +398,7 @@ std::shared_ptr<CallState> Node::start_named_call(
     return state;
   }
   return start_call(*target, object_name, entry, std::move(params), opts,
-                    req_id_out);
+                    req_id_out, opts.read ? kRequestFlagReadOnly : 0);
 }
 
 std::uint64_t Node::ack_watermark_locked(NodeId target) const {
@@ -570,9 +585,59 @@ void Node::handle_wrong_node(NodeId /*from*/, const Buffer& payload,
   FrameBuilder resend;
   {
     std::scoped_lock lock(mu_);
-    // The redirect carries fresh placement news; take it even if the call it
-    // answers is already gone.
-    route_cache_[header.object] = header.home;
+    // The redirect carries fresh placement news; fold it into the route
+    // cache even if the call it answers is already gone. A shard hint
+    // patches exactly one slot of the cached map — per-key convergence with
+    // no global barrier — while a shard-less hint re-homes the whole object.
+    auto cit = route_cache_.find(header.object);
+    if (header.shard == kWrongNodeNoShard) {
+      const bool cached_multi = cit != route_cache_.end() &&
+                                cit->second.mode != PlacementMode::kSingle;
+      if (!cached_multi ||
+          (cit != route_cache_.end() &&
+           header.map_epoch > cit->second.epoch)) {
+        // Whole-object re-home (classic migration), or news strictly newer
+        // than the cached multi-home map. A stale-epoch shard-less hint must
+        // NOT collapse a fresher shard/replica map to one node — the one
+        // request still re-routes below; the map stays.
+        Placement p;
+        p.mode = PlacementMode::kSingle;
+        p.homes = {header.home};
+        p.epoch = header.map_epoch;
+        route_cache_[header.object] = std::move(p);
+      }
+    } else if (cit != route_cache_.end() &&
+               cit->second.mode == PlacementMode::kSharded &&
+               header.map_epoch >= cit->second.epoch) {
+      // Patch the hinted slot. A hint past the cached map's end means the
+      // map grew (shard split): extend it, guessing the old layout for the
+      // unknown new slots — wrong guesses self-heal one redirect per key,
+      // and jump hashing keeps every unmoved key's old slot valid.
+      Placement& p = cit->second;
+      if (header.shard >= p.homes.size()) {
+        p.homes.resize(header.shard + 1, p.homes.front());
+      }
+      p.homes[header.shard] = header.home;
+      p.epoch = header.map_epoch;
+    } else if (cit == route_cache_.end() ||
+               cit->second.mode == PlacementMode::kSingle) {
+      // First shard-precise news for a map we believed single-homed: build a
+      // minimal sharded view around the hint and let redirects fill it in.
+      const NodeId fallback = cit != route_cache_.end()
+                                  ? cit->second.primary()
+                                  : header.home;
+      Placement p;
+      p.mode = PlacementMode::kSharded;
+      p.homes.assign(header.shard + 1, fallback);
+      p.homes[header.shard] = header.home;
+      p.epoch = header.map_epoch;
+      route_cache_[header.object] = std::move(p);
+    } else {
+      // Shard hint against a cached replicated map (placement mode changed
+      // under us): drop the entry and re-resolve from the directory next
+      // call rather than guess.
+      route_cache_.erase(cit);
+    }
     auto it = pending_.find(header.req_id);
     if (it == pending_.end()) {
       ++client_stats_.stale_responses;
@@ -654,6 +719,33 @@ void Node::handle_request(NodeId from, const Buffer& payload,
   const RequestHeader header = decode_request_header(payload, pos);
   ValueList params = decode_list(payload, pos, this);
 
+  // Ownership check for multi-home placements: hosting the name is not
+  // enough — this node must be the key's shard home (or, for a read of a
+  // replicated entry, any member). Computed against the live directory
+  // before taking mu_ (the directory has its own lock; never nest them).
+  const bool read_only = (header.flags & kRequestFlagReadOnly) != 0;
+  const std::uint64_t key_hash =
+      params.empty() ? 0 : shard_key_hash(params.front());
+  const auto decision =
+      transport_->directory().route(header.object, key_hash, read_only, id_);
+  bool owner = true;
+  if (decision) {
+    switch (decision->mode) {
+      case PlacementMode::kSingle:
+        // Hosting wins over a (possibly stale-replica) directory entry —
+        // preserves migration semantics where host(new) precedes the
+        // directory catching up on other replicas.
+        owner = true;
+        break;
+      case PlacementMode::kSharded:
+        owner = decision->home == id_;
+        break;
+      case PlacementMode::kReplicated:
+        owner = read_only ? decision->member : decision->home == id_;
+        break;
+    }
+  }
+
   // At-most-once gate: a retransmission of an executed request replays the
   // cached response; one still executing is dropped (its response will go
   // out when the body finishes). Only a first arrival of a locally hosted
@@ -704,13 +796,15 @@ void Node::handle_request(NodeId from, const Buffer& payload,
       put_string(reject,
                  "at-most-once entry evicted under the per-caller bound; "
                  "result unknown, refusing to re-execute");
-    } else if (auto hit = hosted_.find(header.object); hit != hosted_.end()) {
+    } else if (auto hit = hosted_.find(header.object);
+               hit != hosted_.end() && owner) {
       object = hit->second;
       table.entries.emplace(header.req_id, DedupEntry{});
       // Backstop for ack-less callers: drop oldest completed entries.
       shrink_dedup_locked(table);
     }
-    // Not hosted: fall through with object == nullptr; the redirect /
+    // Not hosted — or hosted but not this key's owner (stale shard map on
+    // the caller): fall through with object == nullptr; the redirect /
     // not-found answer is stateless (no dedup entry), so a duplicate just
     // earns another redirect and the table never learns misrouted ids.
   }
@@ -724,12 +818,16 @@ void Node::handle_request(NodeId from, const Buffer& payload,
     return;
   }
   if (!object) {
-    const auto home = transport_->directory().lookup(header.object);
     std::vector<std::uint8_t> out;
-    if (home && *home != id_) {
-      // The directory knows a better home: redirect instead of failing, so a
-      // stale client route cache heals in one extra hop.
-      encode_wrong_node(WrongNodeHeader{header.req_id, *home, header.object},
+    if (decision && decision->home != id_) {
+      // The directory knows a better home for this key: redirect instead of
+      // failing, so a stale client route heals in one extra hop. The hint
+      // is shard-precise (shard index + map epoch) so a client with a stale
+      // shard map patches exactly one slot — a live split converges key by
+      // key with no global barrier.
+      encode_wrong_node(WrongNodeHeader{header.req_id, decision->home,
+                                        header.object, decision->shard,
+                                        decision->epoch},
                         out);
       std::scoped_lock lock(mu_);
       ++server_stats_.wrong_node_redirects;
@@ -847,7 +945,7 @@ void Node::handle_response(NodeId from, const Buffer& payload,
       // had nothing better (a redirect would have come instead). Drop the
       // cached route so the next name-based call re-resolves.
       auto rit = route_cache_.find(it->second.object);
-      if (rit != route_cache_.end() && rit->second == from) {
+      if (rit != route_cache_.end() && rit->second.contains(from)) {
         route_cache_.erase(rit);
       }
     }

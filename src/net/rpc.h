@@ -10,21 +10,28 @@
 //   kResponse  — (req_id, cause, flags, results | error)     → completes the future
 //   kChanSend  — (chan_id, message)                          → local channel send
 //   kAck       — (ack_through)                               → dedup eviction
-//   kWrongNode — (req_id, home, object)                      → stale route; re-send
+//   kWrongNode — (req_id, home, object, shard, map_epoch)    → stale route; re-send
 //   kBatch     — (count, member frames)                      → coalesced link traffic
 //
 // Location transparency. Objects are addressable by name alone: the
-// Network's Directory (directory.h) maps object → home node, Node::host
-// registers there, and the name-based call surface
-// (`node.call("Dict", "Search", ...)` / `node.remote("Dict")`) resolves
-// through a per-node route cache backed by the directory. When placement
+// Network's Directory (directory.h) maps object → placement (one home, N
+// shard homes, or a replica set), Node::host registers there, and the
+// name-based call surface (`node.call("Dict", "Search", ...)` /
+// `node.remote("Dict")`) resolves through a per-node route cache backed by
+// the directory. For a sharded object the router hashes the call's first
+// parameter (shard_key_hash → jump consistent hash) and targets that
+// shard's home; for a read-replicated object writes go to the primary and
+// reads spread across the replicas (CallOptions::read). When placement
 // changes (host on the new node, then unhost on the old — the directory
-// keeps an entry through that order), a request that lands on a stale home
-// earns a stateless kWrongNode redirect carrying the current home; the
-// client refreshes its cache, re-patches the piggybacked ack watermark for
-// the new link, and re-sends the *same* (req_id, epoch) frame — so the
-// at-most-once dedup key survives the re-route and the redirect composes
-// with retries: at most one extra hop, never a double execution.
+// keeps an entry through that order; or a live shard split via
+// add_sharded), a request that lands on a stale home earns a stateless
+// kWrongNode redirect carrying the current home *for that key's shard*
+// plus the answering map's epoch; the client patches the one slot of its
+// cached shard map (or refreshes the whole route), re-patches the
+// piggybacked ack watermark for the new link, and re-sends the *same*
+// (req_id, epoch) frame — so the at-most-once dedup key survives the
+// re-route, the redirect composes with retries (at most one extra hop,
+// never a double execution), and resharding needs no global barrier.
 //
 // Frame coalescing. set_batching() buffers this node's outgoing frames per
 // destination link and flushes on a size or interval bound (batch.h); the
@@ -71,6 +78,7 @@
 #include "core/object.h"
 #include "net/batch.h"
 #include "net/codec.h"
+#include "net/directory.h"
 #include "net/transport.h"
 #include "support/rng.h"
 
@@ -149,6 +157,10 @@ struct CallOptions {
   /// Engaged = retransmit per the policy (server dedup keeps this safe for
   /// non-idempotent entries). Disengaged = single attempt.
   std::optional<RetryPolicy> retry;
+  /// Marks the call read-only: on a read-replicated object it may be served
+  /// by any replica (the router spreads reads by key hash) instead of the
+  /// primary. Ignored for single-home and sharded placements.
+  bool read = false;
 };
 
 /// Handle to an in-flight fault-tolerant call. result() blocks and never
@@ -374,7 +386,8 @@ class Node : public ChannelResolver {
                                         const std::string& entry,
                                         ValueList params,
                                         const CallOptions& opts,
-                                        std::uint64_t* req_id_out);
+                                        std::uint64_t* req_id_out,
+                                        std::uint8_t flags = 0);
 
   /// Name-based start: resolves the home via route cache → directory. On a
   /// miss the returned state is already failed (kObjectNotFound).
@@ -427,9 +440,10 @@ class Node : public ChannelResolver {
   /// Ordered so begin() is the smallest outstanding req_id — the global ack
   /// watermark a redirect-migrated id must still be protected by.
   std::map<std::uint64_t, Pending> pending_;
-  /// Name → last known home, fed by directory lookups and corrected by
-  /// kWrongNode redirects; dropped on a kObjectNotFound response.
-  std::unordered_map<std::string, NodeId> route_cache_;
+  /// Name → last known placement, fed by directory lookups and patched one
+  /// shard slot at a time by kWrongNode redirect hints; an entry is dropped
+  /// on a kObjectNotFound response from any of its homes.
+  std::unordered_map<std::string, Placement> route_cache_;
   /// Outstanding req_ids per target plus the last id sent there — the two
   /// feed the ack watermark ("no id <= X will ever be retransmitted").
   std::unordered_map<NodeId, std::set<std::uint64_t>> outstanding_;

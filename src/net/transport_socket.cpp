@@ -488,6 +488,12 @@ void SocketTransport::trim_queue_locked(PeerLink& link) {
   if (frames > 0) count_lost(frames, bytes);
 }
 
+void SocketTransport::park_and_trim_locked(PeerLink& link) {
+  link.replaying = true;
+  trim_queue_locked(link);
+  link.cv.notify_all();  // wait_quiescent: parked, not draining
+}
+
 bool SocketTransport::send_frame(int fd, const FrameBuilder& frame) {
   // Stream chunk = 12-byte header + the frame's scatter segments, handed to
   // sendmsg as one iovec list: the writev path. No contiguous frame is ever
@@ -544,9 +550,7 @@ void SocketTransport::sender_loop(const std::stop_token& st, PeerLink* link) {
       }
       // The cut parks the queue (budget-bounded): restore() replays it in
       // order, so a deliberate partition heals without re-posting.
-      link->replaying = true;
-      trim_queue_locked(*link);
-      link->cv.notify_all();  // wait_quiescent: parked, not draining
+      park_and_trim_locked(*link);
       link->cv.wait(lock, [&] {
         return st.stop_requested() || link->removed || !link->severed;
       });
@@ -571,9 +575,7 @@ void SocketTransport::sender_loop(const std::stop_token& st, PeerLink* link) {
         // The round failed: the queue survives for in-order replay on the
         // next successful connect, bounded by the retransmit budget. The
         // armed backoff paces the next round.
-        link->replaying = true;
-        trim_queue_locked(*link);
-        link->cv.notify_all();  // wait_quiescent: parked in backoff
+        park_and_trim_locked(*link);
         continue;
       }
       // Fresh connection: our HELLO goes first, before any frame. A failure
@@ -612,13 +614,19 @@ void SocketTransport::sender_loop(const std::stop_token& st, PeerLink* link) {
       // a peer that accepts and immediately dies.
       if (link->fd == fd) close_fd(link->fd);
       if (link->removed || link->severed || st.stop_requested()) {
+        // The in-flight frame was already popped, so neither remove_peer's
+        // drain nor the severed park can see it — counting it here is its
+        // only loss accounting.
         count_lost(1, frame_bytes);
       } else {
+        // Front-requeue, then trim: the requeued frame re-enters the parked
+        // queue *before* the budget check, so whether it survives or is
+        // tail-dropped it is owned by exactly one accounting path (replay,
+        // or trim's count_lost) — never both, never neither.
         link->queue.push_front(std::move(frame));
         link->queue_bytes += frame_bytes;
-        link->replaying = true;
-        trim_queue_locked(*link);
         arm_backoff_locked(*link);
+        park_and_trim_locked(*link);
       }
     }
     link->cv.notify_all();  // wait_quiescent

@@ -231,6 +231,13 @@ class SocketTransport final : public Transport {
   /// Tail-drops frames past the retransmit budget, counting them lost.
   /// Caller holds link.mu.
   void trim_queue_locked(PeerLink& link);
+  /// Parks the queue for in-order replay after a blip (cut, failed connect
+  /// round, or a connection dying mid-send) and trims it to the retransmit
+  /// budget. The single choke point for "parked then dropped": a parked
+  /// frame leaves the queue through exactly one of this trim, a teardown
+  /// drain, or remove_peer — each of which counts it lost exactly once.
+  /// Caller holds link.mu.
+  void park_and_trim_locked(PeerLink& link);
   /// Sends one frame over the link's fd as header + scatter segments.
   bool send_frame(int fd, const FrameBuilder& frame);
   /// Writes our HELLO as the first bytes of a fresh connection.

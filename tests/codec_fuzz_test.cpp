@@ -282,10 +282,33 @@ TEST_P(CodecFuzz, AckTruncationsRejected) {
   }
 }
 
+TEST_P(CodecFuzz, RequestFlagsSurviveTheRoundTrip) {
+  // The read-only bit rides in RequestHeader::flags (encoded after
+  // deadline_ms, so the in-frame ack patch offset is untouched); a replica
+  // decides dispatch-vs-redirect off it, so it must round-trip bit-exact.
+  support::Rng rng(GetParam() + 5000);
+  const std::uint8_t flags =
+      (GetParam() % 2) ? kRequestFlagReadOnly
+                       : static_cast<std::uint8_t>(rng.next() & 0xff);
+  const RequestHeader original{rng.next(), rng.next(), rng.next(),
+                               rng.next(), "Dict",     "Get",
+                               flags};
+  std::vector<std::uint8_t> buf;
+  encode_request_header(original, buf);
+  std::size_t pos = 1;  // past the type byte
+  EXPECT_EQ(decode_request_header(buf, pos), original);
+}
+
 TEST_P(CodecFuzz, WrongNodeTruncationsRejected) {
   support::Rng rng(GetParam() + 6000);
   std::vector<std::uint8_t> buf;
-  const WrongNodeHeader original{rng.next(), rng.next(), "Dictionary"};
+  // Shard hint + map epoch ride every redirect; half the seeds use the
+  // "whole object re-homed" sentinel form.
+  const std::uint32_t shard = (GetParam() % 2)
+                                  ? kWrongNodeNoShard
+                                  : static_cast<std::uint32_t>(rng.next() & 7);
+  const WrongNodeHeader original{rng.next(), rng.next(), "Dictionary", shard,
+                                 rng.next()};
   encode_wrong_node(original, buf);
   std::size_t pos = 0;
   ASSERT_EQ(get_u8(buf, pos), static_cast<std::uint8_t>(MsgType::kWrongNode));

@@ -286,6 +286,95 @@ TEST(DecodeAliasing, SmallBlobsCopyOutOfOwnedFrames) {
   EXPECT_FALSE(out[0].as_blob().shares_storage_with(frame));
 }
 
+TEST(DecodeAliasing, LargeStringsAliasOwnedFramesLikeBlobs) {
+  // Satellite regression: received string payloads ≥ the slice threshold
+  // must alias the owned frame (bytes_referenced), exactly like blobs —
+  // not memcpy into a fresh std::string (bytes_copied).
+  const std::string payload(1 << 20, 'q');
+  std::vector<std::uint8_t> wire;
+  net::encode_list({Value(payload)}, wire);
+
+  auto& dp = support::data_plane();
+  dp.reset();
+  Buffer frame = Buffer::adopt(std::move(wire));
+  std::size_t pos = 0;
+  ValueList out = net::decode_list(frame, pos);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].string_bytes().shares_storage_with(frame));
+  EXPECT_EQ(out[0].string_view(), payload) << "view accessors never copy";
+  EXPECT_EQ(dp.bytes_referenced.get(), std::uint64_t{1} << 20);
+  EXPECT_EQ(dp.bytes_copied.get(), 0u) << "decode itself stays zero-copy";
+
+  // as_string() is the one deliberate copy: materialized once, counted
+  // once — a second call reuses the std::string form.
+  EXPECT_EQ(out[0].as_string(), payload);
+  EXPECT_EQ(dp.bytes_copied.get(), std::uint64_t{1} << 20);
+  EXPECT_EQ(out[0].as_string(), payload);
+  EXPECT_EQ(dp.bytes_copied.get(), std::uint64_t{1} << 20)
+      << "materialization must be once, not per-call";
+
+  // The aliased string keeps the frame's storage alive on its own.
+  Value survivor = out[0];
+  out.clear();
+  frame = Buffer();
+  EXPECT_EQ(survivor.string_view(), payload);
+}
+
+TEST(DecodeAliasing, SmallStringsCopyOutOfOwnedFrames) {
+  const std::string payload(kZeroCopySliceThreshold - 1, 's');
+  std::vector<std::uint8_t> wire;
+  net::encode_list({Value(payload)}, wire);
+  auto& dp = support::data_plane();
+  dp.reset();
+  Buffer frame = Buffer::adopt(std::move(wire));
+  std::size_t pos = 0;
+  ValueList out = net::decode_list(frame, pos);
+  EXPECT_FALSE(out[0].string_bytes().shares_storage_with(frame));
+  EXPECT_EQ(out[0].as_string(), payload);
+  EXPECT_EQ(dp.bytes_copied.get(), payload.size())
+      << "one copy at decode; as_string() must not add a second";
+  EXPECT_EQ(dp.bytes_referenced.get(), 0u);
+}
+
+TEST(DecodeAliasing, BorrowedStringInputsAlwaysMaterialize) {
+  const std::string payload(1 << 20, 'b');
+  std::vector<std::uint8_t> wire;
+  net::encode_list({Value(payload)}, wire);
+
+  std::size_t pos = 0;
+  ValueList out = net::decode_list(wire, pos);  // borrowed view input
+  ASSERT_EQ(out.size(), 1u);
+  // Materialized: its bytes live outside the wire vector.
+  const auto* lo = reinterpret_cast<const char*>(wire.data());
+  const auto* hi = reinterpret_cast<const char*>(wire.data() + wire.size());
+  const auto view = out[0].string_view();
+  EXPECT_TRUE(view.data() + view.size() <= lo || view.data() >= hi);
+  EXPECT_EQ(view, payload);
+}
+
+TEST(DecodeAliasing, AliasedStringsReencodeFromTheFrameWindow) {
+  // A frame-aliased string forwarded to the next hop re-encodes by
+  // referencing its frame window — round-trips byte-for-byte and never
+  // materializes the std::string form.
+  const std::string payload(1 << 18, 'f');
+  std::vector<std::uint8_t> wire;
+  net::encode_list({Value(payload)}, wire);
+  Buffer frame = Buffer::adopt(std::move(wire));
+  std::size_t pos = 0;
+  ValueList out = net::decode_list(frame, pos);
+
+  auto& dp = support::data_plane();
+  dp.reset();
+  FrameBuilder fb;
+  net::encode_list(out, fb);
+  const auto rewire = fb.build();
+  EXPECT_EQ(dp.bytes_referenced.get(), std::uint64_t{1} << 18)
+      << "forwarding references the original frame window";
+  std::size_t pos2 = 0;
+  ValueList round = net::decode_list(rewire, pos2);
+  EXPECT_EQ(round[0].string_view(), payload);
+}
+
 // ---- batch envelopes with mixed members ------------------------------------
 
 TEST(BatchAssembly, MixedSmallAndLargeMembersGatherOnce) {

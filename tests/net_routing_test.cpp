@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <set>
 #include <thread>
 
 #include "core/alps.h"
@@ -245,6 +246,275 @@ TEST(Routing, NotFoundResponseDropsCachedRoute) {
 
   server.host(svc.obj);
   EXPECT_TRUE(client.call("Counter", "Add", vals(3)).ok());
+}
+
+// ---- multi-home placements: sharding and replication ----
+
+TEST(Directory, ShardedRouteIsDeterministicAndCoversHomes) {
+  Directory dir;
+  dir.add_sharded("Svc", {10, 11, 12});
+  auto p = dir.placement("Svc");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->mode, PlacementMode::kSharded);
+  EXPECT_EQ(p->primary(), 10u);
+
+  std::set<NodeId> seen;
+  for (std::uint64_t k = 0; k < 256; ++k) {
+    const auto h = shard_key_hash(Value(static_cast<std::int64_t>(k)));
+    const NodeId first = p->route(h, /*read=*/false);
+    EXPECT_EQ(p->route(h, false), first) << "routing must be deterministic";
+    EXPECT_EQ(first, p->homes[p->shard_of(h)]);
+    seen.insert(first);
+  }
+  EXPECT_EQ(seen.size(), 3u) << "256 keys should touch every shard";
+}
+
+TEST(Directory, GrowingShardsMovesOnlyAFractionOfKeys) {
+  // Jump consistent hash contract: going 3 -> 4 homes re-homes ~1/4 of the
+  // keys, and every moved key lands on the *new* home.
+  Directory dir;
+  dir.add_sharded("Svc", {10, 11, 12});
+  auto before = *dir.placement("Svc");
+  dir.add_sharded("Svc", {10, 11, 12, 13});
+  auto after = *dir.placement("Svc");
+  EXPECT_GT(after.epoch, before.epoch);
+
+  int moved = 0;
+  constexpr int kKeys = 1024;
+  for (int k = 0; k < kKeys; ++k) {
+    const auto h = shard_key_hash(Value(static_cast<std::int64_t>(k)));
+    const NodeId was = before.route(h, false);
+    const NodeId now = after.route(h, false);
+    if (was != now) {
+      ++moved;
+      EXPECT_EQ(now, 13u) << "movers must all go to the new shard";
+    }
+  }
+  EXPECT_GT(moved, kKeys / 8);
+  EXPECT_LT(moved, (3 * kKeys) / 8) << "~1/4 expected, not a reshuffle";
+}
+
+TEST(Directory, RemoveDemotesShardedEntryInsteadOfErasing) {
+  // Satellite regression: dropping one home of a sharded entry must keep
+  // the name resolvable from the survivors, not erase the whole mapping.
+  Directory dir;
+  dir.add_sharded("Svc", {10, 11, 12});
+  dir.remove("Svc", 11);
+  auto p = dir.placement("Svc");
+  ASSERT_TRUE(p.has_value()) << "demote, don't erase";
+  EXPECT_EQ(p->mode, PlacementMode::kSharded);
+  EXPECT_EQ(p->homes.size(), 3u) << "slots survive; the departed node's "
+                                    "slots are absorbed";
+  for (NodeId h : p->homes) EXPECT_NE(h, 11u);
+  // Only when no home survives does the entry disappear.
+  dir.remove("Svc", 10);
+  dir.remove("Svc", 12);
+  EXPECT_EQ(dir.placement("Svc"), std::nullopt);
+}
+
+TEST(Directory, RemoveNodeDemotesEveryEntry) {
+  Directory dir;
+  dir.add("Solo", 7);
+  dir.add_sharded("Shards", {7, 8});
+  dir.add_replicated("Repl", /*primary=*/7, {9});
+  EXPECT_EQ(dir.remove_node(7), 3u);
+
+  // Single-home entry: no survivor, erased (fails typed, no timeout).
+  EXPECT_EQ(dir.lookup("Solo"), std::nullopt);
+  // Sharded: survivor absorbs the shard slots.
+  auto shards = dir.placement("Shards");
+  ASSERT_TRUE(shards.has_value());
+  for (NodeId h : shards->homes) EXPECT_EQ(h, 8u);
+  // Replicated: the surviving replica is promoted to primary.
+  auto repl = dir.placement("Repl");
+  ASSERT_TRUE(repl.has_value());
+  EXPECT_EQ(repl->primary(), 9u);
+}
+
+TEST(Directory, ReplicatedRoutesWritesToPrimaryReadsAcrossSet) {
+  Directory dir;
+  dir.add_replicated("Svc", /*primary=*/1, {2, 3});
+  auto p = dir.placement("Svc");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->mode, PlacementMode::kReplicated);
+
+  std::set<NodeId> read_homes;
+  for (std::uint64_t k = 0; k < 128; ++k) {
+    const auto h = shard_key_hash(Value(static_cast<std::int64_t>(k)));
+    EXPECT_EQ(p->route(h, /*read=*/false), 1u) << "writes pin to primary";
+    read_homes.insert(p->route(h, /*read=*/true));
+  }
+  EXPECT_EQ(read_homes.size(), 3u) << "reads spread over the whole set";
+}
+
+TEST(Directory, EpochsStayMonotonicAcrossEraseAndReadd) {
+  // A redirect hint carries (home, epoch); if erase/re-add reset epochs a
+  // stale hint could outrank a fresh map. The floor prevents that.
+  Directory dir;
+  dir.add_sharded("Svc", {1, 2});
+  dir.add_sharded("Svc", {1, 2, 3});
+  const auto high = dir.placement("Svc")->epoch;
+  dir.remove_node(1);
+  dir.remove_node(2);
+  dir.remove_node(3);
+  ASSERT_EQ(dir.placement("Svc"), std::nullopt);
+  dir.add("Svc", 9);
+  EXPECT_GT(dir.placement("Svc")->epoch, high);
+}
+
+/// Two shard homes serving one name, as ShardedDictionary wires it: each
+/// node hosts its own body under the shared name, then the sharded map is
+/// installed over both.
+struct ShardRig {
+  Network net;
+  Node client{net, "client"};
+  Node a{net, "shard-a"};
+  Node b{net, "shard-b"};
+  CounterService on_a;
+  CounterService on_b;
+
+  ShardRig() {
+    a.host(on_a.obj);
+    b.host(on_b.obj);
+    net.directory().add_sharded("Counter", {a.id(), b.id()});
+  }
+
+  int total_executions() const {
+    return on_a.executions.load() + on_b.executions.load();
+  }
+};
+
+TEST(Routing, ShardedCallsRouteByFirstParam) {
+  ShardRig rig;
+  constexpr int kCalls = 64;
+  for (int i = 0; i < kCalls; ++i) {
+    auto r = rig.client.call("Counter", "Add", vals(i));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value()[0].as_int(), i);
+  }
+  EXPECT_EQ(rig.total_executions(), kCalls);
+  // Both shards saw traffic, and nothing bounced: the client resolved the
+  // sharded placement up front and routed every key to its home directly.
+  EXPECT_GT(rig.on_a.executions.load(), 0);
+  EXPECT_GT(rig.on_b.executions.load(), 0);
+  EXPECT_EQ(rig.client.client_stats().redirects, 0u);
+}
+
+TEST(Routing, SameKeyPinsToOneShard) {
+  ShardRig rig;
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(rig.client.call("Counter", "Add", vals(42)).ok());
+  }
+  // One of the two shards took all 16; the other saw none.
+  const int on_a = rig.on_a.executions.load();
+  const int on_b = rig.on_b.executions.load();
+  EXPECT_EQ(on_a + on_b, 16);
+  EXPECT_TRUE(on_a == 0 || on_b == 0) << "a=" << on_a << " b=" << on_b;
+}
+
+TEST(Routing, LiveShardSplitHealsThroughShardPreciseRedirects) {
+  // Start single-home, prime the client's cached map, then split to two
+  // shards. Keys that moved bounce off the old home once — the redirect
+  // carries (shard, map_epoch) so only that slot of the cached map is
+  // patched — and every call still executes exactly once.
+  Network net;
+  Node client(net, "client");
+  Node a(net, "shard-a");
+  Node b(net, "shard-b");
+  CounterService on_a;
+  CounterService on_b;
+  a.host(on_a.obj);
+  net.directory().add_sharded("Counter", {a.id()});
+
+  constexpr int kKeys = 32;
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(client.call("Counter", "Add", vals(i)).ok());
+  }
+  ASSERT_EQ(on_a.executions.load(), kKeys);
+
+  // The split: host the body on B first, then publish the 2-home map.
+  b.host(on_b.obj);
+  net.directory().add_sharded("Counter", {a.id(), b.id()});
+
+  for (int i = 0; i < kKeys; ++i) {
+    auto r = client.call("Counter", "Add", vals(i));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value()[0].as_int(), i);
+  }
+  EXPECT_EQ(on_a.executions.load() + on_b.executions.load(), 2 * kKeys)
+      << "redirects must not re-execute";
+  EXPECT_GT(on_b.executions.load(), 0) << "some keys must have moved";
+  // The first moved key bounces off A; its shard-precise hint grows the
+  // client's cached map to the new width, so later moved keys go direct.
+  // Bounces are therefore ≥ 1 and never exceed the moved-key count.
+  const auto redirects = client.client_stats().redirects;
+  EXPECT_GE(redirects, 1u);
+  EXPECT_LE(redirects, static_cast<std::uint64_t>(on_b.executions.load()));
+  EXPECT_EQ(a.server_stats().wrong_node_redirects, redirects);
+
+  // Third sweep: the healed map routes every key directly, no new bounces.
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(client.call("Counter", "Add", vals(i)).ok());
+  }
+  EXPECT_EQ(client.client_stats().redirects, redirects)
+      << "the cached shard map should be fully healed";
+}
+
+TEST(Routing, ReplicatedReadsSpreadAndWritesPinToPrimary) {
+  Network net;
+  Node client(net, "client");
+  Node primary(net, "primary");
+  Node replica(net, "replica");
+  CounterService on_p;
+  CounterService on_r;
+  primary.host(on_p.obj);
+  replica.host(on_r.obj);
+  net.directory().add_replicated("Counter", primary.id(), {replica.id()});
+
+  // Writes (the default) all land on the primary regardless of key.
+  constexpr int kCalls = 32;
+  for (int i = 0; i < kCalls; ++i) {
+    ASSERT_TRUE(client.call("Counter", "Add", vals(i)).ok());
+  }
+  EXPECT_EQ(on_p.executions.load(), kCalls);
+  EXPECT_EQ(on_r.executions.load(), 0);
+
+  // Reads spread across {primary} ∪ replicas by key hash.
+  CallOptions read;
+  read.read = true;
+  for (int i = 0; i < kCalls; ++i) {
+    ASSERT_TRUE(client.call("Counter", "Add", vals(i), read).ok());
+  }
+  EXPECT_EQ(on_p.executions.load() + on_r.executions.load(), 2 * kCalls);
+  EXPECT_GT(on_r.executions.load(), 0) << "reads must reach the replica";
+  EXPECT_GT(on_p.executions.load(), kCalls) << "and still use the primary";
+  EXPECT_EQ(client.client_stats().redirects, 0u);
+}
+
+TEST(Routing, ReplicaRedirectsMisroutedWrite) {
+  // A client whose cache (poisoned here by a read) sends a *write* to a
+  // replica: the replica is a member but not the primary, so it must
+  // redirect rather than execute — replicated writes stay single-home.
+  Network net;
+  Node client(net, "client");
+  Node primary(net, "primary");
+  Node replica(net, "replica");
+  CounterService on_p;
+  CounterService on_r;
+  primary.host(on_p.obj);
+  replica.host(on_r.obj);
+  // Single-home at the replica first: the client caches that...
+  net.directory().add("Counter", replica.id());
+  ASSERT_TRUE(client.call("Counter", "Add", vals(1)).ok());
+  ASSERT_EQ(on_r.executions.load(), 1);
+  // ...then the entry becomes replicated with `primary` as the write home.
+  net.directory().add_replicated("Counter", primary.id(), {replica.id()});
+
+  auto r = client.call("Counter", "Add", vals(2));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(on_p.executions.load(), 1) << "the write must land on primary";
+  EXPECT_EQ(on_r.executions.load(), 1) << "the replica must not execute it";
+  EXPECT_EQ(client.client_stats().redirects, 1u);
 }
 
 // ---- frame batching ----

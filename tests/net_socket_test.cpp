@@ -81,7 +81,7 @@ TEST(SocketTransport, DeliversRawFramesOverUnixSocket) {
   });
 
   for (std::uint8_t i = 0; i < 3; ++i) ta.post(Frame{1, 2, {i, 42}});
-  ASSERT_TRUE(done.wait_for(10s));
+  ASSERT_TRUE(done.wait_for(30s));
 
   std::scoped_lock lock(mu);
   ASSERT_EQ(got.size(), 3u);
@@ -124,7 +124,7 @@ TEST(SocketTransport, DeliversRawFramesOverTcpLoopback) {
     done.set();
   });
   tb.post(Frame{2, 1, std::vector<std::uint8_t>(1024, 7)});
-  ASSERT_TRUE(done.wait_for(10s));
+  ASSERT_TRUE(done.wait_for(30s));
   EXPECT_EQ(bytes.load(), 1024u);
 }
 
@@ -337,7 +337,7 @@ TEST(SocketTransport, BlipRetainsQueuedFramesAndReplaysInOrder) {
   // retransmit queue — not be counted lost. Waiting for is_partitioned
   // pins the "a round actually failed" half of the claim.
   for (std::uint8_t i = 0; i < 5; ++i) ta.post(Frame{1, 2, {i}});
-  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
   while (!ta.is_partitioned(1, 2)) {
     ASSERT_LT(std::chrono::steady_clock::now(), deadline);
     std::this_thread::sleep_for(1ms);
@@ -348,7 +348,7 @@ TEST(SocketTransport, BlipRetainsQueuedFramesAndReplaysInOrder) {
   SocketTransport tb(uds_options(paths, 2, {1, 2}));
   tb.add_node("b");
   tb.set_handler(2, sink.handler());
-  ASSERT_TRUE(sink.reached.wait_for(10s));
+  ASSERT_TRUE(sink.reached.wait_for(30s));
 
   std::scoped_lock lock(sink.mu);
   ASSERT_EQ(sink.got.size(), 5u);
@@ -374,7 +374,7 @@ TEST(SocketTransport, RetransmitBudgetOverflowCountsLost) {
   // First frame arms the sender; wait until a connect round has failed so
   // the link is known-down and the budget applies.
   ta.post(Frame{1, 2, {0}});
-  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
   while (!ta.is_partitioned(1, 2)) {
     ASSERT_LT(std::chrono::steady_clock::now(), deadline);
     std::this_thread::sleep_for(1ms);
@@ -386,7 +386,7 @@ TEST(SocketTransport, RetransmitBudgetOverflowCountsLost) {
   SocketTransport tb(uds_options(paths, 2, {1, 2}));
   tb.add_node("b");
   tb.set_handler(2, sink.handler());
-  ASSERT_TRUE(sink.reached.wait_for(10s));
+  ASSERT_TRUE(sink.reached.wait_for(30s));
   // Give any unexpected extra frame a moment to arrive, then snapshot.
   ta.wait_quiescent();
   tb.wait_quiescent();
@@ -412,7 +412,7 @@ TEST(SocketTransport, SeverQueuesUnderBudgetAndRestoreReplaysInOrder) {
   sink.want = 1;
   tb.set_handler(2, sink.handler());
   ta.post(Frame{1, 2, {0}});
-  ASSERT_TRUE(sink.reached.wait_for(10s));
+  ASSERT_TRUE(sink.reached.wait_for(30s));
 
   ta.sever(2);
   EXPECT_TRUE(ta.is_partitioned(1, 2));
@@ -426,7 +426,7 @@ TEST(SocketTransport, SeverQueuesUnderBudgetAndRestoreReplaysInOrder) {
   sink.reached.reset();
   sink.want = 5;
   ta.restore(2);
-  ASSERT_TRUE(sink.reached.wait_for(10s));
+  ASSERT_TRUE(sink.reached.wait_for(30s));
   std::scoped_lock lock(sink.mu);
   ASSERT_EQ(sink.got.size(), 5u);
   for (std::uint8_t i = 0; i < 5; ++i) {
@@ -456,7 +456,7 @@ TEST(SocketTransport, RemovePeerRacesInFlightDeliveryAndRejectsReconnect) {
     }
   });
   ta.post(Frame{1, 2, {1}});
-  ASSERT_TRUE(entered.wait_for(10s));
+  ASSERT_TRUE(entered.wait_for(30s));
   // A second frame is already behind the blocked delivery; the eviction
   // below must win the race against it.
   ta.post(Frame{1, 2, {2}});
@@ -469,7 +469,7 @@ TEST(SocketTransport, RemovePeerRacesInFlightDeliveryAndRejectsReconnect) {
 
   // A keeps talking, but its HELLO now claims a node outside B's peer set:
   // every reconnect is refused before a frame can dispatch.
-  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
   while (tb.transport_stats().handshake_rejected == 0) {
     ASSERT_LT(std::chrono::steady_clock::now(), deadline);
     ta.post(Frame{1, 2, {3}});
@@ -501,7 +501,7 @@ TEST(SocketTransport, AddPeerAdmitsTrafficMidRun) {
   });
 
   // Unknown peer: every stream B opens is refused before dispatch.
-  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
   while (ta.transport_stats().handshake_rejected == 0) {
     ASSERT_LT(std::chrono::steady_clock::now(), deadline);
     tb.post(Frame{2, 1, {7}});
@@ -538,7 +538,7 @@ TEST(SocketTransport, HandshakeRejectsWrongClusterToken) {
   tb.add_node("b");
   ta.set_handler(1, [&](NodeId, Buffer) { FAIL() << "must not deliver"; });
 
-  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
   while (ta.transport_stats().handshake_rejected == 0) {
     ASSERT_LT(std::chrono::steady_clock::now(), deadline);
     tb.post(Frame{2, 1, {1}});
@@ -560,7 +560,7 @@ TEST(SocketTransport, HandshakeRejectsProtocolVersionMismatch) {
   tb.add_node("b");
   ta.set_handler(1, [&](NodeId, Buffer) { FAIL() << "must not deliver"; });
 
-  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
   while (ta.transport_stats().handshake_rejected == 0) {
     ASSERT_LT(std::chrono::steady_clock::now(), deadline);
     tb.post(Frame{2, 1, {1}});
@@ -601,7 +601,7 @@ TEST(SocketTransport, RawImpostorConnectionNeverDeliversAFrame) {
   // Garbage instead of a HELLO: rejected on the magic check, counted, cut.
   raw_connection(paths.node(1),
                  {'G', 'A', 'R', 'B', 'A', 'G', 'E', '!', 0, 0, 0, 0});
-  auto deadline = std::chrono::steady_clock::now() + 10s;
+  auto deadline = std::chrono::steady_clock::now() + 30s;
   while (ta.transport_stats().handshake_rejected < 1) {
     ASSERT_LT(std::chrono::steady_clock::now(), deadline);
     std::this_thread::sleep_for(1ms);
@@ -617,7 +617,7 @@ TEST(SocketTransport, RawImpostorConnectionNeverDeliversAFrame) {
   for (int i = 0; i < 4; ++i) bytes.push_back(0xff);  // length = 2^32-1
   for (int i = 0; i < 8; ++i) bytes.push_back(0x02);  // src (never parsed)
   raw_connection(paths.node(1), bytes);
-  deadline = std::chrono::steady_clock::now() + 10s;
+  deadline = std::chrono::steady_clock::now() + 30s;
   while (ta.transport_stats().connections_poisoned < 1) {
     ASSERT_LT(std::chrono::steady_clock::now(), deadline);
     std::this_thread::sleep_for(1ms);
@@ -643,6 +643,93 @@ TEST(SocketRpc, RemovePeerPurgesDirectoryAndFailsTyped) {
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.error().cause(), RpcCause::kObjectNotFound)
       << "a departed home fails typed, not by timeout";
+}
+
+TEST(SocketTransport, RemovePeerDemotesMultiHomeDirectoryEntries) {
+  // Satellite regression, socket backend: evicting a peer must *demote* it
+  // out of multi-home entries (survivors keep serving) and erase only the
+  // entries with no surviving home — same semantics the simulated Network
+  // gets from Directory::remove_node.
+  SocketPaths paths("demote");
+  SocketTransport ta(uds_options(paths, 1, {1, 2, 3}));
+  ta.add_node("a");
+  ta.directory().add("Solo", 2);
+  ta.directory().add_sharded("Shards", {2, 3});
+  ta.directory().add_replicated("Repl", /*primary=*/2, {3});
+
+  ta.remove_peer(2);
+
+  EXPECT_EQ(ta.directory().lookup("Solo"), std::nullopt)
+      << "no surviving home: erased, so calls fail typed";
+  auto shards = ta.directory().placement("Shards");
+  ASSERT_TRUE(shards.has_value()) << "demote, don't erase";
+  EXPECT_EQ(shards->mode, PlacementMode::kSharded);
+  for (NodeId h : shards->homes) EXPECT_EQ(h, 3u);
+  auto repl = ta.directory().placement("Repl");
+  ASSERT_TRUE(repl.has_value());
+  EXPECT_EQ(repl->primary(), 3u) << "surviving replica promoted to primary";
+}
+
+TEST(SocketTransport, FrameAccountingConservesAcrossBudgetSeverAndEviction) {
+  // Satellite regression: every posted frame is accounted exactly once —
+  // delivered, lost (budget trim / sever teardown / eviction drain), or
+  // dropped (no such destination). A double-count in any of the parked
+  // paths breaks this equality.
+  SocketPaths paths("conserve");
+  auto a_opts = uds_options(paths, 1, {1, 2});
+  a_opts.connect_backoff_initial = 5ms;
+  a_opts.connect_backoff_max = 20ms;
+  a_opts.retransmit_budget_frames = 3;
+  SocketTransport ta(a_opts);
+  SocketTransport tb(uds_options(paths, 2, {1, 2}));
+  ta.add_node("a");
+  tb.add_node("b");
+  FrameSink sink;
+  sink.want = 1;
+  tb.set_handler(2, sink.handler());
+  ta.post(Frame{1, 2, {0}});
+  ASSERT_TRUE(sink.reached.wait_for(30s));
+
+  // Sever, then overflow the retransmit budget: 3 of the 6 park, 3 are
+  // tail-dropped by the trim and must be counted lost exactly once.
+  ta.sever(2);
+  for (std::uint8_t i = 1; i <= 6; ++i) ta.post(Frame{1, 2, {i}});
+  ta.wait_quiescent();
+  EXPECT_EQ(ta.transport_stats().frames_lost, 3u)
+      << "parked-then-trimmed frames are lost once, not twice";
+
+  sink.reached.reset();
+  sink.want = 4;
+  ta.restore(2);
+  ASSERT_TRUE(sink.reached.wait_for(30s));
+  ta.wait_quiescent();
+  tb.wait_quiescent();
+  {
+    const auto a = ta.transport_stats();
+    const auto b = tb.transport_stats();
+    EXPECT_EQ(a.frames_posted, 7u);
+    EXPECT_EQ(a.frames_posted,
+              b.frames_delivered + a.frames_lost + a.frames_dropped)
+        << "conservation after budget trip + replay";
+  }
+
+  // Park two more behind a fresh cut, then evict the peer: the teardown
+  // drain owns those two frames (and only those two).
+  ta.sever(2);
+  ta.post(Frame{1, 2, {7}});
+  ta.post(Frame{1, 2, {8}});
+  ta.remove_peer(2);
+  // A post to a removed peer is a drop (dst unknown), not a loss.
+  ta.post(Frame{1, 2, {9}});
+  ta.wait_quiescent();
+  const auto a = ta.transport_stats();
+  const auto b = tb.transport_stats();
+  EXPECT_EQ(a.frames_posted, 10u);
+  EXPECT_EQ(a.frames_lost, 5u) << "3 trimmed + 2 drained at eviction";
+  EXPECT_EQ(a.frames_dropped, 1u);
+  EXPECT_EQ(a.frames_posted,
+            b.frames_delivered + a.frames_lost + a.frames_dropped)
+      << "conservation across sever + eviction + post-removal drop";
 }
 
 }  // namespace

@@ -2,7 +2,9 @@
 // histograms.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <cmath>
 #include <map>
 #include <thread>
 #include <vector>
@@ -222,6 +224,56 @@ TEST(Zipf, ThetaZeroIsUniformish) {
   for (std::size_t r = 0; r < 10; ++r) {
     EXPECT_NEAR(counts[r], kN / 10, kN / 25);
   }
+}
+
+TEST(Zipf, SingleRankAlwaysDrawsZero) {
+  // n = 1 degenerates to a point mass; the inverse-CDF must not run off
+  // the end of a one-entry table.
+  ZipfGenerator zipf(1, 0.99, 3);
+  EXPECT_EQ(zipf.n(), 1u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(zipf.next(), 0u);
+}
+
+TEST(Zipf, ThetaNearOneMatchesHarmonicHeadMass) {
+  // At theta → 1 the weights are ~1/(k+1): rank 0 should carry close to
+  // 1/H_n of the mass. For n = 100, H_100 ≈ 5.187 → p(0) ≈ 19.3%.
+  constexpr std::size_t kRanks = 100;
+  ZipfGenerator zipf(kRanks, 0.999999, 5);
+  constexpr int kN = 200000;
+  int rank0 = 0;
+  for (int i = 0; i < kN; ++i) rank0 += (zipf.next() == 0);
+  double harmonic = 0;
+  for (std::size_t k = 1; k <= kRanks; ++k) harmonic += 1.0 / double(k);
+  const double expected = kN / harmonic;
+  EXPECT_NEAR(rank0, expected, expected * 0.05);
+}
+
+TEST(Zipf, ChiSquaredAgainstTheoreticalRankFrequencies) {
+  // Goodness-of-fit over the full support: empirical counts vs the exact
+  // 1/(k+1)^theta cell probabilities. With 19 degrees of freedom the 99.9%
+  // critical value is ≈ 43.8; a correct inverse-CDF sampler sits far below
+  // it, while an off-by-one in the table search blows well past.
+  constexpr std::size_t kRanks = 20;
+  constexpr double kTheta = 0.8;
+  ZipfGenerator zipf(kRanks, kTheta, 17);
+  constexpr int kN = 200000;
+  std::array<int, kRanks> counts{};
+  for (int i = 0; i < kN; ++i) ++counts[zipf.next()];
+
+  std::array<double, kRanks> weight{};
+  double total = 0;
+  for (std::size_t k = 0; k < kRanks; ++k) {
+    weight[k] = 1.0 / std::pow(double(k + 1), kTheta);
+    total += weight[k];
+  }
+  double chi2 = 0;
+  for (std::size_t k = 0; k < kRanks; ++k) {
+    const double expected = kN * weight[k] / total;
+    ASSERT_GT(expected, 5.0) << "chi-squared needs well-filled cells";
+    const double d = counts[k] - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 43.8) << "chi-squared rank-frequency fit rejected";
 }
 
 TEST(WordList, DeterministicNames) {
